@@ -1,0 +1,113 @@
+// C4 -- cost of capturing and restoring the activation record stack, as a
+// function of recursion depth and per-frame state width (Section 2's
+// mechanism, measured).
+//
+// Reported: wall time of [signal -> capture -> encode] and of
+// [decode -> restore] per migration, plus abstract state bytes. Shape:
+// both costs are linear in (depth x width); the cost is paid only when a
+// reconfiguration happens.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+std::string worker(int depth, int width) {
+  // Each activation record carries `width` int locals (w0..w{width-1}).
+  std::string locals, uses;
+  for (int i = 0; i < width; ++i) {
+    locals += "  int w" + std::to_string(i) + ";\n";
+    uses += "  w" + std::to_string(i) + " = n + " + std::to_string(i) + ";\n";
+  }
+  std::string keep = "  acc = acc";
+  for (int i = 0; i < width; ++i) keep += " + w" + std::to_string(i);
+  keep += ";\n";
+  return R"(
+int acc = 0;
+
+void work(int n) {
+)" + locals +
+         R"(  if (n <= 0) { return; }
+)" + uses +
+         R"(  work(n - 1);
+RP:
+)" + keep +
+         R"(}
+
+void main() {
+  int round;
+  round = 0;
+  while (round < 1000000) {
+    work()" +
+         std::to_string(depth) + R"();
+    round = round + 1;
+  }
+}
+)";
+}
+
+void BM_CaptureEncode(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  auto prog = benchsupport::compile_transformed(
+      worker(depth, width), {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  std::size_t bytes = 0;
+  std::size_t frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    vm::Machine m(*prog, net::arch_vax());
+    (void)m.step(static_cast<std::uint64_t>(depth) * 20 + 50);
+    m.raise_signal();
+    state.ResumeTiming();
+    // Everything from the signal to the divulged state: reach RP, cascade
+    // capture through every frame, encode.
+    (void)m.step(UINT64_MAX);
+    benchmark::DoNotOptimize(m.last_encoded_state());
+    if (m.last_encoded_state().has_value()) {
+      bytes = m.last_encoded_state()->encode().size();
+      frames = m.last_encoded_state()->frame_count();
+    }
+  }
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+  state.counters["frames"] = static_cast<double>(frames);
+}
+BENCHMARK(BM_CaptureEncode)
+    ->ArgsProduct({{1, 4, 16, 64, 256, 1024, 4096}, {2, 8}})
+    ->ArgNames({"depth", "width"});
+
+void BM_DecodeRestore(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  auto prog = benchsupport::compile_transformed(
+      worker(depth, width), {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  // Produce one captured state up front.
+  vm::Machine producer(*prog, net::arch_vax());
+  (void)producer.step(static_cast<std::uint64_t>(depth) * 20 + 50);
+  producer.raise_signal();
+  (void)producer.step(UINT64_MAX);
+  auto captured = *producer.last_encoded_state();
+  const std::uint64_t restore_budget =
+      static_cast<std::uint64_t>(depth) * 60 + 200;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    vm::Machine clone(*prog, net::arch_sparc());
+    clone.set_standalone_status("clone");
+    clone.inject_incoming_state(captured);
+    state.ResumeTiming();
+    // Rebuild the AR stack: decode, then run until every frame restored.
+    while (clone.decode_count() == 0 ||
+           clone.restore_frames_remaining() != 0) {
+      (void)clone.step(restore_budget);
+    }
+  }
+  state.counters["state_bytes"] =
+      static_cast<double>(captured.encode().size());
+}
+BENCHMARK(BM_DecodeRestore)
+    ->ArgsProduct({{1, 4, 16, 64, 256, 1024, 4096}, {2, 8}})
+    ->ArgNames({"depth", "width"});
+
+}  // namespace

@@ -1,0 +1,114 @@
+// C2 -- reconfiguration points vs periodic checkpointing (Section 4).
+//
+// "The cost of capturing the process state is paid only when a
+// reconfiguration is performed, instead of at regular intervals during
+// execution."
+//
+// Sweeps the checkpoint interval and the module's state size; reports wall
+// time per executed instruction and the checkpoint data volume. The shape:
+// checkpointing overhead grows as intervals shrink and as state grows,
+// while the flag-tested build pays a small constant regardless.
+#include <benchmark/benchmark.h>
+
+#include "baseline/checkpoint.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// Compute-bound module with a heap table of `cells` ints (its state size).
+std::string worker(int cells) {
+  return R"(
+int acc = 0;
+int* table;
+
+void main() {
+  int i;
+  table = mh_alloc_int()" +
+         std::to_string(cells) + R"();
+  i = 0;
+  while (i < 100000) {
+    acc = acc + i;
+    table[i % )" +
+         std::to_string(cells) + R"(] = acc;
+    i = i + 1;
+  }
+}
+)";
+}
+
+void BM_Checkpointing(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const auto interval = static_cast<std::uint64_t>(state.range(1));
+  auto prog = benchsupport::compile_plain(worker(cells));
+  std::uint64_t insns = 0;
+  std::uint64_t checkpoints = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    baseline::CheckpointRunner runner(m, interval);
+    (void)runner.run(UINT64_MAX);
+    insns = runner.stats().instructions_executed;
+    checkpoints = runner.stats().checkpoints_taken;
+    bytes = runner.stats().total_checkpoint_bytes;
+  }
+  state.counters["checkpoints"] = static_cast<double>(checkpoints);
+  state.counters["ckpt_bytes_total"] = static_cast<double>(bytes);
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * insns),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * insns));
+}
+BENCHMARK(BM_Checkpointing)
+    ->ArgsProduct({{64, 1024, 16384}, {2'000, 20'000, 200'000}})
+    ->ArgNames({"state_cells", "interval"});
+
+void BM_NoCheckpointing(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  auto prog = benchsupport::compile_plain(worker(cells));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * insns),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * insns));
+}
+BENCHMARK(BM_NoCheckpointing)
+    ->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgNames({"state_cells"});
+
+/// The flag-tested alternative: the same module carrying a reconfiguration
+/// point, never signalled. Its only cost is testing mh_reconfig.
+void BM_FlagTested(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  std::string src = worker(cells);
+  // Put the reconfiguration point in the hot loop: worst case for us,
+  // still cheaper than any checkpointing interval.
+  auto pos = src.find("    acc = acc + i;");
+  src.insert(pos, "RP:\n");
+  auto prog = benchsupport::compile_transformed(
+      src, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * insns),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * insns));
+}
+BENCHMARK(BM_FlagTested)
+    ->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgNames({"state_cells"});
+
+}  // namespace

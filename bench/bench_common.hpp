@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cfg/spec.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "vm/compiler.hpp"
+#include "vm/machine.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::benchsupport {
+
+inline std::shared_ptr<vm::CompiledProgram> compile_plain(
+    const std::string& src) {
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  return std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+}
+
+inline std::shared_ptr<vm::CompiledProgram> compile_transformed(
+    const std::string& src, const std::vector<cfg::ReconfigPointSpec>& points,
+    const xform::XformOptions& options = {}) {
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  xform::prepare_module(prog, points, options);
+  return std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+}
+
+/// Runs a standalone machine to completion; aborts on fault.
+inline void run_to_done(vm::Machine& m) {
+  auto r = m.step(UINT64_MAX);
+  if (r.state != vm::RunState::kDone) {
+    throw support::VmError(std::string("benchmark program did not finish: ") +
+                           vm::run_state_name(r.state) + " " +
+                           m.fault_message());
+  }
+}
+
+}  // namespace surgeon::benchsupport

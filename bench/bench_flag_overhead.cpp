@@ -1,0 +1,106 @@
+// C1 -- "the run-time cost is merely that of periodically testing the flags"
+// (Section 4).
+//
+// Measures the steady-state execution cost of a compute-bound module in
+// three builds:
+//   original            -- untransformed,
+//   rp_outer_loop       -- reconfiguration point outside the hot loop
+//                          (the paper's recommended placement),
+//   rp_inner_loop       -- reconfiguration point inside the hot loop
+//                          (fast reaction, maximum flag-testing cost).
+//
+// Reported counters: executed VM instructions per logical round, and the
+// instruction overhead relative to the original. The *shape* to reproduce:
+// outer placement costs ~nothing; inner placement costs a bounded, constant
+// per-iteration tax.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+std::string worker(bool rp_inner, bool rp_outer) {
+  std::string inner_label = rp_inner ? "RPI:\n" : "";
+  std::string outer_label = rp_outer ? "RPO:\n" : "";
+  return R"(
+int acc = 0;
+
+void round(int n) {
+  while (n > 0) {
+)" + inner_label +
+         R"(    acc = acc + n;
+    n = n - 1;
+  }
+}
+
+void main() {
+  int r;
+  r = 0;
+  while (r < 200) {
+)" + outer_label +
+         R"(    round(100);
+    r = r + 1;
+  }
+}
+)";
+}
+
+void run_variant(benchmark::State& state,
+                 const std::shared_ptr<vm::CompiledProgram>& prog,
+                 double baseline_insns) {
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  state.counters["insns_total"] = static_cast<double>(insns);
+  state.counters["insns_per_round"] = static_cast<double>(insns) / 200.0;
+  if (baseline_insns > 0) {
+    state.counters["overhead_pct"] =
+        (static_cast<double>(insns) / baseline_insns - 1.0) * 100.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+}
+
+double baseline_insns() {
+  static double value = [] {
+    auto prog = benchsupport::compile_plain(worker(false, false));
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    return static_cast<double>(m.instructions_executed());
+  }();
+  return value;
+}
+
+void BM_Original(benchmark::State& state) {
+  auto prog = benchsupport::compile_plain(worker(false, false));
+  run_variant(state, prog, 0);
+}
+BENCHMARK(BM_Original);
+
+void BM_RpOuterLoop(benchmark::State& state) {
+  auto prog = benchsupport::compile_transformed(
+      worker(false, true), {cfg::ReconfigPointSpec{"RPO", {}, {}}});
+  run_variant(state, prog, baseline_insns());
+}
+BENCHMARK(BM_RpOuterLoop);
+
+void BM_RpInnerLoop(benchmark::State& state) {
+  auto prog = benchsupport::compile_transformed(
+      worker(true, false), {cfg::ReconfigPointSpec{"RPI", {}, {}}});
+  run_variant(state, prog, baseline_insns());
+}
+BENCHMARK(BM_RpInnerLoop);
+
+void BM_BothPoints(benchmark::State& state) {
+  auto prog = benchsupport::compile_transformed(
+      worker(true, true), {cfg::ReconfigPointSpec{"RPI", {}, {}},
+                           cfg::ReconfigPointSpec{"RPO", {}, {}}});
+  run_variant(state, prog, baseline_insns());
+}
+BENCHMARK(BM_BothPoints);
+
+}  // namespace

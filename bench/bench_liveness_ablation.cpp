@@ -1,0 +1,91 @@
+// A1 -- ablation of the live-variable refinement (our implementation of the
+// paper's "data-flow analysis could be used to determine the set of live
+// variables", Section 3).
+//
+// Compares abstract-state size and capture cost between default mode
+// (capture every parameter and local) and liveness mode (capture only live
+// variables) as the number of dead locals per frame grows. Shape: default
+// scales with declared state; liveness mode stays flat.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// Each activation record declares `dead` locals that are dead at RP (used
+/// only before the recursive call) and 2 live ones.
+std::string worker(int depth, int dead) {
+  std::string locals, uses;
+  for (int i = 0; i < dead; ++i) {
+    locals += "  int d" + std::to_string(i) + ";\n";
+    uses += "  d" + std::to_string(i) + " = n * " + std::to_string(i + 2) +
+            ";\n  scratch = scratch + d" + std::to_string(i) + ";\n";
+  }
+  return R"(
+int acc = 0;
+int scratch = 0;
+
+void work(int n, int *out) {
+)" + locals +
+         R"(  if (n <= 0) { *out = acc; return; }
+)" + uses +
+         R"(  work(n - 1, out);
+RP:
+  acc = acc + n;
+  *out = acc;
+}
+
+void main() {
+  int r;
+  int round;
+  round = 0;
+  while (round < 100000) {
+    work()" +
+         std::to_string(depth) + R"(, &r);
+    round = round + 1;
+  }
+}
+)";
+}
+
+void run_mode(benchmark::State& state, bool liveness) {
+  const int depth = static_cast<int>(state.range(0));
+  const int dead = static_cast<int>(state.range(1));
+  xform::XformOptions options;
+  options.use_liveness = liveness;
+  auto prog = benchsupport::compile_transformed(
+      worker(depth, dead), {cfg::ReconfigPointSpec{"RP", {}, {}}}, options);
+  std::size_t bytes = 0;
+  std::size_t values = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    (void)m.step(static_cast<std::uint64_t>(depth) * (10 + 4 * dead) + 60);
+    m.raise_signal();
+    (void)m.step(UINT64_MAX);
+    if (m.last_encoded_state().has_value()) {
+      bytes = m.last_encoded_state()->encode().size();
+      values = m.last_encoded_state()->value_count();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+  state.counters["state_values"] = static_cast<double>(values);
+}
+
+void BM_CaptureAllVariables(benchmark::State& state) {
+  run_mode(state, false);
+}
+BENCHMARK(BM_CaptureAllVariables)
+    ->ArgsProduct({{8, 64}, {0, 4, 16, 64}})
+    ->ArgNames({"depth", "dead_locals"});
+
+void BM_CaptureLiveVariablesOnly(benchmark::State& state) {
+  run_mode(state, true);
+}
+BENCHMARK(BM_CaptureLiveVariablesOnly)
+    ->ArgsProduct({{8, 64}, {0, 4, 16, 64}})
+    ->ArgNames({"depth", "dead_locals"});
+
+}  // namespace

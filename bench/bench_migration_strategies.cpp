@@ -1,0 +1,97 @@
+// C5 -- preparation strategies compared (Section 4 vs Theimer-Hayes,
+// ref [10]): prepare-at-compile-time (this paper) vs generate-and-compile a
+// migration program at migration time.
+//
+// Our migration-time latency is measured directly (virtual time of the
+// Figure-5 script on the counter app); the Theimer-Hayes generate+compile
+// step is added from the calibrated cost model. The compile-time cost of
+// our strategy (code growth) is reported alongside -- that is the price we
+// pay instead. Shape: ours wins at migration time by orders of magnitude;
+// theirs costs nothing until a migration happens.
+#include <benchmark/benchmark.h>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "baseline/migration_models.hpp"
+#include "bench_common.hpp"
+#include "cfg/parser.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+std::unique_ptr<app::Runtime> make_counter() {
+  auto rt = std::make_unique<app::Runtime>(23);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter", [](const cfg::ModuleSpec& spec) {
+    if (spec.name == "client") {
+      return app::samples::counter_client_source(100000);
+    }
+    return app::samples::counter_server_source();
+  });
+  return rt;
+}
+
+void BM_PreparedAtCompileTime(benchmark::State& state) {
+  double delay_us = 0;
+  double frames = 0;
+  for (auto _ : state) {
+    auto rt = make_counter();
+    rt->run_until([&] {
+      return rt->machine_of("client")->output().size() >= 5;
+    });
+    auto report = reconfig::move_module(*rt, "server", "sparc");
+    delay_us = static_cast<double>(report.total_delay());
+    frames = static_cast<double>(report.state_frames);
+  }
+  state.counters["virtual_delay_us"] = delay_us;
+  state.counters["stack_frames"] = frames;
+}
+BENCHMARK(BM_PreparedAtCompileTime);
+
+void BM_TheimerHayesModel(benchmark::State& state) {
+  // Same migration, plus the modelled migration-time generate+compile step.
+  baseline::MigrationCostModel model;
+  double delay_us = 0;
+  for (auto _ : state) {
+    auto rt = make_counter();
+    rt->run_until([&] {
+      return rt->machine_of("client")->output().size() >= 5;
+    });
+    auto program = rt->image_of("server")->program;  // before removal
+    auto report = reconfig::move_module(*rt, "server", "sparc");
+    auto preparation = baseline::theimer_hayes_preparation_us(
+        model, *program, report.state_frames);
+    delay_us = static_cast<double>(report.total_delay() + preparation);
+  }
+  state.counters["virtual_delay_us"] = delay_us;
+}
+BENCHMARK(BM_TheimerHayesModel);
+
+void BM_CompileTimePriceOfPreparation(benchmark::State& state) {
+  // What our strategy pays up front: transformation time and code growth.
+  auto points = cfg::parse_config(app::samples::counter_config_text())
+                    .find_module("server")
+                    ->reconfig_points;
+  auto original =
+      benchsupport::compile_plain(app::samples::counter_server_source());
+  std::shared_ptr<vm::CompiledProgram> transformed;
+  for (auto _ : state) {
+    transformed = benchsupport::compile_transformed(
+        app::samples::counter_server_source(), points);
+    benchmark::DoNotOptimize(transformed);
+  }
+  auto cost = baseline::preparation_cost(*original, *transformed);
+  state.counters["code_growth_x"] = cost.growth_factor();
+  state.counters["original_insns"] =
+      static_cast<double>(cost.original_insns);
+  state.counters["transformed_insns"] =
+      static_cast<double>(cost.transformed_insns);
+}
+BENCHMARK(BM_CompileTimePriceOfPreparation);
+
+}  // namespace

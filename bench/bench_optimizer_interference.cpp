@@ -1,0 +1,116 @@
+// C10 -- "By virtue of where a reconfiguration point is placed, it could
+// prohibit certain compiler optimizations such as code motion" (§4).
+//
+// A module whose hot loop contains a hoistable invariant expression is
+// built four ways:
+//
+//   original                 -- no reconfiguration, no optimization
+//   original + optimizer     -- the invariant hoists: the win to beat
+//   hot point + optimizer    -- the reconfiguration point's label sits in
+//                               the loop; the restore dispatch can enter
+//                               mid-body, so hoisting is off: NO win
+//   cold point + optimizer   -- the point is outside the loop; the hot
+//                               loop still hoists: full win, tiny delay cost
+//
+// The paper's advice follows directly: "it is preferable to place
+// reconfiguration points outside of computationally intensive loops, so
+// that the code executed most often can be optimized as much as possible."
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "opt/optimizer.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// placement: 0 = none, 1 = hot (inside the loop), 2 = cold (outside).
+std::string worker(int placement) {
+  std::string hot = placement == 1 ? "RP:\n" : "";
+  std::string cold = placement == 2 ? "RP:\n" : "";
+  return R"(
+int acc = 0;
+
+void round(int a, int b, int n) {
+  int i;
+  i = 0;
+  while (i < n) {
+)" + hot + R"(    acc = acc + a * b + (a - b) * (a + b);
+    i = i + 1;
+  }
+}
+
+void main() {
+  int r;
+  r = 0;
+  while (r < 100) {
+)" + cold +
+         R"(    round(6, 7, 200);
+    r = r + 1;
+  }
+}
+)";
+}
+
+std::shared_ptr<vm::CompiledProgram> build(int placement, bool optimize_it) {
+  minic::Program prog = minic::parse_program(worker(placement));
+  minic::analyze(prog);
+  opt::OptStats stats;
+  if (placement != 0) {
+    xform::prepare_module(prog, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  }
+  if (optimize_it) {
+    stats = opt::optimize(prog);
+    minic::analyze(prog);
+  }
+  auto compiled = std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+  return compiled;
+}
+
+void run_build(benchmark::State& state, int placement, bool optimize_it,
+               double baseline) {
+  auto prog = build(placement, optimize_it);
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  state.counters["insns_total"] = static_cast<double>(insns);
+  if (baseline > 0) {
+    state.counters["speedup_vs_unopt"] =
+        baseline / static_cast<double>(insns);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 20'000);
+}
+
+double unopt_insns() {
+  static double value = [] {
+    auto prog = build(0, false);
+    vm::Machine m(*prog, net::arch_vax());
+    benchsupport::run_to_done(m);
+    return static_cast<double>(m.instructions_executed());
+  }();
+  return value;
+}
+
+void BM_Original(benchmark::State& state) { run_build(state, 0, false, 0); }
+BENCHMARK(BM_Original);
+
+void BM_OriginalOptimized(benchmark::State& state) {
+  run_build(state, 0, true, unopt_insns());
+}
+BENCHMARK(BM_OriginalOptimized);
+
+void BM_HotPointOptimized(benchmark::State& state) {
+  run_build(state, 1, true, unopt_insns());
+}
+BENCHMARK(BM_HotPointOptimized);
+
+void BM_ColdPointOptimized(benchmark::State& state) {
+  run_build(state, 2, true, unopt_insns());
+}
+BENCHMARK(BM_ColdPointOptimized);
+
+}  // namespace

@@ -1,0 +1,115 @@
+// C9 -- procedure-level dynamic updating (Frieder & Segal, ref [4]) vs this
+// paper's reconfiguration points, on the update-completion axis §4 frames:
+//
+//   "programs written in a top-down style will be updated more successfully
+//    ... when changes to the program are restricted to the lower-level
+//    procedures, updates can be performed quickly, but when the higher-
+//    level procedures have changed, the update cannot complete until these
+//    procedures are inactive."
+//
+// Reported: virtual time (scheduling slices) until the update lands, for a
+// leaf-procedure change, a mid-level change, and a main change (which never
+// lands), against the reconfiguration-point replacement that installs any
+// of them in bounded time.
+#include <benchmark/benchmark.h>
+
+#include "baseline/procedure_update.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// layer 0 = leaf changed, 1 = mid changed, 2 = main changed.
+std::string version(int changed_layer, bool is_new) {
+  std::string leaf_body = (changed_layer == 0 && is_new) ? "x * 3" : "x * 2";
+  std::string mid_body =
+      (changed_layer == 1 && is_new) ? "leaf(x) + 2" : "leaf(x) + 1";
+  std::string main_start = (changed_layer == 2 && is_new) ? "5" : "0";
+  return R"(
+int out = 0;
+int leaf(int x) { return )" +
+         leaf_body + R"(; }
+int mid(int x) { return )" +
+         mid_body + R"(; }
+void main() {
+  int i;
+  i = )" + main_start +
+         R"(;
+  while (1) {
+    out = mid(i);
+    i = i + 1;
+    sleep(1);
+  }
+}
+)";
+}
+
+void BM_ProcedureUpdate(benchmark::State& state) {
+  const int layer = static_cast<int>(state.range(0));
+  auto old_prog = benchsupport::compile_plain(version(layer, false));
+  auto new_prog = benchsupport::compile_plain(version(layer, true));
+  double slices_to_complete = 0;
+  double completed = 0;
+  for (auto _ : state) {
+    vm::Machine m(*old_prog, net::arch_vax());
+    baseline::ProcedureUpdater updater(m, *old_prog, new_prog);
+    std::size_t slices = 0;
+    while (!updater.complete() && slices < 2000) {
+      (void)m.step(50);
+      (void)updater.step();
+      ++slices;
+    }
+    slices_to_complete = static_cast<double>(slices);
+    completed = updater.complete() ? 1.0 : 0.0;
+  }
+  state.counters["slices_to_complete"] = slices_to_complete;
+  state.counters["completed"] = completed;
+}
+BENCHMARK(BM_ProcedureUpdate)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"changed_layer"});
+
+/// The same update installed through a reconfiguration point: bounded time
+/// regardless of which layer changed, because the whole module is replaced
+/// with its state.
+void BM_ReconfigPointUpdate(benchmark::State& state) {
+  const int layer = static_cast<int>(state.range(0));
+  // Add a reconfiguration point to both versions (in main's loop).
+  auto with_rp = [&](bool is_new) {
+    std::string src = version(layer, is_new);
+    auto pos = src.find("    out = mid(i);");
+    src.insert(pos, "RP:\n");
+    return src;
+  };
+  auto old_prog = benchsupport::compile_transformed(
+      with_rp(false), {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  auto new_prog = benchsupport::compile_transformed(
+      with_rp(true), {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  double slices_to_complete = 0;
+  for (auto _ : state) {
+    vm::Machine m(*old_prog, net::arch_vax());
+    (void)m.step(100);
+    m.raise_signal();
+    std::size_t slices = 0;
+    while (!m.last_encoded_state().has_value() && slices < 2000) {
+      (void)m.step(50);
+      ++slices;
+    }
+    vm::Machine clone(*new_prog, net::arch_sparc());
+    clone.set_standalone_status("clone");
+    clone.inject_incoming_state(*m.last_encoded_state());
+    while ((clone.decode_count() == 0 ||
+            clone.restore_frames_remaining() != 0) &&
+           slices < 2000) {
+      (void)clone.step(50);
+      ++slices;
+    }
+    slices_to_complete = static_cast<double>(slices);
+  }
+  state.counters["slices_to_complete"] = slices_to_complete;
+  state.counters["completed"] = 1.0;
+}
+BENCHMARK(BM_ReconfigPointUpdate)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"changed_layer"});
+
+}  // namespace

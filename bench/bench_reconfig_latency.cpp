@@ -1,0 +1,152 @@
+// C3 -- reconfiguration delay vs reconfiguration-point placement
+// (Section 4: points "must be located within the most frequently executed
+// code" for quick response; placement is a responsiveness/overhead trade).
+//
+// Measures VIRTUAL time from the reconfiguration request to completion for:
+//   hot placement    -- point inside the per-message service path,
+//   cold placement   -- point on a path taken once every k messages,
+//   quiescence       -- no participation: wait for the module to go idle
+//                       (the ref-[9] baseline), which here must also wait
+//                       out the k-message service bursts.
+//
+// The wall-clock numbers of the benchmark runner are irrelevant here; the
+// meaningful outputs are the reported virtual-microsecond counters.
+#include <benchmark/benchmark.h>
+
+#include "app/runtime.hpp"
+#include "baseline/quiescence.hpp"
+#include "bench_common.hpp"
+#include "cfg/parser.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+constexpr const char* kConfig = R"(
+module feeder {
+  define interface out pattern = {integer} ::
+}
+module worker {
+  use interface in pattern = {integer} ::
+  reconfiguration point = {RP} ::
+}
+application app {
+  instance feeder on "vax" ::
+  instance worker on "vax" ::
+  bind "feeder out" "worker in" ::
+}
+)";
+
+std::string feeder_source() {
+  return R"(
+void main() {
+  int i;
+  i = 0;
+  while (1) {
+    mh_write("out", "i", i);
+    i = i + 1;
+    sleep(1);
+  }
+}
+)";
+}
+
+/// hot: RP visited for every message (inside the service procedure).
+/// cold: RP visited only between bursts of `stride` messages.
+/// Both block on mh_read INSIDE the service procedure, so the module is
+/// never quiescent at stack depth 1 -- the quiescence baseline must wait
+/// forever, while the participating module reaches RP on schedule.
+std::string worker_source(bool hot, int stride) {
+  if (hot) {
+    return R"(
+int handled = 0;
+void serve() {
+  int x;
+  mh_read("in", "i", &x);
+RP:
+  handled = handled + 1;
+}
+void main() {
+  while (1) {
+    serve();
+  }
+}
+)";
+  }
+  return R"(
+int handled = 0;
+void serve(int k) {
+  int x;
+  while (k > 0) {
+    mh_read("in", "i", &x);
+    handled = handled + 1;
+    k = k - 1;
+  }
+}
+void main() {
+  while (1) {
+    serve()" +
+         std::to_string(stride) + R"();
+RP:
+    ;
+  }
+}
+)";
+}
+
+std::unique_ptr<app::Runtime> make_app(bool hot, int stride) {
+  auto rt = std::make_unique<app::Runtime>(17);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config = cfg::parse_config(kConfig);
+  rt->load_application(config, "app", [&](const cfg::ModuleSpec& spec) {
+    if (spec.name == "feeder") return feeder_source();
+    return worker_source(hot, stride);
+  });
+  rt->run_for(5'000'000);
+  return rt;
+}
+
+void BM_HotPlacement(benchmark::State& state) {
+  double delay_us = 0;
+  for (auto _ : state) {
+    auto rt = make_app(true, 0);
+    auto report = reconfig::move_module(*rt, "worker", "sparc");
+    delay_us = static_cast<double>(report.total_delay());
+  }
+  state.counters["virtual_delay_us"] = delay_us;
+}
+BENCHMARK(BM_HotPlacement);
+
+void BM_ColdPlacement(benchmark::State& state) {
+  const int stride = static_cast<int>(state.range(0));
+  double delay_us = 0;
+  for (auto _ : state) {
+    auto rt = make_app(false, stride);
+    auto report = reconfig::move_module(*rt, "worker", "sparc");
+    delay_us = static_cast<double>(report.total_delay());
+  }
+  state.counters["virtual_delay_us"] = delay_us;
+}
+BENCHMARK(BM_ColdPlacement)->Arg(4)->Arg(16)->Arg(64)->ArgNames({"stride"});
+
+void BM_QuiescenceBaseline(benchmark::State& state) {
+  const int stride = static_cast<int>(state.range(0));
+  double delay_us = 0;
+  double succeeded = 0;
+  for (auto _ : state) {
+    auto rt = make_app(false, stride);
+    baseline::QuiescentReplaceOptions options;
+    options.machine = "sparc";
+    options.quiesce_timeout_us = 120'000'000;
+    auto report = baseline::quiescent_replace(*rt, "worker", options);
+    delay_us = static_cast<double>(report.total_delay());
+    succeeded = report.quiesced ? 1.0 : 0.0;
+  }
+  state.counters["virtual_delay_us"] = delay_us;
+  state.counters["succeeded"] = succeeded;
+}
+BENCHMARK(BM_QuiescenceBaseline)->Arg(4)->Arg(16)->ArgNames({"stride"});
+
+}  // namespace

@@ -1,0 +1,87 @@
+// C6 -- throughput of the abstract state format (Section 1.2): encode and
+// decode rates for state buffers of growing size, including heap segments.
+// The format is what lets modules cross heterogeneous hosts; its cost must
+// be linear and small next to 1993-era (and simulated) network latencies.
+#include <benchmark/benchmark.h>
+
+#include "serialize/state.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+ser::StateBuffer make_state(int frames, int values_per_frame,
+                            int heap_objects) {
+  support::SplitMix64 rng(99);
+  ser::StateBuffer sb;
+  for (int f = 0; f < frames; ++f) {
+    ser::StateFrame frame;
+    for (int v = 0; v < values_per_frame; ++v) {
+      switch (rng.next_below(3)) {
+        case 0:
+          frame.values.emplace_back(
+              static_cast<std::int64_t>(rng.next()));
+          break;
+        case 1:
+          frame.values.emplace_back(rng.next_double());
+          break;
+        default:
+          frame.values.emplace_back(std::string("value-") +
+                                    std::to_string(rng.next_below(1000)));
+      }
+    }
+    sb.push_frame(std::move(frame));
+  }
+  for (int h = 1; h <= heap_objects; ++h) {
+    std::vector<ser::Value> cells;
+    for (int c = 0; c < 16; ++c) {
+      cells.emplace_back(static_cast<std::int64_t>(rng.next()));
+    }
+    sb.put_heap_object(static_cast<std::uint64_t>(h), std::move(cells));
+  }
+  return sb;
+}
+
+void BM_Encode(benchmark::State& state) {
+  auto sb = make_state(static_cast<int>(state.range(0)), 8,
+                       static_cast<int>(state.range(1)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = sb.encode();
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes));
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Encode)
+    ->ArgsProduct({{1, 16, 256, 4096}, {0, 8}})
+    ->ArgNames({"frames", "heap_objs"});
+
+void BM_Decode(benchmark::State& state) {
+  auto sb = make_state(static_cast<int>(state.range(0)), 8,
+                       static_cast<int>(state.range(1)));
+  auto encoded = sb.encode();
+  for (auto _ : state) {
+    auto decoded = ser::StateBuffer::decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * encoded.size()));
+}
+BENCHMARK(BM_Decode)
+    ->ArgsProduct({{1, 16, 256, 4096}, {0, 8}})
+    ->ArgNames({"frames", "heap_objs"});
+
+void BM_RoundTrip(benchmark::State& state) {
+  auto sb = make_state(static_cast<int>(state.range(0)), 8, 4);
+  for (auto _ : state) {
+    auto decoded = ser::StateBuffer::decode(sb.encode());
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RoundTrip)->Arg(16)->Arg(256)->ArgNames({"frames"});
+
+}  // namespace

@@ -1,0 +1,97 @@
+// C7 -- cost and output size of the Section-3 transformation itself:
+// throughput of prepare_module over programs of growing size and numbers of
+// reconfiguration points, and the resulting code growth. Shape: linear in
+// program size; growth bounded by a small constant factor, concentrated in
+// the instrumented functions.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "minic/printer.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// A synthetic module with `chains` parallel call chains of depth 3, of
+/// which `instrumented` carry a reconfiguration point in the leaf.
+std::string synthetic(int chains, int instrumented) {
+  std::string src = "int acc = 0;\n";
+  for (int c = 0; c < chains; ++c) {
+    std::string id = std::to_string(c);
+    bool has_point = c < instrumented;
+    src += "void leaf" + id + "(int n, int *out) {\n";
+    if (has_point) src += "RP" + id + ":\n";
+    src += "  acc = acc + n;\n  *out = acc;\n}\n";
+    src += "void mid" + id + "(int n, int *out) {\n  leaf" + id +
+           "(n, out);\n}\n";
+    src += "void top" + id + "(int n, int *out) {\n  mid" + id +
+           "(n, out);\n}\n";
+  }
+  src += "void main() {\n  int r;\n  r = 0;\n";
+  for (int c = 0; c < chains; ++c) {
+    src += "  top" + std::to_string(c) + "(" + std::to_string(c) + ", &r);\n";
+  }
+  src += "  print(r);\n}\n";
+  return src;
+}
+
+std::vector<cfg::ReconfigPointSpec> points_for(int instrumented) {
+  std::vector<cfg::ReconfigPointSpec> points;
+  for (int c = 0; c < instrumented; ++c) {
+    points.push_back(
+        cfg::ReconfigPointSpec{"RP" + std::to_string(c), {}, {}});
+  }
+  return points;
+}
+
+void BM_Transform(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int instrumented = static_cast<int>(state.range(1));
+  std::string src = synthetic(chains, instrumented);
+  auto points = points_for(instrumented);
+
+  std::size_t source_lines =
+      static_cast<std::size_t>(std::count(src.begin(), src.end(), '\n'));
+  std::size_t out_lines = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    minic::Program prog = minic::parse_program(src);
+    minic::analyze(prog);
+    state.ResumeTiming();
+    auto result = xform::prepare_module(prog, points);
+    benchmark::DoNotOptimize(result);
+    state.PauseTiming();
+    std::string out = minic::print_program(prog);
+    out_lines = static_cast<std::size_t>(
+        std::count(out.begin(), out.end(), '\n'));
+    state.ResumeTiming();
+  }
+  state.counters["src_lines"] = static_cast<double>(source_lines);
+  state.counters["out_lines"] = static_cast<double>(out_lines);
+  state.counters["growth_x"] =
+      static_cast<double>(out_lines) / static_cast<double>(source_lines);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * source_lines));
+}
+BENCHMARK(BM_Transform)
+    ->ArgsProduct({{2, 8, 32, 128}, {1}})
+    ->ArgsProduct({{32}, {1, 4, 16, 32}})
+    ->ArgNames({"chains", "points"});
+
+void BM_ParseAnalyzeCompileBaseline(benchmark::State& state) {
+  // Front-end cost without the transformation, for reference.
+  const int chains = static_cast<int>(state.range(0));
+  std::string src = synthetic(chains, 0);
+  for (auto _ : state) {
+    minic::Program prog = minic::parse_program(src);
+    minic::analyze(prog);
+    auto compiled = vm::compile(prog);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_ParseAnalyzeCompileBaseline)->Arg(2)->Arg(32)->Arg(128)
+    ->ArgNames({"chains"});
+
+}  // namespace

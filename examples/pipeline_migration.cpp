@@ -1,0 +1,84 @@
+// Migration under load: a three-stage stream pipeline whose middle stage is
+// moved between machines while traffic flows. Demonstrates the queue
+// capture ("cap"/"rmq") commands of Figure 5: queued and in-flight messages
+// follow the module, and the stage's sequence counter never gaps.
+//
+//   $ ./pipeline_migration
+#include <iostream>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "reconfig/scripts.hpp"
+
+int main() {
+  using namespace surgeon;
+
+  const int items = 64;
+  app::Runtime rt(/*seed=*/5);
+  rt.add_machine("vax", net::arch_vax());
+  rt.add_machine("sparc", net::arch_sparc());
+  net::LatencyModel model;
+  model.local_us = 15;
+  model.remote_us = 2500;
+  model.remote_jitter_us = 500;
+  rt.simulator().set_latency_model(model);
+
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::pipeline_config_text());
+  rt.load_application(config, "pipeline", [&](const cfg::ModuleSpec& spec) {
+    if (spec.name == "feeder") return app::samples::pipeline_source_source(items);
+    if (spec.name == "filter") return app::samples::pipeline_filter_source();
+    return app::samples::pipeline_sink_source();
+  });
+
+  auto sink_lines = [&] { return rt.machine_of("sink")->output().size(); };
+
+  std::string filter = "filter";
+  std::size_t migrations = 0;
+  // Migrate the filter back and forth every ~16 items.
+  for (std::size_t threshold : {16u, 32u, 48u}) {
+    rt.run_until([&] { return sink_lines() >= threshold; });
+    const std::string target =
+        rt.bus().module_info(filter).machine == "vax" ? "sparc" : "vax";
+    auto report = reconfig::move_module(rt, filter, target);
+    ++migrations;
+    std::cout << "migration " << migrations << ": " << report.old_instance
+              << " -> " << report.new_instance << " on " << target << " ("
+              << report.queued_messages_moved << " queued messages moved, "
+              << report.state_bytes << " state bytes)\n";
+    filter = report.new_instance;
+  }
+
+  rt.run_until([&] { return sink_lines() >= static_cast<std::size_t>(items); });
+  rt.check_faults();
+
+  // Verify the stream: every item exactly once, sequence numbers unbroken.
+  const auto& lines = rt.machine_of("sink")->output();
+  bool ok = lines.size() == static_cast<std::size_t>(items);
+  std::vector<bool> seen_value(static_cast<std::size_t>(items) + 1, false);
+  std::vector<bool> seen_seq(static_cast<std::size_t>(items) + 1, false);
+  for (const auto& line : lines) {
+    int value = 0, seq = 0;
+    if (sscanf(line.c_str(), "item %d %d", &value, &seq) == 2 &&
+        value % 2 == 0 && value / 2 >= 1 && value / 2 <= items && seq >= 1 &&
+        seq <= items) {
+      seen_value[static_cast<std::size_t>(value / 2)] = true;
+      seen_seq[static_cast<std::size_t>(seq)] = true;
+    } else {
+      ok = false;
+    }
+  }
+  for (int i = 1; i <= items; ++i) {
+    ok = ok && seen_value[static_cast<std::size_t>(i)] &&
+         seen_seq[static_cast<std::size_t>(i)];
+  }
+  std::cout << "delivered " << lines.size() << "/" << items
+            << " items across " << migrations << " migrations: "
+            << (ok ? "NO LOSS, NO SEQUENCE GAP" : "STREAM DAMAGED") << "\n";
+  std::cout << "virtual time: " << rt.now() / 1'000'000.0 << " s, "
+            << rt.bus().stats().messages_delivered
+            << " messages delivered, "
+            << rt.bus().stats().messages_dropped_unbound << " dropped\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,219 @@
+#include "app/runtime.hpp"
+
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "opt/optimizer.hpp"
+
+namespace surgeon::app {
+
+using support::BusError;
+
+Runtime::Runtime(std::uint64_t seed) : sim_(seed), bus_(sim_), seed_(seed) {
+  bus_.set_wake_callback([this](const std::string& module) { wake(module); });
+}
+
+void Runtime::wake(const std::string& instance) {
+  auto it = processes_.find(instance);
+  // A sleeping module is not disturbed by message arrival; only its timer
+  // wakes it (sleep() already completed inside the VM).
+  if (it != processes_.end() && !it->second.sleeping) {
+    it->second.waiting = false;
+  }
+}
+
+void Runtime::install_module(const std::string& instance, ModuleImage image,
+                             const std::string& machine,
+                             const std::string& status) {
+  bus::ModuleInfo info;
+  info.name = instance;
+  info.machine = !machine.empty()      ? machine
+                 : !image.spec.machine.empty() ? image.spec.machine
+                                               : std::string{};
+  if (info.machine.empty()) {
+    throw BusError("module " + instance + " has no machine assignment");
+  }
+  info.status = status;
+  info.source = image.spec.source;
+  info.interfaces = image.spec.interfaces;
+  bus_.add_module(std::move(info));
+  images_[instance] = std::move(image);
+}
+
+void Runtime::start_module(const std::string& instance) {
+  auto img = images_.find(instance);
+  if (img == images_.end()) {
+    throw BusError("start_module: unknown instance " + instance);
+  }
+  if (processes_.contains(instance)) {
+    throw BusError("start_module: " + instance + " is already running");
+  }
+  const auto& info = bus_.module_info(instance);
+  const net::Machine& host = sim_.machine(info.machine);
+  ProcessRec rec;
+  rec.client = std::make_unique<bus::Client>(bus_, instance);
+  rec.machine = std::make_unique<vm::Machine>(*img->second.program, host.arch,
+                                              seed_ ^ std::hash<std::string>{}(
+                                                          instance));
+  rec.machine->attach_client(rec.client.get());
+  processes_[instance] = std::move(rec);
+}
+
+void Runtime::stop_module(const std::string& instance) {
+  processes_.erase(instance);
+}
+
+void Runtime::remove_module(const std::string& instance) {
+  processes_.erase(instance);
+  images_.erase(instance);
+  if (bus_.has_module(instance)) bus_.remove_module(instance);
+}
+
+bool Runtime::module_running(const std::string& instance) const {
+  auto it = processes_.find(instance);
+  return it != processes_.end() && !it->second.finished;
+}
+
+bool Runtime::module_finished(const std::string& instance) const {
+  auto it = processes_.find(instance);
+  return it != processes_.end() && it->second.finished;
+}
+
+vm::Machine* Runtime::machine_of(const std::string& instance) {
+  auto it = processes_.find(instance);
+  return it == processes_.end() ? nullptr : it->second.machine.get();
+}
+
+const ModuleImage* Runtime::image_of(const std::string& instance) const {
+  auto it = images_.find(instance);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+std::string Runtime::fresh_instance_name(const std::string& base) {
+  // Strip a previous @n suffix so repeated reconfigurations of the same
+  // logical module stay readable (compute -> compute@2 -> compute@3).
+  std::string stem = base;
+  if (auto pos = stem.rfind('@'); pos != std::string::npos) {
+    stem = stem.substr(0, pos);
+  }
+  int n = ++name_counters_[stem];
+  std::string name = stem + "@" + std::to_string(n + 1);
+  while (bus_.has_module(name) || images_.contains(name)) {
+    n = ++name_counters_[stem];
+    name = stem + "@" + std::to_string(n + 1);
+  }
+  return name;
+}
+
+void Runtime::load_application(const cfg::ConfigFile& config,
+                               const std::string& application,
+                               const SourceProvider& source_of,
+                               const xform::XformOptions& xform_options,
+                               bool optimize) {
+  const cfg::ApplicationSpec* app = config.find_application(application);
+  if (app == nullptr) {
+    throw BusError("configuration has no application '" + application + "'");
+  }
+  for (const auto& inst : app->instances) {
+    const cfg::ModuleSpec* spec = config.find_module(inst.module);
+    if (spec == nullptr) {
+      throw BusError("application instantiates unknown module '" +
+                     inst.module + "'");
+    }
+    minic::Program prog = minic::parse_program(source_of(*spec));
+    minic::analyze(prog);
+    if (!spec->reconfig_points.empty()) {
+      xform::prepare_module(prog, spec->reconfig_points, xform_options);
+    }
+    if (optimize) {
+      // The optimizer models the machine's optimizing compiler: it runs on
+      // whatever source the module ships with, transformed or not.
+      (void)opt::optimize(prog);
+      minic::analyze(prog);
+    }
+    ModuleImage image;
+    image.spec = *spec;
+    image.program =
+        std::make_shared<const vm::CompiledProgram>(vm::compile(prog));
+    install_module(inst.instance_name(), std::move(image), inst.machine,
+                   "new");
+    start_module(inst.instance_name());
+  }
+  for (const auto& b : app->binds) {
+    bus_.add_binding(b.a, b.b);
+  }
+}
+
+bool Runtime::step() {
+  bool ran = false;
+  // Snapshot names first: a module's slice can add/remove modules only via
+  // scripts between rounds, but bus wakes mutate flags freely.
+  for (auto& [name, rec] : processes_) {
+    if (rec.finished || rec.waiting) continue;
+    vm::StepResult r = rec.machine->step(slice_insns_);
+    ran = true;
+    if (insn_cost_ns_ != 0 && r.instructions > 0) {
+      sim_.advance_time(r.instructions * insn_cost_ns_ / 1000);
+    }
+    switch (r.state) {
+      case vm::RunState::kSleeping: {
+        rec.waiting = true;
+        rec.sleeping = true;
+        std::string instance = name;
+        sim_.schedule_after(r.sleep_us, [this, instance] {
+          auto it = processes_.find(instance);
+          if (it != processes_.end()) {
+            it->second.sleeping = false;
+            it->second.waiting = false;
+          }
+        });
+        break;
+      }
+      case vm::RunState::kBlockedRead:
+      case vm::RunState::kBlockedDecode:
+        rec.waiting = true;
+        break;
+      case vm::RunState::kDone:
+        rec.finished = true;
+        break;
+      case vm::RunState::kFault:
+        rec.finished = true;
+        if (!first_fault_.has_value()) {
+          first_fault_ = {name, rec.machine->fault_message()};
+        }
+        break;
+      case vm::RunState::kRunnable:
+        break;  // slice exhausted; runs again next round
+    }
+  }
+  if (ran) return true;
+  return sim_.step();
+}
+
+bool Runtime::run_until(const std::function<bool()>& pred,
+                        std::uint64_t max_rounds) {
+  for (std::uint64_t i = 0; i < max_rounds; ++i) {
+    if (pred()) return true;
+    if (!step()) return pred();
+  }
+  return pred();
+}
+
+void Runtime::run_for(net::SimTime duration_us, std::uint64_t max_rounds) {
+  net::SimTime deadline = sim_.now() + duration_us;
+  (void)run_until([&] { return sim_.now() >= deadline; }, max_rounds);
+}
+
+void Runtime::run_until_idle(std::uint64_t max_rounds) {
+  for (std::uint64_t i = 0; i < max_rounds; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Runtime::check_faults() const {
+  if (first_fault_.has_value()) {
+    throw BusError("module '" + first_fault_->first +
+                   "' faulted: " + first_fault_->second);
+  }
+}
+
+}  // namespace surgeon::app

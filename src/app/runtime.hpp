@@ -1,0 +1,158 @@
+// The application runtime: builds a distributed application from its
+// configuration specification and schedules its modules cooperatively over
+// the simulated network.
+//
+// Each module instance is a VM executing (transformed) MiniC bytecode,
+// attached to the bus under its instance name. The scheduler interleaves
+// runnable modules with simulator events; virtual time advances through
+// message latencies, sleeps, and (optionally) a per-instruction compute
+// cost. Everything is deterministic for a given seed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "bus/client.hpp"
+#include "cfg/spec.hpp"
+#include "net/sim.hpp"
+#include "vm/compiler.hpp"
+#include "vm/machine.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::app {
+
+/// Everything needed to instantiate (or clone) a module.
+struct ModuleImage {
+  cfg::ModuleSpec spec;
+  std::shared_ptr<const vm::CompiledProgram> program;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(std::uint64_t seed = 1);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] net::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] bus::Bus& bus() noexcept { return bus_; }
+  [[nodiscard]] net::SimTime now() const noexcept { return sim_.now(); }
+
+  void add_machine(const std::string& name, net::Arch arch) {
+    sim_.add_machine(name, std::move(arch));
+  }
+
+  /// Virtual nanoseconds charged per executed VM instruction (0 = pure
+  /// discrete-event time; computation is instantaneous).
+  void set_instruction_cost_ns(std::uint64_t ns) noexcept {
+    insn_cost_ns_ = ns;
+  }
+  /// Instructions a module may run per scheduling slice.
+  void set_slice(std::uint64_t insns) noexcept { slice_insns_ = insns; }
+
+  // --- module lifecycle -----------------------------------------------------
+
+  /// Registers a module instance with the bus (not yet running).
+  /// `machine` overrides the spec's MACHINE attribute when non-empty.
+  void install_module(const std::string& instance, ModuleImage image,
+                      const std::string& machine, const std::string& status);
+  /// Creates the module's VM and makes it schedulable (mh_chg_obj "add").
+  void start_module(const std::string& instance);
+  /// Stops scheduling the module; the bus registration remains.
+  void stop_module(const std::string& instance);
+  /// Stops and removes the module and its bindings (mh_chg_obj "del").
+  void remove_module(const std::string& instance);
+
+  [[nodiscard]] bool module_running(const std::string& instance) const;
+  [[nodiscard]] bool module_finished(const std::string& instance) const;
+  /// Direct access to a running module's VM (tests and benchmarks); null if
+  /// the instance has no process.
+  [[nodiscard]] vm::Machine* machine_of(const std::string& instance);
+  [[nodiscard]] const ModuleImage* image_of(const std::string& instance) const;
+
+  /// Unique instance name derived from a base module name ("compute@2").
+  [[nodiscard]] std::string fresh_instance_name(const std::string& base);
+
+  // --- whole applications ----------------------------------------------------
+
+  using SourceProvider =
+      std::function<std::string(const cfg::ModuleSpec& spec)>;
+
+  /// Builds an application from its configuration: for every instance,
+  /// fetches the module's MiniC source, transforms it when the module
+  /// declares reconfiguration points, optionally optimizes it (constant
+  /// folding + loop-invariant hoisting; see surgeon::opt), compiles,
+  /// installs, and starts it; then applies the bindings. Instance names
+  /// equal module names (the configuration language instantiates each
+  /// module once, as in Figure 2).
+  void load_application(const cfg::ConfigFile& config,
+                        const std::string& application,
+                        const SourceProvider& source_of,
+                        const xform::XformOptions& xform_options = {},
+                        bool optimize = false);
+
+  // --- scheduling -------------------------------------------------------------
+
+  /// One scheduling round: runs every runnable module for a slice, then (if
+  /// nothing ran) advances the simulator by one event. Returns false when
+  /// the whole system is idle (nothing runnable, no pending events).
+  bool step();
+
+  /// Runs until `pred()` is true. Returns true on success, false when the
+  /// system went idle or `max_rounds` elapsed first.
+  bool run_until(const std::function<bool()>& pred,
+                 std::uint64_t max_rounds = 1'000'000);
+
+  /// Runs until virtual time reaches now()+duration_us (or idle).
+  void run_for(net::SimTime duration_us, std::uint64_t max_rounds = 1'000'000);
+
+  /// Runs until nothing can make progress.
+  void run_until_idle(std::uint64_t max_rounds = 1'000'000);
+
+  /// Starts recording every bus event (messages, signals, state movement,
+  /// bind-table changes, module lifecycle) with virtual timestamps.
+  void enable_tracing() {
+    bus_.set_trace([this](const bus::TraceEvent& ev) {
+      trace_.push_back(ev);
+    });
+  }
+  [[nodiscard]] const std::vector<bus::TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+
+  /// A module faulted during this run? (instance, message) of the first.
+  [[nodiscard]] const std::optional<std::pair<std::string, std::string>>&
+  first_fault() const noexcept {
+    return first_fault_;
+  }
+  /// Throws BusError if any module has faulted (call from tests).
+  void check_faults() const;
+
+ private:
+  struct ProcessRec {
+    std::unique_ptr<bus::Client> client;
+    std::unique_ptr<vm::Machine> machine;
+    bool waiting = false;   // blocked or sleeping
+    bool sleeping = false;  // waiting on a timer: only the timer may wake it
+    bool finished = false;  // done or fault
+  };
+
+  void wake(const std::string& instance);
+
+  net::Simulator sim_;
+  bus::Bus bus_;
+  std::map<std::string, ModuleImage> images_;
+  std::map<std::string, ProcessRec> processes_;
+  std::map<std::string, int> name_counters_;
+  std::uint64_t slice_insns_ = 10'000;
+  std::uint64_t insn_cost_ns_ = 0;
+  std::uint64_t seed_ = 1;
+  std::optional<std::pair<std::string, std::string>> first_fault_;
+  std::vector<bus::TraceEvent> trace_;
+};
+
+}  // namespace surgeon::app

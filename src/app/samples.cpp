@@ -1,0 +1,267 @@
+#include "app/samples.hpp"
+
+#include "support/diag.hpp"
+
+namespace surgeon::app::samples {
+
+// --- Monitor (the paper's example) -------------------------------------------
+
+std::string monitor_config_text() {
+  return R"cfg(
+/* Figure 2: configuration of the Monitor application. */
+module display {
+  source = "./display.mc" ::
+  client interface temper pattern = {integer} accepts = {float} ::
+}
+
+module compute {
+  source = "./compute.mc" ::
+  server interface display pattern = {integer} returns = {float} ::
+  use interface sensor pattern = {integer} ::
+  reconfiguration point = {R} vars = {num, n, *rp} ::
+}
+
+module sensor {
+  source = "./sensor.mc" ::
+  define interface out pattern = {integer} ::
+}
+
+application monitor {
+  instance display on "vax" ::
+  instance compute on "vax" ::
+  instance sensor on "sparc" ::
+  bind "display temper" "compute display" ::
+  bind "sensor out" "compute sensor" ::
+}
+)cfg";
+}
+
+std::string monitor_compute_source() {
+  // Figure 3, in MiniC syntax: averages n temperature values recursively;
+  // the reconfiguration point R sits inside the recursive procedure, so
+  // moving the module mid-computation must capture the AR stack.
+  return R"mc(
+void compute(int num, int n, float *rp)
+{
+  int temper;
+  if (n <= 0) { *rp = 0.0; return; }
+  compute(num, n - 1, rp);
+R:
+  mh_read("sensor", "i", &temper);
+  *rp = *rp + (float)temper / (float)num;
+}
+
+void main()
+{
+  int n;
+  float response;
+  while (1) {
+    /* handle requests for updated temperature */
+    while (mh_query_ifmsgs("display")) {
+      mh_read("display", "i", &n);
+      compute(n, n, &response);
+      mh_write("display", "F", response);
+    }
+    /* keep sensor buffer clear */
+    if (mh_query_ifmsgs("sensor")) {
+      compute(1, 1, &response);
+    }
+    sleep(2);
+  }
+}
+)mc";
+}
+
+std::string monitor_display_source() {
+  return R"mc(
+void main()
+{
+  int n;
+  float avg;
+  n = 4;
+  while (1) {
+    mh_write("temper", "i", n);
+    mh_read("temper", "F", &avg);
+    print("avg", avg);
+    sleep(2);
+  }
+}
+)mc";
+}
+
+std::string monitor_sensor_source() {
+  return R"mc(
+void main()
+{
+  int t;
+  while (1) {
+    t = 15 + random(10);
+    mh_write("out", "i", t);
+    sleep(1);
+  }
+}
+)mc";
+}
+
+std::string monitor_source_of(const cfg::ModuleSpec& spec) {
+  if (spec.name == "display") return monitor_display_source();
+  if (spec.name == "compute") return monitor_compute_source();
+  if (spec.name == "sensor") return monitor_sensor_source();
+  throw support::BusError("no source for module '" + spec.name + "'");
+}
+
+// --- Counter (deterministic fidelity fixture) --------------------------------
+
+std::string counter_config_text() {
+  return R"cfg(
+module client {
+  source = "./client.mc" ::
+  client interface svc pattern = {integer} accepts = {integer} ::
+}
+
+module server {
+  source = "./server.mc" ::
+  server interface req pattern = {integer} returns = {integer} ::
+  reconfiguration point = {RP} ::
+}
+
+application counter {
+  instance client on "vax" ::
+  instance server on "vax" ::
+  bind "client svc" "server req" ::
+}
+)cfg";
+}
+
+std::string counter_client_source(int requests) {
+  return R"mc(
+void main()
+{
+  int i;
+  int reply;
+  i = 1;
+  while (i <= )mc" +
+         std::to_string(requests) + R"mc() {
+    mh_write("svc", "i", i);
+    mh_read("svc", "i", &reply);
+    print("reply", i, reply);
+    sleep(1);
+    i = i + 1;
+  }
+  print("client-done");
+}
+)mc";
+}
+
+std::string counter_server_source() {
+  // total accumulates across requests (static data area); bump recurses so
+  // the reconfiguration point RP sits above a non-trivial AR stack.
+  return R"mc(
+int total = 0;
+
+void bump(int k, int *out)
+{
+  if (k <= 0) { return; }
+  bump(k - 1, out);
+RP:
+  total = total + k;
+  *out = total;
+}
+
+void main()
+{
+  int k;
+  int result;
+  while (1) {
+    mh_read("req", "i", &k);
+    bump(k, &result);
+    mh_write("req", "i", result);
+  }
+}
+)mc";
+}
+
+// --- Pipeline (queue preservation under migration) ----------------------------
+
+std::string pipeline_config_text() {
+  return R"cfg(
+module feeder {
+  source = "./feeder.mc" ::
+  define interface out pattern = {integer} ::
+}
+
+module filter {
+  source = "./filter.mc" ::
+  use interface in pattern = {integer} ::
+  define interface out pattern = {integer, integer} ::
+  reconfiguration point = {RP} ::
+}
+
+module sink {
+  source = "./sink.mc" ::
+  use interface in pattern = {integer, integer} ::
+}
+
+application pipeline {
+  instance feeder on "vax" ::
+  instance filter on "vax" ::
+  instance sink on "sparc" ::
+  bind "feeder out" "filter in" ::
+  bind "filter out" "sink in" ::
+}
+)cfg";
+}
+
+std::string pipeline_source_source(int count) {
+  return R"mc(
+void main()
+{
+  int i;
+  i = 1;
+  while (i <= )mc" +
+         std::to_string(count) + R"mc() {
+    mh_write("out", "i", i);
+    if (i % 8 == 0) { sleep(1); }
+    i = i + 1;
+  }
+  print("feeder-done");
+}
+)mc";
+}
+
+std::string pipeline_filter_source() {
+  // `seen` is part of the process state: after a replacement it must
+  // continue from its old value or the sink sees a sequence gap.
+  return R"mc(
+int seen = 0;
+
+void main()
+{
+  int x;
+  int y;
+  while (1) {
+    mh_read("in", "i", &x);
+RP:
+    y = x * 2;
+    seen = seen + 1;
+    mh_write("out", "ii", y, seen);
+  }
+}
+)mc";
+}
+
+std::string pipeline_sink_source() {
+  return R"mc(
+void main()
+{
+  int y;
+  int s;
+  while (1) {
+    mh_read("in", "ii", &y, &s);
+    print("item", y, s);
+  }
+}
+)mc";
+}
+
+}  // namespace surgeon::app::samples

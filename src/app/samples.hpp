@@ -1,0 +1,49 @@
+// Sample applications shared by tests, examples, and benchmarks.
+//
+// monitor_*: the paper's Monitor example (Section 2, Figures 1-3) --
+// a sensor producing temperature values, a display requesting averages,
+// and a compute module averaging recursively with reconfiguration point R
+// inside the recursive procedure.
+//
+// counter_*: a deterministic request/accumulate app used for exact
+// state-fidelity checks (its output is a pure function of request count,
+// unaffected by timing).
+//
+// pipeline_*: a three-stage stream pipeline used for queue-preservation
+// tests and the migration-under-load example.
+#pragma once
+
+#include <string>
+
+#include "cfg/spec.hpp"
+
+namespace surgeon::app::samples {
+
+/// Figure 2: the monitor configuration (machines "vax" and "sparc" are
+/// declared by the caller; display+compute start on vax, sensor on sparc).
+[[nodiscard]] std::string monitor_config_text();
+/// Figure 3: the original compute module, MiniC syntax.
+[[nodiscard]] std::string monitor_compute_source();
+[[nodiscard]] std::string monitor_display_source();
+[[nodiscard]] std::string monitor_sensor_source();
+
+/// Resolves a monitor module spec to its source (a SourceProvider).
+[[nodiscard]] std::string monitor_source_of(const cfg::ModuleSpec& spec);
+
+/// Deterministic counter app: `client` sends k=1..N requests; `server`
+/// accumulates a running total with a recursive helper containing
+/// reconfiguration point RP; replies with the total. Output depends only on
+/// the request sequence.
+[[nodiscard]] std::string counter_config_text();
+[[nodiscard]] std::string counter_client_source(int requests);
+[[nodiscard]] std::string counter_server_source();
+
+/// Pipeline app: source -> filter -> sink over `count` items; filter is
+/// reconfigurable at RP between items and keeps a running item count that
+/// must survive replacement.
+[[nodiscard]] std::string pipeline_config_text();
+[[nodiscard]] std::string pipeline_source_source(int count);
+[[nodiscard]] std::string pipeline_filter_source();
+[[nodiscard]] std::string pipeline_sink_source();
+
+}  // namespace surgeon::app::samples

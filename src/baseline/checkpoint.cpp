@@ -1,0 +1,48 @@
+#include "baseline/checkpoint.hpp"
+
+#include "support/diag.hpp"
+
+namespace surgeon::baseline {
+
+CheckpointRunner::CheckpointRunner(vm::Machine& machine,
+                                   std::uint64_t interval_insns)
+    : machine_(&machine),
+      interval_(interval_insns == 0 ? 1 : interval_insns),
+      next_checkpoint_at_(machine.instructions_executed() + interval_) {}
+
+void CheckpointRunner::take_checkpoint() {
+  last_ = machine_->checkpoint();
+  ++stats_.checkpoints_taken;
+  stats_.last_checkpoint_bytes = vm::Machine::snapshot_size(*last_);
+  stats_.total_checkpoint_bytes += stats_.last_checkpoint_bytes;
+  stats_.work_at_risk = 0;
+}
+
+vm::RunState CheckpointRunner::run(std::uint64_t max_insns) {
+  std::uint64_t end = machine_->instructions_executed() + max_insns;
+  vm::RunState state = machine_->state();
+  while (machine_->instructions_executed() < end) {
+    std::uint64_t until =
+        std::min(end, next_checkpoint_at_) - machine_->instructions_executed();
+    vm::StepResult r = machine_->step(until);
+    state = r.state;
+    stats_.instructions_executed += r.instructions;
+    stats_.work_at_risk += r.instructions;
+    if (machine_->instructions_executed() >= next_checkpoint_at_) {
+      take_checkpoint();
+      next_checkpoint_at_ += interval_;
+    }
+    if (state != vm::RunState::kRunnable) break;
+  }
+  return state;
+}
+
+void CheckpointRunner::rollback() {
+  if (last_ == nullptr) {
+    throw support::VmError("rollback requested before any checkpoint");
+  }
+  machine_->rollback(*last_);
+  stats_.work_at_risk = 0;
+}
+
+}  // namespace surgeon::baseline

@@ -1,0 +1,61 @@
+// Baseline: periodic checkpointing with rollback (the alternative the paper
+// explicitly rejects in §4).
+//
+// "Our approach does not use checkpointing, in which the entire state of
+// the process is saved periodically, and execution is rolled back to the
+// most recent checkpoint in order to restore the process. [...] The cost of
+// capturing the process state is paid only when a reconfiguration is
+// performed, instead of at regular intervals during execution."
+//
+// CheckpointRunner drives a standalone VM, snapshotting its entire state
+// (an OS-level privilege our VM grants the runner, unlike a module) every
+// `interval` instructions. A reconfiguration at an arbitrary moment rolls
+// back to the last checkpoint, losing the work since. The benchmark
+// compares its steady-state overhead and its lost-work/staleness against
+// the flag-test-only overhead of reconfiguration points.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vm/machine.hpp"
+
+namespace surgeon::baseline {
+
+struct CheckpointStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t instructions_executed = 0;
+  std::size_t last_checkpoint_bytes = 0;
+  std::size_t total_checkpoint_bytes = 0;
+  /// Instructions of work that a rollback at the current moment would lose.
+  std::uint64_t work_at_risk = 0;
+};
+
+class CheckpointRunner {
+ public:
+  /// Checkpoints the machine every `interval_insns` executed instructions.
+  CheckpointRunner(vm::Machine& machine, std::uint64_t interval_insns);
+
+  /// Runs the machine for up to `max_insns`, taking checkpoints on
+  /// schedule. Returns the machine's final step state.
+  vm::RunState run(std::uint64_t max_insns);
+
+  /// Rolls the machine back to the most recent checkpoint (the baseline's
+  /// only way to "restore" state). Throws VmError if none was taken.
+  void rollback();
+
+  [[nodiscard]] const CheckpointStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void take_checkpoint();
+
+  vm::Machine* machine_;
+  std::uint64_t interval_;
+  std::uint64_t next_checkpoint_at_;
+  std::shared_ptr<vm::Machine::Snapshot> last_;
+  CheckpointStats stats_;
+};
+
+}  // namespace surgeon::baseline

@@ -1,0 +1,27 @@
+#include "baseline/migration_models.hpp"
+
+namespace surgeon::baseline {
+
+net::SimTime theimer_hayes_preparation_us(const MigrationCostModel& model,
+                                          const vm::CompiledProgram& program,
+                                          std::size_t stack_depth) {
+  // The generated migration program contains a modified version of each
+  // procedure on the activation record stack (one per frame), plus the
+  // data-area reconstruction, then a full compile on the target.
+  net::SimTime generate =
+      model.generate_base_us + model.generate_per_frame_us * stack_depth;
+  net::SimTime compile =
+      model.compile_base_us +
+      model.compile_per_insn_ns * program.total_instructions() / 1000;
+  return generate + compile;
+}
+
+PreparationCost preparation_cost(const vm::CompiledProgram& original,
+                                 const vm::CompiledProgram& transformed) {
+  PreparationCost cost;
+  cost.original_insns = original.total_instructions();
+  cost.transformed_insns = transformed.total_instructions();
+  return cost;
+}
+
+}  // namespace surgeon::baseline

@@ -1,0 +1,63 @@
+// Cost models for the two migration-preparation strategies compared in §4.
+//
+// Theimer & Hayes (ref [10]) prepare a *migration program* at migration
+// time: a source program that rebuilds the process state is generated,
+// compiled on the target machine, and executed. Preparation cost is paid
+// per migration, but nothing is paid until one happens and migration points
+// are available between every pair of statements.
+//
+// Hofmeister & Purtilo (this paper) prepare the module for all possible
+// reconfigurations when it is first compiled: migration-time cost is just
+// signal + state move + restore, but every execution pays the flag tests.
+//
+// The authors had no common testbed to compare on; we model the
+// generate+compile step with a calibrated cost function (defaults shaped on
+// early-90s compile costs scaled to instructions of our VM) and measure
+// everything else directly. EXPERIMENTS.md discusses sensitivity to the
+// constants.
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim.hpp"
+#include "vm/bytecode.hpp"
+
+namespace surgeon::baseline {
+
+struct MigrationCostModel {
+  /// Fixed cost to generate the migration program source at migration time.
+  net::SimTime generate_base_us = 50'000;
+  /// Generation cost per function whose activation records are live (the
+  /// migration program contains one modified procedure per such function).
+  net::SimTime generate_per_frame_us = 2'000;
+  /// Fixed compiler invocation cost on the target machine.
+  net::SimTime compile_base_us = 400'000;
+  /// Compile cost per bytecode instruction of the migration program.
+  net::SimTime compile_per_insn_ns = 500;
+};
+
+/// Migration-time preparation latency under the Theimer-Hayes strategy for
+/// a process whose activation record stack is `stack_depth` deep.
+[[nodiscard]] net::SimTime theimer_hayes_preparation_us(
+    const MigrationCostModel& model, const vm::CompiledProgram& program,
+    std::size_t stack_depth);
+
+/// Compile-time preparation cost of our strategy (paid once, not at
+/// migration): the instruction-count growth of the transformed program.
+struct PreparationCost {
+  std::size_t original_insns = 0;
+  std::size_t transformed_insns = 0;
+
+  [[nodiscard]] double growth_factor() const noexcept {
+    return original_insns == 0
+               ? 1.0
+               : static_cast<double>(transformed_insns) /
+                     static_cast<double>(original_insns);
+  }
+};
+
+[[nodiscard]] PreparationCost preparation_cost(
+    const vm::CompiledProgram& original,
+    const vm::CompiledProgram& transformed);
+
+}  // namespace surgeon::baseline

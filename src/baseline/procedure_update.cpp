@@ -1,0 +1,140 @@
+#include "baseline/procedure_update.hpp"
+
+#include "support/diag.hpp"
+
+namespace surgeon::baseline {
+
+using support::VmError;
+using vm::CompiledFunction;
+using vm::CompiledProgram;
+using vm::Op;
+
+namespace {
+
+/// Structural code equality modulo constant-pool indices: compares opcodes
+/// and operands, resolving kPushConst through each side's pool and kCall
+/// through each side's function names.
+bool same_code(const CompiledProgram& pa, const CompiledFunction& fa,
+               const CompiledProgram& pb, const CompiledFunction& fb) {
+  if (fa.param_count != fb.param_count || fa.slot_types != fb.slot_types ||
+      fa.returns_value != fb.returns_value ||
+      fa.code.size() != fb.code.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < fa.code.size(); ++i) {
+    const auto& ia = fa.code[i];
+    const auto& ib = fb.code[i];
+    if (ia.op != ib.op || ia.b != ib.b) return false;
+    switch (ia.op) {
+      case Op::kPushConst:
+        if (!(pa.constants[static_cast<std::size_t>(ia.a)] ==
+              pb.constants[static_cast<std::size_t>(ib.a)])) {
+          return false;
+        }
+        break;
+      case Op::kCall:
+        if (pa.functions[static_cast<std::size_t>(ia.a)].name !=
+            pb.functions[static_cast<std::size_t>(ib.a)].name) {
+          return false;
+        }
+        break;
+      default:
+        if (ia.a != ib.a) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ProcedureUpdater::ProcedureUpdater(
+    vm::Machine& machine, const CompiledProgram& old_program,
+    std::shared_ptr<const CompiledProgram> new_program)
+    : machine_(&machine),
+      old_program_(&old_program),
+      new_program_(std::move(new_program)) {
+  // The update may not add or remove procedures (the Frieder-Segal
+  // prototype replaces procedure bodies in place).
+  for (const auto& fn : old_program_->functions) {
+    if (new_program_->function_index(fn.name) == UINT32_MAX) {
+      throw VmError("procedure-level update removes function '" + fn.name +
+                    "'");
+    }
+  }
+  for (const auto& fn : new_program_->functions) {
+    if (old_program_->function_index(fn.name) == UINT32_MAX) {
+      throw VmError("procedure-level update adds function '" + fn.name + "'");
+    }
+  }
+  // Call graph of the running version, from its bytecode.
+  for (const auto& fn : old_program_->functions) {
+    auto& callees = callees_[fn.name];
+    for (const auto& insn : fn.code) {
+      if (insn.op == Op::kCall) {
+        const std::string& callee =
+            old_program_->functions[static_cast<std::size_t>(insn.a)].name;
+        if (callee != fn.name) callees.insert(callee);  // drop self-edges
+      }
+    }
+  }
+  // Changed set: functions whose code differs between versions.
+  for (const auto& fn : old_program_->functions) {
+    const auto& replacement =
+        new_program_->functions[new_program_->function_index(fn.name)];
+    if (!same_code(*old_program_, fn, *new_program_, replacement)) {
+      remaining_.insert(fn.name);
+    }
+  }
+}
+
+bool ProcedureUpdater::ordering_satisfied(const std::string& name) const {
+  auto it = callees_.find(name);
+  if (it == callees_.end()) return true;
+  for (const auto& callee : it->second) {
+    if (remaining_.contains(callee)) return false;
+  }
+  return true;
+}
+
+std::set<std::string> ProcedureUpdater::blocked_by_ordering() const {
+  std::set<std::string> blocked;
+  for (const auto& name : remaining_) {
+    if (!ordering_satisfied(name)) blocked.insert(name);
+  }
+  return blocked;
+}
+
+std::set<std::string> ProcedureUpdater::blocked_by_activity() const {
+  std::set<std::string> blocked;
+  for (const auto& name : remaining_) {
+    if (!ordering_satisfied(name)) continue;
+    if (machine_->function_active(old_program_->function_index(name))) {
+      blocked.insert(name);
+    }
+  }
+  return blocked;
+}
+
+std::size_t ProcedureUpdater::step() {
+  std::size_t swapped = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = remaining_.begin(); it != remaining_.end();) {
+      const std::string& name = *it;
+      if (!ordering_satisfied(name) ||
+          machine_->function_active(old_program_->function_index(name))) {
+        ++it;
+        continue;
+      }
+      machine_->replace_function(*new_program_, name);
+      swapped_.insert(name);
+      it = remaining_.erase(it);
+      ++swapped;
+      progress = true;
+    }
+  }
+  return swapped;
+}
+
+}  // namespace surgeon::baseline

@@ -1,0 +1,80 @@
+#include "baseline/quiescence.hpp"
+
+#include "reconfig/scripts.hpp"
+
+namespace surgeon::baseline {
+
+using bus::BindEdit;
+using bus::BindEditBatch;
+using bus::BindingEnd;
+
+QuiescentReplaceReport quiescent_replace(
+    app::Runtime& rt, const std::string& instance,
+    const QuiescentReplaceOptions& options) {
+  bus::Bus& bus = rt.bus();
+  if (!bus.has_module(instance)) {
+    throw reconfig::ScriptError("quiescent_replace: unknown module '" +
+                                instance + "'");
+  }
+  const app::ModuleImage* image = rt.image_of(instance);
+  if (image == nullptr) {
+    throw reconfig::ScriptError("quiescent_replace: no image for '" +
+                                instance + "'");
+  }
+  QuiescentReplaceReport report;
+  report.old_instance = instance;
+  report.requested_at = rt.now();
+  const bus::ModuleInfo old_info = bus.module_info(instance);
+
+  // Wait for quiescence: the module sitting at its top-level wait.
+  net::SimTime deadline = rt.now() + options.quiesce_timeout_us;
+  report.quiesced = rt.run_until(
+      [&] {
+        if (rt.now() >= deadline) return true;
+        vm::Machine* m = rt.machine_of(instance);
+        if (m == nullptr) return true;
+        if (m->state() == vm::RunState::kDone) return true;
+        bool idle = m->state() == vm::RunState::kBlockedRead ||
+                    m->state() == vm::RunState::kSleeping;
+        return idle && m->stack_depth() == 1;
+      },
+      options.max_rounds);
+  {
+    vm::Machine* m = rt.machine_of(instance);
+    bool idle = m != nullptr && m->stack_depth() == 1 &&
+                (m->state() == vm::RunState::kBlockedRead ||
+                 m->state() == vm::RunState::kSleeping ||
+                 m->state() == vm::RunState::kDone);
+    report.quiesced = idle;
+  }
+  report.quiesced_at = rt.now();
+  if (!report.quiesced) {
+    report.completed_at = rt.now();
+    return report;  // timed out: reconfiguration could not be performed
+  }
+
+  // Swap in a fresh instance; no state moves (the defining limitation).
+  const std::string target =
+      options.machine.empty() ? old_info.machine : options.machine;
+  report.new_instance = rt.fresh_instance_name(instance);
+  rt.install_module(report.new_instance, *image, target, "new");
+
+  BindEditBatch batch;
+  for (const auto& iface : bus.interface_names(instance)) {
+    BindingEnd old_end{instance, iface};
+    BindingEnd new_end{report.new_instance, iface};
+    for (const auto& peer : bus.bound_peers(old_end)) {
+      batch.add(BindEdit{BindEdit::Op::kDel, old_end, peer});
+      batch.add(BindEdit{BindEdit::Op::kAdd, new_end, peer});
+    }
+    report.queued_messages_moved += bus.queue_depth(instance, iface);
+    batch.add(BindEdit{BindEdit::Op::kCaptureQueue, old_end, new_end});
+  }
+  bus.rebind(batch);
+  rt.start_module(report.new_instance);
+  rt.remove_module(instance);
+  report.completed_at = rt.now();
+  return report;
+}
+
+}  // namespace surgeon::baseline

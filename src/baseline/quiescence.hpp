@@ -1,0 +1,47 @@
+// Baseline: reconfiguration WITHOUT module participation (module-level
+// atomicity -- the platforms of refs [9]/[5] in the paper's taxonomy, §4).
+//
+// A module that cannot divulge its state can only be replaced when it is
+// quiescent: back at its top-level wait with an empty activation-record
+// stack below main. The replacement then starts a FRESH instance (status
+// "new"); in-progress computation is lost, and if the module never
+// quiesces -- say it is deep in a long recursion -- the reconfiguration
+// waits arbitrarily long. Both costs are exactly what Section 4 contrasts
+// against reconfiguration points.
+#pragma once
+
+#include <string>
+
+#include "app/runtime.hpp"
+
+namespace surgeon::baseline {
+
+struct QuiescentReplaceOptions {
+  std::string machine;  // empty = same machine
+  std::uint64_t max_rounds = 1'000'000;
+  /// Give up when virtual time advances this far without quiescence.
+  net::SimTime quiesce_timeout_us = 60'000'000;
+};
+
+struct QuiescentReplaceReport {
+  std::string old_instance;
+  std::string new_instance;
+  bool quiesced = false;           // false: timed out waiting
+  net::SimTime requested_at = 0;
+  net::SimTime quiesced_at = 0;    // when the module was observed idle
+  net::SimTime completed_at = 0;
+  std::size_t queued_messages_moved = 0;
+
+  [[nodiscard]] net::SimTime total_delay() const noexcept {
+    return completed_at - requested_at;
+  }
+};
+
+/// Replaces `instance` without its participation: waits for quiescence
+/// (stack depth 1 and blocked or sleeping), then swaps in a fresh instance,
+/// moving queued messages but NO process state.
+QuiescentReplaceReport quiescent_replace(
+    app::Runtime& rt, const std::string& instance,
+    const QuiescentReplaceOptions& options = {});
+
+}  // namespace surgeon::baseline

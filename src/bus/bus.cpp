@@ -1,0 +1,429 @@
+#include "bus/bus.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace surgeon::bus {
+
+using support::BusError;
+
+const char* iface_role_name(IfaceRole role) noexcept {
+  switch (role) {
+    case IfaceRole::kClient:
+      return "client";
+    case IfaceRole::kServer:
+      return "server";
+    case IfaceRole::kUse:
+      return "use";
+    case IfaceRole::kDefine:
+      return "define";
+  }
+  return "?";
+}
+
+bool role_can_send(IfaceRole role) noexcept {
+  return role != IfaceRole::kUse;
+}
+
+bool role_can_receive(IfaceRole role) noexcept {
+  return role != IfaceRole::kDefine;
+}
+
+const char* trace_kind_name(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+    case TraceEvent::Kind::kDrop: return "drop";
+    case TraceEvent::Kind::kSignal: return "signal";
+    case TraceEvent::Kind::kStateDivulged: return "state-divulged";
+    case TraceEvent::Kind::kStateDelivered: return "state-delivered";
+    case TraceEvent::Kind::kRebind: return "rebind";
+    case TraceEvent::Kind::kModuleAdded: return "module-added";
+    case TraceEvent::Kind::kModuleRemoved: return "module-removed";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream os;
+  os << "t=" << at << "us " << trace_kind_name(kind) << " " << module;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << src_module << "." << src_iface << " [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << values[i].to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+Bus::ModuleRec& Bus::rec(const std::string& name) {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) throw BusError("unknown module: " + name);
+  return it->second;
+}
+
+const Bus::ModuleRec& Bus::rec(const std::string& name) const {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) throw BusError("unknown module: " + name);
+  return it->second;
+}
+
+Bus::Endpoint& Bus::endpoint(const std::string& module,
+                             const std::string& iface) {
+  auto& r = rec(module);
+  auto it = r.endpoints.find(iface);
+  if (it == r.endpoints.end()) {
+    throw BusError("module " + module + " has no interface " + iface);
+  }
+  return it->second;
+}
+
+const Bus::Endpoint& Bus::endpoint(const std::string& module,
+                                   const std::string& iface) const {
+  const auto& r = rec(module);
+  auto it = r.endpoints.find(iface);
+  if (it == r.endpoints.end()) {
+    throw BusError("module " + module + " has no interface " + iface);
+  }
+  return it->second;
+}
+
+void Bus::add_module(ModuleInfo info) {
+  if (modules_.contains(info.name)) {
+    throw BusError("module already registered: " + info.name);
+  }
+  if (!sim_->has_machine(info.machine)) {
+    throw BusError("module " + info.name + " placed on unknown machine " +
+                   info.machine);
+  }
+  ModuleRec r;
+  for (const auto& spec : info.interfaces) {
+    if (r.endpoints.contains(spec.name)) {
+      throw BusError("module " + info.name + " declares interface " +
+                     spec.name + " twice");
+    }
+    r.endpoints.emplace(spec.name, Endpoint{spec, {}});
+  }
+  r.epoch = next_epoch_++;
+  r.info = std::move(info);
+  const std::string name = r.info.name;
+  const std::string detail = "machine=" + r.info.machine +
+                             " status=" + r.info.status;
+  modules_.emplace(name, std::move(r));
+  trace(TraceEvent::Kind::kModuleAdded, name, detail);
+}
+
+void Bus::remove_module(const std::string& name) {
+  rec(name);  // throws if unknown
+  std::erase_if(bindings_, [&](const Binding& b) {
+    return b.a.module == name || b.b.module == name;
+  });
+  modules_.erase(name);
+  trace(TraceEvent::Kind::kModuleRemoved, name, "");
+}
+
+const ModuleInfo& Bus::module_info(const std::string& name) const {
+  return rec(name).info;
+}
+
+std::vector<std::string> Bus::module_names() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& [name, r] : modules_) names.push_back(name);
+  return names;
+}
+
+void Bus::add_binding(const BindingEnd& a, const BindingEnd& b) {
+  rebind([&] {
+    BindEditBatch batch;
+    batch.add(BindEdit{BindEdit::Op::kAdd, a, b});
+    return batch;
+  }());
+}
+
+void Bus::del_binding(const BindingEnd& a, const BindingEnd& b) {
+  rebind([&] {
+    BindEditBatch batch;
+    batch.add(BindEdit{BindEdit::Op::kDel, a, b});
+    return batch;
+  }());
+}
+
+std::vector<std::string> Bus::interface_names(const std::string& module) const {
+  const auto& r = rec(module);
+  std::vector<std::string> names;
+  names.reserve(r.endpoints.size());
+  for (const auto& [name, ep] : r.endpoints) names.push_back(name);
+  return names;
+}
+
+std::vector<BindingEnd> Bus::bound_peers(const BindingEnd& end) const {
+  std::vector<BindingEnd> peers;
+  for (const auto& b : bindings_) {
+    if (b.involves(end)) peers.push_back(b.peer_of(end));
+  }
+  return peers;
+}
+
+void Bus::validate_edit(const BindEdit& edit) const {
+  auto check_end = [&](const BindingEnd& e) {
+    endpoint(e.module, e.iface);  // throws if module/interface unknown
+  };
+  switch (edit.op) {
+    case BindEdit::Op::kAdd: {
+      check_end(edit.a);
+      check_end(edit.b);
+      Binding want{edit.a, edit.b};
+      Binding flipped{edit.b, edit.a};
+      if (std::find(bindings_.begin(), bindings_.end(), want) !=
+              bindings_.end() ||
+          std::find(bindings_.begin(), bindings_.end(), flipped) !=
+              bindings_.end()) {
+        throw BusError("binding already exists: " + edit.a.module + "." +
+                       edit.a.iface + " -- " + edit.b.module + "." +
+                       edit.b.iface);
+      }
+      break;
+    }
+    case BindEdit::Op::kDel: {
+      Binding want{edit.a, edit.b};
+      Binding flipped{edit.b, edit.a};
+      if (std::find(bindings_.begin(), bindings_.end(), want) ==
+              bindings_.end() &&
+          std::find(bindings_.begin(), bindings_.end(), flipped) ==
+              bindings_.end()) {
+        throw BusError("no such binding to delete: " + edit.a.module + "." +
+                       edit.a.iface + " -- " + edit.b.module + "." +
+                       edit.b.iface);
+      }
+      break;
+    }
+    case BindEdit::Op::kCaptureQueue:
+      check_end(edit.a);
+      check_end(edit.b);
+      break;
+    case BindEdit::Op::kRemoveQueue:
+      check_end(edit.a);
+      break;
+  }
+}
+
+void Bus::apply_edit(const BindEdit& edit) {
+  switch (edit.op) {
+    case BindEdit::Op::kAdd:
+      bindings_.push_back(Binding{edit.a, edit.b});
+      break;
+    case BindEdit::Op::kDel: {
+      Binding want{edit.a, edit.b};
+      Binding flipped{edit.b, edit.a};
+      std::erase_if(bindings_, [&](const Binding& b) {
+        return b == want || b == flipped;
+      });
+      break;
+    }
+    case BindEdit::Op::kCaptureQueue: {
+      auto& from = endpoint(edit.a.module, edit.a.iface);
+      auto& to = endpoint(edit.b.module, edit.b.iface);
+      bool moved = !from.queue.empty();
+      while (!from.queue.empty()) {
+        to.queue.push_back(std::move(from.queue.front()));
+        from.queue.pop_front();
+      }
+      if (moved) wake(edit.b.module);
+      break;
+    }
+    case BindEdit::Op::kRemoveQueue:
+      endpoint(edit.a.module, edit.a.iface).queue.clear();
+      break;
+  }
+}
+
+void Bus::rebind(const BindEditBatch& batch) {
+  // Validation pass first so the batch is all-or-nothing. kAdd/kDel pairs
+  // that cancel within the batch (delete then re-add the same ends) are
+  // validated against the *current* table; Figure 5 only ever deletes
+  // existing bindings and adds new ones, so sequential validation against
+  // the pre-state plus in-batch adds is sufficient and simplest.
+  std::vector<Binding> saved = bindings_;
+  try {
+    for (const auto& edit : batch.edits()) {
+      validate_edit(edit);
+      if (edit.op == BindEdit::Op::kAdd || edit.op == BindEdit::Op::kDel) {
+        apply_edit(edit);
+      }
+    }
+    // Queue moves happen after the bind table settles, as in Figure 5 where
+    // "cap"/"rmq" commands ride in the same atomic batch.
+    for (const auto& edit : batch.edits()) {
+      if (edit.op == BindEdit::Op::kCaptureQueue ||
+          edit.op == BindEdit::Op::kRemoveQueue) {
+        apply_edit(edit);
+      }
+    }
+    if (batch.size() != 0) {
+      trace(TraceEvent::Kind::kRebind, batch.edits().front().a.module,
+            std::to_string(batch.size()) + " edits");
+    }
+  } catch (...) {
+    bindings_ = std::move(saved);
+    throw;
+  }
+}
+
+void Bus::send(const std::string& module, const std::string& iface,
+               std::vector<ser::Value> values) {
+  auto& ep = endpoint(module, iface);
+  if (!role_can_send(ep.spec.role)) {
+    throw BusError("interface " + module + "." + iface + " (role " +
+                   iface_role_name(ep.spec.role) + ") cannot send");
+  }
+  ++stats_.messages_sent;
+  trace(TraceEvent::Kind::kSend, module, iface);
+  auto peers = bound_peers(BindingEnd{module, iface});
+  if (peers.empty()) {
+    ++stats_.messages_dropped_unbound;
+    trace(TraceEvent::Kind::kDrop, module, iface + " (unbound)");
+    return;
+  }
+  const std::string& src_machine = rec(module).info.machine;
+  for (const auto& peer : peers) {
+    const auto& dst_rec = rec(peer.module);
+    auto latency = sim_->message_latency(src_machine, dst_rec.info.machine);
+    Message msg{values, module, iface};
+    std::uint64_t epoch = dst_rec.epoch;
+    sim_->schedule_after(latency, [this, peer, msg = std::move(msg),
+                                   epoch]() mutable {
+      auto it = modules_.find(peer.module);
+      if (it == modules_.end() || it->second.epoch != epoch) {
+        // Destination was removed (or replaced) while the message was in
+        // flight; the reconfiguration script is responsible for moving any
+        // *queued* messages, but in-flight ones to a dead module drop.
+        ++stats_.messages_dropped_unbound;
+        trace(TraceEvent::Kind::kDrop, peer.module,
+              peer.iface + " (in flight to removed module)");
+        return;
+      }
+      auto ep_it = it->second.endpoints.find(peer.iface);
+      if (ep_it == it->second.endpoints.end()) {
+        ++stats_.messages_dropped_unbound;
+        trace(TraceEvent::Kind::kDrop, peer.module, peer.iface);
+        return;
+      }
+      ep_it->second.queue.push_back(std::move(msg));
+      ++stats_.messages_delivered;
+      trace(TraceEvent::Kind::kDeliver, peer.module, peer.iface);
+      wake(peer.module);
+    });
+  }
+}
+
+bool Bus::has_message(const std::string& module,
+                      const std::string& iface) const {
+  return !endpoint(module, iface).queue.empty();
+}
+
+std::optional<Message> Bus::receive(const std::string& module,
+                                    const std::string& iface) {
+  auto& ep = endpoint(module, iface);
+  if (!role_can_receive(ep.spec.role)) {
+    throw BusError("interface " + module + "." + iface + " (role " +
+                   iface_role_name(ep.spec.role) + ") cannot receive");
+  }
+  if (ep.queue.empty()) return std::nullopt;
+  Message msg = std::move(ep.queue.front());
+  ep.queue.pop_front();
+  return msg;
+}
+
+std::size_t Bus::queue_depth(const std::string& module,
+                             const std::string& iface) const {
+  return endpoint(module, iface).queue.size();
+}
+
+void Bus::signal_reconfig(const std::string& module) {
+  std::uint64_t epoch = rec(module).epoch;
+  sim_->schedule_after(sim_->latency_model().local_us, [this, module, epoch] {
+    auto it = modules_.find(module);
+    if (it == modules_.end() || it->second.epoch != epoch) return;
+    it->second.reconfig_signaled = true;
+    ++stats_.signals_delivered;
+    trace(TraceEvent::Kind::kSignal, module, "reconfigure");
+    wake(module);
+  });
+}
+
+bool Bus::take_pending_signal(const std::string& module) {
+  auto& r = rec(module);
+  bool was = r.reconfig_signaled;
+  r.reconfig_signaled = false;
+  return was;
+}
+
+void Bus::post_divulged_state(const std::string& module,
+                              std::vector<std::uint8_t> bytes) {
+  auto& r = rec(module);
+  if (r.divulged_state.has_value()) {
+    throw BusError("module " + module +
+                   " divulged state twice without a collection");
+  }
+  stats_.state_bytes_moved += bytes.size();
+  ++stats_.state_transfers;
+  trace(TraceEvent::Kind::kStateDivulged, module,
+        std::to_string(bytes.size()) + " bytes");
+  r.divulged_state = std::move(bytes);
+}
+
+bool Bus::has_divulged_state(const std::string& module) const {
+  return rec(module).divulged_state.has_value();
+}
+
+std::vector<std::uint8_t> Bus::take_divulged_state(const std::string& module) {
+  auto& r = rec(module);
+  if (!r.divulged_state.has_value()) {
+    throw BusError("module " + module + " has not divulged state");
+  }
+  auto bytes = std::move(*r.divulged_state);
+  r.divulged_state.reset();
+  return bytes;
+}
+
+void Bus::deliver_state(const std::string& from_machine,
+                        const std::string& to_module,
+                        std::vector<std::uint8_t> bytes) {
+  const auto& dst = rec(to_module);
+  auto latency = sim_->message_latency(from_machine, dst.info.machine);
+  std::uint64_t epoch = dst.epoch;
+  sim_->schedule_after(latency,
+                       [this, to_module, epoch, bytes = std::move(bytes)] {
+                         auto it = modules_.find(to_module);
+                         if (it == modules_.end() || it->second.epoch != epoch)
+                           return;
+                         trace(TraceEvent::Kind::kStateDelivered, to_module,
+                               std::to_string(bytes.size()) + " bytes");
+                         it->second.incoming_state = bytes;
+                         wake(to_module);
+                       });
+}
+
+std::optional<std::vector<std::uint8_t>> Bus::take_incoming_state(
+    const std::string& module) {
+  auto& r = rec(module);
+  if (!r.incoming_state.has_value()) return std::nullopt;
+  auto bytes = std::move(*r.incoming_state);
+  r.incoming_state.reset();
+  return bytes;
+}
+
+bool Bus::has_incoming_state(const std::string& module) const {
+  return rec(module).incoming_state.has_value();
+}
+
+}  // namespace surgeon::bus

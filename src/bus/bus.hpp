@@ -1,0 +1,250 @@
+// The software bus: module registry, bindings, asynchronous message routing,
+// reconfiguration signals, and state mailboxes.
+//
+// This is our reimplementation of the POLYLITH software toolbus (ref [8] of
+// the paper) plus the reconfiguration primitives of ref [9]:
+//   - add/delete modules and bindings while the application executes,
+//   - bind-edit batches applied atomically (mh_rebind),
+//   - queue capture/move so no queued message is lost during a rebind,
+//   - a signal that asks a module to divulge its state, and mailboxes that
+//     carry the abstract state buffer from the old module to the new one
+//     (mh_objstate_move).
+//
+// The bus knows nothing about MiniC, the VM, or the transformation: modules
+// interact with it only through bus::Client (the mh_* primitives).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/message.hpp"
+#include "net/sim.hpp"
+
+namespace surgeon::bus {
+
+/// Everything the bus needs to instantiate a module. (The configuration
+/// front end surgeon::cfg produces a richer spec and lowers it to this.)
+struct ModuleInfo {
+  std::string name;
+  std::string machine;
+  /// STATUS attribute from the paper: "new" for an original instance,
+  /// "clone" for a restoration target (mh_getstatus reports this).
+  std::string status = "new";
+  std::string source;  // executable / program path, informational
+  std::vector<InterfaceSpec> interfaces;
+};
+
+/// One bind-table edit, as built by mh_edit_bind in Figure 5.
+struct BindEdit {
+  enum class Op : std::uint8_t {
+    kAdd,          // "add": create binding a--b
+    kDel,          // "del": remove binding a--b
+    kCaptureQueue, // "cap": move messages queued at a to b
+    kRemoveQueue,  // "rmq": discard messages queued at a
+  };
+  Op op = Op::kAdd;
+  BindingEnd a;
+  BindingEnd b;  // unused for kRemoveQueue
+};
+
+/// A batch of bind-table edits applied atomically by Bus::rebind
+/// (mh_bind_cap / mh_edit_bind / mh_rebind in Figure 5).
+class BindEditBatch {
+ public:
+  void add(BindEdit edit) { edits_.push_back(std::move(edit)); }
+  [[nodiscard]] const std::vector<BindEdit>& edits() const noexcept {
+    return edits_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return edits_.size(); }
+
+ private:
+  std::vector<BindEdit> edits_;
+};
+
+/// One traced bus event. The trace is the platform's flight recorder:
+/// every message send/delivery/drop, signal, state movement, bind-table
+/// change, and module lifecycle transition, with its virtual timestamp.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kDeliver,
+    kDrop,
+    kSignal,
+    kStateDivulged,
+    kStateDelivered,
+    kRebind,
+    kModuleAdded,
+    kModuleRemoved,
+  };
+  net::SimTime at = 0;
+  Kind kind = Kind::kSend;
+  std::string module;  // the module the event concerns
+  std::string detail;  // interface, peer, byte counts, ...
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceEvent::Kind kind) noexcept;
+
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+/// Counters exposed for tests and benchmarks.
+struct BusStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_unbound = 0;
+  std::uint64_t signals_delivered = 0;
+  std::uint64_t state_transfers = 0;
+  std::uint64_t state_bytes_moved = 0;
+};
+
+class Bus {
+ public:
+  explicit Bus(net::Simulator& sim) : sim_(&sim) {}
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  // --- configuration (reconfiguration primitives of ref [9]) -------------
+
+  /// Registers a module. Throws BusError on duplicate name, unknown
+  /// machine, or duplicate interface names.
+  void add_module(ModuleInfo info);
+  /// Removes a module and every binding that involves it.
+  void remove_module(const std::string& name);
+  [[nodiscard]] bool has_module(const std::string& name) const {
+    return modules_.contains(name);
+  }
+  /// mh_obj_cap: the current specification of a module (reflects dynamic
+  /// changes, not the original configuration file).
+  [[nodiscard]] const ModuleInfo& module_info(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> module_names() const;
+
+  void add_binding(const BindingEnd& a, const BindingEnd& b);
+  void del_binding(const BindingEnd& a, const BindingEnd& b);
+  [[nodiscard]] const std::vector<Binding>& bindings() const noexcept {
+    return bindings_;
+  }
+
+  /// mh_struct_objnames: interface names of a module.
+  [[nodiscard]] std::vector<std::string> interface_names(
+      const std::string& module) const;
+  /// mh_struct_ifdest / mh_struct_ifsources: peers bound to an interface.
+  /// (Bindings are undirected, so destinations and sources coincide; both
+  /// names are kept for fidelity to the Figure 5 API.)
+  [[nodiscard]] std::vector<BindingEnd> bound_peers(
+      const BindingEnd& end) const;
+
+  /// Applies a batch of bind edits atomically (mh_rebind). Either the whole
+  /// batch validates and applies, or nothing changes.
+  void rebind(const BindEditBatch& batch);
+
+  // --- messaging ----------------------------------------------------------
+
+  /// Sends a message from (module, iface) to every bound peer. Delivery is
+  /// asynchronous: each copy arrives after the network latency between the
+  /// two machines. Messages sent on an unbound interface are counted and
+  /// dropped. Throws BusError if the interface cannot send.
+  void send(const std::string& module, const std::string& iface,
+            std::vector<ser::Value> values);
+
+  /// mh_query_ifmsgs: is a message queued at (module, iface)?
+  [[nodiscard]] bool has_message(const std::string& module,
+                                 const std::string& iface) const;
+  /// Non-blocking receive; nullopt when the queue is empty.
+  [[nodiscard]] std::optional<Message> receive(const std::string& module,
+                                               const std::string& iface);
+  [[nodiscard]] std::size_t queue_depth(const std::string& module,
+                                        const std::string& iface) const;
+
+  // --- reconfiguration signal + state movement ----------------------------
+
+  /// Sends the reconfiguration signal (SIGHUP in Figure 4) to a module.
+  /// Delivered asynchronously after local latency.
+  void signal_reconfig(const std::string& module);
+  /// Consumed by the module's runtime at a statement boundary.
+  [[nodiscard]] bool take_pending_signal(const std::string& module);
+
+  /// mh_encode side: the module posts its encoded abstract state.
+  void post_divulged_state(const std::string& module,
+                           std::vector<std::uint8_t> bytes);
+  [[nodiscard]] bool has_divulged_state(const std::string& module) const;
+  /// Takes (and clears) the divulged state. Throws BusError if none posted.
+  [[nodiscard]] std::vector<std::uint8_t> take_divulged_state(
+      const std::string& module);
+
+  /// Script side of mh_objstate_move: delivers a state buffer to the new
+  /// module's decode mailbox, charging cross-machine latency from
+  /// `from_machine`.
+  void deliver_state(const std::string& from_machine,
+                     const std::string& to_module,
+                     std::vector<std::uint8_t> bytes);
+  /// mh_decode side: nullopt until the state has arrived.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> take_incoming_state(
+      const std::string& module);
+  [[nodiscard]] bool has_incoming_state(const std::string& module) const;
+
+  // --- plumbing ------------------------------------------------------------
+
+  /// Invoked whenever a message, signal, or state buffer arrives for a
+  /// module: lets the scheduler wake a blocked process.
+  void set_wake_callback(std::function<void(const std::string&)> cb) {
+    wake_ = std::move(cb);
+  }
+
+  /// Streams every bus event to `sink` (null disables tracing, the
+  /// default; tracing costs one callback per event when enabled).
+  void set_trace(TraceSink sink) { trace_ = std::move(sink); }
+
+  [[nodiscard]] net::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Endpoint {
+    InterfaceSpec spec;
+    std::deque<Message> queue;
+  };
+  struct ModuleRec {
+    ModuleInfo info;
+    std::map<std::string, Endpoint> endpoints;
+    bool reconfig_signaled = false;
+    std::optional<std::vector<std::uint8_t>> divulged_state;
+    std::optional<std::vector<std::uint8_t>> incoming_state;
+    /// Incremented when the module is removed so in-flight deliveries to a
+    /// deleted-and-recreated name are discarded.
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] ModuleRec& rec(const std::string& name);
+  [[nodiscard]] const ModuleRec& rec(const std::string& name) const;
+  [[nodiscard]] Endpoint& endpoint(const std::string& module,
+                                   const std::string& iface);
+  [[nodiscard]] const Endpoint& endpoint(const std::string& module,
+                                         const std::string& iface) const;
+  void validate_edit(const BindEdit& edit) const;
+  void apply_edit(const BindEdit& edit);
+  void wake(const std::string& module) {
+    if (wake_) wake_(module);
+  }
+  void trace(TraceEvent::Kind kind, const std::string& module,
+             std::string detail) {
+    if (trace_) {
+      trace_(TraceEvent{sim_->now(), kind, module, std::move(detail)});
+    }
+  }
+
+  net::Simulator* sim_;
+  std::map<std::string, ModuleRec> modules_;
+  std::uint64_t next_epoch_ = 1;
+  std::vector<Binding> bindings_;
+  std::function<void(const std::string&)> wake_;
+  TraceSink trace_;
+  BusStats stats_;
+};
+
+}  // namespace surgeon::bus

@@ -1,0 +1,11 @@
+#include "bus/client.hpp"
+
+namespace surgeon::bus {
+
+std::optional<ser::StateBuffer> Client::decode_state() {
+  auto bytes = bus_->take_incoming_state(module_);
+  if (!bytes.has_value()) return std::nullopt;
+  return ser::StateBuffer::decode(*bytes);
+}
+
+}  // namespace surgeon::bus

@@ -1,0 +1,69 @@
+// Per-module facade over the bus: the mh_* communication primitives.
+//
+// A module (whether a MiniC program running on the VM or a native C++
+// process in the tests) never touches the Bus directly; it holds a Client
+// bound to its module name, mirroring how a POLYLITH module links against
+// the bus library. The method names follow the paper's primitives:
+//
+//   mh_write / mh_read / mh_query_ifmsgs   -- messaging (Figure 3)
+//   mh_encode / mh_decode                  -- state divulge/install (Fig. 4)
+//   mh_getstatus                           -- "clone" vs "new" (Figure 4)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "serialize/state.hpp"
+
+namespace surgeon::bus {
+
+class Client {
+ public:
+  Client(Bus& bus, std::string module)
+      : bus_(&bus), module_(std::move(module)) {}
+
+  [[nodiscard]] const std::string& module_name() const noexcept {
+    return module_;
+  }
+  /// STATUS attribute of this instance: "new" or "clone" (mh_getstatus).
+  [[nodiscard]] const std::string& status() const {
+    return bus_->module_info(module_).status;
+  }
+  [[nodiscard]] const std::string& machine() const {
+    return bus_->module_info(module_).machine;
+  }
+
+  /// mh_write: asynchronous send on a named interface.
+  void write(const std::string& iface, std::vector<ser::Value> values) {
+    bus_->send(module_, iface, std::move(values));
+  }
+  /// mh_query_ifmsgs: true if a message is queued on the interface.
+  [[nodiscard]] bool query_ifmsgs(const std::string& iface) const {
+    return bus_->has_message(module_, iface);
+  }
+  /// Non-blocking mh_read; the VM turns nullopt into a blocked process.
+  [[nodiscard]] std::optional<Message> try_read(const std::string& iface) {
+    return bus_->receive(module_, iface);
+  }
+
+  /// Pending reconfiguration signal, consumed at a statement boundary.
+  [[nodiscard]] bool take_pending_signal() {
+    return bus_->take_pending_signal(module_);
+  }
+
+  /// mh_encode: serialize the captured state and hand it to the bus.
+  void encode_state(const ser::StateBuffer& state) {
+    bus_->post_divulged_state(module_, state.encode());
+  }
+  /// mh_decode: nullopt until the state buffer has arrived.
+  [[nodiscard]] std::optional<ser::StateBuffer> decode_state();
+
+  [[nodiscard]] Bus& bus() noexcept { return *bus_; }
+
+ private:
+  Bus* bus_;
+  std::string module_;
+};
+
+}  // namespace surgeon::bus

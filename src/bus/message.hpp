@@ -1,0 +1,71 @@
+// Messages and interface descriptions for the software bus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serialize/value.hpp"
+
+namespace surgeon::bus {
+
+/// Interface roles, following the configuration language of Figure 2:
+///   client  -- sends requests, accepts replies        (bidirectional)
+///   server  -- receives requests, returns replies     (bidirectional)
+///   use     -- consumes messages produced elsewhere   (incoming)
+///   define  -- produces messages                      (outgoing)
+enum class IfaceRole : std::uint8_t { kClient, kServer, kUse, kDefine };
+
+[[nodiscard]] const char* iface_role_name(IfaceRole role) noexcept;
+
+/// Can a module legally send on / receive from an interface of this role?
+[[nodiscard]] bool role_can_send(IfaceRole role) noexcept;
+[[nodiscard]] bool role_can_receive(IfaceRole role) noexcept;
+
+struct InterfaceSpec {
+  std::string name;
+  IfaceRole role = IfaceRole::kUse;
+  /// Format of messages carried on this interface (outbound for client,
+  /// inbound for server/use), e.g. "i".
+  std::string pattern;
+  /// Reply format for client (accepts{...}) / server (returns{...}).
+  std::string reply_pattern;
+
+  friend bool operator==(const InterfaceSpec&,
+                         const InterfaceSpec&) = default;
+};
+
+/// One asynchronous message in flight or queued at an endpoint.
+struct Message {
+  std::vector<ser::Value> values;
+  std::string src_module;
+  std::string src_iface;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One end of a binding: a (module, interface) pair.
+struct BindingEnd {
+  std::string module;
+  std::string iface;
+
+  friend bool operator==(const BindingEnd&, const BindingEnd&) = default;
+  friend auto operator<=>(const BindingEnd&, const BindingEnd&) = default;
+};
+
+/// An (unordered) connection between two interfaces. Messages written on
+/// either end are delivered to the queue of the other, as in POLYLITH.
+struct Binding {
+  BindingEnd a;
+  BindingEnd b;
+
+  [[nodiscard]] bool involves(const BindingEnd& e) const noexcept {
+    return a == e || b == e;
+  }
+  [[nodiscard]] const BindingEnd& peer_of(const BindingEnd& e) const {
+    return a == e ? b : a;
+  }
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+}  // namespace surgeon::bus

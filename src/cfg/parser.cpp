@@ -1,0 +1,369 @@
+#include "cfg/parser.hpp"
+
+#include <cctype>
+
+#include "support/strutil.hpp"
+
+namespace surgeon::cfg {
+
+using support::ParseError;
+using support::SourceLoc;
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kString,
+  kLBrace,
+  kRBrace,
+  kEquals,
+  kColons,  // "::"
+  kComma,
+  kStar,
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  SourceLoc loc;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_trivia();
+    SourceLoc loc = here();
+    if (pos_ >= text_.size()) return Token{TokKind::kEof, "", loc};
+    char c = text_[pos_];
+    if (c == '{') return single(TokKind::kLBrace, loc);
+    if (c == '}') return single(TokKind::kRBrace, loc);
+    if (c == '=') return single(TokKind::kEquals, loc);
+    if (c == ',') return single(TokKind::kComma, loc);
+    if (c == '*') return single(TokKind::kStar, loc);
+    if (c == ':') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == ':') {
+        advance();
+        advance();
+        return Token{TokKind::kColons, "::", loc};
+      }
+      throw ParseError(loc, "stray ':' (did you mean '::'?)");
+    }
+    if (c == '"') return lex_string(loc);
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+        c == '/') {
+      return lex_ident(loc);
+    }
+    throw ParseError(loc, std::string("unexpected character '") + c + "'");
+  }
+
+ private:
+  [[nodiscard]] SourceLoc here() const noexcept { return SourceLoc{line_, col_}; }
+
+  void advance() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  Token single(TokKind kind, SourceLoc loc) {
+    std::string s(1, text_[pos_]);
+    advance();
+    return Token{kind, std::move(s), loc};
+  }
+
+  void skip_trivia() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        SourceLoc start = here();
+        advance();
+        advance();
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          advance();
+        }
+        if (pos_ + 1 >= text_.size()) {
+          throw ParseError(start, "unterminated comment");
+        }
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_string(SourceLoc loc) {
+    advance();  // opening quote
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        advance();
+        char e = text_[pos_];
+        s += (e == 'n') ? '\n' : e;
+        advance();
+      } else {
+        s += text_[pos_];
+        advance();
+      }
+    }
+    if (pos_ >= text_.size()) throw ParseError(loc, "unterminated string");
+    advance();  // closing quote
+    return Token{TokKind::kString, std::move(s), loc};
+  }
+
+  Token lex_ident(SourceLoc loc) {
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '/' || c == '-') {
+        s += c;
+        advance();
+      } else {
+        break;
+      }
+    }
+    return Token{TokKind::kIdent, std::move(s), loc};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { shift(); }
+
+  ConfigFile parse_file() {
+    ConfigFile file;
+    while (tok_.kind != TokKind::kEof) {
+      if (tok_.kind == TokKind::kIdent && tok_.text == "module") {
+        file.modules.push_back(parse_module());
+      } else if (tok_.kind == TokKind::kIdent &&
+                 tok_.text == "application") {
+        file.applications.push_back(parse_application());
+      } else {
+        throw ParseError(tok_.loc, "expected 'module' or 'application', got '" +
+                                       tok_.text + "'");
+      }
+    }
+    return file;
+  }
+
+ private:
+  void shift() { tok_ = lexer_.next(); }
+
+  Token expect(TokKind kind, const char* what) {
+    if (tok_.kind != kind) {
+      throw ParseError(tok_.loc, std::string("expected ") + what + ", got '" +
+                                     tok_.text + "'");
+    }
+    Token t = tok_;
+    shift();
+    return t;
+  }
+
+  [[nodiscard]] bool at_ident(const char* word) const {
+    return tok_.kind == TokKind::kIdent && tok_.text == word;
+  }
+
+  void expect_ident(const char* word) {
+    if (!at_ident(word)) {
+      throw ParseError(tok_.loc, std::string("expected '") + word +
+                                     "', got '" + tok_.text + "'");
+    }
+    shift();
+  }
+
+  /// Consumes '::' separators; returns false at '}' (end of block).
+  bool more_statements() {
+    while (tok_.kind == TokKind::kColons) shift();
+    return tok_.kind != TokKind::kRBrace;
+  }
+
+  ModuleSpec parse_module() {
+    expect_ident("module");
+    ModuleSpec spec;
+    spec.name = expect(TokKind::kIdent, "module name").text;
+    expect(TokKind::kLBrace, "'{'");
+    while (more_statements()) parse_module_stmt(spec);
+    expect(TokKind::kRBrace, "'}'");
+    return spec;
+  }
+
+  void parse_module_stmt(ModuleSpec& spec) {
+    Token head = expect(TokKind::kIdent, "module statement");
+    const std::string& word = head.text;
+    if (word == "client" || word == "server" || word == "use" ||
+        word == "define") {
+      spec.interfaces.push_back(parse_interface(word, head.loc));
+      return;
+    }
+    if (word == "reconfiguration") {
+      spec.reconfig_points.push_back(parse_reconfig_point(head.loc));
+      return;
+    }
+    // Attribute: name = "value"
+    expect(TokKind::kEquals, "'='");
+    std::string value = expect(TokKind::kString, "string value").text;
+    if (word == "source") {
+      spec.source = std::move(value);
+    } else if (word == "machine") {
+      spec.machine = std::move(value);
+    } else {
+      spec.attributes[word] = std::move(value);
+    }
+  }
+
+  bus::InterfaceSpec parse_interface(const std::string& role_word,
+                                     SourceLoc loc) {
+    bus::InterfaceSpec spec;
+    if (role_word == "client") {
+      spec.role = bus::IfaceRole::kClient;
+    } else if (role_word == "server") {
+      spec.role = bus::IfaceRole::kServer;
+    } else if (role_word == "use") {
+      spec.role = bus::IfaceRole::kUse;
+    } else {
+      spec.role = bus::IfaceRole::kDefine;
+    }
+    expect_ident("interface");
+    spec.name = expect(TokKind::kIdent, "interface name").text;
+    while (at_ident("pattern") || at_ident("accepts") || at_ident("returns")) {
+      std::string clause = tok_.text;
+      shift();
+      expect(TokKind::kEquals, "'='");
+      std::string pat = parse_pattern();
+      if (clause == "pattern") {
+        spec.pattern = std::move(pat);
+      } else {
+        if ((clause == "returns") != (spec.role == bus::IfaceRole::kServer)) {
+          throw ParseError(loc, "'returns' is for server interfaces and "
+                                "'accepts' for client interfaces");
+        }
+        spec.reply_pattern = std::move(pat);
+      }
+    }
+    return spec;
+  }
+
+  std::string parse_pattern() {
+    expect(TokKind::kLBrace, "'{'");
+    std::string fmt;
+    while (tok_.kind != TokKind::kRBrace) {
+      Token t = expect(TokKind::kIdent, "pattern type");
+      fmt += pattern_type_code(t.text, t.loc);
+      if (tok_.kind == TokKind::kComma) shift();
+    }
+    expect(TokKind::kRBrace, "'}'");
+    return fmt;
+  }
+
+  ReconfigPointSpec parse_reconfig_point(SourceLoc loc) {
+    expect_ident("point");
+    expect(TokKind::kEquals, "'='");
+    expect(TokKind::kLBrace, "'{'");
+    ReconfigPointSpec point;
+    point.loc = loc;
+    point.label = expect(TokKind::kIdent, "reconfiguration point label").text;
+    expect(TokKind::kRBrace, "'}'");
+    if (at_ident("vars")) {
+      shift();
+      expect(TokKind::kEquals, "'='");
+      expect(TokKind::kLBrace, "'{'");
+      while (tok_.kind != TokKind::kRBrace) {
+        StateVar var;
+        if (tok_.kind == TokKind::kStar) {
+          shift();
+          var.deref = true;
+        }
+        var.name = expect(TokKind::kIdent, "variable name").text;
+        point.vars.push_back(std::move(var));
+        if (tok_.kind == TokKind::kComma) shift();
+      }
+      expect(TokKind::kRBrace, "'}'");
+    }
+    return point;
+  }
+
+  ApplicationSpec parse_application() {
+    expect_ident("application");
+    ApplicationSpec spec;
+    spec.name = expect(TokKind::kIdent, "application name").text;
+    expect(TokKind::kLBrace, "'{'");
+    while (more_statements()) parse_application_stmt(spec);
+    expect(TokKind::kRBrace, "'}'");
+    return spec;
+  }
+
+  void parse_application_stmt(ApplicationSpec& spec) {
+    Token head = expect(TokKind::kIdent, "application statement");
+    if (head.text == "instance") {
+      InstanceSpec inst;
+      inst.module = expect(TokKind::kIdent, "module name").text;
+      if (at_ident("as")) {
+        shift();
+        inst.name = expect(TokKind::kIdent, "instance name").text;
+      }
+      if (at_ident("on")) {
+        shift();
+        inst.machine = expect(TokKind::kString, "machine name").text;
+      }
+      spec.instances.push_back(std::move(inst));
+      return;
+    }
+    if (head.text == "bind") {
+      BindSpec bind;
+      bind.a = parse_binding_end();
+      bind.b = parse_binding_end();
+      spec.binds.push_back(std::move(bind));
+      return;
+    }
+    throw ParseError(head.loc,
+                     "expected 'instance' or 'bind', got '" + head.text + "'");
+  }
+
+  bus::BindingEnd parse_binding_end() {
+    Token t = expect(TokKind::kString, "\"module interface\" string");
+    auto parts = support::split(t.text, ' ');
+    std::vector<std::string> words;
+    for (auto& p : parts) {
+      if (!support::trim(p).empty()) words.emplace_back(support::trim(p));
+    }
+    if (words.size() != 2) {
+      throw ParseError(t.loc, "binding end must be \"module interface\", got " +
+                                  support::quote(t.text));
+    }
+    return bus::BindingEnd{words[0], words[1]};
+  }
+
+  Lexer lexer_;
+  Token tok_;
+};
+
+}  // namespace
+
+ConfigFile parse_config(std::string_view text) {
+  return Parser(text).parse_file();
+}
+
+}  // namespace surgeon::cfg

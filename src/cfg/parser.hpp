@@ -1,0 +1,36 @@
+// Parser for the configuration language (Figure 2).
+//
+// Grammar (statements are '::'-separated inside braces; the trailing '::'
+// before '}' is optional, matching the figure's style):
+//
+//   file         := (module | application)*
+//   module       := "module" IDENT "{" mstmt ("::" mstmt)* "}"
+//   mstmt        := "source" "=" STRING
+//                 | "machine" "=" STRING
+//                 | IDENT "=" STRING                      (other attributes)
+//                 | role "interface" IDENT clauses
+//                 | "reconfiguration" "point" "=" "{" IDENT "}"
+//                       ["vars" "=" "{" var ("," var)* "}"]
+//   role         := "client" | "server" | "use" | "define"
+//   clauses      := ["pattern" "=" pattern]
+//                       ["accepts" "=" pattern | "returns" "=" pattern]
+//   pattern      := "{" type ("," type)* "}"
+//   type         := "integer" | "float" | "string" | "pointer"
+//   var          := ["*"] IDENT
+//   application  := "application" IDENT "{" astmt ("::" astmt)* "}"
+//   astmt        := "instance" IDENT ["as" IDENT] ["on" STRING]
+//                 | "bind" STRING STRING   (each STRING is "instance iface")
+//
+// Comments: '//' and '#' to end of line, '/* ... */'.
+#pragma once
+
+#include <string_view>
+
+#include "cfg/spec.hpp"
+
+namespace surgeon::cfg {
+
+/// Parses a configuration file. Throws support::ParseError on bad input.
+[[nodiscard]] ConfigFile parse_config(std::string_view text);
+
+}  // namespace surgeon::cfg

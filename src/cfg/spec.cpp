@@ -1,0 +1,132 @@
+#include "cfg/spec.hpp"
+
+#include <sstream>
+
+#include "support/format.hpp"
+#include "support/strutil.hpp"
+
+namespace surgeon::cfg {
+
+const bus::InterfaceSpec* ModuleSpec::find_interface(
+    const std::string& iface) const {
+  for (const auto& i : interfaces) {
+    if (i.name == iface) return &i;
+  }
+  return nullptr;
+}
+
+const ReconfigPointSpec* ModuleSpec::find_reconfig_point(
+    const std::string& label) const {
+  for (const auto& p : reconfig_points) {
+    if (p.label == label) return &p;
+  }
+  return nullptr;
+}
+
+const ModuleSpec* ConfigFile::find_module(const std::string& name) const {
+  for (const auto& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ApplicationSpec* ConfigFile::find_application(
+    const std::string& name) const {
+  for (const auto& a : applications) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+char pattern_type_code(const std::string& type, support::SourceLoc loc) {
+  if (type == "integer" || type == "int") return 'i';
+  if (type == "float" || type == "real" || type == "double") return 'F';
+  if (type == "string") return 's';
+  if (type == "pointer") return 'p';
+  throw support::ParseError(loc, "unknown pattern type '" + type + "'");
+}
+
+namespace {
+
+std::string pattern_to_types(const std::string& pattern) {
+  std::vector<std::string> names;
+  for (char c : pattern) {
+    switch (c) {
+      case 'i':
+        names.emplace_back("integer");
+        break;
+      case 'F':
+      case 'f':
+        names.emplace_back("float");
+        break;
+      case 's':
+        names.emplace_back("string");
+        break;
+      case 'p':
+        names.emplace_back("pointer");
+        break;
+      default:
+        names.emplace_back("?");
+    }
+  }
+  return support::join(names, ", ");
+}
+
+}  // namespace
+
+std::string to_text(const ModuleSpec& spec) {
+  std::ostringstream os;
+  os << "module " << spec.name << " {\n";
+  if (!spec.source.empty()) {
+    os << "  source = " << support::quote(spec.source) << " ::\n";
+  }
+  if (!spec.machine.empty()) {
+    os << "  machine = " << support::quote(spec.machine) << " ::\n";
+  }
+  for (const auto& [k, v] : spec.attributes) {
+    os << "  " << k << " = " << support::quote(v) << " ::\n";
+  }
+  for (const auto& i : spec.interfaces) {
+    os << "  " << bus::iface_role_name(i.role) << " interface " << i.name;
+    if (!i.pattern.empty()) {
+      os << " pattern = {" << pattern_to_types(i.pattern) << "}";
+    }
+    if (!i.reply_pattern.empty()) {
+      const char* kw = i.role == bus::IfaceRole::kServer ? "returns" : "accepts";
+      os << " " << kw << " = {" << pattern_to_types(i.reply_pattern) << "}";
+    }
+    os << " ::\n";
+  }
+  for (const auto& p : spec.reconfig_points) {
+    os << "  reconfiguration point = {" << p.label << "}";
+    if (!p.vars.empty()) {
+      std::vector<std::string> names;
+      for (const auto& v : p.vars) {
+        names.push_back(v.deref ? "*" + v.name : v.name);
+      }
+      os << " vars = {" << support::join(names, ", ") << "}";
+    }
+    os << " ::\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const ApplicationSpec& spec) {
+  std::ostringstream os;
+  os << "application " << spec.name << " {\n";
+  for (const auto& inst : spec.instances) {
+    os << "  instance " << inst.module;
+    if (!inst.name.empty()) os << " as " << inst.name;
+    if (!inst.machine.empty()) os << " on " << support::quote(inst.machine);
+    os << " ::\n";
+  }
+  for (const auto& b : spec.binds) {
+    os << "  bind " << support::quote(b.a.module + " " + b.a.iface) << " "
+       << support::quote(b.b.module + " " + b.b.iface) << " ::\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace surgeon::cfg

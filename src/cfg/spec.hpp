@@ -1,0 +1,93 @@
+// Parsed configuration specifications (the MIL of Figure 2).
+//
+// A configuration file contains module specifications and application
+// specifications. The only addition the paper makes for reconfigurability
+// is the `reconfiguration point = {R} vars = {...}` clause, which names a
+// source label and the variables comprising the process state there.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/message.hpp"
+#include "support/diag.hpp"
+
+namespace surgeon::cfg {
+
+/// One variable named in a reconfiguration point's state list. A leading
+/// '*' in the spec ("*rp") means the pointed-to value is part of the state.
+struct StateVar {
+  std::string name;
+  bool deref = false;
+
+  friend bool operator==(const StateVar&, const StateVar&) = default;
+};
+
+struct ReconfigPointSpec {
+  std::string label;            // the source label, e.g. "R"
+  std::vector<StateVar> vars;   // programmer-specified state at this point
+  support::SourceLoc loc;
+
+  friend bool operator==(const ReconfigPointSpec&,
+                         const ReconfigPointSpec&) = default;
+};
+
+struct ModuleSpec {
+  std::string name;
+  std::string source;   // program path ("./compute.mc")
+  std::string machine;  // default MACHINE attribute; may be overridden
+  std::vector<bus::InterfaceSpec> interfaces;
+  std::vector<ReconfigPointSpec> reconfig_points;
+  /// Attributes we carry but do not interpret.
+  std::map<std::string, std::string> attributes;
+
+  [[nodiscard]] const bus::InterfaceSpec* find_interface(
+      const std::string& iface) const;
+  [[nodiscard]] const ReconfigPointSpec* find_reconfig_point(
+      const std::string& label) const;
+};
+
+struct InstanceSpec {
+  std::string module;   // module specification to instantiate
+  std::string name;     // instance name; defaults to the module name
+  std::string machine;  // placement override; empty = module default
+
+  [[nodiscard]] const std::string& instance_name() const noexcept {
+    return name.empty() ? module : name;
+  }
+};
+
+struct BindSpec {
+  bus::BindingEnd a;
+  bus::BindingEnd b;
+};
+
+struct ApplicationSpec {
+  std::string name;
+  std::vector<InstanceSpec> instances;
+  std::vector<BindSpec> binds;
+};
+
+struct ConfigFile {
+  std::vector<ModuleSpec> modules;
+  std::vector<ApplicationSpec> applications;
+
+  [[nodiscard]] const ModuleSpec* find_module(const std::string& name) const;
+  [[nodiscard]] const ApplicationSpec* find_application(
+      const std::string& name) const;
+};
+
+/// Maps a pattern type name from the configuration language ("integer",
+/// "float", "string", "pointer") to its format character. Throws ParseError
+/// for an unknown type name.
+[[nodiscard]] char pattern_type_code(const std::string& type,
+                                     support::SourceLoc loc);
+
+/// Renders a spec back to configuration-language text (round-trip tests,
+/// and mh_obj_cap in reconfiguration scripts reports through this).
+[[nodiscard]] std::string to_text(const ModuleSpec& spec);
+[[nodiscard]] std::string to_text(const ApplicationSpec& spec);
+
+}  // namespace surgeon::cfg

@@ -1,0 +1,374 @@
+#include "dataflow/liveness.hpp"
+
+#include <sstream>
+
+#include "minic/builtins.hpp"
+
+namespace surgeon::dataflow {
+
+using namespace minic;
+
+namespace {
+
+/// Is this variable a parameter or local of the analyzed function?
+bool is_frame_var(const Expr& e) {
+  if (e.kind != ExprKind::kVar) return false;
+  const auto& v = static_cast<const VarExpr&>(e);
+  return v.storage == VarStorage::kLocal || v.storage == VarStorage::kParam;
+}
+
+const std::string& var_name(const Expr& e) {
+  return static_cast<const VarExpr&>(e).name;
+}
+
+struct UseDef {
+  std::set<std::string>* use;
+  std::set<std::string>* def;
+  std::set<std::string>* address_taken;
+
+  /// Collects uses in a value-position expression.
+  void value(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVar:
+        if (is_frame_var(e)) use->insert(var_name(e));
+        return;
+      case ExprKind::kUnary:
+        value(*static_cast<const UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        value(*b.lhs);
+        value(*b.rhs);
+        return;
+      }
+      case ExprKind::kCast:
+        value(*static_cast<const CastExpr&>(e).operand);
+        return;
+      case ExprKind::kDeref:
+        value(*static_cast<const DerefExpr&>(e).operand);
+        return;
+      case ExprKind::kIndex: {
+        const auto& i = static_cast<const IndexExpr&>(e);
+        value(*i.base);
+        value(*i.index);
+        return;
+      }
+      case ExprKind::kAddrOf: {
+        // Address escapes in a value position: the variable may be read or
+        // written through the pointer at any later time.
+        const auto& a = static_cast<const AddrOfExpr&>(e);
+        if (is_frame_var(*a.operand)) {
+          address_taken->insert(var_name(*a.operand));
+          use->insert(var_name(*a.operand));
+        }
+        return;
+      }
+      case ExprKind::kCall:
+        call(static_cast<const CallExpr&>(e));
+        return;
+      default:
+        return;  // literals
+    }
+  }
+
+  void call(const CallExpr& c) {
+    // Receive positions of mh_read (args 2..) and mh_restore (args 1..)
+    // define their &var targets rather than using them.
+    std::size_t receive_from = SIZE_MAX;
+    if (c.is_builtin) {
+      auto id = static_cast<BuiltinId>(c.callee_index);
+      if (id == BuiltinId::kMhRead) receive_from = 2;
+      if (id == BuiltinId::kMhRestore) receive_from = 1;
+    }
+    for (std::size_t i = 0; i < c.args.size(); ++i) {
+      const Expr& a = *c.args[i];
+      if (i >= receive_from && a.kind == ExprKind::kAddrOf) {
+        const auto& addr = static_cast<const AddrOfExpr&>(a);
+        if (is_frame_var(*addr.operand)) def->insert(var_name(*addr.operand));
+        continue;
+      }
+      value(a);
+    }
+  }
+};
+
+class Builder {
+ public:
+  explicit Builder(const Function& fn) : fn_(fn) {}
+
+  void run(std::vector<CfgNode>& nodes,
+           std::map<const Stmt*, std::size_t>& node_of_stmt,
+           std::set<std::string>& address_taken) {
+    nodes_ = &nodes;
+    node_of_stmt_ = &node_of_stmt;
+    address_taken_ = &address_taken;
+    exit_ = make_node(nullptr, "exit");
+    auto [entry, exits] = build(*fn_.body);
+    (void)entry;
+    for (auto e : exits) (*nodes_)[e].succ.push_back(exit_);
+    for (const auto& [node, label] : pending_gotos_) {
+      auto it = label_entry_.find(label);
+      if (it != label_entry_.end()) {
+        (*nodes_)[node].succ.push_back(it->second);
+      }
+    }
+  }
+
+ private:
+  std::size_t make_node(const Stmt* stmt, std::string debug) {
+    nodes_->push_back(CfgNode{});
+    nodes_->back().stmt = stmt;
+    nodes_->back().debug = std::move(debug);
+    if (stmt != nullptr) (*node_of_stmt_)[stmt] = nodes_->size() - 1;
+    return nodes_->size() - 1;
+  }
+
+  UseDef usedef(std::size_t node) {
+    return UseDef{&(*nodes_)[node].use, &(*nodes_)[node].def, address_taken_};
+  }
+
+  /// Builds the subgraph for a statement; returns (entry, open exits).
+  std::pair<std::size_t, std::vector<std::size_t>> build(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        const auto& b = static_cast<const BlockStmt&>(s);
+        std::size_t entry = SIZE_MAX;
+        std::vector<std::size_t> open;
+        for (const auto& child : b.stmts) {
+          auto [centry, cexits] = build(*child);
+          if (entry == SIZE_MAX) entry = centry;
+          for (auto e : open) (*nodes_)[e].succ.push_back(centry);
+          open = std::move(cexits);
+        }
+        if (entry == SIZE_MAX) {
+          // Empty block: a passthrough node.
+          std::size_t n = make_node(&s, "empty-block");
+          return {n, {n}};
+        }
+        return {entry, open};
+      }
+      case StmtKind::kDecl: {
+        std::size_t n = make_node(&s, "decl");
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init) usedef(n).value(*d.init);
+        (*nodes_)[n].def.insert(d.name);
+        return {n, {n}};
+      }
+      case StmtKind::kAssign: {
+        std::size_t n = make_node(&s, "assign");
+        const auto& a = static_cast<const AssignStmt&>(s);
+        auto ud = usedef(n);
+        ud.value(*a.value);
+        if (a.target->kind == ExprKind::kVar) {
+          if (is_frame_var(*a.target)) {
+            (*nodes_)[n].def.insert(var_name(*a.target));
+          }
+        } else {
+          // *p = v / p[i] = v uses the pointer (and index).
+          ud.value(*a.target);
+        }
+        return {n, {n}};
+      }
+      case StmtKind::kExpr: {
+        std::size_t n = make_node(&s, "expr");
+        usedef(n).value(*static_cast<const ExprStmt&>(s).expr);
+        return {n, {n}};
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        std::size_t cond = make_node(&s, "if-cond");
+        usedef(cond).value(*i.cond);
+        auto [tentry, texits] = build(*i.then_branch);
+        (*nodes_)[cond].succ.push_back(tentry);
+        std::vector<std::size_t> open = texits;
+        if (i.else_branch) {
+          auto [eentry, eexits] = build(*i.else_branch);
+          (*nodes_)[cond].succ.push_back(eentry);
+          open.insert(open.end(), eexits.begin(), eexits.end());
+        } else {
+          open.push_back(cond);
+        }
+        return {cond, open};
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        std::size_t cond = make_node(&s, "while-cond");
+        usedef(cond).value(*w.cond);
+        loop_stack_.push_back(LoopNodes{cond, {}});
+        auto [bentry, bexits] = build(*w.body);
+        (*nodes_)[cond].succ.push_back(bentry);
+        for (auto e : bexits) (*nodes_)[e].succ.push_back(cond);
+        std::vector<std::size_t> exits = {cond};
+        for (auto b : loop_stack_.back().breaks) exits.push_back(b);
+        loop_stack_.pop_back();
+        return {cond, exits};
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        std::size_t entry = SIZE_MAX;
+        std::vector<std::size_t> into_cond;
+        if (f.init) {
+          auto [ientry, iexits] = build(*f.init);
+          entry = ientry;
+          into_cond = iexits;
+        }
+        std::size_t cond = make_node(&s, "for-cond");
+        if (f.cond) usedef(cond).value(*f.cond);
+        if (entry == SIZE_MAX) entry = cond;
+        for (auto e : into_cond) (*nodes_)[e].succ.push_back(cond);
+        // `continue` targets the step (or the condition when absent).
+        std::size_t step_entry = SIZE_MAX;
+        std::vector<std::size_t> step_exits;
+        // The step's node must exist before the body builds so that
+        // continue edges can point at it.
+        if (f.step) {
+          auto [sentry, sexits] = build(*f.step);
+          step_entry = sentry;
+          step_exits = sexits;
+        }
+        loop_stack_.push_back(
+            LoopNodes{step_entry == SIZE_MAX ? cond : step_entry, {}});
+        auto [bentry, bexits] = build(*f.body);
+        (*nodes_)[cond].succ.push_back(bentry);
+        if (step_entry == SIZE_MAX) {
+          for (auto e : bexits) (*nodes_)[e].succ.push_back(cond);
+        } else {
+          for (auto e : bexits) (*nodes_)[e].succ.push_back(step_entry);
+          for (auto e : step_exits) (*nodes_)[e].succ.push_back(cond);
+        }
+        std::vector<std::size_t> exits;
+        if (f.cond) exits.push_back(cond);  // condition-false exit
+        for (auto b : loop_stack_.back().breaks) exits.push_back(b);
+        loop_stack_.pop_back();
+        return {entry, exits};
+      }
+      case StmtKind::kBreak: {
+        std::size_t n = make_node(&s, "break");
+        loop_stack_.back().breaks.push_back(n);
+        return {n, {}};
+      }
+      case StmtKind::kContinue: {
+        std::size_t n = make_node(&s, "continue");
+        (*nodes_)[n].succ.push_back(loop_stack_.back().continue_target);
+        return {n, {}};
+      }
+      case StmtKind::kReturn: {
+        std::size_t n = make_node(&s, "return");
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value) usedef(n).value(*r.value);
+        (*nodes_)[n].succ.push_back(exit_);
+        return {n, {}};
+      }
+      case StmtKind::kGoto: {
+        std::size_t n = make_node(&s, "goto");
+        pending_gotos_.emplace_back(n,
+                                    static_cast<const GotoStmt&>(s).label);
+        return {n, {}};
+      }
+      case StmtKind::kLabeled: {
+        const auto& l = static_cast<const LabeledStmt&>(s);
+        auto [entry, exits] = build(*l.inner);
+        label_entry_[l.label] = entry;
+        // The labeled statement shares its inner statement's node for
+        // live_before/after queries.
+        (*node_of_stmt_)[&s] = entry;
+        return {entry, exits};
+      }
+      case StmtKind::kEmpty: {
+        std::size_t n = make_node(&s, "empty");
+        return {n, {n}};
+      }
+    }
+    std::size_t n = make_node(&s, "?");
+    return {n, {n}};
+  }
+
+  struct LoopNodes {
+    std::size_t continue_target = 0;
+    std::vector<std::size_t> breaks;
+  };
+
+  const Function& fn_;
+  std::vector<CfgNode>* nodes_ = nullptr;
+  std::map<const Stmt*, std::size_t>* node_of_stmt_ = nullptr;
+  std::set<std::string>* address_taken_ = nullptr;
+  std::size_t exit_ = 0;
+  std::map<std::string, std::size_t> label_entry_;
+  std::vector<std::pair<std::size_t, std::string>> pending_gotos_;
+  std::vector<LoopNodes> loop_stack_;
+};
+
+}  // namespace
+
+Liveness Liveness::analyze(const Function& fn) {
+  Liveness lv;
+  for (const auto& p : fn.params) lv.all_vars_.insert(p.name);
+  for (const auto& l : fn.locals) lv.all_vars_.insert(l.name);
+
+  Builder(fn).run(lv.nodes_, lv.node_of_stmt_, lv.address_taken_);
+
+  // Backward fixpoint: live_in = use ∪ (live_out − def);
+  // live_out = ∪ live_in(succ). Address-taken variables are pinned live.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t idx = lv.nodes_.size(); idx-- > 0;) {
+      CfgNode& n = lv.nodes_[idx];
+      std::set<std::string> out;
+      for (auto s : n.succ) {
+        out.insert(lv.nodes_[s].live_in.begin(), lv.nodes_[s].live_in.end());
+      }
+      std::set<std::string> in = n.use;
+      for (const auto& v : out) {
+        if (!n.def.contains(v)) in.insert(v);
+      }
+      if (out != n.live_out || in != n.live_in) {
+        n.live_out = std::move(out);
+        n.live_in = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  // Pin address-taken variables.
+  for (auto& n : lv.nodes_) {
+    for (const auto& v : lv.address_taken_) {
+      n.live_in.insert(v);
+      n.live_out.insert(v);
+    }
+  }
+  return lv;
+}
+
+std::set<std::string> Liveness::live_before(const Stmt* stmt) const {
+  auto it = node_of_stmt_.find(stmt);
+  if (it == node_of_stmt_.end()) return all_vars_;
+  return nodes_[it->second].live_in;
+}
+
+std::set<std::string> Liveness::live_after(const Stmt* stmt) const {
+  auto it = node_of_stmt_.find(stmt);
+  if (it == node_of_stmt_.end()) return all_vars_;
+  return nodes_[it->second].live_out;
+}
+
+std::string Liveness::dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    os << i << " [" << n.debug << "]";
+    os << " use{";
+    for (const auto& v : n.use) os << v << " ";
+    os << "} def{";
+    for (const auto& v : n.def) os << v << " ";
+    os << "} in{";
+    for (const auto& v : n.live_in) os << v << " ";
+    os << "} out{";
+    for (const auto& v : n.live_out) os << v << " ";
+    os << "} ->";
+    for (auto s : n.succ) os << " " << s;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace surgeon::dataflow

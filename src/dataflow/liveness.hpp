@@ -1,0 +1,70 @@
+// Control-flow graph construction and live-variable analysis.
+//
+// Section 3 of the paper: "At a reconfiguration point, data-flow analysis
+// could be used to determine the set of live variables." This module
+// implements that suggestion: a per-function CFG at statement granularity
+// and classic backward may-liveness, used by the transformer (option
+// use_liveness) to shrink the captured state, and benchmarked by the
+// liveness-ablation experiment (A1 in DESIGN.md).
+//
+// Soundness notes:
+//  - A variable whose address escapes (passed &v to a user function, or
+//    captured outside a receive position) is treated as always live.
+//  - &v arguments in *receive* positions of mh_read / mh_restore are
+//    definitions, not escapes.
+//  - Pointer dereferences use the pointer variable; the pointee is managed
+//    heap or another frame and is outside this analysis.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace surgeon::dataflow {
+
+struct CfgNode {
+  const minic::Stmt* stmt = nullptr;  // null for synthetic nodes
+  std::string debug;                  // node kind for dumps
+  std::set<std::string> use;
+  std::set<std::string> def;
+  std::vector<std::size_t> succ;
+  std::set<std::string> live_in;
+  std::set<std::string> live_out;
+};
+
+class Liveness {
+ public:
+  /// Analyzes one function of an analyzed program.
+  static Liveness analyze(const minic::Function& fn);
+
+  /// Variables (parameters/locals of the function) live immediately BEFORE
+  /// the given statement. Conservatively returns all variables when the
+  /// statement has no node (should not happen for elementary statements).
+  [[nodiscard]] std::set<std::string> live_before(
+      const minic::Stmt* stmt) const;
+  /// Variables live immediately AFTER the given statement (what a capture
+  /// block following the statement must preserve).
+  [[nodiscard]] std::set<std::string> live_after(
+      const minic::Stmt* stmt) const;
+
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::set<std::string>& address_taken() const noexcept {
+    return address_taken_;
+  }
+
+  /// Multi-line dump of the CFG with live sets, for tests and debugging.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<CfgNode> nodes_;
+  std::map<const minic::Stmt*, std::size_t> node_of_stmt_;
+  std::set<std::string> address_taken_;
+  std::set<std::string> all_vars_;
+};
+
+}  // namespace surgeon::dataflow

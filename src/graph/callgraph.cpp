@@ -1,0 +1,431 @@
+#include "graph/callgraph.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace surgeon::graph {
+
+using minic::BlockStmt;
+using minic::CallExpr;
+using minic::Expr;
+using minic::ExprKind;
+using minic::LabeledStmt;
+using minic::Program;
+using minic::Stmt;
+using minic::StmtKind;
+using support::SemaError;
+
+namespace {
+
+/// Collects every user-function call expression under `e`.
+void collect_calls(Expr& e, std::vector<CallExpr*>& out) {
+  switch (e.kind) {
+    case ExprKind::kCall: {
+      auto& c = static_cast<CallExpr&>(e);
+      if (!c.is_builtin) out.push_back(&c);
+      for (auto& a : c.args) collect_calls(*a, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      collect_calls(*static_cast<minic::UnaryExpr&>(e).operand, out);
+      return;
+    case ExprKind::kBinary: {
+      auto& b = static_cast<minic::BinaryExpr&>(e);
+      collect_calls(*b.lhs, out);
+      collect_calls(*b.rhs, out);
+      return;
+    }
+    case ExprKind::kCast:
+      collect_calls(*static_cast<minic::CastExpr&>(e).operand, out);
+      return;
+    case ExprKind::kAddrOf:
+      collect_calls(*static_cast<minic::AddrOfExpr&>(e).operand, out);
+      return;
+    case ExprKind::kDeref:
+      collect_calls(*static_cast<minic::DerefExpr&>(e).operand, out);
+      return;
+    case ExprKind::kIndex: {
+      auto& i = static_cast<minic::IndexExpr&>(e);
+      collect_calls(*i.base, out);
+      collect_calls(*i.index, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Collects call expressions in a statement, without descending into nested
+/// statements (those are visited separately so each call is attributed to
+/// the statement directly containing it in its block).
+void collect_stmt_calls(Stmt& s, std::vector<CallExpr*>& out) {
+  switch (s.kind) {
+    case StmtKind::kDecl: {
+      auto& d = static_cast<minic::DeclStmt&>(s);
+      if (d.init) collect_calls(*d.init, out);
+      return;
+    }
+    case StmtKind::kAssign: {
+      auto& a = static_cast<minic::AssignStmt&>(s);
+      collect_calls(*a.target, out);
+      collect_calls(*a.value, out);
+      return;
+    }
+    case StmtKind::kExpr:
+      collect_calls(*static_cast<minic::ExprStmt&>(s).expr, out);
+      return;
+    case StmtKind::kIf:
+      collect_calls(*static_cast<minic::IfStmt&>(s).cond, out);
+      return;
+    case StmtKind::kWhile:
+      collect_calls(*static_cast<minic::WhileStmt&>(s).cond, out);
+      return;
+    case StmtKind::kFor: {
+      // The header parts belong to the for statement itself (they cannot
+      // host a resumable call site); the body is visited separately.
+      auto& f = static_cast<minic::ForStmt&>(s);
+      if (f.init) collect_stmt_calls(*f.init, out);
+      if (f.cond) collect_calls(*f.cond, out);
+      if (f.step) collect_stmt_calls(*f.step, out);
+      return;
+    }
+    case StmtKind::kReturn: {
+      auto& r = static_cast<minic::ReturnStmt&>(s);
+      if (r.value) collect_calls(*r.value, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Is `s` exactly one user call, i.e. `f(...);` possibly under labels?
+CallExpr* sole_statement_call(Stmt& s) {
+  Stmt* inner = &s;
+  while (inner->kind == StmtKind::kLabeled) {
+    inner = static_cast<LabeledStmt&>(*inner).inner.get();
+  }
+  if (inner->kind != StmtKind::kExpr) return nullptr;
+  auto& e = *static_cast<minic::ExprStmt&>(*inner).expr;
+  if (e.kind != ExprKind::kCall) return nullptr;
+  auto& c = static_cast<CallExpr&>(e);
+  if (c.is_builtin) return nullptr;
+  // Arguments must not themselves contain user calls.
+  std::vector<CallExpr*> nested;
+  for (auto& a : c.args) collect_calls(*a, nested);
+  if (!nested.empty()) return nullptr;
+  return &c;
+}
+
+class SiteWalker {
+ public:
+  SiteWalker(std::string caller, std::vector<CallSite>& sites)
+      : caller_(std::move(caller)), sites_(&sites) {}
+
+  void walk_block(BlockStmt& block) {
+    for (auto& stmt : block.stmts) visit(*stmt, block);
+  }
+
+ private:
+  void visit(Stmt& stmt, BlockStmt& enclosing) {
+    // Calls directly in this statement (conditions, initializers, the
+    // expression of an ExprStmt, ...).
+    std::vector<CallExpr*> calls;
+    Stmt* inner = &stmt;
+    while (inner->kind == StmtKind::kLabeled) {
+      inner = static_cast<LabeledStmt&>(*inner).inner.get();
+    }
+    collect_stmt_calls(*inner, calls);
+    CallExpr* sole = sole_statement_call(stmt);
+    for (CallExpr* call : calls) {
+      CallSite site;
+      site.caller = caller_;
+      site.callee = call->callee;
+      site.stmt = &stmt;
+      site.block = &enclosing;
+      site.call = call;
+      site.is_statement_call = (call == sole);
+      site.loc = call->loc;
+      sites_->push_back(site);
+    }
+    // Recurse into nested statements.
+    switch (inner->kind) {
+      case StmtKind::kBlock:
+        walk_block(static_cast<BlockStmt&>(*inner));
+        break;
+      case StmtKind::kIf: {
+        auto& s = static_cast<minic::IfStmt&>(*inner);
+        visit_child(*s.then_branch, enclosing);
+        if (s.else_branch) visit_child(*s.else_branch, enclosing);
+        break;
+      }
+      case StmtKind::kWhile:
+        visit_child(*static_cast<minic::WhileStmt&>(*inner).body, enclosing);
+        break;
+      case StmtKind::kFor:
+        visit_child(*static_cast<minic::ForStmt&>(*inner).body, enclosing);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// An if/while body that is itself a block becomes the enclosing block of
+  /// its children; a bare statement body keeps the outer block (the
+  /// transformer normalizes such bodies into blocks before instrumenting).
+  void visit_child(Stmt& child, BlockStmt& enclosing) {
+    if (child.kind == StmtKind::kBlock) {
+      walk_block(static_cast<BlockStmt&>(child));
+    } else {
+      visit(child, enclosing);
+    }
+  }
+
+  std::string caller_;
+  std::vector<CallSite>* sites_;
+};
+
+}  // namespace
+
+std::set<std::string> CallGraph::reachable_from(const std::string& from) const {
+  std::set<std::string> seen;
+  std::deque<std::string> frontier{from};
+  while (!frontier.empty()) {
+    std::string fn = std::move(frontier.front());
+    frontier.pop_front();
+    if (!seen.insert(fn).second) continue;
+    auto it = successors.find(fn);
+    if (it == successors.end()) continue;
+    for (const auto& next : it->second) frontier.push_back(next);
+  }
+  return seen;
+}
+
+std::set<std::string> CallGraph::can_reach(
+    const std::set<std::string>& targets) const {
+  // Reverse reachability by fixpoint (graphs here are tiny).
+  std::set<std::string> result = targets;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [fn, succs] : successors) {
+      if (result.contains(fn)) continue;
+      for (const auto& s : succs) {
+        if (result.contains(s)) {
+          result.insert(fn);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CallGraph build_call_graph(Program& program) {
+  CallGraph graph;
+  for (auto& fn : program.functions) {
+    graph.nodes.insert(fn->name);
+    SiteWalker walker(fn->name, graph.sites);
+    walker.walk_block(*fn->body);
+  }
+  for (const auto& site : graph.sites) {
+    graph.successors[site.caller].insert(site.callee);
+  }
+  return graph;
+}
+
+namespace {
+
+/// Finds the LabeledStmt with `label` anywhere under `stmt`; records its
+/// innermost enclosing block.
+struct LabelSearch {
+  std::string label;
+  LabeledStmt* found = nullptr;
+  BlockStmt* found_block = nullptr;
+
+  void walk_block(BlockStmt& block) {
+    for (auto& s : block.stmts) visit(*s, block);
+  }
+
+  void visit(Stmt& stmt, BlockStmt& enclosing) {
+    switch (stmt.kind) {
+      case StmtKind::kLabeled: {
+        auto& l = static_cast<LabeledStmt&>(stmt);
+        if (l.label == label) {
+          found = &l;
+          found_block = &enclosing;
+          return;
+        }
+        visit(*l.inner, enclosing);
+        return;
+      }
+      case StmtKind::kBlock:
+        walk_block(static_cast<BlockStmt&>(stmt));
+        return;
+      case StmtKind::kIf: {
+        auto& s = static_cast<minic::IfStmt&>(stmt);
+        visit_child(*s.then_branch, enclosing);
+        if (s.else_branch) visit_child(*s.else_branch, enclosing);
+        return;
+      }
+      case StmtKind::kWhile:
+        visit_child(*static_cast<minic::WhileStmt&>(stmt).body, enclosing);
+        return;
+      case StmtKind::kFor:
+        visit_child(*static_cast<minic::ForStmt&>(stmt).body, enclosing);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void visit_child(Stmt& child, BlockStmt& enclosing) {
+    if (child.kind == StmtKind::kBlock) {
+      walk_block(static_cast<BlockStmt&>(child));
+    } else {
+      visit(child, enclosing);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<ReconfigPoint> find_reconfig_points(
+    Program& program, const std::vector<std::string>& labels) {
+  std::vector<ReconfigPoint> points;
+  for (const auto& label : labels) {
+    ReconfigPoint point;
+    point.label = label;
+    for (auto& fn : program.functions) {
+      LabelSearch search{label, nullptr, nullptr};
+      search.walk_block(*fn->body);
+      if (search.found != nullptr) {
+        if (point.stmt != nullptr) {
+          throw SemaError(search.found->loc,
+                          "reconfiguration point label '" + label +
+                              "' appears in more than one function");
+        }
+        point.function = fn->name;
+        point.stmt = search.found;
+        point.block = search.found_block;
+        point.loc = search.found->loc;
+      }
+    }
+    if (point.stmt == nullptr) {
+      throw SemaError(support::SourceLoc{},
+                      "reconfiguration point label '" + label +
+                          "' not found in the program");
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<const ReconfigEdge*> ReconfigGraph::edges_from(
+    const std::string& fn) const {
+  std::vector<const ReconfigEdge*> out;
+  for (const auto& e : edges) {
+    if (e.from == fn) out.push_back(&e);
+  }
+  return out;
+}
+
+ReconfigGraph build_reconfig_graph(Program& program,
+                                   const std::vector<std::string>& labels) {
+  ReconfigGraph rg;
+  rg.points = find_reconfig_points(program, labels);
+
+  CallGraph cg = build_call_graph(program);
+  std::set<std::string> rp_functions;
+  for (const auto& p : rg.points) rp_functions.insert(p.function);
+
+  auto reachable = cg.reachable_from("main");
+  auto reaching = cg.can_reach(rp_functions);
+  for (const auto& rp_fn : rp_functions) {
+    if (!reachable.contains(rp_fn)) {
+      throw SemaError(support::SourceLoc{},
+                      "function '" + rp_fn +
+                          "' contains a reconfiguration point but is "
+                          "unreachable from main");
+    }
+  }
+  // Nodes: on a path main -> ... -> reconfiguration point.
+  for (const auto& fn : reachable) {
+    if (reaching.contains(fn)) rg.nodes.insert(fn);
+  }
+  rg.nodes.insert("main");
+
+  // Edge numbering follows program order: for each function in source
+  // order, call-site edges and reconfiguration-point edges in statement
+  // order. (Figure 4 numbers main's two call edges 1 and 2, compute's
+  // recursive call 3, and the reconfiguration point 4.)
+  int next_id = 1;
+  for (auto& fn : program.functions) {
+    if (!rg.nodes.contains(fn->name)) continue;
+    // Gather this function's instrumentable sites in source order. Call
+    // sites were already collected in statement order by build_call_graph.
+    for (const auto& site : cg.sites) {
+      if (site.caller != fn->name) continue;
+      if (!rg.nodes.contains(site.callee) || !reaching.contains(site.callee)) {
+        continue;
+      }
+      if (!site.is_statement_call) {
+        throw SemaError(
+            site.loc,
+            "call to '" + site.callee +
+                "' lies on a reconfiguration path but is not a "
+                "statement-level call; the abstract state exists only "
+                "between high-level statements (Section 1.2), so such "
+                "calls cannot be resumed");
+      }
+      ReconfigEdge edge;
+      edge.id = next_id++;
+      edge.from = site.caller;
+      edge.to = site.callee;
+      edge.site = site;
+      rg.edges.push_back(std::move(edge));
+    }
+    for (const auto& p : rg.points) {
+      if (p.function != fn->name) continue;
+      ReconfigEdge edge;
+      edge.id = next_id++;
+      edge.from = p.function;
+      edge.to = "reconfig";
+      edge.is_reconfig_point = true;
+      edge.point = p;
+      rg.edges.push_back(std::move(edge));
+    }
+  }
+  return rg;
+}
+
+std::string to_dot(const CallGraph& graph) {
+  std::ostringstream os;
+  os << "digraph callgraph {\n";
+  for (const auto& n : graph.nodes) os << "  \"" << n << "\";\n";
+  for (const auto& s : graph.sites) {
+    os << "  \"" << s.caller << "\" -> \"" << s.callee << "\" [label=\""
+       << s.loc.to_string() << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const ReconfigGraph& graph) {
+  std::ostringstream os;
+  os << "digraph reconfig {\n";
+  for (const auto& n : graph.nodes) os << "  \"" << n << "\";\n";
+  os << "  \"reconfig\" [shape=doublecircle];\n";
+  for (const auto& e : graph.edges) {
+    os << "  \"" << e.from << "\" -> \"" << e.to << "\" [label=\"(" << e.id
+       << ", "
+       << (e.is_reconfig_point ? e.point.loc.to_string()
+                               : e.site.loc.to_string())
+       << ")\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace surgeon::graph

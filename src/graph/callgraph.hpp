@@ -1,0 +1,110 @@
+// Static call graph and reconfiguration graph (Section 3, Figure 6).
+//
+// The static call graph has a node per function and a directed edge per
+// call *site* (so two calls from main to a yield two edges), each labeled
+// with the source statement of the call. At any moment of execution the
+// activation record stack corresponds to a path in this graph starting at
+// main, so the graph defines all possible activation record stacks.
+//
+// The reconfiguration graph restricts the call graph to nodes that can be
+// on the stack when execution sits at a reconfiguration point -- functions
+// reachable from main that can (transitively) reach a function containing a
+// reconfiguration point -- and adds a synthetic `reconfig` node with one
+// edge per reconfiguration point. Its edges are numbered consecutively,
+// (i, Si); edge numbers become the mh_location values captured and
+// restored at run time.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace surgeon::graph {
+
+/// One call site: an edge of the static call graph.
+struct CallSite {
+  std::string caller;
+  std::string callee;
+  /// The statement, directly inside `block`, that contains the call.
+  minic::Stmt* stmt = nullptr;
+  minic::BlockStmt* block = nullptr;
+  /// The call expression itself.
+  minic::CallExpr* call = nullptr;
+  /// True when the call is the whole statement (possibly labeled) rather
+  /// than nested inside a larger expression/condition. Only such calls can
+  /// be instrumented for reconfiguration.
+  bool is_statement_call = false;
+  support::SourceLoc loc;
+};
+
+struct CallGraph {
+  std::set<std::string> nodes;
+  std::vector<CallSite> sites;
+  std::map<std::string, std::set<std::string>> successors;
+
+  /// All nodes reachable from `from` (inclusive).
+  [[nodiscard]] std::set<std::string> reachable_from(
+      const std::string& from) const;
+  /// All nodes that can reach any node in `targets` (inclusive).
+  [[nodiscard]] std::set<std::string> can_reach(
+      const std::set<std::string>& targets) const;
+};
+
+/// Builds the static call graph of an analyzed program. Sites carry
+/// pointers into the AST; the program must outlive the graph.
+[[nodiscard]] CallGraph build_call_graph(minic::Program& program);
+
+/// A located reconfiguration point: the `R:` label named by the module
+/// specification, found in the program text.
+struct ReconfigPoint {
+  std::string label;
+  std::string function;             // function containing the label
+  minic::LabeledStmt* stmt = nullptr;
+  minic::BlockStmt* block = nullptr;
+  support::SourceLoc loc;
+};
+
+/// One edge of the reconfiguration graph: (id, Si).
+struct ReconfigEdge {
+  int id = 0;              // consecutive 1-based number; the mh_location value
+  std::string from;        // function containing the site
+  std::string to;          // callee function, or "reconfig"
+  bool is_reconfig_point = false;
+  /// For call edges: the call site. For reconfiguration-point edges the
+  /// site fields of `point` are used instead.
+  CallSite site;
+  ReconfigPoint point;
+};
+
+struct ReconfigGraph {
+  /// Functions that must be prepared for reconfiguration (restore block +
+  /// capture blocks), always including main.
+  std::set<std::string> nodes;
+  std::vector<ReconfigEdge> edges;
+  std::vector<ReconfigPoint> points;
+
+  [[nodiscard]] std::vector<const ReconfigEdge*> edges_from(
+      const std::string& fn) const;
+};
+
+/// Locates reconfiguration point labels in the program. Throws SemaError if
+/// a label is missing or appears in more than one function.
+[[nodiscard]] std::vector<ReconfigPoint> find_reconfig_points(
+    minic::Program& program, const std::vector<std::string>& labels);
+
+/// Builds the reconfiguration graph (Figure 6) for the given reconfiguration
+/// point labels. Throws SemaError when a reconfiguration point is
+/// unreachable from main, or when a call on the reconfiguration path is not
+/// a statement-level call (the transformation cannot resume mid-expression;
+/// the paper's abstract state exists only between high-level statements).
+[[nodiscard]] ReconfigGraph build_reconfig_graph(
+    minic::Program& program, const std::vector<std::string>& labels);
+
+/// Graphviz rendering of either graph, for documentation and debugging.
+[[nodiscard]] std::string to_dot(const CallGraph& graph);
+[[nodiscard]] std::string to_dot(const ReconfigGraph& graph);
+
+}  // namespace surgeon::graph

@@ -1,0 +1,159 @@
+#include "minic/ast.hpp"
+
+namespace surgeon::minic {
+
+std::string Type::to_string() const {
+  const char* name = "void";
+  switch (base) {
+    case BaseType::kVoid:
+      name = "void";
+      break;
+    case BaseType::kInt:
+      name = "int";
+      break;
+    case BaseType::kReal:
+      name = "float";
+      break;
+    case BaseType::kString:
+      name = "string";
+      break;
+  }
+  return is_pointer ? std::string(name) + "*" : name;
+}
+
+const char* binary_op_spelling(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+Function* Program::find_function(const std::string& name) {
+  for (auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+const Function* Program::find_function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::uint32_t Program::function_index(const std::string& name) const {
+  for (std::uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i]->name == name) return i;
+  }
+  return UINT32_MAX;
+}
+
+ExprPtr make_int(std::int64_t v, SourceLoc loc) {
+  return std::make_unique<IntLit>(v, loc);
+}
+
+ExprPtr make_real(double v, SourceLoc loc) {
+  return std::make_unique<RealLit>(v, loc);
+}
+
+ExprPtr make_str(std::string v, SourceLoc loc) {
+  return std::make_unique<StrLit>(std::move(v), loc);
+}
+
+ExprPtr make_var(std::string name, SourceLoc loc) {
+  return std::make_unique<VarExpr>(std::move(name), loc);
+}
+
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args,
+                  SourceLoc loc) {
+  return std::make_unique<CallExpr>(std::move(callee), std::move(args), loc);
+}
+
+ExprPtr make_addr_of(std::string var, SourceLoc loc) {
+  return std::make_unique<AddrOfExpr>(make_var(std::move(var), loc), loc);
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return make_int(static_cast<const IntLit&>(e).value, e.loc);
+    case ExprKind::kRealLit:
+      return make_real(static_cast<const RealLit&>(e).value, e.loc);
+    case ExprKind::kStrLit:
+      return make_str(static_cast<const StrLit&>(e).value, e.loc);
+    case ExprKind::kNullLit:
+      return std::make_unique<NullLit>(e.loc);
+    case ExprKind::kVar: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      auto out = std::make_unique<VarExpr>(v.name, v.loc);
+      return out;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::make_unique<UnaryExpr>(u.op, clone_expr(*u.operand), u.loc);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return std::make_unique<BinaryExpr>(b.op, clone_expr(*b.lhs),
+                                          clone_expr(*b.rhs), b.loc);
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(c.args.size());
+      for (const auto& a : c.args) args.push_back(clone_expr(*a));
+      return std::make_unique<CallExpr>(c.callee, std::move(args), c.loc);
+    }
+    case ExprKind::kCast: {
+      const auto& c = static_cast<const CastExpr&>(e);
+      return std::make_unique<CastExpr>(c.target, clone_expr(*c.operand),
+                                        c.loc);
+    }
+    case ExprKind::kAddrOf: {
+      const auto& a = static_cast<const AddrOfExpr&>(e);
+      return std::make_unique<AddrOfExpr>(clone_expr(*a.operand), a.loc);
+    }
+    case ExprKind::kDeref: {
+      const auto& d = static_cast<const DerefExpr&>(e);
+      return std::make_unique<DerefExpr>(clone_expr(*d.operand), d.loc);
+    }
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const IndexExpr&>(e);
+      return std::make_unique<IndexExpr>(clone_expr(*i.base),
+                                         clone_expr(*i.index), i.loc);
+    }
+  }
+  throw support::Error("clone_expr: unknown expression kind");
+}
+
+}  // namespace surgeon::minic

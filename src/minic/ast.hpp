@@ -1,0 +1,387 @@
+// MiniC abstract syntax.
+//
+// MiniC is the statically-scoped, single-threaded module language of this
+// reproduction: C-like syntax, exactly the features the paper's examples
+// rely on (recursion, pointer out-parameters, goto/labels, globals, string
+// status checks) plus a managed-heap extension. The Section-3 source
+// transformation operates on this AST and its output is compiled by the
+// *unmodified* MiniC compiler -- that separation is the paper's thesis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace surgeon::minic {
+
+using support::SourceLoc;
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class BaseType : std::uint8_t { kVoid, kInt, kReal, kString };
+
+struct Type {
+  BaseType base = BaseType::kVoid;
+  bool is_pointer = false;
+
+  [[nodiscard]] bool is_void() const noexcept {
+    return base == BaseType::kVoid && !is_pointer;
+  }
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return !is_pointer && (base == BaseType::kInt || base == BaseType::kReal);
+  }
+  [[nodiscard]] Type pointee() const noexcept { return Type{base, false}; }
+  [[nodiscard]] Type pointer_to() const noexcept { return Type{base, true}; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+inline constexpr Type kVoidType{BaseType::kVoid, false};
+inline constexpr Type kIntType{BaseType::kInt, false};
+inline constexpr Type kRealType{BaseType::kReal, false};
+inline constexpr Type kStringType{BaseType::kString, false};
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kRealLit,
+  kStrLit,
+  kNullLit,
+  kVar,
+  kUnary,
+  kBinary,
+  kCall,
+  kCast,
+  kAddrOf,
+  kDeref,
+  kIndex,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+[[nodiscard]] const char* binary_op_spelling(BinaryOp op) noexcept;
+
+/// How a variable reference was resolved by sema. kFunc marks a function
+/// name used as a value (only legal as the argument of mh_signal).
+enum class VarStorage : std::uint8_t {
+  kUnresolved,
+  kGlobal,
+  kLocal,
+  kParam,
+  kFunc,
+};
+
+struct Expr {
+  explicit Expr(ExprKind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  SourceLoc loc;
+  Type type;  // filled in by sema
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit final : Expr {
+  IntLit(std::int64_t value, SourceLoc loc)
+      : Expr(ExprKind::kIntLit, loc), value(value) {}
+  std::int64_t value;
+};
+
+struct RealLit final : Expr {
+  RealLit(double value, SourceLoc loc)
+      : Expr(ExprKind::kRealLit, loc), value(value) {}
+  double value;
+};
+
+struct StrLit final : Expr {
+  StrLit(std::string value, SourceLoc loc)
+      : Expr(ExprKind::kStrLit, loc), value(std::move(value)) {}
+  std::string value;
+};
+
+struct NullLit final : Expr {
+  explicit NullLit(SourceLoc loc) : Expr(ExprKind::kNullLit, loc) {}
+};
+
+struct VarExpr final : Expr {
+  VarExpr(std::string name, SourceLoc loc)
+      : Expr(ExprKind::kVar, loc), name(std::move(name)) {}
+  std::string name;
+  VarStorage storage = VarStorage::kUnresolved;
+  std::uint32_t slot = 0;  // global index / local slot / param slot
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr(UnaryOp op, ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kUnary, loc), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+      : Expr(ExprKind::kBinary, loc),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// A call to a user function or a builtin (resolved by sema).
+struct CallExpr final : Expr {
+  CallExpr(std::string callee, std::vector<ExprPtr> args, SourceLoc loc)
+      : Expr(ExprKind::kCall, loc),
+        callee(std::move(callee)),
+        args(std::move(args)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  /// Index into Program::functions, or ~0u when `builtin` is set.
+  std::uint32_t callee_index = UINT32_MAX;
+  bool is_builtin = false;
+};
+
+struct CastExpr final : Expr {
+  CastExpr(Type target, ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kCast, loc),
+        target(target),
+        operand(std::move(operand)) {}
+  Type target;
+  ExprPtr operand;
+};
+
+struct AddrOfExpr final : Expr {
+  AddrOfExpr(ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kAddrOf, loc), operand(std::move(operand)) {}
+  ExprPtr operand;  // must be a VarExpr after sema
+};
+
+struct DerefExpr final : Expr {
+  DerefExpr(ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kDeref, loc), operand(std::move(operand)) {}
+  ExprPtr operand;
+};
+
+struct IndexExpr final : Expr {
+  IndexExpr(ExprPtr base, ExprPtr index, SourceLoc loc)
+      : Expr(ExprKind::kIndex, loc),
+        base(std::move(base)),
+        index(std::move(index)) {}
+  ExprPtr base;
+  ExprPtr index;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kDecl,
+  kAssign,
+  kExpr,
+  kIf,
+  kWhile,
+  kFor,
+  kBreak,
+  kContinue,
+  kReturn,
+  kGoto,
+  kLabeled,
+  kEmpty,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+  SourceLoc loc;
+  /// Set by the transformer on statements it inserted, so the printer can
+  /// render them inside the paper's "begin capture/restore" comment frames.
+  std::string xform_note;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt final : Stmt {
+  explicit BlockStmt(SourceLoc loc) : Stmt(StmtKind::kBlock, loc) {}
+  std::vector<StmtPtr> stmts;
+};
+
+/// Local variable declaration (function-scoped, like C89).
+struct DeclStmt final : Stmt {
+  DeclStmt(Type type, std::string name, ExprPtr init, SourceLoc loc)
+      : Stmt(StmtKind::kDecl, loc),
+        type(type),
+        name(std::move(name)),
+        init(std::move(init)) {}
+  Type type;
+  std::string name;
+  ExprPtr init;  // may be null
+  std::uint32_t slot = 0;
+};
+
+struct AssignStmt final : Stmt {
+  AssignStmt(ExprPtr target, ExprPtr value, SourceLoc loc)
+      : Stmt(StmtKind::kAssign, loc),
+        target(std::move(target)),
+        value(std::move(value)) {}
+  ExprPtr target;  // VarExpr, DerefExpr, or IndexExpr
+  ExprPtr value;
+};
+
+struct ExprStmt final : Stmt {
+  ExprStmt(ExprPtr expr, SourceLoc loc)
+      : Stmt(StmtKind::kExpr, loc), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+struct IfStmt final : Stmt {
+  IfStmt(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch,
+         SourceLoc loc)
+      : Stmt(StmtKind::kIf, loc),
+        cond(std::move(cond)),
+        then_branch(std::move(then_branch)),
+        else_branch(std::move(else_branch)) {}
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+};
+
+struct WhileStmt final : Stmt {
+  WhileStmt(ExprPtr cond, StmtPtr body, SourceLoc loc)
+      : Stmt(StmtKind::kWhile, loc),
+        cond(std::move(cond)),
+        body(std::move(body)) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+/// C-style for loop. Any of the three header parts may be absent; an
+/// absent condition means "always true".
+struct ForStmt final : Stmt {
+  ForStmt(StmtPtr init, ExprPtr cond, StmtPtr step, StmtPtr body,
+          SourceLoc loc)
+      : Stmt(StmtKind::kFor, loc),
+        init(std::move(init)),
+        cond(std::move(cond)),
+        step(std::move(step)),
+        body(std::move(body)) {}
+  StmtPtr init;  // DeclStmt / AssignStmt / ExprStmt, or null
+  ExprPtr cond;  // or null
+  StmtPtr step;  // AssignStmt / ExprStmt, or null
+  StmtPtr body;
+};
+
+struct BreakStmt final : Stmt {
+  explicit BreakStmt(SourceLoc loc) : Stmt(StmtKind::kBreak, loc) {}
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc loc) : Stmt(StmtKind::kContinue, loc) {}
+};
+
+struct ReturnStmt final : Stmt {
+  ReturnStmt(ExprPtr value, SourceLoc loc)
+      : Stmt(StmtKind::kReturn, loc), value(std::move(value)) {}
+  ExprPtr value;  // may be null
+};
+
+struct GotoStmt final : Stmt {
+  GotoStmt(std::string label, SourceLoc loc)
+      : Stmt(StmtKind::kGoto, loc), label(std::move(label)) {}
+  std::string label;
+};
+
+/// A lone ";". The transformer labels empty statements to create jump
+/// targets immediately after capture blocks (the Li of Figure 7).
+struct EmptyStmt final : Stmt {
+  explicit EmptyStmt(SourceLoc loc) : Stmt(StmtKind::kEmpty, loc) {}
+};
+
+/// `L: stmt` -- including the bare reconfiguration-point labels (`R: ...`).
+struct LabeledStmt final : Stmt {
+  LabeledStmt(std::string label, StmtPtr inner, SourceLoc loc)
+      : Stmt(StmtKind::kLabeled, loc),
+        label(std::move(label)),
+        inner(std::move(inner)) {}
+  std::string label;
+  StmtPtr inner;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+struct Param {
+  Type type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct Function {
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc;
+
+  /// Filled in by sema: every function-scoped local, in declaration order.
+  struct LocalInfo {
+    std::string name;
+    Type type;
+  };
+  std::vector<LocalInfo> locals;
+};
+
+struct GlobalDecl {
+  Type type;
+  std::string name;
+  ExprPtr init;  // constant expression or null
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<Function>> functions;
+
+  [[nodiscard]] Function* find_function(const std::string& name);
+  [[nodiscard]] const Function* find_function(const std::string& name) const;
+  [[nodiscard]] std::uint32_t function_index(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers used by the parser, sema, transformer, and tests.
+
+[[nodiscard]] ExprPtr make_int(std::int64_t v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_real(double v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_str(std::string v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_var(std::string name, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_call(std::string callee, std::vector<ExprPtr> args,
+                                SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_addr_of(std::string var, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                                  SourceLoc loc = {});
+
+/// Deep-copies an expression tree (used by the transformer when a call is
+/// repeated in restore code).
+[[nodiscard]] ExprPtr clone_expr(const Expr& e);
+
+}  // namespace surgeon::minic

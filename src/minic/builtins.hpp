@@ -1,0 +1,49 @@
+// The MiniC builtin functions: the POLYLITH communication primitives of the
+// paper (mh_read / mh_write / mh_query_ifmsgs), the module-participation
+// primitives inserted by the transformer (mh_capture / mh_restore /
+// mh_encode / mh_decode / mh_getstatus / mh_signal), and a few runtime
+// services (sleep, print, random, clock, managed heap).
+//
+// The VM implements these against bus::Client; the compiler emits a Builtin
+// instruction; sema type-checks each against the rules encoded here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace surgeon::minic {
+
+enum class BuiltinId : std::uint8_t {
+  kMhRead,         // mh_read(iface, fmt, &v...)      blocking receive
+  kMhWrite,        // mh_write(iface, fmt, v...)      asynchronous send
+  kMhQueryIfmsgs,  // mh_query_ifmsgs(iface) -> int   queue non-empty?
+  kMhCapture,      // mh_capture(fmt, v...)           append state frame
+  kMhRestore,      // mh_restore(fmt, &v...)          pop state frame
+  kMhEncode,       // mh_encode()                     divulge state to bus
+  kMhDecode,       // mh_decode()                     blocking state install
+  kMhGetstatus,    // mh_getstatus() -> string        "new" / "clone"
+  kMhSignal,       // mh_signal(handler)              register SIGHUP handler
+  kSleep,          // sleep(seconds)
+  kPrint,          // print(v...)                     module output log
+  kRandom,         // random(n) -> int in [0, n)      deterministic stream
+  kClock,          // clock() -> int                  virtual microseconds
+  kMhSelf,         // mh_self() -> string             module instance name
+  kMhAllocInt,     // mh_alloc_int(n) -> int*         managed heap
+  kMhAllocReal,    // mh_alloc_real(n) -> float*
+  kMhAllocStr,     // mh_alloc_str(n) -> string*
+  kMhFree,         // mh_free(p)
+  kMhPeekLocation, // mh_peek_location() -> int       resume location of the
+                   //   pending restore frame, without popping it (used by
+                   //   liveness-mode restore blocks, whose frame layout
+                   //   depends on the location)
+};
+
+/// Returns the builtin for a callee name, if it is one.
+[[nodiscard]] std::optional<BuiltinId> lookup_builtin(std::string_view name);
+
+[[nodiscard]] const char* builtin_name(BuiltinId id) noexcept;
+
+inline constexpr std::uint8_t kBuiltinCount = 19;
+
+}  // namespace surgeon::minic

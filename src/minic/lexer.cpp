@@ -1,0 +1,305 @@
+#include "minic/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace surgeon::minic {
+
+using support::ParseError;
+using support::SourceLoc;
+
+const char* token_kind_name(TokKind kind) noexcept {
+  switch (kind) {
+    case TokKind::kEof: return "end of input";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer literal";
+    case TokKind::kRealLit: return "float literal";
+    case TokKind::kStrLit: return "string literal";
+    case TokKind::kKwInt: return "'int'";
+    case TokKind::kKwFloat: return "'float'";
+    case TokKind::kKwString: return "'string'";
+    case TokKind::kKwVoid: return "'void'";
+    case TokKind::kKwIf: return "'if'";
+    case TokKind::kKwElse: return "'else'";
+    case TokKind::kKwWhile: return "'while'";
+    case TokKind::kKwFor: return "'for'";
+    case TokKind::kKwBreak: return "'break'";
+    case TokKind::kKwContinue: return "'continue'";
+    case TokKind::kKwReturn: return "'return'";
+    case TokKind::kKwGoto: return "'goto'";
+    case TokKind::kKwNull: return "'null'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kColon: return "':'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kAmp: return "'&'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokKind, std::less<>>& keywords() {
+  static const std::map<std::string, TokKind, std::less<>> kw = {
+      {"int", TokKind::kKwInt},       {"float", TokKind::kKwFloat},
+      {"double", TokKind::kKwFloat},  {"string", TokKind::kKwString},
+      {"void", TokKind::kKwVoid},     {"if", TokKind::kKwIf},
+      {"else", TokKind::kKwElse},     {"while", TokKind::kKwWhile},
+      {"for", TokKind::kKwFor},       {"break", TokKind::kKwBreak},
+      {"continue", TokKind::kKwContinue},
+      {"return", TokKind::kKwReturn}, {"goto", TokKind::kKwGoto},
+      {"null", TokKind::kKwNull},
+  };
+  return kw;
+}
+
+class LexState {
+ public:
+  explicit LexState(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_trivia();
+      SourceLoc loc = here();
+      if (pos_ >= src_.size()) {
+        tokens.push_back(Token{TokKind::kEof, "", 0, 0.0, loc});
+        return tokens;
+      }
+      tokens.push_back(lex_one(loc));
+    }
+  }
+
+ private:
+  [[nodiscard]] SourceLoc here() const noexcept {
+    return SourceLoc{line_, col_};
+  }
+  [[nodiscard]] char peek(std::size_t off = 0) const noexcept {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  void advance() {
+    if (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        SourceLoc start = here();
+        advance();
+        advance();
+        while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) {
+          advance();
+        }
+        if (pos_ >= src_.size()) {
+          throw ParseError(start, "unterminated comment");
+        }
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_one(SourceLoc loc) {
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident(loc);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(loc);
+    if (c == '"') return lex_string(loc);
+    return lex_punct(loc);
+  }
+
+  Token lex_ident(SourceLoc loc) {
+    std::string s;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      s += peek();
+      advance();
+    }
+    auto it = keywords().find(s);
+    if (it != keywords().end()) {
+      return Token{it->second, std::move(s), 0, 0.0, loc};
+    }
+    return Token{TokKind::kIdent, std::move(s), 0, 0.0, loc};
+  }
+
+  Token lex_number(SourceLoc loc) {
+    std::string s;
+    bool is_real = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      s += peek();
+      advance();
+    }
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_real = true;
+      s += peek();
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        s += peek();
+        advance();
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t save_pos = pos_;
+      std::string exp;
+      exp += peek();
+      advance();
+      if (peek() == '+' || peek() == '-') {
+        exp += peek();
+        advance();
+      }
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        is_real = true;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          exp += peek();
+          advance();
+        }
+        s += exp;
+      } else {
+        // Not an exponent after all ("1e" followed by an identifier);
+        // rewind is impossible with our cursor, so reject clearly.
+        (void)save_pos;
+        throw ParseError(loc, "malformed numeric literal '" + s + exp + "'");
+      }
+    }
+    Token t;
+    t.loc = loc;
+    t.text = s;
+    if (is_real) {
+      t.kind = TokKind::kRealLit;
+      t.real_value = std::stod(s);
+    } else {
+      t.kind = TokKind::kIntLit;
+      t.int_value = std::stoll(s);
+    }
+    return t;
+  }
+
+  Token lex_string(SourceLoc loc) {
+    advance();  // opening quote
+    std::string s;
+    while (pos_ < src_.size() && peek() != '"') {
+      if (peek() == '\n') throw ParseError(loc, "newline in string literal");
+      if (peek() == '\\') {
+        advance();
+        char e = peek();
+        switch (e) {
+          case 'n':
+            s += '\n';
+            break;
+          case 't':
+            s += '\t';
+            break;
+          case '\\':
+            s += '\\';
+            break;
+          case '"':
+            s += '"';
+            break;
+          default:
+            throw ParseError(here(), std::string("bad escape '\\") + e + "'");
+        }
+        advance();
+      } else {
+        s += peek();
+        advance();
+      }
+    }
+    if (pos_ >= src_.size()) throw ParseError(loc, "unterminated string");
+    advance();  // closing quote
+    return Token{TokKind::kStrLit, std::move(s), 0, 0.0, loc};
+  }
+
+  Token lex_punct(SourceLoc loc) {
+    char c = peek();
+    auto two = [&](char second, TokKind pair, TokKind single) {
+      advance();
+      if (peek() == second) {
+        advance();
+        return pair;
+      }
+      return single;
+    };
+    TokKind kind;
+    switch (c) {
+      case '(': kind = TokKind::kLParen; advance(); break;
+      case ')': kind = TokKind::kRParen; advance(); break;
+      case '{': kind = TokKind::kLBrace; advance(); break;
+      case '}': kind = TokKind::kRBrace; advance(); break;
+      case '[': kind = TokKind::kLBracket; advance(); break;
+      case ']': kind = TokKind::kRBracket; advance(); break;
+      case ';': kind = TokKind::kSemi; advance(); break;
+      case ',': kind = TokKind::kComma; advance(); break;
+      case ':': kind = TokKind::kColon; advance(); break;
+      case '+': kind = TokKind::kPlus; advance(); break;
+      case '-': kind = TokKind::kMinus; advance(); break;
+      case '*': kind = TokKind::kStar; advance(); break;
+      case '/': kind = TokKind::kSlash; advance(); break;
+      case '%': kind = TokKind::kPercent; advance(); break;
+      case '=': kind = two('=', TokKind::kEq, TokKind::kAssign); break;
+      case '!': kind = two('=', TokKind::kNe, TokKind::kBang); break;
+      case '<': kind = two('=', TokKind::kLe, TokKind::kLt); break;
+      case '>': kind = two('=', TokKind::kGe, TokKind::kGt); break;
+      case '&': kind = two('&', TokKind::kAndAnd, TokKind::kAmp); break;
+      case '|': {
+        advance();
+        if (peek() != '|') {
+          throw ParseError(loc, "'|' is not an operator (did you mean '||'?)");
+        }
+        advance();
+        kind = TokKind::kOrOr;
+        break;
+      }
+      default:
+        throw ParseError(loc, std::string("unexpected character '") + c + "'");
+    }
+    return Token{kind, "", 0, 0.0, loc};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return LexState(source).run();
+}
+
+}  // namespace surgeon::minic

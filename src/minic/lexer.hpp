@@ -1,0 +1,47 @@
+// MiniC lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace surgeon::minic {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStrLit,
+  // keywords
+  kKwInt, kKwFloat, kKwString, kKwVoid,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwBreak, kKwContinue,
+  kKwReturn, kKwGoto, kKwNull,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon,
+  kAssign,           // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp,              // &
+  kBang,             // !
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;          // identifier / string contents
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  support::SourceLoc loc;
+};
+
+[[nodiscard]] const char* token_kind_name(TokKind kind) noexcept;
+
+/// Tokenizes a whole MiniC source. Throws ParseError on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace surgeon::minic

@@ -1,0 +1,436 @@
+#include "minic/parser.hpp"
+
+#include "minic/lexer.hpp"
+
+namespace surgeon::minic {
+
+using support::ParseError;
+using support::SourceLoc;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  Program parse_program() {
+    Program prog;
+    while (!at(TokKind::kEof)) {
+      Type type = parse_type();
+      Token name = expect(TokKind::kIdent, "declaration name");
+      if (at(TokKind::kLParen)) {
+        prog.functions.push_back(parse_function(type, name));
+      } else {
+        prog.globals.push_back(parse_global(type, name));
+      }
+    }
+    return prog;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr e = parse_expr();
+    expect(TokKind::kEof, "end of expression");
+    return e;
+  }
+
+ private:
+  [[nodiscard]] const Token& tok(std::size_t off = 0) const {
+    std::size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(TokKind kind) const { return tok().kind == kind; }
+  void shift() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Token expect(TokKind kind, const char* what) {
+    if (!at(kind)) {
+      throw ParseError(tok().loc, std::string("expected ") + what + ", got " +
+                                      token_kind_name(tok().kind));
+    }
+    Token t = tok();
+    shift();
+    return t;
+  }
+
+  bool accept(TokKind kind) {
+    if (at(kind)) {
+      shift();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] static bool is_type_keyword(TokKind kind) noexcept {
+    return kind == TokKind::kKwInt || kind == TokKind::kKwFloat ||
+           kind == TokKind::kKwString || kind == TokKind::kKwVoid;
+  }
+
+  Type parse_type() {
+    Type type;
+    switch (tok().kind) {
+      case TokKind::kKwInt:
+        type.base = BaseType::kInt;
+        break;
+      case TokKind::kKwFloat:
+        type.base = BaseType::kReal;
+        break;
+      case TokKind::kKwString:
+        type.base = BaseType::kString;
+        break;
+      case TokKind::kKwVoid:
+        type.base = BaseType::kVoid;
+        break;
+      default:
+        throw ParseError(tok().loc, std::string("expected a type, got ") +
+                                        token_kind_name(tok().kind));
+    }
+    shift();
+    if (accept(TokKind::kStar)) type.is_pointer = true;
+    return type;
+  }
+
+  GlobalDecl parse_global(Type type, const Token& name) {
+    if (type.is_void()) {
+      throw ParseError(name.loc, "global '" + name.text + "' cannot be void");
+    }
+    GlobalDecl g;
+    g.type = type;
+    g.name = name.text;
+    g.loc = name.loc;
+    if (accept(TokKind::kAssign)) g.init = parse_expr();
+    expect(TokKind::kSemi, "';' after global declaration");
+    return g;
+  }
+
+  std::unique_ptr<Function> parse_function(Type ret, const Token& name) {
+    auto fn = std::make_unique<Function>();
+    fn->name = name.text;
+    fn->return_type = ret;
+    fn->loc = name.loc;
+    expect(TokKind::kLParen, "'('");
+    if (!at(TokKind::kRParen)) {
+      do {
+        Param p;
+        p.type = parse_type();
+        Token pn = expect(TokKind::kIdent, "parameter name");
+        p.name = pn.text;
+        p.loc = pn.loc;
+        if (p.type.is_void()) {
+          throw ParseError(p.loc, "parameter '" + p.name + "' cannot be void");
+        }
+        fn->params.push_back(std::move(p));
+      } while (accept(TokKind::kComma));
+    }
+    expect(TokKind::kRParen, "')'");
+    fn->body = parse_block();
+    return fn;
+  }
+
+  std::unique_ptr<BlockStmt> parse_block() {
+    Token open = expect(TokKind::kLBrace, "'{'");
+    auto block = std::make_unique<BlockStmt>(open.loc);
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEof)) throw ParseError(open.loc, "unterminated block");
+      block->stmts.push_back(parse_stmt());
+    }
+    shift();  // consume '}'
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    SourceLoc loc = tok().loc;
+    switch (tok().kind) {
+      case TokKind::kLBrace:
+        return parse_block();
+      case TokKind::kKwIf: {
+        shift();
+        expect(TokKind::kLParen, "'(' after if");
+        ExprPtr cond = parse_expr();
+        expect(TokKind::kRParen, "')'");
+        StmtPtr then_branch = parse_stmt();
+        StmtPtr else_branch;
+        if (accept(TokKind::kKwElse)) else_branch = parse_stmt();
+        return std::make_unique<IfStmt>(std::move(cond),
+                                        std::move(then_branch),
+                                        std::move(else_branch), loc);
+      }
+      case TokKind::kKwWhile: {
+        shift();
+        expect(TokKind::kLParen, "'(' after while");
+        ExprPtr cond = parse_expr();
+        expect(TokKind::kRParen, "')'");
+        StmtPtr body = parse_stmt();
+        return std::make_unique<WhileStmt>(std::move(cond), std::move(body),
+                                           loc);
+      }
+      case TokKind::kKwFor: {
+        shift();
+        expect(TokKind::kLParen, "'(' after for");
+        StmtPtr init;
+        if (!at(TokKind::kSemi)) {
+          init = parse_simple_stmt("for initializer");
+        }
+        expect(TokKind::kSemi, "';' after for initializer");
+        ExprPtr cond;
+        if (!at(TokKind::kSemi)) cond = parse_expr();
+        expect(TokKind::kSemi, "';' after for condition");
+        StmtPtr step;
+        if (!at(TokKind::kRParen)) step = parse_simple_stmt("for step");
+        expect(TokKind::kRParen, "')' after for header");
+        StmtPtr body = parse_stmt();
+        return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                         std::move(step), std::move(body),
+                                         loc);
+      }
+      case TokKind::kKwBreak:
+        shift();
+        expect(TokKind::kSemi, "';' after break");
+        return std::make_unique<BreakStmt>(loc);
+      case TokKind::kKwContinue:
+        shift();
+        expect(TokKind::kSemi, "';' after continue");
+        return std::make_unique<ContinueStmt>(loc);
+      case TokKind::kKwReturn: {
+        shift();
+        ExprPtr value;
+        if (!at(TokKind::kSemi)) value = parse_expr();
+        expect(TokKind::kSemi, "';' after return");
+        return std::make_unique<ReturnStmt>(std::move(value), loc);
+      }
+      case TokKind::kKwGoto: {
+        shift();
+        Token label = expect(TokKind::kIdent, "label after goto");
+        expect(TokKind::kSemi, "';' after goto");
+        return std::make_unique<GotoStmt>(label.text, loc);
+      }
+      case TokKind::kSemi:
+        shift();
+        return std::make_unique<EmptyStmt>(loc);
+      default:
+        break;
+    }
+    if (is_type_keyword(tok().kind)) {
+      Type type = parse_type();
+      Token name = expect(TokKind::kIdent, "variable name");
+      ExprPtr init;
+      if (accept(TokKind::kAssign)) init = parse_expr();
+      expect(TokKind::kSemi, "';' after declaration");
+      return std::make_unique<DeclStmt>(type, name.text, std::move(init),
+                                        loc);
+    }
+    // Label: IDENT ':' stmt
+    if (at(TokKind::kIdent) && tok(1).kind == TokKind::kColon) {
+      Token label = tok();
+      shift();
+      shift();
+      StmtPtr inner = parse_stmt();
+      return std::make_unique<LabeledStmt>(label.text, std::move(inner),
+                                           label.loc);
+    }
+    // Assignment or expression statement.
+    ExprPtr first = parse_expr();
+    if (accept(TokKind::kAssign)) {
+      ExprPtr value = parse_expr();
+      expect(TokKind::kSemi, "';' after assignment");
+      return std::make_unique<AssignStmt>(std::move(first), std::move(value),
+                                          loc);
+    }
+    expect(TokKind::kSemi, "';' after expression");
+    return std::make_unique<ExprStmt>(std::move(first), loc);
+  }
+
+  /// A declaration, assignment, or expression without the trailing ';'
+  /// (the simple statements a for-header accepts).
+  StmtPtr parse_simple_stmt(const char* what) {
+    SourceLoc loc = tok().loc;
+    if (is_type_keyword(tok().kind)) {
+      Type type = parse_type();
+      Token name = expect(TokKind::kIdent, "variable name");
+      ExprPtr init;
+      if (accept(TokKind::kAssign)) init = parse_expr();
+      return std::make_unique<DeclStmt>(type, name.text, std::move(init),
+                                        loc);
+    }
+    ExprPtr first = parse_expr();
+    if (accept(TokKind::kAssign)) {
+      ExprPtr value = parse_expr();
+      return std::make_unique<AssignStmt>(std::move(first), std::move(value),
+                                          loc);
+    }
+    if (first->kind != ExprKind::kCall) {
+      throw ParseError(loc, std::string(what) +
+                                " must be a declaration, assignment, or call");
+    }
+    return std::make_unique<ExprStmt>(std::move(first), loc);
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokKind::kOrOr)) {
+      SourceLoc loc = tok().loc;
+      shift();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (at(TokKind::kAndAnd)) {
+      SourceLoc loc = tok().loc;
+      shift();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         parse_cmp(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    BinaryOp op;
+    switch (tok().kind) {
+      case TokKind::kEq: op = BinaryOp::kEq; break;
+      case TokKind::kNe: op = BinaryOp::kNe; break;
+      case TokKind::kLt: op = BinaryOp::kLt; break;
+      case TokKind::kLe: op = BinaryOp::kLe; break;
+      case TokKind::kGt: op = BinaryOp::kGt; break;
+      case TokKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return lhs;
+    }
+    SourceLoc loc = tok().loc;
+    shift();
+    return std::make_unique<BinaryExpr>(op, std::move(lhs), parse_add(), loc);
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      BinaryOp op = at(TokKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      SourceLoc loc = tok().loc;
+      shift();
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_mul(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokKind::kStar) || at(TokKind::kSlash) ||
+           at(TokKind::kPercent)) {
+      BinaryOp op = at(TokKind::kStar)    ? BinaryOp::kMul
+                    : at(TokKind::kSlash) ? BinaryOp::kDiv
+                                          : BinaryOp::kMod;
+      SourceLoc loc = tok().loc;
+      shift();
+      lhs =
+          std::make_unique<BinaryExpr>(op, std::move(lhs), parse_unary(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    SourceLoc loc = tok().loc;
+    if (accept(TokKind::kMinus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNeg, parse_unary(), loc);
+    }
+    if (accept(TokKind::kBang)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNot, parse_unary(), loc);
+    }
+    if (accept(TokKind::kStar)) {
+      return std::make_unique<DerefExpr>(parse_unary(), loc);
+    }
+    if (accept(TokKind::kAmp)) {
+      return std::make_unique<AddrOfExpr>(parse_unary(), loc);
+    }
+    // Cast: '(' type ')' unary
+    if (at(TokKind::kLParen) && is_type_keyword(tok(1).kind)) {
+      shift();  // '('
+      Type target = parse_type();
+      expect(TokKind::kRParen, "')' after cast type");
+      return std::make_unique<CastExpr>(target, parse_unary(), loc);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (at(TokKind::kLBracket)) {
+      SourceLoc loc = tok().loc;
+      shift();
+      ExprPtr idx = parse_expr();
+      expect(TokKind::kRBracket, "']'");
+      e = std::make_unique<IndexExpr>(std::move(e), std::move(idx), loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    SourceLoc loc = tok().loc;
+    switch (tok().kind) {
+      case TokKind::kIntLit: {
+        auto v = tok().int_value;
+        shift();
+        return make_int(v, loc);
+      }
+      case TokKind::kRealLit: {
+        auto v = tok().real_value;
+        shift();
+        return make_real(v, loc);
+      }
+      case TokKind::kStrLit: {
+        auto v = tok().text;
+        shift();
+        return make_str(std::move(v), loc);
+      }
+      case TokKind::kKwNull:
+        shift();
+        return std::make_unique<NullLit>(loc);
+      case TokKind::kLParen: {
+        shift();
+        ExprPtr e = parse_expr();
+        expect(TokKind::kRParen, "')'");
+        return e;
+      }
+      case TokKind::kIdent: {
+        std::string name = tok().text;
+        shift();
+        if (accept(TokKind::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!at(TokKind::kRParen)) {
+            do {
+              args.push_back(parse_expr());
+            } while (accept(TokKind::kComma));
+          }
+          expect(TokKind::kRParen, "')' after arguments");
+          return make_call(std::move(name), std::move(args), loc);
+        }
+        return make_var(std::move(name), loc);
+      }
+      default:
+        throw ParseError(loc, std::string("expected an expression, got ") +
+                                  token_kind_name(tok().kind));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).parse_program();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser(source).parse_single_expression();
+}
+
+}  // namespace surgeon::minic

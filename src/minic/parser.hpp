@@ -1,0 +1,35 @@
+// MiniC parser: recursive descent over the token stream.
+//
+// program   := (global | function)*
+// global    := type IDENT ["=" expr] ";"
+// function  := type IDENT "(" [param ("," param)*] ")" block
+// param     := type IDENT
+// type      := ("int" | "float" | "string" | "void") ["*"]
+// block     := "{" stmt* "}"
+// stmt      := block
+//            | type IDENT ["=" expr] ";"          (local declaration)
+//            | "if" "(" expr ")" stmt ["else" stmt]
+//            | "while" "(" expr ")" stmt
+//            | "return" [expr] ";"
+//            | "goto" IDENT ";"
+//            | IDENT ":" stmt                     (label)
+//            | lvalue "=" expr ";"
+//            | expr ";"
+// expr      := the usual C precedence ladder (||, &&, comparisons, + -,
+//              * / %, unary - ! * &, casts "(type) e", postfix indexing
+//              "e[i]", calls, literals, null, parentheses)
+#pragma once
+
+#include <string_view>
+
+#include "minic/ast.hpp"
+
+namespace surgeon::minic {
+
+/// Parses a MiniC compilation unit. Throws ParseError on bad input.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parses a single expression (used by tests and the transformer).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace surgeon::minic

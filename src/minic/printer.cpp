@@ -1,0 +1,316 @@
+#include "minic/printer.hpp"
+
+#include <sstream>
+
+#include "support/strutil.hpp"
+
+namespace surgeon::minic {
+
+namespace {
+
+/// Operator precedence for minimal parenthesization.
+int precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (static_cast<const BinaryExpr&>(e).op) {
+        case BinaryOp::kOr:
+          return 1;
+        case BinaryOp::kAnd:
+          return 2;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 3;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+          return 4;
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return 5;
+      }
+      return 0;
+    case ExprKind::kUnary:
+    case ExprKind::kCast:
+    case ExprKind::kDeref:
+    case ExprKind::kAddrOf:
+      return 6;
+    default:
+      return 7;  // primary
+  }
+}
+
+class Printer {
+ public:
+  explicit Printer(const PrintOptions& opts) : opts_(opts) {}
+
+  std::string program(const Program& prog) {
+    for (const auto& g : prog.globals) {
+      out_ << g.type.to_string() << " " << g.name;
+      if (g.init) out_ << " = " << expr(*g.init);
+      out_ << ";\n";
+    }
+    if (!prog.globals.empty()) out_ << "\n";
+    for (std::size_t i = 0; i < prog.functions.size(); ++i) {
+      if (i != 0) out_ << "\n";
+      function(*prog.functions[i]);
+    }
+    return out_.str();
+  }
+
+  std::string stmt_text(const Stmt& s) {
+    stmt(s);
+    return out_.str();
+  }
+
+  std::string expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return std::to_string(static_cast<const IntLit&>(e).value);
+      case ExprKind::kRealLit: {
+        std::ostringstream os;
+        double v = static_cast<const RealLit&>(e).value;
+        os << v;
+        std::string s = os.str();
+        // Keep the literal a float literal when it prints like an int.
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos &&
+            s.find("inf") == std::string::npos &&
+            s.find("nan") == std::string::npos) {
+          s += ".0";
+        }
+        return s;
+      }
+      case ExprKind::kStrLit:
+        return support::quote(static_cast<const StrLit&>(e).value);
+      case ExprKind::kNullLit:
+        return "null";
+      case ExprKind::kVar:
+        return static_cast<const VarExpr&>(e).name;
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        const char* op = u.op == UnaryOp::kNeg ? "-" : "!";
+        return std::string(op) + child(*u.operand, precedence(e));
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        int p = precedence(e);
+        return child(*b.lhs, p) + " " + binary_op_spelling(b.op) + " " +
+               child(*b.rhs, p + 1);
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        std::string s = c.callee + "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i != 0) s += ", ";
+          s += expr(*c.args[i]);
+        }
+        return s + ")";
+      }
+      case ExprKind::kCast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        return "(" + c.target.to_string() + ")" +
+               child(*c.operand, precedence(e));
+      }
+      case ExprKind::kAddrOf:
+        return "&" + child(*static_cast<const AddrOfExpr&>(e).operand,
+                           precedence(e));
+      case ExprKind::kDeref:
+        return "*" + child(*static_cast<const DerefExpr&>(e).operand,
+                           precedence(e));
+      case ExprKind::kIndex: {
+        const auto& i = static_cast<const IndexExpr&>(e);
+        return child(*i.base, precedence(e)) + "[" + expr(*i.index) + "]";
+      }
+    }
+    return "?";
+  }
+
+ private:
+  std::string child(const Expr& e, int min_prec) {
+    std::string s = expr(e);
+    if (precedence(e) < min_prec) return "(" + s + ")";
+    return s;
+  }
+
+  void indent() {
+    for (int i = 0; i < depth_ * opts_.indent_width; ++i) out_ << ' ';
+  }
+
+  void banner(const std::string& note, bool begin) {
+    indent();
+    out_ << "/* ----- " << (begin ? "begin " : "end ") << note
+         << " ----- */\n";
+  }
+
+  void function(const Function& fn) {
+    out_ << fn.return_type.to_string() << " " << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) out_ << ", ";
+      out_ << fn.params[i].type.to_string() << " " << fn.params[i].name;
+    }
+    out_ << ")\n";
+    block_body(*fn.body);
+  }
+
+  void block_body(const BlockStmt& b) {
+    indent();
+    out_ << "{\n";
+    ++depth_;
+    for (const auto& s : b.stmts) stmt(*s);
+    --depth_;
+    indent();
+    out_ << "}\n";
+  }
+
+  void stmt(const Stmt& s) {
+    const bool framed =
+        opts_.banner_transformed_blocks && !s.xform_note.empty();
+    if (framed) banner(s.xform_note, true);
+    stmt_inner(s);
+    if (framed) banner(s.xform_note, false);
+  }
+
+  void stmt_inner(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        block_body(static_cast<const BlockStmt&>(s));
+        return;
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        indent();
+        out_ << d.type.to_string() << " " << d.name;
+        if (d.init) out_ << " = " << expr(*d.init);
+        out_ << ";\n";
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        indent();
+        out_ << expr(*a.target) << " = " << expr(*a.value) << ";\n";
+        return;
+      }
+      case StmtKind::kExpr:
+        indent();
+        out_ << expr(*static_cast<const ExprStmt&>(s).expr) << ";\n";
+        return;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        indent();
+        out_ << "if (" << expr(*i.cond) << ")\n";
+        branch(*i.then_branch);
+        if (i.else_branch) {
+          indent();
+          out_ << "else\n";
+          branch(*i.else_branch);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        indent();
+        out_ << "while (" << expr(*w.cond) << ")\n";
+        branch(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        indent();
+        out_ << "for (" << header_stmt(f.init) << "; "
+             << (f.cond ? expr(*f.cond) : std::string()) << "; "
+             << header_stmt(f.step) << ")\n";
+        branch(*f.body);
+        return;
+      }
+      case StmtKind::kBreak:
+        indent();
+        out_ << "break;\n";
+        return;
+      case StmtKind::kContinue:
+        indent();
+        out_ << "continue;\n";
+        return;
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        indent();
+        out_ << "return";
+        if (r.value) out_ << " " << expr(*r.value);
+        out_ << ";\n";
+        return;
+      }
+      case StmtKind::kGoto:
+        indent();
+        out_ << "goto " << static_cast<const GotoStmt&>(s).label << ";\n";
+        return;
+      case StmtKind::kEmpty:
+        indent();
+        out_ << ";\n";
+        return;
+      case StmtKind::kLabeled: {
+        const auto& l = static_cast<const LabeledStmt&>(s);
+        // The label hangs at the parent indent level, C style.
+        std::string pad(static_cast<std::size_t>(
+                            std::max(0, (depth_ - 1) * opts_.indent_width)),
+                        ' ');
+        out_ << pad << l.label << ":\n";
+        stmt(*l.inner);
+        return;
+      }
+    }
+  }
+
+  /// Renders a for-header part (no indent, no trailing ';').
+  std::string header_stmt(const StmtPtr& s) {
+    if (!s) return "";
+    switch (s->kind) {
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(*s);
+        std::string out = d.type.to_string() + " " + d.name;
+        if (d.init) out += " = " + expr(*d.init);
+        return out;
+      }
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(*s);
+        return expr(*a.target) + " = " + expr(*a.value);
+      }
+      case StmtKind::kExpr:
+        return expr(*static_cast<const ExprStmt&>(*s).expr);
+      default:
+        return "/* ? */";
+    }
+  }
+
+  void branch(const Stmt& s) {
+    if (s.kind == StmtKind::kBlock) {
+      stmt(s);
+    } else {
+      ++depth_;
+      stmt(s);
+      --depth_;
+    }
+  }
+
+  const PrintOptions& opts_;
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string print_program(const Program& program, const PrintOptions& options) {
+  return Printer(options).program(program);
+}
+
+std::string print_stmt(const Stmt& stmt, const PrintOptions& options) {
+  return Printer(options).stmt_text(stmt);
+}
+
+std::string print_expr(const Expr& expr) {
+  PrintOptions opts;
+  return Printer(opts).expr(expr);
+}
+
+}  // namespace surgeon::minic

@@ -1,0 +1,28 @@
+// MiniC source printer.
+//
+// Renders a (possibly transformed) AST back to compilable MiniC text. When a
+// statement carries an xform_note ("begin capture" / "begin restore"), the
+// printer frames it with the dashed comment banners of the paper's Figure 4,
+// so the emitted module visually matches the published transformation.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace surgeon::minic {
+
+struct PrintOptions {
+  /// Emit the Figure-4 style comment banners around transformer-inserted
+  /// blocks.
+  bool banner_transformed_blocks = true;
+  int indent_width = 2;
+};
+
+[[nodiscard]] std::string print_program(const Program& program,
+                                        const PrintOptions& options = {});
+[[nodiscard]] std::string print_stmt(const Stmt& stmt,
+                                     const PrintOptions& options = {});
+[[nodiscard]] std::string print_expr(const Expr& expr);
+
+}  // namespace surgeon::minic

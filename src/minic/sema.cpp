@@ -1,0 +1,787 @@
+#include "minic/sema.hpp"
+
+#include <map>
+#include <set>
+
+#include "minic/builtins.hpp"
+#include "support/format.hpp"
+
+namespace surgeon::minic {
+
+using support::SemaError;
+using support::SourceLoc;
+using support::ValueKind;
+
+std::optional<BuiltinId> lookup_builtin(std::string_view name) {
+  static const std::map<std::string, BuiltinId, std::less<>> table = {
+      {"mh_read", BuiltinId::kMhRead},
+      {"mh_write", BuiltinId::kMhWrite},
+      {"mh_query_ifmsgs", BuiltinId::kMhQueryIfmsgs},
+      {"mh_capture", BuiltinId::kMhCapture},
+      {"mh_restore", BuiltinId::kMhRestore},
+      {"mh_encode", BuiltinId::kMhEncode},
+      {"mh_decode", BuiltinId::kMhDecode},
+      {"mh_getstatus", BuiltinId::kMhGetstatus},
+      {"mh_signal", BuiltinId::kMhSignal},
+      {"sleep", BuiltinId::kSleep},
+      {"print", BuiltinId::kPrint},
+      {"random", BuiltinId::kRandom},
+      {"clock", BuiltinId::kClock},
+      {"mh_self", BuiltinId::kMhSelf},
+      {"mh_alloc_int", BuiltinId::kMhAllocInt},
+      {"mh_alloc_real", BuiltinId::kMhAllocReal},
+      {"mh_alloc_str", BuiltinId::kMhAllocStr},
+      {"mh_free", BuiltinId::kMhFree},
+      {"mh_peek_location", BuiltinId::kMhPeekLocation},
+  };
+  auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+const char* builtin_name(BuiltinId id) noexcept {
+  switch (id) {
+    case BuiltinId::kMhRead: return "mh_read";
+    case BuiltinId::kMhWrite: return "mh_write";
+    case BuiltinId::kMhQueryIfmsgs: return "mh_query_ifmsgs";
+    case BuiltinId::kMhCapture: return "mh_capture";
+    case BuiltinId::kMhRestore: return "mh_restore";
+    case BuiltinId::kMhEncode: return "mh_encode";
+    case BuiltinId::kMhDecode: return "mh_decode";
+    case BuiltinId::kMhGetstatus: return "mh_getstatus";
+    case BuiltinId::kMhSignal: return "mh_signal";
+    case BuiltinId::kSleep: return "sleep";
+    case BuiltinId::kPrint: return "print";
+    case BuiltinId::kRandom: return "random";
+    case BuiltinId::kClock: return "clock";
+    case BuiltinId::kMhSelf: return "mh_self";
+    case BuiltinId::kMhAllocInt: return "mh_alloc_int";
+    case BuiltinId::kMhAllocReal: return "mh_alloc_real";
+    case BuiltinId::kMhAllocStr: return "mh_alloc_str";
+    case BuiltinId::kMhFree: return "mh_free";
+    case BuiltinId::kMhPeekLocation: return "mh_peek_location";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool kind_matches(ValueKind kind, const Type& type) {
+  switch (kind) {
+    case ValueKind::kInt:
+      return type == kIntType;
+    case ValueKind::kReal:
+      return type == kRealType || type == kIntType;  // promote int
+    case ValueKind::kString:
+      return type == kStringType;
+    case ValueKind::kPointer:
+      return type.is_pointer;
+  }
+  return false;
+}
+
+class Sema {
+ public:
+  Sema(Program& prog, const SemaOptions& opts) : prog_(prog), opts_(opts) {}
+
+  void run() {
+    // Globals first: they are visible everywhere.
+    globals_.clear();
+    for (std::uint32_t i = 0; i < prog_.globals.size(); ++i) {
+      auto& g = prog_.globals[i];
+      if (globals_.contains(g.name)) {
+        throw SemaError(g.loc, "duplicate global '" + g.name + "'");
+      }
+      if (lookup_builtin(g.name)) {
+        throw SemaError(g.loc, "'" + g.name + "' shadows a builtin");
+      }
+      globals_[g.name] = i;
+      if (g.init) {
+        Type t = check_expr(*g.init);
+        require_convertible(t, g.type, g.loc, "global initializer");
+      }
+    }
+    for (std::uint32_t i = 0; i < prog_.functions.size(); ++i) {
+      const auto& f = *prog_.functions[i];
+      if (prog_.function_index(f.name) != i) {
+        throw SemaError(f.loc, "duplicate function '" + f.name + "'");
+      }
+      if (lookup_builtin(f.name)) {
+        throw SemaError(f.loc, "function '" + f.name + "' shadows a builtin");
+      }
+      if (globals_.contains(f.name)) {
+        throw SemaError(f.loc,
+                        "function '" + f.name + "' collides with a global");
+      }
+    }
+    for (auto& f : prog_.functions) check_function(*f);
+    if (opts_.require_main) {
+      const Function* main_fn = prog_.find_function("main");
+      if (main_fn == nullptr) {
+        throw SemaError(SourceLoc{}, "program has no main() function");
+      }
+      if (!main_fn->params.empty()) {
+        throw SemaError(main_fn->loc, "main() must take no parameters");
+      }
+    }
+  }
+
+ private:
+  void check_function(Function& fn) {
+    fn_ = &fn;
+    fn.locals.clear();
+    params_.clear();
+    locals_.clear();
+    labels_.clear();
+    gotos_.clear();
+    for (std::uint32_t i = 0; i < fn.params.size(); ++i) {
+      const auto& p = fn.params[i];
+      if (params_.contains(p.name)) {
+        throw SemaError(p.loc, "duplicate parameter '" + p.name + "'");
+      }
+      params_[p.name] = i;
+    }
+    collect_labels(*fn.body);
+    collect_locals(*fn.body);
+    check_stmt(*fn.body);
+    for (const auto& [label, loc] : gotos_) {
+      if (!labels_.contains(label)) {
+        throw SemaError(loc, "goto to undefined label '" + label + "'");
+      }
+    }
+    fn_ = nullptr;
+  }
+
+  /// Labels have function scope and may be the target of a forward goto,
+  /// so they are collected before the statement walk.
+  void collect_labels(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kLabeled: {
+        auto& s = static_cast<LabeledStmt&>(stmt);
+        if (!labels_.insert(s.label).second) {
+          throw SemaError(s.loc, "duplicate label '" + s.label + "'");
+        }
+        if (s.inner) collect_labels(*s.inner);
+        break;
+      }
+      case StmtKind::kBlock:
+        for (auto& child : static_cast<BlockStmt&>(stmt).stmts) {
+          collect_labels(*child);
+        }
+        break;
+      case StmtKind::kIf: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        collect_labels(*s.then_branch);
+        if (s.else_branch) collect_labels(*s.else_branch);
+        break;
+      }
+      case StmtKind::kWhile:
+        collect_labels(*static_cast<WhileStmt&>(stmt).body);
+        break;
+      case StmtKind::kFor: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        if (s.init) collect_labels(*s.init);
+        if (s.step) collect_labels(*s.step);
+        collect_labels(*s.body);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Locals have function scope (a declaration anywhere in the body makes
+  /// the name visible throughout the function, as slots in one activation
+  /// record). This matters for the transformer: the restore block it inserts
+  /// at the top of a function references every local of that function.
+  void collect_locals(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl: {
+        auto& s = static_cast<DeclStmt&>(stmt);
+        if (s.type.is_void()) {
+          throw SemaError(s.loc, "variable '" + s.name + "' cannot be void");
+        }
+        if (params_.contains(s.name) || locals_.contains(s.name)) {
+          throw SemaError(s.loc, "duplicate variable '" + s.name +
+                                     "' (MiniC locals have function scope)");
+        }
+        s.slot = static_cast<std::uint32_t>(fn_->locals.size());
+        locals_[s.name] = s.slot;
+        fn_->locals.push_back(Function::LocalInfo{s.name, s.type});
+        break;
+      }
+      case StmtKind::kBlock:
+        for (auto& child : static_cast<BlockStmt&>(stmt).stmts) {
+          collect_locals(*child);
+        }
+        break;
+      case StmtKind::kIf: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        collect_locals(*s.then_branch);
+        if (s.else_branch) collect_locals(*s.else_branch);
+        break;
+      }
+      case StmtKind::kWhile:
+        collect_locals(*static_cast<WhileStmt&>(stmt).body);
+        break;
+      case StmtKind::kFor: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        if (s.init) collect_locals(*s.init);
+        if (s.step) collect_locals(*s.step);
+        collect_locals(*s.body);
+        break;
+      }
+      case StmtKind::kLabeled: {
+        auto& s = static_cast<LabeledStmt&>(stmt);
+        if (s.inner) collect_locals(*s.inner);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void require_convertible(const Type& from, const Type& to, SourceLoc loc,
+                           const char* what) {
+    if (from == to) return;
+    if (from == kIntType && to == kRealType) return;  // promotion
+    if (from == Type{BaseType::kVoid, true} && to.is_pointer) return;  // null
+    throw SemaError(loc, std::string(what) + ": cannot convert " +
+                             from.to_string() + " to " + to.to_string());
+  }
+
+  void check_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (auto& child : static_cast<BlockStmt&>(stmt).stmts) {
+          check_stmt(*child);
+        }
+        return;
+      case StmtKind::kDecl: {
+        // The name was registered by collect_locals; only the initializer
+        // needs checking here.
+        auto& s = static_cast<DeclStmt&>(stmt);
+        if (s.init) {
+          Type t = check_expr(*s.init);
+          require_convertible(t, s.type, s.loc, "initializer");
+        }
+        return;
+      }
+      case StmtKind::kAssign: {
+        auto& s = static_cast<AssignStmt&>(stmt);
+        Type target = check_lvalue(*s.target);
+        Type value = check_expr(*s.value);
+        require_convertible(value, target, s.loc, "assignment");
+        return;
+      }
+      case StmtKind::kExpr:
+        (void)check_expr(*static_cast<ExprStmt&>(stmt).expr);
+        return;
+      case StmtKind::kIf: {
+        auto& s = static_cast<IfStmt&>(stmt);
+        require_convertible(check_expr(*s.cond), kIntType, s.loc,
+                            "if condition");
+        check_stmt(*s.then_branch);
+        if (s.else_branch) check_stmt(*s.else_branch);
+        return;
+      }
+      case StmtKind::kWhile: {
+        auto& s = static_cast<WhileStmt&>(stmt);
+        require_convertible(check_expr(*s.cond), kIntType, s.loc,
+                            "while condition");
+        ++loop_depth_;
+        check_stmt(*s.body);
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::kFor: {
+        auto& s = static_cast<ForStmt&>(stmt);
+        if (s.init) check_stmt(*s.init);
+        if (s.cond) {
+          require_convertible(check_expr(*s.cond), kIntType, s.loc,
+                              "for condition");
+        }
+        if (s.step) check_stmt(*s.step);
+        ++loop_depth_;
+        check_stmt(*s.body);
+        --loop_depth_;
+        return;
+      }
+      case StmtKind::kBreak:
+        if (loop_depth_ == 0) {
+          throw SemaError(stmt.loc, "break outside of a loop");
+        }
+        return;
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          throw SemaError(stmt.loc, "continue outside of a loop");
+        }
+        return;
+      case StmtKind::kReturn: {
+        auto& s = static_cast<ReturnStmt&>(stmt);
+        if (fn_->return_type.is_void()) {
+          if (s.value) {
+            throw SemaError(s.loc, "void function '" + fn_->name +
+                                       "' cannot return a value");
+          }
+        } else {
+          if (!s.value) {
+            throw SemaError(s.loc, "function '" + fn_->name +
+                                       "' must return a value");
+          }
+          require_convertible(check_expr(*s.value), fn_->return_type, s.loc,
+                              "return value");
+        }
+        return;
+      }
+      case StmtKind::kGoto: {
+        auto& s = static_cast<GotoStmt&>(stmt);
+        gotos_.emplace_back(s.label, s.loc);
+        return;
+      }
+      case StmtKind::kLabeled: {
+        auto& s = static_cast<LabeledStmt&>(stmt);
+        check_stmt(*s.inner);
+        return;
+      }
+      case StmtKind::kEmpty:
+        return;
+    }
+    throw SemaError(stmt.loc, "unknown statement kind");
+  }
+
+  Type check_lvalue(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVar: {
+        Type t = check_expr(e);
+        auto& v = static_cast<VarExpr&>(e);
+        if (v.storage == VarStorage::kFunc) {
+          throw SemaError(e.loc, "cannot assign to function '" + v.name + "'");
+        }
+        return t;
+      }
+      case ExprKind::kDeref:
+      case ExprKind::kIndex:
+        return check_expr(e);
+      default:
+        throw SemaError(e.loc, "expression is not assignable");
+    }
+  }
+
+  Type check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return e.type = kIntType;
+      case ExprKind::kRealLit:
+        return e.type = kRealType;
+      case ExprKind::kStrLit:
+        return e.type = kStringType;
+      case ExprKind::kNullLit:
+        return e.type = Type{BaseType::kVoid, true};
+      case ExprKind::kVar:
+        return check_var(static_cast<VarExpr&>(e));
+      case ExprKind::kUnary:
+        return check_unary(static_cast<UnaryExpr&>(e));
+      case ExprKind::kBinary:
+        return check_binary(static_cast<BinaryExpr&>(e));
+      case ExprKind::kCall:
+        return check_call(static_cast<CallExpr&>(e));
+      case ExprKind::kCast: {
+        auto& c = static_cast<CastExpr&>(e);
+        Type from = check_expr(*c.operand);
+        if (!c.target.is_numeric() || !from.is_numeric()) {
+          throw SemaError(c.loc, "cast requires numeric types, got " +
+                                     from.to_string() + " -> " +
+                                     c.target.to_string());
+        }
+        return e.type = c.target;
+      }
+      case ExprKind::kAddrOf: {
+        auto& a = static_cast<AddrOfExpr&>(e);
+        if (a.operand->kind != ExprKind::kVar) {
+          throw SemaError(a.loc, "'&' requires a variable");
+        }
+        Type t = check_expr(*a.operand);
+        if (t.is_pointer) {
+          throw SemaError(a.loc,
+                          "'&' of a pointer variable is not supported "
+                          "(MiniC has single-level pointers)");
+        }
+        return e.type = t.pointer_to();
+      }
+      case ExprKind::kDeref: {
+        auto& d = static_cast<DerefExpr&>(e);
+        Type t = check_expr(*d.operand);
+        if (!t.is_pointer || t.base == BaseType::kVoid) {
+          throw SemaError(d.loc,
+                          "'*' requires a typed pointer, got " + t.to_string());
+        }
+        return e.type = t.pointee();
+      }
+      case ExprKind::kIndex: {
+        auto& i = static_cast<IndexExpr&>(e);
+        Type base = check_expr(*i.base);
+        if (!base.is_pointer || base.base == BaseType::kVoid) {
+          throw SemaError(i.loc, "indexing requires a typed pointer, got " +
+                                     base.to_string());
+        }
+        require_convertible(check_expr(*i.index), kIntType, i.loc, "index");
+        return e.type = base.pointee();
+      }
+    }
+    throw SemaError(e.loc, "unknown expression kind");
+  }
+
+  Type check_var(VarExpr& v) {
+    if (auto it = locals_.find(v.name); it != locals_.end()) {
+      v.storage = VarStorage::kLocal;
+      v.slot = it->second;
+      return v.type = fn_->locals[it->second].type;
+    }
+    if (auto it = params_.find(v.name); it != params_.end()) {
+      v.storage = VarStorage::kParam;
+      v.slot = it->second;
+      return v.type = fn_->params[it->second].type;
+    }
+    if (auto it = globals_.find(v.name); it != globals_.end()) {
+      v.storage = VarStorage::kGlobal;
+      v.slot = it->second;
+      return v.type = prog_.globals[it->second].type;
+    }
+    if (auto idx = prog_.function_index(v.name); idx != UINT32_MAX) {
+      v.storage = VarStorage::kFunc;
+      v.slot = idx;
+      return v.type = kVoidType;
+    }
+    throw SemaError(v.loc, "undefined variable '" + v.name + "'");
+  }
+
+  Type check_unary(UnaryExpr& u) {
+    Type t = check_expr(*u.operand);
+    switch (u.op) {
+      case UnaryOp::kNeg:
+        if (!t.is_numeric()) {
+          throw SemaError(u.loc, "'-' requires a number, got " + t.to_string());
+        }
+        return u.type = t;
+      case UnaryOp::kNot:
+        require_convertible(t, kIntType, u.loc, "'!' operand");
+        return u.type = kIntType;
+    }
+    throw SemaError(u.loc, "unknown unary operator");
+  }
+
+  Type check_binary(BinaryExpr& b) {
+    Type lt = check_expr(*b.lhs);
+    Type rt = check_expr(*b.rhs);
+    switch (b.op) {
+      case BinaryOp::kAdd:
+        if (lt == kStringType && rt == kStringType) {
+          return b.type = kStringType;
+        }
+        [[fallthrough]];
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        if (!lt.is_numeric() || !rt.is_numeric()) {
+          throw SemaError(b.loc, std::string("'") + binary_op_spelling(b.op) +
+                                     "' requires numbers, got " +
+                                     lt.to_string() + " and " + rt.to_string());
+        }
+        return b.type = (lt == kRealType || rt == kRealType) ? kRealType
+                                                             : kIntType;
+      case BinaryOp::kMod:
+        if (lt != kIntType || rt != kIntType) {
+          throw SemaError(b.loc, "'%' requires integers");
+        }
+        return b.type = kIntType;
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+        if (lt.is_pointer && (rt.is_pointer)) return b.type = kIntType;
+        [[fallthrough]];
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        if (lt.is_numeric() && rt.is_numeric()) return b.type = kIntType;
+        if (lt == kStringType && rt == kStringType) return b.type = kIntType;
+        throw SemaError(b.loc, std::string("'") + binary_op_spelling(b.op) +
+                                   "' cannot compare " + lt.to_string() +
+                                   " and " + rt.to_string());
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        require_convertible(lt, kIntType, b.loc, "logical operand");
+        require_convertible(rt, kIntType, b.loc, "logical operand");
+        return b.type = kIntType;
+    }
+    throw SemaError(b.loc, "unknown binary operator");
+  }
+
+  // --- calls ---------------------------------------------------------------
+
+  Type check_call(CallExpr& c) {
+    if (auto builtin = lookup_builtin(c.callee)) {
+      c.is_builtin = true;
+      c.callee_index = static_cast<std::uint32_t>(*builtin);
+      return c.type = check_builtin_call(c, *builtin);
+    }
+    auto idx = prog_.function_index(c.callee);
+    if (idx == UINT32_MAX) {
+      throw SemaError(c.loc, "call to undefined function '" + c.callee + "'");
+    }
+    c.callee_index = idx;
+    const Function& fn = *prog_.functions[idx];
+    if (c.args.size() != fn.params.size()) {
+      throw SemaError(c.loc, "function '" + c.callee + "' takes " +
+                                 std::to_string(fn.params.size()) +
+                                 " arguments, got " +
+                                 std::to_string(c.args.size()));
+    }
+    for (std::size_t i = 0; i < c.args.size(); ++i) {
+      Type at = check_expr(*c.args[i]);
+      require_convertible(at, fn.params[i].type, c.args[i]->loc, "argument");
+    }
+    return c.type = fn.return_type;
+  }
+
+  /// Extracts a format string literal argument and parses it.
+  std::vector<ValueKind> format_arg(CallExpr& c, std::size_t index) {
+    if (index >= c.args.size() ||
+        c.args[index]->kind != ExprKind::kStrLit) {
+      throw SemaError(c.loc, std::string(builtin_name(static_cast<BuiltinId>(
+                                 c.callee_index))) +
+                                 ": argument " + std::to_string(index + 1) +
+                                 " must be a format string literal");
+    }
+    auto& lit = static_cast<StrLit&>(*c.args[index]);
+    lit.type = kStringType;
+    try {
+      return support::parse_format(lit.value);
+    } catch (const support::ParseError& e) {
+      throw SemaError(lit.loc, e.what());
+    }
+  }
+
+  /// A receive target: either &var with var's type matching `kind`, or a
+  /// pointer-typed expression whose pointee matches. The special case
+  /// `kind == kPointer` with an &ptr target is permitted here even though
+  /// general MiniC has no pointer-to-pointer type: the restore machinery
+  /// needs to write a pointer back into a pointer variable (Figure 4's
+  /// mh_restore writes through rp but into &num, &n as well).
+  void check_receive_target(Expr& e, ValueKind kind) {
+    if (e.kind == ExprKind::kAddrOf) {
+      auto& a = static_cast<AddrOfExpr&>(e);
+      if (a.operand->kind != ExprKind::kVar) {
+        throw SemaError(e.loc, "receive target '&' requires a variable");
+      }
+      Type var_type = check_var(static_cast<VarExpr&>(*a.operand));
+      if (kind == ValueKind::kPointer) {
+        if (!var_type.is_pointer) {
+          throw SemaError(e.loc, "format 'p' requires a pointer variable");
+        }
+        e.type = Type{BaseType::kVoid, true};
+        return;
+      }
+      if (!kind_matches(kind, var_type) || var_type.is_pointer) {
+        throw SemaError(e.loc, std::string("receive target type ") +
+                                   var_type.to_string() +
+                                   " does not match format '" +
+                                   support::value_kind_code(kind) + "'");
+      }
+      e.type = var_type.pointer_to();
+      return;
+    }
+    Type t = check_expr(e);
+    if (!t.is_pointer || t.base == BaseType::kVoid ||
+        !kind_matches(kind, t.pointee()) || kind == ValueKind::kPointer) {
+      throw SemaError(e.loc, std::string("receive target must be a pointer "
+                                         "matching format '") +
+                                 support::value_kind_code(kind) + "', got " +
+                                 t.to_string());
+    }
+  }
+
+  void check_send_value(Expr& e, ValueKind kind) {
+    Type t = check_expr(e);
+    if (!kind_matches(kind, t)) {
+      throw SemaError(e.loc, std::string("value of type ") + t.to_string() +
+                                 " does not match format '" +
+                                 support::value_kind_code(kind) + "'");
+    }
+  }
+
+  void expect_args(const CallExpr& c, std::size_t n) {
+    if (c.args.size() != n) {
+      throw SemaError(c.loc, std::string(builtin_name(static_cast<BuiltinId>(
+                                 c.callee_index))) +
+                                 " takes " + std::to_string(n) +
+                                 " arguments, got " +
+                                 std::to_string(c.args.size()));
+    }
+  }
+
+  Type check_builtin_call(CallExpr& c, BuiltinId id) {
+    switch (id) {
+      case BuiltinId::kMhRead: {
+        if (c.args.size() < 2) {
+          throw SemaError(c.loc, "mh_read(iface, fmt, targets...)");
+        }
+        require_convertible(check_expr(*c.args[0]), kStringType, c.loc,
+                            "interface name");
+        auto kinds = format_arg(c, 1);
+        if (c.args.size() != kinds.size() + 2) {
+          throw SemaError(c.loc, "mh_read: format " +
+                                     std::to_string(kinds.size()) +
+                                     " values but " +
+                                     std::to_string(c.args.size() - 2) +
+                                     " targets");
+        }
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+          check_receive_target(*c.args[i + 2], kinds[i]);
+        }
+        return kVoidType;
+      }
+      case BuiltinId::kMhWrite: {
+        if (c.args.size() < 2) {
+          throw SemaError(c.loc, "mh_write(iface, fmt, values...)");
+        }
+        require_convertible(check_expr(*c.args[0]), kStringType, c.loc,
+                            "interface name");
+        auto kinds = format_arg(c, 1);
+        if (c.args.size() != kinds.size() + 2) {
+          throw SemaError(c.loc, "mh_write: format " +
+                                     std::to_string(kinds.size()) +
+                                     " values but " +
+                                     std::to_string(c.args.size() - 2) +
+                                     " supplied");
+        }
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+          check_send_value(*c.args[i + 2], kinds[i]);
+        }
+        return kVoidType;
+      }
+      case BuiltinId::kMhQueryIfmsgs:
+        expect_args(c, 1);
+        require_convertible(check_expr(*c.args[0]), kStringType, c.loc,
+                            "interface name");
+        return kIntType;
+      case BuiltinId::kMhCapture: {
+        if (c.args.empty()) {
+          throw SemaError(c.loc, "mh_capture(fmt, values...)");
+        }
+        auto kinds = format_arg(c, 0);
+        if (c.args.size() != kinds.size() + 1) {
+          throw SemaError(c.loc, "mh_capture: format " +
+                                     std::to_string(kinds.size()) +
+                                     " values but " +
+                                     std::to_string(c.args.size() - 1) +
+                                     " supplied");
+        }
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+          check_send_value(*c.args[i + 1], kinds[i]);
+        }
+        return kVoidType;
+      }
+      case BuiltinId::kMhRestore: {
+        if (c.args.empty()) {
+          throw SemaError(c.loc, "mh_restore(fmt, targets...)");
+        }
+        auto kinds = format_arg(c, 0);
+        if (c.args.size() != kinds.size() + 1) {
+          throw SemaError(c.loc, "mh_restore: format " +
+                                     std::to_string(kinds.size()) +
+                                     " values but " +
+                                     std::to_string(c.args.size() - 1) +
+                                     " targets");
+        }
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+          check_receive_target(*c.args[i + 1], kinds[i]);
+        }
+        return kVoidType;
+      }
+      case BuiltinId::kMhEncode:
+      case BuiltinId::kMhDecode:
+        expect_args(c, 0);
+        return kVoidType;
+      case BuiltinId::kMhGetstatus:
+      case BuiltinId::kMhSelf:
+        expect_args(c, 0);
+        return kStringType;
+      case BuiltinId::kMhSignal: {
+        expect_args(c, 1);
+        if (c.args[0]->kind != ExprKind::kVar) {
+          throw SemaError(c.loc, "mh_signal requires a handler function name");
+        }
+        auto& v = static_cast<VarExpr&>(*c.args[0]);
+        Type t = check_var(v);
+        if (v.storage != VarStorage::kFunc) {
+          throw SemaError(c.loc, "'" + v.name + "' is not a function");
+        }
+        const Function& handler = *prog_.functions[v.slot];
+        if (!handler.return_type.is_void() || !handler.params.empty()) {
+          throw SemaError(c.loc, "signal handler '" + v.name +
+                                     "' must be void and take no parameters");
+        }
+        (void)t;
+        return kVoidType;
+      }
+      case BuiltinId::kSleep:
+        expect_args(c, 1);
+        require_convertible(check_expr(*c.args[0]), kIntType, c.loc,
+                            "sleep seconds");
+        return kVoidType;
+      case BuiltinId::kPrint:
+        for (auto& a : c.args) (void)check_expr(*a);
+        return kVoidType;
+      case BuiltinId::kRandom:
+        expect_args(c, 1);
+        require_convertible(check_expr(*c.args[0]), kIntType, c.loc,
+                            "random bound");
+        return kIntType;
+      case BuiltinId::kClock:
+        expect_args(c, 0);
+        return kIntType;
+      case BuiltinId::kMhAllocInt:
+      case BuiltinId::kMhAllocReal:
+      case BuiltinId::kMhAllocStr: {
+        expect_args(c, 1);
+        require_convertible(check_expr(*c.args[0]), kIntType, c.loc,
+                            "allocation size");
+        BaseType base = id == BuiltinId::kMhAllocInt    ? BaseType::kInt
+                        : id == BuiltinId::kMhAllocReal ? BaseType::kReal
+                                                        : BaseType::kString;
+        return Type{base, true};
+      }
+      case BuiltinId::kMhFree: {
+        expect_args(c, 1);
+        Type t = check_expr(*c.args[0]);
+        if (!t.is_pointer) {
+          throw SemaError(c.loc, "mh_free requires a pointer");
+        }
+        return kVoidType;
+      }
+      case BuiltinId::kMhPeekLocation:
+        expect_args(c, 0);
+        return kIntType;
+    }
+    throw SemaError(c.loc, "unknown builtin");
+  }
+
+  Program& prog_;
+  SemaOptions opts_;
+  Function* fn_ = nullptr;
+  int loop_depth_ = 0;
+  std::map<std::string, std::uint32_t> globals_;
+  std::map<std::string, std::uint32_t> params_;
+  std::map<std::string, std::uint32_t> locals_;
+  std::set<std::string> labels_;
+  std::vector<std::pair<std::string, SourceLoc>> gotos_;
+};
+
+}  // namespace
+
+void analyze(Program& program, const SemaOptions& options) {
+  Sema(program, options).run();
+}
+
+}  // namespace surgeon::minic

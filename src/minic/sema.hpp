@@ -1,0 +1,31 @@
+// MiniC semantic analysis.
+//
+// Resolves every variable reference (global / parameter / local / function),
+// assigns storage slots, type-checks expressions and statements (with the
+// usual int -> float promotion), validates goto/label structure, and
+// type-checks builtin calls against their format strings.
+//
+// Sema mutates the AST in place (VarExpr::storage/slot, Expr::type,
+// CallExpr::callee_index, Function::locals) and must run before the
+// compiler, the transformer, or the call-graph builder.
+#pragma once
+
+#include "minic/ast.hpp"
+
+namespace surgeon::minic {
+
+struct SemaOptions {
+  /// Require a main() function (on for whole modules; off for fragments).
+  bool require_main = true;
+};
+
+/// Analyzes a parsed program. Throws SemaError on the first error.
+void analyze(Program& program, const SemaOptions& options = {});
+
+/// Re-runs resolution on a program the transformer has modified. Identical
+/// to analyze(); the separate name documents the required second pass.
+inline void reanalyze(Program& program, const SemaOptions& options = {}) {
+  analyze(program, options);
+}
+
+}  // namespace surgeon::minic

@@ -1,0 +1,47 @@
+// Simulated machine architectures.
+//
+// The paper's platform runs on heterogeneous hosts; the abstract state
+// format exists precisely because the native representations differ. Our
+// simulated machines differ in byte order and in activation-record slot
+// padding, which is enough to make a raw binary copy of VM frames
+// non-portable between unlike architectures (tests assert this), while the
+// abstract format crosses freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace surgeon::net {
+
+struct Arch {
+  std::string name;
+  support::ByteOrder byte_order = support::ByteOrder::kLittle;
+  /// Bytes of padding inserted after every 8-byte frame slot; models the
+  /// compiler-and-ABI-specific activation record layout of Section 1.2.
+  std::uint32_t slot_padding = 0;
+
+  friend bool operator==(const Arch&, const Arch&) = default;
+};
+
+/// The reference architectures used throughout tests and examples, named
+/// for the kinds of machines a 1993 POLYLITH deployment spanned. They
+/// differ pairwise in byte order and/or frame layout.
+[[nodiscard]] inline Arch arch_vax() {
+  return Arch{"vax", support::ByteOrder::kLittle, 0};
+}
+[[nodiscard]] inline Arch arch_sparc() {
+  return Arch{"sparc", support::ByteOrder::kBig, 8};
+}
+[[nodiscard]] inline Arch arch_mips() {
+  return Arch{"mips", support::ByteOrder::kBig, 0};
+}
+
+/// All reference architectures (property sweeps iterate over pairs).
+[[nodiscard]] inline std::vector<Arch> reference_arches() {
+  return {arch_vax(), arch_sparc(), arch_mips()};
+}
+
+}  // namespace surgeon::net

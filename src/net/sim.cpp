@@ -1,0 +1,56 @@
+#include "net/sim.hpp"
+
+#include "support/diag.hpp"
+
+namespace surgeon::net {
+
+using support::BusError;
+
+void Simulator::add_machine(const std::string& name, Arch arch) {
+  auto [it, inserted] = machines_.emplace(name, Machine{name, std::move(arch)});
+  if (!inserted) throw BusError("machine already registered: " + name);
+}
+
+const Machine& Simulator::machine(const std::string& name) const {
+  auto it = machines_.find(name);
+  if (it == machines_.end()) throw BusError("unknown machine: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Simulator::machine_names() const {
+  std::vector<std::string> names;
+  names.reserve(machines_.size());
+  for (const auto& [name, m] : machines_) names.push_back(name);
+  return names;
+}
+
+SimTime Simulator::message_latency(const std::string& a, const std::string& b) {
+  if (a == b) return latency_.local_us;
+  SimTime jitter = latency_.remote_jitter_us == 0
+                       ? 0
+                       : rng_.next_below(latency_.remote_jitter_us + 1);
+  return latency_.remote_us + jitter;
+}
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_us_) t = now_us_;
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; copy the function out before popping.
+  Event ev{events_.top().time, events_.top().seq, events_.top().fn};
+  events_.pop();
+  now_us_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace surgeon::net

@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulator: machines, virtual clock, events.
+//
+// The bus schedules message deliveries and timers here; modules' sleep()
+// calls become timer events. Time is virtual (microseconds), so integration
+// tests of multi-machine reconfigurations run in milliseconds of wall time
+// and are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/arch.hpp"
+#include "support/rng.hpp"
+
+namespace surgeon::net {
+
+using SimTime = std::uint64_t;  // microseconds of virtual time
+
+struct Machine {
+  std::string name;
+  Arch arch;
+};
+
+/// Network cost model. Delivery latency between two machines; same-machine
+/// messages pay only the local cost.
+struct LatencyModel {
+  SimTime local_us = 10;
+  SimTime remote_us = 2000;
+  /// Max uniform jitter added to remote deliveries (0 = none).
+  SimTime remote_jitter_us = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Registers a machine. Throws BusError if the name is taken.
+  void add_machine(const std::string& name, Arch arch);
+  [[nodiscard]] bool has_machine(const std::string& name) const {
+    return machines_.contains(name);
+  }
+  /// Throws BusError for an unknown machine.
+  [[nodiscard]] const Machine& machine(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> machine_names() const;
+
+  void set_latency_model(LatencyModel model) noexcept { latency_ = model; }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return latency_;
+  }
+  /// Latency charged for a message from machine `a` to machine `b`.
+  [[nodiscard]] SimTime message_latency(const std::string& a,
+                                        const std::string& b);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_us_; }
+
+  /// Advances the clock directly. Used by the scheduler to charge virtual
+  /// time for computation (per-instruction cost model); pending events whose
+  /// time has passed will run at the advanced clock.
+  void advance_time(SimTime dt) noexcept { now_us_ += dt; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_after(SimTime dt, std::function<void()> fn) {
+    schedule_at(now_us_ + dt, std::move(fn));
+  }
+
+  /// Runs the earliest pending event. Returns false when none remain.
+  bool step();
+  /// Runs events until the queue is empty or `max_events` is hit.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return events_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-break so equal-time events run FIFO
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_us_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::map<std::string, Machine> machines_;
+  LatencyModel latency_;
+  support::SplitMix64 rng_;
+};
+
+}  // namespace surgeon::net

@@ -1,0 +1,798 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+namespace surgeon::opt {
+
+using namespace minic;
+
+bool expr_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kIntLit:
+      return static_cast<const IntLit&>(a).value ==
+             static_cast<const IntLit&>(b).value;
+    case ExprKind::kRealLit:
+      return static_cast<const RealLit&>(a).value ==
+             static_cast<const RealLit&>(b).value;
+    case ExprKind::kStrLit:
+      return static_cast<const StrLit&>(a).value ==
+             static_cast<const StrLit&>(b).value;
+    case ExprKind::kNullLit:
+      return true;
+    case ExprKind::kVar:
+      return static_cast<const VarExpr&>(a).name ==
+             static_cast<const VarExpr&>(b).name;
+    case ExprKind::kUnary: {
+      const auto& ua = static_cast<const UnaryExpr&>(a);
+      const auto& ub = static_cast<const UnaryExpr&>(b);
+      return ua.op == ub.op && expr_equal(*ua.operand, *ub.operand);
+    }
+    case ExprKind::kBinary: {
+      const auto& ba = static_cast<const BinaryExpr&>(a);
+      const auto& bb = static_cast<const BinaryExpr&>(b);
+      return ba.op == bb.op && expr_equal(*ba.lhs, *bb.lhs) &&
+             expr_equal(*ba.rhs, *bb.rhs);
+    }
+    case ExprKind::kCast: {
+      const auto& ca = static_cast<const CastExpr&>(a);
+      const auto& cb = static_cast<const CastExpr&>(b);
+      return ca.target == cb.target && expr_equal(*ca.operand, *cb.operand);
+    }
+    case ExprKind::kAddrOf:
+      return expr_equal(*static_cast<const AddrOfExpr&>(a).operand,
+                        *static_cast<const AddrOfExpr&>(b).operand);
+    case ExprKind::kDeref:
+      return expr_equal(*static_cast<const DerefExpr&>(a).operand,
+                        *static_cast<const DerefExpr&>(b).operand);
+    case ExprKind::kIndex: {
+      const auto& ia = static_cast<const IndexExpr&>(a);
+      const auto& ib = static_cast<const IndexExpr&>(b);
+      return expr_equal(*ia.base, *ib.base) && expr_equal(*ia.index, *ib.index);
+    }
+    case ExprKind::kCall:
+      return false;  // calls are never considered equal (effects)
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constant folding
+
+bool is_literal(const Expr& e) {
+  return e.kind == ExprKind::kIntLit || e.kind == ExprKind::kRealLit ||
+         e.kind == ExprKind::kStrLit;
+}
+
+/// Folds a binary operation over literals, mirroring the VM's semantics.
+/// Returns null when the operation must be left for run time (division by
+/// zero faults; pointer ops never reach here).
+ExprPtr fold_binary(BinaryOp op, const Expr& lhs, const Expr& rhs) {
+  // String operations.
+  if (lhs.kind == ExprKind::kStrLit && rhs.kind == ExprKind::kStrLit) {
+    const auto& a = static_cast<const StrLit&>(lhs).value;
+    const auto& b = static_cast<const StrLit&>(rhs).value;
+    switch (op) {
+      case BinaryOp::kAdd:
+        return make_str(a + b);
+      case BinaryOp::kEq:
+        return make_int(a == b);
+      case BinaryOp::kNe:
+        return make_int(a != b);
+      case BinaryOp::kLt:
+        return make_int(a < b);
+      case BinaryOp::kLe:
+        return make_int(a <= b);
+      case BinaryOp::kGt:
+        return make_int(a > b);
+      case BinaryOp::kGe:
+        return make_int(a >= b);
+      default:
+        return nullptr;
+    }
+  }
+  if ((lhs.kind != ExprKind::kIntLit && lhs.kind != ExprKind::kRealLit) ||
+      (rhs.kind != ExprKind::kIntLit && rhs.kind != ExprKind::kRealLit)) {
+    return nullptr;
+  }
+  const bool both_int =
+      lhs.kind == ExprKind::kIntLit && rhs.kind == ExprKind::kIntLit;
+  if (both_int) {
+    std::int64_t a = static_cast<const IntLit&>(lhs).value;
+    std::int64_t b = static_cast<const IntLit&>(rhs).value;
+    switch (op) {
+      case BinaryOp::kAdd:
+        return make_int(a + b);
+      case BinaryOp::kSub:
+        return make_int(a - b);
+      case BinaryOp::kMul:
+        return make_int(a * b);
+      case BinaryOp::kDiv:
+        return b == 0 ? nullptr : make_int(a / b);
+      case BinaryOp::kMod:
+        return b == 0 ? nullptr : make_int(a % b);
+      case BinaryOp::kEq:
+        return make_int(a == b);
+      case BinaryOp::kNe:
+        return make_int(a != b);
+      case BinaryOp::kLt:
+        return make_int(a < b);
+      case BinaryOp::kLe:
+        return make_int(a <= b);
+      case BinaryOp::kGt:
+        return make_int(a > b);
+      case BinaryOp::kGe:
+        return make_int(a >= b);
+      case BinaryOp::kAnd:
+        return make_int(a != 0 && b != 0);
+      case BinaryOp::kOr:
+        return make_int(a != 0 || b != 0);
+    }
+    return nullptr;
+  }
+  auto num = [](const Expr& e) {
+    return e.kind == ExprKind::kIntLit
+               ? static_cast<double>(static_cast<const IntLit&>(e).value)
+               : static_cast<const RealLit&>(e).value;
+  };
+  double a = num(lhs);
+  double b = num(rhs);
+  switch (op) {
+    case BinaryOp::kAdd:
+      return make_real(a + b);
+    case BinaryOp::kSub:
+      return make_real(a - b);
+    case BinaryOp::kMul:
+      return make_real(a * b);
+    case BinaryOp::kDiv:
+      return make_real(a / b);  // IEEE, as the VM does
+    case BinaryOp::kEq:
+      return make_int(a == b);
+    case BinaryOp::kNe:
+      return make_int(a != b);
+    case BinaryOp::kLt:
+      return make_int(a < b);
+    case BinaryOp::kLe:
+      return make_int(a <= b);
+    case BinaryOp::kGt:
+      return make_int(a > b);
+    case BinaryOp::kGe:
+      return make_int(a >= b);
+    default:
+      return nullptr;  // %, &&, || are int-only; sema rejected them anyway
+  }
+}
+
+class Folder {
+ public:
+  explicit Folder(OptStats& stats) : stats_(&stats) {}
+
+  void fold(ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kUnary: {
+        auto& u = static_cast<UnaryExpr&>(*e);
+        fold(u.operand);
+        if (u.op == UnaryOp::kNeg && u.operand->kind == ExprKind::kIntLit) {
+          replace(e, make_int(-static_cast<IntLit&>(*u.operand).value));
+        } else if (u.op == UnaryOp::kNeg &&
+                   u.operand->kind == ExprKind::kRealLit) {
+          replace(e, make_real(-static_cast<RealLit&>(*u.operand).value));
+        } else if (u.op == UnaryOp::kNot &&
+                   u.operand->kind == ExprKind::kIntLit) {
+          replace(e, make_int(static_cast<IntLit&>(*u.operand).value == 0));
+        }
+        return;
+      }
+      case ExprKind::kBinary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        fold(b.lhs);
+        fold(b.rhs);
+        if (is_literal(*b.lhs) && is_literal(*b.rhs)) {
+          if (ExprPtr folded = fold_binary(b.op, *b.lhs, *b.rhs)) {
+            replace(e, std::move(folded));
+          }
+        }
+        return;
+      }
+      case ExprKind::kCast: {
+        auto& c = static_cast<CastExpr&>(*e);
+        fold(c.operand);
+        if (c.target == kIntType && c.operand->kind == ExprKind::kRealLit) {
+          replace(e, make_int(static_cast<std::int64_t>(
+                         static_cast<RealLit&>(*c.operand).value)));
+        } else if (c.target == kRealType &&
+                   c.operand->kind == ExprKind::kIntLit) {
+          replace(e, make_real(static_cast<double>(
+                         static_cast<IntLit&>(*c.operand).value)));
+        } else if (c.target == kIntType &&
+                   c.operand->kind == ExprKind::kIntLit) {
+          replace(e, std::move(c.operand));
+        } else if (c.target == kRealType &&
+                   c.operand->kind == ExprKind::kRealLit) {
+          replace(e, std::move(c.operand));
+        }
+        return;
+      }
+      case ExprKind::kCall: {
+        auto& c = static_cast<CallExpr&>(*e);
+        for (auto& a : c.args) fold(a);
+        return;
+      }
+      case ExprKind::kAddrOf:
+        return;  // nothing to fold under '&' (a variable)
+      case ExprKind::kDeref:
+        fold(static_cast<DerefExpr&>(*e).operand);
+        return;
+      case ExprKind::kIndex: {
+        auto& i = static_cast<IndexExpr&>(*e);
+        fold(i.base);
+        fold(i.index);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (auto& child : static_cast<BlockStmt&>(s).stmts) stmt(*child);
+        return;
+      case StmtKind::kDecl: {
+        auto& d = static_cast<DeclStmt&>(s);
+        if (d.init) fold(d.init);
+        return;
+      }
+      case StmtKind::kAssign: {
+        auto& a = static_cast<AssignStmt&>(s);
+        fold(a.value);
+        // Fold inside index targets too (v[1 + 2] = ...).
+        if (a.target->kind == ExprKind::kIndex) {
+          fold(static_cast<IndexExpr&>(*a.target).index);
+        }
+        return;
+      }
+      case StmtKind::kExpr:
+        fold(static_cast<ExprStmt&>(s).expr);
+        return;
+      case StmtKind::kIf: {
+        auto& i = static_cast<IfStmt&>(s);
+        fold(i.cond);
+        stmt(*i.then_branch);
+        if (i.else_branch) stmt(*i.else_branch);
+        return;
+      }
+      case StmtKind::kWhile: {
+        auto& w = static_cast<WhileStmt&>(s);
+        fold(w.cond);
+        stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        auto& f = static_cast<ForStmt&>(s);
+        if (f.init) stmt(*f.init);
+        if (f.cond) fold(f.cond);
+        if (f.step) stmt(*f.step);
+        stmt(*f.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        auto& r = static_cast<ReturnStmt&>(s);
+        if (r.value) fold(r.value);
+        return;
+      }
+      case StmtKind::kLabeled:
+        stmt(*static_cast<LabeledStmt&>(s).inner);
+        return;
+      default:
+        return;
+    }
+  }
+
+ private:
+  void replace(ExprPtr& slot, ExprPtr with) {
+    with->loc = slot->loc;
+    slot = std::move(with);
+    ++stats_->expressions_folded;
+  }
+
+  OptStats* stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Loop-invariant hoisting
+
+/// Collects facts about a function body: which variables are assigned
+/// within a subtree, whether it contains labels or user calls.
+struct SubtreeFacts {
+  std::set<std::string> assigned;
+  bool has_label = false;
+
+  void expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kAddrOf: {
+        // &v passed anywhere: conservatively assigned through the pointer.
+        const auto& a = static_cast<const AddrOfExpr&>(e);
+        if (a.operand->kind == ExprKind::kVar) {
+          assigned.insert(static_cast<const VarExpr&>(*a.operand).name);
+        }
+        return;
+      }
+      case ExprKind::kUnary:
+        expr(*static_cast<const UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        expr(*b.lhs);
+        expr(*b.rhs);
+        return;
+      }
+      case ExprKind::kCast:
+        expr(*static_cast<const CastExpr&>(e).operand);
+        return;
+      case ExprKind::kDeref:
+        expr(*static_cast<const DerefExpr&>(e).operand);
+        return;
+      case ExprKind::kIndex: {
+        const auto& i = static_cast<const IndexExpr&>(e);
+        expr(*i.base);
+        expr(*i.index);
+        return;
+      }
+      case ExprKind::kCall:
+        for (const auto& a : static_cast<const CallExpr&>(e).args) expr(*a);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& child : static_cast<const BlockStmt&>(s).stmts) {
+          stmt(*child);
+        }
+        return;
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        assigned.insert(d.name);
+        if (d.init) expr(*d.init);
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        if (a.target->kind == ExprKind::kVar) {
+          assigned.insert(static_cast<const VarExpr&>(*a.target).name);
+        } else {
+          expr(*a.target);
+        }
+        expr(*a.value);
+        return;
+      }
+      case StmtKind::kExpr:
+        expr(*static_cast<const ExprStmt&>(s).expr);
+        return;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        expr(*i.cond);
+        stmt(*i.then_branch);
+        if (i.else_branch) stmt(*i.else_branch);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        expr(*w.cond);
+        stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init) stmt(*f.init);
+        if (f.cond) expr(*f.cond);
+        if (f.step) stmt(*f.step);
+        stmt(*f.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value) expr(*r.value);
+        return;
+      }
+      case StmtKind::kLabeled:
+        has_label = true;
+        stmt(*static_cast<const LabeledStmt&>(s).inner);
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+/// Is this expression hoistable: built only from literals and plain local
+/// variables with fault-free operators, and at least one real operation?
+bool hoistable(const Expr& e, bool top) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kRealLit:
+      return !top;  // literals alone are not worth a temporary
+    case ExprKind::kVar: {
+      const auto& v = static_cast<const VarExpr&>(e);
+      if (v.storage != VarStorage::kLocal && v.storage != VarStorage::kParam) {
+        return false;  // globals can change via calls; stay conservative
+      }
+      return !top;
+    }
+    case ExprKind::kUnary:
+      return hoistable(*static_cast<const UnaryExpr&>(e).operand, false);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if (b.op == BinaryOp::kDiv || b.op == BinaryOp::kMod) return false;
+      if (b.type == kStringType) return false;  // allocation, not worth it
+      return hoistable(*b.lhs, false) && hoistable(*b.rhs, false);
+    }
+    case ExprKind::kCast:
+      return hoistable(*static_cast<const CastExpr&>(e).operand, false);
+    default:
+      return false;
+  }
+}
+
+void collect_vars(const Expr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      out.insert(static_cast<const VarExpr&>(e).name);
+      return;
+    case ExprKind::kUnary:
+      collect_vars(*static_cast<const UnaryExpr&>(e).operand, out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      collect_vars(*b.lhs, out);
+      collect_vars(*b.rhs, out);
+      return;
+    }
+    case ExprKind::kCast:
+      collect_vars(*static_cast<const CastExpr&>(e).operand, out);
+      return;
+    default:
+      return;
+  }
+}
+
+class Hoister {
+ public:
+  Hoister(Function& fn, OptStats& stats) : fn_(&fn), stats_(&stats) {}
+
+  void run() { walk_block(*fn_->body); }
+
+ private:
+  /// Walks a block, processing loops found directly or nested inside.
+  void walk_block(BlockStmt& block) {
+    for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+      Stmt* s = block.stmts[i].get();
+      while (s->kind == StmtKind::kLabeled) {
+        s = static_cast<LabeledStmt&>(*s).inner.get();
+      }
+      switch (s->kind) {
+        case StmtKind::kWhile: {
+          auto& w = static_cast<WhileStmt&>(*s);
+          // Inner loops first, so invariants bubble outward one level per
+          // pass (a single pass suffices for the benchmarks; repeated
+          // optimize() calls reach a fixpoint).
+          if (w.body->kind == StmtKind::kBlock) {
+            walk_block(static_cast<BlockStmt&>(*w.body));
+          }
+          SubtreeFacts facts;
+          facts.stmt(*w.body);
+          process_loop(block, i, *w.body, facts);
+          break;
+        }
+        case StmtKind::kFor: {
+          auto& f = static_cast<ForStmt&>(*s);
+          if (f.body->kind == StmtKind::kBlock) {
+            walk_block(static_cast<BlockStmt&>(*f.body));
+          }
+          // Variables touched by the header parts are loop-varying too.
+          SubtreeFacts facts;
+          if (f.init) facts.stmt(*f.init);
+          if (f.step) facts.stmt(*f.step);
+          facts.stmt(*f.body);
+          process_loop(block, i, *f.body, facts);
+          break;
+        }
+        case StmtKind::kBlock:
+          walk_block(static_cast<BlockStmt&>(*s));
+          break;
+        case StmtKind::kIf: {
+          auto& f = static_cast<IfStmt&>(*s);
+          if (f.then_branch->kind == StmtKind::kBlock) {
+            walk_block(static_cast<BlockStmt&>(*f.then_branch));
+          }
+          if (f.else_branch && f.else_branch->kind == StmtKind::kBlock) {
+            walk_block(static_cast<BlockStmt&>(*f.else_branch));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void process_loop(BlockStmt& enclosing, std::size_t& loop_index,
+                    Stmt& body, const SubtreeFacts& facts) {
+    if (facts.has_label) {
+      // A goto can enter this loop body without passing the preheader
+      // (exactly what the transformation's restore dispatch does), so code
+      // motion out of it is unsound. This is the Section-4 interference.
+      ++stats_->loops_blocked_by_labels;
+      return;
+    }
+    std::vector<const Expr*> candidates;
+    find_candidates(body, facts.assigned, candidates);
+    for (const Expr* candidate : candidates) {
+      // Materialize: opt_tN = <expr>; before the loop, then replace every
+      // structurally equal occurrence in the body.
+      std::string temp = fresh_temp_name();
+      auto decl = std::make_unique<DeclStmt>(candidate->type, temp,
+                                             clone_expr(*candidate),
+                                             candidate->loc);
+      std::size_t replaced = replace_in_stmt(body, *candidate, temp);
+      if (replaced == 0) continue;  // overlapped with an earlier hoist
+      enclosing.stmts.insert(
+          enclosing.stmts.begin() + static_cast<std::ptrdiff_t>(loop_index),
+          std::move(decl));
+      ++loop_index;  // the loop shifted one slot down
+      ++stats_->expressions_hoisted;
+    }
+  }
+
+  /// A temporary name not colliding with any parameter or local.
+  std::string fresh_temp_name() {
+    while (true) {
+      std::string name = "opt_t" + std::to_string(next_temp_++);
+      bool taken = false;
+      for (const auto& p : fn_->params) taken = taken || p.name == name;
+      for (const auto& l : fn_->locals) taken = taken || l.name == name;
+      if (!taken) return name;
+    }
+  }
+
+  /// Finds maximal hoistable expressions in the loop body whose variables
+  /// are all loop-invariant.
+  void find_candidates(const Stmt& s, const std::set<std::string>& assigned,
+                       std::vector<const Expr*>& out) {
+    auto consider = [&](const Expr& e, auto&& recurse) -> void {
+      if (hoistable(e, true)) {
+        std::set<std::string> vars;
+        collect_vars(e, vars);
+        bool invariant = true;
+        for (const auto& v : vars) {
+          if (assigned.contains(v)) invariant = false;
+        }
+        if (invariant && !vars.empty()) {
+          for (const Expr* seen : out) {
+            if (expr_equal(*seen, e)) return;  // deduplicate
+          }
+          out.push_back(&e);
+          return;  // maximal: don't descend into a hoisted expression
+        }
+      }
+      recurse(e);
+    };
+    std::function<void(const Expr&)> descend = [&](const Expr& e) {
+      switch (e.kind) {
+        case ExprKind::kUnary:
+          consider(*static_cast<const UnaryExpr&>(e).operand, descend);
+          return;
+        case ExprKind::kBinary: {
+          const auto& b = static_cast<const BinaryExpr&>(e);
+          consider(*b.lhs, descend);
+          consider(*b.rhs, descend);
+          return;
+        }
+        case ExprKind::kCast:
+          consider(*static_cast<const CastExpr&>(e).operand, descend);
+          return;
+        case ExprKind::kDeref:
+          consider(*static_cast<const DerefExpr&>(e).operand, descend);
+          return;
+        case ExprKind::kIndex: {
+          const auto& i = static_cast<const IndexExpr&>(e);
+          consider(*i.base, descend);
+          consider(*i.index, descend);
+          return;
+        }
+        case ExprKind::kCall:
+          for (const auto& a : static_cast<const CallExpr&>(e).args) {
+            consider(*a, descend);
+          }
+          return;
+        default:
+          return;
+      }
+    };
+    std::function<void(const Stmt&)> walk = [&](const Stmt& stmt) {
+      switch (stmt.kind) {
+        case StmtKind::kBlock:
+          for (const auto& c : static_cast<const BlockStmt&>(stmt).stmts) {
+            walk(*c);
+          }
+          return;
+        case StmtKind::kDecl: {
+          const auto& d = static_cast<const DeclStmt&>(stmt);
+          if (d.init) consider(*d.init, descend);
+          return;
+        }
+        case StmtKind::kAssign: {
+          const auto& a = static_cast<const AssignStmt&>(stmt);
+          consider(*a.value, descend);
+          descend(*a.target);
+          return;
+        }
+        case StmtKind::kExpr:
+          descend(*static_cast<const ExprStmt&>(stmt).expr);
+          return;
+        case StmtKind::kIf: {
+          // Expressions under a condition may never execute; hoisting
+          // them is still sound because candidates are fault-free (the
+          // worst case is wasted work in the preheader).
+          const auto& i = static_cast<const IfStmt&>(stmt);
+          walk(*i.then_branch);
+          if (i.else_branch) walk(*i.else_branch);
+          return;
+        }
+        case StmtKind::kWhile:
+          walk(*static_cast<const WhileStmt&>(stmt).body);
+          return;
+        case StmtKind::kFor: {
+          const auto& f = static_cast<const ForStmt&>(stmt);
+          if (f.init) walk(*f.init);
+          if (f.step) walk(*f.step);
+          walk(*f.body);
+          return;
+        }
+        case StmtKind::kReturn: {
+          const auto& r = static_cast<const ReturnStmt&>(stmt);
+          if (r.value) consider(*r.value, descend);
+          return;
+        }
+        case StmtKind::kLabeled:
+          walk(*static_cast<const LabeledStmt&>(stmt).inner);
+          return;
+        default:
+          return;
+      }
+    };
+    walk(s);
+  }
+
+  /// Replaces every occurrence of `pattern` under `s` with a reference to
+  /// `temp`. Returns the number of replacements.
+  std::size_t replace_in_stmt(Stmt& s, const Expr& pattern,
+                              const std::string& temp) {
+    std::size_t count = 0;
+    std::function<void(ExprPtr&)> replace_expr = [&](ExprPtr& e) {
+      if (expr_equal(*e, pattern)) {
+        auto var = make_var(temp, e->loc);
+        var->type = pattern.type;
+        e = std::move(var);
+        ++count;
+        return;
+      }
+      switch (e->kind) {
+        case ExprKind::kUnary:
+          replace_expr(static_cast<UnaryExpr&>(*e).operand);
+          return;
+        case ExprKind::kBinary: {
+          auto& b = static_cast<BinaryExpr&>(*e);
+          replace_expr(b.lhs);
+          replace_expr(b.rhs);
+          return;
+        }
+        case ExprKind::kCast:
+          replace_expr(static_cast<CastExpr&>(*e).operand);
+          return;
+        case ExprKind::kDeref:
+          replace_expr(static_cast<DerefExpr&>(*e).operand);
+          return;
+        case ExprKind::kIndex: {
+          auto& i = static_cast<IndexExpr&>(*e);
+          replace_expr(i.base);
+          replace_expr(i.index);
+          return;
+        }
+        case ExprKind::kCall:
+          for (auto& a : static_cast<CallExpr&>(*e).args) replace_expr(a);
+          return;
+        default:
+          return;
+      }
+    };
+    std::function<void(Stmt&)> walk = [&](Stmt& stmt) {
+      switch (stmt.kind) {
+        case StmtKind::kBlock:
+          for (auto& c : static_cast<BlockStmt&>(stmt).stmts) walk(*c);
+          return;
+        case StmtKind::kDecl: {
+          auto& d = static_cast<DeclStmt&>(stmt);
+          if (d.init) replace_expr(d.init);
+          return;
+        }
+        case StmtKind::kAssign: {
+          auto& a = static_cast<AssignStmt&>(stmt);
+          replace_expr(a.value);
+          if (a.target->kind != ExprKind::kVar) replace_expr(a.target);
+          return;
+        }
+        case StmtKind::kExpr:
+          replace_expr(static_cast<ExprStmt&>(stmt).expr);
+          return;
+        case StmtKind::kIf: {
+          auto& i = static_cast<IfStmt&>(stmt);
+          replace_expr(i.cond);
+          walk(*i.then_branch);
+          if (i.else_branch) walk(*i.else_branch);
+          return;
+        }
+        case StmtKind::kWhile: {
+          auto& w = static_cast<WhileStmt&>(stmt);
+          replace_expr(w.cond);
+          walk(*w.body);
+          return;
+        }
+        case StmtKind::kFor: {
+          auto& f = static_cast<ForStmt&>(stmt);
+          if (f.init) walk(*f.init);
+          if (f.cond) replace_expr(f.cond);
+          if (f.step) walk(*f.step);
+          walk(*f.body);
+          return;
+        }
+        case StmtKind::kReturn: {
+          auto& r = static_cast<ReturnStmt&>(stmt);
+          if (r.value) replace_expr(r.value);
+          return;
+        }
+        case StmtKind::kLabeled:
+          walk(*static_cast<LabeledStmt&>(stmt).inner);
+          return;
+        default:
+          return;
+      }
+    };
+    walk(s);
+    return count;
+  }
+
+  Function* fn_;
+  OptStats* stats_;
+  int next_temp_ = 0;
+};
+
+}  // namespace
+
+OptStats optimize(Program& program, const OptOptions& options) {
+  OptStats stats;
+  if (options.fold_constants) {
+    Folder folder(stats);
+    for (auto& g : program.globals) {
+      if (g.init) folder.fold(g.init);
+    }
+    for (auto& fn : program.functions) folder.stmt(*fn->body);
+  }
+  if (options.hoist_loop_invariants) {
+    for (auto& fn : program.functions) {
+      Hoister(*fn, stats).run();
+    }
+  }
+  return stats;
+}
+
+}  // namespace surgeon::opt

@@ -1,0 +1,55 @@
+// A small optimizing pass over MiniC, standing in for "the standard
+// compiler provided with the machine" being an *optimizing* compiler.
+//
+// Two classic transformations:
+//
+//   1. Constant folding: literal-only expressions evaluate at compile time,
+//      with exactly the VM's arithmetic (int/int stays int, any real
+//      promotes, strings concatenate and compare; potential run-time faults
+//      such as division by zero are left in place).
+//
+//   2. Loop-invariant expression hoisting: a safe expression inside a while
+//      loop whose variables the loop never modifies is computed once in a
+//      fresh temporary before the loop.
+//
+// The reconfiguration tie-in (Section 4 of the paper): "By virtue of where
+// a reconfiguration point is placed, it could prohibit certain compiler
+// optimizations such as code motion." Hoisting out of a loop is UNSOUND if
+// control can enter the loop body without passing the preheader -- and the
+// transformation inserts exactly such entries: the restore dispatch jumps
+// (`goto Li` / `goto R`) to labels inside the loop. The optimizer therefore
+// treats any label inside a loop body as a barrier and skips the loop,
+// which is the §4 effect made concrete and measurable
+// (bench_optimizer_interference).
+#pragma once
+
+#include <cstddef>
+
+#include "minic/ast.hpp"
+
+namespace surgeon::opt {
+
+struct OptOptions {
+  bool fold_constants = true;
+  bool hoist_loop_invariants = true;
+};
+
+struct OptStats {
+  std::size_t expressions_folded = 0;
+  std::size_t expressions_hoisted = 0;
+  /// Loops that contained labels (reconfiguration machinery or user gotos)
+  /// and were therefore skipped by the hoisting pass.
+  std::size_t loops_blocked_by_labels = 0;
+};
+
+/// Optimizes an analyzed program in place. The caller must re-run sema
+/// afterwards (hoisting introduces temporaries). Never changes observable
+/// behaviour: folding matches VM arithmetic, hoisted expressions are
+/// fault-free by construction, and label-entered loops are left alone.
+OptStats optimize(minic::Program& program, const OptOptions& options = {});
+
+/// Structural equality of expressions (used by the hoisting pass and its
+/// tests): same shape, same operators, same literals, same variable names.
+[[nodiscard]] bool expr_equal(const minic::Expr& a, const minic::Expr& b);
+
+}  // namespace surgeon::opt

@@ -1,0 +1,255 @@
+#include "reconfig/scripts.hpp"
+
+#include "serialize/state.hpp"
+
+namespace surgeon::reconfig {
+
+using bus::BindEdit;
+using bus::BindEditBatch;
+using bus::BindingEnd;
+
+namespace {
+
+/// mh_edit_bind commands that repoint every binding of `from` to `to` and
+/// move queued messages across (Figure 5's loop over the interfaces).
+BindEditBatch make_rebind_batch(bus::Bus& bus, const std::string& from,
+                                const std::string& to) {
+  BindEditBatch batch;
+  for (const auto& iface : bus.interface_names(from)) {
+    BindingEnd old_end{from, iface};
+    BindingEnd new_end{to, iface};
+    for (const auto& peer : bus.bound_peers(old_end)) {
+      batch.add(BindEdit{BindEdit::Op::kDel, old_end, peer});
+      batch.add(BindEdit{BindEdit::Op::kAdd, new_end, peer});
+    }
+    batch.add(BindEdit{BindEdit::Op::kCaptureQueue, old_end, new_end});
+    batch.add(BindEdit{BindEdit::Op::kRemoveQueue, old_end, {}});
+  }
+  return batch;
+}
+
+/// Late queue sweep: messages that were in flight toward the old instance
+/// during the rebind have now landed in its unbound queues; move them.
+std::size_t sweep_queues(bus::Bus& bus, const std::string& from,
+                         const std::string& to) {
+  if (!bus.has_module(from)) return 0;
+  BindEditBatch batch;
+  std::size_t moved = 0;
+  for (const auto& iface : bus.interface_names(from)) {
+    moved += bus.queue_depth(from, iface);
+    batch.add(BindEdit{BindEdit::Op::kCaptureQueue,
+                       BindingEnd{from, iface},
+                       BindingEnd{to, iface}});
+  }
+  if (moved != 0) bus.rebind(batch);
+  return moved;
+}
+
+std::size_t queued_total(bus::Bus& bus, const std::string& module) {
+  std::size_t n = 0;
+  for (const auto& iface : bus.interface_names(module)) {
+    n += bus.queue_depth(module, iface);
+  }
+  return n;
+}
+
+void wait_for_restore(app::Runtime& rt, const std::string& instance,
+                      std::uint64_t max_rounds) {
+  bool ok = rt.run_until(
+      [&] {
+        vm::Machine* m = rt.machine_of(instance);
+        if (m == nullptr) return false;
+        if (m->state() == vm::RunState::kFault) return true;
+        return m->decode_count() > 0 && m->restore_frames_remaining() == 0;
+      },
+      max_rounds);
+  vm::Machine* m = rt.machine_of(instance);
+  if (m != nullptr && m->state() == vm::RunState::kFault) {
+    throw ScriptError("clone '" + instance +
+                      "' faulted while installing state: " +
+                      m->fault_message());
+  }
+  if (!ok) {
+    throw ScriptError("clone '" + instance +
+                      "' did not finish restoring within the budget");
+  }
+}
+
+}  // namespace
+
+ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
+                             const ReplaceOptions& options) {
+  bus::Bus& bus = rt.bus();
+  if (!bus.has_module(instance)) {
+    throw ScriptError("replace_module: unknown module '" + instance + "'");
+  }
+  const app::ModuleImage* image = rt.image_of(instance);
+  if (image == nullptr) {
+    throw ScriptError("replace_module: no image registered for '" + instance +
+                      "'");
+  }
+  ReplaceReport report;
+  report.old_instance = instance;
+
+  // 1. mh_obj_cap: the current specification (machine may have changed in a
+  //    previous reconfiguration, so read it from the bus, not the config).
+  const bus::ModuleInfo old_info = bus.module_info(instance);
+
+  // 2. The new module: same specification, new MACHINE, STATUS = clone.
+  app::ModuleImage new_image = *image;
+  if (options.program != nullptr) new_image.program = options.program;
+  const std::string target =
+      options.machine.empty() ? old_info.machine : options.machine;
+  report.new_instance = rt.fresh_instance_name(instance);
+  rt.install_module(report.new_instance, std::move(new_image), target,
+                    "clone");
+  // From here on, a failure must not leave the half-born clone behind.
+  auto cleanup_clone = [&rt, &report]() noexcept {
+    try {
+      rt.remove_module(report.new_instance);
+    } catch (...) {
+    }
+  };
+
+  // 3. Prepare the rebinding commands (applied later, all at once).
+  //    Prepared before the state moves, as in Figure 5 -- but the queue
+  //    capture commands act on whatever is queued when the batch applies.
+  // 4. mh_objstate_move: signal, await compliance, move the state.
+  report.requested_at = rt.now();
+  bus.signal_reconfig(instance);
+  bool divulged = rt.run_until(
+      [&] { return bus.has_divulged_state(instance); }, options.max_rounds);
+  if (!divulged) {
+    cleanup_clone();
+    throw ScriptError(
+        "module '" + instance +
+        "' never divulged its state (does execution reach a reconfiguration "
+        "point?)");
+  }
+  report.divulged_at = rt.now();
+  std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
+  report.state_bytes = state_bytes.size();
+  report.state_frames = ser::StateBuffer::decode(state_bytes).frame_count();
+  bus.deliver_state(old_info.machine, report.new_instance,
+                    std::move(state_bytes));
+
+  // 5. mh_rebind: atomically repoint bindings and move queued messages.
+  report.queued_messages_moved = queued_total(bus, instance);
+  bus.rebind(make_rebind_batch(bus, instance, report.new_instance));
+  report.rebound_at = rt.now();
+
+  // 6. mh_chg_obj "add": start the clone; it decodes and restores itself.
+  rt.start_module(report.new_instance);
+
+  // 7. mh_chg_obj "del": retire the old instance. With a drain window,
+  //    in-flight messages land first and are swept across.
+  rt.stop_module(instance);
+  if (options.drain_us > 0) {
+    rt.run_for(options.drain_us, options.max_rounds);
+    report.queued_messages_moved +=
+        sweep_queues(bus, instance, report.new_instance);
+  }
+  rt.remove_module(instance);
+
+  if (options.wait_for_restore) {
+    wait_for_restore(rt, report.new_instance, options.max_rounds);
+  }
+  report.completed_at = rt.now();
+  return report;
+}
+
+ReplaceReport move_module(app::Runtime& rt, const std::string& instance,
+                          const std::string& machine) {
+  ReplaceOptions options;
+  options.machine = machine;
+  return replace_module(rt, instance, options);
+}
+
+ReplaceReport update_module(
+    app::Runtime& rt, const std::string& instance,
+    std::shared_ptr<const vm::CompiledProgram> program) {
+  ReplaceOptions options;
+  options.program = std::move(program);
+  return replace_module(rt, instance, options);
+}
+
+ReplicateReport replicate_module(app::Runtime& rt,
+                                 const std::string& instance,
+                                 const std::string& replica_machine,
+                                 bool bind_replica) {
+  bus::Bus& bus = rt.bus();
+  if (!bus.has_module(instance)) {
+    throw ScriptError("replicate_module: unknown module '" + instance + "'");
+  }
+  const app::ModuleImage* image = rt.image_of(instance);
+  if (image == nullptr) {
+    throw ScriptError("replicate_module: no image for '" + instance + "'");
+  }
+  ReplicateReport report;
+  const bus::ModuleInfo old_info = bus.module_info(instance);
+
+  // Two clones: the primary continues in the original's place; the replica
+  // starts fresh on the other machine with the same installed state.
+  report.primary.old_instance = instance;
+  report.primary.new_instance = rt.fresh_instance_name(instance);
+  rt.install_module(report.primary.new_instance, *image, old_info.machine,
+                    "clone");
+  report.replica_instance = rt.fresh_instance_name(instance);
+  rt.install_module(report.replica_instance, *image, replica_machine,
+                    "clone");
+
+  // Gather the original's bindings up front so the replica can copy them.
+  std::vector<std::pair<std::string, BindingEnd>> old_bindings;
+  for (const auto& iface : bus.interface_names(instance)) {
+    for (const auto& peer : bus.bound_peers(BindingEnd{instance, iface})) {
+      old_bindings.emplace_back(iface, peer);
+    }
+  }
+
+  // Divulge once; install the same abstract state twice. This is the
+  // portability property of the abstract format at work: the state buffer
+  // is plain data that can be copied to any number of clones.
+  report.primary.requested_at = rt.now();
+  bus.signal_reconfig(instance);
+  if (!rt.run_until([&] { return bus.has_divulged_state(instance); },
+                    1'000'000)) {
+    throw ScriptError("module '" + instance + "' never divulged its state");
+  }
+  report.primary.divulged_at = rt.now();
+  std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
+  report.primary.state_bytes = state_bytes.size();
+  report.primary.state_frames =
+      ser::StateBuffer::decode(state_bytes).frame_count();
+  bus.deliver_state(old_info.machine, report.primary.new_instance,
+                    state_bytes);
+  bus.deliver_state(old_info.machine, report.replica_instance,
+                    std::move(state_bytes));
+
+  report.primary.queued_messages_moved = queued_total(bus, instance);
+  bus.rebind(make_rebind_batch(bus, instance, report.primary.new_instance));
+  if (bind_replica) {
+    BindEditBatch replica_batch;
+    for (const auto& [iface, peer] : old_bindings) {
+      replica_batch.add(BindEdit{BindEdit::Op::kAdd,
+                                 BindingEnd{report.replica_instance, iface},
+                                 peer});
+    }
+    bus.rebind(replica_batch);
+  }
+  report.primary.rebound_at = rt.now();
+
+  rt.start_module(report.primary.new_instance);
+  rt.start_module(report.replica_instance);
+  rt.stop_module(instance);
+  rt.run_for(10'000);
+  report.primary.queued_messages_moved +=
+      sweep_queues(bus, instance, report.primary.new_instance);
+  rt.remove_module(instance);
+
+  wait_for_restore(rt, report.primary.new_instance, 1'000'000);
+  wait_for_restore(rt, report.replica_instance, 1'000'000);
+  report.primary.completed_at = rt.now();
+  return report;
+}
+
+}  // namespace surgeon::reconfig

@@ -1,0 +1,106 @@
+// Reconfiguration scripts: the procedural descriptions of Figure 5,
+// parameterized over module name and attributes as Section 2.2 proposes.
+//
+// A script coordinates the application-level reconfiguration primitives
+// (ref [9]: bind edits, queue capture, state movement, module add/remove)
+// with the module-level participation that the transformer installed
+// (divulging state at a reconfiguration point, installing it in a clone).
+//
+// The canonical replacement script, step by step (Figure 5):
+//   1. mh_obj_cap        -- obtain the current specification of the module
+//   2. register the new instance (same spec, new MACHINE, STATUS="clone")
+//   3. mh_bind_cap / mh_edit_bind -- prepare del/add rebinding commands plus
+//      "cap" (move queued messages) and "rmq" (clear old queues)
+//   4. mh_objstate_move  -- signal the old module, wait for it to divulge,
+//      move the abstract state to the new module's decode mailbox
+//   5. mh_rebind         -- apply the binding commands atomically
+//   6. mh_chg_obj "add"  -- start the new module (it restores itself)
+//   7. mh_chg_obj "del"  -- remove the old module
+//
+// Our addition beyond the figure: an optional drain window between rebind
+// and removal, during which messages that were already in flight toward the
+// old instance land in its (now unbound) queues and are moved to the new
+// instance. The 1993 bus had no delivery latency, so the paper never faced
+// in-flight messages; the simulated network does.
+#pragma once
+
+#include <string>
+
+#include "app/runtime.hpp"
+
+namespace surgeon::reconfig {
+
+/// Thrown when a script cannot complete (module missing, no divulged state
+/// within the budget, faulted clone).
+class ScriptError : public support::Error {
+ public:
+  using Error::Error;
+};
+
+struct ReplaceOptions {
+  /// Target machine; empty keeps the module's current machine.
+  std::string machine;
+  /// Replacement program; null migrates the existing program unchanged.
+  /// A replacement must be reconfiguration-compatible: same reconfiguration
+  /// graph shape (edge numbering) and captured-variable layouts, so the old
+  /// instance's frames install cleanly in the new code.
+  std::shared_ptr<const vm::CompiledProgram> program;
+  /// Scheduling budget for each wait inside the script.
+  std::uint64_t max_rounds = 1'000'000;
+  /// Drain window (virtual us) before the old instance is removed; 0
+  /// removes it immediately, as the paper's script does.
+  net::SimTime drain_us = 10'000;
+  /// Wait until the clone has fully restored (reached its reconfiguration
+  /// point) before returning.
+  bool wait_for_restore = true;
+};
+
+struct ReplaceReport {
+  std::string old_instance;
+  std::string new_instance;
+  net::SimTime requested_at = 0;   // when the signal was sent
+  net::SimTime divulged_at = 0;    // when the old module divulged its state
+  net::SimTime rebound_at = 0;     // when bindings were switched
+  net::SimTime completed_at = 0;   // when the script finished
+  std::size_t state_bytes = 0;
+  std::size_t state_frames = 0;
+  std::size_t queued_messages_moved = 0;
+
+  [[nodiscard]] net::SimTime total_delay() const noexcept {
+    return completed_at - requested_at;
+  }
+  [[nodiscard]] net::SimTime reaction_delay() const noexcept {
+    return divulged_at - requested_at;
+  }
+};
+
+/// The parameterized replacement script. Works on any module that was
+/// prepared for reconfiguration. Returns a report with the new instance
+/// name and the timing/size measurements the benchmarks consume.
+ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
+                             const ReplaceOptions& options = {});
+
+/// Process migration: replacement with the same program on another machine
+/// (the Monitor example's reconfiguration, Figure 1).
+ReplaceReport move_module(app::Runtime& rt, const std::string& instance,
+                          const std::string& machine);
+
+/// Software maintenance: replacement with a new program version in place.
+ReplaceReport update_module(
+    app::Runtime& rt, const std::string& instance,
+    std::shared_ptr<const vm::CompiledProgram> program);
+
+struct ReplicateReport {
+  ReplaceReport primary;          // the in-place clone that continues
+  std::string replica_instance;   // the additional clone
+};
+
+/// Replication (the SURGEON activity of ref [5]): divulge once, install the
+/// same abstract state in TWO clones -- one replacing the original in its
+/// bindings, one fresh replica on another machine. The replica gets copies
+/// of the original's bindings unless `bind_replica` is false.
+ReplicateReport replicate_module(app::Runtime& rt, const std::string& instance,
+                                 const std::string& replica_machine,
+                                 bool bind_replica = true);
+
+}  // namespace surgeon::reconfig

@@ -1,0 +1,64 @@
+#include "serialize/state.hpp"
+
+namespace surgeon::ser {
+
+using support::VmError;
+
+namespace {
+// Wire layout: magic, frame count, frames (each a value sequence), heap
+// object count, heap objects (id + value sequence).
+constexpr std::uint32_t kMagic = 0x53555247;  // "SURG"
+}  // namespace
+
+StateFrame StateBuffer::pop_frame() {
+  if (frames_.empty()) {
+    throw VmError(
+        "state buffer exhausted: restore block ran with no frame left "
+        "(capture/restore imbalance)");
+  }
+  StateFrame f = std::move(frames_.back());
+  frames_.pop_back();
+  return f;
+}
+
+std::vector<std::uint8_t> StateBuffer::encode() const {
+  support::ByteWriter w(support::ByteOrder::kBig);
+  w.put_u32(kMagic);
+  w.put_u32(static_cast<std::uint32_t>(frames_.size()));
+  for (const auto& f : frames_) encode_values(w, f.values);
+  w.put_u32(static_cast<std::uint32_t>(heap_.size()));
+  for (const auto& [id, values] : heap_) {
+    w.put_u64(id);
+    encode_values(w, values);
+  }
+  return std::move(w).take();
+}
+
+StateBuffer StateBuffer::decode(std::span<const std::uint8_t> bytes) {
+  support::ByteReader r(bytes, support::ByteOrder::kBig);
+  if (r.get_u32() != kMagic) {
+    throw VmError("state buffer has bad magic: not an abstract state");
+  }
+  StateBuffer sb;
+  auto nframes = r.get_u32();
+  for (std::uint32_t i = 0; i < nframes; ++i) {
+    sb.push_frame(StateFrame{decode_values(r)});
+  }
+  auto nheap = r.get_u32();
+  for (std::uint32_t i = 0; i < nheap; ++i) {
+    auto id = r.get_u64();
+    sb.put_heap_object(id, decode_values(r));
+  }
+  if (!r.at_end()) {
+    throw VmError("state buffer has trailing bytes after decode");
+  }
+  return sb;
+}
+
+std::size_t StateBuffer::value_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : frames_) n += f.values.size();
+  return n;
+}
+
+}  // namespace surgeon::ser

@@ -1,0 +1,79 @@
+// The abstract process state buffer.
+//
+// During capture, each capture block appends one *frame* (the values named
+// in its mh_capture call, led by the resume-location integer) as the
+// activation records return from the top of the stack downward. During
+// restoration the frames are consumed in the opposite order -- main's
+// restore block runs first and needs the bottom-most activation record --
+// so the buffer is a LIFO stack of frames.
+//
+// The buffer also carries a heap segment (our implemented extension of the
+// paper's "programmer must write code to capture heap data"): a map from
+// symbolic object id to the object's values, so AbstractPointer values in
+// frames remain meaningful after migration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "serialize/value.hpp"
+
+namespace surgeon::ser {
+
+/// One captured activation record (or reconfiguration-point state).
+struct StateFrame {
+  std::vector<Value> values;
+
+  friend bool operator==(const StateFrame&, const StateFrame&) = default;
+};
+
+class StateBuffer {
+ public:
+  /// Capture side: appends a frame. Frames arrive top-of-stack first.
+  void push_frame(StateFrame frame) { frames_.push_back(std::move(frame)); }
+
+  /// Restore side: removes and returns the most recently pushed frame
+  /// (which is the deepest not-yet-restored activation record).
+  /// Throws VmError if empty -- a restore/capture imbalance is always a
+  /// transformation bug.
+  [[nodiscard]] StateFrame pop_frame();
+
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frames_.size();
+  }
+  [[nodiscard]] const std::vector<StateFrame>& frames() const noexcept {
+    return frames_;
+  }
+
+  /// Heap segment.
+  void put_heap_object(std::uint64_t object_id, std::vector<Value> values) {
+    heap_[object_id] = std::move(values);
+  }
+  [[nodiscard]] const std::map<std::uint64_t, std::vector<Value>>& heap()
+      const noexcept {
+    return heap_;
+  }
+
+  void clear() {
+    frames_.clear();
+    heap_.clear();
+  }
+
+  /// Wire format (always network byte order, independent of any machine).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static StateBuffer decode(
+      std::span<const std::uint8_t> bytes);
+
+  /// Total number of values across all frames (for benchmarks).
+  [[nodiscard]] std::size_t value_count() const noexcept;
+
+  friend bool operator==(const StateBuffer&, const StateBuffer&) = default;
+
+ private:
+  std::vector<StateFrame> frames_;
+  std::map<std::uint64_t, std::vector<Value>> heap_;
+};
+
+}  // namespace surgeon::ser

@@ -1,0 +1,142 @@
+#include "serialize/value.hpp"
+
+#include <sstream>
+
+#include "support/strutil.hpp"
+
+namespace surgeon::ser {
+
+using support::ValueKind;
+using support::VmError;
+
+ValueKind Value::kind() const noexcept {
+  if (is_int()) return ValueKind::kInt;
+  if (is_real()) return ValueKind::kReal;
+  if (is_string()) return ValueKind::kString;
+  return ValueKind::kPointer;
+}
+
+namespace {
+[[noreturn]] void kind_mismatch(const char* want, const Value& v) {
+  throw VmError(std::string("value kind mismatch: wanted ") + want +
+                ", value is " + support::value_kind_name(v.kind()) + " (" +
+                v.to_string() + ")");
+}
+}  // namespace
+
+std::int64_t Value::as_int() const {
+  if (const auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+  kind_mismatch("int", *this);
+}
+
+double Value::as_real() const {
+  if (const auto* p = std::get_if<double>(&v_)) return *p;
+  kind_mismatch("real", *this);
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* p = std::get_if<std::string>(&v_)) return *p;
+  kind_mismatch("string", *this);
+}
+
+AbstractPointer Value::as_pointer() const {
+  if (const auto* p = std::get_if<AbstractPointer>(&v_)) return *p;
+  kind_mismatch("pointer", *this);
+}
+
+double Value::to_real() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return as_real();
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  if (is_int()) {
+    os << as_int();
+  } else if (is_real()) {
+    os << as_real();
+  } else if (is_string()) {
+    os << support::quote(as_string());
+  } else {
+    auto p = as_pointer();
+    os << "ptr(" << p.object_id << "+" << p.offset << ")";
+  }
+  return os.str();
+}
+
+void encode_value(support::ByteWriter& w, const Value& v) {
+  w.put_u8(static_cast<std::uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kInt:
+      w.put_i64(v.as_int());
+      break;
+    case ValueKind::kReal:
+      w.put_f64(v.as_real());
+      break;
+    case ValueKind::kString:
+      w.put_string(v.as_string());
+      break;
+    case ValueKind::kPointer: {
+      auto p = v.as_pointer();
+      w.put_u64(p.object_id);
+      w.put_u64(p.offset);
+      break;
+    }
+  }
+}
+
+Value decode_value(support::ByteReader& r) {
+  auto tag = r.get_u8();
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kInt:
+      return Value(r.get_i64());
+    case ValueKind::kReal:
+      return Value(r.get_f64());
+    case ValueKind::kString:
+      return Value(r.get_string());
+    case ValueKind::kPointer: {
+      AbstractPointer p;
+      p.object_id = r.get_u64();
+      p.offset = r.get_u64();
+      return Value(p);
+    }
+  }
+  throw VmError("bad value tag " + std::to_string(tag) + " in state buffer");
+}
+
+void encode_values(support::ByteWriter& w, const std::vector<Value>& vs) {
+  w.put_u32(static_cast<std::uint32_t>(vs.size()));
+  for (const auto& v : vs) encode_value(w, v);
+}
+
+std::vector<Value> decode_values(support::ByteReader& r) {
+  auto n = r.get_u32();
+  // Every value needs at least its one-byte tag, so a count exceeding the
+  // remaining bytes is malformed. Checking before the reserve keeps a
+  // corrupted length prefix from forcing a gigantic allocation.
+  if (n > r.remaining()) {
+    throw VmError("value sequence length " + std::to_string(n) +
+                  " exceeds the remaining " + std::to_string(r.remaining()) +
+                  " bytes");
+  }
+  std::vector<Value> vs;
+  vs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) vs.push_back(decode_value(r));
+  return vs;
+}
+
+Value default_value(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kInt:
+      return Value(std::int64_t{0});
+    case ValueKind::kReal:
+      return Value(0.0);
+    case ValueKind::kString:
+      return Value(std::string{});
+    case ValueKind::kPointer:
+      return Value(AbstractPointer{});
+  }
+  return Value{};
+}
+
+}  // namespace surgeon::ser

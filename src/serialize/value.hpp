@@ -1,0 +1,88 @@
+// The abstract value: the unit of the machine-independent process state.
+//
+// Section 1.2 of the paper requires the process state to be characterized in
+// an abstract, not machine-specific, format. A Value is one datum in that
+// format: an integer, a real, a string, or an *abstract pointer* -- a
+// symbolic heap reference of the form (object id, element offset) rather
+// than a raw address, as the paper prescribes for translating pointers
+// ("a variable that points to the nth character of a string located at some
+// symbolic address").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/format.hpp"
+
+namespace surgeon::ser {
+
+/// Symbolic heap reference: machine-independent stand-in for a pointer into
+/// programmer-allocated data. object_id 0 is the null pointer.
+struct AbstractPointer {
+  std::uint64_t object_id = 0;
+  std::uint64_t offset = 0;
+
+  [[nodiscard]] bool is_null() const noexcept { return object_id == 0; }
+  friend bool operator==(const AbstractPointer&,
+                         const AbstractPointer&) = default;
+};
+
+/// One machine-independent datum.
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(AbstractPointer p) : v_(p) {}
+
+  [[nodiscard]] support::ValueKind kind() const noexcept;
+
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_real() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_pointer() const noexcept {
+    return std::holds_alternative<AbstractPointer>(v_);
+  }
+
+  /// Accessors throw VmError if the kind does not match; a kind mismatch
+  /// always indicates a format-string / data disagreement.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_real() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] AbstractPointer as_pointer() const;
+
+  /// Numeric coercion used by the bus when a pattern declares a real but the
+  /// sender supplied an int (POLYLITH marshalled across such differences).
+  [[nodiscard]] double to_real() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::int64_t, double, std::string, AbstractPointer> v_;
+};
+
+/// Encodes a value (with a leading kind tag) in network byte order.
+void encode_value(support::ByteWriter& w, const Value& v);
+/// Decodes a tagged value. Throws VmError on a malformed buffer.
+[[nodiscard]] Value decode_value(support::ByteReader& r);
+
+/// Convenience: encode/decode a whole sequence with a length prefix.
+void encode_values(support::ByteWriter& w, const std::vector<Value>& vs);
+[[nodiscard]] std::vector<Value> decode_values(support::ByteReader& r);
+
+/// A default-initialized value of the given kind (0, 0.0, "", null).
+[[nodiscard]] Value default_value(support::ValueKind kind);
+
+}  // namespace surgeon::ser

@@ -1,0 +1,46 @@
+#include "support/diag.hpp"
+
+#include <sstream>
+
+namespace surgeon::support {
+
+std::string SourceLoc::to_string() const {
+  if (!known()) return "<unknown>";
+  std::ostringstream os;
+  os << "line " << line << ":" << column;
+  return os.str();
+}
+
+namespace {
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << loc.to_string() << ": " << severity_name(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace surgeon::support

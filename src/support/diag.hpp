@@ -1,0 +1,103 @@
+// Diagnostics: source locations, error kinds, and the exception types used
+// across the SURGEON++ front ends and runtime.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace surgeon::support {
+
+/// A position in a source text (configuration spec or MiniC program).
+/// Lines and columns are 1-based; line 0 means "unknown".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line != 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Severity of a collected diagnostic.
+enum class Severity { kNote, kWarning, kError };
+
+/// One diagnostic message attached to a source location.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Accumulates diagnostics during a front-end pass. Front ends report
+/// problems here and throw only when they cannot make progress.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  /// All diagnostics joined with newlines, for error messages and tests.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Base class for all SURGEON++ errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed source text (configuration spec or MiniC program).
+class ParseError : public Error {
+ public:
+  ParseError(SourceLoc loc, const std::string& message)
+      : Error(loc.known() ? loc.to_string() + ": " + message : message),
+        loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Semantic error (type mismatch, undefined symbol, bad reconfiguration point).
+class SemaError : public Error {
+ public:
+  SemaError(SourceLoc loc, const std::string& message)
+      : Error(loc.known() ? loc.to_string() + ": " + message : message),
+        loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Error raised by the VM while executing a module.
+class VmError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Error raised by the software bus or reconfiguration runtime.
+class BusError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace surgeon::support

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random numbers (SplitMix64).
+//
+// Everything in the simulator that needs randomness -- network jitter,
+// workload generators, property-test sweeps -- draws from a seeded
+// SplitMix64 stream so every run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace surgeon::support {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace surgeon::support

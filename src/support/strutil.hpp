@@ -1,0 +1,20 @@
+// Small string helpers shared by the front ends and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace surgeon::support {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+/// Quotes a string for diagnostics and source emission: wraps in double
+/// quotes and escapes backslash, quote, and newline.
+[[nodiscard]] std::string quote(std::string_view s);
+
+}  // namespace surgeon::support

@@ -1,0 +1,110 @@
+#include "vm/bytecode.hpp"
+
+#include <sstream>
+
+namespace surgeon::vm {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kPushConst: return "push_const";
+    case Op::kLoadSlot: return "load_slot";
+    case Op::kStoreSlot: return "store_slot";
+    case Op::kLoadGlobal: return "load_global";
+    case Op::kStoreGlobal: return "store_global";
+    case Op::kAddrSlot: return "addr_slot";
+    case Op::kAddrGlobal: return "addr_global";
+    case Op::kLoadInd: return "load_ind";
+    case Op::kStoreInd: return "store_ind";
+    case Op::kIndexPtr: return "index_ptr";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kCastInt: return "cast_int";
+    case Op::kCastReal: return "cast_real";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+    case Op::kRetVal: return "ret_val";
+    case Op::kBuiltin: return "builtin";
+    case Op::kPop: return "pop";
+    case Op::kStmt: return "stmt";
+  }
+  return "?";
+}
+
+std::uint32_t CompiledProgram::function_index(const std::string& name) const {
+  for (std::uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return i;
+  }
+  return UINT32_MAX;
+}
+
+std::size_t CompiledProgram::total_instructions() const {
+  std::size_t n = 0;
+  for (const auto& f : functions) n += f.code.size();
+  return n;
+}
+
+std::string CompiledProgram::disassemble() const {
+  std::ostringstream os;
+  for (const auto& f : functions) {
+    os << f.name << " (params=" << f.param_count
+       << ", slots=" << f.slot_types.size() << "):\n";
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const auto& insn = f.code[i];
+      os << "  " << i << ": " << op_name(insn.op);
+      switch (insn.op) {
+        case Op::kPushConst:
+          os << " " << constants[static_cast<std::size_t>(insn.a)].to_string();
+          break;
+        case Op::kLoadSlot:
+        case Op::kStoreSlot:
+        case Op::kAddrSlot: {
+          auto slot = static_cast<std::size_t>(insn.a);
+          os << " " << insn.a;
+          if (slot < f.slot_names.size()) os << " (" << f.slot_names[slot]
+                                             << ")";
+          break;
+        }
+        case Op::kLoadGlobal:
+        case Op::kStoreGlobal:
+        case Op::kAddrGlobal: {
+          auto g = static_cast<std::size_t>(insn.a);
+          os << " " << insn.a;
+          if (g < globals.size()) os << " (" << globals[g].name << ")";
+          break;
+        }
+        case Op::kJump:
+        case Op::kJumpIfFalse:
+        case Op::kJumpIfTrue:
+          os << " -> " << insn.a;
+          break;
+        case Op::kCall:
+          os << " " << functions[static_cast<std::size_t>(insn.a)].name << "/"
+             << insn.b;
+          break;
+        case Op::kBuiltin:
+          os << " #" << insn.a << "/" << insn.b;
+          break;
+        default:
+          break;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace surgeon::vm

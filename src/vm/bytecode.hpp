@@ -1,0 +1,85 @@
+// Bytecode for the MiniC virtual machine.
+//
+// The VM plays the role of "the standard compiler provided with the
+// machine" (Section 1.1): it implements plain MiniC plus the mh_* builtins
+// as library calls, and knows nothing about reconfiguration. Everything the
+// paper adds -- flags, capture blocks, restore blocks -- arrives as
+// ordinary compiled source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serialize/value.hpp"
+
+namespace surgeon::vm {
+
+enum class Op : std::uint8_t {
+  kPushConst,    // a: constant pool index
+  kLoadSlot,     // a: frame slot
+  kStoreSlot,    // a: frame slot
+  kLoadGlobal,   // a: global index
+  kStoreGlobal,  // a: global index
+  kAddrSlot,     // a: frame slot      -> push Ref to current frame slot
+  kAddrGlobal,   // a: global index    -> push Ref to global
+  kLoadInd,      // pop ref            -> push *ref
+  kStoreInd,     // pop ref, pop value -> *ref = value
+  kIndexPtr,     // pop idx, pop ptr   -> push ptr+idx (heap pointers only)
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kNeg, kNot,
+  kCastInt, kCastReal,
+  kJump,         // a: code offset
+  kJumpIfFalse,  // a: code offset (pops condition)
+  kJumpIfTrue,   // a: code offset (pops condition)
+  kCall,         // a: function index, b: arg count
+  kRet,          // return void (bottom frame: module done)
+  kRetVal,       // return top of stack
+  kBuiltin,      // a: BuiltinId, b: arg count
+  kPop,          // discard top of stack
+  kStmt,         // statement boundary: pending-signal delivery point
+};
+
+[[nodiscard]] const char* op_name(Op op) noexcept;
+
+struct Insn {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+/// Static kind of one frame slot; determines the default value a slot holds
+/// before its declaration executes, and the slot's native width/format in
+/// the architecture-specific raw frame image.
+enum class SlotType : std::uint8_t { kInt, kReal, kString, kPointer };
+
+struct CompiledFunction {
+  std::string name;
+  std::uint32_t param_count = 0;
+  std::vector<SlotType> slot_types;  // params first, then locals
+  std::vector<std::string> slot_names;
+  bool returns_value = false;
+  std::vector<Insn> code;
+};
+
+struct GlobalSlot {
+  std::string name;
+  SlotType type = SlotType::kInt;
+  /// Initial value (global initializers are restricted to literals).
+  ser::Value init;
+};
+
+struct CompiledProgram {
+  std::vector<ser::Value> constants;
+  std::vector<GlobalSlot> globals;
+  std::vector<CompiledFunction> functions;
+  std::uint32_t main_index = 0;
+
+  [[nodiscard]] std::uint32_t function_index(const std::string& name) const;
+  /// Human-readable disassembly (tests, debugging, documentation).
+  [[nodiscard]] std::string disassemble() const;
+  [[nodiscard]] std::size_t total_instructions() const;
+};
+
+}  // namespace surgeon::vm

@@ -1,0 +1,507 @@
+#include "vm/compiler.hpp"
+
+#include <map>
+
+#include "minic/builtins.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace surgeon::vm {
+
+using namespace minic;
+using support::SemaError;
+
+namespace {
+
+[[nodiscard]] SlotType slot_type_of(const Type& t) {
+  if (t.is_pointer) return SlotType::kPointer;
+  switch (t.base) {
+    case BaseType::kInt:
+      return SlotType::kInt;
+    case BaseType::kReal:
+      return SlotType::kReal;
+    case BaseType::kString:
+      return SlotType::kString;
+    case BaseType::kVoid:
+      break;
+  }
+  throw SemaError({}, "cannot map void to a slot type");
+}
+
+class FnCompiler {
+ public:
+  FnCompiler(const Program& prog, const Function& fn, CompiledProgram& out)
+      : prog_(prog), fn_(fn), out_(out) {}
+
+  CompiledFunction run() {
+    cf_.name = fn_.name;
+    cf_.param_count = static_cast<std::uint32_t>(fn_.params.size());
+    cf_.returns_value = !fn_.return_type.is_void();
+    for (const auto& p : fn_.params) {
+      cf_.slot_types.push_back(slot_type_of(p.type));
+      cf_.slot_names.push_back(p.name);
+    }
+    for (const auto& l : fn_.locals) {
+      cf_.slot_types.push_back(slot_type_of(l.type));
+      cf_.slot_names.push_back(l.name);
+    }
+    stmt(*fn_.body);
+    // Falling off the end: return a default value for non-void functions
+    // (benign version of C's undefined behaviour), plain return otherwise.
+    if (cf_.returns_value) {
+      emit(Op::kPushConst, constant(ser::default_value(
+                               fn_.return_type.base == BaseType::kReal
+                                   ? support::ValueKind::kReal
+                               : fn_.return_type.base == BaseType::kString
+                                   ? support::ValueKind::kString
+                               : fn_.return_type.is_pointer
+                                   ? support::ValueKind::kPointer
+                                   : support::ValueKind::kInt)));
+      emit(Op::kRetVal);
+    } else {
+      emit(Op::kRet);
+    }
+    // Resolve gotos now that all labels have offsets.
+    for (const auto& [index, label] : pending_gotos_) {
+      auto it = labels_.find(label);
+      if (it == labels_.end()) {
+        throw SemaError({}, "goto to unknown label '" + label +
+                                "' survived sema in '" + fn_.name + "'");
+      }
+      cf_.code[index].a = static_cast<std::int32_t>(it->second);
+    }
+    return std::move(cf_);
+  }
+
+ private:
+  std::size_t emit(Op op, std::int32_t a = 0, std::int32_t b = 0) {
+    cf_.code.push_back(Insn{op, a, b});
+    return cf_.code.size() - 1;
+  }
+
+  [[nodiscard]] std::int32_t here() const noexcept {
+    return static_cast<std::int32_t>(cf_.code.size());
+  }
+
+  void patch(std::size_t index, std::int32_t target) {
+    cf_.code[index].a = target;
+  }
+
+  std::int32_t constant(ser::Value v) {
+    for (std::size_t i = 0; i < out_.constants.size(); ++i) {
+      if (out_.constants[i] == v) return static_cast<std::int32_t>(i);
+    }
+    out_.constants.push_back(std::move(v));
+    return static_cast<std::int32_t>(out_.constants.size() - 1);
+  }
+
+  [[nodiscard]] std::int32_t abs_slot(const VarExpr& v) const {
+    switch (v.storage) {
+      case VarStorage::kParam:
+        return static_cast<std::int32_t>(v.slot);
+      case VarStorage::kLocal:
+        return static_cast<std::int32_t>(fn_.params.size() + v.slot);
+      default:
+        throw SemaError(v.loc, "variable '" + v.name + "' is not frame-local");
+    }
+  }
+
+  /// Emits a numeric conversion when the value on the stack (static type
+  /// `from`) must be stored as `to`. Sema guarantees only int -> real.
+  void convert(const Type& from, const Type& to) {
+    if (from == to) return;
+    if (from == kIntType && to == kRealType) emit(Op::kCastReal);
+    // null -> typed pointer needs no representation change.
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  void expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        emit(Op::kPushConst,
+             constant(ser::Value(static_cast<const IntLit&>(e).value)));
+        return;
+      case ExprKind::kRealLit:
+        emit(Op::kPushConst,
+             constant(ser::Value(static_cast<const RealLit&>(e).value)));
+        return;
+      case ExprKind::kStrLit:
+        emit(Op::kPushConst,
+             constant(ser::Value(static_cast<const StrLit&>(e).value)));
+        return;
+      case ExprKind::kNullLit:
+        emit(Op::kPushConst, constant(ser::Value(ser::AbstractPointer{})));
+        return;
+      case ExprKind::kVar: {
+        const auto& v = static_cast<const VarExpr&>(e);
+        if (v.storage == VarStorage::kGlobal) {
+          emit(Op::kLoadGlobal, static_cast<std::int32_t>(v.slot));
+        } else if (v.storage == VarStorage::kFunc) {
+          // Function used as a value: its index (mh_signal argument).
+          emit(Op::kPushConst,
+               constant(ser::Value(static_cast<std::int64_t>(v.slot))));
+        } else {
+          emit(Op::kLoadSlot, abs_slot(v));
+        }
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        expr(*u.operand);
+        emit(u.op == UnaryOp::kNeg ? Op::kNeg : Op::kNot);
+        return;
+      }
+      case ExprKind::kBinary:
+        binary(static_cast<const BinaryExpr&>(e));
+        return;
+      case ExprKind::kCall:
+        call(static_cast<const CallExpr&>(e));
+        return;
+      case ExprKind::kCast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        expr(*c.operand);
+        emit(c.target == kRealType ? Op::kCastReal : Op::kCastInt);
+        return;
+      }
+      case ExprKind::kAddrOf:
+        addr_of(static_cast<const AddrOfExpr&>(e));
+        return;
+      case ExprKind::kDeref:
+        expr(*static_cast<const DerefExpr&>(e).operand);
+        emit(Op::kLoadInd);
+        return;
+      case ExprKind::kIndex: {
+        const auto& i = static_cast<const IndexExpr&>(e);
+        expr(*i.base);
+        expr(*i.index);
+        emit(Op::kIndexPtr);
+        emit(Op::kLoadInd);
+        return;
+      }
+    }
+    throw SemaError(e.loc, "unknown expression in compiler");
+  }
+
+  void addr_of(const AddrOfExpr& a) {
+    const auto& v = static_cast<const VarExpr&>(*a.operand);
+    if (v.storage == VarStorage::kGlobal) {
+      emit(Op::kAddrGlobal, static_cast<std::int32_t>(v.slot));
+    } else {
+      emit(Op::kAddrSlot, abs_slot(v));
+    }
+  }
+
+  void binary(const BinaryExpr& b) {
+    if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
+      // Short-circuit, normalizing the result to 0/1.
+      expr(*b.lhs);
+      auto first = emit(
+          b.op == BinaryOp::kAnd ? Op::kJumpIfFalse : Op::kJumpIfTrue);
+      expr(*b.rhs);
+      auto second = emit(
+          b.op == BinaryOp::kAnd ? Op::kJumpIfFalse : Op::kJumpIfTrue);
+      emit(Op::kPushConst,
+           constant(ser::Value(std::int64_t{b.op == BinaryOp::kAnd})));
+      auto done = emit(Op::kJump);
+      patch(first, here());
+      patch(second, here());
+      emit(Op::kPushConst,
+           constant(ser::Value(std::int64_t{b.op == BinaryOp::kOr})));
+      patch(done, here());
+      return;
+    }
+    expr(*b.lhs);
+    expr(*b.rhs);
+    switch (b.op) {
+      case BinaryOp::kAdd: emit(Op::kAdd); return;
+      case BinaryOp::kSub: emit(Op::kSub); return;
+      case BinaryOp::kMul: emit(Op::kMul); return;
+      case BinaryOp::kDiv: emit(Op::kDiv); return;
+      case BinaryOp::kMod: emit(Op::kMod); return;
+      case BinaryOp::kEq: emit(Op::kEq); return;
+      case BinaryOp::kNe: emit(Op::kNe); return;
+      case BinaryOp::kLt: emit(Op::kLt); return;
+      case BinaryOp::kLe: emit(Op::kLe); return;
+      case BinaryOp::kGt: emit(Op::kGt); return;
+      case BinaryOp::kGe: emit(Op::kGe); return;
+      default:
+        throw SemaError(b.loc, "unexpected binary op in compiler");
+    }
+  }
+
+  void call(const CallExpr& c) {
+    if (c.is_builtin) {
+      for (const auto& a : c.args) expr(*a);
+      emit(Op::kBuiltin, static_cast<std::int32_t>(c.callee_index),
+           static_cast<std::int32_t>(c.args.size()));
+      return;
+    }
+    const Function& callee = *prog_.functions[c.callee_index];
+    for (std::size_t i = 0; i < c.args.size(); ++i) {
+      expr(*c.args[i]);
+      convert(c.args[i]->type, callee.params[i].type);
+    }
+    emit(Op::kCall, static_cast<std::int32_t>(c.callee_index),
+         static_cast<std::int32_t>(c.args.size()));
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& child : static_cast<const BlockStmt&>(s).stmts) {
+          stmt(*child);
+        }
+        return;
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        if (d.init) {
+          emit(Op::kStmt);
+          expr(*d.init);
+          convert(d.init->type, d.type);
+          emit(Op::kStoreSlot,
+               static_cast<std::int32_t>(fn_.params.size() + d.slot));
+        }
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        emit(Op::kStmt);
+        assign(a);
+        return;
+      }
+      case StmtKind::kExpr: {
+        const auto& e = static_cast<const ExprStmt&>(s);
+        emit(Op::kStmt);
+        expr(*e.expr);
+        if (!e.expr->type.is_void()) emit(Op::kPop);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        emit(Op::kStmt);
+        expr(*i.cond);
+        auto to_else = emit(Op::kJumpIfFalse);
+        stmt(*i.then_branch);
+        if (i.else_branch) {
+          auto over_else = emit(Op::kJump);
+          patch(to_else, here());
+          stmt(*i.else_branch);
+          patch(over_else, here());
+        } else {
+          patch(to_else, here());
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        auto top = here();
+        emit(Op::kStmt);
+        expr(*w.cond);
+        auto out = emit(Op::kJumpIfFalse);
+        loops_.push_back(LoopContext{static_cast<std::size_t>(top), {}, {}});
+        stmt(*w.body);
+        emit(Op::kJump, top);
+        patch(out, here());
+        for (auto b : loops_.back().break_patches) patch(b, here());
+        loops_.pop_back();
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init) stmt(*f.init);
+        auto top = here();
+        std::size_t out = SIZE_MAX;
+        emit(Op::kStmt);
+        if (f.cond) {
+          expr(*f.cond);
+          out = emit(Op::kJumpIfFalse);
+        }
+        // `continue` must execute the step, so its target is recorded
+        // after the body compiles; collect patches meanwhile.
+        loops_.push_back(LoopContext{SIZE_MAX, {}, {}});
+        stmt(*f.body);
+        auto continue_target = here();
+        if (f.step) stmt(*f.step);
+        emit(Op::kJump, top);
+        if (out != SIZE_MAX) patch(out, here());
+        for (auto b : loops_.back().break_patches) patch(b, here());
+        for (auto c : loops_.back().continue_patches) {
+          patch(c, continue_target);
+        }
+        loops_.pop_back();
+        return;
+      }
+      case StmtKind::kBreak: {
+        emit(Op::kStmt);
+        loops_.back().break_patches.push_back(emit(Op::kJump));
+        return;
+      }
+      case StmtKind::kContinue: {
+        emit(Op::kStmt);
+        if (loops_.back().continue_offset != SIZE_MAX) {
+          emit(Op::kJump,
+               static_cast<std::int32_t>(loops_.back().continue_offset));
+        } else {
+          loops_.back().continue_patches.push_back(emit(Op::kJump));
+        }
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        emit(Op::kStmt);
+        if (r.value) {
+          expr(*r.value);
+          convert(r.value->type, fn_.return_type);
+          emit(Op::kRetVal);
+        } else {
+          emit(Op::kRet);
+        }
+        return;
+      }
+      case StmtKind::kGoto: {
+        const auto& g = static_cast<const GotoStmt&>(s);
+        emit(Op::kStmt);
+        pending_gotos_.emplace_back(emit(Op::kJump), g.label);
+        return;
+      }
+      case StmtKind::kLabeled: {
+        const auto& l = static_cast<const LabeledStmt&>(s);
+        labels_[l.label] = static_cast<std::size_t>(here());
+        stmt(*l.inner);
+        return;
+      }
+      case StmtKind::kEmpty:
+        return;
+    }
+    throw SemaError(s.loc, "unknown statement in compiler");
+  }
+
+  void assign(const AssignStmt& a) {
+    switch (a.target->kind) {
+      case ExprKind::kVar: {
+        const auto& v = static_cast<const VarExpr&>(*a.target);
+        expr(*a.value);
+        convert(a.value->type, v.type);
+        if (v.storage == VarStorage::kGlobal) {
+          emit(Op::kStoreGlobal, static_cast<std::int32_t>(v.slot));
+        } else {
+          emit(Op::kStoreSlot, abs_slot(v));
+        }
+        return;
+      }
+      case ExprKind::kDeref: {
+        const auto& d = static_cast<const DerefExpr&>(*a.target);
+        expr(*a.value);
+        convert(a.value->type, d.type);
+        expr(*d.operand);
+        emit(Op::kStoreInd);
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto& i = static_cast<const IndexExpr&>(*a.target);
+        expr(*a.value);
+        convert(a.value->type, i.type);
+        expr(*i.base);
+        expr(*i.index);
+        emit(Op::kIndexPtr);
+        emit(Op::kStoreInd);
+        return;
+      }
+      default:
+        throw SemaError(a.loc, "bad assignment target in compiler");
+    }
+  }
+
+  struct LoopContext {
+    /// Jump target of `continue`; SIZE_MAX when not yet known (for loops
+    /// record continue sites and patch them to the step code afterwards).
+    std::size_t continue_offset = SIZE_MAX;
+    std::vector<std::size_t> break_patches;
+    std::vector<std::size_t> continue_patches;
+  };
+
+  const Program& prog_;
+  const Function& fn_;
+  CompiledProgram& out_;
+  CompiledFunction cf_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> pending_gotos_;
+  std::vector<LoopContext> loops_;
+};
+
+[[nodiscard]] ser::Value literal_init(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return ser::Value(static_cast<const IntLit&>(e).value);
+    case ExprKind::kRealLit:
+      return ser::Value(static_cast<const RealLit&>(e).value);
+    case ExprKind::kStrLit:
+      return ser::Value(static_cast<const StrLit&>(e).value);
+    case ExprKind::kNullLit:
+      return ser::Value(ser::AbstractPointer{});
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnaryOp::kNeg) {
+        ser::Value v = literal_init(*u.operand);
+        if (v.is_int()) return ser::Value(-v.as_int());
+        if (v.is_real()) return ser::Value(-v.as_real());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  throw SemaError(e.loc, "global initializers must be literals");
+}
+
+}  // namespace
+
+CompiledProgram compile(const Program& program) {
+  CompiledProgram out;
+  for (const auto& g : program.globals) {
+    GlobalSlot slot;
+    slot.name = g.name;
+    slot.type = slot_type_of(g.type);
+    if (g.init) {
+      slot.init = literal_init(*g.init);
+      if (slot.init.is_int() && g.type == kRealType) {
+        slot.init = ser::Value(static_cast<double>(slot.init.as_int()));
+      }
+    } else {
+      switch (slot.type) {
+        case SlotType::kInt:
+          slot.init = ser::Value(std::int64_t{0});
+          break;
+        case SlotType::kReal:
+          slot.init = ser::Value(0.0);
+          break;
+        case SlotType::kString:
+          slot.init = ser::Value(std::string{});
+          break;
+        case SlotType::kPointer:
+          slot.init = ser::Value(ser::AbstractPointer{});
+          break;
+      }
+    }
+    out.globals.push_back(std::move(slot));
+  }
+  for (const auto& fn : program.functions) {
+    out.functions.push_back(FnCompiler(program, *fn, out).run());
+  }
+  out.main_index = out.function_index("main");
+  if (out.main_index == UINT32_MAX) {
+    throw SemaError({}, "compiled program has no main()");
+  }
+  return out;
+}
+
+CompiledProgram compile_source(std::string_view source) {
+  Program prog = parse_program(source);
+  analyze(prog);
+  return compile(prog);
+}
+
+}  // namespace surgeon::vm

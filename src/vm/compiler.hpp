@@ -1,0 +1,21 @@
+// MiniC -> bytecode compiler.
+//
+// Requires a program that sema has analyzed (slots resolved, types
+// annotated). Each simulated machine conceptually runs its own copy of this
+// compiler; the bytecode itself is architecture-neutral, and architecture
+// differences live in the VM's frame images (net::Arch).
+#pragma once
+
+#include "minic/ast.hpp"
+#include "vm/bytecode.hpp"
+
+namespace surgeon::vm {
+
+/// Compiles an analyzed program. Throws SemaError on constructs the
+/// backend cannot express (e.g. non-literal global initializers).
+[[nodiscard]] CompiledProgram compile(const minic::Program& program);
+
+/// Convenience: parse + analyze + compile a source text.
+[[nodiscard]] CompiledProgram compile_source(std::string_view source);
+
+}  // namespace surgeon::vm

@@ -1,0 +1,273 @@
+// The MiniC virtual machine.
+//
+// One Machine executes one module's compiled program on one simulated host.
+// It is resumable: step() runs until it exhausts its instruction budget,
+// blocks (on mh_read / mh_decode), goes to sleep, finishes, or faults, and
+// a later step() continues exactly where it left off. A blocking builtin
+// that cannot proceed leaves the program counter in place, so re-stepping
+// retries it -- the cooperative scheduler in surgeon::app wakes the machine
+// when the bus delivers something.
+//
+// The machine knows nothing about reconfiguration. mh_capture/mh_restore/
+// mh_encode/mh_decode are ordinary library builtins operating on the
+// abstract state buffer; the logic of *when* to call them lives entirely in
+// the transformed MiniC source, which is the paper's central claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bus/client.hpp"
+#include "net/arch.hpp"
+#include "serialize/state.hpp"
+#include "support/rng.hpp"
+#include "vm/bytecode.hpp"
+
+namespace surgeon::vm {
+
+/// A runtime pointer. Frame references (to &locals) are meaningful only
+/// while the frame lives; heap references survive capture/restore via the
+/// abstract pointer swizzle; global references address the module's own
+/// data area.
+struct Ref {
+  enum class Kind : std::uint8_t { kNull, kGlobal, kFrame, kHeap };
+  Kind kind = Kind::kNull;
+  std::uint64_t a = 0;  // global index / frame id / heap object id
+  std::uint64_t b = 0;  // slot (frame) or element offset (heap)
+
+  friend bool operator==(const Ref&, const Ref&) = default;
+};
+
+using RtValue = std::variant<std::int64_t, double, std::string, Ref>;
+
+enum class RunState : std::uint8_t {
+  kRunnable,
+  kBlockedRead,    // waiting for a message on blocked_iface
+  kBlockedDecode,  // waiting for an abstract state buffer
+  kSleeping,       // sleep() called; resume after sleep_us
+  kDone,           // main returned
+  kFault,          // VmError; see fault_message()
+};
+
+struct StepResult {
+  RunState state = RunState::kRunnable;
+  std::uint64_t instructions = 0;   // executed during this slice
+  std::uint64_t sleep_us = 0;       // when kSleeping
+  std::string blocked_iface;        // when kBlockedRead
+};
+
+class Machine {
+ public:
+  /// `arch` is the architecture of the host this module instance runs on;
+  /// it affects only the native frame image (raw_frame_image), never
+  /// program semantics.
+  Machine(const CompiledProgram& program, net::Arch arch,
+          std::uint64_t seed = 7);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Connects the machine to the software bus as a named module. Without a
+  /// client, bus builtins fault and status/clock report standalone values.
+  void attach_client(bus::Client* client) noexcept { client_ = client; }
+
+  /// Executes up to max_insns instructions. Never throws for program-level
+  /// errors; they surface as RunState::kFault.
+  StepResult step(std::uint64_t max_insns = UINT64_MAX);
+
+  /// Test helper: steps until done/fault/blocked, up to a total budget.
+  StepResult run(std::uint64_t max_total_insns = 10'000'000);
+
+  /// Delivers a reconfiguration signal directly (standalone tests; modules
+  /// under a bus receive signals through bus::Client instead).
+  void raise_signal() noexcept { local_signal_ = true; }
+
+  [[nodiscard]] RunState state() const noexcept { return state_; }
+  [[nodiscard]] const std::string& fault_message() const noexcept {
+    return fault_message_;
+  }
+  [[nodiscard]] std::uint64_t instructions_executed() const noexcept {
+    return instructions_executed_;
+  }
+  [[nodiscard]] const std::vector<std::string>& output() const noexcept {
+    return output_;
+  }
+  [[nodiscard]] const net::Arch& arch() const noexcept { return arch_; }
+  [[nodiscard]] std::size_t stack_depth() const noexcept {
+    return frames_.size();
+  }
+  /// Number of successful mh_decode calls (state installations begun).
+  [[nodiscard]] std::uint64_t decode_count() const noexcept {
+    return decode_count_;
+  }
+  /// Frames still waiting to be consumed by mh_restore. A clone has fully
+  /// rebuilt its activation record stack when decode_count() > 0 and this
+  /// returns 0.
+  [[nodiscard]] std::size_t restore_frames_remaining() const noexcept {
+    return restore_buf_.has_value() ? restore_buf_->frame_count() : 0;
+  }
+
+  /// Test access to a global by name. Throws VmError if unknown.
+  [[nodiscard]] RtValue global(const std::string& name) const;
+  void set_global(const std::string& name, RtValue value);
+
+  /// The state buffer mh_encode would divulge, for standalone tests (when a
+  /// client is attached, mh_encode posts to the bus instead).
+  [[nodiscard]] const std::optional<ser::StateBuffer>& last_encoded_state()
+      const noexcept {
+    return last_encoded_;
+  }
+  /// Standalone counterpart of an arriving state buffer (mh_decode input).
+  void inject_incoming_state(ser::StateBuffer state) {
+    injected_state_ = std::move(state);
+  }
+  /// What mh_getstatus() reports when no client is attached ("new" by
+  /// default; standalone clone tests set "clone").
+  void set_standalone_status(std::string status) {
+    standalone_status_ = std::move(status);
+  }
+
+  // --- native frame image (binary-copy baseline; see DESIGN.md §3.2) ------
+
+  /// Serializes the activation record stack in this machine's *native*
+  /// layout: scalar slots in arch byte order with arch-specific padding.
+  /// This is what a naive binary process migration would copy.
+  [[nodiscard]] std::vector<std::uint8_t> raw_frame_image() const;
+
+  /// Rebuilds the stack from a native image, interpreting it with THIS
+  /// machine's architecture. Restoring an image made on an unlike
+  /// architecture yields scrambled values or a structural fault -- the
+  /// negative result motivating the abstract state format.
+  void restore_raw_frame_image(std::span<const std::uint8_t> bytes);
+
+  // --- privileged whole-state snapshot (checkpointing baseline) -----------
+
+  struct Snapshot;
+  /// Deep copy of the entire machine state (globals, frames, heap, RNG).
+  /// This models OS-level checkpointing: same machine, same architecture.
+  /// (shared_ptr so the Snapshot type can stay private to the .cpp.)
+  [[nodiscard]] std::shared_ptr<Snapshot> checkpoint() const;
+  void rollback(const Snapshot& snapshot);
+  /// Serialized size of a snapshot, for checkpoint-cost benchmarks.
+  [[nodiscard]] static std::size_t snapshot_size(const Snapshot& snapshot);
+
+  struct HeapStats {
+    std::size_t objects = 0;
+    std::size_t cells = 0;
+  };
+  [[nodiscard]] HeapStats heap_stats() const noexcept;
+
+  // --- per-procedure code replacement (procedure-level update baseline) ---
+
+  /// True if any activation record of function `fn_index` is on the stack.
+  [[nodiscard]] bool function_active(std::uint32_t fn_index) const noexcept;
+
+  /// Replaces the code of the function named `name` with the version from
+  /// `donor` while the module runs. Refuses (with VmError) if the function
+  /// is active, missing on either side, changes the frame shape, or calls
+  /// procedures this program does not have -- the consistency rules of
+  /// procedure-level dynamic updating (Frieder & Segal, ref [4] of the
+  /// paper). Constant-pool and call indices are remapped from the donor.
+  /// Limitation: a replacement that passes a function to mh_signal is
+  /// rejected (function-index constants cannot be remapped soundly).
+  void replace_function(const CompiledProgram& donor, const std::string& name);
+
+  /// Code actually in effect for a function (override or original).
+  [[nodiscard]] const CompiledFunction& effective_function(
+      std::uint32_t fn_index) const;
+
+  /// Human-readable activation record stack (diagnostics, tests).
+  [[nodiscard]] std::string dump_stack() const;
+
+ private:
+  struct Frame {
+    std::uint32_t fn = 0;
+    std::uint32_t pc = 0;
+    std::uint64_t id = 0;
+    std::vector<RtValue> slots;
+    std::vector<RtValue> stack;
+  };
+  struct HeapObject {
+    std::vector<RtValue> cells;
+  };
+
+  void push_frame(std::uint32_t fn_index, std::size_t nargs);
+  [[nodiscard]] Frame& top() { return frames_.back(); }
+  [[nodiscard]] const CompiledFunction& fn_of(const Frame& f) const {
+    return effective_function(f.fn);
+  }
+
+  [[nodiscard]] RtValue pop();
+  void push(RtValue v) { top().stack.push_back(std::move(v)); }
+
+  /// One instruction. Returns false when the slice must end (blocked,
+  /// sleeping, done). Throws VmError on faults.
+  bool exec_one();
+  bool exec_builtin(std::uint8_t id, std::uint32_t nargs);
+
+  // Pointer plumbing.
+  [[nodiscard]] RtValue load_ref(const Ref& r);
+  void store_ref(const Ref& r, RtValue v);
+
+  // Abstract state capture/restore (the mh_capture/mh_restore builtins).
+  [[nodiscard]] ser::Value abstract_of(const RtValue& v,
+                                       support::ValueKind kind);
+  void capture_heap_object(std::uint64_t object_id, std::set<std::uint64_t>&
+                                                        visited);
+  [[nodiscard]] RtValue concrete_of(const ser::Value& v);
+  void materialize_heap(const ser::StateBuffer& buf);
+
+  [[nodiscard]] bool take_signal();
+
+  const CompiledProgram* prog_;
+  net::Arch arch_;
+  bus::Client* client_ = nullptr;
+
+  std::vector<RtValue> globals_;
+  std::vector<Frame> frames_;
+  /// frame id -> index in frames_. An index is stable for the frame's whole
+  /// lifetime (frames_ only pushes and pops at the back).
+  std::map<std::uint64_t, std::size_t> frame_by_id_;
+  std::map<std::uint64_t, HeapObject> heap_;
+  std::uint64_t next_frame_id_ = 1;
+  std::uint64_t next_heap_id_ = 1;
+
+  ser::StateBuffer capture_buf_;
+  std::optional<ser::StateBuffer> restore_buf_;
+  std::map<std::uint64_t, std::uint64_t> decode_id_map_;
+  std::optional<ser::StateBuffer> last_encoded_;
+  std::optional<ser::StateBuffer> injected_state_;
+
+  std::int32_t signal_handler_fn_ = -1;
+  bool local_signal_ = false;
+  std::uint64_t decode_count_ = 0;
+  std::string standalone_status_ = "new";
+
+  RunState state_ = RunState::kRunnable;
+  std::string fault_message_;
+  std::string blocked_iface_;
+  std::uint64_t pending_sleep_us_ = 0;
+  std::uint64_t instructions_executed_ = 0;
+
+  support::SplitMix64 rng_;
+  std::vector<std::string> output_;
+  /// Per-function code overrides installed by replace_function, and the
+  /// extra constants their remapped kPushConst instructions refer to
+  /// (indices >= prog_->constants.size() address extra_constants_).
+  std::map<std::uint32_t, CompiledFunction> fn_overrides_;
+  std::vector<ser::Value> extra_constants_;
+};
+
+/// Printable name of a run state (diagnostics and test failure messages).
+[[nodiscard]] const char* run_state_name(RunState state) noexcept;
+
+/// Renders an RtValue for logs and tests.
+[[nodiscard]] std::string rt_to_string(const RtValue& v);
+
+}  // namespace surgeon::vm

@@ -1,0 +1,703 @@
+#include "xform/transform.hpp"
+
+#include <map>
+
+#include "dataflow/liveness.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "support/format.hpp"
+
+namespace surgeon::xform {
+
+using namespace minic;
+using support::ValueKind;
+
+namespace {
+
+constexpr const char* kFlagReconfig = "mh_reconfig";
+constexpr const char* kFlagCaptureStack = "mh_capturestack";
+constexpr const char* kFlagRestoring = "mh_restoring";
+constexpr const char* kVarLocation = "mh_location";
+constexpr const char* kHandlerName = "mh_catchreconfig";
+
+// ---------------------------------------------------------------------------
+// Normalization
+
+void normalize_stmt(StmtPtr& slot);
+
+void wrap_in_block(StmtPtr& slot) {
+  if (slot->kind == StmtKind::kBlock) {
+    normalize_stmt(slot);
+    return;
+  }
+  auto block = std::make_unique<BlockStmt>(slot->loc);
+  block->stmts.push_back(std::move(slot));
+  normalize_stmt(block->stmts.front());
+  slot = std::move(block);
+}
+
+void normalize_stmt(StmtPtr& slot) {
+  switch (slot->kind) {
+    case StmtKind::kBlock: {
+      auto& b = static_cast<BlockStmt&>(*slot);
+      for (auto& child : b.stmts) normalize_stmt(child);
+      return;
+    }
+    case StmtKind::kIf: {
+      auto& s = static_cast<IfStmt&>(*slot);
+      wrap_in_block(s.then_branch);
+      if (s.else_branch) wrap_in_block(s.else_branch);
+      return;
+    }
+    case StmtKind::kWhile: {
+      auto& s = static_cast<WhileStmt&>(*slot);
+      wrap_in_block(s.body);
+      return;
+    }
+    case StmtKind::kFor: {
+      auto& s = static_cast<ForStmt&>(*slot);
+      wrap_in_block(s.body);
+      return;
+    }
+    case StmtKind::kLabeled: {
+      auto& s = static_cast<LabeledStmt&>(*slot);
+      normalize_stmt(s.inner);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small AST factories
+
+ExprPtr call_expr(const char* name, std::vector<ExprPtr> args = {}) {
+  return make_call(name, std::move(args));
+}
+
+StmtPtr call_stmt(const char* name, std::vector<ExprPtr> args = {}) {
+  return std::make_unique<ExprStmt>(call_expr(name, std::move(args)),
+                                    support::SourceLoc{});
+}
+
+StmtPtr assign_var(const char* name, std::int64_t value) {
+  return std::make_unique<AssignStmt>(make_var(name), make_int(value),
+                                      support::SourceLoc{});
+}
+
+ExprPtr default_literal(const Type& type) {
+  if (type.is_pointer) return std::make_unique<NullLit>(support::SourceLoc{});
+  switch (type.base) {
+    case BaseType::kReal:
+      return make_real(0.0);
+    case BaseType::kString:
+      return make_str("");
+    default:
+      return make_int(0);
+  }
+}
+
+StmtPtr return_stmt(const Function& fn) {
+  ExprPtr value;
+  if (!fn.return_type.is_void()) value = default_literal(fn.return_type);
+  return std::make_unique<ReturnStmt>(std::move(value), support::SourceLoc{});
+}
+
+// ---------------------------------------------------------------------------
+// Capture variable descriptors
+
+struct CapVar {
+  std::string name;
+  Type type;
+  bool deref = false;  // pointer parameter captured as *name
+};
+
+char kind_code_of(const CapVar& v) {
+  Type t = v.deref ? v.type.pointee() : v.type;
+  if (t.is_pointer) return 'p';
+  switch (t.base) {
+    case BaseType::kReal:
+      return 'F';
+    case BaseType::kString:
+      return 's';
+    default:
+      return 'i';
+  }
+}
+
+/// Expression placed in a mh_capture argument list for this variable.
+ExprPtr capture_arg(const CapVar& v) {
+  if (v.deref) {
+    return std::make_unique<DerefExpr>(make_var(v.name), support::SourceLoc{});
+  }
+  return make_var(v.name);
+}
+
+/// Expression placed in a mh_restore target list for this variable.
+ExprPtr restore_target(const CapVar& v) {
+  // A dereferenced pointer parameter is restored *through* the pointer, so
+  // the pointer itself is the target (Figure 4 passes rp, not &rp).
+  if (v.deref) return make_var(v.name);
+  return make_addr_of(v.name);
+}
+
+// ---------------------------------------------------------------------------
+// Dummy-argument analysis (Section 3, final paragraph)
+
+/// Can evaluating this expression fault at run time? Division and modulo
+/// can trap; calls can do anything; dereferences and indexing can hit
+/// dangling or null pointers. Everything else built from safe parts is safe.
+bool expr_is_safe(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kRealLit:
+    case ExprKind::kStrLit:
+    case ExprKind::kNullLit:
+    case ExprKind::kVar:
+      return true;
+    case ExprKind::kUnary:
+      return expr_is_safe(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kCast:
+      return expr_is_safe(*static_cast<const CastExpr&>(e).operand);
+    case ExprKind::kAddrOf:
+      return true;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if (b.op == BinaryOp::kDiv || b.op == BinaryOp::kMod) return false;
+      return expr_is_safe(*b.lhs) && expr_is_safe(*b.rhs);
+    }
+    default:
+      return false;  // calls, derefs, indexing
+  }
+}
+
+}  // namespace
+
+void normalize_blocks(Program& program) {
+  for (auto& fn : program.functions) {
+    for (auto& stmt : fn->body->stmts) normalize_stmt(stmt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The transformer
+
+namespace {
+
+class Transformer {
+ public:
+  Transformer(Program& prog, const std::vector<cfg::ReconfigPointSpec>& points,
+              const XformOptions& opts)
+      : prog_(prog), points_(points), opts_(opts) {}
+
+  XformResult run() {
+    check_reserved_names();
+    normalize_blocks(prog_);
+
+    std::vector<std::string> labels;
+    labels.reserve(points_.size());
+    for (const auto& p : points_) labels.push_back(p.label);
+    result_.graph = graph::build_reconfig_graph(prog_, labels);
+
+    collect_used_labels();
+    if (opts_.use_liveness) {
+      for (const auto& fn_name : result_.graph.nodes) {
+        Function* fn = prog_.find_function(fn_name);
+        liveness_.emplace(fn_name, dataflow::Liveness::analyze(*fn));
+      }
+    }
+    gather_globals();
+    inject_machinery();
+
+    // Instrument functions in program order for deterministic output.
+    for (auto& fn : prog_.functions) {
+      if (!result_.graph.nodes.contains(fn->name)) continue;
+      if (fn->name == kHandlerName) continue;
+      instrument(*fn);
+    }
+
+    reanalyze(prog_);
+    return std::move(result_);
+  }
+
+ private:
+  void check_reserved_names() {
+    auto reserved = {kFlagReconfig, kFlagCaptureStack, kFlagRestoring,
+                     kVarLocation, kHandlerName};
+    for (const char* name : reserved) {
+      for (const auto& g : prog_.globals) {
+        if (g.name == name) {
+          throw XformError("program already defines '" + std::string(name) +
+                           "'; it was either transformed twice or uses a "
+                           "reserved mh_ name");
+        }
+      }
+      if (prog_.find_function(name) != nullptr) {
+        throw XformError("program already defines function '" +
+                         std::string(name) + "'");
+      }
+    }
+  }
+
+  void collect_used_labels() {
+    // Walk every statement for labels so generated Li names cannot collide.
+    struct Walk {
+      std::set<std::string>* labels;
+      void stmt(const Stmt& s) {
+        switch (s.kind) {
+          case StmtKind::kLabeled: {
+            const auto& l = static_cast<const LabeledStmt&>(s);
+            labels->insert(l.label);
+            stmt(*l.inner);
+            return;
+          }
+          case StmtKind::kBlock:
+            for (const auto& c : static_cast<const BlockStmt&>(s).stmts) {
+              stmt(*c);
+            }
+            return;
+          case StmtKind::kIf: {
+            const auto& i = static_cast<const IfStmt&>(s);
+            stmt(*i.then_branch);
+            if (i.else_branch) stmt(*i.else_branch);
+            return;
+          }
+          case StmtKind::kWhile:
+            stmt(*static_cast<const WhileStmt&>(s).body);
+            return;
+          case StmtKind::kFor:
+            stmt(*static_cast<const ForStmt&>(s).body);
+            return;
+          default:
+            return;
+        }
+      }
+    };
+    Walk walk{&used_labels_};
+    for (const auto& fn : prog_.functions) walk.stmt(*fn->body);
+  }
+
+  [[nodiscard]] std::string edge_label(int id) {
+    std::string name = "L" + std::to_string(id);
+    if (used_labels_.contains(name)) name = "mh_L" + std::to_string(id);
+    used_labels_.insert(name);
+    return name;
+  }
+
+  void gather_globals() {
+    if (!opts_.capture_globals) return;
+    for (const auto& g : prog_.globals) {
+      CapVar v;
+      v.name = g.name;
+      v.type = g.type;
+      user_globals_.push_back(std::move(v));
+    }
+  }
+
+  void inject_machinery() {
+    // int mh_reconfig; int mh_capturestack; int mh_restoring; int mh_location;
+    for (const char* name :
+         {kFlagReconfig, kFlagCaptureStack, kFlagRestoring, kVarLocation}) {
+      GlobalDecl g;
+      g.type = kIntType;
+      g.name = name;
+      prog_.globals.push_back(std::move(g));
+    }
+    // void mh_catchreconfig() { mh_reconfig = 1; }
+    auto handler = std::make_unique<Function>();
+    handler->name = kHandlerName;
+    handler->return_type = kVoidType;
+    handler->body = std::make_unique<BlockStmt>(support::SourceLoc{});
+    handler->body->stmts.push_back(assign_var(kFlagReconfig, 1));
+    prog_.functions.push_back(std::move(handler));
+  }
+
+  // --- captured variable sets ----------------------------------------------
+
+  /// All parameters and locals of `fn`, pointer parameters dereferenced.
+  [[nodiscard]] std::vector<CapVar> all_frame_vars(const Function& fn) const {
+    std::vector<CapVar> vars;
+    for (const auto& p : fn.params) {
+      vars.push_back(CapVar{p.name, p.type, p.type.is_pointer});
+    }
+    for (const auto& l : fn.locals) {
+      vars.push_back(CapVar{l.name, l.type, false});
+    }
+    return vars;
+  }
+
+  /// Spec-provided variable list for reconfiguration points in `fn`
+  /// (union, in spec order, deduplicated); empty when none was given.
+  [[nodiscard]] std::vector<CapVar> spec_vars_of(const Function& fn) const {
+    std::vector<CapVar> vars;
+    std::set<std::string> seen;
+    for (const auto& point : result_.graph.points) {
+      if (point.function != fn.name) continue;
+      for (const auto& p : points_) {
+        if (p.label != point.label) continue;
+        for (const auto& sv : p.vars) {
+          if (seen.insert(sv.name).second) {
+            vars.push_back(resolve_spec_var(fn, sv));
+          }
+        }
+      }
+    }
+    return vars;
+  }
+
+  /// Default (Figure 4) mode: one uniform captured set per function, since
+  /// every capture block must match the single mh_restore in the shared
+  /// restore block. The programmer's reconfiguration-point list governs
+  /// when present (Figure 4 captures {num, n, *rp} everywhere in compute,
+  /// omitting the dead `temper`); otherwise all parameters and locals.
+  [[nodiscard]] std::vector<CapVar> function_vars(const Function& fn) const {
+    std::vector<CapVar> vars = spec_vars_of(fn);
+    if (!vars.empty()) return vars;
+    return all_frame_vars(fn);
+  }
+
+  /// The captured set for a specific edge. In liveness mode each edge gets
+  /// its own (smaller) set and the restore block dispatches on
+  /// mh_peek_location() before popping; otherwise the per-function set.
+  [[nodiscard]] std::vector<CapVar> edge_vars(
+      const Function& fn, const graph::ReconfigEdge& edge) const {
+    if (!opts_.use_liveness) return function_vars(fn);
+    if (edge.is_reconfig_point) {
+      std::vector<CapVar> spec = spec_vars_of(fn);
+      if (!spec.empty()) return spec;
+    }
+    std::vector<CapVar> vars = all_frame_vars(fn);
+    const auto& lv = liveness_.at(fn.name);
+    std::set<std::string> live =
+        edge.is_reconfig_point ? lv.live_before(edge.point.stmt)
+                               : lv.live_after(edge.site.stmt);
+    std::erase_if(vars,
+                  [&](const CapVar& v) { return !live.contains(v.name); });
+    return vars;
+  }
+
+  [[nodiscard]] CapVar resolve_spec_var(const Function& fn,
+                                        const cfg::StateVar& sv) const {
+    for (const auto& p : fn.params) {
+      if (p.name == sv.name) {
+        if (sv.deref && !p.type.is_pointer) {
+          throw XformError("reconfiguration point variable *" + sv.name +
+                           " is not a pointer");
+        }
+        return CapVar{p.name, p.type, sv.deref || p.type.is_pointer};
+      }
+    }
+    for (const auto& l : fn.locals) {
+      if (l.name == sv.name) {
+        if (sv.deref && !l.type.is_pointer) {
+          throw XformError("reconfiguration point variable *" + sv.name +
+                           " is not a pointer");
+        }
+        return CapVar{l.name, l.type, sv.deref};
+      }
+    }
+    throw XformError("reconfiguration point variable '" + sv.name +
+                     "' is not a parameter or local of function '" + fn.name +
+                     "'");
+  }
+
+  [[nodiscard]] std::string fmt_of(const std::vector<CapVar>& vars) const {
+    std::string fmt;
+    for (const auto& v : vars) fmt.push_back(kind_code_of(v));
+    return fmt;
+  }
+
+  // --- code fragments -------------------------------------------------------
+
+  /// mh_capture("i<fmt>", <id>, vars...);
+  StmtPtr make_capture_call(int id, const std::vector<CapVar>& vars) {
+    std::vector<ExprPtr> args;
+    args.push_back(make_str("i" + fmt_of(vars)));
+    args.push_back(make_int(id));
+    for (const auto& v : vars) args.push_back(capture_arg(v));
+    return call_stmt("mh_capture", std::move(args));
+  }
+
+  /// mh_restore("i<fmt>", &mh_location, targets...);
+  StmtPtr make_restore_call(const std::vector<CapVar>& vars) {
+    std::vector<ExprPtr> args;
+    args.push_back(make_str("i" + fmt_of(vars)));
+    args.push_back(make_addr_of(kVarLocation));
+    for (const auto& v : vars) args.push_back(restore_target(v));
+    return call_stmt("mh_restore", std::move(args));
+  }
+
+  /// The extra statements a capture block in main needs: divulge the data
+  /// area and hand the whole abstract state to the bus.
+  void append_main_capture_tail(BlockStmt& block) {
+    if (!user_globals_.empty()) {
+      std::vector<ExprPtr> args;
+      args.push_back(make_str(fmt_of(user_globals_)));
+      for (const auto& v : user_globals_) args.push_back(capture_arg(v));
+      block.stmts.push_back(call_stmt("mh_capture", std::move(args)));
+    }
+    block.stmts.push_back(call_stmt("mh_encode"));
+  }
+
+  /// Capture block for call edge (i, Si) -- Figure 7, first form.
+  StmtPtr make_call_capture_block(const Function& fn,
+                                  const graph::ReconfigEdge& edge) {
+    auto body = std::make_unique<BlockStmt>(support::SourceLoc{});
+    body->stmts.push_back(make_capture_call(edge.id, edge_vars(fn, edge)));
+    if (fn.name == "main") append_main_capture_tail(*body);
+    body->stmts.push_back(return_stmt(fn));
+    auto block = std::make_unique<IfStmt>(make_var(kFlagCaptureStack),
+                                          std::move(body), nullptr,
+                                          support::SourceLoc{});
+    block->xform_note = "capture (edge " + std::to_string(edge.id) + ")";
+    return block;
+  }
+
+  /// Capture block for reconfiguration edge (j, R) -- Figure 7, second form.
+  StmtPtr make_point_capture_block(const Function& fn,
+                                   const graph::ReconfigEdge& edge) {
+    auto body = std::make_unique<BlockStmt>(support::SourceLoc{});
+    body->stmts.push_back(assign_var(kFlagReconfig, 0));
+    body->stmts.push_back(assign_var(kFlagCaptureStack, 1));
+    body->stmts.push_back(make_capture_call(edge.id, edge_vars(fn, edge)));
+    if (fn.name == "main") append_main_capture_tail(*body);
+    body->stmts.push_back(return_stmt(fn));
+    auto block = std::make_unique<IfStmt>(make_var(kFlagReconfig),
+                                          std::move(body), nullptr,
+                                          support::SourceLoc{});
+    block->xform_note = "capture (reconfiguration point " + edge.point.label +
+                        ", edge " + std::to_string(edge.id) + ")";
+    return block;
+  }
+
+  /// The repeated call of restore code, with dummy arguments substituted
+  /// for fault-prone expressions. Pointer arguments are kept verbatim to
+  /// re-establish aliasing.
+  ExprPtr make_restore_call_expr(const graph::ReconfigEdge& edge) {
+    const CallExpr& original = *edge.site.call;
+    const Function& callee = *prog_.find_function(edge.to);
+    std::vector<ExprPtr> args;
+    args.reserve(original.args.size());
+    for (std::size_t i = 0; i < original.args.size(); ++i) {
+      const Expr& a = *original.args[i];
+      const Type& param_type = callee.params[i].type;
+      if (param_type.is_pointer) {
+        if (!(a.kind == ExprKind::kAddrOf || a.kind == ExprKind::kVar ||
+              a.kind == ExprKind::kNullLit)) {
+          throw XformError(
+              "pointer argument of a call on the reconfiguration path must "
+              "be a variable, &variable, or null so the call can be "
+              "repeated during restoration (function '" + edge.to + "')");
+        }
+        args.push_back(clone_expr(a));
+      } else if (expr_is_safe(a)) {
+        args.push_back(clone_expr(a));
+      } else {
+        args.push_back(default_literal(param_type));
+      }
+    }
+    return make_call(edge.to, std::move(args));
+  }
+
+  /// Restore code for one edge (Figure 8).
+  StmtPtr make_restore_dispatch(const Function& fn,
+                                const graph::ReconfigEdge& edge,
+                                const std::string& label) {
+    auto body = std::make_unique<BlockStmt>(support::SourceLoc{});
+    if (opts_.use_liveness) {
+      // Per-edge frame layout: pop this edge's frame now that the location
+      // identified it.
+      body->stmts.push_back(make_restore_call(edge_vars(fn, edge)));
+    }
+    if (edge.is_reconfig_point) {
+      body->stmts.push_back(assign_var(kFlagRestoring, 0));
+      std::vector<ExprPtr> sig;
+      sig.push_back(make_var(kHandlerName));
+      body->stmts.push_back(call_stmt("mh_signal", std::move(sig)));
+      body->stmts.push_back(std::make_unique<GotoStmt>(edge.point.label,
+                                                       support::SourceLoc{}));
+    } else {
+      body->stmts.push_back(std::make_unique<ExprStmt>(
+          make_restore_call_expr(edge), support::SourceLoc{}));
+      body->stmts.push_back(
+          std::make_unique<GotoStmt>(label, support::SourceLoc{}));
+    }
+    auto cond = make_binary(BinaryOp::kEq, make_var(kVarLocation),
+                            make_int(edge.id));
+    return std::make_unique<IfStmt>(std::move(cond), std::move(body), nullptr,
+                                    support::SourceLoc{});
+  }
+
+  /// The whole restore block installed at the top of `fn` (Figure 8; for
+  /// main, the Figure 4 shape with the status check and mh_decode).
+  std::vector<StmtPtr> make_restore_block(
+      const Function& fn, const std::vector<const graph::ReconfigEdge*>& edges,
+      const std::map<int, std::string>& edge_labels) {
+    std::vector<StmtPtr> out;
+    const bool is_main = fn.name == "main";
+
+    if (is_main) {
+      // if (mh_getstatus() == "clone") mh_restoring = 1; else mh_restoring = 0;
+      auto cond = make_binary(BinaryOp::kEq, call_expr("mh_getstatus"),
+                              make_str("clone"));
+      auto status_check = std::make_unique<IfStmt>(
+          std::move(cond), assign_var(kFlagRestoring, 1),
+          assign_var(kFlagRestoring, 0), support::SourceLoc{});
+      status_check->xform_note = "restore (status check)";
+      out.push_back(std::move(status_check));
+    }
+
+    auto body = std::make_unique<BlockStmt>(support::SourceLoc{});
+    if (is_main) {
+      body->stmts.push_back(call_stmt("mh_decode"));
+      if (!user_globals_.empty()) {
+        std::vector<ExprPtr> args;
+        args.push_back(make_str(fmt_of(user_globals_)));
+        for (const auto& v : user_globals_) {
+          args.push_back(restore_target(v));
+        }
+        body->stmts.push_back(call_stmt("mh_restore", std::move(args)));
+      }
+    }
+    if (opts_.use_liveness) {
+      // mh_location = mh_peek_location(); per-edge frames pop in dispatch.
+      body->stmts.push_back(std::make_unique<AssignStmt>(
+          make_var(kVarLocation), call_expr("mh_peek_location"),
+          support::SourceLoc{}));
+    } else {
+      body->stmts.push_back(make_restore_call(function_vars(fn)));
+    }
+    for (const auto* edge : edges) {
+      std::string label =
+          edge->is_reconfig_point ? "" : edge_labels.at(edge->id);
+      body->stmts.push_back(make_restore_dispatch(fn, *edge, label));
+    }
+    auto restore_if = std::make_unique<IfStmt>(make_var(kFlagRestoring),
+                                               std::move(body), nullptr,
+                                               support::SourceLoc{});
+    restore_if->xform_note = "restore";
+    out.push_back(std::move(restore_if));
+
+    if (is_main) {
+      std::vector<ExprPtr> sig;
+      sig.push_back(make_var(kHandlerName));
+      auto install = call_stmt("mh_signal", std::move(sig));
+      install->xform_note = "install reconfiguration signal handler";
+      out.push_back(std::move(install));
+    }
+    return out;
+  }
+
+  // --- instrumentation ------------------------------------------------------
+
+  /// Does the block-level statement `s` contain `target` in its chain of
+  /// labels (L1: L2: stmt)?
+  static bool label_chain_contains(const Stmt* s, const Stmt* target) {
+    while (s != nullptr) {
+      if (s == target) return true;
+      if (s->kind != StmtKind::kLabeled) return false;
+      s = static_cast<const LabeledStmt*>(s)->inner.get();
+    }
+    return false;
+  }
+
+  void instrument(Function& fn) {
+    auto edges = result_.graph.edges_from(fn.name);
+    if (edges.empty()) return;
+
+    // Record the captured-variable counts for diagnostics / ablation.
+    std::size_t total_vars = 0;
+    for (const auto* e : edges) total_vars += edge_vars(fn, *e).size();
+    result_.captured_var_counts.emplace_back(fn.name, total_vars);
+
+    // Generate labels for call edges up front (the restore block needs
+    // them, and they are announced in the result).
+    std::map<int, std::string> edge_labels;
+    for (const auto* e : edges) {
+      if (e->is_reconfig_point) continue;
+      edge_labels[e->id] = edge_label(e->id);
+      result_.labels_added.push_back(edge_labels[e->id]);
+    }
+
+    // Install capture blocks, rebuilding each affected block's statement
+    // list in one pass.
+    std::set<BlockStmt*> blocks;
+    for (const auto* e : edges) {
+      blocks.insert(e->is_reconfig_point ? e->point.block : e->site.block);
+    }
+    for (BlockStmt* block : blocks) {
+      std::vector<StmtPtr> out;
+      out.reserve(block->stmts.size() * 2);
+      for (auto& stmt : block->stmts) {
+        for (const auto* e : edges) {
+          if (e->is_reconfig_point && e->point.block == block &&
+              label_chain_contains(stmt.get(), e->point.stmt)) {
+            out.push_back(make_point_capture_block(fn, *e));
+          }
+        }
+        Stmt* raw = stmt.get();
+        out.push_back(std::move(stmt));
+        for (const auto* e : edges) {
+          if (!e->is_reconfig_point && e->site.block == block &&
+              e->site.stmt == raw) {
+            // The label comes BEFORE the capture block (Figure 7 draws it
+            // after). Restore code re-enters at Li, so with the label
+            // first, the return path of a restored call passes through the
+            // capture block exactly like a normal return -- which is what
+            // keeps a capture cascade correct when a new reconfiguration
+            // request arrives during the first unwind after a restoration
+            // (tested by SignalDuringRestoreIsHonoredAfterwards).
+            out.push_back(std::make_unique<LabeledStmt>(
+                edge_labels.at(e->id),
+                std::make_unique<EmptyStmt>(support::SourceLoc{}),
+                support::SourceLoc{}));
+            out.push_back(make_call_capture_block(fn, *e));
+          }
+        }
+      }
+      block->stmts = std::move(out);
+    }
+
+    // Install the restore block after the leading declarations.
+    auto restore = make_restore_block(fn, edges, edge_labels);
+    auto& stmts = fn.body->stmts;
+    std::size_t pos = 0;
+    while (pos < stmts.size() && stmts[pos]->kind == StmtKind::kDecl) ++pos;
+    stmts.insert(stmts.begin() + static_cast<std::ptrdiff_t>(pos),
+                 std::make_move_iterator(restore.begin()),
+                 std::make_move_iterator(restore.end()));
+  }
+
+  Program& prog_;
+  const std::vector<cfg::ReconfigPointSpec>& points_;
+  XformOptions opts_;
+  XformResult result_;
+  std::map<std::string, dataflow::Liveness> liveness_;
+  std::set<std::string> used_labels_;
+  std::vector<CapVar> user_globals_;
+};
+
+}  // namespace
+
+XformResult prepare_module(Program& program,
+                           const std::vector<cfg::ReconfigPointSpec>& points,
+                           const XformOptions& options) {
+  if (points.empty()) {
+    throw XformError("no reconfiguration points specified");
+  }
+  return Transformer(program, points, options).run();
+}
+
+PreparedSource prepare_source(std::string_view source,
+                              const std::vector<cfg::ReconfigPointSpec>& points,
+                              const XformOptions& options) {
+  Program prog = parse_program(source);
+  analyze(prog);
+  PreparedSource out{std::string{}, prepare_module(prog, points, options)};
+  out.source = print_program(prog);
+  return out;
+}
+
+}  // namespace surgeon::xform

@@ -1,0 +1,88 @@
+// The Section-3 source transformation: prepare a module for reconfiguration.
+//
+// Given a MiniC program and the reconfiguration points named in its module
+// specification, this pass rewrites the program so that it can divulge and
+// install its own process state -- including the activation record stack in
+// the middle of recursive calls -- using only ordinary source statements:
+//
+//  1. Normalize the program (if/while bodies become blocks).
+//  2. Build the reconfiguration graph (graph::build_reconfig_graph).
+//  3. Add the reconfiguration globals (mh_reconfig, mh_capturestack,
+//     mh_restoring, mh_location) and the signal handler mh_catchreconfig.
+//  4. For every edge (i, Si): install a capture block after Si and a label
+//     Li; for every reconfiguration edge (j, R): install a capture block
+//     immediately before label R (Figure 7).
+//  5. Install a restore block at the top of every function in the graph,
+//     with restore code per edge; main's restore block additionally checks
+//     mh_getstatus(), calls mh_decode(), and restores the data area
+//     (Figure 8 / Figure 4).
+//  6. In restore code, repeat the interrupted call with dummy arguments
+//     substituted for expressions whose evaluation could fault under the
+//     restored state (Section 3, last paragraph). Pointer arguments are
+//     repeated verbatim: they re-establish the aliasing that lets a callee
+//     restore values through its pointer parameters.
+//
+// The output is ordinary MiniC: the unmodified compiler and VM rebuild the
+// activation record stack during restoration, with no reference to a
+// program counter or saved call/return information.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfg/spec.hpp"
+#include "graph/callgraph.hpp"
+#include "minic/ast.hpp"
+
+namespace surgeon::xform {
+
+struct XformOptions {
+  /// Capture the module's global (static data area) state in a dedicated
+  /// final frame, restored first. Figure 4 has no globals; Section 1.2
+  /// lists static data as part of the process state, so this defaults on.
+  bool capture_globals = true;
+  /// Use live-variable analysis to shrink the captured state at each site
+  /// to the variables live there (the paper's suggested data-flow
+  /// refinement). Off by default: capture all parameters and locals.
+  bool use_liveness = false;
+};
+
+/// An error in the transformation inputs (bad reconfiguration point, name
+/// collision with the mh_ machinery, non-statement call on the path).
+class XformError : public support::Error {
+ public:
+  using Error::Error;
+};
+
+struct XformResult {
+  /// The reconfiguration graph the instrumentation was generated from.
+  graph::ReconfigGraph graph;
+  /// Labels the pass inserted ("L1", "L2", ...), in edge order.
+  std::vector<std::string> labels_added;
+  /// Per-function captured-variable counts (diagnostics and the liveness
+  /// ablation benchmark).
+  std::vector<std::pair<std::string, std::size_t>> captured_var_counts;
+};
+
+/// Rewrites every if/while body into a block, in place. Idempotent. The
+/// transformation requires this shape; it is exposed separately for tests.
+void normalize_blocks(minic::Program& program);
+
+/// Transforms `program` in place. The program must already be analyzed
+/// (sema); it is re-analyzed after transformation so it can be compiled
+/// directly. Throws XformError / SemaError on invalid input.
+XformResult prepare_module(minic::Program& program,
+                           const std::vector<cfg::ReconfigPointSpec>& points,
+                           const XformOptions& options = {});
+
+/// Convenience for tools and tests: parse, analyze, transform, and return
+/// the transformed source text alongside the result.
+struct PreparedSource {
+  std::string source;
+  XformResult result;
+};
+PreparedSource prepare_source(std::string_view source,
+                              const std::vector<cfg::ReconfigPointSpec>& points,
+                              const XformOptions& options = {});
+
+}  // namespace surgeon::xform

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "baseline/checkpoint.hpp"
+#include "baseline/migration_models.hpp"
+#include "baseline/procedure_update.hpp"
+#include "baseline/quiescence.hpp"
+#include "cfg/parser.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "reconfig/scripts.hpp"
+#include "vm/compiler.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::baseline {
+namespace {
+
+using app::Runtime;
+
+std::unique_ptr<Runtime> make_counter(int requests) {
+  auto rt = std::make_unique<Runtime>(11);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter",
+                       [&](const cfg::ModuleSpec& spec) {
+                         if (spec.name == "client") {
+                           return app::samples::counter_client_source(
+                               requests);
+                         }
+                         return app::samples::counter_server_source();
+                       });
+  return rt;
+}
+
+TEST(Quiescence, ReplacesIdleModuleButLosesState) {
+  auto rt = make_counter(10);
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 4; },
+      10'000'000));
+  auto report = quiescent_replace(*rt, "server", {});
+  ASSERT_TRUE(report.quiesced);
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+  const auto& output = rt->machine_of("client")->output();
+  // The defining limitation of module-level atomicity: the accumulator
+  // reset, so post-replacement totals restart from zero and CANNOT match
+  // an uninterrupted run.
+  auto reference_rt = make_counter(10);
+  ASSERT_TRUE(reference_rt->run_until(
+      [&] { return reference_rt->module_finished("client"); }, 10'000'000));
+  EXPECT_NE(output, reference_rt->machine_of("client")->output());
+}
+
+TEST(Quiescence, TimesOutWhenModuleNeverQuiesces) {
+  // A server that never returns to its top-level wait: quiescence-based
+  // replacement cannot proceed (the paper's "main procedure changed ->
+  // update cannot complete until the program terminates" pathology).
+  auto rt = std::make_unique<Runtime>(11);
+  rt->add_machine("vax", net::arch_vax());
+  cfg::ConfigFile config = cfg::parse_config(R"(
+module busy { source = "./busy.mc" :: }
+application app { instance busy on "vax" :: }
+)");
+  rt->load_application(config, "app", [](const cfg::ModuleSpec&) {
+    return std::string(R"(
+void spin(int n) {
+  while (1) { sleep(1); }
+}
+void main() { spin(0); }
+)");
+  });
+  QuiescentReplaceOptions options;
+  options.quiesce_timeout_us = 5'000'000;
+  auto report = quiescent_replace(*rt, "busy", options);
+  EXPECT_FALSE(report.quiesced);
+  EXPECT_TRUE(rt->bus().has_module("busy"));  // nothing changed
+}
+
+TEST(Quiescence, ParticipatingReplacementSucceedsWhereQuiescenceFails) {
+  // Head-to-head on the same shape of module: sits in an infinite recursive
+  // service loop, so it never quiesces -- but it has a reconfiguration
+  // point, so the participating script succeeds.
+  auto rt = std::make_unique<Runtime>(11);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config = cfg::parse_config(R"(
+module looper {
+  source = "./looper.mc" ::
+  reconfiguration point = {RP} ::
+}
+application app { instance looper on "vax" :: }
+)");
+  rt->load_application(config, "app", [](const cfg::ModuleSpec&) {
+    return std::string(R"(
+int ticks = 0;
+void loop_forever() {
+  while (1) {
+RP:
+    ticks = ticks + 1;
+    sleep(1);
+  }
+}
+void main() { loop_forever(); }
+)");
+  });
+  rt->run_for(5'000'000);
+  // Quiescence-based replacement times out (stack depth is always 2).
+  QuiescentReplaceOptions qopts;
+  qopts.quiesce_timeout_us = 3'000'000;
+  auto qreport = quiescent_replace(*rt, "looper", qopts);
+  EXPECT_FALSE(qreport.quiesced);
+  // Participating replacement succeeds and carries the tick count.
+  auto report = reconfig::move_module(*rt, "looper", "sparc");
+  rt->run_for(3'000'000);
+  rt->check_faults();
+  auto ticks = std::get<std::int64_t>(
+      rt->machine_of(report.new_instance)->global("ticks"));
+  EXPECT_GE(ticks, 5);  // continued counting from the moved state
+}
+
+TEST(Checkpoint, PeriodicSnapshotsAccumulateCost) {
+  auto prog = vm::compile_source(R"(
+int g = 0;
+void main() {
+  int i;
+  i = 0;
+  while (i < 100000) { g = g + 1; i = i + 1; }
+}
+)");
+  vm::Machine m(prog, net::arch_vax());
+  CheckpointRunner runner(m, 10'000);
+  auto state = runner.run(100'000);
+  EXPECT_EQ(state, vm::RunState::kRunnable);
+  EXPECT_EQ(runner.stats().checkpoints_taken, 10u);
+  EXPECT_GT(runner.stats().last_checkpoint_bytes, 0u);
+  EXPECT_EQ(runner.stats().total_checkpoint_bytes,
+            runner.stats().last_checkpoint_bytes * 10);
+}
+
+TEST(Checkpoint, RollbackLosesWorkSinceLastCheckpoint) {
+  auto prog = vm::compile_source(R"(
+int g = 0;
+void main() {
+  int i;
+  i = 0;
+  while (i < 1000000) { g = g + 1; i = i + 1; }
+}
+)");
+  vm::Machine m(prog, net::arch_vax());
+  CheckpointRunner runner(m, 5'000);
+  (void)runner.run(12'345);
+  auto g_now = std::get<std::int64_t>(m.global("g"));
+  EXPECT_GT(runner.stats().work_at_risk, 0u);
+  runner.rollback();
+  auto g_rolled = std::get<std::int64_t>(m.global("g"));
+  EXPECT_LT(g_rolled, g_now);  // progress was lost -- the paper's objection
+  EXPECT_EQ(runner.stats().work_at_risk, 0u);
+}
+
+TEST(Checkpoint, RollbackBeforeAnyCheckpointThrows) {
+  auto prog = vm::compile_source("void main() { }");
+  vm::Machine m(prog, net::arch_vax());
+  CheckpointRunner runner(m, 1000);
+  EXPECT_THROW(runner.rollback(), support::VmError);
+}
+
+// --- procedure-level updating (Frieder-Segal, ref [4]) ----------------------
+
+/// v1: leaf() doubles; main loops calling mid() -> leaf() forever.
+constexpr const char* kProcV1 = R"(
+int out = 0;
+int leaf(int x) { return x * 2; }
+int mid(int x) { return leaf(x) + 1; }
+void main() {
+  int i;
+  i = 0;
+  while (1) {
+    out = mid(i);
+    i = i + 1;
+    sleep(1);
+  }
+}
+)";
+
+/// v2: leaf() triples and mid() adds 2 -- leaf and mid changed, main not.
+constexpr const char* kProcV2 = R"(
+int out = 0;
+int leaf(int x) { return x * 3; }
+int mid(int x) { return leaf(x) + 2; }
+void main() {
+  int i;
+  i = 0;
+  while (1) {
+    out = mid(i);
+    i = i + 1;
+    sleep(1);
+  }
+}
+)";
+
+TEST(ProcedureUpdate, LeafChangesLandBottomUp) {
+  auto old_prog = vm::compile_source(kProcV1);
+  auto new_prog =
+      std::make_shared<const vm::CompiledProgram>(vm::compile_source(kProcV2));
+  vm::Machine m(old_prog, net::arch_vax());
+  ProcedureUpdater updater(m, old_prog, new_prog);
+  EXPECT_EQ(updater.remaining(),
+            (std::set<std::string>{"leaf", "mid"}));  // main unchanged
+
+  // Drive the module; attempt swaps between slices. Both procedures are
+  // inactive whenever the module sleeps, so the update lands quickly.
+  std::size_t slices = 0;
+  while (!updater.complete() && slices < 1000) {
+    (void)m.step(200);
+    (void)updater.step();
+    ++slices;
+  }
+  EXPECT_TRUE(updater.complete());
+  EXPECT_EQ(updater.swapped_count(), 2u);
+
+  // The running module now computes with v2: out = 3i + 2, so consecutive
+  // iterations differ by 3 (v1's 2i + 1 differs by 2).
+  auto wait_for_change = [&] {
+    auto before = std::get<std::int64_t>(m.global("out"));
+    for (int s = 0; s < 100; ++s) {
+      (void)m.step(100);
+      auto now = std::get<std::int64_t>(m.global("out"));
+      if (now != before) return now;
+    }
+    return before;
+  };
+  auto out1 = wait_for_change();
+  auto out2 = wait_for_change();
+  EXPECT_EQ(out2 - out1, 3) << "module is not running v2 code";
+}
+
+TEST(ProcedureUpdate, BottomUpOrderingIsEnforced) {
+  auto old_prog = vm::compile_source(kProcV1);
+  auto new_prog =
+      std::make_shared<const vm::CompiledProgram>(vm::compile_source(kProcV2));
+  vm::Machine m(old_prog, net::arch_vax());
+  ProcedureUpdater updater(m, old_prog, new_prog);
+  // Before anything is swapped, mid is blocked by the ordering (it calls
+  // leaf, which is still pending); leaf is not.
+  auto blocked = updater.blocked_by_ordering();
+  EXPECT_TRUE(blocked.contains("mid"));
+  EXPECT_FALSE(blocked.contains("leaf"));
+}
+
+TEST(ProcedureUpdate, MainChangesNeverLandWhileRunning) {
+  // The paper: "when the main procedure has changed, the update cannot
+  // complete until the program terminates."
+  const char* v2_main_changed = R"(
+int out = 0;
+int leaf(int x) { return x * 2; }
+int mid(int x) { return leaf(x) + 1; }
+void main() {
+  int i;
+  i = 1000;
+  while (1) {
+    out = mid(i);
+    i = i + 1;
+    sleep(1);
+  }
+}
+)";
+  auto old_prog = vm::compile_source(kProcV1);
+  auto new_prog = std::make_shared<const vm::CompiledProgram>(
+      vm::compile_source(v2_main_changed));
+  vm::Machine m(old_prog, net::arch_vax());
+  ProcedureUpdater updater(m, old_prog, new_prog);
+  EXPECT_EQ(updater.remaining(), (std::set<std::string>{"main"}));
+  for (int round = 0; round < 200; ++round) {
+    (void)m.step(100);
+    (void)updater.step();
+  }
+  EXPECT_FALSE(updater.complete());
+  EXPECT_TRUE(updater.blocked_by_activity().contains("main"));
+}
+
+TEST(ProcedureUpdate, RejectsShapeChanges) {
+  const char* v2_new_local = R"(
+int out = 0;
+int leaf(int x) { int extra; extra = 1; return x * 2 + extra; }
+int mid(int x) { return leaf(x) + 1; }
+void main() {
+  int i;
+  i = 0;
+  while (1) { out = mid(i); i = i + 1; sleep(1); }
+}
+)";
+  auto old_prog = vm::compile_source(kProcV1);
+  auto donor = vm::compile_source(v2_new_local);
+  vm::Machine m(old_prog, net::arch_vax());
+  (void)m.step(50);  // park somewhere with leaf inactive
+  while (m.function_active(old_prog.function_index("leaf"))) {
+    (void)m.step(10);
+  }
+  EXPECT_THROW(m.replace_function(donor, "leaf"), support::VmError);
+}
+
+TEST(ProcedureUpdate, RejectsAddedProcedures) {
+  const char* v2_added = R"(
+int out = 0;
+int helper(int x) { return x; }
+int leaf(int x) { return helper(x) * 2; }
+int mid(int x) { return leaf(x) + 1; }
+void main() {
+  int i;
+  i = 0;
+  while (1) { out = mid(i); i = i + 1; sleep(1); }
+}
+)";
+  auto old_prog = vm::compile_source(kProcV1);
+  auto new_prog = std::make_shared<const vm::CompiledProgram>(
+      vm::compile_source(v2_added));
+  vm::Machine m(old_prog, net::arch_vax());
+  EXPECT_THROW(ProcedureUpdater(m, old_prog, new_prog), support::VmError);
+}
+
+TEST(ProcedureUpdate, ActiveFunctionRefusesReplacement) {
+  auto old_prog = vm::compile_source(kProcV1);
+  auto donor = vm::compile_source(kProcV2);
+  vm::Machine m(old_prog, net::arch_vax());
+  // Step until main is the only frame but active (always true for main).
+  (void)m.step(20);
+  EXPECT_TRUE(m.function_active(old_prog.function_index("main")));
+  EXPECT_THROW(m.replace_function(donor, "main"), support::VmError);
+}
+
+TEST(MigrationModels, TheimerHayesScalesWithStackAndProgram) {
+  auto prog = vm::compile_source(R"(
+void f() { }
+void main() { f(); }
+)");
+  MigrationCostModel model;
+  auto shallow = theimer_hayes_preparation_us(model, prog, 2);
+  auto deep = theimer_hayes_preparation_us(model, prog, 50);
+  EXPECT_GT(deep, shallow);
+  EXPECT_GE(shallow, model.generate_base_us + model.compile_base_us);
+}
+
+TEST(MigrationModels, PreparationCostMeasuresCodeGrowth) {
+  const std::string src = R"(
+void work(int n, int *out) {
+  if (n <= 0) { return; }
+  work(n - 1, out);
+RP:
+  *out = *out + n;
+}
+void main() {
+  int r;
+  r = 0;
+  work(5, &r);
+  print(r);
+}
+)";
+  minic::Program original = minic::parse_program(src);
+  minic::analyze(original);
+  auto original_prog = vm::compile(original);
+
+  minic::Program transformed = minic::parse_program(src);
+  minic::analyze(transformed);
+  xform::prepare_module(transformed,
+                        {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  auto transformed_prog = vm::compile(transformed);
+
+  auto cost = preparation_cost(original_prog, transformed_prog);
+  EXPECT_GT(cost.transformed_insns, cost.original_insns);
+  EXPECT_GT(cost.growth_factor(), 1.0);
+  EXPECT_LT(cost.growth_factor(), 5.0);  // growth is bounded and modest
+}
+
+}  // namespace
+}  // namespace surgeon::baseline

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "bus/bus.hpp"
+#include "bus/client.hpp"
+
+namespace surgeon::bus {
+namespace {
+
+using support::BusError;
+
+class BusTest : public ::testing::Test {
+ protected:
+  BusTest() : bus_(sim_) {
+    sim_.add_machine("vax", net::arch_vax());
+    sim_.add_machine("sparc", net::arch_sparc());
+    net::LatencyModel model;
+    model.local_us = 10;
+    model.remote_us = 1000;
+    sim_.set_latency_model(model);
+  }
+
+  ModuleInfo make_module(const std::string& name, const std::string& machine) {
+    ModuleInfo info;
+    info.name = name;
+    info.machine = machine;
+    info.interfaces = {
+        InterfaceSpec{"in", IfaceRole::kUse, "i", ""},
+        InterfaceSpec{"out", IfaceRole::kDefine, "i", ""},
+    };
+    return info;
+  }
+
+  void add_pair() {
+    bus_.add_module(make_module("a", "vax"));
+    bus_.add_module(make_module("b", "sparc"));
+    bus_.add_binding({"a", "out"}, {"b", "in"});
+  }
+
+  net::Simulator sim_;
+  Bus bus_;
+};
+
+TEST_F(BusTest, RegisterAndQueryModules) {
+  bus_.add_module(make_module("a", "vax"));
+  EXPECT_TRUE(bus_.has_module("a"));
+  EXPECT_EQ(bus_.module_info("a").machine, "vax");
+  EXPECT_EQ(bus_.interface_names("a"),
+            (std::vector<std::string>{"in", "out"}));
+  EXPECT_THROW(bus_.add_module(make_module("a", "vax")), BusError);
+  EXPECT_THROW(bus_.add_module(make_module("x", "nosuch")), BusError);
+  EXPECT_THROW((void)bus_.module_info("zz"), BusError);
+}
+
+TEST_F(BusTest, DuplicateInterfaceRejected) {
+  ModuleInfo info = make_module("dup", "vax");
+  info.interfaces.push_back(info.interfaces.front());
+  EXPECT_THROW(bus_.add_module(std::move(info)), BusError);
+}
+
+TEST_F(BusTest, SendDeliversAfterLatency) {
+  add_pair();
+  bus_.send("a", "out", {ser::Value(std::int64_t{5})});
+  EXPECT_FALSE(bus_.has_message("b", "in"));  // still in flight
+  sim_.run();
+  EXPECT_EQ(sim_.now(), 1000u);  // cross-machine latency
+  ASSERT_TRUE(bus_.has_message("b", "in"));
+  auto msg = bus_.receive("b", "in");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->values[0].as_int(), 5);
+  EXPECT_EQ(msg->src_module, "a");
+  EXPECT_FALSE(bus_.has_message("b", "in"));
+}
+
+TEST_F(BusTest, UnboundSendIsCountedAndDropped) {
+  bus_.add_module(make_module("a", "vax"));
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  sim_.run();
+  EXPECT_EQ(bus_.stats().messages_dropped_unbound, 1u);
+  EXPECT_EQ(bus_.stats().messages_delivered, 0u);
+}
+
+TEST_F(BusTest, RoleDirectionEnforced) {
+  add_pair();
+  EXPECT_THROW(bus_.send("b", "in", {}), BusError);       // use can't send
+  EXPECT_THROW((void)bus_.receive("a", "out"), BusError); // define can't recv
+}
+
+TEST_F(BusTest, MessageOrderPreservedPerSender) {
+  add_pair();
+  for (int i = 0; i < 10; ++i) {
+    bus_.send("a", "out", {ser::Value(std::int64_t{i})});
+  }
+  sim_.run();
+  for (int i = 0; i < 10; ++i) {
+    auto msg = bus_.receive("b", "in");
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->values[0].as_int(), i);
+  }
+}
+
+TEST_F(BusTest, FanOutToMultiplePeers) {
+  bus_.add_module(make_module("a", "vax"));
+  bus_.add_module(make_module("b", "vax"));
+  bus_.add_module(make_module("c", "sparc"));
+  bus_.add_binding({"a", "out"}, {"b", "in"});
+  bus_.add_binding({"a", "out"}, {"c", "in"});
+  bus_.send("a", "out", {ser::Value(std::int64_t{9})});
+  sim_.run();
+  EXPECT_TRUE(bus_.has_message("b", "in"));
+  EXPECT_TRUE(bus_.has_message("c", "in"));
+}
+
+TEST_F(BusTest, BindingValidation) {
+  add_pair();
+  // duplicate (including flipped) rejected
+  EXPECT_THROW(bus_.add_binding({"b", "in"}, {"a", "out"}), BusError);
+  // unknown interface rejected
+  EXPECT_THROW(bus_.add_binding({"a", "nope"}, {"b", "in"}), BusError);
+  // delete works, then double delete rejected
+  bus_.del_binding({"a", "out"}, {"b", "in"});
+  EXPECT_THROW(bus_.del_binding({"a", "out"}, {"b", "in"}), BusError);
+}
+
+TEST_F(BusTest, BoundPeersReflectsTable) {
+  add_pair();
+  auto peers = bus_.bound_peers({"a", "out"});
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], (BindingEnd{"b", "in"}));
+  EXPECT_TRUE(bus_.bound_peers({"a", "in"}).empty());
+}
+
+TEST_F(BusTest, RebindIsAtomicOnFailure) {
+  add_pair();
+  BindEditBatch batch;
+  batch.add(BindEdit{BindEdit::Op::kDel, {"a", "out"}, {"b", "in"}});
+  batch.add(BindEdit{BindEdit::Op::kAdd, {"a", "nosuch"}, {"b", "in"}});
+  EXPECT_THROW(bus_.rebind(batch), BusError);
+  // The delete must have been rolled back.
+  EXPECT_EQ(bus_.bound_peers({"a", "out"}).size(), 1u);
+}
+
+TEST_F(BusTest, QueueCaptureMovesMessages) {
+  add_pair();
+  bus_.add_module(make_module("b2", "sparc"));
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  bus_.send("a", "out", {ser::Value(std::int64_t{2})});
+  sim_.run();
+  ASSERT_EQ(bus_.queue_depth("b", "in"), 2u);
+  BindEditBatch batch;
+  batch.add(BindEdit{BindEdit::Op::kCaptureQueue, {"b", "in"}, {"b2", "in"}});
+  batch.add(BindEdit{BindEdit::Op::kRemoveQueue, {"b", "in"}, {}});
+  bus_.rebind(batch);
+  EXPECT_EQ(bus_.queue_depth("b", "in"), 0u);
+  EXPECT_EQ(bus_.queue_depth("b2", "in"), 2u);
+  EXPECT_EQ(bus_.receive("b2", "in")->values[0].as_int(), 1);
+}
+
+TEST_F(BusTest, RemoveModuleDropsBindingsAndInFlight) {
+  add_pair();
+  bus_.send("a", "out", {ser::Value(std::int64_t{7})});
+  bus_.remove_module("b");  // while the message is in flight
+  sim_.run();
+  EXPECT_FALSE(bus_.has_module("b"));
+  EXPECT_TRUE(bus_.bound_peers({"a", "out"}).empty());
+  EXPECT_EQ(bus_.stats().messages_dropped_unbound, 1u);
+  // A recreated module with the same name must not receive stale traffic.
+  bus_.send("a", "out", {ser::Value(std::int64_t{8})});
+  bus_.add_module(make_module("b", "vax"));
+  sim_.run();
+  EXPECT_FALSE(bus_.has_message("b", "in"));
+}
+
+TEST_F(BusTest, SignalDeliveredAsynchronously) {
+  add_pair();
+  bus_.signal_reconfig("a");
+  EXPECT_FALSE(bus_.take_pending_signal("a"));  // not delivered yet
+  sim_.run();
+  EXPECT_TRUE(bus_.take_pending_signal("a"));
+  EXPECT_FALSE(bus_.take_pending_signal("a"));  // one-shot
+  EXPECT_EQ(bus_.stats().signals_delivered, 1u);
+}
+
+TEST_F(BusTest, StateMailboxes) {
+  add_pair();
+  std::vector<std::uint8_t> bytes = {1, 2, 3};
+  EXPECT_FALSE(bus_.has_divulged_state("a"));
+  bus_.post_divulged_state("a", bytes);
+  EXPECT_TRUE(bus_.has_divulged_state("a"));
+  EXPECT_THROW(bus_.post_divulged_state("a", bytes), BusError);
+  EXPECT_EQ(bus_.take_divulged_state("a"), bytes);
+  EXPECT_THROW((void)bus_.take_divulged_state("a"), BusError);
+
+  bus_.deliver_state("vax", "b", bytes);
+  EXPECT_FALSE(bus_.has_incoming_state("b"));  // in transit
+  sim_.run();
+  ASSERT_TRUE(bus_.has_incoming_state("b"));
+  EXPECT_EQ(*bus_.take_incoming_state("b"), bytes);
+  EXPECT_FALSE(bus_.take_incoming_state("b").has_value());
+}
+
+TEST_F(BusTest, WakeCallbackFires) {
+  add_pair();
+  std::vector<std::string> woken;
+  bus_.set_wake_callback([&](const std::string& m) { woken.push_back(m); });
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  bus_.signal_reconfig("a");
+  sim_.run();
+  EXPECT_EQ(woken.size(), 2u);
+}
+
+TEST_F(BusTest, ClientFacade) {
+  add_pair();
+  Client client(bus_, "a");
+  EXPECT_EQ(client.module_name(), "a");
+  EXPECT_EQ(client.status(), "new");
+  EXPECT_EQ(client.machine(), "vax");
+  client.write("out", {ser::Value(std::int64_t{11})});
+  sim_.run();
+  Client receiver(bus_, "b");
+  EXPECT_TRUE(receiver.query_ifmsgs("in"));
+  auto msg = receiver.try_read("in");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->values[0].as_int(), 11);
+
+  ser::StateBuffer state;
+  state.push_frame(ser::StateFrame{{ser::Value(std::int64_t{5})}});
+  client.encode_state(state);
+  auto bytes = bus_.take_divulged_state("a");
+  bus_.deliver_state("vax", "b", std::move(bytes));
+  sim_.run();
+  auto decoded = receiver.decode_state();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->frame_count(), 1u);
+}
+
+TEST_F(BusTest, TraceRecordsTheFullEventStory) {
+  std::vector<TraceEvent> events;
+  bus_.set_trace([&](const TraceEvent& ev) { events.push_back(ev); });
+  add_pair();
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  bus_.signal_reconfig("a");
+  sim_.run();
+  bus_.post_divulged_state("a", {1, 2, 3});
+  bus_.deliver_state("vax", "b", bus_.take_divulged_state("a"));
+  sim_.run();
+  bus_.remove_module("b");
+
+  std::vector<TraceEvent::Kind> kinds;
+  for (const auto& ev : events) kinds.push_back(ev.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TraceEvent::Kind>{
+                TraceEvent::Kind::kModuleAdded,   // a
+                TraceEvent::Kind::kModuleAdded,   // b
+                TraceEvent::Kind::kRebind,        // the binding
+                TraceEvent::Kind::kSend,          // a.out at t=0
+                TraceEvent::Kind::kSignal,        // a at t=10 (local)
+                TraceEvent::Kind::kDeliver,       // b.in at t=1000 (remote)
+                TraceEvent::Kind::kStateDivulged, // a, 3 bytes
+                TraceEvent::Kind::kStateDelivered,// b
+                TraceEvent::Kind::kModuleRemoved, // b
+            }));
+  // Timestamps are the virtual times of the events.
+  EXPECT_EQ(events[3].at, 0u);       // send happens immediately
+  EXPECT_EQ(events[5].at, 1000u);    // cross-machine delivery latency
+  EXPECT_NE(events[6].detail.find("3 bytes"), std::string::npos);
+  EXPECT_NE(events[0].detail.find("machine=vax"), std::string::npos);
+  // Human-readable rendering.
+  EXPECT_NE(events[5].to_string().find("deliver b (in)"), std::string::npos)
+      << events[5].to_string();
+}
+
+TEST_F(BusTest, TraceDisabledByDefaultAndDetachable) {
+  add_pair();
+  std::size_t count = 0;
+  bus_.set_trace([&](const TraceEvent&) { ++count; });
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  sim_.run();
+  EXPECT_GT(count, 0u);
+  std::size_t at_detach = count;
+  bus_.set_trace(nullptr);
+  bus_.send("a", "out", {ser::Value(std::int64_t{2})});
+  sim_.run();
+  EXPECT_EQ(count, at_detach);
+}
+
+TEST_F(BusTest, StatsTrackStateBytes) {
+  add_pair();
+  bus_.post_divulged_state("a", std::vector<std::uint8_t>(100, 0));
+  EXPECT_EQ(bus_.stats().state_transfers, 1u);
+  EXPECT_EQ(bus_.stats().state_bytes_moved, 100u);
+}
+
+}  // namespace
+}  // namespace surgeon::bus

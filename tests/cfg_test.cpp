@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+
+namespace surgeon::cfg {
+namespace {
+
+using support::ParseError;
+
+TEST(Cfg, ParsesTheMonitorSpecification) {
+  // F2: the Figure 2 configuration parses and carries everything the
+  // runtime needs, including the reconfiguration point clause.
+  ConfigFile file = parse_config(app::samples::monitor_config_text());
+  ASSERT_EQ(file.modules.size(), 3u);
+  ASSERT_EQ(file.applications.size(), 1u);
+
+  const ModuleSpec* compute = file.find_module("compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->source, "./compute.mc");
+  ASSERT_EQ(compute->interfaces.size(), 2u);
+  const bus::InterfaceSpec* display_if = compute->find_interface("display");
+  ASSERT_NE(display_if, nullptr);
+  EXPECT_EQ(display_if->role, bus::IfaceRole::kServer);
+  EXPECT_EQ(display_if->pattern, "i");
+  EXPECT_EQ(display_if->reply_pattern, "F");
+  const bus::InterfaceSpec* sensor_if = compute->find_interface("sensor");
+  ASSERT_NE(sensor_if, nullptr);
+  EXPECT_EQ(sensor_if->role, bus::IfaceRole::kUse);
+
+  ASSERT_EQ(compute->reconfig_points.size(), 1u);
+  const ReconfigPointSpec& point = compute->reconfig_points[0];
+  EXPECT_EQ(point.label, "R");
+  ASSERT_EQ(point.vars.size(), 3u);
+  EXPECT_EQ(point.vars[0], (StateVar{"num", false}));
+  EXPECT_EQ(point.vars[1], (StateVar{"n", false}));
+  EXPECT_EQ(point.vars[2], (StateVar{"rp", true}));
+
+  const ApplicationSpec* monitor = file.find_application("monitor");
+  ASSERT_NE(monitor, nullptr);
+  ASSERT_EQ(monitor->instances.size(), 3u);
+  EXPECT_EQ(monitor->instances[1].module, "compute");
+  EXPECT_EQ(monitor->instances[1].machine, "vax");
+  EXPECT_EQ(monitor->instances[2].machine, "sparc");
+  ASSERT_EQ(monitor->binds.size(), 2u);
+  EXPECT_EQ(monitor->binds[0].a, (bus::BindingEnd{"display", "temper"}));
+  EXPECT_EQ(monitor->binds[0].b, (bus::BindingEnd{"compute", "display"}));
+}
+
+TEST(Cfg, DefineAndClientRoles) {
+  ConfigFile file = parse_config(R"(
+module m {
+  define interface out pattern = {integer, float, string} ::
+  client interface c pattern = {integer} accepts = {float} ::
+}
+)");
+  const ModuleSpec* m = file.find_module("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->find_interface("out")->pattern, "iFs");
+  EXPECT_EQ(m->find_interface("c")->role, bus::IfaceRole::kClient);
+  EXPECT_EQ(m->find_interface("c")->reply_pattern, "F");
+}
+
+TEST(Cfg, UnknownAttributesAreCarried) {
+  ConfigFile file = parse_config(R"(
+module m { owner = "jp" :: machine = "vax" :: source = "./m.mc" :: }
+)");
+  const ModuleSpec* m = file.find_module("m");
+  EXPECT_EQ(m->attributes.at("owner"), "jp");
+  EXPECT_EQ(m->machine, "vax");
+}
+
+TEST(Cfg, CommentsAndSeparatorsAreFlexible) {
+  ConfigFile file = parse_config(R"(
+// line comment
+# hash comment
+module m {
+  /* block
+     comment */
+  source = "./m.mc" ::
+}
+module n { source = "./n.mc" }
+)");
+  EXPECT_EQ(file.modules.size(), 2u);
+}
+
+TEST(Cfg, ReconfigPointWithoutVars) {
+  ConfigFile file = parse_config(R"(
+module m { reconfiguration point = {RP} :: }
+)");
+  ASSERT_EQ(file.modules[0].reconfig_points.size(), 1u);
+  EXPECT_TRUE(file.modules[0].reconfig_points[0].vars.empty());
+}
+
+TEST(Cfg, MultipleReconfigPoints) {
+  ConfigFile file = parse_config(R"(
+module m {
+  reconfiguration point = {R1} vars = {a} ::
+  reconfiguration point = {R2} vars = {b, *p} ::
+}
+)");
+  ASSERT_EQ(file.modules[0].reconfig_points.size(), 2u);
+  EXPECT_EQ(file.modules[0].find_reconfig_point("R2")->vars[1].deref, true);
+}
+
+TEST(Cfg, InstanceAliasing) {
+  ConfigFile file = parse_config(R"(
+module worker { source = "./w.mc" :: }
+application farm {
+  instance worker as w1 on "vax" ::
+  instance worker as w2 on "sparc" ::
+  instance worker ::
+  bind "w1 out" "w2 in" ::
+}
+)");
+  const ApplicationSpec* farm = file.find_application("farm");
+  ASSERT_NE(farm, nullptr);
+  ASSERT_EQ(farm->instances.size(), 3u);
+  EXPECT_EQ(farm->instances[0].instance_name(), "w1");
+  EXPECT_EQ(farm->instances[0].module, "worker");
+  EXPECT_EQ(farm->instances[1].instance_name(), "w2");
+  EXPECT_EQ(farm->instances[2].instance_name(), "worker");  // default
+  // Round trip preserves the alias.
+  ConfigFile again = parse_config(to_text(*farm));
+  EXPECT_EQ(again.applications[0].instances[0].name, "w1");
+}
+
+TEST(Cfg, ErrorsCarryLocations) {
+  try {
+    (void)parse_config("module m {\n  bogus stray\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.loc().line, 2u);
+  }
+}
+
+TEST(Cfg, RejectsBadPatternType) {
+  EXPECT_THROW(
+      (void)parse_config("module m { use interface i pattern = {quux} :: }"),
+      ParseError);
+}
+
+TEST(Cfg, RejectsMismatchedReplyClause) {
+  // 'returns' belongs to servers, 'accepts' to clients.
+  EXPECT_THROW((void)parse_config(
+                   "module m { client interface c returns = {float} :: }"),
+               ParseError);
+  EXPECT_THROW((void)parse_config(
+                   "module m { server interface s accepts = {float} :: }"),
+               ParseError);
+}
+
+TEST(Cfg, RejectsBadBindString) {
+  EXPECT_THROW((void)parse_config(R"(
+application a { bind "onlyone" "m i" :: }
+)"),
+               ParseError);
+}
+
+TEST(Cfg, RejectsUnterminatedConstructs) {
+  EXPECT_THROW((void)parse_config("module m {"), ParseError);
+  EXPECT_THROW((void)parse_config("module m { source = \"x }"), ParseError);
+  EXPECT_THROW((void)parse_config("/* never closed"), ParseError);
+}
+
+TEST(Cfg, RoundTripThroughText) {
+  ConfigFile file = parse_config(app::samples::monitor_config_text());
+  // Render each spec back to text and reparse; the result must agree.
+  for (const auto& m : file.modules) {
+    ConfigFile again = parse_config(to_text(m));
+    ASSERT_EQ(again.modules.size(), 1u);
+    EXPECT_EQ(again.modules[0].name, m.name);
+    EXPECT_EQ(again.modules[0].interfaces, m.interfaces);
+    EXPECT_EQ(again.modules[0].reconfig_points.size(),
+              m.reconfig_points.size());
+  }
+  for (const auto& a : file.applications) {
+    ConfigFile again = parse_config(to_text(a));
+    ASSERT_EQ(again.applications.size(), 1u);
+    EXPECT_EQ(again.applications[0].instances.size(), a.instances.size());
+    EXPECT_EQ(again.applications[0].binds.size(), a.binds.size());
+  }
+}
+
+}  // namespace
+}  // namespace surgeon::cfg

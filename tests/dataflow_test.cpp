@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/liveness.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace surgeon::dataflow {
+namespace {
+
+minic::Program parsed(std::string_view src) {
+  minic::Program p = minic::parse_program(src);
+  minic::analyze(p);
+  return p;
+}
+
+/// Finds the statement carrying `label` in `fn` (the labeled statement).
+const minic::Stmt* find_labeled(const minic::Function& fn,
+                                const std::string& label) {
+  struct Search {
+    const std::string* label;
+    const minic::Stmt* found = nullptr;
+    void walk(const minic::Stmt& s) {
+      using minic::StmtKind;
+      switch (s.kind) {
+        case StmtKind::kLabeled: {
+          const auto& l = static_cast<const minic::LabeledStmt&>(s);
+          if (l.label == *label) found = &s;
+          walk(*l.inner);
+          return;
+        }
+        case StmtKind::kBlock:
+          for (const auto& c :
+               static_cast<const minic::BlockStmt&>(s).stmts) {
+            walk(*c);
+          }
+          return;
+        case StmtKind::kIf: {
+          const auto& i = static_cast<const minic::IfStmt&>(s);
+          walk(*i.then_branch);
+          if (i.else_branch) walk(*i.else_branch);
+          return;
+        }
+        case StmtKind::kWhile:
+          walk(*static_cast<const minic::WhileStmt&>(s).body);
+          return;
+        case StmtKind::kFor:
+          walk(*static_cast<const minic::ForStmt&>(s).body);
+          return;
+        default:
+          return;
+      }
+    }
+  };
+  Search search{&label, nullptr};
+  search.walk(*fn.body);
+  return search.found;
+}
+
+TEST(Liveness, StraightLineDeadAfterLastUse) {
+  minic::Program p = parsed(R"(
+void main() {
+  int a; int b; int c;
+  a = 1;
+A:
+  b = a + 1;
+B:
+  c = b + 1;
+C:
+  print(c);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  const auto& fn = *p.functions[0];
+  auto at_a = lv.live_before(find_labeled(fn, "A"));
+  EXPECT_TRUE(at_a.contains("a"));
+  EXPECT_FALSE(at_a.contains("b"));
+  auto at_b = lv.live_before(find_labeled(fn, "B"));
+  EXPECT_FALSE(at_b.contains("a")) << lv.dump();
+  EXPECT_TRUE(at_b.contains("b"));
+  auto at_c = lv.live_before(find_labeled(fn, "C"));
+  EXPECT_EQ(at_c, (std::set<std::string>{"c"}));
+}
+
+TEST(Liveness, LoopKeepsCarriedVariableLive) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int sum; int scratch;
+  i = 0; sum = 0;
+  while (i < 10) {
+    scratch = i * 2;
+L:
+    sum = sum + scratch;
+    i = i + 1;
+  }
+  print(sum);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("i"));        // loop-carried
+  EXPECT_TRUE(at_l.contains("sum"));
+  EXPECT_TRUE(at_l.contains("scratch"));  // used right after L
+}
+
+TEST(Liveness, BranchesMergeConservatively) {
+  minic::Program p = parsed(R"(
+void main() {
+  int a; int b; int which;
+  a = 1; b = 2; which = 0;
+L:
+  if (which > 0) { print(a); } else { print(b); }
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("a"));
+  EXPECT_TRUE(at_l.contains("b"));
+  EXPECT_TRUE(at_l.contains("which"));
+}
+
+TEST(Liveness, GotoEdgesFollowed) {
+  minic::Program p = parsed(R"(
+void main() {
+  int x; int y;
+  x = 1; y = 2;
+L:
+  print(y);
+  goto DONE;
+  print(x);
+DONE:
+  ;
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("y"));
+  // x's only use is unreachable, but the backward analysis still sees it
+  // below L in fallthrough order... the goto cuts the edge, so x is dead.
+  EXPECT_FALSE(at_l.contains("x")) << lv.dump();
+}
+
+TEST(Liveness, AddressTakenPinsVariable) {
+  // response's address is passed to a user function: the callee may read
+  // or write it through the pointer at any time, so it must stay live.
+  minic::Program p = parsed(R"(
+void fill(float *out) { *out = 1.0; }
+void main() {
+  float response; int unused;
+  unused = 3;
+L:
+  fill(&response);
+  print(response);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[1]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[1], "L"));
+  EXPECT_TRUE(at_l.contains("response"));
+  EXPECT_FALSE(at_l.contains("unused"));
+  EXPECT_TRUE(lv.address_taken().contains("response"));
+}
+
+TEST(Liveness, MhReadTargetsAreDefsNotEscapes) {
+  minic::Program p = parsed(R"(
+void main() {
+  int v;
+L:
+  mh_read("in", "i", &v);
+  print(v);
+  mh_read("in", "i", &v);
+  print(v);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  // Before L, v has no value worth capturing: the read overwrites it.
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_FALSE(at_l.contains("v")) << lv.dump();
+}
+
+TEST(Liveness, DerefUsesThePointer) {
+  minic::Program p = parsed(R"(
+void f(float *rp) {
+L:
+  *rp = *rp + 1.0;
+}
+void main() { float x; x = 0.0; f(&x); }
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("rp"));
+}
+
+TEST(Liveness, MonitorComputeTemperIsDeadAtR) {
+  // The Figure 4 transformation captures {num, n, *rp} at R and omits the
+  // local `temper`; liveness derives the same conclusion automatically.
+  minic::Program p = parsed(R"(
+void compute(int num, int n, float *rp) {
+  int temper;
+  if (n <= 0) { *rp = 0.0; return; }
+  compute(num, n - 1, rp);
+R:
+  mh_read("sensor", "i", &temper);
+  *rp = *rp + (float)temper / (float)num;
+}
+void main() {
+  float response;
+  compute(3, 3, &response);
+  print(response);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_r = lv.live_before(find_labeled(*p.functions[0], "R"));
+  EXPECT_FALSE(at_r.contains("temper")) << lv.dump();
+  EXPECT_TRUE(at_r.contains("num"));
+  EXPECT_TRUE(at_r.contains("rp"));
+}
+
+TEST(Liveness, ForLoopCarriesInductionVariable) {
+  minic::Program p = parsed(R"(
+void main() {
+  int sum; int dead;
+  sum = 0; dead = 9;
+  for (int i = 0; i < 10; i = i + 1) {
+L:
+    sum = sum + i;
+  }
+  print(sum);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("i"));    // used in body + step + cond
+  EXPECT_TRUE(at_l.contains("sum"));
+  EXPECT_FALSE(at_l.contains("dead")) << lv.dump();
+}
+
+TEST(Liveness, BreakEdgeKeepsPostLoopUsesAlive) {
+  minic::Program p = parsed(R"(
+void main() {
+  int found; int probe;
+  found = 0; probe = 42;
+  for (int i = 0; i < 100; i = i + 1) {
+    found = i;
+L:
+    if (i == 7) { break; }
+  }
+  print(found, probe);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  // `probe` is only used after the loop; it must stay live through the
+  // break edge (and through the loop in general).
+  EXPECT_TRUE(at_l.contains("probe")) << lv.dump();
+  EXPECT_TRUE(at_l.contains("found"));
+}
+
+TEST(Liveness, ContinueEdgeFlowsThroughStep) {
+  minic::Program p = parsed(R"(
+void main() {
+  int sum;
+  sum = 0;
+  for (int i = 0; i < 10; i = i + 2) {
+L:
+    if (i == 4) { continue; }
+    sum = sum + i;
+  }
+  print(sum);
+}
+)");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto at_l = lv.live_before(find_labeled(*p.functions[0], "L"));
+  EXPECT_TRUE(at_l.contains("i"));  // continue reaches the step (uses i)
+}
+
+TEST(Liveness, UnknownStatementFallsBackToAllVars) {
+  minic::Program p = parsed("void main() { int a; int b; a = 1; b = 2; }");
+  Liveness lv = Liveness::analyze(*p.functions[0]);
+  auto all = lv.live_before(nullptr);
+  EXPECT_EQ(all, (std::set<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace surgeon::dataflow

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "graph/callgraph.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+
+namespace surgeon::graph {
+namespace {
+
+using support::SemaError;
+
+minic::Program parsed(std::string_view src) {
+  minic::Program p = minic::parse_program(src);
+  minic::analyze(p);
+  return p;
+}
+
+/// The Figure 6 program shape: main calls a twice and b once; a calls b;
+/// reconfiguration points R1 in a and R2 in b.
+const char* kFigure6 = R"(
+void b(int x) {
+  int t;
+R2:
+  t = x;
+}
+
+void a(int x) {
+R1:
+  b(x);
+}
+
+void main() {
+  int i;
+  i = 0;
+  a(1);
+  a(2);
+  b(3);
+}
+)";
+
+TEST(CallGraph, NodesAndMultiEdges) {
+  minic::Program p = parsed(kFigure6);
+  CallGraph cg = build_call_graph(p);
+  EXPECT_EQ(cg.nodes, (std::set<std::string>{"a", "b", "main"}));
+  // Edges: a->b, main->a (twice), main->b.
+  ASSERT_EQ(cg.sites.size(), 4u);
+  int main_to_a = 0;
+  for (const auto& site : cg.sites) {
+    if (site.caller == "main" && site.callee == "a") ++main_to_a;
+    EXPECT_TRUE(site.is_statement_call);
+  }
+  EXPECT_EQ(main_to_a, 2);
+}
+
+TEST(CallGraph, Reachability) {
+  minic::Program p = parsed(R"(
+void isolated() { }
+void leaf() { }
+void mid() { leaf(); }
+void main() { mid(); }
+)");
+  CallGraph cg = build_call_graph(p);
+  auto reach = cg.reachable_from("main");
+  EXPECT_TRUE(reach.contains("leaf"));
+  EXPECT_FALSE(reach.contains("isolated"));
+  auto reaching = cg.can_reach({"leaf"});
+  EXPECT_EQ(reaching, (std::set<std::string>{"leaf", "mid", "main"}));
+}
+
+TEST(CallGraph, RecursionIsACycle) {
+  minic::Program p = parsed(R"(
+void f(int n) { if (n > 0) { f(n - 1); } }
+void main() { f(3); }
+)");
+  CallGraph cg = build_call_graph(p);
+  EXPECT_TRUE(cg.reachable_from("f").contains("f"));
+  EXPECT_TRUE(cg.can_reach({"f"}).contains("main"));
+}
+
+TEST(CallGraph, NestedCallsAreNotStatementCalls) {
+  minic::Program p = parsed(R"(
+int g(int x) { return x; }
+void main() {
+  int a;
+  a = g(1) + g(2);
+  if (g(a) > 0) { a = 0; }
+  g(g(3));
+}
+)");
+  CallGraph cg = build_call_graph(p);
+  int statement_calls = 0;
+  for (const auto& site : cg.sites) {
+    if (site.is_statement_call) ++statement_calls;
+  }
+  // Only the OUTER g(g(3))... even that one is disqualified because its
+  // argument contains a call; no site qualifies.
+  EXPECT_EQ(statement_calls, 0);
+  EXPECT_EQ(cg.sites.size(), 5u);
+}
+
+TEST(ReconfigPoints, LocatedByLabel) {
+  minic::Program p = parsed(kFigure6);
+  auto points = find_reconfig_points(p, {"R1", "R2"});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].function, "a");
+  EXPECT_EQ(points[1].function, "b");
+}
+
+TEST(ReconfigPoints, MissingLabelThrows) {
+  minic::Program p = parsed(kFigure6);
+  EXPECT_THROW((void)find_reconfig_points(p, {"NOPE"}), SemaError);
+}
+
+TEST(ReconfigGraph, Figure6Shape) {
+  // F6: the reconfiguration graph of the figure's program: nodes {main, a,
+  // b} plus the synthetic reconfig node; one edge per call statement plus
+  // one per reconfiguration point, numbered consecutively in program order.
+  minic::Program p = parsed(kFigure6);
+  ReconfigGraph rg = build_reconfig_graph(p, {"R1", "R2"});
+  EXPECT_EQ(rg.nodes, (std::set<std::string>{"a", "b", "main"}));
+  ASSERT_EQ(rg.edges.size(), 6u);
+  // Program order: b holds R2; a holds a->b then R1; main holds three calls.
+  EXPECT_EQ(rg.edges[0].id, 1);
+  EXPECT_TRUE(rg.edges[0].is_reconfig_point);
+  EXPECT_EQ(rg.edges[0].point.label, "R2");
+  EXPECT_EQ(rg.edges[1].from, "a");
+  EXPECT_EQ(rg.edges[1].to, "b");
+  EXPECT_TRUE(rg.edges[2].is_reconfig_point);
+  EXPECT_EQ(rg.edges[2].point.label, "R1");
+  EXPECT_EQ(rg.edges[3].from, "main");
+  EXPECT_EQ(rg.edges[3].to, "a");
+  EXPECT_EQ(rg.edges[4].to, "a");
+  EXPECT_EQ(rg.edges[5].to, "b");
+  EXPECT_EQ(rg.edges[5].id, 6);
+  EXPECT_EQ(rg.edges_from("main").size(), 3u);
+}
+
+TEST(ReconfigGraph, OnlyPathsToReconfigAreInstrumented) {
+  // Calls to functions that cannot reach a reconfiguration point get no
+  // edges; unreachable functions are excluded entirely.
+  minic::Program p = parsed(R"(
+void logger(int x) { int t; t = x; }
+void worker(int n) {
+RP:
+  logger(n);
+}
+void main() {
+  logger(0);
+  worker(1);
+}
+)");
+  ReconfigGraph rg = build_reconfig_graph(p, {"RP"});
+  EXPECT_EQ(rg.nodes, (std::set<std::string>{"main", "worker"}));
+  // Edges: RP in worker, main->worker. NOT worker->logger or main->logger.
+  ASSERT_EQ(rg.edges.size(), 2u);
+  for (const auto& e : rg.edges) {
+    EXPECT_NE(e.to, "logger");
+  }
+}
+
+TEST(ReconfigGraph, RecursiveMonitorShape) {
+  // The monitor compute module: two call sites in main plus the recursive
+  // call and the reconfiguration point -- Figure 4's numbering 1..4.
+  minic::Program p = parsed(R"(
+void compute(int num, int n, float *rp) {
+  int temper;
+  if (n <= 0) { *rp = 0.0; return; }
+  compute(num, n - 1, rp);
+R:
+  temper = 1;
+  *rp = *rp + (float)temper / (float)num;
+}
+void main() {
+  int n;
+  float response;
+  while (1) {
+    while (n > 0) {
+      compute(n, n, &response);
+    }
+    if (n == 0) {
+      compute(1, 1, &response);
+    }
+    sleep(2);
+  }
+}
+)");
+  ReconfigGraph rg = build_reconfig_graph(p, {"R"});
+  ASSERT_EQ(rg.edges.size(), 4u);
+  // compute precedes main in the source, so its edges number first.
+  EXPECT_EQ(rg.edges[0].from, "compute");
+  EXPECT_EQ(rg.edges[0].to, "compute");
+  EXPECT_TRUE(rg.edges[1].is_reconfig_point);
+  EXPECT_EQ(rg.edges[2].from, "main");
+  EXPECT_EQ(rg.edges[3].from, "main");
+}
+
+TEST(ReconfigGraph, UnreachableReconfigPointThrows) {
+  minic::Program p = parsed(R"(
+void orphan() {
+RP:
+  ;
+}
+void main() { int x; x = 0; }
+)");
+  EXPECT_THROW((void)build_reconfig_graph(p, {"RP"}), SemaError);
+}
+
+TEST(ReconfigGraph, NonStatementCallOnPathThrows) {
+  minic::Program p = parsed(R"(
+int helper(int n) {
+RP:
+  return n;
+}
+void main() {
+  int x;
+  x = helper(3) + 1;
+}
+)");
+  EXPECT_THROW((void)build_reconfig_graph(p, {"RP"}), SemaError);
+}
+
+TEST(ReconfigGraph, DuplicateLabelAcrossFunctionsThrows) {
+  minic::Program p = minic::parse_program(R"(
+void f() {
+R:
+  ;
+}
+void main() {
+R:
+  f();
+}
+)");
+  minic::analyze(p);
+  EXPECT_THROW((void)find_reconfig_points(p, {"R"}), SemaError);
+}
+
+TEST(ReconfigGraph, DotRenderings) {
+  minic::Program p = parsed(kFigure6);
+  CallGraph cg = build_call_graph(p);
+  ReconfigGraph rg = build_reconfig_graph(p, {"R1", "R2"});
+  std::string cg_dot = to_dot(cg);
+  std::string rg_dot = to_dot(rg);
+  EXPECT_NE(cg_dot.find("\"main\" -> \"a\""), std::string::npos);
+  EXPECT_NE(rg_dot.find("reconfig"), std::string::npos);
+  EXPECT_NE(rg_dot.find("(1, "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace surgeon::graph

@@ -1,0 +1,434 @@
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+
+namespace surgeon::minic {
+namespace {
+
+using support::ParseError;
+using support::SemaError;
+
+Program parsed(std::string_view src) {
+  Program p = parse_program(src);
+  analyze(p);
+  return p;
+}
+
+// --- lexer ---------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsGreedily) {
+  auto tokens = lex("== = != ! <= < >= > && & || :");
+  std::vector<TokKind> kinds;
+  for (const auto& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokKind>{
+                       TokKind::kEq, TokKind::kAssign, TokKind::kNe,
+                       TokKind::kBang, TokKind::kLe, TokKind::kLt,
+                       TokKind::kGe, TokKind::kGt, TokKind::kAndAnd,
+                       TokKind::kAmp, TokKind::kOrOr, TokKind::kColon,
+                       TokKind::kEof}));
+}
+
+TEST(Lexer, NumbersIntAndReal) {
+  auto tokens = lex("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].kind, TokKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokKind::kRealLit);
+  EXPECT_DOUBLE_EQ(tokens[1].real_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].real_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].real_value, 0.025);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto tokens = lex(R"("a\nb\"c\\d")");
+  EXPECT_EQ(tokens[0].text, "a\nb\"c\\d");
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto tokens = lex("int intx if iffy");
+  EXPECT_EQ(tokens[0].kind, TokKind::kKwInt);
+  EXPECT_EQ(tokens[1].kind, TokKind::kIdent);
+  EXPECT_EQ(tokens[2].kind, TokKind::kKwIf);
+  EXPECT_EQ(tokens[3].kind, TokKind::kIdent);
+}
+
+TEST(Lexer, DoubleIsFloatAlias) {
+  EXPECT_EQ(lex("double")[0].kind, TokKind::kKwFloat);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = lex("a // line\n /* block\n */ b");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 3u);
+}
+
+TEST(Lexer, ErrorsOnBadInput) {
+  EXPECT_THROW(lex("\"unterminated"), ParseError);
+  EXPECT_THROW(lex("/* unterminated"), ParseError);
+  EXPECT_THROW(lex("a $ b"), ParseError);
+  EXPECT_THROW(lex("a | b"), ParseError);
+}
+
+// --- parser --------------------------------------------------------------------
+
+TEST(Parser, FunctionAndGlobalStructure) {
+  Program p = parsed(R"(
+int counter = 0;
+float scale = 1.5;
+
+int add(int a, int b) { return a + b; }
+
+void main() { int x; x = add(1, 2); }
+)");
+  ASSERT_EQ(p.globals.size(), 2u);
+  EXPECT_EQ(p.globals[1].name, "scale");
+  ASSERT_EQ(p.functions.size(), 2u);
+  EXPECT_EQ(p.functions[0]->params.size(), 2u);
+  EXPECT_EQ(p.functions[0]->return_type, kIntType);
+  EXPECT_EQ(p.function_index("main"), 1u);
+}
+
+TEST(Parser, PointerTypesAndOperations) {
+  Program p = parsed(R"(
+void f(float *rp) { *rp = *rp + 1.0; }
+void main() { float x; x = 0.0; f(&x); }
+)");
+  EXPECT_EQ(p.functions[0]->params[0].type, (Type{BaseType::kReal, true}));
+}
+
+TEST(Parser, LabelsAndGoto) {
+  Program p = parsed(R"(
+void main() {
+  int i;
+  i = 0;
+L1:
+  i = i + 1;
+  if (i < 3) goto L1;
+}
+)");
+  (void)p;
+}
+
+TEST(Parser, CastVsParenthesizedExpression) {
+  Program p = parsed(R"(
+void main() {
+  int a; float b;
+  a = 3;
+  b = (float)a / (float)(a + 1);
+  a = (int)b;
+  a = (a);
+}
+)");
+  (void)p;
+}
+
+TEST(Parser, PrecedenceShape) {
+  ExprPtr e = parse_expression("1 + 2 * 3 == 7 && !0");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(static_cast<BinaryExpr&>(*e).op, BinaryOp::kAnd);
+  EXPECT_EQ(print_expr(*e), "1 + 2 * 3 == 7 && !0");
+}
+
+TEST(Parser, EmptyStatement) {
+  Program p = parsed("void main() { ; L: ; }");
+  (void)p;
+}
+
+TEST(Parser, IndexingParses) {
+  Program p = parsed(R"(
+void main() {
+  int* v;
+  v = mh_alloc_int(4);
+  v[0] = 5;
+  v[1] = v[0] + 1;
+  mh_free(v);
+}
+)");
+  (void)p;
+}
+
+TEST(Parser, ForLoops) {
+  Program p = parsed(R"(
+void main() {
+  int sum;
+  sum = 0;
+  for (int i = 0; i < 10; i = i + 1) { sum = sum + i; }
+  for (sum = 0; sum < 5; sum = sum + 1) ;
+  for (; sum < 10;) { sum = sum + 1; }
+  for (;;) { break; }
+  for (print(1); 1; print(2)) { break; }
+}
+)");
+  (void)p;
+}
+
+TEST(Parser, BreakContinue) {
+  Program p = parsed(R"(
+void main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i == 3) { continue; }
+    if (i == 7) { break; }
+  }
+  while (1) { break; }
+}
+)");
+  (void)p;
+}
+
+TEST(Parser, ForHeaderRejectsNonStatements) {
+  EXPECT_THROW((void)parse_program("void main() { for (1 + 2; 1; ) {} }"),
+               ParseError);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW((void)parse_program("void main() { int; }"), ParseError);
+  EXPECT_THROW((void)parse_program("void main() { x = ; }"), ParseError);
+  EXPECT_THROW((void)parse_program("void main() {"), ParseError);
+  EXPECT_THROW((void)parse_program("void f(void x) {}"), ParseError);
+  EXPECT_THROW((void)parse_program("int g = 1"), ParseError);
+}
+
+// --- sema ----------------------------------------------------------------------
+
+TEST(Sema, RequiresMain) {
+  Program p = parse_program("int f() { return 1; }");
+  EXPECT_THROW(analyze(p), SemaError);
+  SemaOptions opts;
+  opts.require_main = false;
+  analyze(p, opts);  // fine as a fragment
+}
+
+TEST(Sema, ResolvesStorageClasses) {
+  Program p = parsed(R"(
+int g;
+void f(int a) { int l; l = a + g; }
+void main() { f(1); }
+)");
+  // The assignment l = a + g references all three storage classes; walk to
+  // the binary expr and check resolution.
+  auto& f = *p.functions[0];
+  auto& assign = static_cast<AssignStmt&>(*f.body->stmts[1]);
+  auto& target = static_cast<VarExpr&>(*assign.target);
+  EXPECT_EQ(target.storage, VarStorage::kLocal);
+  auto& bin = static_cast<BinaryExpr&>(*assign.value);
+  EXPECT_EQ(static_cast<VarExpr&>(*bin.lhs).storage, VarStorage::kParam);
+  EXPECT_EQ(static_cast<VarExpr&>(*bin.rhs).storage, VarStorage::kGlobal);
+}
+
+TEST(Sema, LocalsHaveFunctionScope) {
+  // A restore block at the top of a function references locals declared
+  // later in the body; MiniC gives locals function scope.
+  Program p = parsed(R"(
+void main() {
+  x = 5;
+  int x;
+}
+)");
+  (void)p;
+}
+
+struct BadProgram {
+  const char* name;
+  const char* source;
+};
+
+class SemaErrors : public ::testing::TestWithParam<BadProgram> {};
+
+TEST_P(SemaErrors, Rejected) {
+  Program p = parse_program(GetParam().source);
+  EXPECT_THROW(analyze(p), SemaError) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SemaErrors,
+    ::testing::Values(
+        BadProgram{"undefined_var", "void main() { x = 1; }"},
+        BadProgram{"undefined_fn", "void main() { f(); }"},
+        BadProgram{"dup_local", "void main() { int a; int a; }"},
+        BadProgram{"dup_param", "void f(int a, int a) {} void main() {}"},
+        BadProgram{"dup_global", "int g; int g; void main() {}"},
+        BadProgram{"dup_fn", "void f() {} void f() {} void main() {}"},
+        BadProgram{"dup_label", "void main() { L: ; L: ; }"},
+        BadProgram{"goto_nowhere", "void main() { goto L; }"},
+        BadProgram{"arity", "void f(int a) {} void main() { f(); }"},
+        BadProgram{"arg_type", "void f(int a) {} void main() { f(\"s\"); }"},
+        BadProgram{"real_to_int", "void main() { int a; a = 1.5; }"},
+        BadProgram{"void_var", "void main() { void v; }"},
+        BadProgram{"assign_fn", "void f() {} void main() { f = 1; }"},
+        BadProgram{"deref_int", "void main() { int a; a = *a; }"},
+        BadProgram{"addr_of_expr", "void main() { int* p; p = &(1); }"},
+        BadProgram{"addr_of_ptr",
+                   "void main() { int* p; int x; p = &x; p = &p; }"},
+        BadProgram{"ptr_arith",
+                   "void main() { int* p; int x; p = &x; x = p + 1; }"},
+        BadProgram{"mod_floats", "void main() { float f; f = 1.5 % 2.0; }"},
+        BadProgram{"string_minus",
+                   "void main() { string s; s = \"a\" - \"b\"; }"},
+        BadProgram{"cast_string", "void main() { int a; a = (int)\"s\"; }"},
+        BadProgram{"cond_string", "void main() { if (\"s\") { ; } }"},
+        BadProgram{"void_return_value", "void main() { return 1; }"},
+        BadProgram{"missing_return_value",
+                   "int f() { return; } void main() {}"},
+        BadProgram{"main_with_params", "void main(int a) {}"},
+        BadProgram{"shadow_builtin", "void sleep() {} void main() {}"},
+        BadProgram{"global_shadows_builtin", "int print; void main() {}"},
+        BadProgram{"read_fmt_not_literal",
+                   "void main() { int x; string f; f = \"i\"; "
+                   "mh_read(\"a\", f, &x); }"},
+        BadProgram{"read_target_count",
+                   "void main() { int x; mh_read(\"a\", \"ii\", &x); }"},
+        BadProgram{"read_target_type",
+                   "void main() { float x; mh_read(\"a\", \"i\", &x); }"},
+        BadProgram{"read_target_not_ptr",
+                   "void main() { int x; mh_read(\"a\", \"i\", x); }"},
+        BadProgram{"write_value_type",
+                   "void main() { mh_write(\"a\", \"i\", \"str\"); }"},
+        BadProgram{"capture_bad_fmt",
+                   "void main() { mh_capture(\"zz\", 1, 2); }"},
+        BadProgram{"signal_not_function",
+                   "void main() { int h; mh_signal(h); }"},
+        BadProgram{"signal_handler_with_params",
+                   "void h(int x) {} void main() { mh_signal(h); }"},
+        BadProgram{"restore_ptr_target_not_addr",
+                   "void main() { int x; mh_restore(\"p\", &x); }"},
+        BadProgram{"break_outside_loop", "void main() { break; }"},
+        BadProgram{"continue_outside_loop",
+                   "void main() { if (1) { continue; } }"},
+        BadProgram{"break_after_loop",
+                   "void main() { while (0) { ; } break; }"},
+        BadProgram{"for_cond_string",
+                   "void main() { for (; \"s\"; ) { break; } }"}),
+    [](const ::testing::TestParamInfo<BadProgram>& info) {
+      return info.param.name;
+    });
+
+TEST(Sema, BuiltinSignaturesAccepted) {
+  Program p = parsed(R"(
+void handler() { }
+void main() {
+  int i; float f; string s; int* hp;
+  mh_write("a", "iFs", 1, 2.5, "x");
+  mh_write("a", "F", i);
+  if (mh_query_ifmsgs("a")) { mh_read("a", "iF", &i, &f); }
+  mh_capture("iF", i, f);
+  mh_restore("iF", &i, &f);
+  hp = mh_alloc_int(3);
+  mh_capture("p", hp);
+  mh_restore("p", &hp);
+  mh_encode();
+  mh_decode();
+  s = mh_getstatus();
+  s = mh_self();
+  mh_signal(handler);
+  sleep(1);
+  print("x", i, f, s);
+  i = random(10);
+  i = clock();
+  i = mh_peek_location();
+  mh_free(hp);
+}
+)");
+  (void)p;
+}
+
+// --- printer ---------------------------------------------------------------------
+
+TEST(Printer, RoundTripPreservesSemantics) {
+  const char* src = R"(
+int g = 3;
+
+void helper(int a, float *out)
+{
+  int t;
+  t = a * 2;
+  if (t > 4) { *out = (float)t; }
+  else { *out = 0.5; }
+  while (t > 0) { t = t - 1; }
+L:
+  ;
+  goto L2;
+L2:
+  *out = *out + 1.0;
+}
+
+void main()
+{
+  float r;
+  helper(g, &r);
+  print(r);
+}
+)";
+  Program p1 = parsed(src);
+  std::string text1 = print_program(p1);
+  Program p2 = parsed(text1);
+  std::string text2 = print_program(p2);
+  // Printing is a fixpoint: parse(print(p)) prints identically.
+  EXPECT_EQ(text1, text2);
+}
+
+TEST(Printer, ForLoopRoundTrip) {
+  Program p1 = parsed(R"(
+void main() {
+  int sum;
+  sum = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i == 3) continue;
+    if (i == 8) break;
+    sum = sum + i;
+  }
+  for (;;) { break; }
+  print(sum);
+}
+)");
+  std::string text1 = print_program(p1);
+  EXPECT_NE(text1.find("for (int i = 0; i < 10; i = i + 1)"),
+            std::string::npos)
+      << text1;
+  EXPECT_NE(text1.find("for (; ; )"), std::string::npos) << text1;
+  EXPECT_NE(text1.find("continue;"), std::string::npos);
+  EXPECT_NE(text1.find("break;"), std::string::npos);
+  Program p2 = parsed(text1);
+  EXPECT_EQ(print_program(p2), text1);
+}
+
+TEST(Printer, RealLiteralsStayReal) {
+  Program p = parsed("void main() { float f; f = 2.0; f = 1.25; }");
+  std::string text = print_program(p);
+  EXPECT_NE(text.find("2.0"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+}
+
+TEST(Printer, ParenthesizesByPrecedence) {
+  ExprPtr e = parse_expression("(1 + 2) * 3");
+  EXPECT_EQ(print_expr(*e), "(1 + 2) * 3");
+  ExprPtr e2 = parse_expression("1 + 2 * 3");
+  EXPECT_EQ(print_expr(*e2), "1 + 2 * 3");
+  ExprPtr e3 = parse_expression("-(1 + 2)");
+  EXPECT_EQ(print_expr(*e3), "-(1 + 2)");
+}
+
+TEST(Printer, BannersForTransformedStatements) {
+  Program p = parsed("void main() { int x; x = 1; }");
+  p.functions[0]->body->stmts[1]->xform_note = "capture";
+  std::string text = print_program(p);
+  EXPECT_NE(text.find("begin capture"), std::string::npos);
+  EXPECT_NE(text.find("end capture"), std::string::npos);
+}
+
+// --- clone ------------------------------------------------------------------------
+
+TEST(Ast, CloneExprDeepCopies) {
+  ExprPtr e = parse_expression("f(a + 1, &b, (float)c[2])");
+  ExprPtr c = clone_expr(*e);
+  EXPECT_EQ(print_expr(*e), print_expr(*c));
+  // Mutating the clone leaves the original alone.
+  static_cast<CallExpr&>(*c).args.clear();
+  EXPECT_NE(print_expr(*e), print_expr(*c));
+}
+
+}  // namespace
+}  // namespace surgeon::minic

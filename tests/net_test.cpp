@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "net/sim.hpp"
+#include "support/diag.hpp"
+
+namespace surgeon::net {
+namespace {
+
+using support::BusError;
+
+TEST(Sim, MachinesRegister) {
+  Simulator sim;
+  sim.add_machine("a", arch_vax());
+  sim.add_machine("b", arch_sparc());
+  EXPECT_TRUE(sim.has_machine("a"));
+  EXPECT_FALSE(sim.has_machine("c"));
+  EXPECT_EQ(sim.machine("b").arch.name, "sparc");
+  EXPECT_EQ(sim.machine_names().size(), 2u);
+  EXPECT_THROW(sim.add_machine("a", arch_vax()), BusError);
+  EXPECT_THROW((void)sim.machine("zz"), BusError);
+}
+
+TEST(Sim, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(30, [&] { order.push_back(3); });
+  sim.schedule_after(10, [&] { order.push_back(1); });
+  sim.schedule_after(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Sim, EqualTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Sim, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1, [&] {
+    ++fired;
+    sim.schedule_after(1, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2u);
+}
+
+TEST(Sim, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_after(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Sim, RunRespectsMaxEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Sim, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_after(100, [] {});
+  sim.run();
+  bool ran = false;
+  sim.schedule_at(5, [&] { ran = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Sim, LatencyModelDistinguishesLocalAndRemote) {
+  Simulator sim;
+  sim.add_machine("a", arch_vax());
+  sim.add_machine("b", arch_sparc());
+  LatencyModel model;
+  model.local_us = 3;
+  model.remote_us = 500;
+  sim.set_latency_model(model);
+  EXPECT_EQ(sim.message_latency("a", "a"), 3u);
+  EXPECT_EQ(sim.message_latency("a", "b"), 500u);
+}
+
+TEST(Sim, RemoteJitterBoundedAndDeterministic) {
+  LatencyModel model;
+  model.remote_us = 100;
+  model.remote_jitter_us = 50;
+  Simulator sim1(99), sim2(99);
+  sim1.set_latency_model(model);
+  sim2.set_latency_model(model);
+  for (int i = 0; i < 100; ++i) {
+    auto l1 = sim1.message_latency("a", "b");
+    EXPECT_GE(l1, 100u);
+    EXPECT_LE(l1, 150u);
+    EXPECT_EQ(l1, sim2.message_latency("a", "b"));
+  }
+}
+
+TEST(Sim, AdvanceTimeMovesClock) {
+  Simulator sim;
+  sim.advance_time(42);
+  EXPECT_EQ(sim.now(), 42u);
+  // An event scheduled before the advance still runs, at the later clock.
+  bool ran = false;
+  sim.schedule_at(10, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 42u);
+}
+
+TEST(Arch, ReferenceArchitecturesDiffer) {
+  EXPECT_NE(arch_vax().byte_order, arch_sparc().byte_order);
+  EXPECT_NE(arch_vax().slot_padding, arch_sparc().slot_padding);
+}
+
+}  // namespace
+}  // namespace surgeon::net

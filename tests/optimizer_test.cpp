@@ -1,0 +1,441 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "opt/optimizer.hpp"
+#include "vm/compiler.hpp"
+#include "vm/machine.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::opt {
+namespace {
+
+minic::Program parsed(std::string_view src) {
+  minic::Program p = minic::parse_program(src);
+  minic::analyze(p);
+  return p;
+}
+
+std::vector<std::string> run(const minic::Program& prog) {
+  auto compiled = vm::compile(prog);
+  vm::Machine m(compiled, net::arch_vax());
+  (void)m.step(100'000'000);
+  EXPECT_EQ(m.state(), vm::RunState::kDone) << m.fault_message();
+  return m.output();
+}
+
+/// Optimizes and re-analyzes; returns stats.
+OptStats optimized(minic::Program& p, const OptOptions& options = {}) {
+  OptStats stats = optimize(p, options);
+  minic::analyze(p);
+  return stats;
+}
+
+TEST(ExprEqual, StructuralEquality) {
+  auto a = minic::parse_expression("x + 2 * y");
+  auto b = minic::parse_expression("x + 2 * y");
+  auto c = minic::parse_expression("x + 2 * z");
+  auto d = minic::parse_expression("x + y * 2");
+  EXPECT_TRUE(expr_equal(*a, *b));
+  EXPECT_FALSE(expr_equal(*a, *c));
+  EXPECT_FALSE(expr_equal(*a, *d));
+  // Calls never compare equal (they may have effects).
+  auto e = minic::parse_expression("f(1)");
+  auto f = minic::parse_expression("f(1)");
+  EXPECT_FALSE(expr_equal(*e, *f));
+}
+
+TEST(Folding, LiteralArithmetic) {
+  minic::Program p = parsed(R"(
+void main() {
+  int a; float b; string s;
+  a = (7 + 3) * 2 - 9 / 3;
+  b = 1.5 * 4.0 + 1;
+  s = "ab" + "cd";
+  a = !0 + !(3 > 2);
+  a = (int)2.9 + (int)(1.0 + 1.5);
+  print(a, b, s);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_GT(stats.expressions_folded, 6u);
+  std::string text = minic::print_program(p);
+  EXPECT_NE(text.find("a = 17;"), std::string::npos) << text;
+  EXPECT_NE(text.find("b = 7.0;"), std::string::npos) << text;
+  EXPECT_NE(text.find("s = \"abcd\";"), std::string::npos) << text;
+  EXPECT_NE(text.find("a = 4;"), std::string::npos) << text;  // casts folded
+}
+
+TEST(Folding, PreservesBehaviour) {
+  const char* src = R"(
+void main() {
+  int i;
+  i = 0;
+  while (i < 3 + 2) {
+    print(i * (10 - 4), 2.0 * 3.0);
+    i = i + 1;
+  }
+}
+)";
+  minic::Program plain = parsed(src);
+  auto expected = run(plain);
+  minic::Program opt = parsed(src);
+  (void)optimized(opt);
+  EXPECT_EQ(run(opt), expected);
+}
+
+TEST(Folding, LeavesFaultsForRuntime) {
+  minic::Program p = parsed(R"(
+void main() {
+  int z;
+  z = 0;
+  print(1 / 0 + z);
+}
+)");
+  OptStats stats = optimized(p);
+  (void)stats;
+  std::string text = minic::print_program(p);
+  EXPECT_NE(text.find("1 / 0"), std::string::npos);
+  // The program still faults at run time, as the VM semantics demand.
+  auto compiled = vm::compile(p);
+  vm::Machine m(compiled, net::arch_vax());
+  (void)m.step(1000);
+  EXPECT_EQ(m.state(), vm::RunState::kFault);
+}
+
+TEST(Hoisting, InvariantMovesToPreheader) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int a; int b; int acc;
+  a = 6; b = 7; acc = 0;
+  i = 0;
+  while (i < 100) {
+    acc = acc + a * b + i;
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 1u);
+  std::string text = minic::print_program(p);
+  EXPECT_NE(text.find("int opt_t0 = a * b;"), std::string::npos) << text;
+  EXPECT_NE(text.find("acc + opt_t0 + i"), std::string::npos) << text;
+  EXPECT_EQ(run(p), (std::vector<std::string>{"9150"}));
+}
+
+TEST(Hoisting, AssignedVariablesAreNotInvariant) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int a; int acc;
+  a = 6; acc = 0;
+  i = 0;
+  while (i < 10) {
+    acc = acc + a * 3;
+    a = a + 1;
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+}
+
+TEST(Hoisting, AddressTakenVariablesAreNotInvariant) {
+  minic::Program p = parsed(R"(
+void bump(int *p) { *p = *p + 1; }
+void main() {
+  int i; int a; int acc;
+  a = 6; acc = 0;
+  i = 0;
+  while (i < 10) {
+    acc = acc + a * 3;
+    bump(&a);
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  minic::Program reference = parsed(R"(
+void bump(int *p) { *p = *p + 1; }
+void main() {
+  int i; int a; int acc;
+  a = 6; acc = 0;
+  i = 0;
+  while (i < 10) {
+    acc = acc + a * 3;
+    bump(&a);
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  auto expected = run(reference);
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+  EXPECT_EQ(run(p), expected);
+}
+
+TEST(Hoisting, LabelsInLoopBlockTheHoist) {
+  // The Section-4 interference: a label inside the loop means a goto can
+  // enter the body without passing the preheader, so code motion is off.
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int a; int b; int acc;
+  a = 6; b = 7; acc = 0;
+  i = 0;
+  while (i < 100) {
+L:
+    acc = acc + a * b;
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+  EXPECT_EQ(stats.loops_blocked_by_labels, 1u);
+}
+
+TEST(Hoisting, TransformedModuleLoopsAreBlocked) {
+  // After the reconfiguration transformation, the loops that contain
+  // reconfiguration machinery (labels Li / R) refuse hoisting...
+  const char* src = R"(
+int acc = 0;
+void work(int a, int b, int n) {
+  int i;
+  i = 0;
+  while (i < n) {
+RP:
+    acc = acc + a * b;
+    i = i + 1;
+  }
+}
+void main() {
+  int round;
+  round = 0;
+  while (round < 10) {
+    work(6, 7, 50);
+    round = round + 1;
+  }
+  print(acc);
+}
+)";
+  minic::Program transformed = parsed(src);
+  xform::prepare_module(transformed, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  OptStats stats = optimize(transformed);
+  minic::analyze(transformed);
+  EXPECT_GE(stats.loops_blocked_by_labels, 2u)
+      << "both work's RP loop and main's instrumented loop carry labels";
+  // ...while the same module WITHOUT the reconfiguration point (label
+  // removed) hoists the invariant.
+  std::string no_label(src);
+  no_label.erase(no_label.find("RP:\n"), 4);
+  minic::Program plain = parsed(no_label);
+  OptStats plain_stats = optimized(plain);
+  EXPECT_GE(plain_stats.expressions_hoisted, 1u);
+}
+
+TEST(Hoisting, OptimizedTransformedModuleStillMigrates) {
+  // Safety of composing the passes: optimize AFTER transform, then run the
+  // full capture -> migrate -> restore round trip.
+  const char* src = R"(
+int acc = 0;
+void work(int n, int *out) {
+  if (n <= 0) { *out = acc; return; }
+  work(n - 1, out);
+RP:
+  acc = acc + n * n + 3 * 4;
+  *out = acc;
+}
+void main() {
+  int r;
+  int round;
+  round = 0;
+  while (round < 6) {
+    work(5, &r);
+    print(round, r);
+    round = round + 1;
+  }
+}
+)";
+  minic::Program reference_prog = parsed(src);
+  auto expected = run(reference_prog);
+
+  minic::Program p = parsed(src);
+  xform::prepare_module(p, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  (void)optimize(p);
+  minic::analyze(p);
+  auto compiled = std::make_shared<vm::CompiledProgram>(vm::compile(p));
+
+  vm::Machine old_machine(*compiled, net::arch_vax());
+  (void)old_machine.step(250);
+  old_machine.raise_signal();
+  (void)old_machine.step(100'000'000);
+  ASSERT_EQ(old_machine.state(), vm::RunState::kDone)
+      << old_machine.fault_message();
+  ASSERT_TRUE(old_machine.last_encoded_state().has_value());
+
+  vm::Machine clone(*compiled, net::arch_sparc());
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*old_machine.last_encoded_state());
+  (void)clone.step(100'000'000);
+  ASSERT_EQ(clone.state(), vm::RunState::kDone) << clone.fault_message();
+
+  std::vector<std::string> combined = old_machine.output();
+  combined.insert(combined.end(), clone.output().begin(),
+                  clone.output().end());
+  EXPECT_EQ(combined, expected);
+}
+
+TEST(Hoisting, ForLoopsHoistLikeWhileLoops) {
+  minic::Program p = parsed(R"(
+void main() {
+  int a; int b; int acc;
+  a = 6; b = 7; acc = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+    acc = acc + a * b;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 1u);
+  EXPECT_EQ(run(p), (std::vector<std::string>{"4200"}));
+}
+
+TEST(Hoisting, ForHeaderVariablesAreLoopVarying) {
+  // The induction variable is assigned in the step, which lives in the
+  // header, not the body: expressions using it must not hoist.
+  minic::Program p = parsed(R"(
+void main() {
+  int acc;
+  acc = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    acc = acc + i * 3;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+  EXPECT_EQ(run(p), (std::vector<std::string>{"135"}));
+}
+
+TEST(Hoisting, LabeledForLoopIsBlocked) {
+  minic::Program p = parsed(R"(
+void main() {
+  int a; int b; int acc;
+  a = 6; b = 7; acc = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+L:
+    acc = acc + a * b;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+  EXPECT_EQ(stats.loops_blocked_by_labels, 1u);
+}
+
+TEST(Hoisting, NestedLoopsHoistInner) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int j; int a; int acc;
+  a = 5; acc = 0;
+  i = 0;
+  while (i < 10) {
+    j = 0;
+    while (j < 10) {
+      acc = acc + a * a;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  print(acc);
+}
+)");
+  OptStats stats = optimized(p);
+  EXPECT_GE(stats.expressions_hoisted, 1u);
+  EXPECT_EQ(run(p), (std::vector<std::string>{"2500"}));
+}
+
+TEST(Hoisting, TempNamesAvoidCollisions) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int a; int b; int opt_t0; int acc;
+  a = 2; b = 3; opt_t0 = 9; acc = 0;
+  i = 0;
+  while (i < 4) {
+    acc = acc + a * b;
+    i = i + 1;
+  }
+  print(acc, opt_t0);
+}
+)");
+  (void)optimized(p);  // must not throw a duplicate-variable error
+  EXPECT_EQ(run(p), (std::vector<std::string>{"24 9"}));
+}
+
+// Property: folding any randomly generated literal expression agrees with
+// the VM's own evaluation of the unfolded form.
+class FoldProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_literal_expr(support::SplitMix64& rng, int depth) {
+  if (depth == 0 || rng.next_below(3) == 0) {
+    // Leaf: an int or real literal (small, to keep arithmetic exact).
+    if (rng.next_below(2) == 0) {
+      return std::to_string(static_cast<int>(rng.next_below(19)) - 9);
+    }
+    return std::to_string(static_cast<int>(rng.next_below(19)) - 9) + "." +
+           std::to_string(rng.next_below(4) * 25);
+  }
+  const char* ops[] = {"+", "-", "*"};
+  return "(" + random_literal_expr(rng, depth - 1) + " " +
+         ops[rng.next_below(3)] + " " + random_literal_expr(rng, depth - 1) +
+         ")";
+}
+
+TEST_P(FoldProperty, FoldedMatchesUnfoldedEvaluation) {
+  support::SplitMix64 rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    std::string expr = "(" + random_literal_expr(rng, 2) + " + " +
+                       random_literal_expr(rng, 2) + ")";
+    std::string src = "void main() { print(" + expr + "); }";
+    minic::Program plain = parsed(src);
+    auto expected = run(plain);
+    minic::Program folded = parsed(src);
+    OptStats stats = optimized(folded);
+    EXPECT_GT(stats.expressions_folded, 0u) << expr;
+    EXPECT_EQ(run(folded), expected) << expr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Optimizer, DisabledPassesDoNothing) {
+  minic::Program p = parsed(R"(
+void main() {
+  int i; int a; int acc;
+  a = 6; acc = 1 + 2;
+  i = 0;
+  while (i < 4) { acc = acc + a * 3; i = i + 1; }
+  print(acc);
+}
+)");
+  OptOptions off;
+  off.fold_constants = false;
+  off.hoist_loop_invariants = false;
+  OptStats stats = optimize(p, off);
+  EXPECT_EQ(stats.expressions_folded, 0u);
+  EXPECT_EQ(stats.expressions_hoisted, 0u);
+}
+
+}  // namespace
+}  // namespace surgeon::opt

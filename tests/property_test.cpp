@@ -1,0 +1,282 @@
+// Property-style sweeps over the system's key invariants:
+//  (1) serialize round trips for arbitrary generated states,
+//  (2) transformation transparency: transformed == original behaviour,
+//  (3) migration safety at randomized interrupt points and workloads,
+//  (4) counter app correctness for random request sequences with a
+//      replacement injected at a random moment.
+#include <gtest/gtest.h>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "reconfig/scripts.hpp"
+#include "support/rng.hpp"
+#include "vm/compiler.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon {
+namespace {
+
+using support::SplitMix64;
+
+// --- (1) serialize round trip -------------------------------------------------
+
+ser::Value random_value(SplitMix64& rng, bool allow_pointer) {
+  switch (rng.next_below(allow_pointer ? 4 : 3)) {
+    case 0:
+      return ser::Value(static_cast<std::int64_t>(rng.next()));
+    case 1:
+      return ser::Value(rng.next_double() * 1e6 - 5e5);
+    case 2: {
+      std::string s;
+      auto len = rng.next_below(32);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.next_below(26)));
+      }
+      return ser::Value(std::move(s));
+    }
+    default:
+      return ser::Value(
+          ser::AbstractPointer{rng.next_below(100), rng.next_below(16)});
+  }
+}
+
+class StateRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateRoundTrip, EncodeDecodeIsIdentity) {
+  SplitMix64 rng(GetParam());
+  ser::StateBuffer sb;
+  auto nframes = 1 + rng.next_below(20);
+  for (std::uint64_t f = 0; f < nframes; ++f) {
+    ser::StateFrame frame;
+    auto nvalues = rng.next_below(12);
+    for (std::uint64_t v = 0; v < nvalues; ++v) {
+      frame.values.push_back(random_value(rng, true));
+    }
+    sb.push_frame(std::move(frame));
+  }
+  auto nheap = rng.next_below(6);
+  for (std::uint64_t h = 0; h < nheap; ++h) {
+    std::vector<ser::Value> cells;
+    auto ncells = rng.next_below(8);
+    for (std::uint64_t c = 0; c < ncells; ++c) {
+      cells.push_back(random_value(rng, true));
+    }
+    sb.put_heap_object(h + 1, std::move(cells));
+  }
+  EXPECT_EQ(ser::StateBuffer::decode(sb.encode()), sb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// --- (2)+(3) transformation transparency and migration safety ------------------
+
+/// A parameterized worker whose behaviour depends on arithmetic, globals,
+/// heap, and recursion depth -- all the state classes of Section 1.2.
+std::string sweep_source(int rounds, int depth, int heap_cells) {
+  return R"(
+int acc = 0;
+int* table;
+
+void work(int n, int *out) {
+  if (n <= 0) { *out = acc; return; }
+  work(n - 1, out);
+RP:
+  acc = acc + n * n;
+  table[n % )" +
+         std::to_string(heap_cells) + R"(] = acc;
+  *out = acc + table[0];
+}
+
+void main() {
+  int r;
+  int round;
+  table = mh_alloc_int()" +
+         std::to_string(heap_cells) + R"();
+  round = 0;
+  while (round < )" +
+         std::to_string(rounds) + R"() {
+    work()" +
+         std::to_string(depth) + R"(, &r);
+    print(round, r);
+    round = round + 1;
+  }
+}
+)";
+}
+
+std::vector<std::string> plain_run(const std::string& src) {
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  auto compiled = vm::compile(prog);
+  vm::Machine m(compiled, net::arch_vax());
+  (void)m.step(100'000'000);
+  EXPECT_EQ(m.state(), vm::RunState::kDone) << m.fault_message();
+  return m.output();
+}
+
+struct SweepCase {
+  int rounds;
+  int depth;
+  int heap_cells;
+  std::uint64_t signal_after;
+};
+
+class MigrationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MigrationSweep, MigratedRunMatchesPlainRun) {
+  const SweepCase& c = GetParam();
+  std::string src = sweep_source(c.rounds, c.depth, c.heap_cells);
+  auto reference = plain_run(src);
+
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  xform::prepare_module(prog, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  auto compiled = std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+
+  vm::Machine old_machine(*compiled, net::arch_vax());
+  (void)old_machine.step(c.signal_after);
+  old_machine.raise_signal();
+  (void)old_machine.step(100'000'000);
+  ASSERT_EQ(old_machine.state(), vm::RunState::kDone)
+      << old_machine.fault_message();
+
+  std::vector<std::string> combined = old_machine.output();
+  if (old_machine.last_encoded_state().has_value()) {
+    vm::Machine clone(*compiled, net::arch_sparc());
+    clone.set_standalone_status("clone");
+    clone.inject_incoming_state(*old_machine.last_encoded_state());
+    (void)clone.step(100'000'000);
+    ASSERT_EQ(clone.state(), vm::RunState::kDone) << clone.fault_message();
+    combined.insert(combined.end(), clone.output().begin(),
+                    clone.output().end());
+  }
+  EXPECT_EQ(combined, reference);
+}
+
+std::vector<SweepCase> make_sweep() {
+  std::vector<SweepCase> cases;
+  SplitMix64 rng(2026);
+  for (int i = 0; i < 24; ++i) {
+    SweepCase c;
+    c.rounds = 2 + static_cast<int>(rng.next_below(5));
+    c.depth = 1 + static_cast<int>(rng.next_below(10));
+    c.heap_cells = 2 + static_cast<int>(rng.next_below(6));
+    c.signal_after = 5 + rng.next_below(2000);
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MigrationSweep,
+                         ::testing::ValuesIn(make_sweep()));
+
+// --- (3b) every ordered architecture pair ---------------------------------------
+
+class ArchPairSweep
+    : public ::testing::TestWithParam<std::pair<net::Arch, net::Arch>> {};
+
+TEST_P(ArchPairSweep, MigrationWorksBetweenAnyTwoArchitectures) {
+  const auto& [from, to] = GetParam();
+  std::string src = sweep_source(3, 5, 4);
+  auto reference = plain_run(src);
+
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  xform::prepare_module(prog, {cfg::ReconfigPointSpec{"RP", {}, {}}});
+  auto compiled = std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+
+  vm::Machine old_machine(*compiled, from);
+  (void)old_machine.step(120);
+  old_machine.raise_signal();
+  (void)old_machine.step(100'000'000);
+  ASSERT_EQ(old_machine.state(), vm::RunState::kDone)
+      << old_machine.fault_message();
+  ASSERT_TRUE(old_machine.last_encoded_state().has_value());
+
+  vm::Machine clone(*compiled, to);
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*old_machine.last_encoded_state());
+  (void)clone.step(100'000'000);
+  ASSERT_EQ(clone.state(), vm::RunState::kDone) << clone.fault_message();
+
+  std::vector<std::string> combined = old_machine.output();
+  combined.insert(combined.end(), clone.output().begin(),
+                  clone.output().end());
+  EXPECT_EQ(combined, reference)
+      << from.name << " -> " << to.name << " migration diverged";
+}
+
+std::vector<std::pair<net::Arch, net::Arch>> all_arch_pairs() {
+  std::vector<std::pair<net::Arch, net::Arch>> pairs;
+  for (const auto& a : net::reference_arches()) {
+    for (const auto& b : net::reference_arches()) {
+      pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ArchPairSweep, ::testing::ValuesIn(all_arch_pairs()),
+    [](const ::testing::TestParamInfo<std::pair<net::Arch, net::Arch>>& info) {
+      return info.param.first.name + "_to_" + info.param.second.name;
+    });
+
+// --- (4) full-application property ---------------------------------------------
+
+class CounterReplaceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CounterReplaceSweep, ReplacementIsInvisibleToTheClient) {
+  SplitMix64 rng(GetParam());
+  const int requests = 5 + static_cast<int>(rng.next_below(10));
+  const std::size_t replace_after = 1 + rng.next_below(
+      static_cast<std::uint64_t>(requests) - 1);
+  const bool cross_machine = rng.next_below(2) == 1;
+
+  auto build = [&] {
+    auto rt = std::make_unique<app::Runtime>(GetParam());
+    rt->add_machine("vax", net::arch_vax());
+    rt->add_machine("sparc", net::arch_sparc());
+    cfg::ConfigFile config =
+        cfg::parse_config(app::samples::counter_config_text());
+    rt->load_application(config, "counter",
+                         [&](const cfg::ModuleSpec& spec) {
+                           if (spec.name == "client") {
+                             return app::samples::counter_client_source(
+                                 requests);
+                           }
+                           return app::samples::counter_server_source();
+                         });
+    return rt;
+  };
+
+  auto reference_rt = build();
+  EXPECT_TRUE(reference_rt->run_until(
+      [&] { return reference_rt->module_finished("client"); }, 10'000'000));
+  reference_rt->check_faults();
+  auto reference = reference_rt->machine_of("client")->output();
+
+  auto rt = build();
+  ASSERT_TRUE(rt->run_until(
+      [&] {
+        return rt->machine_of("client")->output().size() >= replace_after;
+      },
+      10'000'000));
+  reconfig::ReplaceOptions options;
+  if (cross_machine) options.machine = "sparc";
+  (void)reconfig::replace_module(*rt, "server", options);
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+  EXPECT_EQ(rt->machine_of("client")->output(), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterReplaceSweep,
+                         ::testing::Range<std::uint64_t>(100, 116));
+
+}  // namespace
+}  // namespace surgeon

@@ -1,0 +1,207 @@
+// Unit tests of the reconfiguration script engine (Figure 5): error paths,
+// option handling, report contents, and script composition details that the
+// end-to-end integration tests do not isolate.
+#include <gtest/gtest.h>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "minic/parser.hpp"
+#include "minic/sema.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace surgeon::reconfig {
+namespace {
+
+using app::Runtime;
+
+std::unique_ptr<Runtime> make_counter(int requests = 20) {
+  auto rt = std::make_unique<Runtime>(2);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter",
+                       [&](const cfg::ModuleSpec& spec) {
+                         if (spec.name == "client") {
+                           return app::samples::counter_client_source(
+                               requests);
+                         }
+                         return app::samples::counter_server_source();
+                       });
+  return rt;
+}
+
+TEST(Script, UnknownModuleThrows) {
+  auto rt = make_counter();
+  EXPECT_THROW(replace_module(*rt, "ghost", {}), ScriptError);
+  EXPECT_THROW(replicate_module(*rt, "ghost", "sparc"), ScriptError);
+}
+
+TEST(Script, NonParticipatingModuleTimesOut) {
+  // The client has no reconfiguration points: it never divulges, and the
+  // script reports that clearly instead of hanging.
+  auto rt = make_counter();
+  ReplaceOptions options;
+  options.max_rounds = 30'000;
+  try {
+    (void)replace_module(*rt, "client", options);
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_NE(std::string(e.what()).find("never divulged"),
+              std::string::npos);
+  }
+}
+
+TEST(Script, UnknownTargetMachineLeavesSystemIntact) {
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  EXPECT_THROW(move_module(*rt, "server", "atlantis"), support::BusError);
+  // The failed script left no half-born clone and the app still works.
+  EXPECT_TRUE(rt->bus().has_module("server"));
+  EXPECT_EQ(rt->bus().module_names().size(), 2u);
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+}
+
+TEST(Script, ReportAccountsForEverything) {
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  auto report = replace_module(*rt, "server", {});
+  EXPECT_EQ(report.old_instance, "server");
+  EXPECT_EQ(report.new_instance, "server@2");
+  EXPECT_LE(report.requested_at, report.divulged_at);
+  EXPECT_LE(report.divulged_at, report.rebound_at);
+  EXPECT_LE(report.rebound_at, report.completed_at);
+  EXPECT_GT(report.state_bytes, 0u);
+  EXPECT_GT(report.state_frames, 0u);
+  EXPECT_EQ(report.total_delay(),
+            report.completed_at - report.requested_at);
+}
+
+TEST(Script, CloneKeepsInterfaceSpecs) {
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 1; },
+      10'000'000);
+  auto report = replace_module(*rt, "server", {});
+  const auto& info = rt->bus().module_info(report.new_instance);
+  ASSERT_EQ(info.interfaces.size(), 1u);
+  EXPECT_EQ(info.interfaces[0].name, "req");
+  EXPECT_EQ(info.interfaces[0].role, bus::IfaceRole::kServer);
+  EXPECT_EQ(info.status, "clone");
+}
+
+TEST(Script, ZeroDrainStillWorksWhenQuiescent) {
+  // With drain disabled (the paper's original script), a replacement in a
+  // quiet moment is still lossless.
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  ReplaceOptions options;
+  options.drain_us = 0;
+  auto report = replace_module(*rt, "server", options);
+  (void)report;
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+}
+
+TEST(Script, NoWaitForRestoreReturnsEarlier) {
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  ReplaceOptions options;
+  options.wait_for_restore = false;
+  options.drain_us = 0;
+  auto report = replace_module(*rt, "server", options);
+  // The script returned right after the rebind; the clone may still be
+  // restoring, but the application completes regardless.
+  EXPECT_EQ(report.completed_at, report.rebound_at);
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+}
+
+TEST(Script, IncompatibleReplacementProgramFailsLoudly) {
+  // v2 declares a different captured layout (an extra local in bump and a
+  // changed format): the old state cannot install, the clone faults, and
+  // the script surfaces it as a ScriptError instead of limping on.
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  const char* incompatible = R"(
+int total = 0;
+int extra_global = 0;
+
+void bump(int k, int *out)
+{
+  int extra;
+  if (k <= 0) { return; }
+  bump(k - 1, out);
+RP:
+  extra = k;
+  total = total + extra;
+  *out = total;
+}
+
+void main()
+{
+  int k;
+  int result;
+  while (1) {
+    mh_read("req", "i", &k);
+    bump(k, &result);
+    mh_write("req", "i", result);
+  }
+}
+)";
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  minic::Program v2 = minic::parse_program(incompatible);
+  minic::analyze(v2);
+  xform::prepare_module(v2, config.find_module("server")->reconfig_points);
+  auto v2_prog = std::make_shared<const vm::CompiledProgram>(vm::compile(v2));
+  EXPECT_THROW((void)update_module(*rt, "server", v2_prog), ScriptError);
+}
+
+TEST(Script, ModuleWithoutImageRejected) {
+  auto rt = make_counter();
+  // A module registered directly with the bus (no Runtime image) cannot be
+  // cloned by the script.
+  bus::ModuleInfo info;
+  info.name = "alien";
+  info.machine = "vax";
+  rt->bus().add_module(info);
+  EXPECT_THROW(replace_module(*rt, "alien", {}), ScriptError);
+}
+
+TEST(Script, ReplicationReportsBothClones) {
+  auto rt = make_counter();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  auto report = replicate_module(*rt, "server", "sparc",
+                                 /*bind_replica=*/false);
+  EXPECT_NE(report.primary.new_instance, report.replica_instance);
+  // With bind_replica=false the replica exists, holds the state, but has
+  // no bindings: the client only talks to the primary.
+  EXPECT_TRUE(
+      rt->bus().bound_peers({report.replica_instance, "req"}).empty());
+  EXPECT_FALSE(
+      rt->bus().bound_peers({report.primary.new_instance, "req"}).empty());
+  ASSERT_TRUE(rt->run_until(
+      [&] { return rt->module_finished("client"); }, 10'000'000));
+  rt->check_faults();
+}
+
+}  // namespace
+}  // namespace surgeon::reconfig

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "serialize/state.hpp"
+#include "serialize/value.hpp"
+#include "support/rng.hpp"
+
+namespace surgeon::ser {
+namespace {
+
+using support::ByteOrder;
+using support::ByteReader;
+using support::ByteWriter;
+using support::ValueKind;
+using support::VmError;
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value(std::int64_t{3}).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value(2.5).kind(), ValueKind::kReal);
+  EXPECT_EQ(Value(std::string("x")).kind(), ValueKind::kString);
+  EXPECT_EQ(Value(AbstractPointer{1, 2}).kind(), ValueKind::kPointer);
+  EXPECT_EQ(Value(std::int64_t{3}).as_int(), 3);
+  EXPECT_THROW((void)Value(std::int64_t{3}).as_string(), VmError);
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{3}).to_real(), 3.0);
+}
+
+TEST(Value, DefaultPerKind) {
+  EXPECT_EQ(default_value(ValueKind::kInt).as_int(), 0);
+  EXPECT_DOUBLE_EQ(default_value(ValueKind::kReal).as_real(), 0.0);
+  EXPECT_EQ(default_value(ValueKind::kString).as_string(), "");
+  EXPECT_TRUE(default_value(ValueKind::kPointer).as_pointer().is_null());
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  std::vector<Value> values = {
+      Value(std::int64_t{-7}), Value(6.25), Value(std::string("héllo")),
+      Value(AbstractPointer{42, 3}), Value(std::int64_t{1} << 60)};
+  ByteWriter w(ByteOrder::kBig);
+  encode_values(w, values);
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_EQ(decode_values(r), values);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Value, DecodeRejectsBadTag) {
+  ByteWriter w(ByteOrder::kBig);
+  w.put_u8(200);  // not a valid kind
+  ByteReader r(w.bytes(), ByteOrder::kBig);
+  EXPECT_THROW((void)decode_value(r), VmError);
+}
+
+TEST(StateBuffer, LifoFrameOrder) {
+  // Capture pushes top-of-stack first; restore pops bottom-most first.
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{1})}});   // innermost AR
+  sb.push_frame(StateFrame{{Value(std::int64_t{2})}});
+  sb.push_frame(StateFrame{{Value(std::int64_t{3})}});   // main's AR
+  EXPECT_EQ(sb.frame_count(), 3u);
+  EXPECT_EQ(sb.pop_frame().values[0].as_int(), 3);  // main restores first
+  EXPECT_EQ(sb.pop_frame().values[0].as_int(), 2);
+  EXPECT_EQ(sb.pop_frame().values[0].as_int(), 1);
+  EXPECT_TRUE(sb.empty());
+}
+
+TEST(StateBuffer, PopEmptyThrows) {
+  StateBuffer sb;
+  EXPECT_THROW((void)sb.pop_frame(), VmError);
+}
+
+TEST(StateBuffer, EncodeDecodeWithHeap) {
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{4}), Value(1.5)}});
+  sb.push_frame(StateFrame{{Value(std::string("top"))}});
+  sb.put_heap_object(9, {Value(std::int64_t{1}), Value(AbstractPointer{9, 0})});
+  auto bytes = sb.encode();
+  StateBuffer back = StateBuffer::decode(bytes);
+  EXPECT_EQ(back, sb);
+  EXPECT_EQ(back.heap().at(9).size(), 2u);
+}
+
+TEST(StateBuffer, DecodeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  EXPECT_THROW((void)StateBuffer::decode(garbage), VmError);
+}
+
+TEST(StateBuffer, DecodeRejectsTrailingBytes) {
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{1})}});
+  auto bytes = sb.encode();
+  bytes.push_back(0);
+  EXPECT_THROW((void)StateBuffer::decode(bytes), VmError);
+}
+
+TEST(StateBuffer, ValueCount) {
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{1}), Value(std::int64_t{2})}});
+  sb.push_frame(StateFrame{{Value(std::int64_t{3})}});
+  EXPECT_EQ(sb.value_count(), 3u);
+}
+
+TEST(StateBuffer, FuzzedBytesNeverCrashTheDecoder) {
+  // Single-byte corruptions of a valid buffer, truncations, and random
+  // garbage: decode must either succeed or throw VmError -- never crash,
+  // hang, or allocate absurdly.
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{1}), Value(2.5),
+                            Value(std::string("abc")),
+                            Value(AbstractPointer{3, 1})}});
+  sb.put_heap_object(3, {Value(std::int64_t{9})});
+  auto valid = sb.encode();
+
+  auto try_decode = [](const std::vector<std::uint8_t>& bytes) {
+    try {
+      auto decoded = StateBuffer::decode(bytes);
+      (void)decoded;
+    } catch (const support::VmError&) {
+      // expected for corrupt input
+    }
+  };
+
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    auto mutated = valid;
+    mutated[i] ^= 0xff;
+    try_decode(mutated);
+    try_decode({valid.begin(),
+                valid.begin() + static_cast<std::ptrdiff_t>(i)});
+  }
+  support::SplitMix64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> garbage(rng.next_below(64));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    try_decode(garbage);
+  }
+}
+
+TEST(StateBuffer, WireFormatIsByteOrderIndependent) {
+  // The encoded bytes are identical no matter which host produced them:
+  // network order is baked into encode(). A little-endian and a big-endian
+  // host exchanging this buffer agree on its contents by construction.
+  StateBuffer sb;
+  sb.push_frame(StateFrame{{Value(std::int64_t{0x0102030405060708}),
+                            Value(2.0), Value(std::string("abc"))}});
+  auto bytes1 = sb.encode();
+  auto bytes2 = StateBuffer::decode(bytes1).encode();
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+}  // namespace
+}  // namespace surgeon::ser

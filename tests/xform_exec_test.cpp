@@ -1,0 +1,537 @@
+// Behavioural tests of the transformation: run a transformed module, signal
+// it mid-execution, collect the divulged abstract state, install it in a
+// fresh machine (of a different architecture), and verify that execution
+// resumes at the reconfiguration point with identical results.
+//
+// These tests run the machines standalone (no bus) so they isolate the
+// capture/restore mechanism itself; the integration tests add the bus.
+#include <gtest/gtest.h>
+
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "vm/compiler.hpp"
+#include "vm/machine.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::xform {
+namespace {
+
+using cfg::ReconfigPointSpec;
+using vm::Machine;
+using vm::RunState;
+
+std::shared_ptr<vm::CompiledProgram> transform_and_compile(
+    const std::string& src, const std::vector<ReconfigPointSpec>& points,
+    const XformOptions& options = {}) {
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  prepare_module(prog, points, options);
+  return std::make_shared<vm::CompiledProgram>(vm::compile(prog));
+}
+
+void run_to_end(Machine& m, std::uint64_t budget = 100'000'000) {
+  while (m.state() != RunState::kDone && m.state() != RunState::kFault &&
+         budget > 0) {
+    auto r = m.step(budget);
+    budget -= std::min<std::uint64_t>(budget, r.instructions);
+    if (r.state == RunState::kBlockedRead ||
+        r.state == RunState::kBlockedDecode) {
+      break;  // nothing will unblock a standalone machine
+    }
+  }
+}
+
+/// A self-contained compute-style program: `rounds` rounds, each summing
+/// squares via recursion with a reconfiguration point in the recursion.
+std::string worker_source(int rounds, int depth) {
+  return R"(
+int acc = 0;
+
+void work(int n, int *out) {
+  if (n <= 0) { *out = acc; return; }
+  work(n - 1, out);
+RP:
+  acc = acc + n * n;
+  *out = acc;
+}
+
+void main() {
+  int r;
+  int round;
+  round = 0;
+  while (round < )" +
+         std::to_string(rounds) + R"() {
+    work()" +
+         std::to_string(depth) + R"(, &r);
+    print(round, r);
+    round = round + 1;
+  }
+  print("final", acc);
+}
+)";
+}
+
+const std::vector<ReconfigPointSpec> kWorkerPoints = {
+    ReconfigPointSpec{"RP", {}, {}}};
+
+/// Expected output of the untransformed worker (the transformation must
+/// never change observable behaviour).
+std::vector<std::string> reference_output(int rounds, int depth) {
+  minic::Program prog = minic::parse_program(worker_source(rounds, depth));
+  minic::analyze(prog);
+  auto compiled = vm::compile(prog);
+  Machine m(compiled, net::arch_vax());
+  run_to_end(m);
+  EXPECT_EQ(m.state(), RunState::kDone) << m.fault_message();
+  return m.output();
+}
+
+TEST(XformExec, TransformedProgramBehavesIdenticallyWithoutSignal) {
+  auto prog = transform_and_compile(worker_source(5, 4), kWorkerPoints);
+  Machine m(*prog, net::arch_vax());
+  run_to_end(m);
+  ASSERT_EQ(m.state(), RunState::kDone) << m.fault_message();
+  EXPECT_EQ(m.output(), reference_output(5, 4));
+}
+
+TEST(XformExec, CaptureProducesOneFramePerActivationRecord) {
+  auto prog = transform_and_compile(worker_source(50, 6), kWorkerPoints);
+  Machine m(*prog, net::arch_vax());
+  (void)m.step(200);
+  m.raise_signal();
+  run_to_end(m);
+  ASSERT_EQ(m.state(), RunState::kDone) << m.fault_message();
+  ASSERT_TRUE(m.last_encoded_state().has_value());
+  const auto& state = *m.last_encoded_state();
+  // Frames: one per AR on the stack at the reconfiguration point (main +
+  // work frames) plus the data-area frame for the global `acc`.
+  EXPECT_GE(state.frame_count(), 3u);
+  // The LAST frame pushed is the data-area frame (exactly one value: acc).
+  EXPECT_EQ(state.frames().back().values.size(), 1u);
+}
+
+/// The signature migration scenario: interrupt mid-recursion, install the
+/// state in a machine of the opposite byte order, and compare the combined
+/// output against an uninterrupted run.
+void check_migration(int rounds, int depth, std::uint64_t signal_after,
+                     const XformOptions& options = {}) {
+  auto prog = transform_and_compile(worker_source(rounds, depth),
+                                    kWorkerPoints, options);
+  Machine old_machine(*prog, net::arch_vax());
+  (void)old_machine.step(signal_after);
+  old_machine.raise_signal();
+  run_to_end(old_machine);
+  ASSERT_EQ(old_machine.state(), RunState::kDone)
+      << old_machine.fault_message();
+  if (!old_machine.last_encoded_state().has_value()) {
+    // The program completed before the signal landed; there is nothing to
+    // migrate and the output must already match.
+    EXPECT_EQ(old_machine.output(), reference_output(rounds, depth));
+    return;
+  }
+
+  Machine clone(*prog, net::arch_sparc());
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*old_machine.last_encoded_state());
+  run_to_end(clone);
+  ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+
+  std::vector<std::string> combined = old_machine.output();
+  combined.insert(combined.end(), clone.output().begin(),
+                  clone.output().end());
+  EXPECT_EQ(combined, reference_output(rounds, depth))
+      << "divergence when signalled after " << signal_after
+      << " instructions";
+}
+
+TEST(XformExec, MigrationMidRecursionPreservesBehaviour) {
+  check_migration(6, 5, 300);
+}
+
+TEST(XformExec, MigrationNearStartPreservesBehaviour) {
+  check_migration(6, 5, 10);
+}
+
+TEST(XformExec, MigrationWithLivenessModePreservesBehaviour) {
+  XformOptions options;
+  options.use_liveness = true;
+  check_migration(6, 5, 300, options);
+}
+
+class SignalTimingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SignalTimingSweep, AnyInterruptPointIsSafe) {
+  // Property: no matter when the signal lands, the migrated execution is
+  // indistinguishable from an uninterrupted one.
+  check_migration(4, 3, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Timing, SignalTimingSweep,
+                         ::testing::Values(1, 5, 17, 40, 77, 123, 200, 350,
+                                           500, 800));
+
+class RecursionDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecursionDepthSweep, DeepStacksRoundTrip) {
+  check_migration(2, GetParam(), 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RecursionDepthSweep,
+                         ::testing::Values(1, 2, 8, 32, 128));
+
+TEST(XformExec, SecondMigrationOfACloneWorks) {
+  // The clone reinstalls the signal handler at its reconfiguration point,
+  // so it can itself be reconfigured. Chain two migrations.
+  auto prog = transform_and_compile(worker_source(8, 4), kWorkerPoints);
+  Machine first(*prog, net::arch_vax());
+  (void)first.step(200);
+  first.raise_signal();
+  run_to_end(first);
+  ASSERT_EQ(first.state(), RunState::kDone) << first.fault_message();
+
+  Machine second(*prog, net::arch_sparc());
+  second.set_standalone_status("clone");
+  second.inject_incoming_state(*first.last_encoded_state());
+  (void)second.step(400);
+  second.raise_signal();
+  run_to_end(second);
+  ASSERT_EQ(second.state(), RunState::kDone) << second.fault_message();
+  ASSERT_TRUE(second.last_encoded_state().has_value());
+
+  Machine third(*prog, net::arch_vax());
+  third.set_standalone_status("clone");
+  third.inject_incoming_state(*second.last_encoded_state());
+  run_to_end(third);
+  ASSERT_EQ(third.state(), RunState::kDone) << third.fault_message();
+
+  std::vector<std::string> combined = first.output();
+  combined.insert(combined.end(), second.output().begin(),
+                  second.output().end());
+  combined.insert(combined.end(), third.output().begin(),
+                  third.output().end());
+  EXPECT_EQ(combined, reference_output(8, 4));
+}
+
+TEST(XformExec, HeapStateSurvivesMigration) {
+  const std::string src = R"(
+int* cells;
+
+void fill(int n) {
+  if (n <= 0) { return; }
+  fill(n - 1);
+RP:
+  cells[n - 1] = n * 10;
+}
+
+void main() {
+  int i;
+  cells = mh_alloc_int(6);
+  fill(6);
+  i = 0;
+  while (i < 6) {
+    print(cells[i]);
+    i = i + 1;
+  }
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  auto prog = transform_and_compile(src, points);
+
+  Machine old_machine(*prog, net::arch_vax());
+  (void)old_machine.step(60);
+  old_machine.raise_signal();
+  run_to_end(old_machine);
+  ASSERT_EQ(old_machine.state(), RunState::kDone)
+      << old_machine.fault_message();
+  ASSERT_TRUE(old_machine.last_encoded_state().has_value());
+  // The heap object rides in the abstract state (pointer global `cells`).
+  EXPECT_EQ(old_machine.last_encoded_state()->heap().size(), 1u);
+
+  Machine clone(*prog, net::arch_sparc());
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*old_machine.last_encoded_state());
+  run_to_end(clone);
+  ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+  EXPECT_EQ(clone.output(),
+            (std::vector<std::string>{"10", "20", "30", "40", "50", "60"}));
+}
+
+TEST(XformExec, ForLoopsWithBreakContinueMigrate) {
+  // A module written in idiomatic C89 style (for loops, break/continue)
+  // with the reconfiguration point inside a for body: the transformation
+  // and the goto-into-loop restore path compose with the new control flow.
+  const std::string src = R"(
+int acc = 0;
+
+void scan(int limit, int *out) {
+  for (int i = 1; i <= limit; i = i + 1) {
+    if (i % 4 == 0) { continue; }
+RP:
+    acc = acc + i;
+    if (acc > 90) { break; }
+  }
+  *out = acc;
+}
+
+void main() {
+  int r;
+  for (int round = 0; round < 8; round = round + 1) {
+    scan(7, &r);
+    print(round, r);
+  }
+  print("final", acc);
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  auto prog = transform_and_compile(src, points);
+
+  // Reference: untransformed behaviour.
+  minic::Program plain = minic::parse_program(src);
+  minic::analyze(plain);
+  auto plain_prog = vm::compile(plain);
+  Machine ref(plain_prog, net::arch_vax());
+  run_to_end(ref);
+  ASSERT_EQ(ref.state(), RunState::kDone) << ref.fault_message();
+
+  for (std::uint64_t when : {10u, 60u, 120u, 200u, 300u}) {
+    Machine m(*prog, net::arch_vax());
+    (void)m.step(when);
+    m.raise_signal();
+    run_to_end(m);
+    ASSERT_EQ(m.state(), RunState::kDone) << m.fault_message();
+    std::vector<std::string> combined = m.output();
+    if (m.last_encoded_state().has_value()) {
+      Machine clone(*prog, net::arch_mips());
+      clone.set_standalone_status("clone");
+      clone.inject_incoming_state(*m.last_encoded_state());
+      run_to_end(clone);
+      ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+      combined.insert(combined.end(), clone.output().begin(),
+                      clone.output().end());
+    }
+    EXPECT_EQ(combined, ref.output()) << "signal at " << when;
+  }
+}
+
+TEST(XformExec, HeapStringsSurviveMigration) {
+  const std::string src = R"(
+string* log;
+int next = 0;
+
+void record(int n) {
+  if (n <= 0) { return; }
+  record(n - 1);
+RP:
+  log[next] = "entry-" + mh_getstatus();
+  next = next + 1;
+}
+
+void main() {
+  int i;
+  log = mh_alloc_str(8);
+  record(4);
+  record(4);
+  i = 0;
+  while (i < next) {
+    print(log[i]);
+    i = i + 1;
+  }
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  auto prog = transform_and_compile(src, points);
+  Machine old_machine(*prog, net::arch_vax());
+  (void)old_machine.step(120);
+  old_machine.raise_signal();
+  run_to_end(old_machine);
+  ASSERT_EQ(old_machine.state(), RunState::kDone)
+      << old_machine.fault_message();
+  ASSERT_TRUE(old_machine.last_encoded_state().has_value());
+
+  Machine clone(*prog, net::arch_sparc());
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*old_machine.last_encoded_state());
+  run_to_end(clone);
+  ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+  // Entries recorded before the move say "entry-new", after say
+  // "entry-clone"; all eight survive, in order, in the migrated heap.
+  ASSERT_EQ(clone.output().size(), 8u);
+  bool saw_new = false, saw_clone = false;
+  for (const auto& line : clone.output()) {
+    if (line == "entry-new") saw_new = true;
+    if (line == "entry-clone") saw_clone = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_TRUE(saw_clone);
+}
+
+TEST(XformExec, SignalDuringRestoreIsHonoredAfterwards) {
+  // A second reconfiguration request lands while the clone is still
+  // rebuilding its stack: the handler is not yet installed, the bus holds
+  // the signal, and the clone divulges at its next reconfiguration point
+  // after the restore completes. (Standalone: raise before stepping.)
+  auto prog = transform_and_compile(worker_source(6, 4), kWorkerPoints);
+  Machine first(*prog, net::arch_vax());
+  (void)first.step(200);
+  first.raise_signal();
+  run_to_end(first);
+  ASSERT_EQ(first.state(), RunState::kDone) << first.fault_message();
+  ASSERT_TRUE(first.last_encoded_state().has_value());
+
+  Machine clone(*prog, net::arch_sparc());
+  clone.set_standalone_status("clone");
+  clone.inject_incoming_state(*first.last_encoded_state());
+  clone.raise_signal();  // arrives "during" restore
+  run_to_end(clone);
+  ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+  ASSERT_TRUE(clone.last_encoded_state().has_value())
+      << "the early signal was lost";
+
+  Machine third(*prog, net::arch_vax());
+  third.set_standalone_status("clone");
+  third.inject_incoming_state(*clone.last_encoded_state());
+  run_to_end(third);
+  ASSERT_EQ(third.state(), RunState::kDone) << third.fault_message();
+
+  std::vector<std::string> combined = first.output();
+  combined.insert(combined.end(), clone.output().begin(),
+                  clone.output().end());
+  combined.insert(combined.end(), third.output().begin(),
+                  third.output().end());
+  EXPECT_EQ(combined, reference_output(6, 4));
+}
+
+TEST(XformExec, DummyArgumentsPreventRestoreTimeFaults) {
+  // At capture time b has become 0: repeating the original call `work(a /
+  // b, ...)` during restoration would divide by zero. The transformer's
+  // dummy argument makes restoration safe, and the callee's own restored
+  // parameters make the dummy invisible.
+  const std::string src = R"(
+void work(int q, int n, int *out) {
+  if (n <= 0) { return; }
+  work(q, n - 1, out);
+RP:
+  *out = *out + q + n;
+}
+
+void main() {
+  int a; int b; int r;
+  a = 6; b = 2; r = 0;
+  work(a / b, 4, &r);
+  b = 0;
+  work(3, 2, &r);
+  print(r);
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  auto prog = transform_and_compile(src, points);
+
+  // Reference: untransformed behaviour.
+  minic::Program plain = minic::parse_program(src);
+  minic::analyze(plain);
+  auto plain_prog = vm::compile(plain);
+  Machine ref(plain_prog, net::arch_vax());
+  run_to_end(ref);
+  ASSERT_EQ(ref.state(), RunState::kDone);
+
+  // Find a signal timing that interrupts the FIRST work() call (while b is
+  // still 2) but captures after b:=0 has... actually the dangerous window
+  // is capture during the SECOND call, when b==0 and main's restore would
+  // re-evaluate a / b. Sweep timings; all must succeed.
+  for (std::uint64_t when : {40u, 60u, 80u, 100u, 120u, 140u}) {
+    Machine m(*prog, net::arch_vax());
+    (void)m.step(when);
+    m.raise_signal();
+    run_to_end(m);
+    ASSERT_EQ(m.state(), RunState::kDone) << m.fault_message();
+    if (!m.last_encoded_state().has_value()) continue;  // finished first
+    Machine clone(*prog, net::arch_sparc());
+    clone.set_standalone_status("clone");
+    clone.inject_incoming_state(*m.last_encoded_state());
+    run_to_end(clone);
+    ASSERT_EQ(clone.state(), RunState::kDone)
+        << "restore faulted (signal at " << when
+        << "): " << clone.fault_message();
+    std::vector<std::string> combined = m.output();
+    combined.insert(combined.end(), clone.output().begin(),
+                    clone.output().end());
+    EXPECT_EQ(combined, ref.output());
+  }
+}
+
+TEST(XformExec, MultipleReconfigPointsBothWork) {
+  const std::string src = R"(
+int phase = 0;
+
+void stage1(int n, int *out) {
+  if (n <= 0) { return; }
+  stage1(n - 1, out);
+R1:
+  *out = *out + n;
+}
+
+void stage2(int n, int *out) {
+  if (n <= 0) { return; }
+  stage2(n - 1, out);
+R2:
+  *out = *out + n * 100;
+}
+
+void main() {
+  int r;
+  r = 0;
+  phase = 1;
+  stage1(4, &r);
+  phase = 2;
+  stage2(4, &r);
+  print(r, phase);
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"R1", {}, {}},
+                                           ReconfigPointSpec{"R2", {}, {}}};
+  auto prog = transform_and_compile(src, points);
+
+  minic::Program plain = minic::parse_program(src);
+  minic::analyze(plain);
+  auto plain_prog = vm::compile(plain);
+  Machine ref(plain_prog, net::arch_vax());
+  run_to_end(ref);
+
+  // Signal early (captures at R1) and late (captures at R2).
+  for (std::uint64_t when : {20u, 150u}) {
+    Machine m(*prog, net::arch_vax());
+    (void)m.step(when);
+    m.raise_signal();
+    run_to_end(m);
+    ASSERT_EQ(m.state(), RunState::kDone) << m.fault_message();
+    ASSERT_TRUE(m.last_encoded_state().has_value());
+    Machine clone(*prog, net::arch_sparc());
+    clone.set_standalone_status("clone");
+    clone.inject_incoming_state(*m.last_encoded_state());
+    run_to_end(clone);
+    ASSERT_EQ(clone.state(), RunState::kDone) << clone.fault_message();
+    std::vector<std::string> combined = m.output();
+    combined.insert(combined.end(), clone.output().begin(),
+                    clone.output().end());
+    EXPECT_EQ(combined, ref.output()) << "signal at " << when;
+  }
+}
+
+TEST(XformExec, StateBytesAreIdenticalRegardlessOfSourceArch) {
+  // The abstract state is machine-independent: capturing the same logical
+  // state on unlike architectures yields byte-identical buffers.
+  auto prog = transform_and_compile(worker_source(4, 3), kWorkerPoints);
+  auto capture_on = [&](net::Arch arch) {
+    Machine m(*prog, arch);
+    (void)m.step(100);
+    m.raise_signal();
+    run_to_end(m);
+    EXPECT_EQ(m.state(), RunState::kDone) << m.fault_message();
+    return m.last_encoded_state()->encode();
+  };
+  EXPECT_EQ(capture_on(net::arch_vax()), capture_on(net::arch_sparc()));
+}
+
+}  // namespace
+}  // namespace surgeon::xform

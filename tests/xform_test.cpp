@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "minic/sema.hpp"
+#include "vm/compiler.hpp"
+#include "xform/transform.hpp"
+
+namespace surgeon::xform {
+namespace {
+
+using cfg::ReconfigPointSpec;
+using cfg::StateVar;
+
+std::vector<ReconfigPointSpec> points_of_monitor_compute() {
+  cfg::ConfigFile file =
+      cfg::parse_config(app::samples::monitor_config_text());
+  return file.find_module("compute")->reconfig_points;
+}
+
+TEST(Normalize, WrapsBareBodiesInBlocks) {
+  minic::Program p = minic::parse_program(R"(
+void main() {
+  int i;
+  if (1) i = 1; else i = 2;
+  while (i > 0) i = i - 1;
+}
+)");
+  minic::analyze(p);
+  normalize_blocks(p);
+  auto& body = *p.functions[0]->body;
+  auto& if_stmt = static_cast<minic::IfStmt&>(*body.stmts[1]);
+  EXPECT_EQ(if_stmt.then_branch->kind, minic::StmtKind::kBlock);
+  EXPECT_EQ(if_stmt.else_branch->kind, minic::StmtKind::kBlock);
+  auto& while_stmt = static_cast<minic::WhileStmt&>(*body.stmts[2]);
+  EXPECT_EQ(while_stmt.body->kind, minic::StmtKind::kBlock);
+  // Idempotent.
+  normalize_blocks(p);
+  EXPECT_EQ(if_stmt.then_branch->kind, minic::StmtKind::kBlock);
+}
+
+TEST(Xform, MonitorComputeStructure) {
+  // F4: transform the Figure 3 module and check the Figure 4 structure.
+  PreparedSource prepared = prepare_source(
+      app::samples::monitor_compute_source(), points_of_monitor_compute());
+  const std::string& text = prepared.source;
+
+  // The four mh_ globals and the signal handler exist.
+  EXPECT_NE(text.find("int mh_reconfig;"), std::string::npos);
+  EXPECT_NE(text.find("int mh_capturestack;"), std::string::npos);
+  EXPECT_NE(text.find("int mh_restoring;"), std::string::npos);
+  EXPECT_NE(text.find("int mh_location;"), std::string::npos);
+  EXPECT_NE(text.find("void mh_catchreconfig()"), std::string::npos);
+  EXPECT_NE(text.find("mh_reconfig = 1;"), std::string::npos);
+
+  // Figure 4 graph: 4 edges -- compute->compute (1), R (2), main's two call
+  // sites (3, 4). compute precedes main in the source.
+  ASSERT_EQ(prepared.result.graph.edges.size(), 4u);
+  EXPECT_EQ(prepared.result.graph.edges[0].from, "compute");
+  EXPECT_TRUE(prepared.result.graph.edges[1].is_reconfig_point);
+
+  // Status check and decode appear in main only.
+  EXPECT_NE(text.find("if (mh_getstatus() == \"clone\")"), std::string::npos);
+  EXPECT_EQ(text.find("mh_decode"), text.rfind("mh_decode"));  // exactly once
+
+  // The reconfiguration-point capture block sets the cascade flags.
+  EXPECT_NE(text.find("mh_reconfig = 0;"), std::string::npos);
+  EXPECT_NE(text.find("mh_capturestack = 1;"), std::string::npos);
+
+  // The spec's variable list {num, n, *rp} governs compute's captures:
+  // location + num + n + *rp, with rp dereferenced in capture and passed
+  // plain as a restore target (Figure 4's "iiif" ... rp).
+  EXPECT_NE(text.find("mh_capture(\"iiiF\", 2, num, n, *rp);"),
+            std::string::npos);
+  EXPECT_NE(text.find("mh_restore(\"iiiF\", &mh_location, &num, &n, rp);"),
+            std::string::npos);
+  // temper is NOT captured (the spec omits it, as Figure 4 does): the
+  // exact capture/restore strings above are the complete variable lists.
+
+  // main's captures: location + n + response.
+  EXPECT_NE(text.find("mh_capture(\"iiF\", 3, n, response);"),
+            std::string::npos);
+  EXPECT_NE(text.find("mh_capture(\"iiF\", 4, n, response);"),
+            std::string::npos);
+  EXPECT_NE(text.find("mh_restore(\"iiF\", &mh_location, &n, &response);"),
+            std::string::npos);
+
+  // main's capture blocks divulge via mh_encode; compute's do not.
+  // (encode appears exactly twice: once per main call edge.)
+  std::size_t encodes = 0;
+  for (std::size_t pos = text.find("mh_encode()"); pos != std::string::npos;
+       pos = text.find("mh_encode()", pos + 1)) {
+    ++encodes;
+  }
+  EXPECT_EQ(encodes, 2u);
+
+  // Restore dispatch: the reconfiguration edge reinstalls the handler and
+  // jumps to R; call edges repeat the call and jump to their labels.
+  EXPECT_NE(text.find("mh_restoring = 0;"), std::string::npos);
+  EXPECT_NE(text.find("goto R;"), std::string::npos);
+  EXPECT_NE(text.find("goto L1;"), std::string::npos);
+  EXPECT_NE(text.find("L1:"), std::string::npos);
+
+  // The transformed source must itself be valid MiniC that compiles.
+  minic::Program reparsed = minic::parse_program(text);
+  minic::analyze(reparsed);
+  (void)vm::compile(reparsed);
+
+  // Figure 4 banners for human readers.
+  EXPECT_NE(text.find("begin capture"), std::string::npos);
+  EXPECT_NE(text.find("begin restore"), std::string::npos);
+}
+
+TEST(Xform, MonitorComputeGolden) {
+  // F4: the fully transformed compute module, byte for byte. The golden
+  // file tests/golden/monitor_compute_prepared.mc is the repository's
+  // rendition of the paper's Figure 4; regenerate it with
+  //   ./build/examples/mh_prepare --demo
+  // and review the diff whenever the transformation intentionally changes.
+  std::ifstream in(std::string(SURGEON_GOLDEN_DIR) +
+                   "/monitor_compute_prepared.mc");
+  ASSERT_TRUE(in.good()) << "golden file missing";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  PreparedSource prepared = prepare_source(
+      app::samples::monitor_compute_source(), points_of_monitor_compute());
+  EXPECT_EQ(prepared.source, golden.str());
+}
+
+TEST(Xform, TransformedSourceIsStable) {
+  // Transforming, printing, and reparsing yields a program that prints
+  // identically (the output is canonical MiniC).
+  PreparedSource p1 = prepare_source(app::samples::monitor_compute_source(),
+                                     points_of_monitor_compute());
+  // The banner comments are lost on reparse; compare banner-free prints.
+  minic::Program r1 = minic::parse_program(p1.source);
+  minic::analyze(r1);
+  std::string text1 = minic::print_program(r1);
+  minic::Program r2 = minic::parse_program(text1);
+  minic::analyze(r2);
+  EXPECT_EQ(minic::print_program(r2), text1);
+}
+
+TEST(Xform, RepeatedCallUsesDummyArguments) {
+  // Section 3's final issue: the repeated call's argument `a / b` could
+  // fault under restored state (b may be 0 at capture time), so the
+  // transformer substitutes a typed dummy. The pointer argument and the
+  // plain variable are repeated verbatim.
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+void work(int q, int n, float *out) {
+RP:
+  *out = (float)(q + n);
+}
+void main() {
+  int a; int b; float r;
+  a = 6; b = 2;
+  work(a / b, a, &r);
+  b = 0;
+  print(r);
+}
+)",
+                                           points);
+  EXPECT_NE(prepared.source.find("work(0, a, &r);"), std::string::npos)
+      << prepared.source;
+}
+
+TEST(Xform, SafeExpressionArgumentsAreRepeated) {
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+void work(int n, float *out) {
+  if (n <= 0) { return; }
+  work(n - 1, out);
+RP:
+  *out = *out + 1.0;
+}
+void main() {
+  float r;
+  work(3, &r);
+  print(r);
+}
+)",
+                                           points);
+  // n - 1 cannot fault: repeated verbatim, as the paper prefers.
+  EXPECT_NE(prepared.source.find("work(n - 1, out);"), std::string::npos);
+}
+
+TEST(Xform, PointerArgMustBeRepeatable) {
+  // A pointer argument produced by a call cannot be repeated during
+  // restoration without re-executing the call. The call site is already
+  // rejected at graph construction (a nested call makes it a non-statement
+  // call); the transformer's own pointer-argument check is a second line of
+  // defence. Either way, preparation must fail loudly.
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  EXPECT_THROW(prepare_source(R"(
+int* make() { return mh_alloc_int(1); }
+void work(int *p) {
+RP:
+  *p = 1;
+}
+void main() {
+  work(make());
+}
+)",
+                              points),
+               support::Error);
+}
+
+TEST(Xform, ReservedNamesRejected) {
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  EXPECT_THROW(prepare_source(R"(
+int mh_reconfig;
+void main() {
+RP:
+  ;
+}
+)",
+                              points),
+               XformError);
+  // Transforming twice is the same error.
+  PreparedSource once = prepare_source("void main() {\nRP:\n ; }", points);
+  minic::Program again = minic::parse_program(once.source);
+  minic::analyze(again);
+  EXPECT_THROW(prepare_module(again, points), XformError);
+}
+
+TEST(Xform, NoPointsRejected) {
+  minic::Program p = minic::parse_program("void main() { }");
+  minic::analyze(p);
+  EXPECT_THROW(prepare_module(p, {}), XformError);
+}
+
+TEST(Xform, SpecVarMustExist) {
+  std::vector<ReconfigPointSpec> points = {
+      ReconfigPointSpec{"RP", {StateVar{"nope", false}}, {}}};
+  EXPECT_THROW(prepare_source("void main() {\nRP:\n ; }", points),
+               XformError);
+}
+
+TEST(Xform, SpecDerefOfNonPointerRejected) {
+  std::vector<ReconfigPointSpec> points = {
+      ReconfigPointSpec{"RP", {StateVar{"x", true}}, {}}};
+  EXPECT_THROW(prepare_source(R"(
+void main() {
+  int x;
+RP:
+  x = 1;
+}
+)",
+                              points),
+               XformError);
+}
+
+TEST(Xform, GlobalsCapturedInDataAreaFrame) {
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+int total = 0;
+float rate = 1.5;
+void main() {
+  int x;
+RP:
+  x = 1;
+  total = total + x;
+}
+)",
+                                           points);
+  // The data-area frame is captured after the stack frames and restored
+  // before them (mh_capture of the globals, mh_restore with their targets).
+  EXPECT_NE(prepared.source.find("mh_capture(\"iF\", total, rate);"),
+            std::string::npos)
+      << prepared.source;
+  EXPECT_NE(prepared.source.find("mh_restore(\"iF\", &total, &rate);"),
+            std::string::npos);
+}
+
+TEST(Xform, GlobalsCaptureCanBeDisabled) {
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  XformOptions options;
+  options.capture_globals = false;
+  PreparedSource prepared = prepare_source(R"(
+int total = 0;
+void main() {
+RP:
+  total = total + 1;
+}
+)",
+                                           points, options);
+  EXPECT_EQ(prepared.source.find("mh_capture(\"i\", total);"),
+            std::string::npos);
+}
+
+TEST(Xform, MultipleReconfigPointsShareCallEdgeBlocks) {
+  // Section 3: capture blocks at call edges are shared by all
+  // reconfiguration points; each point gets its own capture block.
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"R1", {}, {}},
+                                           ReconfigPointSpec{"R2", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+void a(int x) {
+R1:
+  x = x + 1;
+}
+void b(int x) {
+R2:
+  x = x + 2;
+}
+void main() {
+  a(1);
+  b(2);
+}
+)",
+                                           points);
+  const std::string& text = prepared.source;
+  // Two rp capture blocks (each tests mh_reconfig)...
+  std::size_t rp_blocks = 0;
+  for (std::size_t pos = text.find("if (mh_reconfig)");
+       pos != std::string::npos;
+       pos = text.find("if (mh_reconfig)", pos + 1)) {
+    ++rp_blocks;
+  }
+  EXPECT_EQ(rp_blocks, 2u);
+  // ...and one shared stack-capture block per call site.
+  std::size_t stack_blocks = 0;
+  for (std::size_t pos = text.find("if (mh_capturestack)");
+       pos != std::string::npos;
+       pos = text.find("if (mh_capturestack)", pos + 1)) {
+    ++stack_blocks;
+  }
+  EXPECT_EQ(stack_blocks, 2u);
+}
+
+TEST(Xform, LivenessModeShrinksCapturedState) {
+  const char* src = R"(
+void work(int n, float *out) {
+  int big1; int big2; int big3;
+  big1 = n; big2 = n; big3 = n;
+  print(big1, big2, big3);
+RP:
+  *out = (float)n;
+}
+void main() {
+  float r;
+  work(5, &r);
+  print(r);
+}
+)";
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource full = prepare_source(src, points);
+  XformOptions options;
+  options.use_liveness = true;
+  PreparedSource live = prepare_source(src, points, options);
+  // Liveness mode: big1..big3 are dead at RP, so the rp capture carries
+  // only {n, out}; default mode carries all five.
+  EXPECT_NE(full.source.find("big1, big2, big3"), std::string::npos);
+  EXPECT_EQ(live.source.find("mh_capture(\"iiF\", 1, n, big1"),
+            std::string::npos);
+  EXPECT_NE(live.source.find("mh_peek_location()"), std::string::npos);
+  // Captured-variable accounting reflects the difference.
+  std::size_t full_vars = 0, live_vars = 0;
+  for (const auto& [fn, count] : full.result.captured_var_counts) {
+    full_vars += count;
+  }
+  for (const auto& [fn, count] : live.result.captured_var_counts) {
+    live_vars += count;
+  }
+  EXPECT_LT(live_vars, full_vars);
+}
+
+TEST(Xform, LabelCollisionAvoided) {
+  // The program already uses L1; generated labels must not collide.
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+void work(int n) {
+RP:
+  n = n + 1;
+}
+void main() {
+  int i;
+  i = 0;
+L2:
+  work(i);
+  i = i + 1;
+  if (i < 2) goto L2;
+}
+)",
+                                           points);
+  // The call edge is edge 2 (work's RP is edge 1); its label would be L2,
+  // which the user already owns, so the generated one is mh_L2.
+  EXPECT_NE(prepared.source.find("mh_L2:"), std::string::npos)
+      << prepared.source;
+}
+
+TEST(Xform, NonVoidFunctionsGetTypedReturns) {
+  std::vector<ReconfigPointSpec> points = {ReconfigPointSpec{"RP", {}, {}}};
+  PreparedSource prepared = prepare_source(R"(
+int work(int n) {
+RP:
+  return n + 1;
+}
+void main() {
+  work(1);
+}
+)",
+                                           points);
+  // The capture block inside `work` must return a value of work's type.
+  EXPECT_NE(prepared.source.find("return 0;"), std::string::npos)
+      << prepared.source;
+  // And the transformed program still compiles.
+  minic::Program reparsed = minic::parse_program(prepared.source);
+  minic::analyze(reparsed);
+  (void)vm::compile(reparsed);
+}
+
+}  // namespace
+}  // namespace surgeon::xform
