@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capture_restore.dir/bench_capture_restore.cpp.o"
+  "CMakeFiles/bench_capture_restore.dir/bench_capture_restore.cpp.o.d"
+  "bench_capture_restore"
+  "bench_capture_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capture_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

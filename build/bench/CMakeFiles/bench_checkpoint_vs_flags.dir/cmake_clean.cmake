@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_vs_flags.dir/bench_checkpoint_vs_flags.cpp.o"
+  "CMakeFiles/bench_checkpoint_vs_flags.dir/bench_checkpoint_vs_flags.cpp.o.d"
+  "bench_checkpoint_vs_flags"
+  "bench_checkpoint_vs_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_vs_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

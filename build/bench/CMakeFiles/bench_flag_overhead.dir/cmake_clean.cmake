@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flag_overhead.dir/bench_flag_overhead.cpp.o"
+  "CMakeFiles/bench_flag_overhead.dir/bench_flag_overhead.cpp.o.d"
+  "bench_flag_overhead"
+  "bench_flag_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flag_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_liveness_ablation.dir/bench_liveness_ablation.cpp.o"
+  "CMakeFiles/bench_liveness_ablation.dir/bench_liveness_ablation.cpp.o.d"
+  "bench_liveness_ablation"
+  "bench_liveness_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_liveness_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_migration_strategies.dir/bench_migration_strategies.cpp.o"
+  "CMakeFiles/bench_migration_strategies.dir/bench_migration_strategies.cpp.o.d"
+  "bench_migration_strategies"
+  "bench_migration_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

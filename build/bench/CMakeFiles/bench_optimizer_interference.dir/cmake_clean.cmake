@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_interference.dir/bench_optimizer_interference.cpp.o"
+  "CMakeFiles/bench_optimizer_interference.dir/bench_optimizer_interference.cpp.o.d"
+  "bench_optimizer_interference"
+  "bench_optimizer_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

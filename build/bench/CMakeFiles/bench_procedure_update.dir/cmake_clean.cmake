@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_procedure_update.dir/bench_procedure_update.cpp.o"
+  "CMakeFiles/bench_procedure_update.dir/bench_procedure_update.cpp.o.d"
+  "bench_procedure_update"
+  "bench_procedure_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_procedure_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

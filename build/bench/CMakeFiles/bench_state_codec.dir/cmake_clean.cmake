@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_codec.dir/bench_state_codec.cpp.o"
+  "CMakeFiles/bench_state_codec.dir/bench_state_codec.cpp.o.d"
+  "bench_state_codec"
+  "bench_state_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hot_upgrade.cpp" "examples/CMakeFiles/hot_upgrade.dir/hot_upgrade.cpp.o" "gcc" "examples/CMakeFiles/hot_upgrade.dir/hot_upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/surgeon_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/surgeon_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/surgeon_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/surgeon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/surgeon_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/surgeon_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/surgeon_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/surgeon_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/surgeon_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/surgeon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/surgeon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/surgeon_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/surgeon_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/surgeon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_upgrade.dir/hot_upgrade.cpp.o"
+  "CMakeFiles/hot_upgrade.dir/hot_upgrade.cpp.o.d"
+  "hot_upgrade"
+  "hot_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

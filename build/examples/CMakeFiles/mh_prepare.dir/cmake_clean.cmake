@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_prepare.dir/mh_prepare.cpp.o"
+  "CMakeFiles/mh_prepare.dir/mh_prepare.cpp.o.d"
+  "mh_prepare"
+  "mh_prepare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_prepare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

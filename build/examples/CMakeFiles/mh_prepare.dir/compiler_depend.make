@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mh_prepare.
+# This may be replaced when dependencies are built.

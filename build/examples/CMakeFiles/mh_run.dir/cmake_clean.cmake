@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_run.dir/mh_run.cpp.o"
+  "CMakeFiles/mh_run.dir/mh_run.cpp.o.d"
+  "mh_run"
+  "mh_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

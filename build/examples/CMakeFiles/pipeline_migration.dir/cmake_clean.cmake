@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_migration.dir/pipeline_migration.cpp.o"
+  "CMakeFiles/pipeline_migration.dir/pipeline_migration.cpp.o.d"
+  "pipeline_migration"
+  "pipeline_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

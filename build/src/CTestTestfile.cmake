@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("serialize")
+subdirs("net")
+subdirs("bus")
+subdirs("cfg")
+subdirs("minic")
+subdirs("opt")
+subdirs("graph")
+subdirs("dataflow")
+subdirs("xform")
+subdirs("vm")
+subdirs("reconfig")
+subdirs("baseline")
+subdirs("app")

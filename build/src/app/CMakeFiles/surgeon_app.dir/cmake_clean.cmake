@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_app.dir/runtime.cpp.o"
+  "CMakeFiles/surgeon_app.dir/runtime.cpp.o.d"
+  "CMakeFiles/surgeon_app.dir/samples.cpp.o"
+  "CMakeFiles/surgeon_app.dir/samples.cpp.o.d"
+  "libsurgeon_app.a"
+  "libsurgeon_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

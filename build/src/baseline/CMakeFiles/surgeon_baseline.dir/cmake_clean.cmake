@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_baseline.dir/checkpoint.cpp.o"
+  "CMakeFiles/surgeon_baseline.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/surgeon_baseline.dir/migration_models.cpp.o"
+  "CMakeFiles/surgeon_baseline.dir/migration_models.cpp.o.d"
+  "CMakeFiles/surgeon_baseline.dir/procedure_update.cpp.o"
+  "CMakeFiles/surgeon_baseline.dir/procedure_update.cpp.o.d"
+  "CMakeFiles/surgeon_baseline.dir/quiescence.cpp.o"
+  "CMakeFiles/surgeon_baseline.dir/quiescence.cpp.o.d"
+  "libsurgeon_baseline.a"
+  "libsurgeon_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_bus.dir/bus.cpp.o"
+  "CMakeFiles/surgeon_bus.dir/bus.cpp.o.d"
+  "CMakeFiles/surgeon_bus.dir/client.cpp.o"
+  "CMakeFiles/surgeon_bus.dir/client.cpp.o.d"
+  "libsurgeon_bus.a"
+  "libsurgeon_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/parser.cpp" "src/cfg/CMakeFiles/surgeon_cfg.dir/parser.cpp.o" "gcc" "src/cfg/CMakeFiles/surgeon_cfg.dir/parser.cpp.o.d"
+  "/root/repo/src/cfg/spec.cpp" "src/cfg/CMakeFiles/surgeon_cfg.dir/spec.cpp.o" "gcc" "src/cfg/CMakeFiles/surgeon_cfg.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/surgeon_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/surgeon_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/surgeon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/surgeon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_cfg.dir/parser.cpp.o"
+  "CMakeFiles/surgeon_cfg.dir/parser.cpp.o.d"
+  "CMakeFiles/surgeon_cfg.dir/spec.cpp.o"
+  "CMakeFiles/surgeon_cfg.dir/spec.cpp.o.d"
+  "libsurgeon_cfg.a"
+  "libsurgeon_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

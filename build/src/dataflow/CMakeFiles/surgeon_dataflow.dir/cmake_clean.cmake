@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_dataflow.dir/liveness.cpp.o"
+  "CMakeFiles/surgeon_dataflow.dir/liveness.cpp.o.d"
+  "libsurgeon_dataflow.a"
+  "libsurgeon_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_graph.dir/callgraph.cpp.o"
+  "CMakeFiles/surgeon_graph.dir/callgraph.cpp.o.d"
+  "libsurgeon_graph.a"
+  "libsurgeon_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_minic.dir/ast.cpp.o"
+  "CMakeFiles/surgeon_minic.dir/ast.cpp.o.d"
+  "CMakeFiles/surgeon_minic.dir/lexer.cpp.o"
+  "CMakeFiles/surgeon_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/surgeon_minic.dir/parser.cpp.o"
+  "CMakeFiles/surgeon_minic.dir/parser.cpp.o.d"
+  "CMakeFiles/surgeon_minic.dir/printer.cpp.o"
+  "CMakeFiles/surgeon_minic.dir/printer.cpp.o.d"
+  "CMakeFiles/surgeon_minic.dir/sema.cpp.o"
+  "CMakeFiles/surgeon_minic.dir/sema.cpp.o.d"
+  "libsurgeon_minic.a"
+  "libsurgeon_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_net.dir/sim.cpp.o"
+  "CMakeFiles/surgeon_net.dir/sim.cpp.o.d"
+  "libsurgeon_net.a"
+  "libsurgeon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

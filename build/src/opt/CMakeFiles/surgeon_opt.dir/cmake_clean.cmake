@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/surgeon_opt.dir/optimizer.cpp.o.d"
+  "libsurgeon_opt.a"
+  "libsurgeon_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

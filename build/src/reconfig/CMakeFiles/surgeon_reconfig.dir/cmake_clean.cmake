@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_reconfig.dir/scripts.cpp.o"
+  "CMakeFiles/surgeon_reconfig.dir/scripts.cpp.o.d"
+  "libsurgeon_reconfig.a"
+  "libsurgeon_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_serialize.dir/state.cpp.o"
+  "CMakeFiles/surgeon_serialize.dir/state.cpp.o.d"
+  "CMakeFiles/surgeon_serialize.dir/value.cpp.o"
+  "CMakeFiles/surgeon_serialize.dir/value.cpp.o.d"
+  "libsurgeon_serialize.a"
+  "libsurgeon_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsurgeon_serialize.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bytes.cpp" "src/support/CMakeFiles/surgeon_support.dir/bytes.cpp.o" "gcc" "src/support/CMakeFiles/surgeon_support.dir/bytes.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/support/CMakeFiles/surgeon_support.dir/diag.cpp.o" "gcc" "src/support/CMakeFiles/surgeon_support.dir/diag.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/support/CMakeFiles/surgeon_support.dir/format.cpp.o" "gcc" "src/support/CMakeFiles/surgeon_support.dir/format.cpp.o.d"
+  "/root/repo/src/support/strutil.cpp" "src/support/CMakeFiles/surgeon_support.dir/strutil.cpp.o" "gcc" "src/support/CMakeFiles/surgeon_support.dir/strutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_support.dir/bytes.cpp.o"
+  "CMakeFiles/surgeon_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/surgeon_support.dir/diag.cpp.o"
+  "CMakeFiles/surgeon_support.dir/diag.cpp.o.d"
+  "CMakeFiles/surgeon_support.dir/format.cpp.o"
+  "CMakeFiles/surgeon_support.dir/format.cpp.o.d"
+  "CMakeFiles/surgeon_support.dir/strutil.cpp.o"
+  "CMakeFiles/surgeon_support.dir/strutil.cpp.o.d"
+  "libsurgeon_support.a"
+  "libsurgeon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

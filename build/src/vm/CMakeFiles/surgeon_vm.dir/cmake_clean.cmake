@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_vm.dir/bytecode.cpp.o"
+  "CMakeFiles/surgeon_vm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/surgeon_vm.dir/compiler.cpp.o"
+  "CMakeFiles/surgeon_vm.dir/compiler.cpp.o.d"
+  "CMakeFiles/surgeon_vm.dir/machine.cpp.o"
+  "CMakeFiles/surgeon_vm.dir/machine.cpp.o.d"
+  "libsurgeon_vm.a"
+  "libsurgeon_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgeon_xform.dir/transform.cpp.o"
+  "CMakeFiles/surgeon_xform.dir/transform.cpp.o.d"
+  "libsurgeon_xform.a"
+  "libsurgeon_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgeon_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

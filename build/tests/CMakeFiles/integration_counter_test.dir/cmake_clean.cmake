@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_counter_test.dir/integration_counter_test.cpp.o"
+  "CMakeFiles/integration_counter_test.dir/integration_counter_test.cpp.o.d"
+  "integration_counter_test"
+  "integration_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_monitor_test.dir/integration_monitor_test.cpp.o"
+  "CMakeFiles/integration_monitor_test.dir/integration_monitor_test.cpp.o.d"
+  "integration_monitor_test"
+  "integration_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_test.dir/minic_test.cpp.o"
+  "CMakeFiles/minic_test.dir/minic_test.cpp.o.d"
+  "minic_test"
+  "minic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

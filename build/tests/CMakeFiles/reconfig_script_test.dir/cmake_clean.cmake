@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_script_test.dir/reconfig_script_test.cpp.o"
+  "CMakeFiles/reconfig_script_test.dir/reconfig_script_test.cpp.o.d"
+  "reconfig_script_test"
+  "reconfig_script_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

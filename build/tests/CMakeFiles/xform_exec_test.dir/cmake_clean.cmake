@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xform_exec_test.dir/xform_exec_test.cpp.o"
+  "CMakeFiles/xform_exec_test.dir/xform_exec_test.cpp.o.d"
+  "xform_exec_test"
+  "xform_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xform_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
