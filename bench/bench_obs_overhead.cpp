@@ -1,0 +1,109 @@
+// C12 -- observability overhead: the cost the metrics registry adds to the
+// bus's message loop. Three configurations over the exact message pattern
+// of bench_bus's BM_BurstThroughput:
+//   mode 0: no registry attached          (the bench_bus baseline)
+//   mode 1: registry attached, disabled   (the shipping default: must be
+//           within 3% of mode 0 -- one branch per instrumentation site)
+//   mode 2: registry attached, enabled    (the price of recording)
+// Emit machine-readable results with
+//   bench_obs_overhead --benchmark_out=BENCH_obs.json
+//                      --benchmark_out_format=json
+// (the `bench_obs_json` CMake target does exactly that).
+#include <benchmark/benchmark.h>
+
+#include "bus/bus.hpp"
+#include "net/sim.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+struct Fixture {
+  net::Simulator sim{1};
+  bus::Bus bus{sim};
+  obs::MetricsRegistry registry;
+
+  explicit Fixture(int mode) {
+    sim.add_machine("a", net::arch_vax());
+    bus::ModuleInfo producer;
+    producer.name = "p";
+    producer.machine = "a";
+    producer.interfaces = {
+        bus::InterfaceSpec{"out", bus::IfaceRole::kDefine, "i", ""}};
+    bus.add_module(producer);
+    bus::ModuleInfo consumer;
+    consumer.name = "c";
+    consumer.machine = "a";
+    consumer.interfaces = {
+        bus::InterfaceSpec{"in", bus::IfaceRole::kUse, "i", ""}};
+    bus.add_module(consumer);
+    bus.add_binding({"p", "out"}, {"c", "in"});
+    if (mode >= 1) {
+      registry.set_clock([this] { return sim.now(); });
+      bus.set_metrics(&registry);
+    }
+    registry.set_enabled(mode >= 2);
+  }
+};
+
+void BM_BurstThroughput(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int kBurst = 256;
+  Fixture f(mode);
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      f.bus.send("p", "out", {ser::Value(std::int64_t{i})});
+    }
+    f.sim.run();
+    while (auto msg = f.bus.receive("c", "in")) {
+      benchmark::DoNotOptimize(msg);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * kBurst);
+  if (mode >= 2) {
+    state.counters["series"] = static_cast<double>(
+        f.registry.counters().size() + f.registry.gauges().size());
+  }
+}
+BENCHMARK(BM_BurstThroughput)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"metrics"});
+
+void BM_CounterInc(benchmark::State& state) {
+  // The raw cost of one cached-handle increment (the per-event price the
+  // bus pays while recording).
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::Counter& ctr =
+      registry.counter("surgeon_bus_messages_sent_total",
+                       {{"module", "p"}, {"iface", "out"}});
+  for (auto _ : state) {
+    ctr.inc();
+    benchmark::DoNotOptimize(ctr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_PrometheusExport(benchmark::State& state) {
+  // Exporting a realistically sized registry (what one mh_stats costs).
+  const int series = static_cast<int>(state.range(0));
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  for (int i = 0; i < series; ++i) {
+    registry
+        .counter("surgeon_bus_messages_sent_total",
+                 {{"module", "mod" + std::to_string(i)}, {"iface", "out"}})
+        .inc(static_cast<std::uint64_t>(i));
+  }
+  for (auto _ : state) {
+    std::string text = obs::to_prometheus(registry);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * series);
+}
+BENCHMARK(BM_PrometheusExport)->Arg(16)->Arg(256)->ArgNames({"series"});
+
+}  // namespace

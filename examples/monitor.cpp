@@ -40,6 +40,7 @@ int main() {
 
   // --- Figure 1 (left): the starting configuration -------------------------
   app::Runtime rt(/*seed=*/42);
+  rt.enable_metrics();  // record spans + counters over the virtual clock
   rt.add_machine("vax", net::arch_vax());
   rt.add_machine("sparc", net::arch_sparc());
   net::LatencyModel model;
@@ -68,6 +69,19 @@ int main() {
             << " activation-record frames (captured mid-recursion)\n"
             << "  reaction     : " << report.reaction_delay() << " us\n"
             << "  total delay  : " << report.total_delay() << " us\n";
+
+  // --- the reconfiguration timeline, step by step ---------------------------
+  // Every Figure 5 step ran under an obs::Span; the registry holds the
+  // begin/end virtual timestamps. This is what `mh_stats("json")` carries
+  // in its "spans" array for any module that asks.
+  std::cout << "=== reconfiguration timeline (virtual us, from mh_stats) "
+               "===\n";
+  for (const auto& span : rt.metrics().spans()) {
+    std::cout << "  " << span.begin_us << " .. " << span.end_us << "  "
+              << span.name
+              << (span.name == reconfig::kStepDrain ? "  (inside del)" : "")
+              << "\n";
+  }
 
   std::size_t before = rt.machine_of("display")->output().size();
   rt.run_for(20'000'000);

@@ -10,6 +10,33 @@ using support::BusError;
 
 Runtime::Runtime(std::uint64_t seed) : sim_(seed), bus_(sim_), seed_(seed) {
   bus_.set_wake_callback([this](const std::string& module) { wake(module); });
+  // The registry rides along from the start (disabled, so a no-op) so that
+  // endpoint and process handles resolve exactly once, at registration.
+  metrics_.set_clock([this] { return sim_.now(); });
+  bus_.set_metrics(&metrics_);
+}
+
+void Runtime::record_trace(const bus::TraceEvent& ev) {
+  if (trace_.size() >= trace_capacity_) {
+    ++trace_dropped_;
+    if (metrics_.enabled()) {
+      metrics_.counter("surgeon_trace_dropped_total").inc();
+    }
+    if (trace_capacity_ == 0) return;
+    trace_.pop_front();
+  }
+  trace_.push_back(ev);
+}
+
+void Runtime::publish_vm_metrics(ProcessRec& rec, std::uint64_t instructions) {
+  const vm::Machine& m = *rec.machine;
+  rec.insn_ctr->inc(instructions);
+  rec.capture_frames_gauge->set(
+      static_cast<std::int64_t>(m.capture_frames_total()));
+  rec.restore_frames_gauge->set(
+      static_cast<std::int64_t>(m.restore_frames_total()));
+  rec.state_bytes_gauge->set(
+      static_cast<std::int64_t>(m.encoded_state_bytes_total()));
 }
 
 void Runtime::wake(const std::string& instance) {
@@ -55,6 +82,14 @@ void Runtime::start_module(const std::string& instance) {
                                               seed_ ^ std::hash<std::string>{}(
                                                           instance));
   rec.machine->attach_client(rec.client.get());
+  obs::Labels labels{{"module", instance}};
+  rec.insn_ctr = &metrics_.counter("surgeon_vm_instructions_total", labels);
+  rec.capture_frames_gauge =
+      &metrics_.gauge("surgeon_vm_capture_frames", labels);
+  rec.restore_frames_gauge =
+      &metrics_.gauge("surgeon_vm_restore_frames", labels);
+  rec.state_bytes_gauge =
+      &metrics_.gauge("surgeon_vm_encoded_state_bytes", labels);
   processes_[instance] = std::move(rec);
 }
 
@@ -154,6 +189,7 @@ bool Runtime::step() {
     if (insn_cost_ns_ != 0 && r.instructions > 0) {
       sim_.advance_time(r.instructions * insn_cost_ns_ / 1000);
     }
+    if (metrics_.enabled()) publish_vm_metrics(rec, r.instructions);
     switch (r.state) {
       case vm::RunState::kSleeping: {
         rec.waiting = true;

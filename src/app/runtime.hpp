@@ -9,6 +9,7 @@
 // cost. Everything is deterministic for a given seed.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "bus/client.hpp"
 #include "cfg/spec.hpp"
 #include "net/sim.hpp"
+#include "obs/metrics.hpp"
 #include "vm/compiler.hpp"
 #include "vm/machine.hpp"
 #include "xform/transform.hpp"
@@ -114,15 +116,36 @@ class Runtime {
   void run_until_idle(std::uint64_t max_rounds = 1'000'000);
 
   /// Starts recording every bus event (messages, signals, state movement,
-  /// bind-table changes, module lifecycle) with virtual timestamps.
+  /// bind-table changes, module lifecycle) with virtual timestamps. The
+  /// buffer is a bounded ring (set_trace_capacity): when full, the oldest
+  /// events are discarded and counted, so long-running applications do not
+  /// grow memory without limit.
   void enable_tracing() {
-    bus_.set_trace([this](const bus::TraceEvent& ev) {
-      trace_.push_back(ev);
-    });
+    bus_.set_trace([this](const bus::TraceEvent& ev) { record_trace(ev); });
   }
-  [[nodiscard]] const std::vector<bus::TraceEvent>& trace() const noexcept {
+  [[nodiscard]] const std::deque<bus::TraceEvent>& trace() const noexcept {
     return trace_;
   }
+  /// Ring capacity of the trace buffer. The default (1M events) is large
+  /// enough that every existing test and example sees every event.
+  void set_trace_capacity(std::size_t capacity) noexcept {
+    trace_capacity_ = capacity;
+  }
+  /// Events discarded because the trace ring was full (also exported as
+  /// the surgeon_trace_dropped_total counter when metrics are enabled).
+  [[nodiscard]] std::uint64_t trace_dropped() const noexcept {
+    return trace_dropped_;
+  }
+
+  // --- observability ----------------------------------------------------------
+
+  /// The platform metrics registry: attached to the bus and the scheduler
+  /// at construction (so hot-path handles resolve once), but disabled --
+  /// a no-op -- until enable_metrics() is called. Spans, counters, and
+  /// timers all use the simulator's virtual clock.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  void enable_metrics() noexcept { metrics_.set_enabled(true); }
+  void disable_metrics() noexcept { metrics_.set_enabled(false); }
 
   /// A module faulted during this run? (instance, message) of the first.
   [[nodiscard]] const std::optional<std::pair<std::string, std::string>>&
@@ -139,9 +162,17 @@ class Runtime {
     bool waiting = false;   // blocked or sleeping
     bool sleeping = false;  // waiting on a timer: only the timer may wake it
     bool finished = false;  // done or fault
+    // Metric handles (owned by metrics_), resolved at start_module so the
+    // per-slice publish below is map-free.
+    obs::Counter* insn_ctr = nullptr;
+    obs::Gauge* capture_frames_gauge = nullptr;
+    obs::Gauge* restore_frames_gauge = nullptr;
+    obs::Gauge* state_bytes_gauge = nullptr;
   };
 
   void wake(const std::string& instance);
+  void record_trace(const bus::TraceEvent& ev);
+  void publish_vm_metrics(ProcessRec& rec, std::uint64_t instructions);
 
   net::Simulator sim_;
   bus::Bus bus_;
@@ -152,7 +183,10 @@ class Runtime {
   std::uint64_t insn_cost_ns_ = 0;
   std::uint64_t seed_ = 1;
   std::optional<std::pair<std::string, std::string>> first_fault_;
-  std::vector<bus::TraceEvent> trace_;
+  std::deque<bus::TraceEvent> trace_;
+  std::size_t trace_capacity_ = 1'048'576;
+  std::uint64_t trace_dropped_ = 0;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace surgeon::app

@@ -96,6 +96,30 @@ const Bus::Endpoint& Bus::endpoint(const std::string& module,
   return it->second;
 }
 
+void Bus::resolve_endpoint_metrics(const std::string& module, ModuleRec& r) {
+  for (auto& [iface, ep] : r.endpoints) {
+    if (metrics_ == nullptr) {
+      ep.sent_ctr = nullptr;
+      ep.delivered_ctr = nullptr;
+      ep.dropped_ctr = nullptr;
+      ep.depth_gauge = nullptr;
+      continue;
+    }
+    obs::Labels labels{{"module", module}, {"iface", iface}};
+    ep.sent_ctr = &metrics_->counter("surgeon_bus_messages_sent_total", labels);
+    ep.delivered_ctr =
+        &metrics_->counter("surgeon_bus_messages_delivered_total", labels);
+    ep.dropped_ctr =
+        &metrics_->counter("surgeon_bus_messages_dropped_total", labels);
+    ep.depth_gauge = &metrics_->gauge("surgeon_bus_queue_depth", labels);
+  }
+}
+
+void Bus::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& [name, r] : modules_) resolve_endpoint_metrics(name, r);
+}
+
 void Bus::add_module(ModuleInfo info) {
   if (modules_.contains(info.name)) {
     throw BusError("module already registered: " + info.name);
@@ -117,7 +141,11 @@ void Bus::add_module(ModuleInfo info) {
   const std::string name = r.info.name;
   const std::string detail = "machine=" + r.info.machine +
                              " status=" + r.info.status;
-  modules_.emplace(name, std::move(r));
+  auto [it, inserted] = modules_.emplace(name, std::move(r));
+  resolve_endpoint_metrics(name, it->second);
+  if (metrics_on()) {
+    metrics_->counter("surgeon_bus_modules_added_total").inc();
+  }
   trace(TraceEvent::Kind::kModuleAdded, name, detail);
 }
 
@@ -127,6 +155,9 @@ void Bus::remove_module(const std::string& name) {
     return b.a.module == name || b.b.module == name;
   });
   modules_.erase(name);
+  if (metrics_on()) {
+    metrics_->counter("surgeon_bus_modules_removed_total").inc();
+  }
   trace(TraceEvent::Kind::kModuleRemoved, name, "");
 }
 
@@ -237,12 +268,17 @@ void Bus::apply_edit(const BindEdit& edit) {
         to.queue.push_back(std::move(from.queue.front()));
         from.queue.pop_front();
       }
+      note_depth(from);
+      note_depth(to);
       if (moved) wake(edit.b.module);
       break;
     }
-    case BindEdit::Op::kRemoveQueue:
-      endpoint(edit.a.module, edit.a.iface).queue.clear();
+    case BindEdit::Op::kRemoveQueue: {
+      auto& ep = endpoint(edit.a.module, edit.a.iface);
+      ep.queue.clear();
+      note_depth(ep);
       break;
+    }
   }
 }
 
@@ -269,6 +305,13 @@ void Bus::rebind(const BindEditBatch& batch) {
       }
     }
     if (batch.size() != 0) {
+      if (metrics_on()) {
+        metrics_->counter("surgeon_bus_rebinds_total").inc();
+        metrics_
+            ->histogram("surgeon_bus_rebind_edits", {},
+                        {1, 4, 16, 64, 256, 1024})
+            .observe(batch.size());
+      }
       trace(TraceEvent::Kind::kRebind, batch.edits().front().a.module,
             std::to_string(batch.size()) + " edits");
     }
@@ -286,10 +329,12 @@ void Bus::send(const std::string& module, const std::string& iface,
                    iface_role_name(ep.spec.role) + ") cannot send");
   }
   ++stats_.messages_sent;
+  if (metrics_on()) ep.sent_ctr->inc();
   trace(TraceEvent::Kind::kSend, module, iface);
   auto peers = bound_peers(BindingEnd{module, iface});
   if (peers.empty()) {
     ++stats_.messages_dropped_unbound;
+    if (metrics_on()) ep.dropped_ctr->inc();
     trace(TraceEvent::Kind::kDrop, module, iface + " (unbound)");
     return;
   }
@@ -307,6 +352,14 @@ void Bus::send(const std::string& module, const std::string& iface,
         // flight; the reconfiguration script is responsible for moving any
         // *queued* messages, but in-flight ones to a dead module drop.
         ++stats_.messages_dropped_unbound;
+        if (metrics_on()) {
+          // The endpoint (and its cached handle) is gone; rare path, so a
+          // registry lookup per drop is fine.
+          metrics_
+              ->counter("surgeon_bus_messages_dropped_total",
+                        {{"module", peer.module}, {"iface", peer.iface}})
+              .inc();
+        }
         trace(TraceEvent::Kind::kDrop, peer.module,
               peer.iface + " (in flight to removed module)");
         return;
@@ -319,6 +372,10 @@ void Bus::send(const std::string& module, const std::string& iface,
       }
       ep_it->second.queue.push_back(std::move(msg));
       ++stats_.messages_delivered;
+      if (metrics_on()) {
+        ep_it->second.delivered_ctr->inc();
+        note_depth(ep_it->second);
+      }
       trace(TraceEvent::Kind::kDeliver, peer.module, peer.iface);
       wake(peer.module);
     });
@@ -340,6 +397,7 @@ std::optional<Message> Bus::receive(const std::string& module,
   if (ep.queue.empty()) return std::nullopt;
   Message msg = std::move(ep.queue.front());
   ep.queue.pop_front();
+  note_depth(ep);
   return msg;
 }
 
@@ -355,6 +413,10 @@ void Bus::signal_reconfig(const std::string& module) {
     if (it == modules_.end() || it->second.epoch != epoch) return;
     it->second.reconfig_signaled = true;
     ++stats_.signals_delivered;
+    if (metrics_on()) {
+      metrics_->counter("surgeon_bus_signals_total", {{"module", module}})
+          .inc();
+    }
     trace(TraceEvent::Kind::kSignal, module, "reconfigure");
     wake(module);
   });
@@ -376,6 +438,10 @@ void Bus::post_divulged_state(const std::string& module,
   }
   stats_.state_bytes_moved += bytes.size();
   ++stats_.state_transfers;
+  if (metrics_on()) {
+    metrics_->counter("surgeon_bus_state_transfers_total").inc();
+    metrics_->counter("surgeon_bus_state_bytes_total").inc(bytes.size());
+  }
   trace(TraceEvent::Kind::kStateDivulged, module,
         std::to_string(bytes.size()) + " bytes");
   r.divulged_state = std::move(bytes);

@@ -24,6 +24,7 @@
 
 #include "bus/message.hpp"
 #include "net/sim.hpp"
+#include "obs/metrics.hpp"
 
 namespace surgeon::bus {
 
@@ -201,6 +202,16 @@ class Bus {
   /// default; tracing costs one callback per event when enabled).
   void set_trace(TraceSink sink) { trace_ = std::move(sink); }
 
+  /// Attaches a metrics registry (null detaches, the default). Hot-path
+  /// series handles (per-interface send/deliver/drop counters and
+  /// queue-depth gauges) are resolved once per endpoint here and at
+  /// add_module, so per-message cost while recording is two pointer
+  /// dereferences; a null or disabled registry costs one branch.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
   [[nodiscard]] net::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
 
@@ -208,6 +219,12 @@ class Bus {
   struct Endpoint {
     InterfaceSpec spec;
     std::deque<Message> queue;
+    // Metric handles, resolved by resolve_endpoint_metrics; null until a
+    // registry is attached. Owned by the registry, not the endpoint.
+    obs::Counter* sent_ctr = nullptr;
+    obs::Counter* delivered_ctr = nullptr;
+    obs::Counter* dropped_ctr = nullptr;
+    obs::Gauge* depth_gauge = nullptr;
   };
   struct ModuleRec {
     ModuleInfo info;
@@ -228,6 +245,15 @@ class Bus {
                                          const std::string& iface) const;
   void validate_edit(const BindEdit& edit) const;
   void apply_edit(const BindEdit& edit);
+  void resolve_endpoint_metrics(const std::string& module, ModuleRec& r);
+  [[nodiscard]] bool metrics_on() const noexcept {
+    return metrics_ != nullptr && metrics_->enabled();
+  }
+  void note_depth(const Endpoint& ep) {
+    if (metrics_on() && ep.depth_gauge != nullptr) {
+      ep.depth_gauge->set(static_cast<std::int64_t>(ep.queue.size()));
+    }
+  }
   void wake(const std::string& module) {
     if (wake_) wake_(module);
   }
@@ -245,6 +271,7 @@ class Bus {
   std::function<void(const std::string&)> wake_;
   TraceSink trace_;
   BusStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace surgeon::bus

@@ -1,11 +1,24 @@
 #include "bus/client.hpp"
 
+#include "obs/export.hpp"
+#include "support/diag.hpp"
+
 namespace surgeon::bus {
 
 std::optional<ser::StateBuffer> Client::decode_state() {
   auto bytes = bus_->take_incoming_state(module_);
   if (!bytes.has_value()) return std::nullopt;
   return ser::StateBuffer::decode(*bytes);
+}
+
+std::string Client::mh_stats(const std::string& format) const {
+  static const obs::MetricsRegistry kEmpty;
+  const obs::MetricsRegistry* registry = bus_->metrics();
+  if (registry == nullptr) registry = &kEmpty;
+  if (format == "prometheus") return obs::to_prometheus(*registry);
+  if (format == "json") return obs::to_json(*registry);
+  throw support::BusError("mh_stats: unknown format '" + format +
+                          "' (expected \"prometheus\" or \"json\")");
 }
 
 }  // namespace surgeon::bus

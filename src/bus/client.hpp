@@ -53,11 +53,22 @@ class Client {
   }
 
   /// mh_encode: serialize the captured state and hand it to the bus.
-  void encode_state(const ser::StateBuffer& state) {
-    bus_->post_divulged_state(module_, state.encode());
+  /// Returns the encoded size in bytes (what the bus will move).
+  std::size_t encode_state(const ser::StateBuffer& state) {
+    std::vector<std::uint8_t> bytes = state.encode();
+    std::size_t size = bytes.size();
+    bus_->post_divulged_state(module_, std::move(bytes));
+    return size;
   }
   /// mh_decode: nullopt until the state buffer has arrived.
   [[nodiscard]] std::optional<ser::StateBuffer> decode_state();
+
+  /// mh_stats: export the platform metrics attached to the bus. `format`
+  /// is "prometheus" (text exposition) or "json" (includes the
+  /// reconfiguration span timeline). Returns an empty export when no
+  /// registry is attached; throws BusError on an unknown format.
+  [[nodiscard]] std::string mh_stats(
+      const std::string& format = "prometheus") const;
 
   [[nodiscard]] Bus& bus() noexcept { return *bus_; }
 

@@ -1,0 +1,152 @@
+#include "obs/export.hpp"
+
+#include <sstream>
+
+#include "support/strutil.hpp"
+
+namespace surgeon::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders {k1="v1",k2="v2"}; empty labels render as nothing.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) os << ",";
+    os << labels[i].first << "=\"" << prom_escape(labels[i].second) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Same, with one extra label appended (the histogram `le` bound).
+std::string prom_labels_plus(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return prom_labels(extended);
+}
+
+void type_line(std::ostringstream& os, std::string& last_typed,
+               const std::string& name, const char* type) {
+  if (name == last_typed) return;  // one TYPE line per family
+  os << "# TYPE " << name << " " << type << "\n";
+  last_typed = name;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) os << ",";
+    os << support::quote(labels[i].first) << ":"
+       << support::quote(labels[i].second);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  std::string last_typed;
+  for (const auto& [key, counter] : registry.counters()) {
+    type_line(os, last_typed, key.first, "counter");
+    os << key.first << prom_labels(key.second) << " " << counter.value()
+       << "\n";
+  }
+  for (const auto& [key, gauge] : registry.gauges()) {
+    type_line(os, last_typed, key.first, "gauge");
+    os << key.first << prom_labels(key.second) << " " << gauge.value()
+       << "\n";
+  }
+  for (const auto& [key, hist] : registry.histograms()) {
+    type_line(os, last_typed, key.first, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.upper_bounds().size(); ++i) {
+      cumulative += hist.bucket_counts()[i];
+      os << key.first << "_bucket"
+         << prom_labels_plus(key.second, "le",
+                             std::to_string(hist.upper_bounds()[i]))
+         << " " << cumulative << "\n";
+    }
+    os << key.first << "_bucket"
+       << prom_labels_plus(key.second, "le", "+Inf") << " " << hist.count()
+       << "\n";
+    os << key.first << "_sum" << prom_labels(key.second) << " " << hist.sum()
+       << "\n";
+    os << key.first << "_count" << prom_labels(key.second) << " "
+       << hist.count() << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, counter] : registry.counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << support::quote(key.first)
+       << ",\"labels\":" << json_labels(key.second)
+       << ",\"value\":" << counter.value() << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, gauge] : registry.gauges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << support::quote(key.first)
+       << ",\"labels\":" << json_labels(key.second)
+       << ",\"value\":" << gauge.value() << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, hist] : registry.histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << support::quote(key.first)
+       << ",\"labels\":" << json_labels(key.second) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < hist.upper_bounds().size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"le\":" << hist.upper_bounds()[i]
+         << ",\"count\":" << hist.bucket_counts()[i] << "}";
+    }
+    os << "],\"inf_count\":"
+       << hist.bucket_counts()[hist.upper_bounds().size()]
+       << ",\"sum\":" << hist.sum() << ",\"count\":" << hist.count() << "}";
+  }
+  os << "],\"spans\":[";
+  first = true;
+  for (const auto& span : registry.spans()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << support::quote(span.name)
+       << ",\"scope\":" << support::quote(span.scope)
+       << ",\"begin_us\":" << span.begin_us << ",\"end_us\":" << span.end_us
+       << ",\"seq\":" << span.seq << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace surgeon::obs

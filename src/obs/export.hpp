@@ -1,0 +1,25 @@
+// Exporters over the metrics registry.
+//
+// Two wire formats, both deterministic (series iterate in sorted key
+// order, spans in completion order):
+//   - Prometheus text exposition (counters, gauges, histograms with
+//     cumulative `_bucket{le=...}` series),
+//   - a JSON dump that additionally carries the span timeline, which has
+//     no native Prometheus representation.
+// Both are what bus::Client::mh_stats returns to a running module.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace surgeon::obs {
+
+/// Prometheus text-exposition format (version 0.0.4).
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON object: {"counters": [...], "gauges": [...], "histograms": [...],
+/// "spans": [...]}. Timestamps are virtual microseconds.
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+}  // namespace surgeon::obs

@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace surgeon::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  std::sort(upper_bounds_.begin(), upper_bounds_.end());
+  upper_bounds_.erase(
+      std::unique(upper_bounds_.begin(), upper_bounds_.end()),
+      upper_bounds_.end());
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> default_time_buckets() {
+  return {1,       10,        100,       1'000,     10'000,
+          100'000, 1'000'000, 10'000'000};
+}
+
+std::string SpanRecord::to_string() const {
+  std::ostringstream os;
+  os << "[" << begin_us << ".." << end_us << "us] " << scope << "/" << name;
+  return os.str();
+}
+
+MetricsRegistry::SeriesKey MetricsRegistry::key_of(const std::string& name,
+                                                   Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return {name, std::move(labels)};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  return counters_[key_of(name, std::move(labels))];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  return gauges_[key_of(name, std::move(labels))];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      std::vector<std::uint64_t> bounds) {
+  SeriesKey key = key_of(name, std::move(labels));
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_time_buckets();
+    it = histograms_.emplace(std::move(key), Histogram(std::move(bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             Labels labels) const {
+  auto it = counters_.find(key_of(name, std::move(labels)));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name,
+                                          Labels labels) const {
+  auto it = gauges_.find(key_of(name, std::move(labels)));
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::record_span(SpanRecord span) {
+  spans_.push_back(std::move(span));
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  span_seq_ = 0;
+}
+
+Span::Span(MetricsRegistry* registry, std::string name, std::string scope)
+    : registry_(registry != nullptr && registry->enabled() ? registry
+                                                           : nullptr) {
+  if (registry_ == nullptr) return;
+  record_.name = std::move(name);
+  record_.scope = std::move(scope);
+  record_.begin_us = registry_->now();
+  record_.seq = registry_->next_span_seq();
+}
+
+void Span::close() {
+  if (registry_ == nullptr) return;
+  record_.end_us = registry_->now();
+  registry_
+      ->histogram("surgeon_reconfig_step_us", {{"step", record_.name}})
+      .observe(record_.duration_us());
+  registry_->record_span(std::move(record_));
+  registry_ = nullptr;
+}
+
+}  // namespace surgeon::obs

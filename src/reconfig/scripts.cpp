@@ -1,5 +1,6 @@
 #include "reconfig/scripts.hpp"
 
+#include "obs/metrics.hpp"
 #include "serialize/state.hpp"
 
 namespace surgeon::reconfig {
@@ -90,19 +91,29 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   }
   ReplaceReport report;
   report.old_instance = instance;
+  // Each script step runs under an obs::Span: a no-op while metrics are
+  // disabled, a virtual-time span per Figure 5 phase when enabled.
+  obs::MetricsRegistry* metrics = &rt.metrics();
 
   // 1. mh_obj_cap: the current specification (machine may have changed in a
   //    previous reconfiguration, so read it from the bus, not the config).
-  const bus::ModuleInfo old_info = bus.module_info(instance);
+  bus::ModuleInfo old_info;
+  {
+    obs::Span span(metrics, kStepObjCap, instance);
+    old_info = bus.module_info(instance);
+  }
 
   // 2. The new module: same specification, new MACHINE, STATUS = clone.
-  app::ModuleImage new_image = *image;
-  if (options.program != nullptr) new_image.program = options.program;
-  const std::string target =
-      options.machine.empty() ? old_info.machine : options.machine;
-  report.new_instance = rt.fresh_instance_name(instance);
-  rt.install_module(report.new_instance, std::move(new_image), target,
-                    "clone");
+  {
+    obs::Span span(metrics, kStepCloneRegister, instance);
+    app::ModuleImage new_image = *image;
+    if (options.program != nullptr) new_image.program = options.program;
+    const std::string target =
+        options.machine.empty() ? old_info.machine : options.machine;
+    report.new_instance = rt.fresh_instance_name(instance);
+    rt.install_module(report.new_instance, std::move(new_image), target,
+                      "clone");
+  }
   // From here on, a failure must not leave the half-born clone behind.
   auto cleanup_clone = [&rt, &report]() noexcept {
     try {
@@ -111,45 +122,65 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
     }
   };
 
-  // 3. Prepare the rebinding commands (applied later, all at once).
-  //    Prepared before the state moves, as in Figure 5 -- but the queue
-  //    capture commands act on whatever is queued when the batch applies.
-  // 4. mh_objstate_move: signal, await compliance, move the state.
-  report.requested_at = rt.now();
-  bus.signal_reconfig(instance);
-  bool divulged = rt.run_until(
-      [&] { return bus.has_divulged_state(instance); }, options.max_rounds);
-  if (!divulged) {
-    cleanup_clone();
-    throw ScriptError(
-        "module '" + instance +
-        "' never divulged its state (does execution reach a reconfiguration "
-        "point?)");
+  // 3. Prepare the rebinding commands (applied later, all at once), as in
+  //    Figure 5 -- the queue capture commands act on whatever is queued
+  //    when the batch applies.
+  BindEditBatch rebind_batch;
+  {
+    obs::Span span(metrics, kStepBindEditPrep, instance);
+    rebind_batch = make_rebind_batch(bus, instance, report.new_instance);
   }
-  report.divulged_at = rt.now();
-  std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
-  report.state_bytes = state_bytes.size();
-  report.state_frames = ser::StateBuffer::decode(state_bytes).frame_count();
-  bus.deliver_state(old_info.machine, report.new_instance,
-                    std::move(state_bytes));
+
+  // 4. mh_objstate_move: signal, await compliance, move the state.
+  {
+    obs::Span span(metrics, kStepObjstateMove, instance);
+    report.requested_at = rt.now();
+    bus.signal_reconfig(instance);
+    bool divulged = rt.run_until(
+        [&] { return bus.has_divulged_state(instance); }, options.max_rounds);
+    if (!divulged) {
+      cleanup_clone();
+      throw ScriptError(
+          "module '" + instance +
+          "' never divulged its state (does execution reach a "
+          "reconfiguration point?)");
+    }
+    report.divulged_at = rt.now();
+    std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
+    report.state_bytes = state_bytes.size();
+    report.state_frames = ser::StateBuffer::decode(state_bytes).frame_count();
+    bus.deliver_state(old_info.machine, report.new_instance,
+                      std::move(state_bytes));
+  }
 
   // 5. mh_rebind: atomically repoint bindings and move queued messages.
-  report.queued_messages_moved = queued_total(bus, instance);
-  bus.rebind(make_rebind_batch(bus, instance, report.new_instance));
-  report.rebound_at = rt.now();
+  {
+    obs::Span span(metrics, kStepRebind, instance);
+    report.queued_messages_moved = queued_total(bus, instance);
+    bus.rebind(rebind_batch);
+    report.rebound_at = rt.now();
+  }
 
   // 6. mh_chg_obj "add": start the clone; it decodes and restores itself.
-  rt.start_module(report.new_instance);
+  {
+    obs::Span span(metrics, kStepAdd, instance);
+    rt.start_module(report.new_instance);
+  }
 
   // 7. mh_chg_obj "del": retire the old instance. With a drain window,
-  //    in-flight messages land first and are swept across.
-  rt.stop_module(instance);
-  if (options.drain_us > 0) {
-    rt.run_for(options.drain_us, options.max_rounds);
-    report.queued_messages_moved +=
-        sweep_queues(bus, instance, report.new_instance);
+  //    in-flight messages land first and are swept across; the drain span
+  //    nests inside the del span on the timeline.
+  {
+    obs::Span span(metrics, kStepDel, instance);
+    rt.stop_module(instance);
+    if (options.drain_us > 0) {
+      obs::Span drain(metrics, kStepDrain, instance);
+      rt.run_for(options.drain_us, options.max_rounds);
+      report.queued_messages_moved +=
+          sweep_queues(bus, instance, report.new_instance);
+    }
+    rt.remove_module(instance);
   }
-  rt.remove_module(instance);
 
   if (options.wait_for_restore) {
     wait_for_restore(rt, report.new_instance, options.max_rounds);

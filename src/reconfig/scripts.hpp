@@ -24,11 +24,32 @@
 // in-flight messages; the simulated network does.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "app/runtime.hpp"
 
 namespace surgeon::reconfig {
+
+// Span names of the replacement script's phases, as recorded into
+// rt.metrics() (scope = the replaced instance) and into the
+// surgeon_reconfig_step_us histogram. The first seven are the Figure 5
+// steps in script order; kStepDrain is our drain-window addition, nested
+// inside kStepDel on the timeline. Span timestamps are virtual
+// microseconds, so they correlate 1:1 with TraceEvent timestamps.
+inline constexpr const char* kStepObjCap = "obj_cap";
+inline constexpr const char* kStepCloneRegister = "clone_register";
+inline constexpr const char* kStepBindEditPrep = "bind_edit_prep";
+inline constexpr const char* kStepObjstateMove = "objstate_move";
+inline constexpr const char* kStepRebind = "rebind";
+inline constexpr const char* kStepAdd = "add";
+inline constexpr const char* kStepDel = "del";
+inline constexpr const char* kStepDrain = "drain";
+
+/// The seven Figure 5 steps, in the order the script performs them.
+inline constexpr std::array<const char*, 7> kFigure5Steps = {
+    kStepObjCap,  kStepCloneRegister, kStepBindEditPrep, kStepObjstateMove,
+    kStepRebind,  kStepAdd,           kStepDel};
 
 /// Thrown when a script cannot complete (module missing, no divulged state
 /// within the budget, faulted clone).

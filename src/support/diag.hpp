@@ -44,6 +44,9 @@ class DiagnosticEngine {
   void warning(SourceLoc loc, std::string message) {
     report(Severity::kWarning, loc, std::move(message));
   }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::kNote, loc, std::move(message));
+  }
 
   [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
   [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }

@@ -706,6 +706,7 @@ bool Machine::exec_builtin(std::uint8_t id, std::uint32_t nargs) {
             abstract_of(arg(static_cast<std::uint32_t>(i + 1)), kinds[i]));
       }
       capture_buf_.push_frame(std::move(sframe));
+      ++capture_frames_total_;
       finish(std::nullopt);
       return true;
     }
@@ -715,6 +716,7 @@ bool Machine::exec_builtin(std::uint8_t id, std::uint32_t nargs) {
         throw VmError("mh_restore called before mh_decode");
       }
       ser::StateFrame sframe = restore_buf_->pop_frame();
+      ++restore_frames_total_;
       if (sframe.values.size() != kinds.size()) {
         throw VmError("mh_restore: frame has " +
                       std::to_string(sframe.values.size()) +
@@ -747,7 +749,7 @@ bool Machine::exec_builtin(std::uint8_t id, std::uint32_t nargs) {
     }
     case BuiltinId::kMhEncode: {
       if (client_ != nullptr) {
-        client_->encode_state(capture_buf_);
+        encoded_state_bytes_total_ += client_->encode_state(capture_buf_);
       } else {
         last_encoded_ = capture_buf_;
       }

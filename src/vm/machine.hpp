@@ -113,6 +113,23 @@ class Machine {
     return restore_buf_.has_value() ? restore_buf_->frame_count() : 0;
   }
 
+  // --- observability counters (sampled into obs::MetricsRegistry by the
+  // --- app runtime after each scheduling slice) ---------------------------
+
+  /// State frames appended by mh_capture over the machine's lifetime.
+  [[nodiscard]] std::uint64_t capture_frames_total() const noexcept {
+    return capture_frames_total_;
+  }
+  /// State frames consumed by mh_restore over the machine's lifetime.
+  [[nodiscard]] std::uint64_t restore_frames_total() const noexcept {
+    return restore_frames_total_;
+  }
+  /// Bytes of encoded abstract state divulged to the bus by mh_encode
+  /// (0 while no client is attached; standalone encodes are not counted).
+  [[nodiscard]] std::uint64_t encoded_state_bytes_total() const noexcept {
+    return encoded_state_bytes_total_;
+  }
+
   /// Test access to a global by name. Throws VmError if unknown.
   [[nodiscard]] RtValue global(const std::string& name) const;
   void set_global(const std::string& name, RtValue value);
@@ -247,6 +264,9 @@ class Machine {
   std::int32_t signal_handler_fn_ = -1;
   bool local_signal_ = false;
   std::uint64_t decode_count_ = 0;
+  std::uint64_t capture_frames_total_ = 0;
+  std::uint64_t restore_frames_total_ = 0;
+  std::uint64_t encoded_state_bytes_total_ = 0;
   std::string standalone_status_ = "new";
 
   RunState state_ = RunState::kRunnable;

@@ -154,6 +154,47 @@ TEST(Monitor, ReplacementScriptReportsTimings) {
   EXPECT_GT(report.reaction_delay(), 0u);
 }
 
+TEST(Monitor, MhStatsExposesTheReplacementTimeline) {
+  // The acceptance scenario for the observability subsystem: a full move
+  // with metrics enabled yields per-step spans for all seven Figure 5
+  // phases, queryable from any module through mh_stats in both formats.
+  auto rt = make_monitor();
+  rt->enable_metrics();
+  rt->run_for(9'000'000);
+  auto report = reconfig::move_module(*rt, "compute", "sparc");
+  rt->run_for(5'000'000);
+  rt->check_faults();
+
+  bus::Client client(rt->bus(), "display");
+  std::string prom = client.mh_stats("prometheus");
+  std::string json = client.mh_stats("json");
+  for (const char* step : reconfig::kFigure5Steps) {
+    EXPECT_NE(prom.find("surgeon_reconfig_step_us_bucket{step=\"" +
+                        std::string(step) + "\""),
+              std::string::npos)
+        << step;
+    EXPECT_NE(json.find("\"name\":\"" + std::string(step) +
+                        "\",\"scope\":\"compute\""),
+              std::string::npos)
+        << step;
+  }
+  // Bus and VM instrumentation fed the same registry.
+  EXPECT_NE(prom.find("surgeon_bus_messages_delivered_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("surgeon_vm_instructions_total"), std::string::npos);
+  EXPECT_GT(rt->metrics().counter_value(
+                "surgeon_vm_instructions_total",
+                {{"module", report.new_instance}}),
+            0u);
+  EXPECT_GT(rt->metrics().counter_value("surgeon_bus_state_bytes_total"),
+            0u);
+  // The clone's restore is visible: it consumed as many frames as the old
+  // instance captured into the moved state.
+  EXPECT_EQ(rt->metrics().gauge_value("surgeon_vm_restore_frames",
+                                      {{"module", report.new_instance}}),
+            static_cast<std::int64_t>(report.state_frames));
+}
+
 TEST(Monitor, UnknownModuleRejected) {
   auto rt = make_monitor();
   EXPECT_THROW(reconfig::move_module(*rt, "nosuch", "sparc"),

@@ -3,6 +3,8 @@
 // end-to-end integration tests do not isolate.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "app/runtime.hpp"
 #include "app/samples.hpp"
 #include "cfg/parser.hpp"
@@ -182,6 +184,79 @@ TEST(Script, ModuleWithoutImageRejected) {
   info.machine = "vax";
   rt->bus().add_module(info);
   EXPECT_THROW(replace_module(*rt, "alien", {}), ScriptError);
+}
+
+TEST(Script, StepSpansCoverFigureFiveInOrder) {
+  // With metrics enabled, one replacement run produces a span per Figure 5
+  // step, in script order, with non-decreasing virtual timestamps, plus
+  // the drain-window span nested inside "del".
+  auto rt = make_counter();
+  rt->enable_metrics();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  (void)replace_module(*rt, "server", {});
+
+  std::vector<obs::SpanRecord> steps;
+  for (const auto& span : rt->metrics().spans()) {
+    if (span.scope == "server" && span.name != kStepDrain) {
+      steps.push_back(span);
+    }
+  }
+  ASSERT_EQ(steps.size(), kFigure5Steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].name, kFigure5Steps[i]) << "step " << i;
+    EXPECT_LE(steps[i].begin_us, steps[i].end_us);
+    if (i != 0) {
+      EXPECT_LE(steps[i - 1].begin_us, steps[i].begin_us);
+      EXPECT_GE(steps[i].seq, steps[i - 1].seq);
+    }
+  }
+  // All steps up to "del" complete before the next one opens ("del"
+  // contains the drain window, so only its begin is ordered).
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    EXPECT_LE(steps[i].end_us, steps[i + 1].begin_us);
+  }
+  // The drain window is there, nested inside "del".
+  const auto& spans = rt->metrics().spans();
+  auto drain = std::find_if(spans.begin(), spans.end(), [](const auto& s) {
+    return s.name == kStepDrain;
+  });
+  ASSERT_NE(drain, spans.end());
+  EXPECT_GE(drain->begin_us, steps.back().begin_us);
+  // Each step landed in the per-step duration histogram.
+  for (const char* step : kFigure5Steps) {
+    EXPECT_EQ(rt->metrics()
+                  .histogram("surgeon_reconfig_step_us", {{"step", step}})
+                  .count(),
+              1u)
+        << step;
+  }
+}
+
+TEST(Script, SpansCorrelateWithTraceEvents) {
+  // Span timestamps and TraceEvent timestamps share the virtual clock: the
+  // rebind trace event falls inside the rebind span.
+  auto rt = make_counter();
+  rt->enable_metrics();
+  rt->enable_tracing();
+  rt->run_until(
+      [&] { return rt->machine_of("client")->output().size() >= 2; },
+      10'000'000);
+  (void)replace_module(*rt, "server", {});
+  const auto& spans = rt->metrics().spans();
+  auto rebind = std::find_if(spans.begin(), spans.end(), [](const auto& s) {
+    return s.name == kStepRebind && s.scope == "server";
+  });
+  ASSERT_NE(rebind, spans.end());
+  bool found = false;
+  for (const auto& ev : rt->trace()) {
+    if (ev.kind == bus::TraceEvent::Kind::kRebind &&
+        ev.at >= rebind->begin_us && ev.at <= rebind->end_us) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(Script, ReplicationReportsBothClones) {

@@ -127,6 +127,15 @@ TEST(Diag, EngineCountsErrors) {
   EXPECT_NE(engine.summary().find("line 3:4"), std::string::npos);
 }
 
+TEST(Diag, NoteConvenienceMatchesErrorAndWarning) {
+  DiagnosticEngine engine;
+  engine.note({5, 1}, "consider a reconfiguration point here");
+  ASSERT_EQ(engine.diagnostics().size(), 1u);
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::kNote);
+  EXPECT_FALSE(engine.has_errors());
+  EXPECT_NE(engine.summary().find("note"), std::string::npos);
+}
+
 TEST(Diag, ParseErrorCarriesLocation) {
   ParseError err(SourceLoc{7, 3}, "bad");
   EXPECT_EQ(err.loc().line, 7u);
