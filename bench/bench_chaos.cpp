@@ -1,0 +1,87 @@
+// Replacement latency under packet loss.
+//
+// Runs the chaos harness's counter scenario at 0 / 1 / 5 / 10 % per-copy
+// drop rates (reliable delivery on, everything else perfect) and reports
+// the VIRTUAL time from the replacement request to script completion,
+// plus the retransmissions the reliable layer spent getting there. The
+// wall-clock numbers of the benchmark runner are irrelevant; the meaning
+// is in the reported virtual-microsecond counters: loss stretches the
+// divulge/restore handshakes by whole retransmit timeouts, so replacement
+// latency climbs in timeout-sized steps, while the application's output
+// stays byte-identical (the sweep in tests/chaos_test.cpp asserts that).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "chaos/fault.hpp"
+#include "net/arch.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+std::unique_ptr<app::Runtime> build_counter(std::uint64_t seed) {
+  auto rt = std::make_unique<app::Runtime>(seed);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  rt->bus().set_delivery({.reliable = true});
+  rt->bus().set_control_machine("sparc");
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter", [](const cfg::ModuleSpec& spec) {
+    return spec.name == "client" ? app::samples::counter_client_source(20)
+                                 : app::samples::counter_server_source();
+  });
+  return rt;
+}
+
+void bench_replacement_under_drop(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  std::int64_t virtual_us = 0;
+  std::int64_t retransmits = 0;
+  std::int64_t attempts = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto rt = build_counter(seed);
+    chaos::FaultInjector inj(seed++);
+    inj.set_default(chaos::LinkFaults{.drop = drop, .jitter_us = 1'000});
+    inj.attach(rt->bus());
+    rt->run_until(
+        [&rt] { return !rt->machine_of("client")->output().empty(); },
+        10'000'000);
+
+    reconfig::ReplaceOptions options;
+    options.machine = "sparc";
+    options.max_attempts = 5;
+    options.divulge_timeout_us = 5'000'000;
+    options.restore_timeout_us = 5'000'000;
+    reconfig::ReplaceReport report =
+        reconfig::replace_module(*rt, "server", options);
+
+    virtual_us += static_cast<std::int64_t>(report.completed_at -
+                                            report.requested_at);
+    attempts += report.attempts;
+    rt->run_until([&rt] { return rt->module_finished("client"); },
+                  10'000'000);
+    retransmits +=
+        static_cast<std::int64_t>(rt->bus().reliable_stats().retransmits);
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["virtual_us"] = static_cast<double>(virtual_us) / n;
+  state.counters["retransmits"] = static_cast<double>(retransmits) / n;
+  state.counters["attempts"] = static_cast<double>(attempts) / n;
+}
+
+BENCHMARK(bench_replacement_under_drop)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->ArgName("drop_pct");
+
+}  // namespace

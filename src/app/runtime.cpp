@@ -1,5 +1,7 @@
 #include "app/runtime.hpp"
 
+#include <algorithm>
+
 #include "minic/parser.hpp"
 #include "minic/sema.hpp"
 #include "opt/optimizer.hpp"
@@ -95,12 +97,61 @@ void Runtime::start_module(const std::string& instance) {
 
 void Runtime::stop_module(const std::string& instance) {
   processes_.erase(instance);
+  crashed_.erase(instance);
 }
 
 void Runtime::remove_module(const std::string& instance) {
   processes_.erase(instance);
+  crashed_.erase(instance);
   images_.erase(instance);
   if (bus_.has_module(instance)) bus_.remove_module(instance);
+}
+
+void Runtime::crash_now(const std::string& instance, ProcessRec& rec,
+                        const std::string& detail) {
+  rec.finished = true;
+  rec.crash_in_insns.reset();
+  crashed_.insert(instance);
+  bus_.note_module_crashed(instance, detail);
+  if (rec.restart_after_us > 0) {
+    net::SimTime delay = rec.restart_after_us;
+    rec.restart_after_us = 0;
+    sim_.schedule_after(delay, [this, instance] {
+      // The script may have removed the module while it was down.
+      if (crashed_.contains(instance) && images_.contains(instance)) {
+        restart_module(instance);
+      }
+    });
+  }
+}
+
+void Runtime::crash_module(const std::string& instance,
+                           const std::string& detail) {
+  auto it = processes_.find(instance);
+  if (it == processes_.end()) {
+    throw BusError("crash_module: " + instance + " has no process");
+  }
+  if (it->second.finished) return;  // already dead or done
+  crash_now(instance, it->second, detail);
+}
+
+void Runtime::crash_after(const std::string& instance, std::uint64_t insns,
+                          net::SimTime restart_after_us) {
+  auto it = processes_.find(instance);
+  if (it == processes_.end()) {
+    throw BusError("crash_after: " + instance + " has no process");
+  }
+  it->second.crash_in_insns = insns;
+  it->second.restart_after_us = restart_after_us;
+}
+
+void Runtime::restart_module(const std::string& instance) {
+  if (!images_.contains(instance)) {
+    throw BusError("restart_module: unknown instance " + instance);
+  }
+  processes_.erase(instance);
+  crashed_.erase(instance);
+  start_module(instance);
 }
 
 bool Runtime::module_running(const std::string& instance) const {
@@ -184,8 +235,21 @@ bool Runtime::step() {
   // scripts between rounds, but bus wakes mutate flags freely.
   for (auto& [name, rec] : processes_) {
     if (rec.finished || rec.waiting) continue;
-    vm::StepResult r = rec.machine->step(slice_insns_);
+    std::uint64_t slice = slice_insns_;
+    if (rec.crash_in_insns.has_value()) {
+      if (*rec.crash_in_insns == 0) {
+        crash_now(name, rec, "crash_after fired");
+        ran = true;
+        continue;
+      }
+      slice = std::min(slice, *rec.crash_in_insns);
+    }
+    vm::StepResult r = rec.machine->step(slice);
     ran = true;
+    if (rec.crash_in_insns.has_value()) {
+      *rec.crash_in_insns -= std::min<std::uint64_t>(*rec.crash_in_insns,
+                                                     r.instructions);
+    }
     if (insn_cost_ns_ != 0 && r.instructions > 0) {
       sim_.advance_time(r.instructions * insn_cost_ns_ / 1000);
     }

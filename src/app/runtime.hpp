@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "bus/bus.hpp"
@@ -71,6 +72,26 @@ class Runtime {
 
   [[nodiscard]] bool module_running(const std::string& instance) const;
   [[nodiscard]] bool module_finished(const std::string& instance) const;
+
+  // --- crash injection (surgeon::chaos) -------------------------------------
+
+  /// Kills the instance's process immediately: the VM stops, in-memory state
+  /// is lost, but the bus registration (endpoints, queues, bindings) stays,
+  /// exactly as when a POLYLITH process dies on its host. Reconfiguration
+  /// scripts observe the death through module_crashed().
+  void crash_module(const std::string& instance,
+                    const std::string& detail = "injected");
+  /// Arms a deterministic crash: the process dies after executing `insns`
+  /// more VM instructions (0 = at its next scheduling point). When
+  /// `restart_after_us` is nonzero the module is restarted with a fresh VM
+  /// that many virtual microseconds later.
+  void crash_after(const std::string& instance, std::uint64_t insns,
+                   net::SimTime restart_after_us = 0);
+  /// Restarts a crashed module from its installed image (state lost).
+  void restart_module(const std::string& instance);
+  [[nodiscard]] bool module_crashed(const std::string& instance) const {
+    return crashed_.contains(instance);
+  }
   /// Direct access to a running module's VM (tests and benchmarks); null if
   /// the instance has no process.
   [[nodiscard]] vm::Machine* machine_of(const std::string& instance);
@@ -162,6 +183,9 @@ class Runtime {
     bool waiting = false;   // blocked or sleeping
     bool sleeping = false;  // waiting on a timer: only the timer may wake it
     bool finished = false;  // done or fault
+    /// Armed crash countdown: instructions left before the process dies.
+    std::optional<std::uint64_t> crash_in_insns;
+    net::SimTime restart_after_us = 0;
     // Metric handles (owned by metrics_), resolved at start_module so the
     // per-slice publish below is map-free.
     obs::Counter* insn_ctr = nullptr;
@@ -173,11 +197,14 @@ class Runtime {
   void wake(const std::string& instance);
   void record_trace(const bus::TraceEvent& ev);
   void publish_vm_metrics(ProcessRec& rec, std::uint64_t instructions);
+  void crash_now(const std::string& instance, ProcessRec& rec,
+                 const std::string& detail);
 
   net::Simulator sim_;
   bus::Bus bus_;
   std::map<std::string, ModuleImage> images_;
   std::map<std::string, ProcessRec> processes_;
+  std::set<std::string> crashed_;
   std::map<std::string, int> name_counters_;
   std::uint64_t slice_insns_ = 10'000;
   std::uint64_t insn_cost_ns_ = 0;

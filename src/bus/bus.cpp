@@ -42,6 +42,7 @@ const char* trace_kind_name(TraceEvent::Kind kind) noexcept {
     case TraceEvent::Kind::kRebind: return "rebind";
     case TraceEvent::Kind::kModuleAdded: return "module-added";
     case TraceEvent::Kind::kModuleRemoved: return "module-removed";
+    case TraceEvent::Kind::kModuleCrashed: return "module-crashed";
   }
   return "?";
 }
@@ -134,7 +135,10 @@ void Bus::add_module(ModuleInfo info) {
       throw BusError("module " + info.name + " declares interface " +
                      spec.name + " twice");
     }
-    r.endpoints.emplace(spec.name, Endpoint{spec, {}});
+    Endpoint ep;
+    ep.spec = spec;
+    ep.stream_id = {info.name, spec.name};
+    r.endpoints.emplace(spec.name, std::move(ep));
   }
   r.epoch = next_epoch_++;
   r.info = std::move(info);
@@ -150,7 +154,23 @@ void Bus::add_module(ModuleInfo info) {
 }
 
 void Bus::remove_module(const std::string& name) {
-  rec(name);  // throws if unknown
+  ModuleRec& r = rec(name);  // throws if unknown
+  // Zero the departing queue-depth gauges so a removed module cannot leak a
+  // stale non-zero depth into the registry.
+  if (metrics_on()) {
+    for (auto& [iface, ep] : r.endpoints) {
+      if (ep.depth_gauge != nullptr) ep.depth_gauge->set(0);
+    }
+  }
+  // Retire reliable bookkeeping the module still owns. Streams whose
+  // ownership migrated to an heir via queue capture are left alone.
+  std::erase_if(tx_streams_, [&](const auto& kv) {
+    return kv.second.owner_module == name;
+  });
+  std::erase_if(control_, [&](const auto& kv) {
+    return kv.second.target == name;
+  });
+  applied_control_.erase(name);
   std::erase_if(bindings_, [&](const Binding& b) {
     return b.a.module == name || b.b.module == name;
   });
@@ -206,7 +226,7 @@ std::vector<BindingEnd> Bus::bound_peers(const BindingEnd& end) const {
 
 void Bus::validate_edit(const BindEdit& edit) const {
   auto check_end = [&](const BindingEnd& e) {
-    endpoint(e.module, e.iface);  // throws if module/interface unknown
+    (void)endpoint(e.module, e.iface);  // throws if module/iface unknown
   };
   switch (edit.op) {
     case BindEdit::Op::kAdd: {
@@ -268,6 +288,10 @@ void Bus::apply_edit(const BindEdit& edit) {
         to.queue.push_back(std::move(from.queue.front()));
         from.queue.pop_front();
       }
+      // Channel state rides with the queue: the heir continues the
+      // predecessor's outgoing stream and inherits its resequencing
+      // windows, so dedup/ordering survive the replacement.
+      migrate_streams(edit.a, edit.b);
       note_depth(from);
       note_depth(to);
       if (moved) wake(edit.b.module);
@@ -276,6 +300,7 @@ void Bus::apply_edit(const BindEdit& edit) {
     case BindEdit::Op::kRemoveQueue: {
       auto& ep = endpoint(edit.a.module, edit.a.iface);
       ep.queue.clear();
+      ep.rx.clear();
       note_depth(ep);
       break;
     }
@@ -338,48 +363,87 @@ void Bus::send(const std::string& module, const std::string& iface,
     trace(TraceEvent::Kind::kDrop, module, iface + " (unbound)");
     return;
   }
+  if (delivery_.reliable) {
+    Message msg;
+    msg.values = std::move(values);
+    msg.src_module = module;
+    msg.src_iface = iface;
+    reliable_send(module, ep, std::move(msg));
+    return;
+  }
   const std::string& src_machine = rec(module).info.machine;
   for (const auto& peer : peers) {
     const auto& dst_rec = rec(peer.module);
     auto latency = sim_->message_latency(src_machine, dst_rec.info.machine);
-    Message msg{values, module, iface};
+    FaultDecision fd = consult_fault(src_machine, dst_rec.info.machine);
+    if (fd.drop) {
+      ++rstats_.chaos_drops;
+      chaos_metric("surgeon_bus_chaos_drops_total", "message");
+      trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
+      continue;
+    }
+    if (fd.duplicate) {
+      // Fire-and-forget has no dedup: the duplicate is simply delivered
+      // twice (the tests demonstrating why reliability matters rely on it).
+      ++rstats_.dup_injected;
+      Message dup;
+      dup.values = values;
+      dup.src_module = module;
+      dup.src_iface = iface;
+      std::uint64_t dup_epoch = dst_rec.epoch;
+      sim_->schedule_after(
+          latency + fd.duplicate_delay_us,
+          [this, peer, msg = std::move(dup), dup_epoch]() mutable {
+            legacy_arrive(peer, std::move(msg), dup_epoch);
+          });
+    }
+    latency += fd.extra_delay_us;
+    Message msg;
+    msg.values = values;
+    msg.src_module = module;
+    msg.src_iface = iface;
     std::uint64_t epoch = dst_rec.epoch;
     sim_->schedule_after(latency, [this, peer, msg = std::move(msg),
                                    epoch]() mutable {
-      auto it = modules_.find(peer.module);
-      if (it == modules_.end() || it->second.epoch != epoch) {
-        // Destination was removed (or replaced) while the message was in
-        // flight; the reconfiguration script is responsible for moving any
-        // *queued* messages, but in-flight ones to a dead module drop.
-        ++stats_.messages_dropped_unbound;
-        if (metrics_on()) {
-          // The endpoint (and its cached handle) is gone; rare path, so a
-          // registry lookup per drop is fine.
-          metrics_
-              ->counter("surgeon_bus_messages_dropped_total",
-                        {{"module", peer.module}, {"iface", peer.iface}})
-              .inc();
-        }
-        trace(TraceEvent::Kind::kDrop, peer.module,
-              peer.iface + " (in flight to removed module)");
-        return;
-      }
-      auto ep_it = it->second.endpoints.find(peer.iface);
-      if (ep_it == it->second.endpoints.end()) {
-        ++stats_.messages_dropped_unbound;
-        trace(TraceEvent::Kind::kDrop, peer.module, peer.iface);
-        return;
-      }
-      ep_it->second.queue.push_back(std::move(msg));
-      ++stats_.messages_delivered;
-      if (metrics_on()) {
-        ep_it->second.delivered_ctr->inc();
-        note_depth(ep_it->second);
-      }
-      trace(TraceEvent::Kind::kDeliver, peer.module, peer.iface);
-      wake(peer.module);
+      legacy_arrive(peer, std::move(msg), epoch);
     });
   }
+}
+
+void Bus::legacy_arrive(const BindingEnd& peer, Message msg,
+                        std::uint64_t epoch) {
+  auto it = modules_.find(peer.module);
+  if (it == modules_.end() || it->second.epoch != epoch) {
+    // Destination was removed (or replaced) while the message was in
+    // flight; the reconfiguration script is responsible for moving any
+    // *queued* messages, but in-flight ones to a dead module drop.
+    ++stats_.messages_dropped_unbound;
+    if (metrics_on()) {
+      // The endpoint (and its cached handle) is gone; rare path, so a
+      // registry lookup per drop is fine.
+      metrics_
+          ->counter("surgeon_bus_messages_dropped_total",
+                    {{"module", peer.module}, {"iface", peer.iface}})
+          .inc();
+    }
+    trace(TraceEvent::Kind::kDrop, peer.module,
+          peer.iface + " (in flight to removed module)");
+    return;
+  }
+  auto ep_it = it->second.endpoints.find(peer.iface);
+  if (ep_it == it->second.endpoints.end()) {
+    ++stats_.messages_dropped_unbound;
+    trace(TraceEvent::Kind::kDrop, peer.module, peer.iface);
+    return;
+  }
+  ep_it->second.queue.push_back(std::move(msg));
+  ++stats_.messages_delivered;
+  if (metrics_on()) {
+    ep_it->second.delivered_ctr->inc();
+    note_depth(ep_it->second);
+  }
+  trace(TraceEvent::Kind::kDeliver, peer.module, peer.iface);
+  wake(peer.module);
 }
 
 bool Bus::has_message(const std::string& module,
@@ -407,6 +471,21 @@ std::size_t Bus::queue_depth(const std::string& module,
 }
 
 void Bus::signal_reconfig(const std::string& module) {
+  if (delivery_.reliable) {
+    const ModuleRec& r = rec(module);
+    ControlTx tx;
+    tx.kind = ControlTx::Kind::kSignal;
+    tx.target = module;
+    tx.from_machine =
+        control_machine_.empty() ? r.info.machine : control_machine_;
+    tx.epoch = r.epoch;
+    tx.timeout_us = delivery_.retransmit_timeout_us;
+    std::uint64_t id = next_control_id_++;
+    control_.emplace(id, std::move(tx));
+    transmit_control(id);
+    arm_control_retry(id, delivery_.retransmit_timeout_us);
+    return;
+  }
   std::uint64_t epoch = rec(module).epoch;
   sim_->schedule_after(sim_->latency_model().local_us, [this, module, epoch] {
     auto it = modules_.find(module);
@@ -444,6 +523,7 @@ void Bus::post_divulged_state(const std::string& module,
   }
   trace(TraceEvent::Kind::kStateDivulged, module,
         std::to_string(bytes.size()) + " bytes");
+  if (state_observer_) state_observer_(module, "divulged", bytes);
   r.divulged_state = std::move(bytes);
 }
 
@@ -465,6 +545,20 @@ void Bus::deliver_state(const std::string& from_machine,
                         const std::string& to_module,
                         std::vector<std::uint8_t> bytes) {
   const auto& dst = rec(to_module);
+  if (delivery_.reliable) {
+    ControlTx tx;
+    tx.kind = ControlTx::Kind::kState;
+    tx.target = to_module;
+    tx.from_machine = from_machine;
+    tx.bytes = std::move(bytes);
+    tx.epoch = dst.epoch;
+    tx.timeout_us = delivery_.retransmit_timeout_us;
+    std::uint64_t id = next_control_id_++;
+    control_.emplace(id, std::move(tx));
+    transmit_control(id);
+    arm_control_retry(id, delivery_.retransmit_timeout_us);
+    return;
+  }
   auto latency = sim_->message_latency(from_machine, dst.info.machine);
   std::uint64_t epoch = dst.epoch;
   sim_->schedule_after(latency,
@@ -474,6 +568,9 @@ void Bus::deliver_state(const std::string& from_machine,
                            return;
                          trace(TraceEvent::Kind::kStateDelivered, to_module,
                                std::to_string(bytes.size()) + " bytes");
+                         if (state_observer_) {
+                           state_observer_(to_module, "delivered", bytes);
+                         }
                          it->second.incoming_state = bytes;
                          wake(to_module);
                        });
@@ -490,6 +587,466 @@ std::optional<std::vector<std::uint8_t>> Bus::take_incoming_state(
 
 bool Bus::has_incoming_state(const std::string& module) const {
   return rec(module).incoming_state.has_value();
+}
+
+// --- reliable delivery layer -------------------------------------------------
+
+namespace {
+bool contains_name(const std::vector<std::string>& names,
+                   const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+bool contains_id(const std::vector<std::uint64_t>& ids, std::uint64_t id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
+FaultDecision Bus::consult_fault(const std::string& src_machine,
+                                 const std::string& dst_machine) {
+  if (!fault_) return {};
+  return fault_(src_machine, dst_machine);
+}
+
+void Bus::chaos_metric(const char* name, const char* kind) {
+  if (metrics_on()) {
+    metrics_->counter(name, {{"kind", kind}}).inc();
+  }
+}
+
+void Bus::update_reliable_gauges() {
+  if (!metrics_on()) return;
+  metrics_->gauge("surgeon_bus_unacked_messages")
+      .set(static_cast<std::int64_t>(unacked_total()));
+  metrics_->gauge("surgeon_bus_ooo_buffered")
+      .set(static_cast<std::int64_t>(ooo_total()));
+}
+
+std::size_t Bus::unacked_total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, ts] : tx_streams_) n += ts.unacked.size();
+  return n;
+}
+
+std::size_t Bus::ooo_total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, r] : modules_) {
+    for (const auto& [iface, ep] : r.endpoints) {
+      for (const auto& [stream, rx] : ep.rx) n += rx.ooo.size();
+    }
+  }
+  return n;
+}
+
+std::size_t Bus::pending_control_total() const noexcept {
+  return control_.size();
+}
+
+void Bus::cancel_pending_control(const std::string& module) {
+  std::erase_if(control_,
+                [&](const auto& kv) { return kv.second.target == module; });
+}
+
+void Bus::note_module_crashed(const std::string& module, std::string detail) {
+  if (metrics_on()) {
+    metrics_->counter("surgeon_chaos_crashes_total", {{"module", module}})
+        .inc();
+  }
+  trace(TraceEvent::Kind::kModuleCrashed, module, std::move(detail));
+}
+
+void Bus::deliver_into(const std::string& module, Endpoint& ep, Message msg) {
+  ep.queue.push_back(std::move(msg));
+  ++stats_.messages_delivered;
+  if (metrics_on()) {
+    ep.delivered_ctr->inc();
+    note_depth(ep);
+  }
+  trace(TraceEvent::Kind::kDeliver, module, ep.spec.name);
+  wake(module);
+}
+
+void Bus::reliable_send(const std::string& module, Endpoint& ep, Message msg) {
+  TxStream& ts = tx_streams_[ep.stream_id];
+  if (ts.owner_module.empty()) {
+    ts.owner_module = module;
+    ts.owner_iface = ep.spec.name;
+  }
+  msg.stream_module = ep.stream_id.first;
+  msg.stream_iface = ep.stream_id.second;
+  msg.seq = ts.next_seq++;
+  const std::uint64_t seq = msg.seq;
+  TxEntry entry;
+  entry.msg = std::move(msg);
+  entry.timeout_us = delivery_.retransmit_timeout_us;
+  ts.unacked.emplace(seq, std::move(entry));
+  transmit_entry(ep.stream_id, seq, /*retransmit=*/false);
+  arm_retransmit(ep.stream_id, seq, delivery_.retransmit_timeout_us);
+  update_reliable_gauges();
+}
+
+bool Bus::entry_fully_acked(const TxStream& ts, const TxEntry& entry) const {
+  auto peers = bound_peers(BindingEnd{ts.owner_module, ts.owner_iface});
+  for (const auto& peer : peers) {
+    if (!contains_name(entry.acked_by, peer.module)) return false;
+  }
+  // No unacked peer left -- either everyone acked or the endpoint became
+  // unbound, in which case there is nobody left to deliver to.
+  return true;
+}
+
+void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
+                         bool retransmit) {
+  auto sit = tx_streams_.find(stream);
+  if (sit == tx_streams_.end()) return;
+  TxStream& ts = sit->second;
+  auto eit = ts.unacked.find(seq);
+  if (eit == ts.unacked.end()) return;
+  TxEntry& entry = eit->second;
+  auto owner_it = modules_.find(ts.owner_module);
+  if (owner_it == modules_.end()) {
+    ts.unacked.erase(eit);
+    update_reliable_gauges();
+    return;
+  }
+  const std::string src_machine = owner_it->second.info.machine;
+  ++entry.attempts;
+  if (retransmit) {
+    ++rstats_.retransmits;
+    chaos_metric("surgeon_bus_retransmits_total", "message");
+  }
+  for (const auto& peer :
+       bound_peers(BindingEnd{ts.owner_module, ts.owner_iface})) {
+    if (contains_name(entry.acked_by, peer.module)) continue;
+    auto dst_it = modules_.find(peer.module);
+    if (dst_it == modules_.end()) continue;
+    auto latency = sim_->message_latency(src_machine,
+                                         dst_it->second.info.machine);
+    FaultDecision fd =
+        consult_fault(src_machine, dst_it->second.info.machine);
+    std::uint64_t epoch = dst_it->second.epoch;
+    ++rstats_.transmissions;
+    if (fd.drop) {
+      ++rstats_.chaos_drops;
+      chaos_metric("surgeon_bus_chaos_drops_total", "message");
+      trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
+    } else {
+      Message copy = entry.msg;
+      sim_->schedule_after(
+          latency + fd.extra_delay_us,
+          [this, peer, copy = std::move(copy), epoch]() mutable {
+            reliable_arrive(peer, std::move(copy), epoch);
+          });
+    }
+    if (fd.duplicate) {
+      ++rstats_.dup_injected;
+      ++rstats_.transmissions;
+      Message copy = entry.msg;
+      sim_->schedule_after(
+          latency + fd.duplicate_delay_us,
+          [this, peer, copy = std::move(copy), epoch]() mutable {
+            reliable_arrive(peer, std::move(copy), epoch);
+          });
+    }
+  }
+}
+
+void Bus::arm_retransmit(const StreamKey& stream, std::uint64_t seq,
+                         net::SimTime timeout_us) {
+  sim_->schedule_after(timeout_us, [this, stream, seq] {
+    auto sit = tx_streams_.find(stream);
+    if (sit == tx_streams_.end()) return;  // stream retired; lazy cancel
+    TxStream& ts = sit->second;
+    auto eit = ts.unacked.find(seq);
+    if (eit == ts.unacked.end()) return;  // acked meanwhile; lazy cancel
+    TxEntry& entry = eit->second;
+    if (entry_fully_acked(ts, entry)) {
+      ts.unacked.erase(eit);
+      update_reliable_gauges();
+      return;
+    }
+    if (entry.attempts >= delivery_.max_attempts) {
+      ++rstats_.gave_up;
+      chaos_metric("surgeon_bus_delivery_gave_up_total", "message");
+      trace(TraceEvent::Kind::kDrop, ts.owner_module,
+            ts.owner_iface + " seq " + std::to_string(seq) + " (gave up)");
+      ts.unacked.erase(eit);
+      update_reliable_gauges();
+      return;
+    }
+    entry.timeout_us =
+        std::min<net::SimTime>(entry.timeout_us * 2, delivery_.max_timeout_us);
+    net::SimTime next = entry.timeout_us;
+    transmit_entry(stream, seq, /*retransmit=*/true);
+    arm_retransmit(stream, seq, next);
+  });
+}
+
+void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
+                          std::uint64_t epoch) {
+  auto it = modules_.find(dst.module);
+  if (it == modules_.end() || it->second.epoch != epoch) {
+    // The destination is gone; unlike fire-and-forget, this is not a loss:
+    // the sender keeps retransmitting toward whoever inherits the binding.
+    trace(TraceEvent::Kind::kDrop, dst.module,
+          dst.iface + " (in flight to removed module)");
+    return;
+  }
+  auto ep_it = it->second.endpoints.find(dst.iface);
+  if (ep_it == it->second.endpoints.end()) {
+    trace(TraceEvent::Kind::kDrop, dst.module, dst.iface);
+    return;
+  }
+  Endpoint& ep = ep_it->second;
+  if (ep.rx_retired) {
+    trace(TraceEvent::Kind::kDrop, dst.module, dst.iface + " (retired)");
+    return;  // no ack: the retransmit follows the rebound binding
+  }
+  StreamKey stream{msg.stream_module, msg.stream_iface};
+  RxStream& rx = ep.rx[stream];
+  const std::uint64_t seq = msg.seq;
+  bool have_it = false;
+  if (seq < rx.next_expected || rx.ooo.contains(seq)) {
+    ++rstats_.dup_discards;
+    chaos_metric("surgeon_bus_dups_discarded_total", "message");
+    trace(TraceEvent::Kind::kDrop, dst.module,
+          dst.iface + " (duplicate seq " + std::to_string(seq) + ")");
+    have_it = true;  // re-ack: the first ack may have been lost
+  } else if (seq == rx.next_expected) {
+    deliver_into(dst.module, ep, std::move(msg));
+    ++rx.next_expected;
+    while (!rx.ooo.empty() && rx.ooo.begin()->first == rx.next_expected) {
+      deliver_into(dst.module, ep, std::move(rx.ooo.begin()->second));
+      rx.ooo.erase(rx.ooo.begin());
+      ++rx.next_expected;
+    }
+    have_it = true;
+    update_reliable_gauges();
+  } else if (rx.ooo.size() < delivery_.max_ooo_buffered) {
+    rx.ooo.emplace(seq, std::move(msg));
+    ++rstats_.ooo_buffered;
+    have_it = true;
+    update_reliable_gauges();
+  } else {
+    // Window full: discard unacked; the retransmit will refill it once the
+    // gap closes. Bounds receiver memory under adversarial reordering.
+    ++rstats_.ooo_overflow;
+  }
+  if (have_it) send_ack(dst.module, stream, seq);
+}
+
+void Bus::send_ack(const std::string& acker, const StreamKey& stream,
+                   std::uint64_t seq) {
+  auto sit = tx_streams_.find(stream);
+  if (sit == tx_streams_.end()) return;  // sender retired the stream
+  auto owner_it = modules_.find(sit->second.owner_module);
+  auto acker_it = modules_.find(acker);
+  if (owner_it == modules_.end() || acker_it == modules_.end()) return;
+  const std::string& src_machine = acker_it->second.info.machine;
+  const std::string& dst_machine = owner_it->second.info.machine;
+  FaultDecision fd = consult_fault(src_machine, dst_machine);
+  if (fd.drop) {
+    ++rstats_.chaos_drops;
+    chaos_metric("surgeon_bus_chaos_drops_total", "ack");
+    return;
+  }
+  auto latency = sim_->message_latency(src_machine, dst_machine);
+  sim_->schedule_after(latency + fd.extra_delay_us,
+                       [this, acker, stream, seq] {
+                         on_ack(acker, stream, seq);
+                       });
+}
+
+void Bus::on_ack(const std::string& acker, const StreamKey& stream,
+                 std::uint64_t seq) {
+  auto sit = tx_streams_.find(stream);
+  if (sit == tx_streams_.end()) return;
+  TxStream& ts = sit->second;
+  auto eit = ts.unacked.find(seq);
+  if (eit == ts.unacked.end()) return;
+  ++rstats_.acks_delivered;
+  chaos_metric("surgeon_bus_acks_total", "message");
+  TxEntry& entry = eit->second;
+  if (!contains_name(entry.acked_by, acker)) entry.acked_by.push_back(acker);
+  if (entry_fully_acked(ts, entry)) {
+    ts.unacked.erase(eit);
+    update_reliable_gauges();
+  }
+}
+
+void Bus::migrate_streams(const BindingEnd& from_end,
+                          const BindingEnd& to_end) {
+  if (from_end == to_end) return;
+  Endpoint& from = endpoint(from_end.module, from_end.iface);
+  Endpoint& to = endpoint(to_end.module, to_end.iface);
+  // Outgoing side: the heir continues the predecessor's stream, so its
+  // sequence numbers keep counting and unacked messages are retransmitted
+  // by (and re-resolved from) the heir's bindings.
+  auto ts_it = tx_streams_.find(from.stream_id);
+  if (ts_it != tx_streams_.end() &&
+      ts_it->second.owner_module == from_end.module &&
+      ts_it->second.owner_iface == from_end.iface) {
+    ts_it->second.owner_module = to_end.module;
+    ts_it->second.owner_iface = to_end.iface;
+  }
+  to.stream_id = from.stream_id;
+  // Incoming side: merge the resequencing windows so messages the
+  // predecessor already accepted stay deduplicated at the heir.
+  for (auto& [stream, rxs] : from.rx) {
+    RxStream& dst = to.rx[stream];
+    dst.next_expected = std::max(dst.next_expected, rxs.next_expected);
+    for (auto& [seq, m] : rxs.ooo) {
+      if (seq >= dst.next_expected && !dst.ooo.contains(seq)) {
+        dst.ooo.emplace(seq, std::move(m));
+      }
+    }
+    while (!dst.ooo.empty() && dst.ooo.begin()->first == dst.next_expected) {
+      deliver_into(to_end.module, to, std::move(dst.ooo.begin()->second));
+      dst.ooo.erase(dst.ooo.begin());
+      ++dst.next_expected;
+    }
+  }
+  from.rx.clear();
+  from.rx_retired = true;
+  update_reliable_gauges();
+}
+
+void Bus::transmit_control(std::uint64_t id) {
+  auto it = control_.find(id);
+  if (it == control_.end()) return;
+  ControlTx& tx = it->second;
+  auto mod_it = modules_.find(tx.target);
+  if (mod_it == modules_.end() || mod_it->second.epoch != tx.epoch) {
+    control_.erase(it);  // target gone; nothing to deliver to
+    return;
+  }
+  ++tx.attempts;
+  const bool is_signal = tx.kind == ControlTx::Kind::kSignal;
+  const char* kind_str = is_signal ? "signal" : "state";
+  if (tx.attempts > 1) {
+    ++rstats_.retransmits;
+    chaos_metric("surgeon_bus_retransmits_total", kind_str);
+  }
+  const std::string& dst_machine = mod_it->second.info.machine;
+  FaultDecision fd = consult_fault(tx.from_machine, dst_machine);
+  ++rstats_.transmissions;
+  if (fd.drop) {
+    ++rstats_.chaos_drops;
+    chaos_metric("surgeon_bus_chaos_drops_total", kind_str);
+    return;
+  }
+  auto latency = sim_->message_latency(tx.from_machine, dst_machine);
+  const std::string target = tx.target;
+  const std::uint64_t epoch = tx.epoch;
+  if (is_signal) {
+    sim_->schedule_after(latency + fd.extra_delay_us,
+                         [this, target, id, epoch] {
+                           auto m = modules_.find(target);
+                           if (m == modules_.end() || m->second.epoch != epoch)
+                             return;
+                           apply_signal(target, id);
+                         });
+  } else {
+    auto bytes = tx.bytes;
+    sim_->schedule_after(
+        latency + fd.extra_delay_us,
+        [this, target, id, epoch, bytes = std::move(bytes)] {
+          auto m = modules_.find(target);
+          if (m == modules_.end() || m->second.epoch != epoch) return;
+          apply_state(target, id, bytes);
+        });
+  }
+}
+
+void Bus::arm_control_retry(std::uint64_t id, net::SimTime timeout_us) {
+  sim_->schedule_after(timeout_us, [this, id] {
+    auto it = control_.find(id);
+    if (it == control_.end()) return;  // acked or cancelled; lazy cancel
+    ControlTx& tx = it->second;
+    const char* kind_str =
+        tx.kind == ControlTx::Kind::kSignal ? "signal" : "state";
+    if (tx.attempts >= delivery_.max_attempts) {
+      ++rstats_.gave_up;
+      chaos_metric("surgeon_bus_delivery_gave_up_total", kind_str);
+      trace(TraceEvent::Kind::kDrop, tx.target,
+            std::string(kind_str) + " (gave up)");
+      control_.erase(it);
+      return;
+    }
+    tx.timeout_us =
+        std::min<net::SimTime>(tx.timeout_us * 2, delivery_.max_timeout_us);
+    net::SimTime next = tx.timeout_us;
+    transmit_control(id);
+    arm_control_retry(id, next);
+  });
+}
+
+void Bus::apply_signal(const std::string& module, std::uint64_t id) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) return;
+  auto& applied = applied_control_[module];
+  if (contains_id(applied, id)) {
+    ++rstats_.dup_discards;
+    chaos_metric("surgeon_bus_dups_discarded_total", "signal");
+  } else {
+    applied.push_back(id);
+    it->second.reconfig_signaled = true;
+    ++stats_.signals_delivered;
+    if (metrics_on()) {
+      metrics_->counter("surgeon_bus_signals_total", {{"module", module}})
+          .inc();
+    }
+    trace(TraceEvent::Kind::kSignal, module, "reconfigure");
+    wake(module);
+  }
+  ack_control(module, id);
+}
+
+void Bus::apply_state(const std::string& module, std::uint64_t id,
+                      const std::vector<std::uint8_t>& bytes) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) return;
+  auto& applied = applied_control_[module];
+  if (contains_id(applied, id)) {
+    ++rstats_.dup_discards;
+    chaos_metric("surgeon_bus_dups_discarded_total", "state");
+  } else {
+    applied.push_back(id);
+    trace(TraceEvent::Kind::kStateDelivered, module,
+          std::to_string(bytes.size()) + " bytes");
+    if (state_observer_) state_observer_(module, "delivered", bytes);
+    it->second.incoming_state = bytes;
+    wake(module);
+  }
+  ack_control(module, id);
+}
+
+void Bus::ack_control(const std::string& module, std::uint64_t id) {
+  auto it = control_.find(id);
+  if (it == control_.end()) return;  // already acked
+  auto mod_it = modules_.find(module);
+  if (mod_it == modules_.end()) return;
+  const ControlTx& tx = it->second;
+  const char* kind_str =
+      tx.kind == ControlTx::Kind::kSignal ? "signal" : "state";
+  FaultDecision fd =
+      consult_fault(mod_it->second.info.machine, tx.from_machine);
+  if (fd.drop) {
+    ++rstats_.chaos_drops;
+    chaos_metric("surgeon_bus_chaos_drops_total", "ack");
+    return;
+  }
+  auto latency =
+      sim_->message_latency(mod_it->second.info.machine, tx.from_machine);
+  std::string kind_copy = kind_str;
+  sim_->schedule_after(latency + fd.extra_delay_us,
+                       [this, id, kind_copy] {
+                         auto cit = control_.find(id);
+                         if (cit == control_.end()) return;
+                         ++rstats_.acks_delivered;
+                         chaos_metric("surgeon_bus_acks_total",
+                                      kind_copy.c_str());
+                         control_.erase(cit);
+                       });
 }
 
 }  // namespace surgeon::bus

@@ -81,6 +81,7 @@ struct TraceEvent {
     kRebind,
     kModuleAdded,
     kModuleRemoved,
+    kModuleCrashed,
   };
   net::SimTime at = 0;
   Kind kind = Kind::kSend;
@@ -103,6 +104,61 @@ struct BusStats {
   std::uint64_t state_transfers = 0;
   std::uint64_t state_bytes_moved = 0;
 };
+
+/// Delivery-layer configuration. The defaults reproduce the original bus:
+/// fire-and-forget copies, no acknowledgements, no retransmission. With
+/// `reliable` set, every message, reconfiguration signal, and state buffer
+/// is sequence-numbered, acknowledged by the receiver, and retransmitted on
+/// a timeout with exponential backoff until acked or `max_attempts` is
+/// exhausted; receivers deduplicate and re-order per stream.
+struct DeliveryOptions {
+  bool reliable = false;
+  /// First retransmit timeout (virtual us); doubles up to `max_timeout_us`.
+  net::SimTime retransmit_timeout_us = 8'000;
+  net::SimTime max_timeout_us = 256'000;
+  /// Transmissions per copy (first send included) before giving up.
+  int max_attempts = 16;
+  /// Per-endpoint cap on out-of-order messages held for re-sequencing;
+  /// copies beyond it are discarded unacked (the retransmit refills them).
+  std::size_t max_ooo_buffered = 1024;
+};
+
+/// What the fault layer decided for one transmission attempt on a link.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  net::SimTime extra_delay_us = 0;      // latency jitter for the copy
+  net::SimTime duplicate_delay_us = 0;  // extra latency for the duplicate
+};
+
+/// Consulted once per copy put on the wire (messages and, in reliable mode,
+/// acks, signals, and state buffers), with the source and destination
+/// machine names. Null means a perfect network.
+using FaultHook =
+    std::function<FaultDecision(const std::string& src_machine,
+                                const std::string& dst_machine)>;
+
+/// Counters for the reliable delivery layer (all zero in fire-and-forget
+/// mode, and exact mirrors of the surgeon_bus_* chaos metrics).
+struct ReliableStats {
+  std::uint64_t transmissions = 0;   // copies put on the wire, retries incl.
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_delivered = 0;
+  std::uint64_t dup_discards = 0;    // receiver dedup hits
+  std::uint64_t ooo_buffered = 0;    // copies held for re-sequencing
+  std::uint64_t ooo_overflow = 0;    // copies discarded: ooo buffer full
+  std::uint64_t chaos_drops = 0;     // copies eaten by the fault hook
+  std::uint64_t dup_injected = 0;    // duplicates created by the fault hook
+  std::uint64_t gave_up = 0;         // copies abandoned after max_attempts
+};
+
+/// Observes state buffers crossing the bus: `phase` is "divulged" when a
+/// module posts its encoded state and "delivered" when a buffer lands in a
+/// clone's decode mailbox. The chaos harness uses this for its
+/// captured-equals-restored byte comparison.
+using StateObserver = std::function<void(
+    const std::string& module, const char* phase,
+    const std::vector<std::uint8_t>& bytes)>;
 
 class Bus {
  public:
@@ -190,6 +246,52 @@ class Bus {
       const std::string& module);
   [[nodiscard]] bool has_incoming_state(const std::string& module) const;
 
+  // --- delivery layer (surgeon::chaos) ------------------------------------
+
+  /// Switches between fire-and-forget (default) and reliable delivery.
+  /// Must be set before traffic starts; switching mid-run would orphan
+  /// sequence state.
+  void set_delivery(DeliveryOptions options) noexcept {
+    delivery_ = options;
+  }
+  [[nodiscard]] const DeliveryOptions& delivery() const noexcept {
+    return delivery_;
+  }
+  [[nodiscard]] bool reliable() const noexcept { return delivery_.reliable; }
+
+  /// Installs the per-link fault hook (null = perfect network). In
+  /// fire-and-forget mode only message copies are faulted; in reliable mode
+  /// acks, signals, and state transfers pass through it too.
+  void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
+
+  /// Machine the reconfiguration scripts run on; signals and their acks are
+  /// charged (and faulted) on links from/to it. Empty (default) treats
+  /// control traffic as local to the destination, as the original bus did.
+  void set_control_machine(std::string machine) {
+    control_machine_ = std::move(machine);
+  }
+
+  void set_state_observer(StateObserver observer) {
+    state_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const ReliableStats& reliable_stats() const noexcept {
+    return rstats_;
+  }
+  /// Live bookkeeping of the reliable layer; all three return to zero once
+  /// traffic quiesces, which the chaos harness asserts after every scenario.
+  [[nodiscard]] std::size_t unacked_total() const noexcept;
+  [[nodiscard]] std::size_t ooo_total() const noexcept;
+  [[nodiscard]] std::size_t pending_control_total() const noexcept;
+
+  /// Abandons pending reliable signal/state transmissions toward a module
+  /// (used when a script aborts a reconfiguration mid-flight).
+  void cancel_pending_control(const std::string& module);
+
+  /// Records a module-crash trace event (the runtime's crash injector calls
+  /// this; the bus registration itself is untouched by a process crash).
+  void note_module_crashed(const std::string& module, std::string detail);
+
   // --- plumbing ------------------------------------------------------------
 
   /// Invoked whenever a message, signal, or state buffer arrives for a
@@ -216,15 +318,63 @@ class Bus {
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Identity of a reliable flow: the ORIGINAL (module, iface) endpoint it
+  /// began on. Survives replacement: clones inherit their predecessor's
+  /// streams through queue capture.
+  using StreamKey = std::pair<std::string, std::string>;
+
+  /// Receiver-side resequencing window for one incoming stream.
+  struct RxStream {
+    std::uint64_t next_expected = 0;
+    std::map<std::uint64_t, Message> ooo;  // seq -> held message
+  };
+
   struct Endpoint {
     InterfaceSpec spec;
     std::deque<Message> queue;
+    /// Stream this endpoint's sends belong to (own (module, iface) at
+    /// creation; repointed to the predecessor's stream by queue capture).
+    StreamKey stream_id;
+    /// Per-incoming-stream dedup/reorder state (reliable mode only).
+    std::map<StreamKey, RxStream> rx;
+    /// Set when this endpoint's rx state migrated to an heir: reliable
+    /// arrivals here are dropped UNACKED so the sender retransmits toward
+    /// the heir instead of parking messages at the retired instance.
+    bool rx_retired = false;
     // Metric handles, resolved by resolve_endpoint_metrics; null until a
     // registry is attached. Owned by the registry, not the endpoint.
     obs::Counter* sent_ctr = nullptr;
     obs::Counter* delivered_ctr = nullptr;
     obs::Counter* dropped_ctr = nullptr;
     obs::Gauge* depth_gauge = nullptr;
+  };
+
+  /// One unacked reliable message copy awaiting acknowledgement.
+  struct TxEntry {
+    Message msg;
+    std::vector<std::string> acked_by;  // peer modules that acked this seq
+    int attempts = 0;
+    net::SimTime timeout_us = 0;
+  };
+  /// Sender side of one stream. Keyed by the original endpoint; `owner`
+  /// tracks which live endpoint currently continues the stream (updated by
+  /// queue capture when a clone takes over).
+  struct TxStream {
+    std::string owner_module;
+    std::string owner_iface;
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, TxEntry> unacked;
+  };
+
+  /// One pending reliable control transmission (signal or state buffer).
+  struct ControlTx {
+    enum class Kind : std::uint8_t { kSignal, kState } kind = Kind::kSignal;
+    std::string target;
+    std::string from_machine;  // link source for latency + faulting
+    std::vector<std::uint8_t> bytes;  // state payload (empty for signals)
+    std::uint64_t epoch = 0;
+    int attempts = 0;
+    net::SimTime timeout_us = 0;
   };
   struct ModuleRec {
     ModuleInfo info;
@@ -239,6 +389,33 @@ class Bus {
 
   [[nodiscard]] ModuleRec& rec(const std::string& name);
   [[nodiscard]] const ModuleRec& rec(const std::string& name) const;
+  // Reliable-delivery internals (bus.cpp).
+  [[nodiscard]] FaultDecision consult_fault(const std::string& src_machine,
+                                            const std::string& dst_machine);
+  void chaos_metric(const char* name, const char* kind);
+  void legacy_arrive(const BindingEnd& peer, Message msg, std::uint64_t epoch);
+  void deliver_into(const std::string& module, Endpoint& ep, Message msg);
+  void reliable_send(const std::string& module, Endpoint& ep, Message msg);
+  void transmit_entry(const StreamKey& stream, std::uint64_t seq,
+                      bool retransmit);
+  void arm_retransmit(const StreamKey& stream, std::uint64_t seq,
+                      net::SimTime timeout_us);
+  void reliable_arrive(const BindingEnd& dst, Message msg,
+                       std::uint64_t epoch);
+  void send_ack(const std::string& acker, const StreamKey& stream,
+                std::uint64_t seq);
+  void on_ack(const std::string& acker, const StreamKey& stream,
+              std::uint64_t seq);
+  [[nodiscard]] bool entry_fully_acked(const TxStream& ts,
+                                       const TxEntry& entry) const;
+  void migrate_streams(const BindingEnd& from_end, const BindingEnd& to_end);
+  void transmit_control(std::uint64_t id);
+  void arm_control_retry(std::uint64_t id, net::SimTime timeout_us);
+  void apply_signal(const std::string& module, std::uint64_t id);
+  void apply_state(const std::string& module, std::uint64_t id,
+                   const std::vector<std::uint8_t>& bytes);
+  void ack_control(const std::string& module, std::uint64_t id);
+  void update_reliable_gauges();
   [[nodiscard]] Endpoint& endpoint(const std::string& module,
                                    const std::string& iface);
   [[nodiscard]] const Endpoint& endpoint(const std::string& module,
@@ -272,6 +449,18 @@ class Bus {
   TraceSink trace_;
   BusStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // Reliable delivery layer (inactive until set_delivery turns it on).
+  DeliveryOptions delivery_;
+  FaultHook fault_;
+  StateObserver state_observer_;
+  std::string control_machine_;
+  ReliableStats rstats_;
+  std::map<StreamKey, TxStream> tx_streams_;
+  std::map<std::uint64_t, ControlTx> control_;  // id -> pending signal/state
+  std::uint64_t next_control_id_ = 1;
+  /// Control transfers a module has already applied (dedup for redelivered
+  /// signals/state). Bounded: one entry per reconfiguration, not per message.
+  std::map<std::string, std::vector<std::uint64_t>> applied_control_;
 };
 
 }  // namespace surgeon::bus

@@ -40,6 +40,14 @@ struct Message {
   std::vector<ser::Value> values;
   std::string src_module;
   std::string src_iface;
+  /// Reliable-delivery metadata (Bus::set_delivery). The stream names the
+  /// ORIGINAL endpoint the flow began on; a clone that inherits an endpoint
+  /// through queue capture continues its predecessor's stream, so receivers
+  /// keep one in-order dedup window across replacements. Unused (all
+  /// defaults) in fire-and-forget mode.
+  std::string stream_module;
+  std::string stream_iface;
+  std::uint64_t seq = 0;
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,0 +1,55 @@
+#include "chaos/fault.hpp"
+
+namespace surgeon::chaos {
+
+bool FaultInjector::partitioned(const std::string& src, const std::string& dst,
+                                net::SimTime now) const {
+  for (const auto& p : partitions_) {
+    if (now < p.from_us || now >= p.until_us) continue;
+    if (p.b.empty()) {
+      // Isolation: exactly one endpoint is the isolated machine.
+      if ((src == p.a) != (dst == p.a)) return true;
+    } else if ((src == p.a && dst == p.b) || (src == p.b && dst == p.a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const LinkFaults& FaultInjector::link_faults(const std::string& src,
+                                             const std::string& dst) const {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? default_ : it->second;
+}
+
+bus::FaultDecision FaultInjector::decide(const std::string& src,
+                                         const std::string& dst) {
+  ++stats_.decisions;
+  if (partitioned(src, dst, sim_ != nullptr ? sim_->now() : 0)) {
+    ++stats_.partition_drops;
+    return bus::FaultDecision{.drop = true};
+  }
+  const LinkFaults& f = link_faults(src, dst);
+  bus::FaultDecision d;
+  if (f.drop > 0.0 && rng_.next_double() < f.drop) {
+    ++stats_.drops;
+    d.drop = true;
+    return d;
+  }
+  if (f.duplicate > 0.0 && rng_.next_double() < f.duplicate) {
+    ++stats_.duplicates;
+    d.duplicate = true;
+    if (f.jitter_us > 0) {
+      d.duplicate_delay_us = 1 + rng_.next_below(f.jitter_us);
+    }
+  }
+  if (f.delay > 0.0 && rng_.next_double() < f.delay) {
+    ++stats_.delays;
+    if (f.jitter_us > 0) {
+      d.extra_delay_us = 1 + rng_.next_below(f.jitter_us);
+    }
+  }
+  return d;
+}
+
+}  // namespace surgeon::chaos

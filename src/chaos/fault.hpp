@@ -1,0 +1,118 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultInjector sits behind the bus's fault hook and decides, per message
+// copy put on the wire, whether it is dropped, duplicated, or delayed
+// (delaying one copy past the next is how reordering happens). Decisions
+// come from a seeded support::SplitMix64 stream, so an entire fault
+// schedule -- every drop, every duplicate, every partition crossing -- is
+// replayable from a single integer seed.
+//
+// Faults apply to LINKS between machines (including a machine's loopback
+// link: two modules on one host still cross the local IPC boundary), not to
+// modules; machine partitions make a pair of hosts mutually unreachable
+// for a window of virtual time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "net/sim.hpp"
+#include "support/rng.hpp"
+
+namespace surgeon::chaos {
+
+/// Per-link fault probabilities. All default to a perfect link.
+struct LinkFaults {
+  double drop = 0.0;       // P(copy is dropped)
+  double duplicate = 0.0;  // P(copy is delivered twice)
+  double delay = 0.0;      // P(copy is held back -- reordering)
+  /// Maximum extra latency (virtual us) for a delayed or duplicated copy.
+  net::SimTime jitter_us = 0;
+
+  [[nodiscard]] bool perfect() const noexcept {
+    return drop <= 0.0 && duplicate <= 0.0 && delay <= 0.0;
+  }
+};
+
+inline constexpr net::SimTime kNeverHeals =
+    std::numeric_limits<net::SimTime>::max();
+
+/// A machine partition: while virtual time is in [from_us, until_us) no
+/// copy crosses between `a` and `b`. An empty `b` isolates `a` from every
+/// other machine.
+struct Partition {
+  std::string a;
+  std::string b;
+  net::SimTime from_us = 0;
+  net::SimTime until_us = kNeverHeals;
+};
+
+/// Counters describing what the injector actually did to a run.
+struct FaultStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Faults applied to every link without a specific override.
+  void set_default(LinkFaults faults) { default_ = faults; }
+  /// Directed per-link override (src machine -> dst machine).
+  void set_link(const std::string& src, const std::string& dst,
+                LinkFaults faults) {
+    links_[{src, dst}] = faults;
+  }
+  void add_partition(Partition partition) {
+    partitions_.push_back(std::move(partition));
+  }
+  /// Cuts `machine` off from every other machine for the window.
+  void isolate(const std::string& machine, net::SimTime from_us,
+               net::SimTime until_us = kNeverHeals) {
+    partitions_.push_back(Partition{machine, "", from_us, until_us});
+  }
+
+  /// Installs this injector as the bus's fault hook and adopts the bus's
+  /// virtual clock for partition windows. The injector must outlive the bus
+  /// hook (keep it alongside the Runtime).
+  void attach(bus::Bus& bus) {
+    sim_ = &bus.simulator();
+    bus.set_fault_hook([this](const std::string& src, const std::string& dst) {
+      return decide(src, dst);
+    });
+  }
+
+  /// One per-copy decision; advances the seeded stream.
+  [[nodiscard]] bus::FaultDecision decide(const std::string& src,
+                                          const std::string& dst);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool partitioned(const std::string& src,
+                                 const std::string& dst,
+                                 net::SimTime now) const;
+  [[nodiscard]] const LinkFaults& link_faults(const std::string& src,
+                                              const std::string& dst) const;
+
+  std::uint64_t seed_;
+  support::SplitMix64 rng_;
+  net::Simulator* sim_ = nullptr;
+  LinkFaults default_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> links_;
+  std::vector<Partition> partitions_;
+  FaultStats stats_;
+};
+
+}  // namespace surgeon::chaos

@@ -1,0 +1,452 @@
+#include "chaos/scenario.hpp"
+
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "net/arch.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace surgeon::chaos {
+
+const char* sample_app_name(SampleApp app) noexcept {
+  switch (app) {
+    case SampleApp::kCounter: return "counter";
+    case SampleApp::kPipeline: return "pipeline";
+    case SampleApp::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+std::string ScenarioSpec::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " app=" << sample_app_name(app)
+     << " items=" << work_items << " drop=" << faults.drop
+     << " dup=" << faults.duplicate << " delay=" << faults.delay
+     << " jitter=" << faults.jitter_us << "us partitions=" << partitions.size()
+     << " crash_clone=" << (crash_clone ? 1 : 0)
+     << " replace_after=" << replace_after_outputs << " machine="
+     << (target_machine.empty() ? "<same>" : target_machine);
+  return os.str();
+}
+
+namespace {
+
+struct AppRoles {
+  const char* application;
+  const char* target;    // the module the scenario replaces
+  const char* observer;  // the module whose printed output is checked
+};
+
+AppRoles roles_for(SampleApp app) {
+  switch (app) {
+    case SampleApp::kCounter: return {"counter", "server", "client"};
+    case SampleApp::kPipeline: return {"pipeline", "filter", "sink"};
+    case SampleApp::kMonitor: return {"monitor", "compute", "display"};
+  }
+  return {"counter", "server", "client"};
+}
+
+constexpr std::uint64_t kRounds = 100'000'000;
+
+/// Chaos variant of the pipeline feeder: one item per virtual second.
+/// The stock feeder floods every item at t~0, so in a fault-free run the
+/// filter drains the whole stream before a mid-run replacement signal can
+/// land and then blocks in mh_read, never reaching its reconfiguration
+/// point again. Pacing the feeder keeps items flowing across the
+/// replacement window -- which is the situation the scenario is about.
+std::string paced_feeder_source(int count) {
+  return R"mc(
+void main()
+{
+  int i;
+  i = 1;
+  while (i <= )mc" +
+         std::to_string(count) + R"mc() {
+    mh_write("out", "i", i);
+    sleep(1);
+    i = i + 1;
+  }
+  print("feeder-done");
+}
+)mc";
+}
+
+std::unique_ptr<app::Runtime> build_app(const ScenarioSpec& spec) {
+  auto rt = std::make_unique<app::Runtime>(spec.seed);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  rt->bus().set_delivery(spec.delivery);
+  // The reconfiguration scripts "run" on sparc, so control-plane traffic
+  // (signal, state buffer, their acks) crosses a real, faultable link even
+  // when the whole application lives on vax.
+  rt->bus().set_control_machine("sparc");
+  cfg::ConfigFile config;
+  app::Runtime::SourceProvider provider;
+  switch (spec.app) {
+    case SampleApp::kCounter:
+      config = cfg::parse_config(app::samples::counter_config_text());
+      provider = [&spec](const cfg::ModuleSpec& s) {
+        return s.name == "client"
+                   ? app::samples::counter_client_source(spec.work_items)
+                   : app::samples::counter_server_source();
+      };
+      break;
+    case SampleApp::kPipeline:
+      config = cfg::parse_config(app::samples::pipeline_config_text());
+      provider = [&spec](const cfg::ModuleSpec& s) {
+        if (s.name == "feeder") return paced_feeder_source(spec.work_items);
+        if (s.name == "filter") return app::samples::pipeline_filter_source();
+        return app::samples::pipeline_sink_source();
+      };
+      break;
+    case SampleApp::kMonitor:
+      config = cfg::parse_config(app::samples::monitor_config_text());
+      provider = [](const cfg::ModuleSpec& s) {
+        return app::samples::monitor_source_of(s);
+      };
+      break;
+  }
+  rt->load_application(config, roles_for(spec.app).application, provider);
+  return rt;
+}
+
+/// Everything one pass (golden or chaos) produces.
+struct PassResult {
+  std::vector<std::string> output;
+  bool app_done = false;
+  std::string vm_fault;  // "module X faulted: ..." or empty
+  bool replaced = false;
+  int attempts = 0;
+  std::string new_instance;
+  std::string abort_reason;
+  net::SimTime replace_started_at = 0;
+  std::vector<bus::TraceEvent> trace;
+  std::vector<std::vector<std::uint8_t>> divulged;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  bus::ReliableStats rstats;
+  std::string drain_failure;
+};
+
+PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
+  PassResult pr;
+  const AppRoles roles = roles_for(spec.app);
+  auto rt_owner = build_app(spec);
+  app::Runtime& rt = *rt_owner;
+  if (injector != nullptr) injector->attach(rt.bus());
+  rt.enable_metrics();
+  rt.bus().set_state_observer(
+      [&pr](const std::string&, const char* phase,
+            const std::vector<std::uint8_t>& bytes) {
+        if (std::string_view(phase) == "divulged") {
+          pr.divulged.push_back(bytes);
+        } else {
+          pr.delivered.push_back(bytes);
+        }
+      });
+  // Trace sink doubles as the crash trigger: killing the clone exactly when
+  // its first state buffer lands is deterministic across retransmissions
+  // (the buffer arrives once; duplicates are deduplicated before tracing).
+  bool crash_armed = injector != nullptr && spec.crash_clone;
+  rt.bus().set_trace([&pr, &rt, &crash_armed](const bus::TraceEvent& ev) {
+    pr.trace.push_back(ev);
+    if (crash_armed && ev.kind == bus::TraceEvent::Kind::kStateDelivered &&
+        ev.module.find('@') != std::string::npos &&
+        rt.module_running(ev.module)) {
+      crash_armed = false;
+      rt.crash_module(ev.module, "chaos: crashed on first state delivery");
+    }
+  });
+
+  auto out_size = [&rt, &roles] {
+    vm::Machine* m = rt.machine_of(roles.observer);
+    return m == nullptr ? std::size_t{0} : m->output().size();
+  };
+
+  // Phase 1: let the application serve before interfering.
+  (void)rt.run_until(
+      [&] {
+        return out_size() >=
+               static_cast<std::size_t>(spec.replace_after_outputs);
+      },
+      kRounds);
+
+  // Phase 2: the Figure 5 replacement, with the chaos retry/abort options.
+  reconfig::ReplaceOptions options;
+  options.machine = spec.target_machine;
+  options.max_attempts = spec.max_attempts;
+  options.divulge_timeout_us = spec.divulge_timeout_us;
+  options.restore_timeout_us = spec.restore_timeout_us;
+  pr.replace_started_at = rt.now();
+  try {
+    reconfig::ReplaceReport report =
+        reconfig::replace_module(rt, roles.target, options);
+    pr.replaced = true;
+    pr.attempts = report.attempts;
+    pr.new_instance = report.new_instance;
+  } catch (const reconfig::ScriptError& e) {
+    pr.abort_reason = e.what();
+  }
+
+  // Phase 3: run the application to its finish line.
+  switch (spec.app) {
+    case SampleApp::kCounter:
+      pr.app_done = rt.run_until(
+          [&] { return rt.module_finished("client"); }, kRounds);
+      break;
+    case SampleApp::kPipeline:
+      pr.app_done = rt.run_until(
+          [&] {
+            return rt.module_finished("feeder") &&
+                   out_size() >= static_cast<std::size_t>(spec.work_items);
+          },
+          kRounds);
+      break;
+    case SampleApp::kMonitor: {
+      // The monitor serves forever; liveness = the display kept printing
+      // for another window of virtual time.
+      std::size_t before = out_size();
+      rt.run_for(10'000'000, kRounds);
+      pr.app_done = out_size() > before;
+      break;
+    }
+  }
+  if (rt.first_fault().has_value()) {
+    pr.vm_fault = "module '" + rt.first_fault()->first +
+                  "' faulted: " + rt.first_fault()->second;
+  }
+
+  // Phase 4: quiesce and check that the reliable layer drained. The
+  // monitor never idles (its modules loop on timers), so the drain check
+  // applies to the finite apps only.
+  if (spec.app != SampleApp::kMonitor) {
+    rt.run_until_idle(kRounds);
+    pr.rstats = rt.bus().reliable_stats();
+    if (pr.rstats.gave_up == 0) {
+      std::ostringstream os;
+      if (rt.bus().unacked_total() != 0) {
+        os << "unacked_total=" << rt.bus().unacked_total() << " after idle; ";
+      }
+      if (rt.bus().ooo_total() != 0) {
+        os << "ooo_total=" << rt.bus().ooo_total() << " after idle; ";
+      }
+      if (rt.bus().pending_control_total() != 0) {
+        os << "pending_control=" << rt.bus().pending_control_total()
+           << " after idle; ";
+      }
+      for (const auto& [key, gauge] : rt.metrics().gauges()) {
+        if (key.first == "surgeon_bus_queue_depth" && gauge.value() != 0) {
+          os << "queue-depth gauge nonzero for";
+          for (const auto& [k, v] : key.second) os << " " << k << "=" << v;
+          os << "; ";
+        }
+      }
+      pr.drain_failure = os.str();
+    }
+  } else {
+    pr.rstats = rt.bus().reliable_stats();
+  }
+
+  vm::Machine* observer = rt.machine_of(roles.observer);
+  if (observer != nullptr) pr.output = observer->output();
+  return pr;
+}
+
+/// Sets the failure (once) and returns false, for use in check chains.
+bool fail(ScenarioResult& result, const std::string& message) {
+  if (result.failure.empty()) result.failure = message;
+  return false;
+}
+
+/// Invariant 1, counter: replies 1..N each exactly once, in order, then
+/// "client-done". Pipeline: the sink's `seen` sequence is exactly 1..N.
+bool check_no_loss_no_dup(const ScenarioSpec& spec,
+                          const std::vector<std::string>& output,
+                          ScenarioResult& result) {
+  const std::size_t n = static_cast<std::size_t>(spec.work_items);
+  if (spec.app == SampleApp::kCounter) {
+    if (output.size() != n + 1) {
+      return fail(result, "invariant 1: expected " + std::to_string(n + 1) +
+                              " client lines, got " +
+                              std::to_string(output.size()));
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::string prefix = "reply " + std::to_string(i) + " ";
+      if (output[i - 1].rfind(prefix, 0) != 0) {
+        return fail(result, "invariant 1: line " + std::to_string(i - 1) +
+                                " is '" + output[i - 1] + "', expected '" +
+                                prefix + "...'");
+      }
+    }
+    if (output[n] != "client-done") {
+      return fail(result, "invariant 1: missing client-done line");
+    }
+    return true;
+  }
+  if (spec.app == SampleApp::kPipeline) {
+    if (output.size() != n) {
+      return fail(result, "invariant 1: expected " + std::to_string(n) +
+                              " sink lines, got " +
+                              std::to_string(output.size()));
+    }
+    for (std::size_t i = 1; i <= n; ++i) {
+      // sink prints "item <2*i> <seen>": `seen` must count 1..N with no
+      // gap (lost item) and no repeat (double-applied item).
+      const std::string expect = "item " + std::to_string(2 * i) + " " +
+                                 std::to_string(i);
+      if (output[i - 1] != expect) {
+        return fail(result, "invariant 1: line " + std::to_string(i - 1) +
+                                " is '" + output[i - 1] + "', expected '" +
+                                expect + "'");
+      }
+    }
+    return true;
+  }
+  return true;  // monitor: sensor is random; liveness checked elsewhere
+}
+
+/// Invariant 2: every delivered state buffer is byte-identical to the most
+/// recently divulged one (retries re-deliver the same capture).
+bool check_state_fidelity(const PassResult& pass, ScenarioResult& result) {
+  if (!pass.delivered.empty() && pass.divulged.empty()) {
+    return fail(result, "invariant 2: state delivered but never divulged");
+  }
+  for (const auto& bytes : pass.delivered) {
+    if (bytes != pass.divulged.back()) {
+      return fail(result,
+                  "invariant 2: delivered state (" +
+                      std::to_string(bytes.size()) +
+                      " bytes) differs from divulged state (" +
+                      std::to_string(pass.divulged.back().size()) + " bytes)");
+    }
+  }
+  if (pass.replaced && pass.divulged.empty()) {
+    return fail(result, "invariant 2: replacement completed without a "
+                        "divulged state capture");
+  }
+  return true;
+}
+
+/// Invariant 3: no rebind of the replacement fires before the old module
+/// reached quiescence (divulged its state).
+bool check_rebind_after_quiescence(const PassResult& pass,
+                                   ScenarioResult& result) {
+  if (!pass.replaced) return true;
+  net::SimTime divulged_at = 0;
+  bool saw_divulge = false;
+  for (const auto& ev : pass.trace) {
+    if (ev.kind == bus::TraceEvent::Kind::kStateDivulged) {
+      divulged_at = ev.at;
+      saw_divulge = true;
+      break;
+    }
+  }
+  if (!saw_divulge) {
+    return fail(result, "invariant 3: no state-divulged trace event");
+  }
+  for (const auto& ev : pass.trace) {
+    if (ev.kind != bus::TraceEvent::Kind::kRebind) continue;
+    if (ev.at < pass.replace_started_at) continue;  // application load
+    if (ev.at < divulged_at) {
+      return fail(result, "invariant 3: rebind at t=" +
+                              std::to_string(ev.at) +
+                              "us before quiescence at t=" +
+                              std::to_string(divulged_at) + "us");
+    }
+    break;  // only the first post-launch rebind switches the bindings
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.old_instance = roles_for(spec.app).target;
+
+  // Chaos pass first (it is the one under test); golden pass only for the
+  // apps with deterministic output.
+  FaultInjector injector(spec.seed);
+  injector.set_default(spec.faults);
+  for (const auto& p : spec.partitions) injector.add_partition(p);
+  PassResult chaos = run_pass(spec, &injector);
+  result.replaced = chaos.replaced;
+  result.abort_reason = chaos.abort_reason;
+  result.new_instance = chaos.new_instance;
+  result.attempts = chaos.attempts;
+  result.output = chaos.output;
+  result.rstats = chaos.rstats;
+  result.fstats = injector.stats();
+
+  if (!chaos.vm_fault.empty()) {
+    fail(result, "chaos pass: " + chaos.vm_fault);
+    return result;
+  }
+  if (!chaos.app_done) {
+    fail(result, result.replaced
+                     ? "application did not finish after replacement"
+                     : "application did not keep serving after abort ('" +
+                           chaos.abort_reason + "')");
+    return result;
+  }
+  if (!chaos.drain_failure.empty()) {
+    fail(result, "bookkeeping leak: " + chaos.drain_failure);
+    return result;
+  }
+
+  check_no_loss_no_dup(spec, chaos.output, result);
+  check_state_fidelity(chaos, result);
+  check_rebind_after_quiescence(chaos, result);
+  if (!result.failure.empty()) return result;
+
+  if (spec.app != SampleApp::kMonitor) {
+    PassResult golden = run_pass(spec, nullptr);
+    result.golden = golden.output;
+    if (!golden.vm_fault.empty() || !golden.app_done || !golden.replaced) {
+      fail(result, "golden pass failed: " +
+                       (golden.vm_fault.empty() ? golden.abort_reason
+                                                : golden.vm_fault));
+      return result;
+    }
+    if (chaos.output != golden.output) {
+      fail(result, "invariant 4: output (" +
+                       std::to_string(chaos.output.size()) +
+                       " lines) differs from fault-free golden run (" +
+                       std::to_string(golden.output.size()) + " lines)");
+    }
+  }
+  return result;
+}
+
+ScenarioSpec random_scenario(std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  std::uint64_t pick = rng.next_below(10);
+  spec.app = pick < 5   ? SampleApp::kCounter
+             : pick < 8 ? SampleApp::kPipeline
+                        : SampleApp::kMonitor;
+  spec.work_items = 6 + static_cast<int>(rng.next_below(10));
+  spec.faults.drop = rng.next_double() * 0.12;
+  spec.faults.duplicate = rng.next_double() * 0.10;
+  spec.faults.delay = rng.next_double() * 0.20;
+  spec.faults.jitter_us = 500 + rng.next_below(4'500);
+  if (rng.next_below(10) < 3) {
+    // A vax--sparc partition that always heals well inside the divulge and
+    // restore timeouts, so partitions delay replacements without forcing
+    // aborts (the deliberate-abort path has its own directed test).
+    net::SimTime from = 1'000'000 + rng.next_below(3'000'000);
+    spec.partitions.push_back(
+        Partition{"vax", "sparc", from, from + 300'000 + rng.next_below(1'200'000)});
+  }
+  spec.crash_clone = rng.next_below(10) < 2;
+  spec.replace_after_outputs = 1 + static_cast<int>(rng.next_below(4));
+  spec.target_machine = rng.next_below(2) == 0 ? "" : "sparc";
+  spec.max_attempts = 4 + static_cast<int>(rng.next_below(3));
+  return spec;
+}
+
+}  // namespace surgeon::chaos

@@ -1,0 +1,83 @@
+// Randomized reconfiguration-under-faults scenarios.
+//
+// A scenario builds one of the sample applications (counter, pipeline,
+// monitor), turns on reliable delivery, attaches a seeded FaultInjector,
+// replaces the app's reconfigurable module mid-run -- optionally crashing
+// the clone on its first state delivery -- and then checks the four
+// invariants of the chaos harness:
+//
+//   1. no client request lost or double-applied,
+//   2. captured state equals restored state byte-for-byte,
+//   3. the rebind never fires before the old module reached quiescence
+//      (divulged its state),
+//   4. the application's final output matches the fault-free golden run
+//      (counter and pipeline; the monitor's sensor is random, so it is
+//      checked for liveness instead of output equality).
+//
+// Every scenario is a pure function of its ScenarioSpec -- in particular
+// of `seed` -- so a failing run is replayed by constructing the same spec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "chaos/fault.hpp"
+
+namespace surgeon::chaos {
+
+enum class SampleApp : std::uint8_t { kCounter, kPipeline, kMonitor };
+
+[[nodiscard]] const char* sample_app_name(SampleApp app) noexcept;
+
+struct ScenarioSpec {
+  std::uint64_t seed = 1;
+  SampleApp app = SampleApp::kCounter;
+  /// Client requests / pipeline items (the monitor runs on virtual time).
+  int work_items = 12;
+  /// Faults applied to every link, both directions.
+  LinkFaults faults;
+  std::vector<Partition> partitions;
+  /// Kill the clone when its first state buffer lands, forcing the script
+  /// onto its retry path (a second clone restores from the same buffer).
+  bool crash_clone = false;
+  /// Observed output lines before the replacement is launched.
+  int replace_after_outputs = 3;
+  /// Machine for the replacement; empty replaces in place.
+  std::string target_machine;
+  int max_attempts = 5;
+  net::SimTime divulge_timeout_us = 5'000'000;
+  net::SimTime restore_timeout_us = 5'000'000;
+  bus::DeliveryOptions delivery = {.reliable = true};
+
+  /// One-line human description, seed first, for failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+struct ScenarioResult {
+  /// Replacement completed; false = the script aborted cleanly (the
+  /// application kept serving on the old instance, which is verified).
+  bool replaced = false;
+  std::string abort_reason;  // ScriptError text when !replaced
+  /// First violated invariant, or empty when the scenario passed.
+  std::string failure;
+  std::string old_instance;
+  std::string new_instance;
+  int attempts = 0;
+  std::vector<std::string> output;  // chaos run's observed output
+  std::vector<std::string> golden;  // fault-free reference output
+  bus::ReliableStats rstats;
+  FaultStats fstats;
+
+  [[nodiscard]] bool ok() const noexcept { return failure.empty(); }
+};
+
+/// Runs the golden pass and the chaos pass and checks every invariant.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Derives a full scenario (app, workload, fault mix, partition, crash)
+/// from a single seed; the sweeps enumerate seeds through this.
+[[nodiscard]] ScenarioSpec random_scenario(std::uint64_t seed);
+
+}  // namespace surgeon::chaos

@@ -98,7 +98,11 @@ class Printer {
       case ExprKind::kBinary: {
         const auto& b = static_cast<const BinaryExpr&>(e);
         int p = precedence(e);
-        return child(*b.lhs, p) + " " + binary_op_spelling(b.op) + " " +
+        // Comparisons are non-associative (parse_cmp consumes at most one
+        // operator), so a comparison operand needs parentheses on the left
+        // too: "a < b == c" does not re-parse, "(a < b) == c" does.
+        int lhs_min = p == 3 ? p + 1 : p;
+        return child(*b.lhs, lhs_min) + " " + binary_op_spelling(b.op) + " " +
                child(*b.rhs, p + 1);
       }
       case ExprKind::kCall: {

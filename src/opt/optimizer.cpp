@@ -536,7 +536,17 @@ class Hoister {
     }
     std::vector<const Expr*> candidates;
     find_candidates(body, facts.assigned, candidates);
-    for (const Expr* candidate : candidates) {
+    // The candidate pointers point into `body`, and every replacement frees
+    // the matched subtree -- which may be a candidate itself (the pattern is
+    // usually its own first occurrence) or enclose a later candidate. Clone
+    // them all up front so comparisons never touch freed nodes.
+    std::vector<ExprPtr> patterns;
+    patterns.reserve(candidates.size());
+    for (const Expr* c : candidates) {
+      patterns.push_back(clone_expr(*c));
+      patterns.back()->type = c->type;  // clone_expr drops sema annotations
+    }
+    for (const ExprPtr& candidate : patterns) {
       // Materialize: opt_tN = <expr>; before the loop, then replace every
       // structurally equal occurrence in the body.
       std::string temp = fresh_temp_name();

@@ -54,25 +54,56 @@ std::size_t queued_total(bus::Bus& bus, const std::string& module) {
   return n;
 }
 
-void wait_for_restore(app::Runtime& rt, const std::string& instance,
-                      std::uint64_t max_rounds) {
-  bool ok = rt.run_until(
-      [&] {
-        vm::Machine* m = rt.machine_of(instance);
-        if (m == nullptr) return false;
-        if (m->state() == vm::RunState::kFault) return true;
-        return m->decode_count() > 0 && m->restore_frames_remaining() == 0;
-      },
-      max_rounds);
+enum class RestoreOutcome { kOk, kCrashed, kFault, kTimeout };
+
+/// Waits for the clone to finish installing its state. Unlike the original
+/// single-shot wait this reports HOW the wait ended, so the caller can
+/// retry after a crash or give-up instead of wedging.
+RestoreOutcome await_restore(app::Runtime& rt, const std::string& instance,
+                             std::uint64_t max_rounds,
+                             net::SimTime timeout_us) {
+  auto settled = [&] {
+    if (rt.module_crashed(instance)) return true;
+    vm::Machine* m = rt.machine_of(instance);
+    if (m == nullptr) return false;
+    if (m->state() == vm::RunState::kFault) return true;
+    return m->decode_count() > 0 && m->restore_frames_remaining() == 0;
+  };
+  bool ok;
+  if (timeout_us > 0) {
+    net::SimTime deadline = rt.now() + timeout_us;
+    (void)rt.run_until([&] { return settled() || rt.now() >= deadline; },
+                       max_rounds);
+    ok = settled();
+  } else {
+    ok = rt.run_until(settled, max_rounds);
+  }
+  if (rt.module_crashed(instance)) return RestoreOutcome::kCrashed;
   vm::Machine* m = rt.machine_of(instance);
   if (m != nullptr && m->state() == vm::RunState::kFault) {
-    throw ScriptError("clone '" + instance +
-                      "' faulted while installing state: " +
-                      m->fault_message());
+    return RestoreOutcome::kFault;
   }
-  if (!ok) {
-    throw ScriptError("clone '" + instance +
-                      "' did not finish restoring within the budget");
+  if (ok && m != nullptr && m->decode_count() > 0 &&
+      m->restore_frames_remaining() == 0) {
+    return RestoreOutcome::kOk;
+  }
+  return RestoreOutcome::kTimeout;
+}
+
+void wait_for_restore(app::Runtime& rt, const std::string& instance,
+                      std::uint64_t max_rounds) {
+  switch (await_restore(rt, instance, max_rounds, 0)) {
+    case RestoreOutcome::kOk:
+      return;
+    case RestoreOutcome::kFault:
+      throw ScriptError("clone '" + instance +
+                        "' faulted while installing state: " +
+                        rt.machine_of(instance)->fault_message());
+    case RestoreOutcome::kCrashed:
+      throw ScriptError("clone '" + instance + "' crashed while restoring");
+    case RestoreOutcome::kTimeout:
+      throw ScriptError("clone '" + instance +
+                        "' did not finish restoring within the budget");
   }
 }
 
@@ -131,14 +162,31 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
     rebind_batch = make_rebind_batch(bus, instance, report.new_instance);
   }
 
-  // 4. mh_objstate_move: signal, await compliance, move the state.
+  // 4. mh_objstate_move: signal, await compliance, move the state. A
+  //    divulge timeout aborts and rolls back: nothing structural has
+  //    changed yet, so cancelling the control traffic and removing the
+  //    clone leaves the application serving on the old instance.
+  std::vector<std::uint8_t> saved_state;  // re-delivered on retries
   {
     obs::Span span(metrics, kStepObjstateMove, instance);
     report.requested_at = rt.now();
     bus.signal_reconfig(instance);
-    bool divulged = rt.run_until(
-        [&] { return bus.has_divulged_state(instance); }, options.max_rounds);
+    bool divulged;
+    if (options.divulge_timeout_us > 0) {
+      net::SimTime deadline = rt.now() + options.divulge_timeout_us;
+      (void)rt.run_until(
+          [&] {
+            return bus.has_divulged_state(instance) || rt.now() >= deadline;
+          },
+          options.max_rounds);
+      divulged = bus.has_divulged_state(instance);
+    } else {
+      divulged = rt.run_until([&] { return bus.has_divulged_state(instance); },
+                              options.max_rounds);
+    }
     if (!divulged) {
+      bus.cancel_pending_control(instance);
+      (void)bus.take_pending_signal(instance);
       cleanup_clone();
       throw ScriptError(
           "module '" + instance +
@@ -149,6 +197,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
     std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
     report.state_bytes = state_bytes.size();
     report.state_frames = ser::StateBuffer::decode(state_bytes).frame_count();
+    if (options.max_attempts > 1) saved_state = state_bytes;
     bus.deliver_state(old_info.machine, report.new_instance,
                       std::move(state_bytes));
   }
@@ -183,7 +232,41 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   }
 
   if (options.wait_for_restore) {
-    wait_for_restore(rt, report.new_instance, options.max_rounds);
+    // Installation attempts: a clone that crashes (or whose state transfer
+    // gave up) becomes a binding/queue holder for a fresh clone, which gets
+    // the saved state buffer re-delivered. The old instance is already
+    // gone, so there is no rollback past this point -- only retry until
+    // max_attempts, then a ScriptError describing the last failure.
+    for (;; ++report.attempts) {
+      RestoreOutcome outcome =
+          await_restore(rt, report.new_instance, options.max_rounds,
+                        options.restore_timeout_us);
+      if (outcome == RestoreOutcome::kOk) break;
+      if (outcome == RestoreOutcome::kFault) {
+        throw ScriptError("clone '" + report.new_instance +
+                          "' faulted while installing state: " +
+                          rt.machine_of(report.new_instance)->fault_message());
+      }
+      if (report.attempts >= options.max_attempts) {
+        if (outcome == RestoreOutcome::kCrashed) {
+          throw ScriptError("clone '" + report.new_instance +
+                            "' crashed while restoring");
+        }
+        throw ScriptError("clone '" + report.new_instance +
+                          "' did not finish restoring within the budget");
+      }
+      const std::string holder = report.new_instance;
+      bus.cancel_pending_control(holder);
+      const app::ModuleImage* holder_image = rt.image_of(holder);
+      const bus::ModuleInfo holder_info = bus.module_info(holder);
+      report.new_instance = rt.fresh_instance_name(instance);
+      rt.install_module(report.new_instance, *holder_image,
+                        holder_info.machine, "clone");
+      bus.deliver_state(old_info.machine, report.new_instance, saved_state);
+      bus.rebind(make_rebind_batch(bus, holder, report.new_instance));
+      rt.start_module(report.new_instance);
+      rt.remove_module(holder);
+    }
   }
   report.completed_at = rt.now();
   return report;

@@ -74,6 +74,22 @@ struct ReplaceOptions {
   /// Wait until the clone has fully restored (reached its reconfiguration
   /// point) before returning.
   bool wait_for_restore = true;
+  // --- fault tolerance (surgeon::chaos; appended so positional
+  // --- initialization of the original five fields stays valid) ------------
+  /// Attempts for the post-divulge installation: when a clone crashes or
+  /// its state transfer gives up, the script registers a fresh clone, moves
+  /// the bindings/queues across, and re-delivers the saved state buffer.
+  /// 1 (the default) reproduces the original single-shot script.
+  int max_attempts = 1;
+  /// Virtual-time budget for the old module to divulge after the signal;
+  /// 0 = scheduling-rounds budget only (the original behavior). On expiry
+  /// the script aborts and rolls back: the clone is removed, pending
+  /// control traffic is cancelled, and the application keeps serving on
+  /// the old instance.
+  net::SimTime divulge_timeout_us = 0;
+  /// Virtual-time budget per attempt for the clone to finish restoring;
+  /// 0 = scheduling-rounds budget only.
+  net::SimTime restore_timeout_us = 0;
 };
 
 struct ReplaceReport {
@@ -86,6 +102,8 @@ struct ReplaceReport {
   std::size_t state_bytes = 0;
   std::size_t state_frames = 0;
   std::size_t queued_messages_moved = 0;
+  /// Installation attempts consumed (1 = no retry was needed).
+  int attempts = 1;
 
   [[nodiscard]] net::SimTime total_delay() const noexcept {
     return completed_at - requested_at;

@@ -1,0 +1,193 @@
+// Property/fuzz sweep for the configuration-language parser.
+//
+// Two corpora, both derived from a seed so every failure is replayable:
+//  - generated well-formed configurations, which must parse, and
+//  - mutated (corrupted) configurations, which must either parse or throw
+//    support::ParseError -- never crash, never hang.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "support/rng.hpp"
+
+namespace surgeon::cfg {
+namespace {
+
+class ConfigGenerator {
+ public:
+  explicit ConfigGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string config() {
+    std::string out;
+    int modules = 1 + static_cast<int>(rng_.next_below(4));
+    for (int i = 0; i < modules; ++i) out += module(i);
+    out += application(modules);
+    return out;
+  }
+
+  /// One random mutation applied to `text`.
+  std::string mutate(std::string text) {
+    if (text.empty()) return text;
+    std::size_t at = rng_.next_below(text.size());
+    switch (rng_.next_below(6)) {
+      case 0:  // delete a character
+        text.erase(at, 1);
+        break;
+      case 1:  // insert an arbitrary byte
+        text.insert(at, 1, random_byte());
+        break;
+      case 2:  // overwrite with an arbitrary byte
+        text[at] = random_byte();
+        break;
+      case 3:  // truncate (unterminated constructs)
+        text.resize(at);
+        break;
+      case 4: {  // duplicate a chunk (repeated/mismatched tokens)
+        std::size_t len = 1 + rng_.next_below(std::min<std::size_t>(
+                                  40, text.size() - at));
+        text.insert(at, text.substr(at, len));
+        break;
+      }
+      default: {  // splice a keyword mid-stream
+        static const char* kTokens[] = {"module", "application", "::", "{",
+                                        "}", "\"", "interface", "=", "bind"};
+        text.insert(at, kTokens[rng_.next_below(9)]);
+        break;
+      }
+    }
+    return text;
+  }
+
+ private:
+  char random_byte() {
+    // Mostly printable (interesting to the lexer), sometimes arbitrary.
+    if (rng_.next_below(4) != 0) {
+      return static_cast<char>(' ' + rng_.next_below(95));
+    }
+    return static_cast<char>(rng_.next_below(256));
+  }
+
+  std::string ident(const char* stem, int i) {
+    return std::string(stem) + std::to_string(i);
+  }
+
+  std::string pattern() {
+    static const char* kTypes[] = {"integer", "float", "string", "pointer"};
+    std::string out = "{";
+    int n = 1 + static_cast<int>(rng_.next_below(3));
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) out += ", ";
+      out += kTypes[rng_.next_below(4)];
+    }
+    return out + "}";
+  }
+
+  std::string module(int index) {
+    std::string out = "// module " + std::to_string(index) + "\n";
+    out += "module " + ident("m", index) + " {\n";
+    out += "  source = \"./" + ident("m", index) + ".mc\" ::\n";
+    if (rng_.next_below(2) == 0) {
+      out += "  machine = \"host" + std::to_string(rng_.next_below(3)) +
+             "\" ::\n";
+    }
+    int ifaces = 1 + static_cast<int>(rng_.next_below(3));
+    for (int i = 0; i < ifaces; ++i) {
+      static const char* kRoles[] = {"use", "define", "client", "server"};
+      const char* role = kRoles[rng_.next_below(4)];
+      out += std::string("  ") + role + " interface " + ident("p", i);
+      if (std::string(role) == "client") {
+        out += " accepts = " + pattern();
+      } else if (std::string(role) == "server") {
+        out += " returns = " + pattern();
+      } else {
+        out += " pattern = " + pattern();
+      }
+      out += " ::\n";
+    }
+    if (rng_.next_below(2) == 0) {
+      out += "  reconfiguration point = {RP}";
+      if (rng_.next_below(2) == 0) out += " vars = {x, *y}";
+      out += " ::\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  std::string application(int modules) {
+    std::string out = "application app {\n";
+    for (int i = 0; i < modules; ++i) {
+      out += "  instance " + ident("m", i);
+      if (rng_.next_below(2) == 0) out += " as " + ident("inst", i);
+      if (rng_.next_below(2) == 0) {
+        out += " on \"host" + std::to_string(rng_.next_below(3)) + "\"";
+      }
+      out += " ::\n";
+    }
+    if (modules >= 2) {
+      out += "  bind \"m0 p0\" \"m1 p0\" ::\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  support::SplitMix64 rng_;
+};
+
+/// Corrupt input must parse or diagnose -- anything but a crash.
+void expect_parses_or_diagnoses(const std::string& text,
+                                std::uint64_t seed) {
+  try {
+    (void)parse_config(text);
+  } catch (const support::ParseError&) {
+    // A diagnostic is a correct answer for corrupt input.
+  } catch (const std::exception& e) {
+    FAIL() << "seed " << seed << ": non-ParseError exception '" << e.what()
+           << "' on input:\n" << text;
+  }
+}
+
+class WellFormedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class MutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WellFormedSweep, GeneratedConfigsParse) {
+  ConfigGenerator gen(GetParam());
+  std::string text = gen.config();
+  try {
+    ConfigFile file = parse_config(text);
+    EXPECT_FALSE(file.modules.empty()) << text;
+    EXPECT_FALSE(file.applications.empty()) << text;
+  } catch (const support::ParseError& e) {
+    FAIL() << "seed " << GetParam() << ": well-formed config rejected: "
+           << e.what() << "\n" << text;
+  }
+}
+
+TEST_P(MutationSweep, CorruptConfigsNeverCrash) {
+  ConfigGenerator gen(GetParam());
+  // Corrupt both a generated config and the real sample configs.
+  std::string generated = gen.config();
+  for (const std::string& base : {
+           generated,
+           app::samples::monitor_config_text(),
+           app::samples::counter_config_text(),
+           app::samples::pipeline_config_text(),
+       }) {
+    std::string text = base;
+    int rounds = 1 + static_cast<int>(GetParam() % 5);
+    for (int i = 0; i < rounds; ++i) {
+      text = gen.mutate(std::move(text));
+      expect_parses_or_diagnoses(text, GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WellFormedSweep,
+                         ::testing::Range<std::uint64_t>(1, 101));
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep,
+                         ::testing::Range<std::uint64_t>(1, 151));
+
+}  // namespace
+}  // namespace surgeon::cfg

@@ -1,0 +1,391 @@
+// MiniC printer/parser round-trip: parse(print(ast)) == ast.
+//
+// The printer emits minimally-parenthesized source, so the property under
+// test is that its precedence logic never drops parentheses the grammar
+// needs. The sweep feeds it two corpora: every sample application source,
+// and seeded randomly-generated programs (fully parenthesized, so the
+// generator itself cannot produce ambiguous input). ASTs are compared
+// through a structural s-expression dump that ignores source locations and
+// sema annotations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/samples.hpp"
+#include "minic/ast.hpp"
+#include "minic/parser.hpp"
+#include "minic/printer.hpp"
+#include "support/rng.hpp"
+
+namespace surgeon::minic {
+namespace {
+
+// --- structural dump --------------------------------------------------------
+
+std::string dump(const Expr& e);
+
+std::string dump_opt(const ExprPtr& e) { return e ? dump(*e) : "_"; }
+
+std::string dump(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return "(int " + std::to_string(static_cast<const IntLit&>(e).value) +
+             ")";
+    case ExprKind::kRealLit:
+      return "(real " +
+             std::to_string(static_cast<const RealLit&>(e).value) + ")";
+    case ExprKind::kStrLit:
+      return "(str " + static_cast<const StrLit&>(e).value + ")";
+    case ExprKind::kNullLit:
+      return "(null)";
+    case ExprKind::kVar:
+      return "(var " + static_cast<const VarExpr&>(e).name + ")";
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      return std::string("(") + (u.op == UnaryOp::kNeg ? "neg " : "not ") +
+             dump(*u.operand) + ")";
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return std::string("(") + binary_op_spelling(b.op) + " " +
+             dump(*b.lhs) + " " + dump(*b.rhs) + ")";
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      std::string s = "(call " + c.callee;
+      for (const auto& a : c.args) s += " " + dump(*a);
+      return s + ")";
+    }
+    case ExprKind::kCast: {
+      const auto& c = static_cast<const CastExpr&>(e);
+      return "(cast " + c.target.to_string() + " " + dump(*c.operand) + ")";
+    }
+    case ExprKind::kAddrOf:
+      return "(addr " + dump(*static_cast<const AddrOfExpr&>(e).operand) +
+             ")";
+    case ExprKind::kDeref:
+      return "(deref " + dump(*static_cast<const DerefExpr&>(e).operand) +
+             ")";
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const IndexExpr&>(e);
+      return "(index " + dump(*i.base) + " " + dump(*i.index) + ")";
+    }
+  }
+  return "(?)";
+}
+
+std::string dump(const Stmt& s);
+
+std::string dump_opt(const StmtPtr& s) { return s ? dump(*s) : "_"; }
+
+std::string dump(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      std::string out = "(block";
+      for (const auto& c : static_cast<const BlockStmt&>(s).stmts) {
+        out += " " + dump(*c);
+      }
+      return out + ")";
+    }
+    case StmtKind::kDecl: {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      return "(decl " + d.type.to_string() + " " + d.name + " " +
+             dump_opt(d.init) + ")";
+    }
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      return "(= " + dump(*a.target) + " " + dump(*a.value) + ")";
+    }
+    case StmtKind::kExpr:
+      return "(expr " + dump(*static_cast<const ExprStmt&>(s).expr) + ")";
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      return "(if " + dump(*i.cond) + " " + dump(*i.then_branch) + " " +
+             dump_opt(i.else_branch) + ")";
+    }
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      return "(while " + dump(*w.cond) + " " + dump(*w.body) + ")";
+    }
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      return "(for " + dump_opt(f.init) + " " + dump_opt(f.cond) + " " +
+             dump_opt(f.step) + " " + dump(*f.body) + ")";
+    }
+    case StmtKind::kBreak:
+      return "(break)";
+    case StmtKind::kContinue:
+      return "(continue)";
+    case StmtKind::kReturn:
+      return "(return " + dump_opt(static_cast<const ReturnStmt&>(s).value) +
+             ")";
+    case StmtKind::kGoto:
+      return "(goto " + static_cast<const GotoStmt&>(s).label + ")";
+    case StmtKind::kLabeled: {
+      const auto& l = static_cast<const LabeledStmt&>(s);
+      return "(label " + l.label + " " + dump(*l.inner) + ")";
+    }
+    case StmtKind::kEmpty:
+      return "(empty)";
+  }
+  return "(?)";
+}
+
+std::string dump(const Program& p) {
+  std::string out = "(program";
+  for (const auto& g : p.globals) {
+    out += " (global " + g.type.to_string() + " " + g.name + " " +
+           dump_opt(g.init) + ")";
+  }
+  for (const auto& fn : p.functions) {
+    out += " (fn " + fn->return_type.to_string() + " " + fn->name + " (";
+    for (const auto& prm : fn->params) {
+      out += " " + prm.type.to_string() + " " + prm.name;
+    }
+    out += " ) " + dump(*fn->body) + ")";
+  }
+  return out + ")";
+}
+
+void expect_roundtrip(const std::string& source) {
+  Program first = parse_program(source);
+  std::string printed = print_program(first);
+  Program second;
+  try {
+    second = parse_program(printed);
+  } catch (const support::ParseError& e) {
+    FAIL() << "printed source does not re-parse: " << e.what()
+           << "\n--- printed ---\n" << printed;
+  }
+  EXPECT_EQ(dump(first), dump(second))
+      << "--- original ---\n" << source << "--- printed ---\n" << printed;
+}
+
+// --- random program generator ----------------------------------------------
+
+/// Emits fully-parenthesized source, so every generated string parses and
+/// the printer's job -- dropping exactly the redundant parentheses -- is
+/// exercised against every operator pairing.
+class Generator {
+ public:
+  explicit Generator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string program() {
+    std::string out;
+    int globals = static_cast<int>(rng_.next_below(3));
+    for (int i = 0; i < globals; ++i) {
+      out += value_type() + " g" + std::to_string(i);
+      if (rng_.next_below(2) == 0) out += " = " + literal();
+      out += ";\n";
+    }
+    int functions = 1 + static_cast<int>(rng_.next_below(3));
+    for (int i = 0; i < functions; ++i) {
+      out += (rng_.next_below(2) == 0 ? std::string("void") : value_type()) +
+             " f" + std::to_string(i) + "(";
+      int params = static_cast<int>(rng_.next_below(3));
+      for (int p = 0; p < params; ++p) {
+        if (p != 0) out += ", ";
+        out += value_type() + " p" + std::to_string(p);
+      }
+      out += ")\n" + block(1);
+    }
+    return out;
+  }
+
+  std::string expression() { return expr(0); }
+
+ private:
+  std::string value_type() {
+    switch (rng_.next_below(4)) {
+      case 0: return "int";
+      case 1: return "float";
+      case 2: return "string";
+      default: return "int *";
+    }
+  }
+
+  std::string literal() {
+    switch (rng_.next_below(4)) {
+      case 0: return std::to_string(rng_.next_below(1000));
+      case 1: return std::to_string(rng_.next_below(16)) + ".5";
+      case 2: return "\"s" + std::to_string(rng_.next_below(10)) + "\\n\"";
+      default: return "null";
+    }
+  }
+
+  std::string var() {
+    static const char* kNames[] = {"a", "b", "c", "x", "y"};
+    return kNames[rng_.next_below(5)];
+  }
+
+  std::string expr(int depth) {
+    if (depth >= 4) return rng_.next_below(2) == 0 ? literal() : var();
+    switch (rng_.next_below(10)) {
+      case 0:
+        return literal();
+      case 1:
+        return var();
+      case 2: {  // binary, any operator pairing
+        static const char* kOps[] = {"+", "-", "*", "/", "%", "==", "!=",
+                                     "<", "<=", ">", ">=", "&&", "||"};
+        return "(" + expr(depth + 1) + " " + kOps[rng_.next_below(13)] +
+               " " + expr(depth + 1) + ")";
+      }
+      case 3:
+        return std::string(rng_.next_below(2) == 0 ? "(-" : "(!") +
+               expr(depth + 1) + ")";
+      case 4:
+        return "(*" + expr(depth + 1) + ")";
+      case 5:
+        return "(&" + var() + ")";
+      case 6: {  // call
+        std::string s = "f0(";
+        int args = static_cast<int>(rng_.next_below(3));
+        for (int i = 0; i < args; ++i) {
+          if (i != 0) s += ", ";
+          s += expr(depth + 1);
+        }
+        return s + ")";
+      }
+      case 7:
+        return "((" + value_type() + ")" + expr(depth + 1) + ")";
+      case 8:
+        return "(" + expr(depth + 1) + ")[" + expr(depth + 1) + "]";
+      default:
+        return "(" + expr(depth + 1) + ")";
+    }
+  }
+
+  std::string indent(int depth) {
+    return std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+
+  std::string block(int depth) {
+    std::string out = indent(depth - 1) + "{\n";
+    int n = static_cast<int>(rng_.next_below(4)) + 1;
+    for (int i = 0; i < n; ++i) out += stmt(depth);
+    return out + indent(depth - 1) + "}\n";
+  }
+
+  std::string stmt(int depth) {
+    if (depth >= 4) return indent(depth) + var() + " = " + expr(2) + ";\n";
+    switch (rng_.next_below(10)) {
+      case 0:
+        return indent(depth) + value_type() + " v" +
+               std::to_string(rng_.next_below(4)) + " = " + expr(2) + ";\n";
+      case 1:
+        return indent(depth) + var() + " = " + expr(1) + ";\n";
+      case 2:
+        return indent(depth) + "(*" + var() + ") = " + expr(2) + ";\n";
+      case 3:
+        return indent(depth) + "if (" + expr(2) + ")\n" + block(depth + 1) +
+               (rng_.next_below(2) == 0
+                    ? indent(depth) + "else\n" + block(depth + 1)
+                    : std::string());
+      case 4:
+        return indent(depth) + "while (" + expr(2) + ")\n" + block(depth + 1);
+      case 5:
+        return indent(depth) + "for (" + var() + " = " + expr(3) + "; " +
+               expr(3) + "; " + var() + " = " + expr(3) + ")\n" +
+               block(depth + 1);
+      case 6:
+        return indent(depth) + "return;\n";
+      case 7:
+        return indent(depth) + "L" + std::to_string(rng_.next_below(3)) +
+               ": ;\n";
+      case 8:
+        return indent(depth) + "goto L" +
+               std::to_string(rng_.next_below(3)) + ";\n";
+      default:
+        return indent(depth) + expr(1) + ";\n";
+    }
+  }
+
+  support::SplitMix64 rng_;
+};
+
+// --- directed cases ---------------------------------------------------------
+
+// Regression: comparisons are non-associative, so a comparison nested on
+// either side of another comparison must keep its parentheses.
+TEST(MinicRoundTrip, NestedComparisonsKeepParentheses) {
+  for (const char* src :
+       {"(a < b) == c", "a == (b < c)", "(a == b) != (c >= d)",
+        "((a < b) < c) < d", "!(a < b) == c"}) {
+    ExprPtr first = parse_expression(src);
+    std::string printed = print_expr(*first);
+    ExprPtr second;
+    ASSERT_NO_THROW(second = parse_expression(printed))
+        << src << " printed as " << printed;
+    EXPECT_EQ(dump(*first), dump(*second))
+        << src << " printed as " << printed;
+  }
+}
+
+TEST(MinicRoundTrip, AssociativeOperatorsDropRedundantParentheses) {
+  ExprPtr e = parse_expression("(a + b) + c");
+  EXPECT_EQ(print_expr(*e), "a + b + c");
+  e = parse_expression("a - (b - c)");
+  EXPECT_EQ(print_expr(*e), "a - (b - c)");
+  e = parse_expression("(a < b) == c");
+  EXPECT_EQ(print_expr(*e), "(a < b) == c");
+  e = parse_expression("(a * b) + c");
+  EXPECT_EQ(print_expr(*e), "a * b + c");
+  e = parse_expression("a * (b + c)");
+  EXPECT_EQ(print_expr(*e), "a * (b + c)");
+}
+
+TEST(MinicRoundTrip, SampleApplicationSources) {
+  for (const std::string& src : {
+           app::samples::monitor_compute_source(),
+           app::samples::monitor_display_source(),
+           app::samples::monitor_sensor_source(),
+           app::samples::counter_client_source(5),
+           app::samples::counter_server_source(),
+           app::samples::pipeline_source_source(9),
+           app::samples::pipeline_filter_source(),
+           app::samples::pipeline_sink_source(),
+       }) {
+    expect_roundtrip(src);
+  }
+}
+
+// --- seeded sweeps ----------------------------------------------------------
+
+class ExprSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class ProgramSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprSweep, RoundTrips) {
+  Generator gen(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    std::string src = gen.expression();
+    ExprPtr first = parse_expression(src);
+    std::string printed = print_expr(*first);
+    ExprPtr second;
+    try {
+      second = parse_expression(printed);
+    } catch (const support::ParseError& e) {
+      FAIL() << "seed " << GetParam() << ": printed expr does not re-parse: "
+             << e.what() << "\n  source:  " << src
+             << "\n  printed: " << printed;
+    }
+    EXPECT_EQ(dump(*first), dump(*second))
+        << "seed " << GetParam() << "\n  source:  " << src
+        << "\n  printed: " << printed;
+  }
+}
+
+TEST_P(ProgramSweep, RoundTrips) {
+  Generator gen(GetParam());
+  expect_roundtrip(gen.program());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprSweep,
+                         ::testing::Range<std::uint64_t>(1, 51));
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramSweep,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace surgeon::minic
