@@ -9,6 +9,7 @@
 //   4. shows that the display keeps receiving correct averages.
 //
 //   $ ./monitor
+#include <fstream>
 #include <iostream>
 
 #include "app/runtime.hpp"
@@ -18,6 +19,7 @@
 #include "minic/parser.hpp"
 #include "minic/sema.hpp"
 #include "reconfig/scripts.hpp"
+#include "trace/assemble.hpp"
 #include "xform/transform.hpp"
 
 int main() {
@@ -41,6 +43,7 @@ int main() {
   // --- Figure 1 (left): the starting configuration -------------------------
   app::Runtime rt(/*seed=*/42);
   rt.enable_metrics();  // record spans + counters over the virtual clock
+  rt.enable_causal_tracing();  // per-machine flight recorder (mh_trace)
   rt.add_machine("vax", net::arch_vax());
   rt.add_machine("sparc", net::arch_sparc());
   net::LatencyModel model;
@@ -82,6 +85,21 @@ int main() {
               << (span.name == reconfig::kStepDrain ? "  (inside del)" : "")
               << "\n";
   }
+
+  // --- the causal view of the same replacement ------------------------------
+  // The flight recorder journaled every bus event with its causal parents;
+  // the assembler stitches the per-machine journals into one DAG.  The
+  // report's trace_id isolates the replacement from steady-state traffic.
+  trace::Dag dag = trace::assemble(rt.tracer());
+  std::cout << "=== causal timeline of the replacement (trace #"
+            << report.trace_id << ", "
+            << rt.tracer().trace_name(report.trace_id) << ") ===\n"
+            << trace::to_timeline(dag, report.trace_id);
+  const std::string chrome = trace::to_chrome_trace(dag, report.trace_id);
+  std::ofstream("monitor_trace.json") << chrome;
+  std::cout << "=== chrome trace written ===\n"
+            << "  monitor_trace.json (" << chrome.size()
+            << " bytes) -- load in chrome://tracing or https://ui.perfetto.dev\n";
 
   std::size_t before = rt.machine_of("display")->output().size();
   rt.run_for(20'000'000);

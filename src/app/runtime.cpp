@@ -16,6 +16,10 @@ Runtime::Runtime(std::uint64_t seed) : sim_(seed), bus_(sim_), seed_(seed) {
   // endpoint and process handles resolve exactly once, at registration.
   metrics_.set_clock([this] { return sim_.now(); });
   bus_.set_metrics(&metrics_);
+  // Same pattern for the causal flight recorder: attached from the start,
+  // inert until enable_causal_tracing().
+  tracer_.set_clock(&sim_);
+  bus_.set_tracer(&tracer_);
 }
 
 void Runtime::record_trace(const bus::TraceEvent& ev) {

@@ -168,6 +168,15 @@ class Runtime {
   void enable_metrics() noexcept { metrics_.set_enabled(true); }
   void disable_metrics() noexcept { metrics_.set_enabled(false); }
 
+  /// The causal flight recorder (trace/recorder.hpp): attached to the bus
+  /// at construction, disabled -- messages carry no headers and no events
+  /// record -- until enable_causal_tracing() is called. Like the metrics
+  /// registry it runs on the virtual clock. Distinct from enable_tracing()
+  /// above, which streams flat legacy TraceEvents without causal edges.
+  [[nodiscard]] ::surgeon::trace::Recorder& tracer() noexcept { return tracer_; }
+  void enable_causal_tracing() noexcept { tracer_.set_enabled(true); }
+  void disable_causal_tracing() noexcept { tracer_.set_enabled(false); }
+
   /// A module faulted during this run? (instance, message) of the first.
   [[nodiscard]] const std::optional<std::pair<std::string, std::string>>&
   first_fault() const noexcept {
@@ -214,6 +223,7 @@ class Runtime {
   std::size_t trace_capacity_ = 1'048'576;
   std::uint64_t trace_dropped_ = 0;
   obs::MetricsRegistry metrics_;
+  ::surgeon::trace::Recorder tracer_;
 };
 
 }  // namespace surgeon::app

@@ -150,6 +150,8 @@ void Bus::add_module(ModuleInfo info) {
   if (metrics_on()) {
     metrics_->counter("surgeon_bus_modules_added_total").inc();
   }
+  rec_event(trc::EventKind::kModuleAdded, it->second.info.machine, name,
+            detail);
   trace(TraceEvent::Kind::kModuleAdded, name, detail);
 }
 
@@ -174,10 +176,13 @@ void Bus::remove_module(const std::string& name) {
   std::erase_if(bindings_, [&](const Binding& b) {
     return b.a.module == name || b.b.module == name;
   });
+  const std::string machine = r.info.machine;
   modules_.erase(name);
+  last_state_ctx_.erase(name);
   if (metrics_on()) {
     metrics_->counter("surgeon_bus_modules_removed_total").inc();
   }
+  rec_event(trc::EventKind::kModuleRemoved, machine, name, "");
   trace(TraceEvent::Kind::kModuleRemoved, name, "");
 }
 
@@ -283,11 +288,19 @@ void Bus::apply_edit(const BindEdit& edit) {
     case BindEdit::Op::kCaptureQueue: {
       auto& from = endpoint(edit.a.module, edit.a.iface);
       auto& to = endpoint(edit.b.module, edit.b.iface);
+      const std::size_t captured = from.queue.size();
       bool moved = !from.queue.empty();
       while (!from.queue.empty()) {
+        // Queued messages keep their trace headers: the clone inherits
+        // the predecessor's causal history along with its traffic.
         to.queue.push_back(std::move(from.queue.front()));
         from.queue.pop_front();
       }
+      rec_event(trc::EventKind::kCapture,
+                machine_of_or(edit.b.module, "bus"), edit.b.module,
+                "from=" + edit.a.module + "." + edit.a.iface +
+                    " moved=" + std::to_string(captured),
+                last_rebind_ctx_);
       // Channel state rides with the queue: the heir continues the
       // predecessor's outgoing stream and inherits its resequencing
       // windows, so dedup/ordering survive the replacement.
@@ -320,6 +333,36 @@ void Bus::rebind(const BindEditBatch& batch) {
       if (edit.op == BindEdit::Op::kAdd || edit.op == BindEdit::Op::kDel) {
         apply_edit(edit);
       }
+    }
+    // The rebind event is recorded once the bind table has settled and
+    // before any queue capture, so captures (and the deliveries they flush
+    // into the clone) sit causally after the rebind. Its cause is the last
+    // divulge: Figure 5 only edits bindings after quiescence was proven.
+    if (batch.size() != 0 && tracer_on()) {
+      std::vector<std::string> involved;
+      for (const auto& edit : batch.edits()) {
+        for (const std::string* m : {&edit.a.module, &edit.b.module}) {
+          if (m->empty() ||
+              (edit.op == BindEdit::Op::kRemoveQueue && m == &edit.b.module)) {
+            continue;
+          }
+          if (std::find(involved.begin(), involved.end(), *m) ==
+              involved.end()) {
+            involved.push_back(*m);
+          }
+        }
+      }
+      std::string list;
+      for (const auto& m : involved) {
+        if (!list.empty()) list += ',';
+        list += m;
+      }
+      last_rebind_ctx_ = rec_event(
+          trc::EventKind::kRebind,
+          control_machine_.empty() ? "bus" : control_machine_,
+          batch.edits().front().a.module,
+          "edits=" + std::to_string(batch.size()) + " modules=" + list,
+          last_divulge_ctx_);
     }
     // Queue moves happen after the bind table settles, as in Figure 5 where
     // "cap"/"rmq" commands ride in the same atomic batch.
@@ -355,11 +398,19 @@ void Bus::send(const std::string& module, const std::string& iface,
   }
   ++stats_.messages_sent;
   if (metrics_on()) ep.sent_ctr->inc();
+  trc::TraceContext send_ctx;
+  if (tracer_on()) {  // guard: skips the record lookup when tracing is off
+    ModuleRec& r = rec(module);
+    send_ctx = tracer_->record_at(r.trace_site, trc::EventKind::kSend,
+                                  r.info.machine, module, iface);
+  }
   trace(TraceEvent::Kind::kSend, module, iface);
   auto peers = bound_peers(BindingEnd{module, iface});
   if (peers.empty()) {
     ++stats_.messages_dropped_unbound;
     if (metrics_on()) ep.dropped_ctr->inc();
+    rec_event(trc::EventKind::kDrop, rec(module).info.machine, module,
+              iface + " (unbound)", send_ctx);
     trace(TraceEvent::Kind::kDrop, module, iface + " (unbound)");
     return;
   }
@@ -368,6 +419,7 @@ void Bus::send(const std::string& module, const std::string& iface,
     msg.values = std::move(values);
     msg.src_module = module;
     msg.src_iface = iface;
+    msg.trace_ctx = send_ctx;
     reliable_send(module, ep, std::move(msg));
     return;
   }
@@ -379,6 +431,8 @@ void Bus::send(const std::string& module, const std::string& iface,
     if (fd.drop) {
       ++rstats_.chaos_drops;
       chaos_metric("surgeon_bus_chaos_drops_total", "message");
+      rec_event(trc::EventKind::kDrop, src_machine, peer.module,
+                peer.iface + " (chaos)", send_ctx);
       trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
       continue;
     }
@@ -386,10 +440,12 @@ void Bus::send(const std::string& module, const std::string& iface,
       // Fire-and-forget has no dedup: the duplicate is simply delivered
       // twice (the tests demonstrating why reliability matters rely on it).
       ++rstats_.dup_injected;
+      chaos_metric("surgeon_bus_dup_injected_total", "message");
       Message dup;
       dup.values = values;
       dup.src_module = module;
       dup.src_iface = iface;
+      dup.trace_ctx = send_ctx;
       std::uint64_t dup_epoch = dst_rec.epoch;
       sim_->schedule_after(
           latency + fd.duplicate_delay_us,
@@ -402,6 +458,7 @@ void Bus::send(const std::string& module, const std::string& iface,
     msg.values = values;
     msg.src_module = module;
     msg.src_iface = iface;
+    msg.trace_ctx = send_ctx;
     std::uint64_t epoch = dst_rec.epoch;
     sim_->schedule_after(latency, [this, peer, msg = std::move(msg),
                                    epoch]() mutable {
@@ -426,6 +483,9 @@ void Bus::legacy_arrive(const BindingEnd& peer, Message msg,
                     {{"module", peer.module}, {"iface", peer.iface}})
           .inc();
     }
+    rec_event(trc::EventKind::kDrop, machine_of_or(peer.module, "bus"),
+              peer.module, peer.iface + " (in flight to removed module)",
+              msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, peer.module,
           peer.iface + " (in flight to removed module)");
     return;
@@ -433,8 +493,15 @@ void Bus::legacy_arrive(const BindingEnd& peer, Message msg,
   auto ep_it = it->second.endpoints.find(peer.iface);
   if (ep_it == it->second.endpoints.end()) {
     ++stats_.messages_dropped_unbound;
+    rec_event(trc::EventKind::kDrop, it->second.info.machine, peer.module,
+              peer.iface, msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, peer.module, peer.iface);
     return;
+  }
+  if (tracer_on()) {
+    tracer_->record_at(it->second.trace_site, trc::EventKind::kDeliver,
+                       it->second.info.machine, peer.module, peer.iface,
+                       msg.trace_ctx);
   }
   ep_it->second.queue.push_back(std::move(msg));
   ++stats_.messages_delivered;
@@ -480,6 +547,8 @@ void Bus::signal_reconfig(const std::string& module) {
         control_machine_.empty() ? r.info.machine : control_machine_;
     tx.epoch = r.epoch;
     tx.timeout_us = delivery_.retransmit_timeout_us;
+    tx.trace_ctx = rec_event(trc::EventKind::kSignal, tx.from_machine, module,
+                             "reconfigure requested");
     std::uint64_t id = next_control_id_++;
     control_.emplace(id, std::move(tx));
     transmit_control(id);
@@ -487,7 +556,12 @@ void Bus::signal_reconfig(const std::string& module) {
     return;
   }
   std::uint64_t epoch = rec(module).epoch;
-  sim_->schedule_after(sim_->latency_model().local_us, [this, module, epoch] {
+  trc::TraceContext req_ctx = rec_event(
+      trc::EventKind::kSignal,
+      control_machine_.empty() ? rec(module).info.machine : control_machine_,
+      module, "reconfigure requested");
+  sim_->schedule_after(sim_->latency_model().local_us,
+                       [this, module, epoch, req_ctx] {
     auto it = modules_.find(module);
     if (it == modules_.end() || it->second.epoch != epoch) return;
     it->second.reconfig_signaled = true;
@@ -496,6 +570,8 @@ void Bus::signal_reconfig(const std::string& module) {
       metrics_->counter("surgeon_bus_signals_total", {{"module", module}})
           .inc();
     }
+    rec_event(trc::EventKind::kSignal, it->second.info.machine, module,
+              "reconfigure delivered", req_ctx);
     trace(TraceEvent::Kind::kSignal, module, "reconfigure");
     wake(module);
   });
@@ -521,6 +597,9 @@ void Bus::post_divulged_state(const std::string& module,
     metrics_->counter("surgeon_bus_state_transfers_total").inc();
     metrics_->counter("surgeon_bus_state_bytes_total").inc(bytes.size());
   }
+  last_divulge_ctx_ =
+      rec_event(trc::EventKind::kDivulge, r.info.machine, module,
+                std::to_string(bytes.size()) + " bytes");
   trace(TraceEvent::Kind::kStateDivulged, module,
         std::to_string(bytes.size()) + " bytes");
   if (state_observer_) state_observer_(module, "divulged", bytes);
@@ -553,6 +632,9 @@ void Bus::deliver_state(const std::string& from_machine,
     tx.bytes = std::move(bytes);
     tx.epoch = dst.epoch;
     tx.timeout_us = delivery_.retransmit_timeout_us;
+    // The divulge that produced this buffer: redeliveries (including ones
+    // retried onto a fresh clone after a crash) keep the same cause.
+    tx.trace_ctx = last_divulge_ctx_;
     std::uint64_t id = next_control_id_++;
     control_.emplace(id, std::move(tx));
     transmit_control(id);
@@ -561,19 +643,22 @@ void Bus::deliver_state(const std::string& from_machine,
   }
   auto latency = sim_->message_latency(from_machine, dst.info.machine);
   std::uint64_t epoch = dst.epoch;
-  sim_->schedule_after(latency,
-                       [this, to_module, epoch, bytes = std::move(bytes)] {
-                         auto it = modules_.find(to_module);
-                         if (it == modules_.end() || it->second.epoch != epoch)
-                           return;
-                         trace(TraceEvent::Kind::kStateDelivered, to_module,
-                               std::to_string(bytes.size()) + " bytes");
-                         if (state_observer_) {
-                           state_observer_(to_module, "delivered", bytes);
-                         }
-                         it->second.incoming_state = bytes;
-                         wake(to_module);
-                       });
+  trc::TraceContext divulge_ctx = last_divulge_ctx_;
+  sim_->schedule_after(
+      latency, [this, to_module, epoch, divulge_ctx, bytes = std::move(bytes)] {
+        auto it = modules_.find(to_module);
+        if (it == modules_.end() || it->second.epoch != epoch) return;
+        last_state_ctx_[to_module] = rec_event(
+            trc::EventKind::kStateDeliver, it->second.info.machine, to_module,
+            std::to_string(bytes.size()) + " bytes", divulge_ctx);
+        trace(TraceEvent::Kind::kStateDelivered, to_module,
+              std::to_string(bytes.size()) + " bytes");
+        if (state_observer_) {
+          state_observer_(to_module, "delivered", bytes);
+        }
+        it->second.incoming_state = bytes;
+        wake(to_module);
+      });
 }
 
 std::optional<std::vector<std::uint8_t>> Bus::take_incoming_state(
@@ -582,6 +667,8 @@ std::optional<std::vector<std::uint8_t>> Bus::take_incoming_state(
   if (!r.incoming_state.has_value()) return std::nullopt;
   auto bytes = std::move(*r.incoming_state);
   r.incoming_state.reset();
+  rec_event(trc::EventKind::kRestore, r.info.machine, module,
+            std::to_string(bytes.size()) + " bytes", last_state_ctx_[module]);
   return bytes;
 }
 
@@ -611,6 +698,20 @@ void Bus::chaos_metric(const char* name, const char* kind) {
   if (metrics_on()) {
     metrics_->counter(name, {{"kind", kind}}).inc();
   }
+}
+
+trc::TraceContext Bus::rec_event(trc::EventKind kind,
+                                 const std::string& machine,
+                                 const std::string& module, std::string detail,
+                                 const trc::TraceContext& cause) {
+  if (!tracer_on()) return {};
+  return tracer_->record(kind, machine, module, std::move(detail), cause);
+}
+
+std::string Bus::machine_of_or(const std::string& module,
+                               const std::string& fallback) const {
+  auto it = modules_.find(module);
+  return it == modules_.end() ? fallback : it->second.info.machine;
 }
 
 void Bus::update_reliable_gauges() {
@@ -651,10 +752,23 @@ void Bus::note_module_crashed(const std::string& module, std::string detail) {
     metrics_->counter("surgeon_chaos_crashes_total", {{"module", module}})
         .inc();
   }
+  rec_event(trc::EventKind::kCrash, machine_of_or(module, "bus"), module,
+            detail);
   trace(TraceEvent::Kind::kModuleCrashed, module, std::move(detail));
 }
 
 void Bus::deliver_into(const std::string& module, Endpoint& ep, Message msg) {
+  if (tracer_on()) {
+    auto it = modules_.find(module);
+    if (it != modules_.end()) {
+      tracer_->record_at(it->second.trace_site, trc::EventKind::kDeliver,
+                         it->second.info.machine, module, ep.spec.name,
+                         msg.trace_ctx);
+    } else {
+      rec_event(trc::EventKind::kDeliver, "bus", module, ep.spec.name,
+                msg.trace_ctx);
+    }
+  }
   ep.queue.push_back(std::move(msg));
   ++stats_.messages_delivered;
   if (metrics_on()) {
@@ -710,9 +824,19 @@ void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
   }
   const std::string src_machine = owner_it->second.info.machine;
   ++entry.attempts;
+  // The context copies carry: the original send for the first transmission,
+  // the retransmit event (itself caused by the send) for retries — so a
+  // receiver's deliver parents on the transmission that actually reached it
+  // while entry.msg keeps the original send context for the next retry.
+  trc::TraceContext tx_ctx = entry.msg.trace_ctx;
   if (retransmit) {
     ++rstats_.retransmits;
     chaos_metric("surgeon_bus_retransmits_total", "message");
+    tx_ctx = rec_event(trc::EventKind::kRetransmit, src_machine,
+                       ts.owner_module,
+                       ts.owner_iface + " seq " + std::to_string(seq) +
+                           " attempt " + std::to_string(entry.attempts),
+                       entry.msg.trace_ctx);
   }
   for (const auto& peer :
        bound_peers(BindingEnd{ts.owner_module, ts.owner_iface})) {
@@ -725,12 +849,16 @@ void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
         consult_fault(src_machine, dst_it->second.info.machine);
     std::uint64_t epoch = dst_it->second.epoch;
     ++rstats_.transmissions;
+    chaos_metric("surgeon_bus_transmissions_total", "message");
     if (fd.drop) {
       ++rstats_.chaos_drops;
       chaos_metric("surgeon_bus_chaos_drops_total", "message");
+      rec_event(trc::EventKind::kDrop, src_machine, peer.module,
+                peer.iface + " (chaos)", tx_ctx);
       trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
     } else {
       Message copy = entry.msg;
+      copy.trace_ctx = tx_ctx;
       sim_->schedule_after(
           latency + fd.extra_delay_us,
           [this, peer, copy = std::move(copy), epoch]() mutable {
@@ -740,7 +868,10 @@ void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
     if (fd.duplicate) {
       ++rstats_.dup_injected;
       ++rstats_.transmissions;
+      chaos_metric("surgeon_bus_dup_injected_total", "message");
+      chaos_metric("surgeon_bus_transmissions_total", "message");
       Message copy = entry.msg;
+      copy.trace_ctx = tx_ctx;
       sim_->schedule_after(
           latency + fd.duplicate_delay_us,
           [this, peer, copy = std::move(copy), epoch]() mutable {
@@ -767,6 +898,10 @@ void Bus::arm_retransmit(const StreamKey& stream, std::uint64_t seq,
     if (entry.attempts >= delivery_.max_attempts) {
       ++rstats_.gave_up;
       chaos_metric("surgeon_bus_delivery_gave_up_total", "message");
+      rec_event(trc::EventKind::kDrop,
+                machine_of_or(ts.owner_module, "bus"), ts.owner_module,
+                ts.owner_iface + " seq " + std::to_string(seq) + " (gave up)",
+                entry.msg.trace_ctx);
       trace(TraceEvent::Kind::kDrop, ts.owner_module,
             ts.owner_iface + " seq " + std::to_string(seq) + " (gave up)");
       ts.unacked.erase(eit);
@@ -787,17 +922,24 @@ void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
   if (it == modules_.end() || it->second.epoch != epoch) {
     // The destination is gone; unlike fire-and-forget, this is not a loss:
     // the sender keeps retransmitting toward whoever inherits the binding.
+    rec_event(trc::EventKind::kDrop, machine_of_or(dst.module, "bus"),
+              dst.module, dst.iface + " (in flight to removed module)",
+              msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, dst.module,
           dst.iface + " (in flight to removed module)");
     return;
   }
   auto ep_it = it->second.endpoints.find(dst.iface);
   if (ep_it == it->second.endpoints.end()) {
+    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
+              dst.iface, msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, dst.module, dst.iface);
     return;
   }
   Endpoint& ep = ep_it->second;
   if (ep.rx_retired) {
+    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
+              dst.iface + " (retired)", msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, dst.module, dst.iface + " (retired)");
     return;  // no ack: the retransmit follows the rebound binding
   }
@@ -808,6 +950,8 @@ void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
   if (seq < rx.next_expected || rx.ooo.contains(seq)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "message");
+    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, dst.module,
+              dst.iface + " seq " + std::to_string(seq), msg.trace_ctx);
     trace(TraceEvent::Kind::kDrop, dst.module,
           dst.iface + " (duplicate seq " + std::to_string(seq) + ")");
     have_it = true;  // re-ack: the first ack may have been lost
@@ -824,12 +968,17 @@ void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
   } else if (rx.ooo.size() < delivery_.max_ooo_buffered) {
     rx.ooo.emplace(seq, std::move(msg));
     ++rstats_.ooo_buffered;
+    chaos_metric("surgeon_bus_ooo_buffered_total", "message");
     have_it = true;
     update_reliable_gauges();
   } else {
     // Window full: discard unacked; the retransmit will refill it once the
     // gap closes. Bounds receiver memory under adversarial reordering.
     ++rstats_.ooo_overflow;
+    chaos_metric("surgeon_bus_ooo_overflow_total", "message");
+    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
+              dst.iface + " seq " + std::to_string(seq) + " (ooo overflow)",
+              msg.trace_ctx);
   }
   if (have_it) send_ack(dst.module, stream, seq);
 }
@@ -925,13 +1074,20 @@ void Bus::transmit_control(std::uint64_t id) {
   if (tx.attempts > 1) {
     ++rstats_.retransmits;
     chaos_metric("surgeon_bus_retransmits_total", kind_str);
+    rec_event(trc::EventKind::kRetransmit, tx.from_machine, tx.target,
+              std::string(kind_str) + " attempt " +
+                  std::to_string(tx.attempts),
+              tx.trace_ctx);
   }
   const std::string& dst_machine = mod_it->second.info.machine;
   FaultDecision fd = consult_fault(tx.from_machine, dst_machine);
   ++rstats_.transmissions;
+  chaos_metric("surgeon_bus_transmissions_total", kind_str);
   if (fd.drop) {
     ++rstats_.chaos_drops;
     chaos_metric("surgeon_bus_chaos_drops_total", kind_str);
+    rec_event(trc::EventKind::kDrop, tx.from_machine, tx.target,
+              std::string(kind_str) + " (chaos)", tx.trace_ctx);
     return;
   }
   auto latency = sim_->message_latency(tx.from_machine, dst_machine);
@@ -967,6 +1123,8 @@ void Bus::arm_control_retry(std::uint64_t id, net::SimTime timeout_us) {
     if (tx.attempts >= delivery_.max_attempts) {
       ++rstats_.gave_up;
       chaos_metric("surgeon_bus_delivery_gave_up_total", kind_str);
+      rec_event(trc::EventKind::kDrop, tx.from_machine, tx.target,
+                std::string(kind_str) + " (gave up)", tx.trace_ctx);
       trace(TraceEvent::Kind::kDrop, tx.target,
             std::string(kind_str) + " (gave up)");
       control_.erase(it);
@@ -983,10 +1141,16 @@ void Bus::arm_control_retry(std::uint64_t id, net::SimTime timeout_us) {
 void Bus::apply_signal(const std::string& module, std::uint64_t id) {
   auto it = modules_.find(module);
   if (it == modules_.end()) return;
+  auto ctl_it = control_.find(id);
+  const trc::TraceContext cause =
+      ctl_it == control_.end() ? trc::TraceContext{}
+                               : ctl_it->second.trace_ctx;
   auto& applied = applied_control_[module];
   if (contains_id(applied, id)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "signal");
+    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, module,
+              "signal id " + std::to_string(id), cause);
   } else {
     applied.push_back(id);
     it->second.reconfig_signaled = true;
@@ -995,6 +1159,8 @@ void Bus::apply_signal(const std::string& module, std::uint64_t id) {
       metrics_->counter("surgeon_bus_signals_total", {{"module", module}})
           .inc();
     }
+    rec_event(trc::EventKind::kSignal, it->second.info.machine, module,
+              "reconfigure delivered", cause);
     trace(TraceEvent::Kind::kSignal, module, "reconfigure");
     wake(module);
   }
@@ -1005,12 +1171,21 @@ void Bus::apply_state(const std::string& module, std::uint64_t id,
                       const std::vector<std::uint8_t>& bytes) {
   auto it = modules_.find(module);
   if (it == modules_.end()) return;
+  auto ctl_it = control_.find(id);
+  const trc::TraceContext cause =
+      ctl_it == control_.end() ? trc::TraceContext{}
+                               : ctl_it->second.trace_ctx;
   auto& applied = applied_control_[module];
   if (contains_id(applied, id)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "state");
+    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, module,
+              "state id " + std::to_string(id), cause);
   } else {
     applied.push_back(id);
+    last_state_ctx_[module] = rec_event(
+        trc::EventKind::kStateDeliver, it->second.info.machine, module,
+        std::to_string(bytes.size()) + " bytes", cause);
     trace(TraceEvent::Kind::kStateDelivered, module,
           std::to_string(bytes.size()) + " bytes");
     if (state_observer_) state_observer_(module, "delivered", bytes);

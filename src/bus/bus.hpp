@@ -25,8 +25,13 @@
 #include "bus/message.hpp"
 #include "net/sim.hpp"
 #include "obs/metrics.hpp"
+#include "trace/recorder.hpp"
 
 namespace surgeon::bus {
+
+// The causal flight recorder lives in surgeon::trace; aliased because the
+// Bus also has a (legacy) member function named `trace`.
+namespace trc = ::surgeon::trace;
 
 /// Everything the bus needs to instantiate a module. (The configuration
 /// front end surgeon::cfg produces a richer spec and lowers it to this.)
@@ -314,6 +319,13 @@ class Bus {
     return metrics_;
   }
 
+  /// Attaches the causal flight recorder (null detaches, the default).
+  /// While attached and enabled, every send/deliver/drop/retransmit/
+  /// signal/state/rebind/lifecycle action records an event with its causal
+  /// parents, and outgoing messages carry a TraceContext header.
+  void set_tracer(trc::Recorder* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] trc::Recorder* tracer() const noexcept { return tracer_; }
+
   [[nodiscard]] net::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
 
@@ -375,6 +387,9 @@ class Bus {
     std::uint64_t epoch = 0;
     int attempts = 0;
     net::SimTime timeout_us = 0;
+    /// Causal context of the request event (the divulge for state moves),
+    /// carried across control retries so redeliveries keep their cause.
+    trc::TraceContext trace_ctx;
   };
   struct ModuleRec {
     ModuleInfo info;
@@ -385,6 +400,9 @@ class Bus {
     /// Incremented when the module is removed so in-flight deliveries to a
     /// deleted-and-recreated name are discarded.
     std::uint64_t epoch = 0;
+    /// Pre-resolved recorder slot for this module's hot-path events (send,
+    /// deliver); saves two hash lookups per journaled hop.
+    trc::Recorder::Site trace_site;
   };
 
   [[nodiscard]] ModuleRec& rec(const std::string& name);
@@ -426,6 +444,16 @@ class Bus {
   [[nodiscard]] bool metrics_on() const noexcept {
     return metrics_ != nullptr && metrics_->enabled();
   }
+  [[nodiscard]] bool tracer_on() const noexcept {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
+  /// Records a causal event when the flight recorder is on; returns the
+  /// context to stamp on outgoing copies (invalid when recording is off).
+  trc::TraceContext rec_event(trc::EventKind kind, const std::string& machine,
+                              const std::string& module, std::string detail,
+                              const trc::TraceContext& cause = {});
+  [[nodiscard]] std::string machine_of_or(const std::string& module,
+                                          const std::string& fallback) const;
   void note_depth(const Endpoint& ep) {
     if (metrics_on() && ep.depth_gauge != nullptr) {
       ep.depth_gauge->set(static_cast<std::int64_t>(ep.queue.size()));
@@ -449,6 +477,14 @@ class Bus {
   TraceSink trace_;
   BusStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  trc::Recorder* tracer_ = nullptr;
+  /// Last divulge / rebind events: the causal anchors for state deliveries
+  /// (divulge happens-before every objstate apply) and queue captures.
+  trc::TraceContext last_divulge_ctx_;
+  trc::TraceContext last_rebind_ctx_;
+  /// Per-module context of the last state delivery, the cause of the
+  /// module's restore event when it decodes the buffer.
+  std::map<std::string, trc::TraceContext> last_state_ctx_;
   // Reliable delivery layer (inactive until set_delivery turns it on).
   DeliveryOptions delivery_;
   FaultHook fault_;

@@ -2,6 +2,7 @@
 
 #include "obs/export.hpp"
 #include "support/diag.hpp"
+#include "trace/assemble.hpp"
 
 namespace surgeon::bus {
 
@@ -19,6 +20,25 @@ std::string Client::mh_stats(const std::string& format) const {
   if (format == "json") return obs::to_json(*registry);
   throw support::BusError("mh_stats: unknown format '" + format +
                           "' (expected \"prometheus\" or \"json\")");
+}
+
+std::string Client::mh_trace(const std::string& format, bool drain) {
+  if (format != "json" && format != "text") {
+    throw support::BusError("mh_trace: unknown format '" + format +
+                            "' (expected \"json\" or \"text\")");
+  }
+  trace::Recorder* recorder = bus_->tracer();
+  if (recorder == nullptr) return format == "json" ? "[]\n" : "";
+  const std::string& machine = bus_->module_info(module_).machine;
+  std::vector<trace::Event> events;
+  if (drain) {
+    events = recorder->drain(machine);
+  } else {
+    const auto& journal = recorder->journal(machine);
+    events.assign(journal.begin(), journal.end());
+  }
+  return format == "json" ? trace::events_to_json(events)
+                          : trace::events_to_text(events);
 }
 
 }  // namespace surgeon::bus

@@ -70,6 +70,15 @@ class Client {
   [[nodiscard]] std::string mh_stats(
       const std::string& format = "prometheus") const;
 
+  /// mh_trace: export this machine's causal flight-recorder journal.
+  /// `format` is "json" (array of events with ids, causal parents, Lamport
+  /// clocks) or "text" (one timeline line per event). With `drain` the
+  /// journal is emptied as it is read, so periodic collectors see each
+  /// event once. Returns an empty export when no recorder is attached;
+  /// throws BusError on an unknown format.
+  [[nodiscard]] std::string mh_trace(const std::string& format = "json",
+                                     bool drain = false);
+
   [[nodiscard]] Bus& bus() noexcept { return *bus_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "serialize/value.hpp"
+#include "trace/event.hpp"
 
 namespace surgeon::bus {
 
@@ -48,6 +49,12 @@ struct Message {
   std::string stream_module;
   std::string stream_iface;
   std::uint64_t seq = 0;
+  /// Causal trace header (trace/event.hpp): names the send (or retransmit)
+  /// event this copy belongs to so the receiving machine can merge Lamport
+  /// clocks and parent its deliver event on the true transmission. Carried
+  /// through retransmissions, duplicates, and clone queue capture; invalid
+  /// (event 0) when tracing is off.
+  trace::TraceContext trace_ctx;
 
   [[nodiscard]] std::string to_string() const;
 };

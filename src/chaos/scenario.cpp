@@ -9,6 +9,7 @@
 #include "cfg/parser.hpp"
 #include "net/arch.hpp"
 #include "reconfig/scripts.hpp"
+#include "trace/checker.hpp"
 
 namespace surgeon::chaos {
 
@@ -129,6 +130,8 @@ struct PassResult {
   std::vector<std::vector<std::uint8_t>> delivered;
   bus::ReliableStats rstats;
   std::string drain_failure;
+  std::vector<std::string> hb_violations;
+  std::uint64_t hb_events = 0;
 };
 
 PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
@@ -138,6 +141,12 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
   app::Runtime& rt = *rt_owner;
   if (injector != nullptr) injector->attach(rt.bus());
   rt.enable_metrics();
+  // Invariant 5 runs online over the flight recorder: the checker sees
+  // every event as it is recorded, before the ring can evict it.
+  rt.enable_causal_tracing();
+  trace::HbChecker hb_checker;
+  rt.tracer().set_observer(
+      [&hb_checker](const trace::Event& ev) { hb_checker.observe(ev); });
   rt.bus().set_state_observer(
       [&pr](const std::string&, const char* phase,
             const std::vector<std::uint8_t>& bytes) {
@@ -252,6 +261,8 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
 
   vm::Machine* observer = rt.machine_of(roles.observer);
   if (observer != nullptr) pr.output = observer->output();
+  pr.hb_violations = hb_checker.violations();
+  pr.hb_events = hb_checker.observed();
   return pr;
 }
 
@@ -361,6 +372,27 @@ bool check_rebind_after_quiescence(const PassResult& pass,
   return true;
 }
 
+/// Invariant 5: the online happens-before checker saw a nonempty causal
+/// event stream and flagged nothing.
+bool check_happens_before(const PassResult& pass, const char* which,
+                          ScenarioResult& result) {
+  if (pass.hb_events == 0) {
+    return fail(result, std::string("invariant 5: ") + which +
+                            " pass recorded no causal events (tracing "
+                            "was not running)");
+  }
+  if (!pass.hb_violations.empty()) {
+    std::string msg = std::string("invariant 5: ") + which + " pass: " +
+                      pass.hb_violations.front();
+    if (pass.hb_violations.size() > 1) {
+      msg += " (+" + std::to_string(pass.hb_violations.size() - 1) +
+             " more violations)";
+    }
+    return fail(result, msg);
+  }
+  return true;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
@@ -380,6 +412,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.output = chaos.output;
   result.rstats = chaos.rstats;
   result.fstats = injector.stats();
+  result.hb_events = chaos.hb_events;
 
   if (!chaos.vm_fault.empty()) {
     fail(result, "chaos pass: " + chaos.vm_fault);
@@ -400,6 +433,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   check_no_loss_no_dup(spec, chaos.output, result);
   check_state_fidelity(chaos, result);
   check_rebind_after_quiescence(chaos, result);
+  check_happens_before(chaos, "chaos", result);
   if (!result.failure.empty()) return result;
 
   if (spec.app != SampleApp::kMonitor) {
@@ -417,6 +451,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
                        " lines) differs from fault-free golden run (" +
                        std::to_string(golden.output.size()) + " lines)");
     }
+    check_happens_before(golden, "golden", result);
   }
   return result;
 }

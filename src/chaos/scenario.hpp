@@ -3,7 +3,7 @@
 // A scenario builds one of the sample applications (counter, pipeline,
 // monitor), turns on reliable delivery, attaches a seeded FaultInjector,
 // replaces the app's reconfigurable module mid-run -- optionally crashing
-// the clone on its first state delivery -- and then checks the four
+// the clone on its first state delivery -- and then checks the five
 // invariants of the chaos harness:
 //
 //   1. no client request lost or double-applied,
@@ -12,7 +12,9 @@
 //      (divulged its state),
 //   4. the application's final output matches the fault-free golden run
 //      (counter and pipeline; the monitor's sensor is random, so it is
-//      checked for liveness instead of output equality).
+//      checked for liveness instead of output equality),
+//   5. the causal event stream satisfies the happens-before protocol
+//      invariants (trace::HbChecker, run online over the flight recorder).
 //
 // Every scenario is a pure function of its ScenarioSpec -- in particular
 // of `seed` -- so a failing run is replayed by constructing the same spec.
@@ -69,6 +71,9 @@ struct ScenarioResult {
   std::vector<std::string> golden;  // fault-free reference output
   bus::ReliableStats rstats;
   FaultStats fstats;
+  /// Causal events the happens-before checker observed in the chaos pass
+  /// (nonzero proves invariant 5 was actually exercised, not skipped).
+  std::uint64_t hb_events = 0;
 
   [[nodiscard]] bool ok() const noexcept { return failure.empty(); }
 };

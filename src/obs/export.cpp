@@ -1,8 +1,7 @@
 #include "obs/export.hpp"
 
+#include <iomanip>
 #include <sstream>
-
-#include "support/strutil.hpp"
 
 namespace surgeon::obs {
 
@@ -51,13 +50,39 @@ void type_line(std::ostringstream& os, std::string& last_typed,
   last_typed = name;
 }
 
+/// RFC 8259 string quoting. support::quote (meant for diagnostics) leaves
+/// control characters other than newline unescaped, which would make the
+/// export unparseable for a label value holding, say, a tab.
+std::string json_quote(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+  return os.str();
+}
+
 std::string json_labels(const Labels& labels) {
   std::ostringstream os;
   os << "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i != 0) os << ",";
-    os << support::quote(labels[i].first) << ":"
-       << support::quote(labels[i].second);
+    os << json_quote(labels[i].first) << ":" << json_quote(labels[i].second);
   }
   os << "}";
   return os.str();
@@ -106,7 +131,7 @@ std::string to_json(const MetricsRegistry& registry) {
   for (const auto& [key, counter] : registry.counters()) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":" << support::quote(key.first)
+    os << "{\"name\":" << json_quote(key.first)
        << ",\"labels\":" << json_labels(key.second)
        << ",\"value\":" << counter.value() << "}";
   }
@@ -115,7 +140,7 @@ std::string to_json(const MetricsRegistry& registry) {
   for (const auto& [key, gauge] : registry.gauges()) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":" << support::quote(key.first)
+    os << "{\"name\":" << json_quote(key.first)
        << ",\"labels\":" << json_labels(key.second)
        << ",\"value\":" << gauge.value() << "}";
   }
@@ -124,7 +149,7 @@ std::string to_json(const MetricsRegistry& registry) {
   for (const auto& [key, hist] : registry.histograms()) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":" << support::quote(key.first)
+    os << "{\"name\":" << json_quote(key.first)
        << ",\"labels\":" << json_labels(key.second) << ",\"buckets\":[";
     for (std::size_t i = 0; i < hist.upper_bounds().size(); ++i) {
       if (i != 0) os << ",";
@@ -140,8 +165,8 @@ std::string to_json(const MetricsRegistry& registry) {
   for (const auto& span : registry.spans()) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":" << support::quote(span.name)
-       << ",\"scope\":" << support::quote(span.scope)
+    os << "{\"name\":" << json_quote(span.name)
+       << ",\"scope\":" << json_quote(span.scope)
        << ",\"begin_us\":" << span.begin_us << ",\"end_us\":" << span.end_us
        << ",\"seq\":" << span.seq << "}";
   }

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "serialize/state.hpp"
+#include "trace/recorder.hpp"
 
 namespace surgeon::reconfig {
 
@@ -53,6 +54,18 @@ std::size_t queued_total(bus::Bus& bus, const std::string& module) {
   }
   return n;
 }
+
+/// Closes the flight recorder's current trace grouping when the script
+/// leaves, normally or by throw, so later traffic is not misattributed.
+struct TraceScope {
+  explicit TraceScope(trace::Recorder& recorder) : recorder_(recorder) {}
+  ~TraceScope() { recorder_.end_trace(); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  trace::Recorder& recorder_;
+};
 
 enum class RestoreOutcome { kOk, kCrashed, kFault, kTimeout };
 
@@ -125,6 +138,13 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   // Each script step runs under an obs::Span: a no-op while metrics are
   // disabled, a virtual-time span per Figure 5 phase when enabled.
   obs::MetricsRegistry* metrics = &rt.metrics();
+  // Open a trace grouping so the flight recorder attributes the whole
+  // replacement (signal, divulge, state move, rebind, captures) to one
+  // trace id; a no-op while causal tracing is disabled.
+  TraceScope trace_scope(rt.tracer());
+  if (rt.tracer().enabled()) {
+    report.trace_id = rt.tracer().begin_trace("replace:" + instance);
+  }
 
   // 1. mh_obj_cap: the current specification (machine may have changed in a
   //    previous reconfiguration, so read it from the bus, not the config).

@@ -104,6 +104,9 @@ struct ReplaceReport {
   std::size_t queued_messages_moved = 0;
   /// Installation attempts consumed (1 = no retry was needed).
   int attempts = 1;
+  /// Flight-recorder trace grouping of this replacement (0 when causal
+  /// tracing was off); filter exporters on it to isolate the operation.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] net::SimTime total_delay() const noexcept {
     return completed_at - requested_at;

@@ -1,0 +1,178 @@
+#include "trace/assemble.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace surgeon::trace {
+namespace {
+
+// JSON string escaping including control characters (RFC 8259): the
+// detail field can carry anything a module put on the wire.
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  os << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+  os << '"';
+  return os.str();
+}
+
+void append_event_json(std::ostringstream& os, const Event& ev) {
+  os << "{\"id\":" << ev.id << ",\"parent\":" << ev.parent
+     << ",\"cause\":" << ev.cause << ",\"trace\":" << ev.trace_id
+     << ",\"lamport\":" << ev.lamport << ",\"at\":" << ev.at
+     << ",\"kind\":" << json_escape(kind_name(ev.kind))
+     << ",\"machine\":" << json_escape(ev.machine)
+     << ",\"module\":" << json_escape(ev.module)
+     << ",\"detail\":" << json_escape(ev.detail) << "}";
+}
+
+void append_timeline_line(std::ostringstream& os, const Event& ev) {
+  os << std::setw(10) << ev.at << "us  L" << std::left << std::setw(5)
+     << ev.lamport << std::setw(9) << ev.machine << std::setw(13)
+     << ev.module << std::setw(14) << kind_name(ev.kind) << std::right
+     << "#" << ev.id;
+  if (ev.cause != 0) os << " <-#" << ev.cause;
+  if (!ev.detail.empty()) os << "  " << ev.detail;
+  os << "\n";
+}
+
+}  // namespace
+
+const Event* Dag::find(EventId id) const {
+  auto it = std::lower_bound(
+      events.begin(), events.end(), id,
+      [](const Event& ev, EventId want) { return ev.id < want; });
+  if (it == events.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+bool Dag::happens_before(EventId a, EventId b) const {
+  if (a == 0 || b == 0 || a == b) return false;
+  std::vector<EventId> stack{b};
+  std::unordered_set<EventId> seen;
+  while (!stack.empty()) {
+    EventId cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    const Event* ev = find(cur);
+    if (ev == nullptr) continue;
+    for (EventId up : {ev->parent, ev->cause}) {
+      if (up == 0 || up < a) continue;  // ids ascend; can't reach a below it
+      if (up == a) return true;
+      stack.push_back(up);
+    }
+  }
+  return false;
+}
+
+Dag assemble(const Recorder& recorder) {
+  std::vector<Event> all;
+  for (const auto& machine : recorder.machines()) {
+    const auto& journal = recorder.journal(machine);
+    all.insert(all.end(), journal.begin(), journal.end());
+  }
+  return assemble(std::move(all));
+}
+
+Dag assemble(std::vector<Event> events) {
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+  Dag dag;
+  dag.events = std::move(events);
+  return dag;
+}
+
+std::string to_chrome_trace(const Dag& dag, std::uint64_t trace_id) {
+  std::unordered_map<std::string, int> pids;
+  std::unordered_map<std::string, int> tids;
+  std::ostringstream meta;
+  std::ostringstream body;
+  bool first = true;
+  for (const Event& ev : dag.events) {
+    if (trace_id != 0 && ev.trace_id != trace_id) continue;
+    auto [pit, pnew] = pids.emplace(ev.machine, pids.size() + 1);
+    if (pnew) {
+      meta << (pids.size() + tids.size() > 1 ? ",\n" : "")
+           << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pit->second
+           << ",\"args\":{\"name\":" << json_escape(ev.machine) << "}}";
+    }
+    auto [tit, tnew] = tids.emplace(ev.module, tids.size() + 1);
+    if (tnew) {
+      meta << (pids.size() + tids.size() > 1 ? ",\n" : "")
+           << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pit->second
+           << ",\"tid\":" << tit->second
+           << ",\"args\":{\"name\":" << json_escape(ev.module) << "}}";
+    }
+    body << (first ? "" : ",\n") << "{\"name\":\""
+         << kind_name(ev.kind) << "\",\"cat\":\"bus\",\"ph\":\"i\",\"s\":\"t\""
+         << ",\"pid\":" << pit->second << ",\"tid\":" << tit->second
+         << ",\"ts\":" << ev.at << ",\"args\":{\"id\":" << ev.id
+         << ",\"lamport\":" << ev.lamport << ",\"trace\":" << ev.trace_id
+         << ",\"detail\":" << json_escape(ev.detail) << "}}";
+    first = false;
+    if (ev.cause != 0) {
+      const Event* cause = dag.find(ev.cause);
+      if (cause != nullptr) {
+        int cpid = pids.emplace(cause->machine, pids.size() + 1).first->second;
+        int ctid = tids.emplace(cause->module, tids.size() + 1).first->second;
+        body << ",\n{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+             << ev.id << ",\"pid\":" << cpid << ",\"tid\":" << ctid
+             << ",\"ts\":" << cause->at << "},\n"
+             << "{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\""
+             << ",\"id\":" << ev.id << ",\"pid\":" << pit->second
+             << ",\"tid\":" << tit->second << ",\"ts\":" << ev.at << "}";
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n" << meta.str();
+  if (!meta.str().empty() && !body.str().empty()) os << ",\n";
+  os << body.str() << "\n]}\n";
+  return os.str();
+}
+
+std::string to_timeline(const Dag& dag, std::uint64_t trace_id) {
+  std::ostringstream os;
+  for (const Event& ev : dag.events) {
+    if (trace_id != 0 && ev.trace_id != trace_id) continue;
+    append_timeline_line(os, ev);
+  }
+  return os.str();
+}
+
+std::string events_to_json(const std::vector<Event>& events) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) os << ",\n ";
+    append_event_json(os, events[i]);
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::string events_to_text(const std::vector<Event>& events) {
+  std::ostringstream os;
+  for (const Event& ev : events) append_timeline_line(os, ev);
+  return os.str();
+}
+
+}  // namespace surgeon::trace

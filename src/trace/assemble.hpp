@@ -1,0 +1,40 @@
+// Trace assembler: merge per-machine journals back into the global
+// event DAG and export it.
+//
+// Because the simulator is deterministic and single-threaded, global
+// event ids are a faithful total order of execution; assembly is a
+// merge-by-id of whatever journals survived their rings.  Exporters:
+//
+//   to_chrome_trace — Chrome trace_event JSON (load in chrome://tracing
+//                     or Perfetto).  Machines map to processes, modules
+//                     to threads, cause edges to flow events.
+//   to_timeline     — human-readable causal timeline, one event per
+//                     line, used by the monitor example.
+//   events_to_json  — plain JSON array of events (mh_trace wire form).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace surgeon::trace {
+
+struct Dag {
+  std::vector<Event> events;  // ascending id
+
+  const Event* find(EventId id) const;
+  // True iff a is a causal ancestor of b via parent/cause edges.
+  bool happens_before(EventId a, EventId b) const;
+};
+
+Dag assemble(const Recorder& recorder);
+Dag assemble(std::vector<Event> events);
+
+// trace_id filters the export to one trace grouping; 0 exports all.
+std::string to_chrome_trace(const Dag& dag, std::uint64_t trace_id = 0);
+std::string to_timeline(const Dag& dag, std::uint64_t trace_id = 0);
+std::string events_to_json(const std::vector<Event>& events);
+std::string events_to_text(const std::vector<Event>& events);
+
+}  // namespace surgeon::trace

@@ -1,0 +1,143 @@
+#include "trace/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace surgeon::trace {
+namespace {
+
+// Pulls "a,b,c" out of a rebind detail's "modules=a,b,c" suffix.
+std::vector<std::string> parse_modules(const std::string& detail) {
+  std::vector<std::string> out;
+  auto pos = detail.find("modules=");
+  if (pos == std::string::npos) return out;
+  std::string list = detail.substr(pos + 8);
+  if (auto space = list.find(' '); space != std::string::npos) {
+    list.resize(space);
+  }
+  std::istringstream is(list);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+constexpr std::size_t kMaxViolations = 100;
+
+}  // namespace
+
+void HbChecker::observe(const Event& ev) {
+  ++observed_;
+  shadow_[ev.id] = Shadow{ev.parent, ev.cause, ev.lamport, ev.kind};
+
+  // I6: the journal must read as a faithful per-machine execution order.
+  MachineState& machine = per_machine_[ev.machine];
+  if (machine.lamport != 0 && ev.lamport <= machine.lamport) {
+    fail(ev, "I6: machine journal reordered (lamport not increasing)");
+  }
+  if (ev.at < machine.at) {
+    fail(ev, "I6: machine journal reordered (virtual time went backwards)");
+  }
+  machine.lamport = std::max(machine.lamport, ev.lamport);
+  machine.at = std::max(machine.at, ev.at);
+
+  // I5: merged clock strictly exceeds both causal parents.
+  for (EventId up : {ev.parent, ev.cause}) {
+    if (up == 0) continue;
+    auto it = shadow_.find(up);
+    if (it != shadow_.end() && ev.lamport <= it->second.lamport) {
+      fail(ev, "I5: Lamport merge violated (clock not past parent #" +
+                   std::to_string(up) + ")");
+    }
+  }
+
+  switch (ev.kind) {
+    case EventKind::kModuleAdded:
+      if (ev.detail.find("status=clone") != std::string::npos) {
+        clones_.insert(ev.module);
+      }
+      break;
+    case EventKind::kDivulge:
+      divulged_[ev.module] = ev.id;
+      break;
+    case EventKind::kRebind:
+      for (const std::string& module : parse_modules(ev.detail)) {
+        const bool first_rebind = rebound_.emplace(module, ev.id).second;
+        if (first_rebind && clones_.count(module) != 0) {
+          // I1: binding a clone into the configuration requires the
+          // retiring side to have divulged first; the bus stamps the
+          // rebind's cause with the divulge that proved quiescence.
+          auto cause = shadow_.find(ev.cause);
+          if (cause == shadow_.end() ||
+              cause->second.kind != EventKind::kDivulge) {
+            fail(ev, "I1: clone '" + module +
+                         "' rebound before any divulge (no quiescence)");
+          }
+        }
+        if (divulged_.count(module) != 0) retired_.emplace(module, ev.id);
+      }
+      break;
+    case EventKind::kDeliver:
+      if (retired_.count(ev.module) != 0) {
+        fail(ev, "I2: message delivered to retired module '" + ev.module +
+                     "' after quiescence+rebind");
+      }
+      if (clones_.count(ev.module) != 0 && rebound_.count(ev.module) == 0) {
+        fail(ev, "I4: message delivered to clone '" + ev.module +
+                     "' before its rebind");
+      }
+      break;
+    case EventKind::kStateDeliver:
+    case EventKind::kRestore:
+      if (!has_divulge_ancestor(ev.id)) {
+        fail(ev, "I3: object state applied at '" + ev.module +
+                     "' without a divulge happens-before it");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool HbChecker::has_divulge_ancestor(EventId id) const {
+  std::vector<EventId> stack{id};
+  std::vector<EventId> seen;
+  std::size_t steps = 0;
+  while (!stack.empty() && ++steps < 100000) {
+    EventId cur = stack.back();
+    stack.pop_back();
+    if (std::find(seen.begin(), seen.end(), cur) != seen.end()) continue;
+    seen.push_back(cur);
+    auto it = shadow_.find(cur);
+    if (it == shadow_.end()) continue;
+    if (it->second.kind == EventKind::kDivulge) return true;
+    if (it->second.parent != 0) stack.push_back(it->second.parent);
+    if (it->second.cause != 0) stack.push_back(it->second.cause);
+  }
+  return false;
+}
+
+void HbChecker::fail(const Event& ev, const std::string& what) {
+  if (violations_.size() >= kMaxViolations) return;
+  std::ostringstream os;
+  os << what << " [event #" << ev.id << " " << kind_name(ev.kind) << " "
+     << ev.machine << "/" << ev.module << " t=" << ev.at
+     << " L=" << ev.lamport;
+  if (!ev.detail.empty()) os << " " << ev.detail;
+  os << "]";
+  violations_.push_back(os.str());
+}
+
+void HbChecker::reset() {
+  shadow_.clear();
+  per_machine_.clear();
+  clones_.clear();
+  divulged_.clear();
+  rebound_.clear();
+  retired_.clear();
+  violations_.clear();
+  observed_ = 0;
+}
+
+}  // namespace surgeon::trace

@@ -1,0 +1,71 @@
+// Online happens-before checker for the Figure-5 replacement protocol.
+//
+// Subscribes to the Recorder's observer hook and validates, as events
+// stream past, the causal invariants the protocol promises:
+//
+//   I1  a rebind that binds a clone is preceded by a divulge (quiescence
+//       was reached before the configuration changed);
+//   I2  no message is delivered to a retiring module after its divulged
+//       state has been collected and it has been rebound away — the
+//       paper's "no messages to the quiescent module";
+//   I3  every state delivery / restore has a divulge as causal ancestor
+//       (objstate cannot apply before it was divulged);
+//   I4  rebind happens before the first message delivery to the clone
+//       (state buffers are exempt: the script moves objstate to the
+//       clone in step 4, before the step-5 rebind);
+//   I5  Lamport sanity: an event's clock strictly exceeds both parents'
+//       (the merge rule held);
+//   I6  per-machine journal monotonicity: Lamport strictly increasing
+//       and virtual time non-decreasing in recording order.
+//
+// Violations accumulate as strings; ok() is the scenario-level verdict.
+// The checker is deliberately tolerant of ring eviction: it keeps its
+// own compact shadow of every event it observed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace surgeon::trace {
+
+class HbChecker {
+ public:
+  void observe(const Event& ev);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t observed() const { return observed_; }
+  void reset();
+
+ private:
+  struct Shadow {
+    EventId parent = 0;
+    EventId cause = 0;
+    std::uint64_t lamport = 0;
+    EventKind kind = EventKind::kSend;
+  };
+  struct MachineState {
+    std::uint64_t lamport = 0;
+    net::SimTime at = 0;
+  };
+
+  bool has_divulge_ancestor(EventId id) const;
+  void fail(const Event& ev, const std::string& what);
+
+  std::unordered_map<EventId, Shadow> shadow_;
+  std::map<std::string, MachineState> per_machine_;
+  std::set<std::string> clones_;        // modules added with status=clone
+  std::map<std::string, EventId> divulged_;   // module -> divulge event
+  std::map<std::string, EventId> rebound_;    // module -> first rebind
+  std::map<std::string, EventId> retired_;    // divulged + later rebound
+  std::vector<std::string> violations_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace surgeon::trace

@@ -106,6 +106,11 @@ TEST(Export, PrometheusGolden) {
   reg.counter("surgeon_bus_messages_sent_total",
               {{"module", "c"}, {"iface", "in"}})
       .inc(1);
+  // A label value exercising every escape the exposition format defines:
+  // double quote, backslash, and newline.
+  reg.counter("surgeon_chaos_note_total",
+              {{"detail", "line1\nline2 \"q\" back\\slash"}})
+      .inc();
   reg.gauge("surgeon_bus_queue_depth", {{"module", "c"}, {"iface", "in"}})
       .set(2);
   Histogram& h = reg.histogram("surgeon_reconfig_step_us",
@@ -126,6 +131,16 @@ TEST(Export, PrometheusEscapesLabelValues) {
   MetricsRegistry reg;
   reg.counter("c", {{"k", "a\"b\\c\nd"}}).inc();
   EXPECT_NE(to_prometheus(reg).find("c{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Export, JsonEscapesControlCharacters) {
+  // support::quote (diagnostics) stops at newline; the JSON export must
+  // escape every control character or the document fails to parse.
+  MetricsRegistry reg;
+  reg.counter("c", {{"k", "a\tb\rc\x01" "d\"e\\f\ng"}}).inc();
+  std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"a\\tb\\rc\\u0001d\\\"e\\\\f\\ng\""),
             std::string::npos);
 }
 
