@@ -70,6 +70,31 @@ void BM_BurstThroughput(benchmark::State& state) {
 BENCHMARK(BM_BurstThroughput)->Arg(16)->Arg(256)->Arg(4096)
     ->ArgNames({"burst"});
 
+// The steady-state hot path: endpoint handles resolved once (as bus::Client
+// caches them), so each send->deliver->receive hop runs entirely on interned
+// ids -- no string hashing, no map walks, no per-hop heap allocation. This is
+// the headline throughput number of the routing-interning work; compare with
+// BM_BurstThroughput, which pays the string-shim resolution per call.
+void BM_BurstThroughputPreResolved(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  BusFixture f(false);
+  const bus::EndpointRef out = f.bus.resolve_endpoint("p", "out");
+  const bus::EndpointRef in = f.bus.resolve_endpoint("c", "in");
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) {
+      f.bus.send(out, {ser::Value(std::int64_t{i})});
+    }
+    f.sim.run();
+    while (auto msg = f.bus.receive(in)) {
+      benchmark::DoNotOptimize(msg);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * burst);
+}
+BENCHMARK(BM_BurstThroughputPreResolved)->Arg(16)->Arg(256)->Arg(4096)
+    ->ArgNames({"burst"});
+
 void BM_RebindBatch(benchmark::State& state) {
   // The Figure 5 rebinding pattern: delete/add per peer + queue commands,
   // applied atomically.

@@ -54,17 +54,6 @@ std::string TraceEvent::to_string() const {
   return os.str();
 }
 
-std::string Message::to_string() const {
-  std::ostringstream os;
-  os << src_module << "." << src_iface << " [";
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i != 0) os << ", ";
-    os << values[i].to_string();
-  }
-  os << "]";
-  return os.str();
-}
-
 Bus::ModuleRec& Bus::rec(const std::string& name) {
   auto it = modules_.find(name);
   if (it == modules_.end()) throw BusError("unknown module: " + name);
@@ -77,28 +66,121 @@ const Bus::ModuleRec& Bus::rec(const std::string& name) const {
   return it->second;
 }
 
-Bus::Endpoint& Bus::endpoint(const std::string& module,
-                             const std::string& iface) {
-  auto& r = rec(module);
-  auto it = r.endpoints.find(iface);
-  if (it == r.endpoints.end()) {
-    throw BusError("module " + module + " has no interface " + iface);
+// --- slab ---------------------------------------------------------------------
+
+EndpointId Bus::acquire_slot() {
+  EndpointId slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+  } else {
+    slot = static_cast<EndpointId>(slab_.size());
+    slab_.emplace_back();
+    slab_[slot].generation = 1;  // generation 0 never names a live slot
   }
-  return it->second;
+  Endpoint& ep = slab_[slot];
+  ep.in_use = true;
+  ep.next_free = kNoSlot;
+  return slot;
 }
 
-const Bus::Endpoint& Bus::endpoint(const std::string& module,
-                                   const std::string& iface) const {
-  const auto& r = rec(module);
-  auto it = r.endpoints.find(iface);
-  if (it == r.endpoints.end()) {
-    throw BusError("module " + module + " has no interface " + iface);
-  }
-  return it->second;
+void Bus::release_slot(EndpointId slot) {
+  Endpoint& ep = slab_[slot];
+  ep.in_use = false;
+  ++ep.generation;  // every outstanding ref to this slot is now stale
+  ep.owner = nullptr;
+  ep.can_send = false;
+  ep.can_receive = false;
+  ep.queue.clear();
+  ep.rx.clear();
+  ep.rx_retired = false;
+  ep.peers.clear();
+  ep.stream_id = 0;
+  ep.sent_ctr = nullptr;
+  ep.delivered_ctr = nullptr;
+  ep.dropped_ctr = nullptr;
+  ep.depth_gauge = nullptr;
+  // ep.module / ep.spec are retained so traffic still in flight toward the
+  // retired endpoint can name it in drop diagnostics.
+  ep.next_free = free_head_;
+  free_head_ = slot;
 }
 
-void Bus::resolve_endpoint_metrics(const std::string& module, ModuleRec& r) {
-  for (auto& [iface, ep] : r.endpoints) {
+EndpointId Bus::resolve_slot(const std::string& module,
+                             const std::string& iface) const {
+  auto mit = modules_.find(module);
+  if (mit == modules_.end()) throw BusError("unknown module: " + module);
+  auto iit = mit->second.by_iface.find(iface);
+  if (iit == mit->second.by_iface.end()) {
+    throw BusError("module " + module + " has no interface " + iface);
+  }
+  return iit->second;
+}
+
+EndpointRef Bus::resolve_endpoint(const std::string& module,
+                                  const std::string& iface) const {
+  return ref_of(resolve_slot(module, iface));
+}
+
+BindingEnd Bus::endpoint_name(EndpointRef ref) const {
+  const EndpointId slot = endpoint_slot(ref);
+  if (slot >= slab_.size() || endpoint_generation(ref) == 0) {
+    throw BusError("invalid endpoint handle");
+  }
+  const Endpoint& ep = slab_[slot];
+  return BindingEnd{ep.module, ep.spec.name};
+}
+
+// --- adjacency compilation ----------------------------------------------------
+
+void Bus::link_endpoints(EndpointId a, EndpointId b) {
+  auto one_way = [this](EndpointId src_slot, EndpointId dst_slot) {
+    Endpoint& src = slab_[src_slot];
+    Endpoint& dst = slab_[dst_slot];
+    PeerLink pl;
+    pl.ref = ref_of(dst_slot);
+    pl.src_machine = &src.owner->info.machine;
+    pl.dst_machine = &dst.owner->info.machine;
+    pl.same_machine = *pl.src_machine == *pl.dst_machine;
+    src.peers.push_back(pl);
+  };
+  one_way(a, b);
+  if (a != b) one_way(b, a);
+}
+
+void Bus::unlink_endpoints(EndpointId a, EndpointId b) {
+  std::erase_if(slab_[a].peers, [&](const PeerLink& pl) {
+    return endpoint_slot(pl.ref) == b;
+  });
+  if (a != b) {
+    std::erase_if(slab_[b].peers, [&](const PeerLink& pl) {
+      return endpoint_slot(pl.ref) == a;
+    });
+  }
+}
+
+bool Bus::linked(EndpointId a, EndpointId b) const {
+  for (const PeerLink& pl : slab_[a].peers) {
+    if (endpoint_slot(pl.ref) == b) return true;
+  }
+  return false;
+}
+
+void Bus::rebuild_adjacency() {
+  for (Endpoint& ep : slab_) ep.peers.clear();
+  // Per-endpoint peer order falls out of bind-table order, matching what the
+  // old per-send bindings_ scan produced — chaos golden runs depend on it.
+  for (const Binding& b : bindings_) {
+    link_endpoints(resolve_slot(b.a.module, b.a.iface),
+                   resolve_slot(b.b.module, b.b.iface));
+  }
+}
+
+// --- metrics / tracer attachment ---------------------------------------------
+
+void Bus::resolve_endpoint_metrics(ModuleRec& r) {
+  for (EndpointId slot : r.slots) {
+    Endpoint& ep = slab_[slot];
     if (metrics_ == nullptr) {
       ep.sent_ctr = nullptr;
       ep.delivered_ctr = nullptr;
@@ -106,7 +188,7 @@ void Bus::resolve_endpoint_metrics(const std::string& module, ModuleRec& r) {
       ep.depth_gauge = nullptr;
       continue;
     }
-    obs::Labels labels{{"module", module}, {"iface", iface}};
+    obs::Labels labels{{"module", r.info.name}, {"iface", ep.spec.name}};
     ep.sent_ctr = &metrics_->counter("surgeon_bus_messages_sent_total", labels);
     ep.delivered_ctr =
         &metrics_->counter("surgeon_bus_messages_delivered_total", labels);
@@ -118,8 +200,19 @@ void Bus::resolve_endpoint_metrics(const std::string& module, ModuleRec& r) {
 
 void Bus::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
-  for (auto& [name, r] : modules_) resolve_endpoint_metrics(name, r);
+  for (auto& [name, r] : modules_) resolve_endpoint_metrics(r);
 }
+
+void Bus::set_tracer(trc::Recorder* tracer) {
+  tracer_ = tracer;
+  for (auto& [name, r] : modules_) {
+    r.trace_site = tracer_ != nullptr
+                       ? tracer_->resolve_site(r.info.machine, name)
+                       : trc::Recorder::Site{};
+  }
+}
+
+// --- module / binding configuration ------------------------------------------
 
 void Bus::add_module(ModuleInfo info) {
   if (modules_.contains(info.name)) {
@@ -129,29 +222,41 @@ void Bus::add_module(ModuleInfo info) {
     throw BusError("module " + info.name + " placed on unknown machine " +
                    info.machine);
   }
-  ModuleRec r;
-  for (const auto& spec : info.interfaces) {
-    if (r.endpoints.contains(spec.name)) {
-      throw BusError("module " + info.name + " declares interface " +
-                     spec.name + " twice");
+  for (std::size_t i = 0; i < info.interfaces.size(); ++i) {
+    for (std::size_t j = i + 1; j < info.interfaces.size(); ++j) {
+      if (info.interfaces[i].name == info.interfaces[j].name) {
+        throw BusError("module " + info.name + " declares interface " +
+                       info.interfaces[i].name + " twice");
+      }
     }
-    Endpoint ep;
-    ep.spec = spec;
-    ep.stream_id = {info.name, spec.name};
-    r.endpoints.emplace(spec.name, std::move(ep));
   }
-  r.epoch = next_epoch_++;
+  const std::string name = info.name;
+  auto [it, inserted] = modules_.emplace(name, ModuleRec{});
+  ModuleRec& r = it->second;
   r.info = std::move(info);
-  const std::string name = r.info.name;
-  const std::string detail = "machine=" + r.info.machine +
-                             " status=" + r.info.status;
-  auto [it, inserted] = modules_.emplace(name, std::move(r));
-  resolve_endpoint_metrics(name, it->second);
+  r.uid = next_uid_++;
+  for (const InterfaceSpec& spec : r.info.interfaces) {
+    const EndpointId slot = acquire_slot();
+    Endpoint& ep = slab_[slot];
+    ep.spec = spec;
+    ep.module = name;
+    ep.owner = &r;  // map nodes are stable; valid until remove_module
+    ep.can_send = role_can_send(spec.role);
+    ep.can_receive = role_can_receive(spec.role);
+    ep.stream_id = ref_of(slot);  // fresh stream identity for this tenant
+    r.slots.push_back(slot);
+    r.by_iface.emplace(spec.name, slot);
+  }
+  resolve_endpoint_metrics(r);
+  if (tracer_ != nullptr) {
+    r.trace_site = tracer_->resolve_site(r.info.machine, name);
+  }
+  const std::string detail =
+      "machine=" + r.info.machine + " status=" + r.info.status;
   if (metrics_on()) {
     metrics_->counter("surgeon_bus_modules_added_total").inc();
   }
-  rec_event(trc::EventKind::kModuleAdded, it->second.info.machine, name,
-            detail);
+  rec_event(trc::EventKind::kModuleAdded, r.info.machine, name, detail);
   trace(TraceEvent::Kind::kModuleAdded, name, detail);
 }
 
@@ -160,25 +265,27 @@ void Bus::remove_module(const std::string& name) {
   // Zero the departing queue-depth gauges so a removed module cannot leak a
   // stale non-zero depth into the registry.
   if (metrics_on()) {
-    for (auto& [iface, ep] : r.endpoints) {
-      if (ep.depth_gauge != nullptr) ep.depth_gauge->set(0);
+    for (EndpointId slot : r.slots) {
+      if (slab_[slot].depth_gauge != nullptr) slab_[slot].depth_gauge->set(0);
     }
   }
-  // Retire reliable bookkeeping the module still owns. Streams whose
-  // ownership migrated to an heir via queue capture are left alone.
+  // Retire reliable bookkeeping the module's endpoints still own. Streams
+  // whose ownership migrated to an heir via queue capture are left alone.
   std::erase_if(tx_streams_, [&](const auto& kv) {
-    return kv.second.owner_module == name;
+    const Endpoint* owner_ep = deref(kv.second.owner);
+    return owner_ep != nullptr && owner_ep->owner == &r;
   });
   std::erase_if(control_, [&](const auto& kv) {
     return kv.second.target == name;
   });
-  applied_control_.erase(name);
   std::erase_if(bindings_, [&](const Binding& b) {
     return b.a.module == name || b.b.module == name;
   });
   const std::string machine = r.info.machine;
+  for (EndpointId slot : r.slots) release_slot(slot);
   modules_.erase(name);
   last_state_ctx_.erase(name);
+  rebuild_adjacency();
   if (metrics_on()) {
     metrics_->counter("surgeon_bus_modules_removed_total").inc();
   }
@@ -216,33 +323,32 @@ void Bus::del_binding(const BindingEnd& a, const BindingEnd& b) {
 std::vector<std::string> Bus::interface_names(const std::string& module) const {
   const auto& r = rec(module);
   std::vector<std::string> names;
-  names.reserve(r.endpoints.size());
-  for (const auto& [name, ep] : r.endpoints) names.push_back(name);
+  names.reserve(r.by_iface.size());
+  for (const auto& [name, slot] : r.by_iface) names.push_back(name);
   return names;
 }
 
 std::vector<BindingEnd> Bus::bound_peers(const BindingEnd& end) const {
   std::vector<BindingEnd> peers;
-  for (const auto& b : bindings_) {
-    if (b.involves(end)) peers.push_back(b.peer_of(end));
+  auto mit = modules_.find(end.module);
+  if (mit == modules_.end()) return peers;
+  auto iit = mit->second.by_iface.find(end.iface);
+  if (iit == mit->second.by_iface.end()) return peers;
+  const Endpoint& ep = slab_[iit->second];
+  peers.reserve(ep.peers.size());
+  for (const PeerLink& pl : ep.peers) {
+    const Endpoint& peer = slab_[endpoint_slot(pl.ref)];
+    peers.push_back(BindingEnd{peer.module, peer.spec.name});
   }
   return peers;
 }
 
 void Bus::validate_edit(const BindEdit& edit) const {
-  auto check_end = [&](const BindingEnd& e) {
-    (void)endpoint(e.module, e.iface);  // throws if module/iface unknown
-  };
   switch (edit.op) {
     case BindEdit::Op::kAdd: {
-      check_end(edit.a);
-      check_end(edit.b);
-      Binding want{edit.a, edit.b};
-      Binding flipped{edit.b, edit.a};
-      if (std::find(bindings_.begin(), bindings_.end(), want) !=
-              bindings_.end() ||
-          std::find(bindings_.begin(), bindings_.end(), flipped) !=
-              bindings_.end()) {
+      const EndpointId a = resolve_slot(edit.a.module, edit.a.iface);
+      const EndpointId b = resolve_slot(edit.b.module, edit.b.iface);
+      if (linked(a, b)) {
         throw BusError("binding already exists: " + edit.a.module + "." +
                        edit.a.iface + " -- " + edit.b.module + "." +
                        edit.b.iface);
@@ -250,12 +356,16 @@ void Bus::validate_edit(const BindEdit& edit) const {
       break;
     }
     case BindEdit::Op::kDel: {
-      Binding want{edit.a, edit.b};
-      Binding flipped{edit.b, edit.a};
-      if (std::find(bindings_.begin(), bindings_.end(), want) ==
-              bindings_.end() &&
-          std::find(bindings_.begin(), bindings_.end(), flipped) ==
-              bindings_.end()) {
+      auto slot_of = [this](const BindingEnd& e) -> std::optional<EndpointId> {
+        auto mit = modules_.find(e.module);
+        if (mit == modules_.end()) return std::nullopt;
+        auto iit = mit->second.by_iface.find(e.iface);
+        if (iit == mit->second.by_iface.end()) return std::nullopt;
+        return iit->second;
+      };
+      auto a = slot_of(edit.a);
+      auto b = slot_of(edit.b);
+      if (!a.has_value() || !b.has_value() || !linked(*a, *b)) {
         throw BusError("no such binding to delete: " + edit.a.module + "." +
                        edit.a.iface + " -- " + edit.b.module + "." +
                        edit.b.iface);
@@ -263,11 +373,11 @@ void Bus::validate_edit(const BindEdit& edit) const {
       break;
     }
     case BindEdit::Op::kCaptureQueue:
-      check_end(edit.a);
-      check_end(edit.b);
+      (void)resolve_slot(edit.a.module, edit.a.iface);
+      (void)resolve_slot(edit.b.module, edit.b.iface);
       break;
     case BindEdit::Op::kRemoveQueue:
-      check_end(edit.a);
+      (void)resolve_slot(edit.a.module, edit.a.iface);
       break;
   }
 }
@@ -276,6 +386,8 @@ void Bus::apply_edit(const BindEdit& edit) {
   switch (edit.op) {
     case BindEdit::Op::kAdd:
       bindings_.push_back(Binding{edit.a, edit.b});
+      link_endpoints(resolve_slot(edit.a.module, edit.a.iface),
+                     resolve_slot(edit.b.module, edit.b.iface));
       break;
     case BindEdit::Op::kDel: {
       Binding want{edit.a, edit.b};
@@ -283,11 +395,13 @@ void Bus::apply_edit(const BindEdit& edit) {
       std::erase_if(bindings_, [&](const Binding& b) {
         return b == want || b == flipped;
       });
+      unlink_endpoints(resolve_slot(edit.a.module, edit.a.iface),
+                       resolve_slot(edit.b.module, edit.b.iface));
       break;
     }
     case BindEdit::Op::kCaptureQueue: {
-      auto& from = endpoint(edit.a.module, edit.a.iface);
-      auto& to = endpoint(edit.b.module, edit.b.iface);
+      Endpoint& from = endpoint(edit.a.module, edit.a.iface);
+      Endpoint& to = endpoint(edit.b.module, edit.b.iface);
       const std::size_t captured = from.queue.size();
       bool moved = !from.queue.empty();
       while (!from.queue.empty()) {
@@ -311,7 +425,7 @@ void Bus::apply_edit(const BindEdit& edit) {
       break;
     }
     case BindEdit::Op::kRemoveQueue: {
-      auto& ep = endpoint(edit.a.module, edit.a.iface);
+      Endpoint& ep = endpoint(edit.a.module, edit.a.iface);
       ep.queue.clear();
       ep.rx.clear();
       note_depth(ep);
@@ -385,55 +499,144 @@ void Bus::rebind(const BindEditBatch& batch) {
     }
   } catch (...) {
     bindings_ = std::move(saved);
+    rebuild_adjacency();  // adjacency may reflect partially applied edits
     throw;
   }
 }
 
+// --- in-flight pool -----------------------------------------------------------
+
+std::uint32_t Bus::inflight_acquire(EndpointRef dst, Message msg) {
+  std::uint32_t slot;
+  if (inflight_free_ != kNoSlot) {
+    slot = inflight_free_;
+    inflight_free_ = inflight_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.emplace_back();
+  }
+  InFlight& f = inflight_[slot];
+  f.msg = std::move(msg);
+  f.dst = dst;
+  f.next_free = kNoSlot;
+  return slot;
+}
+
+void Bus::inflight_release(std::uint32_t slot) {
+  InFlight& f = inflight_[slot];
+  f.dst = kNullEndpointRef;
+  f.next_free = inflight_free_;
+  inflight_free_ = slot;
+}
+
+void Bus::arrive_inflight(std::uint32_t slot) {
+  Message msg = std::move(inflight_[slot].msg);
+  const EndpointRef dst = inflight_[slot].dst;
+  inflight_release(slot);
+  Endpoint* ep = deref(dst);
+  if (ep == nullptr) {
+    drop_stale_arrival(dst, msg);
+    return;
+  }
+  deliver_into(*ep, std::move(msg));
+}
+
+void Bus::reliable_arrive_inflight(std::uint32_t slot) {
+  Message msg = std::move(inflight_[slot].msg);
+  const EndpointRef dst = inflight_[slot].dst;
+  inflight_release(slot);
+  reliable_arrive(dst, std::move(msg));
+}
+
+void Bus::drop_stale_arrival(EndpointRef dst, const Message& msg) {
+  // Destination was removed (or replaced) while the message was in flight;
+  // the reconfiguration script is responsible for moving any *queued*
+  // messages, but in-flight ones to a dead module drop. The retired slab
+  // slot keeps its last tenant's names for exactly this diagnostic.
+  ++stats_.messages_dropped_unbound;
+  const Endpoint& gone = slab_[endpoint_slot(dst)];
+  if (metrics_on()) {
+    // The endpoint's cached counter handle is gone; rare path, so a
+    // registry lookup per drop is fine.
+    metrics_
+        ->counter("surgeon_bus_messages_dropped_total",
+                  {{"module", gone.module}, {"iface", gone.spec.name}})
+        .inc();
+  }
+  rec_event(trc::EventKind::kDrop, machine_of_or(gone.module, "bus"),
+            gone.module, gone.spec.name + " (in flight to removed module)",
+            msg.trace_ctx);
+  if (trace_) {
+    trace(TraceEvent::Kind::kDrop, gone.module,
+          gone.spec.name + " (in flight to removed module)");
+  }
+}
+
+// --- messaging ----------------------------------------------------------------
+
 void Bus::send(const std::string& module, const std::string& iface,
                std::vector<ser::Value> values) {
-  auto& ep = endpoint(module, iface);
-  if (!role_can_send(ep.spec.role)) {
-    throw BusError("interface " + module + "." + iface + " (role " +
+  const EndpointId slot = resolve_slot(module, iface);
+  send_from(ref_of(slot), slab_[slot], std::move(values));
+}
+
+void Bus::send(EndpointRef ref, std::vector<ser::Value> values) {
+  Endpoint* ep = deref(ref);
+  if (ep == nullptr) throw BusError("send on stale endpoint handle");
+  send_from(ref, *ep, std::move(values));
+}
+
+void Bus::send_from(EndpointRef ref, Endpoint& ep,
+                    std::vector<ser::Value> values) {
+  if (!ep.can_send) {
+    throw BusError("interface " + ep.module + "." + ep.spec.name + " (role " +
                    iface_role_name(ep.spec.role) + ") cannot send");
   }
   ++stats_.messages_sent;
   if (metrics_on()) ep.sent_ctr->inc();
   trc::TraceContext send_ctx;
   if (tracer_on()) {  // guard: skips the record lookup when tracing is off
-    ModuleRec& r = rec(module);
-    send_ctx = tracer_->record_at(r.trace_site, trc::EventKind::kSend,
-                                  r.info.machine, module, iface);
+    send_ctx =
+        tracer_->record_at(ep.owner->trace_site, trc::EventKind::kSend,
+                           ep.owner->info.machine, ep.module, ep.spec.name);
   }
-  trace(TraceEvent::Kind::kSend, module, iface);
-  auto peers = bound_peers(BindingEnd{module, iface});
-  if (peers.empty()) {
+  if (trace_) trace(TraceEvent::Kind::kSend, ep.module, ep.spec.name);
+  if (ep.peers.empty()) {
     ++stats_.messages_dropped_unbound;
     if (metrics_on()) ep.dropped_ctr->inc();
-    rec_event(trc::EventKind::kDrop, rec(module).info.machine, module,
-              iface + " (unbound)", send_ctx);
-    trace(TraceEvent::Kind::kDrop, module, iface + " (unbound)");
+    rec_event(trc::EventKind::kDrop, ep.owner->info.machine, ep.module,
+              ep.spec.name + " (unbound)", send_ctx);
+    if (trace_) {
+      trace(TraceEvent::Kind::kDrop, ep.module, ep.spec.name + " (unbound)");
+    }
     return;
   }
   if (delivery_.reliable) {
     Message msg;
     msg.values = std::move(values);
-    msg.src_module = module;
-    msg.src_iface = iface;
+    msg.src = ref;
     msg.trace_ctx = send_ctx;
-    reliable_send(module, ep, std::move(msg));
+    reliable_send(ref, ep, std::move(msg));
     return;
   }
-  const std::string& src_machine = rec(module).info.machine;
-  for (const auto& peer : peers) {
-    const auto& dst_rec = rec(peer.module);
-    auto latency = sim_->message_latency(src_machine, dst_rec.info.machine);
-    FaultDecision fd = consult_fault(src_machine, dst_rec.info.machine);
+  const std::size_t n = ep.peers.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PeerLink pl = ep.peers[i];  // by value: the fault hook may rebind
+    net::SimTime latency = sim_->link_latency(pl.same_machine);
+    FaultDecision fd;
+    if (fault_) fd = fault_(*pl.src_machine, *pl.dst_machine);
     if (fd.drop) {
       ++rstats_.chaos_drops;
       chaos_metric("surgeon_bus_chaos_drops_total", "message");
-      rec_event(trc::EventKind::kDrop, src_machine, peer.module,
-                peer.iface + " (chaos)", send_ctx);
-      trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
+      if (tracer_on() || trace_) {
+        const Endpoint& dst = slab_[endpoint_slot(pl.ref)];
+        rec_event(trc::EventKind::kDrop, *pl.src_machine, dst.module,
+                  dst.spec.name + " (chaos)", send_ctx);
+        if (trace_) {
+          trace(TraceEvent::Kind::kDrop, dst.module,
+                dst.spec.name + " (chaos)");
+        }
+      }
       continue;
     }
     if (fd.duplicate) {
@@ -443,74 +646,24 @@ void Bus::send(const std::string& module, const std::string& iface,
       chaos_metric("surgeon_bus_dup_injected_total", "message");
       Message dup;
       dup.values = values;
-      dup.src_module = module;
-      dup.src_iface = iface;
+      dup.src = ref;
       dup.trace_ctx = send_ctx;
-      std::uint64_t dup_epoch = dst_rec.epoch;
-      sim_->schedule_after(
-          latency + fd.duplicate_delay_us,
-          [this, peer, msg = std::move(dup), dup_epoch]() mutable {
-            legacy_arrive(peer, std::move(msg), dup_epoch);
-          });
+      const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(dup));
+      sim_->schedule_after(latency + fd.duplicate_delay_us,
+                           [this, fslot] { arrive_inflight(fslot); });
     }
     latency += fd.extra_delay_us;
     Message msg;
-    msg.values = values;
-    msg.src_module = module;
-    msg.src_iface = iface;
-    msg.trace_ctx = send_ctx;
-    std::uint64_t epoch = dst_rec.epoch;
-    sim_->schedule_after(latency, [this, peer, msg = std::move(msg),
-                                   epoch]() mutable {
-      legacy_arrive(peer, std::move(msg), epoch);
-    });
-  }
-}
-
-void Bus::legacy_arrive(const BindingEnd& peer, Message msg,
-                        std::uint64_t epoch) {
-  auto it = modules_.find(peer.module);
-  if (it == modules_.end() || it->second.epoch != epoch) {
-    // Destination was removed (or replaced) while the message was in
-    // flight; the reconfiguration script is responsible for moving any
-    // *queued* messages, but in-flight ones to a dead module drop.
-    ++stats_.messages_dropped_unbound;
-    if (metrics_on()) {
-      // The endpoint (and its cached handle) is gone; rare path, so a
-      // registry lookup per drop is fine.
-      metrics_
-          ->counter("surgeon_bus_messages_dropped_total",
-                    {{"module", peer.module}, {"iface", peer.iface}})
-          .inc();
+    if (i + 1 == n) {
+      msg.values = std::move(values);
+    } else {
+      msg.values = values;
     }
-    rec_event(trc::EventKind::kDrop, machine_of_or(peer.module, "bus"),
-              peer.module, peer.iface + " (in flight to removed module)",
-              msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, peer.module,
-          peer.iface + " (in flight to removed module)");
-    return;
+    msg.src = ref;
+    msg.trace_ctx = send_ctx;
+    const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(msg));
+    sim_->schedule_after(latency, [this, fslot] { arrive_inflight(fslot); });
   }
-  auto ep_it = it->second.endpoints.find(peer.iface);
-  if (ep_it == it->second.endpoints.end()) {
-    ++stats_.messages_dropped_unbound;
-    rec_event(trc::EventKind::kDrop, it->second.info.machine, peer.module,
-              peer.iface, msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, peer.module, peer.iface);
-    return;
-  }
-  if (tracer_on()) {
-    tracer_->record_at(it->second.trace_site, trc::EventKind::kDeliver,
-                       it->second.info.machine, peer.module, peer.iface,
-                       msg.trace_ctx);
-  }
-  ep_it->second.queue.push_back(std::move(msg));
-  ++stats_.messages_delivered;
-  if (metrics_on()) {
-    ep_it->second.delivered_ctr->inc();
-    note_depth(ep_it->second);
-  }
-  trace(TraceEvent::Kind::kDeliver, peer.module, peer.iface);
-  wake(peer.module);
 }
 
 bool Bus::has_message(const std::string& module,
@@ -518,24 +671,44 @@ bool Bus::has_message(const std::string& module,
   return !endpoint(module, iface).queue.empty();
 }
 
+bool Bus::has_message(EndpointRef ref) const {
+  const Endpoint* ep = deref(ref);
+  if (ep == nullptr) throw BusError("query on stale endpoint handle");
+  return !ep->queue.empty();
+}
+
+std::optional<Message> Bus::receive(EndpointRef ref) {
+  Endpoint* ep = deref(ref);
+  if (ep == nullptr) throw BusError("receive on stale endpoint handle");
+  if (!ep->can_receive) {
+    throw BusError("interface " + ep->module + "." + ep->spec.name +
+                   " (role " + iface_role_name(ep->spec.role) +
+                   ") cannot receive");
+  }
+  if (ep->queue.empty()) return std::nullopt;
+  Message msg = std::move(ep->queue.front());
+  ep->queue.pop_front();
+  note_depth(*ep);
+  return msg;
+}
+
 std::optional<Message> Bus::receive(const std::string& module,
                                     const std::string& iface) {
-  auto& ep = endpoint(module, iface);
-  if (!role_can_receive(ep.spec.role)) {
-    throw BusError("interface " + module + "." + iface + " (role " +
-                   iface_role_name(ep.spec.role) + ") cannot receive");
-  }
-  if (ep.queue.empty()) return std::nullopt;
-  Message msg = std::move(ep.queue.front());
-  ep.queue.pop_front();
-  note_depth(ep);
-  return msg;
+  return receive(ref_of(resolve_slot(module, iface)));
 }
 
 std::size_t Bus::queue_depth(const std::string& module,
                              const std::string& iface) const {
   return endpoint(module, iface).queue.size();
 }
+
+std::size_t Bus::queue_depth(EndpointRef ref) const {
+  const Endpoint* ep = deref(ref);
+  if (ep == nullptr) throw BusError("query on stale endpoint handle");
+  return ep->queue.size();
+}
+
+// --- reconfiguration signal + state movement ---------------------------------
 
 void Bus::signal_reconfig(const std::string& module) {
   if (delivery_.reliable) {
@@ -545,7 +718,7 @@ void Bus::signal_reconfig(const std::string& module) {
     tx.target = module;
     tx.from_machine =
         control_machine_.empty() ? r.info.machine : control_machine_;
-    tx.epoch = r.epoch;
+    tx.uid = r.uid;
     tx.timeout_us = delivery_.retransmit_timeout_us;
     tx.trace_ctx = rec_event(trc::EventKind::kSignal, tx.from_machine, module,
                              "reconfigure requested");
@@ -555,15 +728,15 @@ void Bus::signal_reconfig(const std::string& module) {
     arm_control_retry(id, delivery_.retransmit_timeout_us);
     return;
   }
-  std::uint64_t epoch = rec(module).epoch;
+  std::uint64_t uid = rec(module).uid;
   trc::TraceContext req_ctx = rec_event(
       trc::EventKind::kSignal,
       control_machine_.empty() ? rec(module).info.machine : control_machine_,
       module, "reconfigure requested");
   sim_->schedule_after(sim_->latency_model().local_us,
-                       [this, module, epoch, req_ctx] {
+                       [this, module, uid, req_ctx] {
     auto it = modules_.find(module);
-    if (it == modules_.end() || it->second.epoch != epoch) return;
+    if (it == modules_.end() || it->second.uid != uid) return;
     it->second.reconfig_signaled = true;
     ++stats_.signals_delivered;
     if (metrics_on()) {
@@ -630,7 +803,7 @@ void Bus::deliver_state(const std::string& from_machine,
     tx.target = to_module;
     tx.from_machine = from_machine;
     tx.bytes = std::move(bytes);
-    tx.epoch = dst.epoch;
+    tx.uid = dst.uid;
     tx.timeout_us = delivery_.retransmit_timeout_us;
     // The divulge that produced this buffer: redeliveries (including ones
     // retried onto a fresh clone after a crash) keep the same cause.
@@ -642,12 +815,12 @@ void Bus::deliver_state(const std::string& from_machine,
     return;
   }
   auto latency = sim_->message_latency(from_machine, dst.info.machine);
-  std::uint64_t epoch = dst.epoch;
+  std::uint64_t uid = dst.uid;
   trc::TraceContext divulge_ctx = last_divulge_ctx_;
   sim_->schedule_after(
-      latency, [this, to_module, epoch, divulge_ctx, bytes = std::move(bytes)] {
+      latency, [this, to_module, uid, divulge_ctx, bytes = std::move(bytes)] {
         auto it = modules_.find(to_module);
-        if (it == modules_.end() || it->second.epoch != epoch) return;
+        if (it == modules_.end() || it->second.uid != uid) return;
         last_state_ctx_[to_module] = rec_event(
             trc::EventKind::kStateDeliver, it->second.info.machine, to_module,
             std::to_string(bytes.size()) + " bytes", divulge_ctx);
@@ -679,10 +852,6 @@ bool Bus::has_incoming_state(const std::string& module) const {
 // --- reliable delivery layer -------------------------------------------------
 
 namespace {
-bool contains_name(const std::vector<std::string>& names,
-                   const std::string& name) {
-  return std::find(names.begin(), names.end(), name) != names.end();
-}
 bool contains_id(const std::vector<std::uint64_t>& ids, std::uint64_t id) {
   return std::find(ids.begin(), ids.end(), id) != ids.end();
 }
@@ -730,16 +899,19 @@ std::size_t Bus::unacked_total() const noexcept {
 
 std::size_t Bus::ooo_total() const noexcept {
   std::size_t n = 0;
-  for (const auto& [name, r] : modules_) {
-    for (const auto& [iface, ep] : r.endpoints) {
-      for (const auto& [stream, rx] : ep.rx) n += rx.ooo.size();
-    }
+  for (const Endpoint& ep : slab_) {
+    if (!ep.in_use) continue;
+    for (const auto& [stream, rx] : ep.rx) n += rx.ooo.size();
   }
   return n;
 }
 
 std::size_t Bus::pending_control_total() const noexcept {
   return control_.size();
+}
+
+std::size_t Bus::applied_control_size(const std::string& module) const {
+  return rec(module).applied_control.size();
 }
 
 void Bus::cancel_pending_control(const std::string& module) {
@@ -757,17 +929,11 @@ void Bus::note_module_crashed(const std::string& module, std::string detail) {
   trace(TraceEvent::Kind::kModuleCrashed, module, std::move(detail));
 }
 
-void Bus::deliver_into(const std::string& module, Endpoint& ep, Message msg) {
+void Bus::deliver_into(Endpoint& ep, Message msg) {
   if (tracer_on()) {
-    auto it = modules_.find(module);
-    if (it != modules_.end()) {
-      tracer_->record_at(it->second.trace_site, trc::EventKind::kDeliver,
-                         it->second.info.machine, module, ep.spec.name,
-                         msg.trace_ctx);
-    } else {
-      rec_event(trc::EventKind::kDeliver, "bus", module, ep.spec.name,
-                msg.trace_ctx);
-    }
+    tracer_->record_at(ep.owner->trace_site, trc::EventKind::kDeliver,
+                       ep.owner->info.machine, ep.module, ep.spec.name,
+                       msg.trace_ctx);
   }
   ep.queue.push_back(std::move(msg));
   ++stats_.messages_delivered;
@@ -775,18 +941,14 @@ void Bus::deliver_into(const std::string& module, Endpoint& ep, Message msg) {
     ep.delivered_ctr->inc();
     note_depth(ep);
   }
-  trace(TraceEvent::Kind::kDeliver, module, ep.spec.name);
-  wake(module);
+  if (trace_) trace(TraceEvent::Kind::kDeliver, ep.module, ep.spec.name);
+  wake(ep.module);
 }
 
-void Bus::reliable_send(const std::string& module, Endpoint& ep, Message msg) {
+void Bus::reliable_send(EndpointRef ref, Endpoint& ep, Message msg) {
   TxStream& ts = tx_streams_[ep.stream_id];
-  if (ts.owner_module.empty()) {
-    ts.owner_module = module;
-    ts.owner_iface = ep.spec.name;
-  }
-  msg.stream_module = ep.stream_id.first;
-  msg.stream_iface = ep.stream_id.second;
+  if (ts.owner == kNullEndpointRef) ts.owner = ref;
+  msg.stream = ep.stream_id;
   msg.seq = ts.next_seq++;
   const std::uint64_t seq = msg.seq;
   TxEntry entry;
@@ -798,31 +960,34 @@ void Bus::reliable_send(const std::string& module, Endpoint& ep, Message msg) {
   update_reliable_gauges();
 }
 
-bool Bus::entry_fully_acked(const TxStream& ts, const TxEntry& entry) const {
-  auto peers = bound_peers(BindingEnd{ts.owner_module, ts.owner_iface});
-  for (const auto& peer : peers) {
-    if (!contains_name(entry.acked_by, peer.module)) return false;
+bool Bus::entry_fully_acked(const TxStream& ts, const TxEntry& entry) {
+  const Endpoint* owner_ep = deref(ts.owner);
+  // Owner gone -- nobody is left to retransmit from; the stream entry is
+  // garbage unless a capture repointed ownership first.
+  if (owner_ep == nullptr) return true;
+  for (const PeerLink& pl : owner_ep->peers) {
+    const Endpoint& peer = slab_[endpoint_slot(pl.ref)];
+    if (!contains_id(entry.acked_by, peer.owner->uid)) return false;
   }
   // No unacked peer left -- either everyone acked or the endpoint became
   // unbound, in which case there is nobody left to deliver to.
   return true;
 }
 
-void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
-                         bool retransmit) {
+void Bus::transmit_entry(StreamKey stream, std::uint64_t seq, bool retransmit) {
   auto sit = tx_streams_.find(stream);
   if (sit == tx_streams_.end()) return;
   TxStream& ts = sit->second;
   auto eit = ts.unacked.find(seq);
   if (eit == ts.unacked.end()) return;
   TxEntry& entry = eit->second;
-  auto owner_it = modules_.find(ts.owner_module);
-  if (owner_it == modules_.end()) {
+  Endpoint* owner_ep = deref(ts.owner);
+  if (owner_ep == nullptr) {
     ts.unacked.erase(eit);
     update_reliable_gauges();
     return;
   }
-  const std::string src_machine = owner_it->second.info.machine;
+  const std::string& src_machine = owner_ep->owner->info.machine;
   ++entry.attempts;
   // The context copies carry: the original send for the first transmission,
   // the retransmit event (itself caused by the send) for retries — so a
@@ -833,37 +998,37 @@ void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
     ++rstats_.retransmits;
     chaos_metric("surgeon_bus_retransmits_total", "message");
     tx_ctx = rec_event(trc::EventKind::kRetransmit, src_machine,
-                       ts.owner_module,
-                       ts.owner_iface + " seq " + std::to_string(seq) +
+                       owner_ep->module,
+                       owner_ep->spec.name + " seq " + std::to_string(seq) +
                            " attempt " + std::to_string(entry.attempts),
                        entry.msg.trace_ctx);
   }
-  for (const auto& peer :
-       bound_peers(BindingEnd{ts.owner_module, ts.owner_iface})) {
-    if (contains_name(entry.acked_by, peer.module)) continue;
-    auto dst_it = modules_.find(peer.module);
-    if (dst_it == modules_.end()) continue;
-    auto latency = sim_->message_latency(src_machine,
-                                         dst_it->second.info.machine);
-    FaultDecision fd =
-        consult_fault(src_machine, dst_it->second.info.machine);
-    std::uint64_t epoch = dst_it->second.epoch;
+  // Iterate by index: scheduling may not mutate peers, but the fault hook
+  // is user code, so take no lasting references into the adjacency.
+  for (std::size_t i = 0; i < owner_ep->peers.size(); ++i) {
+    const PeerLink pl = owner_ep->peers[i];
+    const Endpoint& peer = slab_[endpoint_slot(pl.ref)];
+    if (contains_id(entry.acked_by, peer.owner->uid)) continue;
+    auto latency = sim_->link_latency(pl.same_machine);
+    FaultDecision fd = consult_fault(*pl.src_machine, *pl.dst_machine);
     ++rstats_.transmissions;
     chaos_metric("surgeon_bus_transmissions_total", "message");
     if (fd.drop) {
       ++rstats_.chaos_drops;
       chaos_metric("surgeon_bus_chaos_drops_total", "message");
-      rec_event(trc::EventKind::kDrop, src_machine, peer.module,
-                peer.iface + " (chaos)", tx_ctx);
-      trace(TraceEvent::Kind::kDrop, peer.module, peer.iface + " (chaos)");
+      rec_event(trc::EventKind::kDrop, *pl.src_machine, peer.module,
+                peer.spec.name + " (chaos)", tx_ctx);
+      if (trace_) {
+        trace(TraceEvent::Kind::kDrop, peer.module,
+              peer.spec.name + " (chaos)");
+      }
     } else {
       Message copy = entry.msg;
       copy.trace_ctx = tx_ctx;
-      sim_->schedule_after(
-          latency + fd.extra_delay_us,
-          [this, peer, copy = std::move(copy), epoch]() mutable {
-            reliable_arrive(peer, std::move(copy), epoch);
-          });
+      const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(copy));
+      sim_->schedule_after(latency + fd.extra_delay_us, [this, fslot] {
+        reliable_arrive_inflight(fslot);
+      });
     }
     if (fd.duplicate) {
       ++rstats_.dup_injected;
@@ -872,16 +1037,15 @@ void Bus::transmit_entry(const StreamKey& stream, std::uint64_t seq,
       chaos_metric("surgeon_bus_transmissions_total", "message");
       Message copy = entry.msg;
       copy.trace_ctx = tx_ctx;
-      sim_->schedule_after(
-          latency + fd.duplicate_delay_us,
-          [this, peer, copy = std::move(copy), epoch]() mutable {
-            reliable_arrive(peer, std::move(copy), epoch);
-          });
+      const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(copy));
+      sim_->schedule_after(latency + fd.duplicate_delay_us, [this, fslot] {
+        reliable_arrive_inflight(fslot);
+      });
     }
   }
 }
 
-void Bus::arm_retransmit(const StreamKey& stream, std::uint64_t seq,
+void Bus::arm_retransmit(StreamKey stream, std::uint64_t seq,
                          net::SimTime timeout_us) {
   sim_->schedule_after(timeout_us, [this, stream, seq] {
     auto sit = tx_streams_.find(stream);
@@ -898,12 +1062,17 @@ void Bus::arm_retransmit(const StreamKey& stream, std::uint64_t seq,
     if (entry.attempts >= delivery_.max_attempts) {
       ++rstats_.gave_up;
       chaos_metric("surgeon_bus_delivery_gave_up_total", "message");
-      rec_event(trc::EventKind::kDrop,
-                machine_of_or(ts.owner_module, "bus"), ts.owner_module,
-                ts.owner_iface + " seq " + std::to_string(seq) + " (gave up)",
+      const Endpoint* owner_ep = deref(ts.owner);
+      const std::string owner_module =
+          owner_ep != nullptr ? owner_ep->module : "?";
+      const std::string owner_iface =
+          owner_ep != nullptr ? owner_ep->spec.name : "?";
+      rec_event(trc::EventKind::kDrop, machine_of_or(owner_module, "bus"),
+                owner_module,
+                owner_iface + " seq " + std::to_string(seq) + " (gave up)",
                 entry.msg.trace_ctx);
-      trace(TraceEvent::Kind::kDrop, ts.owner_module,
-            ts.owner_iface + " seq " + std::to_string(seq) + " (gave up)");
+      trace(TraceEvent::Kind::kDrop, owner_module,
+            owner_iface + " seq " + std::to_string(seq) + " (gave up)");
       ts.unacked.erase(eit);
       update_reliable_gauges();
       return;
@@ -916,50 +1085,49 @@ void Bus::arm_retransmit(const StreamKey& stream, std::uint64_t seq,
   });
 }
 
-void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
-                          std::uint64_t epoch) {
-  auto it = modules_.find(dst.module);
-  if (it == modules_.end() || it->second.epoch != epoch) {
+void Bus::reliable_arrive(EndpointRef dst, Message msg) {
+  Endpoint* epp = deref(dst);
+  if (epp == nullptr) {
     // The destination is gone; unlike fire-and-forget, this is not a loss:
     // the sender keeps retransmitting toward whoever inherits the binding.
-    rec_event(trc::EventKind::kDrop, machine_of_or(dst.module, "bus"),
-              dst.module, dst.iface + " (in flight to removed module)",
+    const Endpoint& gone = slab_[endpoint_slot(dst)];
+    rec_event(trc::EventKind::kDrop, machine_of_or(gone.module, "bus"),
+              gone.module, gone.spec.name + " (in flight to removed module)",
               msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, dst.module,
-          dst.iface + " (in flight to removed module)");
+    if (trace_) {
+      trace(TraceEvent::Kind::kDrop, gone.module,
+            gone.spec.name + " (in flight to removed module)");
+    }
     return;
   }
-  auto ep_it = it->second.endpoints.find(dst.iface);
-  if (ep_it == it->second.endpoints.end()) {
-    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
-              dst.iface, msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, dst.module, dst.iface);
-    return;
-  }
-  Endpoint& ep = ep_it->second;
+  Endpoint& ep = *epp;
   if (ep.rx_retired) {
-    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
-              dst.iface + " (retired)", msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, dst.module, dst.iface + " (retired)");
+    rec_event(trc::EventKind::kDrop, ep.owner->info.machine, ep.module,
+              ep.spec.name + " (retired)", msg.trace_ctx);
+    if (trace_) {
+      trace(TraceEvent::Kind::kDrop, ep.module, ep.spec.name + " (retired)");
+    }
     return;  // no ack: the retransmit follows the rebound binding
   }
-  StreamKey stream{msg.stream_module, msg.stream_iface};
-  RxStream& rx = ep.rx[stream];
+  const StreamKey stream = msg.stream;
   const std::uint64_t seq = msg.seq;
+  RxStream& rx = ep.rx[stream];
   bool have_it = false;
   if (seq < rx.next_expected || rx.ooo.contains(seq)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "message");
-    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, dst.module,
-              dst.iface + " seq " + std::to_string(seq), msg.trace_ctx);
-    trace(TraceEvent::Kind::kDrop, dst.module,
-          dst.iface + " (duplicate seq " + std::to_string(seq) + ")");
+    rec_event(trc::EventKind::kDupDiscard, ep.owner->info.machine, ep.module,
+              ep.spec.name + " seq " + std::to_string(seq), msg.trace_ctx);
+    if (trace_) {
+      trace(TraceEvent::Kind::kDrop, ep.module,
+            ep.spec.name + " (duplicate seq " + std::to_string(seq) + ")");
+    }
     have_it = true;  // re-ack: the first ack may have been lost
   } else if (seq == rx.next_expected) {
-    deliver_into(dst.module, ep, std::move(msg));
+    deliver_into(ep, std::move(msg));
     ++rx.next_expected;
     while (!rx.ooo.empty() && rx.ooo.begin()->first == rx.next_expected) {
-      deliver_into(dst.module, ep, std::move(rx.ooo.begin()->second));
+      deliver_into(ep, std::move(rx.ooo.begin()->second));
       rx.ooo.erase(rx.ooo.begin());
       ++rx.next_expected;
     }
@@ -976,22 +1144,20 @@ void Bus::reliable_arrive(const BindingEnd& dst, Message msg,
     // gap closes. Bounds receiver memory under adversarial reordering.
     ++rstats_.ooo_overflow;
     chaos_metric("surgeon_bus_ooo_overflow_total", "message");
-    rec_event(trc::EventKind::kDrop, it->second.info.machine, dst.module,
-              dst.iface + " seq " + std::to_string(seq) + " (ooo overflow)",
+    rec_event(trc::EventKind::kDrop, ep.owner->info.machine, ep.module,
+              ep.spec.name + " seq " + std::to_string(seq) + " (ooo overflow)",
               msg.trace_ctx);
   }
-  if (have_it) send_ack(dst.module, stream, seq);
+  if (have_it) send_ack(ep, stream, seq);
 }
 
-void Bus::send_ack(const std::string& acker, const StreamKey& stream,
-                   std::uint64_t seq) {
+void Bus::send_ack(Endpoint& acker_ep, StreamKey stream, std::uint64_t seq) {
   auto sit = tx_streams_.find(stream);
   if (sit == tx_streams_.end()) return;  // sender retired the stream
-  auto owner_it = modules_.find(sit->second.owner_module);
-  auto acker_it = modules_.find(acker);
-  if (owner_it == modules_.end() || acker_it == modules_.end()) return;
-  const std::string& src_machine = acker_it->second.info.machine;
-  const std::string& dst_machine = owner_it->second.info.machine;
+  const Endpoint* owner_ep = deref(sit->second.owner);
+  if (owner_ep == nullptr) return;
+  const std::string& src_machine = acker_ep.owner->info.machine;
+  const std::string& dst_machine = owner_ep->owner->info.machine;
   FaultDecision fd = consult_fault(src_machine, dst_machine);
   if (fd.drop) {
     ++rstats_.chaos_drops;
@@ -999,13 +1165,14 @@ void Bus::send_ack(const std::string& acker, const StreamKey& stream,
     return;
   }
   auto latency = sim_->message_latency(src_machine, dst_machine);
+  const std::uint64_t acker_uid = acker_ep.owner->uid;
   sim_->schedule_after(latency + fd.extra_delay_us,
-                       [this, acker, stream, seq] {
-                         on_ack(acker, stream, seq);
+                       [this, acker_uid, stream, seq] {
+                         on_ack(acker_uid, stream, seq);
                        });
 }
 
-void Bus::on_ack(const std::string& acker, const StreamKey& stream,
+void Bus::on_ack(std::uint64_t acker_uid, StreamKey stream,
                  std::uint64_t seq) {
   auto sit = tx_streams_.find(stream);
   if (sit == tx_streams_.end()) return;
@@ -1015,7 +1182,9 @@ void Bus::on_ack(const std::string& acker, const StreamKey& stream,
   ++rstats_.acks_delivered;
   chaos_metric("surgeon_bus_acks_total", "message");
   TxEntry& entry = eit->second;
-  if (!contains_name(entry.acked_by, acker)) entry.acked_by.push_back(acker);
+  if (!contains_id(entry.acked_by, acker_uid)) {
+    entry.acked_by.push_back(acker_uid);
+  }
   if (entry_fully_acked(ts, entry)) {
     ts.unacked.erase(eit);
     update_reliable_gauges();
@@ -1025,17 +1194,17 @@ void Bus::on_ack(const std::string& acker, const StreamKey& stream,
 void Bus::migrate_streams(const BindingEnd& from_end,
                           const BindingEnd& to_end) {
   if (from_end == to_end) return;
-  Endpoint& from = endpoint(from_end.module, from_end.iface);
-  Endpoint& to = endpoint(to_end.module, to_end.iface);
+  const EndpointId from_slot = resolve_slot(from_end.module, from_end.iface);
+  const EndpointId to_slot = resolve_slot(to_end.module, to_end.iface);
+  Endpoint& from = slab_[from_slot];
+  Endpoint& to = slab_[to_slot];
   // Outgoing side: the heir continues the predecessor's stream, so its
   // sequence numbers keep counting and unacked messages are retransmitted
   // by (and re-resolved from) the heir's bindings.
   auto ts_it = tx_streams_.find(from.stream_id);
   if (ts_it != tx_streams_.end() &&
-      ts_it->second.owner_module == from_end.module &&
-      ts_it->second.owner_iface == from_end.iface) {
-    ts_it->second.owner_module = to_end.module;
-    ts_it->second.owner_iface = to_end.iface;
+      ts_it->second.owner == ref_of(from_slot)) {
+    ts_it->second.owner = ref_of(to_slot);
   }
   to.stream_id = from.stream_id;
   // Incoming side: merge the resequencing windows so messages the
@@ -1049,7 +1218,7 @@ void Bus::migrate_streams(const BindingEnd& from_end,
       }
     }
     while (!dst.ooo.empty() && dst.ooo.begin()->first == dst.next_expected) {
-      deliver_into(to_end.module, to, std::move(dst.ooo.begin()->second));
+      deliver_into(to, std::move(dst.ooo.begin()->second));
       dst.ooo.erase(dst.ooo.begin());
       ++dst.next_expected;
     }
@@ -1064,7 +1233,7 @@ void Bus::transmit_control(std::uint64_t id) {
   if (it == control_.end()) return;
   ControlTx& tx = it->second;
   auto mod_it = modules_.find(tx.target);
-  if (mod_it == modules_.end() || mod_it->second.epoch != tx.epoch) {
+  if (mod_it == modules_.end() || mod_it->second.uid != tx.uid) {
     control_.erase(it);  // target gone; nothing to deliver to
     return;
   }
@@ -1092,12 +1261,12 @@ void Bus::transmit_control(std::uint64_t id) {
   }
   auto latency = sim_->message_latency(tx.from_machine, dst_machine);
   const std::string target = tx.target;
-  const std::uint64_t epoch = tx.epoch;
+  const std::uint64_t uid = tx.uid;
   if (is_signal) {
     sim_->schedule_after(latency + fd.extra_delay_us,
-                         [this, target, id, epoch] {
+                         [this, target, id, uid] {
                            auto m = modules_.find(target);
-                           if (m == modules_.end() || m->second.epoch != epoch)
+                           if (m == modules_.end() || m->second.uid != uid)
                              return;
                            apply_signal(target, id);
                          });
@@ -1105,9 +1274,9 @@ void Bus::transmit_control(std::uint64_t id) {
     auto bytes = tx.bytes;
     sim_->schedule_after(
         latency + fd.extra_delay_us,
-        [this, target, id, epoch, bytes = std::move(bytes)] {
+        [this, target, id, uid, bytes = std::move(bytes)] {
           auto m = modules_.find(target);
-          if (m == modules_.end() || m->second.epoch != epoch) return;
+          if (m == modules_.end() || m->second.uid != uid) return;
           apply_state(target, id, bytes);
         });
   }
@@ -1138,28 +1307,40 @@ void Bus::arm_control_retry(std::uint64_t id, net::SimTime timeout_us) {
   });
 }
 
+bool Bus::control_applied(const ModuleRec& r, std::uint64_t id) {
+  return std::find(r.applied_control.begin(), r.applied_control.end(), id) !=
+         r.applied_control.end();
+}
+
+void Bus::note_control_applied(ModuleRec& r, std::uint64_t id) {
+  r.applied_control.push_back(id);
+  if (r.applied_control.size() > kAppliedControlWindow) {
+    r.applied_control.pop_front();
+  }
+}
+
 void Bus::apply_signal(const std::string& module, std::uint64_t id) {
   auto it = modules_.find(module);
   if (it == modules_.end()) return;
+  ModuleRec& r = it->second;
   auto ctl_it = control_.find(id);
   const trc::TraceContext cause =
       ctl_it == control_.end() ? trc::TraceContext{}
                                : ctl_it->second.trace_ctx;
-  auto& applied = applied_control_[module];
-  if (contains_id(applied, id)) {
+  if (control_applied(r, id)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "signal");
-    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, module,
+    rec_event(trc::EventKind::kDupDiscard, r.info.machine, module,
               "signal id " + std::to_string(id), cause);
   } else {
-    applied.push_back(id);
-    it->second.reconfig_signaled = true;
+    note_control_applied(r, id);
+    r.reconfig_signaled = true;
     ++stats_.signals_delivered;
     if (metrics_on()) {
       metrics_->counter("surgeon_bus_signals_total", {{"module", module}})
           .inc();
     }
-    rec_event(trc::EventKind::kSignal, it->second.info.machine, module,
+    rec_event(trc::EventKind::kSignal, r.info.machine, module,
               "reconfigure delivered", cause);
     trace(TraceEvent::Kind::kSignal, module, "reconfigure");
     wake(module);
@@ -1171,25 +1352,25 @@ void Bus::apply_state(const std::string& module, std::uint64_t id,
                       const std::vector<std::uint8_t>& bytes) {
   auto it = modules_.find(module);
   if (it == modules_.end()) return;
+  ModuleRec& r = it->second;
   auto ctl_it = control_.find(id);
   const trc::TraceContext cause =
       ctl_it == control_.end() ? trc::TraceContext{}
                                : ctl_it->second.trace_ctx;
-  auto& applied = applied_control_[module];
-  if (contains_id(applied, id)) {
+  if (control_applied(r, id)) {
     ++rstats_.dup_discards;
     chaos_metric("surgeon_bus_dups_discarded_total", "state");
-    rec_event(trc::EventKind::kDupDiscard, it->second.info.machine, module,
+    rec_event(trc::EventKind::kDupDiscard, r.info.machine, module,
               "state id " + std::to_string(id), cause);
   } else {
-    applied.push_back(id);
+    note_control_applied(r, id);
     last_state_ctx_[module] = rec_event(
-        trc::EventKind::kStateDeliver, it->second.info.machine, module,
+        trc::EventKind::kStateDeliver, r.info.machine, module,
         std::to_string(bytes.size()) + " bytes", cause);
     trace(TraceEvent::Kind::kStateDelivered, module,
           std::to_string(bytes.size()) + " bytes");
     if (state_observer_) state_observer_(module, "delivered", bytes);
-    it->second.incoming_state = bytes;
+    r.incoming_state = bytes;
     wake(module);
   }
   ack_control(module, id);

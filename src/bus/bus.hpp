@@ -10,6 +10,14 @@
 //     carry the abstract state buffer from the old module to the new one
 //     (mh_objstate_move).
 //
+// Routing is fully pre-resolved: every (module, interface) pair is interned
+// into a slab slot at registration, bindings compile into per-endpoint
+// adjacency tables of peer refs (rebuilt only when the bind table changes),
+// and the steady-state send→deliver path works on integers — no string
+// hashing, no map walks, no per-hop heap allocation. The string-based API
+// stays as a thin resolution shim; interface resolution is a binding-time
+// cost, as in POLYLITH, not a per-message one.
+//
 // The bus knows nothing about MiniC, the VM, or the transformation: modules
 // interact with it only through bus::Client (the mh_* primitives).
 #pragma once
@@ -138,7 +146,10 @@ struct FaultDecision {
 
 /// Consulted once per copy put on the wire (messages and, in reliable mode,
 /// acks, signals, and state buffers), with the source and destination
-/// machine names. Null means a perfect network.
+/// machine names. Null means a perfect network. On the message path the
+/// references the bus passes are stable for the lifetime of the modules
+/// involved; control-plane calls may pass transient strings, so an injector
+/// memoising its resolution must validate by value, not pointer identity.
 using FaultHook =
     std::function<FaultDecision(const std::string& src_machine,
                                 const std::string& dst_machine)>;
@@ -171,6 +182,12 @@ class Bus {
 
   Bus(const Bus&) = delete;
   Bus& operator=(const Bus&) = delete;
+
+  /// Control transfers remembered per module for redelivery dedup. A
+  /// sliding window, not a forever-growing log: redeliveries are bounded by
+  /// `max_attempts` retransmissions within a few backoff timeouts, so any
+  /// duplicate still in flight names one of this many recent transfers.
+  static constexpr std::size_t kAppliedControlWindow = 128;
 
   // --- configuration (reconfiguration primitives of ref [9]) -------------
 
@@ -206,6 +223,35 @@ class Bus {
   /// batch validates and applies, or nothing changes.
   void rebind(const BindEditBatch& batch);
 
+  // --- endpoint interning --------------------------------------------------
+
+  /// Resolves a (module, interface) pair to its interned endpoint handle.
+  /// Throws BusError if either is unknown. The handle stays valid until the
+  /// module is removed; `endpoint_current` tells a caching caller when to
+  /// re-resolve (bus::Client does this automatically).
+  [[nodiscard]] EndpointRef resolve_endpoint(const std::string& module,
+                                             const std::string& iface) const;
+  /// True while `ref` names a live endpoint (its slab slot has not been
+  /// retired or recycled to a new tenant).
+  [[nodiscard]] bool endpoint_current(EndpointRef ref) const noexcept {
+    const EndpointId slot = endpoint_slot(ref);
+    return slot < slab_.size() && slab_[slot].in_use &&
+           slab_[slot].generation == endpoint_generation(ref);
+  }
+  /// Names of an endpoint, for diagnostics and the string shim. For a
+  /// retired-but-unrecycled slot this reports the last tenant's names;
+  /// throws BusError for a never-used slot.
+  [[nodiscard]] BindingEnd endpoint_name(EndpointRef ref) const;
+  /// Source (module, interface) of a received message.
+  [[nodiscard]] BindingEnd source_of(const Message& msg) const {
+    return endpoint_name(msg.src);
+  }
+  /// Slab occupancy, for tests of free-list recycling: total slots ever
+  /// allocated. Stays flat across remove→re-add cycles.
+  [[nodiscard]] std::size_t endpoint_slab_size() const noexcept {
+    return slab_.size();
+  }
+
   // --- messaging ----------------------------------------------------------
 
   /// Sends a message from (module, iface) to every bound peer. Delivery is
@@ -214,15 +260,20 @@ class Bus {
   /// dropped. Throws BusError if the interface cannot send.
   void send(const std::string& module, const std::string& iface,
             std::vector<ser::Value> values);
+  /// Pre-resolved send: the hot path. Throws BusError on a stale ref.
+  void send(EndpointRef ref, std::vector<ser::Value> values);
 
   /// mh_query_ifmsgs: is a message queued at (module, iface)?
   [[nodiscard]] bool has_message(const std::string& module,
                                  const std::string& iface) const;
+  [[nodiscard]] bool has_message(EndpointRef ref) const;
   /// Non-blocking receive; nullopt when the queue is empty.
   [[nodiscard]] std::optional<Message> receive(const std::string& module,
                                                const std::string& iface);
+  [[nodiscard]] std::optional<Message> receive(EndpointRef ref);
   [[nodiscard]] std::size_t queue_depth(const std::string& module,
                                         const std::string& iface) const;
+  [[nodiscard]] std::size_t queue_depth(EndpointRef ref) const;
 
   // --- reconfiguration signal + state movement ----------------------------
 
@@ -288,6 +339,10 @@ class Bus {
   [[nodiscard]] std::size_t unacked_total() const noexcept;
   [[nodiscard]] std::size_t ooo_total() const noexcept;
   [[nodiscard]] std::size_t pending_control_total() const noexcept;
+  /// Size of a module's control-dedup window (≤ kAppliedControlWindow);
+  /// exposed so tests can assert the history stays bounded.
+  [[nodiscard]] std::size_t applied_control_size(
+      const std::string& module) const;
 
   /// Abandons pending reliable signal/state transmissions toward a module
   /// (used when a script aborts a reconfiguration mid-flight).
@@ -322,18 +377,16 @@ class Bus {
   /// Attaches the causal flight recorder (null detaches, the default).
   /// While attached and enabled, every send/deliver/drop/retransmit/
   /// signal/state/rebind/lifecycle action records an event with its causal
-  /// parents, and outgoing messages carry a TraceContext header.
-  void set_tracer(trc::Recorder* tracer) noexcept { tracer_ = tracer; }
+  /// parents, and outgoing messages carry a TraceContext header. Per-module
+  /// journal slots are pre-resolved here and at add_module.
+  void set_tracer(trc::Recorder* tracer);
   [[nodiscard]] trc::Recorder* tracer() const noexcept { return tracer_; }
 
   [[nodiscard]] net::Simulator& simulator() noexcept { return *sim_; }
   [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
 
  private:
-  /// Identity of a reliable flow: the ORIGINAL (module, iface) endpoint it
-  /// began on. Survives replacement: clones inherit their predecessor's
-  /// streams through queue capture.
-  using StreamKey = std::pair<std::string, std::string>;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
   /// Receiver-side resequencing window for one incoming stream.
   struct RxStream {
@@ -341,39 +394,67 @@ class Bus {
     std::map<std::uint64_t, Message> ooo;  // seq -> held message
   };
 
+  struct ModuleRec;  // forward: Endpoint points back at its owner
+
+  /// One compiled adjacency entry: everything a send needs to put a copy on
+  /// the wire toward one peer, resolved when the bind table changes. The
+  /// machine-name pointers alias ModuleInfo strings, which live in map
+  /// nodes and are stable until the module is removed — and every removal
+  /// rebuilds the adjacency.
+  struct PeerLink {
+    EndpointRef ref = kNullEndpointRef;
+    bool same_machine = false;
+    const std::string* src_machine = nullptr;
+    const std::string* dst_machine = nullptr;
+  };
+
+  /// One slab slot. `generation` matches the high word of live refs; it is
+  /// bumped when the slot is retired, so outstanding refs (cached clients,
+  /// in-flight copies) go stale immediately. The name fields survive
+  /// retirement until the slot is recycled, keeping drop diagnostics for
+  /// in-flight traffic toward a removed module accurate.
   struct Endpoint {
+    std::uint32_t generation = 0;
+    bool in_use = false;
+    bool can_send = false;
+    bool can_receive = false;
     InterfaceSpec spec;
+    std::string module;         // owner module name (retained after retire)
+    ModuleRec* owner = nullptr; // valid while in_use; map nodes are stable
     std::deque<Message> queue;
-    /// Stream this endpoint's sends belong to (own (module, iface) at
-    /// creation; repointed to the predecessor's stream by queue capture).
-    StreamKey stream_id;
+    /// Stream this endpoint's sends belong to (own ref at creation;
+    /// repointed to the predecessor's stream by queue capture).
+    StreamKey stream_id = 0;
     /// Per-incoming-stream dedup/reorder state (reliable mode only).
     std::map<StreamKey, RxStream> rx;
     /// Set when this endpoint's rx state migrated to an heir: reliable
     /// arrivals here are dropped UNACKED so the sender retransmits toward
     /// the heir instead of parking messages at the retired instance.
     bool rx_retired = false;
+    /// Compiled adjacency: peers of this endpoint, rebuilt on bind-table
+    /// changes only.
+    std::vector<PeerLink> peers;
     // Metric handles, resolved by resolve_endpoint_metrics; null until a
     // registry is attached. Owned by the registry, not the endpoint.
     obs::Counter* sent_ctr = nullptr;
     obs::Counter* delivered_ctr = nullptr;
     obs::Counter* dropped_ctr = nullptr;
     obs::Gauge* depth_gauge = nullptr;
+    std::uint32_t next_free = kNoSlot;  // free-list link while retired
   };
 
   /// One unacked reliable message copy awaiting acknowledgement.
   struct TxEntry {
     Message msg;
-    std::vector<std::string> acked_by;  // peer modules that acked this seq
+    std::vector<std::uint64_t> acked_by;  // module uids that acked this seq
     int attempts = 0;
     net::SimTime timeout_us = 0;
   };
-  /// Sender side of one stream. Keyed by the original endpoint; `owner`
-  /// tracks which live endpoint currently continues the stream (updated by
-  /// queue capture when a clone takes over).
+  /// Sender side of one stream. Keyed by the original endpoint's packed
+  /// ref; `owner` tracks which live endpoint currently continues the
+  /// stream (updated by queue capture when a clone takes over).
   struct TxStream {
-    std::string owner_module;
-    std::string owner_iface;
+    EndpointRef owner = kNullEndpointRef;
     std::uint64_t next_seq = 0;
     std::map<std::uint64_t, TxEntry> unacked;
   };
@@ -384,7 +465,7 @@ class Bus {
     std::string target;
     std::string from_machine;  // link source for latency + faulting
     std::vector<std::uint8_t> bytes;  // state payload (empty for signals)
-    std::uint64_t epoch = 0;
+    std::uint64_t uid = 0;  // target module instance
     int attempts = 0;
     net::SimTime timeout_us = 0;
     /// Causal context of the request event (the divulge for state moves),
@@ -393,54 +474,100 @@ class Bus {
   };
   struct ModuleRec {
     ModuleInfo info;
-    std::map<std::string, Endpoint> endpoints;
+    std::vector<EndpointId> slots;              // this module's endpoints
+    std::map<std::string, EndpointId> by_iface; // string-shim resolution
     bool reconfig_signaled = false;
     std::optional<std::vector<std::uint8_t>> divulged_state;
     std::optional<std::vector<std::uint8_t>> incoming_state;
-    /// Incremented when the module is removed so in-flight deliveries to a
-    /// deleted-and-recreated name are discarded.
-    std::uint64_t epoch = 0;
+    /// Unique instance id; in-flight control toward a deleted-and-recreated
+    /// name is discarded by comparing it.
+    std::uint64_t uid = 0;
     /// Pre-resolved recorder slot for this module's hot-path events (send,
     /// deliver); saves two hash lookups per journaled hop.
     trc::Recorder::Site trace_site;
+    /// Sliding window of recently applied control ids (redelivery dedup).
+    std::deque<std::uint64_t> applied_control;
+  };
+
+  /// In-flight message copies. Pooled so the scheduled delivery closure
+  /// captures only {this, slot} — small enough for std::function's inline
+  /// buffer — making a hop free of heap allocation.
+  struct InFlight {
+    Message msg;
+    EndpointRef dst = kNullEndpointRef;
+    std::uint32_t next_free = kNoSlot;
   };
 
   [[nodiscard]] ModuleRec& rec(const std::string& name);
   [[nodiscard]] const ModuleRec& rec(const std::string& name) const;
+  // Slab plumbing.
+  [[nodiscard]] Endpoint* deref(EndpointRef ref) noexcept {
+    const EndpointId slot = endpoint_slot(ref);
+    if (slot >= slab_.size()) return nullptr;
+    Endpoint& ep = slab_[slot];
+    return ep.in_use && ep.generation == endpoint_generation(ref) ? &ep
+                                                                  : nullptr;
+  }
+  [[nodiscard]] const Endpoint* deref(EndpointRef ref) const noexcept {
+    return const_cast<Bus*>(this)->deref(ref);
+  }
+  [[nodiscard]] EndpointRef ref_of(EndpointId slot) const noexcept {
+    return make_endpoint_ref(slot, slab_[slot].generation);
+  }
+  [[nodiscard]] EndpointId acquire_slot();
+  void release_slot(EndpointId slot);
+  [[nodiscard]] EndpointId resolve_slot(const std::string& module,
+                                        const std::string& iface) const;
+  [[nodiscard]] Endpoint& endpoint(const std::string& module,
+                                   const std::string& iface) {
+    return slab_[resolve_slot(module, iface)];
+  }
+  [[nodiscard]] const Endpoint& endpoint(const std::string& module,
+                                         const std::string& iface) const {
+    return slab_[resolve_slot(module, iface)];
+  }
+  // Adjacency compilation.
+  void link_endpoints(EndpointId a, EndpointId b);
+  void unlink_endpoints(EndpointId a, EndpointId b);
+  [[nodiscard]] bool linked(EndpointId a, EndpointId b) const;
+  void rebuild_adjacency();
+  // In-flight pool.
+  [[nodiscard]] std::uint32_t inflight_acquire(EndpointRef dst, Message msg);
+  void inflight_release(std::uint32_t slot);
+  void arrive_inflight(std::uint32_t slot);           // fire-and-forget
+  void reliable_arrive_inflight(std::uint32_t slot);  // reliable mode
+  void drop_stale_arrival(EndpointRef dst, const Message& msg);
+  // Hot-path core shared by both send overloads.
+  void send_from(EndpointRef ref, Endpoint& ep, std::vector<ser::Value> values);
+  void deliver_into(Endpoint& ep, Message msg);
   // Reliable-delivery internals (bus.cpp).
   [[nodiscard]] FaultDecision consult_fault(const std::string& src_machine,
                                             const std::string& dst_machine);
   void chaos_metric(const char* name, const char* kind);
-  void legacy_arrive(const BindingEnd& peer, Message msg, std::uint64_t epoch);
-  void deliver_into(const std::string& module, Endpoint& ep, Message msg);
-  void reliable_send(const std::string& module, Endpoint& ep, Message msg);
-  void transmit_entry(const StreamKey& stream, std::uint64_t seq,
-                      bool retransmit);
-  void arm_retransmit(const StreamKey& stream, std::uint64_t seq,
+  void reliable_send(EndpointRef ref, Endpoint& ep, Message msg);
+  void transmit_entry(StreamKey stream, std::uint64_t seq, bool retransmit);
+  void arm_retransmit(StreamKey stream, std::uint64_t seq,
                       net::SimTime timeout_us);
-  void reliable_arrive(const BindingEnd& dst, Message msg,
-                       std::uint64_t epoch);
-  void send_ack(const std::string& acker, const StreamKey& stream,
-                std::uint64_t seq);
-  void on_ack(const std::string& acker, const StreamKey& stream,
-              std::uint64_t seq);
+  void reliable_arrive(EndpointRef dst, Message msg);
+  void send_ack(Endpoint& acker_ep, StreamKey stream, std::uint64_t seq);
+  void on_ack(std::uint64_t acker_uid, StreamKey stream, std::uint64_t seq);
   [[nodiscard]] bool entry_fully_acked(const TxStream& ts,
-                                       const TxEntry& entry) const;
+                                       const TxEntry& entry);
   void migrate_streams(const BindingEnd& from_end, const BindingEnd& to_end);
   void transmit_control(std::uint64_t id);
   void arm_control_retry(std::uint64_t id, net::SimTime timeout_us);
+  /// Window-bounded dedup of redelivered control transfers.
+  [[nodiscard]] static bool control_applied(const ModuleRec& r,
+                                            std::uint64_t id);
+  static void note_control_applied(ModuleRec& r, std::uint64_t id);
   void apply_signal(const std::string& module, std::uint64_t id);
   void apply_state(const std::string& module, std::uint64_t id,
                    const std::vector<std::uint8_t>& bytes);
   void ack_control(const std::string& module, std::uint64_t id);
   void update_reliable_gauges();
-  [[nodiscard]] Endpoint& endpoint(const std::string& module,
-                                   const std::string& iface);
-  [[nodiscard]] const Endpoint& endpoint(const std::string& module,
-                                         const std::string& iface) const;
   void validate_edit(const BindEdit& edit) const;
   void apply_edit(const BindEdit& edit);
-  void resolve_endpoint_metrics(const std::string& module, ModuleRec& r);
+  void resolve_endpoint_metrics(ModuleRec& r);
   [[nodiscard]] bool metrics_on() const noexcept {
     return metrics_ != nullptr && metrics_->enabled();
   }
@@ -471,8 +598,12 @@ class Bus {
 
   net::Simulator* sim_;
   std::map<std::string, ModuleRec> modules_;
-  std::uint64_t next_epoch_ = 1;
+  std::uint64_t next_uid_ = 1;
   std::vector<Binding> bindings_;
+  std::vector<Endpoint> slab_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<InFlight> inflight_;
+  std::uint32_t inflight_free_ = kNoSlot;
   std::function<void(const std::string&)> wake_;
   TraceSink trace_;
   BusStats stats_;
@@ -494,9 +625,6 @@ class Bus {
   std::map<StreamKey, TxStream> tx_streams_;
   std::map<std::uint64_t, ControlTx> control_;  // id -> pending signal/state
   std::uint64_t next_control_id_ = 1;
-  /// Control transfers a module has already applied (dedup for redelivered
-  /// signals/state). Bounded: one entry per reconfiguration, not per message.
-  std::map<std::string, std::vector<std::uint64_t>> applied_control_;
 };
 
 }  // namespace surgeon::bus

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bus/bus.hpp"
 #include "serialize/state.hpp"
@@ -34,17 +35,18 @@ class Client {
     return bus_->module_info(module_).machine;
   }
 
-  /// mh_write: asynchronous send on a named interface.
+  /// mh_write: asynchronous send on a named interface. Goes through the
+  /// cached endpoint handle, so steady-state writes resolve no strings.
   void write(const std::string& iface, std::vector<ser::Value> values) {
-    bus_->send(module_, iface, std::move(values));
+    bus_->send(port(iface), std::move(values));
   }
   /// mh_query_ifmsgs: true if a message is queued on the interface.
-  [[nodiscard]] bool query_ifmsgs(const std::string& iface) const {
-    return bus_->has_message(module_, iface);
+  [[nodiscard]] bool query_ifmsgs(const std::string& iface) {
+    return bus_->has_message(port(iface));
   }
   /// Non-blocking mh_read; the VM turns nullopt into a blocked process.
   [[nodiscard]] std::optional<Message> try_read(const std::string& iface) {
-    return bus_->receive(module_, iface);
+    return bus_->receive(port(iface));
   }
 
   /// Pending reconfiguration signal, consumed at a statement boundary.
@@ -82,8 +84,33 @@ class Client {
   [[nodiscard]] Bus& bus() noexcept { return *bus_; }
 
  private:
+  struct Port {
+    std::string iface;
+    EndpointRef ref = kNullEndpointRef;
+  };
+
+  /// Cached (iface -> endpoint handle) resolution, mirroring how the bus
+  /// pre-resolves trc::Recorder::Site slots. A module has a handful of
+  /// interfaces, so the linear scan is one short string compare; a stale
+  /// handle (the name was re-registered, e.g. clone promotion reusing the
+  /// module name) re-resolves through the string shim.
+  [[nodiscard]] EndpointRef port(const std::string& iface) {
+    for (Port& p : ports_) {
+      if (p.iface == iface) {
+        if (!bus_->endpoint_current(p.ref)) {
+          p.ref = bus_->resolve_endpoint(module_, iface);
+        }
+        return p.ref;
+      }
+    }
+    EndpointRef ref = bus_->resolve_endpoint(module_, iface);
+    ports_.push_back(Port{iface, ref});
+    return ref;
+  }
+
   Bus* bus_;
   std::string module_;
+  std::vector<Port> ports_;
 };
 
 }  // namespace surgeon::bus

@@ -1,4 +1,5 @@
-// Messages and interface descriptions for the software bus.
+// Messages, interned endpoint handles, and interface descriptions for the
+// software bus.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +10,37 @@
 #include "trace/event.hpp"
 
 namespace surgeon::bus {
+
+/// Dense interned endpoint handle. The bus registers every (module,
+/// interface) pair into a slab; the low 32 bits of a ref are the slab slot
+/// (the `EndpointId`), the high 32 bits the slot's generation, bumped each
+/// time the slot is retired so a handle to a removed endpoint goes stale
+/// the moment the module leaves the bus. Generations start at 1, so 0 is
+/// never a valid ref.
+using EndpointId = std::uint32_t;
+using EndpointRef = std::uint64_t;
+
+inline constexpr EndpointRef kNullEndpointRef = 0;
+
+[[nodiscard]] constexpr EndpointId endpoint_slot(EndpointRef ref) noexcept {
+  return static_cast<EndpointId>(ref);
+}
+[[nodiscard]] constexpr std::uint32_t endpoint_generation(
+    EndpointRef ref) noexcept {
+  return static_cast<std::uint32_t>(ref >> 32);
+}
+[[nodiscard]] constexpr EndpointRef make_endpoint_ref(
+    EndpointId slot, std::uint32_t generation) noexcept {
+  return (static_cast<EndpointRef>(generation) << 32) | slot;
+}
+
+/// Identity of a reliable flow, packed into one integer: the EndpointRef of
+/// the ORIGINAL endpoint the stream began on. The ref stays unique forever
+/// (slot reuse bumps the generation), so a stream key never collides with a
+/// later tenant of the same slab slot — and because it survives the
+/// original endpoint's removal, clones that inherit an endpoint through
+/// queue capture continue their predecessor's stream under the same key.
+using StreamKey = std::uint64_t;
 
 /// Interface roles, following the configuration language of Figure 2:
 ///   client  -- sends requests, accepts replies        (bidirectional)
@@ -36,18 +68,20 @@ struct InterfaceSpec {
                          const InterfaceSpec&) = default;
 };
 
-/// One asynchronous message in flight or queued at an endpoint.
+/// One asynchronous message in flight or queued at an endpoint. Carries
+/// interned identifiers only — no strings — so every hop, retransmission,
+/// and clone queue capture moves three integers instead of four heap
+/// strings. `Bus::source_of` resolves `src` back to names for diagnostics.
 struct Message {
   std::vector<ser::Value> values;
-  std::string src_module;
-  std::string src_iface;
+  /// Sending endpoint at the moment of the send.
+  EndpointRef src = kNullEndpointRef;
   /// Reliable-delivery metadata (Bus::set_delivery). The stream names the
   /// ORIGINAL endpoint the flow began on; a clone that inherits an endpoint
   /// through queue capture continues its predecessor's stream, so receivers
   /// keep one in-order dedup window across replacements. Unused (all
   /// defaults) in fire-and-forget mode.
-  std::string stream_module;
-  std::string stream_iface;
+  StreamKey stream = 0;
   std::uint64_t seq = 0;
   /// Causal trace header (trace/event.hpp): names the send (or retransmit)
   /// event this copy belongs to so the receiving machine can merge Lamport
@@ -55,8 +89,6 @@ struct Message {
   /// through retransmissions, duplicates, and clone queue capture; invalid
   /// (event 0) when tracing is off.
   trace::TraceContext trace_ctx;
-
-  [[nodiscard]] std::string to_string() const;
 };
 
 /// One end of a binding: a (module, interface) pair.

@@ -18,8 +18,18 @@ bool FaultInjector::partitioned(const std::string& src, const std::string& dst,
 
 const LinkFaults& FaultInjector::link_faults(const std::string& src,
                                              const std::string& dst) const {
+  if (links_.empty()) return default_;  // only default faults configured
+  if (cached_faults_ != nullptr && src == cache_src_ && dst == cache_dst_) {
+    return *cached_faults_;
+  }
   auto it = links_.find({src, dst});
-  return it == links_.end() ? default_ : it->second;
+  const LinkFaults& faults = it == links_.end() ? default_ : it->second;
+  // Node / member addresses are stable until set_link/set_default, which
+  // reset cached_faults_.
+  cache_src_ = src;
+  cache_dst_ = dst;
+  cached_faults_ = &faults;
+  return faults;
 }
 
 bus::FaultDecision FaultInjector::decide(const std::string& src,

@@ -68,11 +68,15 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Faults applied to every link without a specific override.
-  void set_default(LinkFaults faults) { default_ = faults; }
+  void set_default(LinkFaults faults) {
+    default_ = faults;
+    cached_faults_ = nullptr;
+  }
   /// Directed per-link override (src machine -> dst machine).
   void set_link(const std::string& src, const std::string& dst,
                 LinkFaults faults) {
     links_[{src, dst}] = faults;
+    cached_faults_ = nullptr;
   }
   void add_partition(Partition partition) {
     partitions_.push_back(std::move(partition));
@@ -113,6 +117,15 @@ class FaultInjector {
   std::map<std::pair<std::string, std::string>, LinkFaults> links_;
   std::vector<Partition> partitions_;
   FaultStats stats_;
+  // One-entry resolution memo: bursts hammer one link, and the map lookup
+  // above builds a pair<string,string> key (two allocations) per decision.
+  // Validated by VALUE, not pointer identity — control-plane machine names
+  // live in transient ControlTx records whose storage can be reused, and a
+  // pointer-keyed memo would make fault schedules depend on the allocator.
+  // Invalidated by set_default/set_link.
+  mutable std::string cache_src_;
+  mutable std::string cache_dst_;
+  mutable const LinkFaults* cached_faults_ = nullptr;
 };
 
 }  // namespace surgeon::chaos

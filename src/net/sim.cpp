@@ -25,11 +25,7 @@ std::vector<std::string> Simulator::machine_names() const {
 }
 
 SimTime Simulator::message_latency(const std::string& a, const std::string& b) {
-  if (a == b) return latency_.local_us;
-  SimTime jitter = latency_.remote_jitter_us == 0
-                       ? 0
-                       : rng_.next_below(latency_.remote_jitter_us + 1);
-  return latency_.remote_us + jitter;
+  return link_latency(a == b);
 }
 
 void Simulator::schedule_at(SimTime t, std::function<void()> fn) {

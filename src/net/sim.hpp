@@ -54,6 +54,16 @@ class Simulator {
   /// Latency charged for a message from machine `a` to machine `b`.
   [[nodiscard]] SimTime message_latency(const std::string& a,
                                         const std::string& b);
+  /// Same cost model for a link whose same-machine test is pre-resolved
+  /// (the bus's compiled adjacency stores it), skipping the string compare.
+  /// Consumes the jitter RNG exactly as message_latency does.
+  [[nodiscard]] SimTime link_latency(bool same_machine) {
+    if (same_machine) return latency_.local_us;
+    SimTime jitter = latency_.remote_jitter_us == 0
+                         ? 0
+                         : rng_.next_below(latency_.remote_jitter_us + 1);
+    return latency_.remote_us + jitter;
+  }
 
   [[nodiscard]] SimTime now() const noexcept { return now_us_; }
 

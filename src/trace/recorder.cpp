@@ -81,6 +81,11 @@ TraceContext Recorder::record_at(Site& site, EventKind kind,
                      std::move(detail), cause);
 }
 
+Recorder::Site Recorder::resolve_site(const std::string& machine,
+                                      const std::string& module) {
+  return Site{&journal_of(machine), &last_of_module_[module], generation_};
+}
+
 TraceContext Recorder::record_impl(Journal& journal, LastEvent& last,
                                    EventKind kind, const std::string& machine,
                                    const std::string& module,

@@ -85,6 +85,12 @@ class Recorder {
                          const std::string& machine,
                          const std::string& module, std::string detail,
                          const TraceContext& cause = {});
+  // Eagerly resolves a Site so a caller registering a module pays the two
+  // hash lookups once, up front, instead of on its first recorded event.
+  // The Site stays self-healing: clear() bumps the generation and the next
+  // record_at re-resolves.
+  [[nodiscard]] Site resolve_site(const std::string& machine,
+                                  const std::string& module);
 
   // Journal access.
   std::vector<std::string> machines() const;

@@ -67,7 +67,7 @@ TEST_F(BusTest, SendDeliversAfterLatency) {
   auto msg = bus_.receive("b", "in");
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->values[0].as_int(), 5);
-  EXPECT_EQ(msg->src_module, "a");
+  EXPECT_EQ(bus_.source_of(*msg), (BindingEnd{"a", "out"}));
   EXPECT_FALSE(bus_.has_message("b", "in"));
 }
 
@@ -288,6 +288,113 @@ TEST_F(BusTest, StatsTrackStateBytes) {
   bus_.post_divulged_state("a", std::vector<std::uint8_t>(100, 0));
   EXPECT_EQ(bus_.stats().state_transfers, 1u);
   EXPECT_EQ(bus_.stats().state_bytes_moved, 100u);
+}
+
+TEST_F(BusTest, EndpointSlabRecyclesSlotsWithoutLeaks) {
+  add_pair();
+  const std::size_t slots = bus_.endpoint_slab_size();
+  EXPECT_EQ(slots, 4u);  // two modules x two interfaces
+  // Park a message in b's queue, then retire b with it still queued.
+  bus_.send("a", "out", {ser::Value(std::int64_t{1})});
+  sim_.run();
+  ASSERT_EQ(bus_.queue_depth("b", "in"), 1u);
+  bus_.remove_module("b");
+  EXPECT_EQ(bus_.endpoint_slab_size(), slots);  // slots retired, not dropped
+  // The re-added tenant recycles the freed slots and must start clean: no
+  // inherited queue contents, and the slab must not have grown.
+  bus_.add_module(make_module("b", "sparc"));
+  EXPECT_EQ(bus_.endpoint_slab_size(), slots);
+  EXPECT_EQ(bus_.queue_depth("b", "in"), 0u);
+  EXPECT_FALSE(bus_.has_message("b", "in"));
+  // A third module needs fresh slots again.
+  bus_.add_module(make_module("c", "vax"));
+  EXPECT_EQ(bus_.endpoint_slab_size(), slots + 2);
+}
+
+TEST_F(BusTest, EndpointRefsGoStaleOnRemoval) {
+  add_pair();
+  const EndpointRef out = bus_.resolve_endpoint("a", "out");
+  const EndpointRef in = bus_.resolve_endpoint("b", "in");
+  EXPECT_TRUE(bus_.endpoint_current(out));
+  bus_.send(out, {ser::Value(std::int64_t{3})});
+  sim_.run();
+  EXPECT_TRUE(bus_.has_message(in));
+  EXPECT_EQ(bus_.receive(in)->values[0].as_int(), 3);
+  bus_.remove_module("b");
+  bus_.add_module(make_module("b", "sparc"));
+  // The recycled slot has a new generation: the old handle must not reach
+  // the new tenant, and every ref-based entry point must reject it.
+  EXPECT_FALSE(bus_.endpoint_current(in));
+  EXPECT_THROW((void)bus_.has_message(in), BusError);
+  EXPECT_THROW((void)bus_.receive(in), BusError);
+  EXPECT_THROW((void)bus_.queue_depth(in), BusError);
+  EXPECT_THROW(bus_.send(in, {}), BusError);
+  EXPECT_NE(bus_.resolve_endpoint("b", "in"), in);
+}
+
+TEST_F(BusTest, ClientPortCacheReresolvesAfterReplacement) {
+  add_pair();
+  Client sender(bus_, "a");
+  sender.write("out", {ser::Value(std::int64_t{1})});
+  sim_.run();
+  EXPECT_EQ(bus_.queue_depth("b", "in"), 1u);
+  // Replace the sender under the same name (clone promotion does exactly
+  // this): the client's cached handle goes stale and must re-resolve.
+  bus_.remove_module("a");
+  bus_.add_module(make_module("a", "vax"));
+  bus_.add_binding({"a", "out"}, {"b", "in"});
+  sender.write("out", {ser::Value(std::int64_t{2})});
+  sim_.run();
+  EXPECT_EQ(bus_.queue_depth("b", "in"), 2u);
+}
+
+TEST_F(BusTest, ReplacedModuleStartsAFreshReliableStream) {
+  DeliveryOptions opts;
+  opts.reliable = true;
+  bus_.set_delivery(opts);
+  add_pair();
+  for (int i = 0; i < 3; ++i) {
+    bus_.send("a", "out", {ser::Value(std::int64_t{i})});
+  }
+  sim_.run();
+  // Replace the sender. Its stream died with it; the new instance's sends
+  // restart at seq 0 under a NEW stream key (the generation-stamped ref of
+  // its recycled endpoint), so the receiver must not mistake them for
+  // duplicates of the predecessor's seq 0..2.
+  bus_.remove_module("a");
+  bus_.add_module(make_module("a", "vax"));
+  bus_.add_binding({"a", "out"}, {"b", "in"});
+  for (int i = 3; i < 6; ++i) {
+    bus_.send("a", "out", {ser::Value(std::int64_t{i})});
+  }
+  sim_.run();
+  EXPECT_EQ(bus_.reliable_stats().dup_discards, 0u);
+  EXPECT_EQ(bus_.stats().messages_delivered, 6u);
+  for (int i = 0; i < 6; ++i) {
+    auto msg = bus_.receive("b", "in");
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->values[0].as_int(), i);
+  }
+  EXPECT_EQ(bus_.unacked_total(), 0u);
+}
+
+TEST_F(BusTest, AppliedControlHistoryStaysBounded) {
+  DeliveryOptions opts;
+  opts.reliable = true;
+  bus_.set_delivery(opts);
+  add_pair();
+  const std::size_t rounds = Bus::kAppliedControlWindow + 50;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    bus_.signal_reconfig("a");
+    sim_.run();
+    EXPECT_TRUE(bus_.take_pending_signal("a"));
+    EXPECT_LE(bus_.applied_control_size("a"), Bus::kAppliedControlWindow);
+  }
+  // Every transfer was applied exactly once: the sliding window trimmed the
+  // dedup history without ever re-applying or double-counting a delivery.
+  EXPECT_EQ(bus_.stats().signals_delivered, rounds);
+  EXPECT_EQ(bus_.applied_control_size("a"), Bus::kAppliedControlWindow);
+  EXPECT_EQ(bus_.pending_control_total(), 0u);
 }
 
 }  // namespace
