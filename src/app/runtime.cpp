@@ -313,6 +313,29 @@ void Runtime::run_until_idle(std::uint64_t max_rounds) {
   }
 }
 
+void Runtime::enable_heartbeats(net::SimTime interval_us, HeartbeatSink sink) {
+  if (interval_us == 0) {
+    throw BusError("enable_heartbeats: interval must be nonzero");
+  }
+  hb_interval_us_ = interval_us;
+  hb_sink_ = std::move(sink);
+  std::uint64_t epoch = ++hb_epoch_;
+  sim_.schedule_after(hb_interval_us_,
+                      [this, epoch] { heartbeat_tick(epoch); });
+}
+
+void Runtime::heartbeat_tick(std::uint64_t epoch) {
+  // A tick scheduled before disable/re-enable is stale; drop it so exactly
+  // one tick chain is live per enable_heartbeats() call.
+  if (epoch != hb_epoch_ || !hb_sink_) return;
+  for (auto& [name, rec] : processes_) {
+    if (rec.finished) continue;  // crashed/done processes stop beating
+    hb_sink_(name, sim_.now());
+  }
+  sim_.schedule_after(hb_interval_us_,
+                      [this, epoch] { heartbeat_tick(epoch); });
+}
+
 void Runtime::check_faults() const {
   if (first_fault_.has_value()) {
     throw BusError("module '" + first_fault_->first +

@@ -177,6 +177,27 @@ class Runtime {
   void enable_causal_tracing() noexcept { tracer_.set_enabled(true); }
   void disable_causal_tracing() noexcept { tracer_.set_enabled(false); }
 
+  // --- heartbeats (surgeon::recover) ----------------------------------------
+
+  /// Called once per heartbeat tick for every live (non-finished) process:
+  /// (instance, virtual time of the beat). The recover::FailureDetector is
+  /// the intended sink.
+  using HeartbeatSink = std::function<void(const std::string&, net::SimTime)>;
+
+  /// Starts a periodic virtual-clock heartbeat: every `interval_us` the
+  /// runtime reports each live process to `sink`. Crashed and finished
+  /// processes stop beating, which is exactly what a timeout detector
+  /// watches for. NOTE: the self-rescheduling tick keeps the simulator
+  /// permanently non-idle, so run_until_idle() will burn its whole rounds
+  /// budget while heartbeats are on -- use predicate- or time-bounded runs,
+  /// or disable_heartbeats() first.
+  void enable_heartbeats(net::SimTime interval_us, HeartbeatSink sink);
+  /// Stops the heartbeat tick (any in-flight tick event becomes a no-op).
+  void disable_heartbeats() noexcept { ++hb_epoch_; hb_sink_ = nullptr; }
+  [[nodiscard]] bool heartbeats_enabled() const noexcept {
+    return hb_sink_ != nullptr;
+  }
+
   /// A module faulted during this run? (instance, message) of the first.
   [[nodiscard]] const std::optional<std::pair<std::string, std::string>>&
   first_fault() const noexcept {
@@ -204,6 +225,7 @@ class Runtime {
   };
 
   void wake(const std::string& instance);
+  void heartbeat_tick(std::uint64_t epoch);
   void record_trace(const bus::TraceEvent& ev);
   void publish_vm_metrics(ProcessRec& rec, std::uint64_t instructions);
   void crash_now(const std::string& instance, ProcessRec& rec,
@@ -219,6 +241,9 @@ class Runtime {
   std::uint64_t insn_cost_ns_ = 0;
   std::uint64_t seed_ = 1;
   std::optional<std::pair<std::string, std::string>> first_fault_;
+  HeartbeatSink hb_sink_;
+  net::SimTime hb_interval_us_ = 0;
+  std::uint64_t hb_epoch_ = 0;  // stale tick events compare and bail
   std::deque<bus::TraceEvent> trace_;
   std::size_t trace_capacity_ = 1'048'576;
   std::uint64_t trace_dropped_ = 0;

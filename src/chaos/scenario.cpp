@@ -1,6 +1,7 @@
 #include "chaos/scenario.hpp"
 
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -9,6 +10,7 @@
 #include "cfg/parser.hpp"
 #include "net/arch.hpp"
 #include "reconfig/scripts.hpp"
+#include "recover/recovery.hpp"
 #include "trace/checker.hpp"
 
 namespace surgeon::chaos {
@@ -29,6 +31,7 @@ std::string ScenarioSpec::describe() const {
      << " dup=" << faults.duplicate << " delay=" << faults.delay
      << " jitter=" << faults.jitter_us << "us partitions=" << partitions.size()
      << " crash_clone=" << (crash_clone ? 1 : 0)
+     << " crash_coordinator_at_step=" << crash_coordinator_at_step
      << " replace_after=" << replace_after_outputs << " machine="
      << (target_machine.empty() ? "<same>" : target_machine);
   return os.str();
@@ -121,10 +124,12 @@ struct PassResult {
   bool app_done = false;
   std::string vm_fault;  // "module X faulted: ..." or empty
   bool replaced = false;
+  bool recovered_forward = false;
   int attempts = 0;
   std::string new_instance;
   std::string abort_reason;
   net::SimTime replace_started_at = 0;
+  std::vector<std::string> final_modules;  // bus registry when the pass ends
   std::vector<bus::TraceEvent> trace;
   std::vector<std::vector<std::uint8_t>> divulged;
   std::vector<std::vector<std::uint8_t>> delivered;
@@ -184,11 +189,31 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
       kRounds);
 
   // Phase 2: the Figure 5 replacement, with the chaos retry/abort options.
+  // Chaos passes journal every boundary to the control machine's WAL, so a
+  // coordinator crash (crash_coordinator_at_step) leaves a log for the
+  // recovery path to roll forward or back, just as ISSUE 5's restarted
+  // coordinator would.
   reconfig::ReplaceOptions options;
   options.machine = spec.target_machine;
   options.max_attempts = spec.max_attempts;
   options.divulge_timeout_us = spec.divulge_timeout_us;
   options.restore_timeout_us = spec.restore_timeout_us;
+  std::optional<recover::Wal> wal;
+  if (injector != nullptr) {
+    wal.emplace(rt.simulator().durable_store("sparc"));
+    options.journal = &*wal;
+    if (spec.crash_coordinator_at_step >= 0) {
+      const char* boundary = recover::kCrashBoundaries
+          [static_cast<std::size_t>(spec.crash_coordinator_at_step) %
+           recover::kCrashBoundaries.size()];
+      options.crash_hook = [boundary](const char* step) {
+        if (std::string_view(step) == boundary) {
+          throw recover::CoordinatorCrash(
+              std::string("chaos: coordinator crashed at '") + step + "'");
+        }
+      };
+    }
+  }
   pr.replace_started_at = rt.now();
   try {
     reconfig::ReplaceReport report =
@@ -196,6 +221,18 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
     pr.replaced = true;
     pr.attempts = report.attempts;
     pr.new_instance = report.new_instance;
+  } catch (const recover::CoordinatorCrash& e) {
+    // The coordinator process died mid-script. Its successor scans the WAL
+    // and completes or rolls back the open transaction.
+    recover::RecoveryReport rec = recover::recover_coordinator(rt, *wal);
+    if (rec.rolled_forward) {
+      pr.replaced = true;
+      pr.recovered_forward = true;
+      pr.attempts = 1;
+      pr.new_instance = rec.new_instance;
+    } else {
+      pr.abort_reason = e.what();
+    }
   } catch (const reconfig::ScriptError& e) {
     pr.abort_reason = e.what();
   }
@@ -261,8 +298,12 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
 
   vm::Machine* observer = rt.machine_of(roles.observer);
   if (observer != nullptr) pr.output = observer->output();
+  pr.final_modules = rt.bus().module_names();
   pr.hb_violations = hb_checker.violations();
   pr.hb_events = hb_checker.observed();
+  if (injector != nullptr && spec.chaos_pass_observer) {
+    spec.chaos_pass_observer(rt);
+  }
   return pr;
 }
 
@@ -372,6 +413,30 @@ bool check_rebind_after_quiescence(const PassResult& pass,
   return true;
 }
 
+/// Invariant 6: the final configuration is consistent. Exactly one
+/// instance of the replaced logical module (any @generation) remains
+/// registered -- a crash that leaves the old instance AND a half-installed
+/// clone behind, or neither, has wedged the application.
+bool check_consistent_configuration(const ScenarioSpec& spec,
+                                    const PassResult& pass,
+                                    ScenarioResult& result) {
+  const std::string target = roles_for(spec.app).target;
+  std::vector<std::string> generations;
+  for (const std::string& name : pass.final_modules) {
+    std::string stem = name.substr(0, name.rfind('@'));  // npos keeps all
+    if (stem == target) generations.push_back(name);
+  }
+  if (generations.size() != 1) {
+    std::string listing;
+    for (const auto& g : generations) listing += " " + g;
+    return fail(result, "invariant 6: expected exactly one '" + target +
+                            "' instance after the run, found " +
+                            std::to_string(generations.size()) + ":" +
+                            listing);
+  }
+  return true;
+}
+
 /// Invariant 5: the online happens-before checker saw a nonempty causal
 /// event stream and flagged nothing.
 bool check_happens_before(const PassResult& pass, const char* which,
@@ -406,6 +471,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   for (const auto& p : spec.partitions) injector.add_partition(p);
   PassResult chaos = run_pass(spec, &injector);
   result.replaced = chaos.replaced;
+  result.recovered_forward = chaos.recovered_forward;
   result.abort_reason = chaos.abort_reason;
   result.new_instance = chaos.new_instance;
   result.attempts = chaos.attempts;
@@ -434,6 +500,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   check_state_fidelity(chaos, result);
   check_rebind_after_quiescence(chaos, result);
   check_happens_before(chaos, "chaos", result);
+  check_consistent_configuration(spec, chaos, result);
   if (!result.failure.empty()) return result;
 
   if (spec.app != SampleApp::kMonitor) {
@@ -478,6 +545,15 @@ ScenarioSpec random_scenario(std::uint64_t seed) {
         Partition{"vax", "sparc", from, from + 300'000 + rng.next_below(1'200'000)});
   }
   spec.crash_clone = rng.next_below(10) < 2;
+  if (rng.next_below(10) < 2) {
+    // Coordinator-crash scenario: pick one of the eight boundaries. The
+    // clone-crash trigger is disabled for these -- recovery's roll-forward
+    // is single-shot (no retry chain), so a clone killed on state delivery
+    // mid-recovery is a different scenario, covered by directed tests.
+    spec.crash_coordinator_at_step = static_cast<int>(
+        rng.next_below(recover::kCrashBoundaries.size()));
+    spec.crash_clone = false;
+  }
   spec.replace_after_outputs = 1 + static_cast<int>(rng.next_below(4));
   spec.target_machine = rng.next_below(2) == 0 ? "" : "sparc";
   spec.max_attempts = 4 + static_cast<int>(rng.next_below(3));

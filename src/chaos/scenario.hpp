@@ -14,18 +14,26 @@
 //      (counter and pipeline; the monitor's sensor is random, so it is
 //      checked for liveness instead of output equality),
 //   5. the causal event stream satisfies the happens-before protocol
-//      invariants (trace::HbChecker, run online over the flight recorder).
+//      invariants (trace::HbChecker, run online over the flight recorder),
+//   6. the final configuration is consistent: exactly one instance of the
+//      replaced logical module remains -- never the half-rebound old+clone
+//      pair a mid-script coordinator crash would otherwise leave behind.
 //
 // Every scenario is a pure function of its ScenarioSpec -- in particular
 // of `seed` -- so a failing run is replayed by constructing the same spec.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bus/bus.hpp"
 #include "chaos/fault.hpp"
+
+namespace surgeon::app {
+class Runtime;
+}
 
 namespace surgeon::chaos {
 
@@ -44,6 +52,12 @@ struct ScenarioSpec {
   /// Kill the clone when its first state buffer lands, forcing the script
   /// onto its retry path (a second clone restores from the same buffer).
   bool crash_clone = false;
+  /// Kill the *coordinator* at this Figure 5 step boundary (an index into
+  /// recover::kCrashBoundaries: the seven steps plus the commit record);
+  /// -1 = never. The pass then runs recover::recover_coordinator, exactly
+  /// as a restarted coordinator scanning the WAL would, and the invariants
+  /// verify the application converged (roll-forward or roll-back).
+  int crash_coordinator_at_step = -1;
   /// Observed output lines before the replacement is launched.
   int replace_after_outputs = 3;
   /// Machine for the replacement; empty replaces in place.
@@ -52,6 +66,10 @@ struct ScenarioSpec {
   net::SimTime divulge_timeout_us = 5'000'000;
   net::SimTime restore_timeout_us = 5'000'000;
   bus::DeliveryOptions delivery = {.reliable = true};
+  /// Called at the end of the chaos pass with the runtime still alive, so
+  /// a sweep driver can dump the flight recorder for a failing seed. Not
+  /// part of the scenario identity: it observes, never steers.
+  std::function<void(app::Runtime&)> chaos_pass_observer;
 
   /// One-line human description, seed first, for failure messages.
   [[nodiscard]] std::string describe() const;
@@ -61,6 +79,9 @@ struct ScenarioResult {
   /// Replacement completed; false = the script aborted cleanly (the
   /// application kept serving on the old instance, which is verified).
   bool replaced = false;
+  /// A coordinator crash was injected and recovery rolled the transaction
+  /// forward (true) or back (false, with `replaced` false as well).
+  bool recovered_forward = false;
   std::string abort_reason;  // ScriptError text when !replaced
   /// First violated invariant, or empty when the scenario passed.
   std::string failure;

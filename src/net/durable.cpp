@@ -1,0 +1,45 @@
+#include "net/durable.hpp"
+
+namespace surgeon::net {
+
+void DurableStore::append(const std::string& log, Record record) {
+  ++appends_;
+  bytes_written_ += record.size();
+  logs_[log].push_back(std::move(record));
+}
+
+const std::vector<DurableStore::Record>& DurableStore::log(
+    const std::string& log) const {
+  static const std::vector<Record> kEmpty;
+  auto it = logs_.find(log);
+  return it == logs_.end() ? kEmpty : it->second;
+}
+
+void DurableStore::truncate(const std::string& log) { logs_.erase(log); }
+
+void DurableStore::put(const std::string& key, Record value) {
+  ++puts_;
+  bytes_written_ += value.size();
+  kv_[key] = std::move(value);
+}
+
+const DurableStore::Record* DurableStore::get(const std::string& key) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? nullptr : &it->second;
+}
+
+bool DurableStore::erase(const std::string& key) {
+  return kv_.erase(key) != 0;
+}
+
+std::vector<std::string> DurableStore::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace surgeon::net

@@ -1,0 +1,63 @@
+// Per-machine durable storage for the simulated network.
+//
+// A DurableStore models a machine's disk: append-only logs (the recovery
+// subsystem's write-ahead log) and a small key/value area (module
+// checkpoints). "Durable" is relative to the fault model of surgeon::chaos:
+// a module or coordinator PROCESS crash loses all in-memory state, but the
+// store — like the bus daemon — belongs to the host, so a restarted
+// process reads back exactly what was written. Machine/host failures are
+// out of scope (the paper's model has no persistent storage at all; this
+// is the minimum addition that makes reconfiguration transactions
+// recoverable).
+//
+// Everything is deterministic and in-memory; the counters exist so tests
+// and benchmarks can assert how much "disk" traffic a protocol generates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace surgeon::net {
+
+class DurableStore {
+ public:
+  using Record = std::vector<std::uint8_t>;
+
+  // --- append-only logs ----------------------------------------------------
+
+  /// Appends one record to the named log (created on first use).
+  void append(const std::string& log, Record record);
+  /// All records of a log, in append order; empty for an unknown log.
+  [[nodiscard]] const std::vector<Record>& log(const std::string& log) const;
+  /// Drops every record of a log (checkpoint compaction).
+  void truncate(const std::string& log);
+
+  // --- key/value area ------------------------------------------------------
+
+  void put(const std::string& key, Record value);
+  /// Null when the key is absent. The pointer is invalidated by the next
+  /// put/erase on the same store.
+  [[nodiscard]] const Record* get(const std::string& key) const;
+  bool erase(const std::string& key);
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
+  // --- accounting ----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t appends() const noexcept { return appends_; }
+  [[nodiscard]] std::uint64_t puts() const noexcept { return puts_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Record>> logs_;
+  std::map<std::string, Record> kv_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t puts_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace surgeon::net

@@ -17,6 +17,17 @@ const Machine& Simulator::machine(const std::string& name) const {
   return it->second;
 }
 
+DurableStore& Simulator::durable_store(const std::string& machine) {
+  if (!machines_.contains(machine)) {
+    throw BusError("unknown machine: " + machine);
+  }
+  return stores_[machine];
+}
+
+const DurableStore& Simulator::durable_store(const std::string& machine) const {
+  return const_cast<Simulator*>(this)->durable_store(machine);
+}
+
 std::vector<std::string> Simulator::machine_names() const {
   std::vector<std::string> names;
   names.reserve(machines_.size());

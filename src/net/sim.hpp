@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/arch.hpp"
+#include "net/durable.hpp"
 #include "support/rng.hpp"
 
 namespace surgeon::net {
@@ -46,6 +47,13 @@ class Simulator {
   /// Throws BusError for an unknown machine.
   [[nodiscard]] const Machine& machine(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> machine_names() const;
+
+  /// The machine's durable storage (disk): survives module and coordinator
+  /// process crashes, which lose only in-memory state. Throws BusError for
+  /// an unknown machine.
+  [[nodiscard]] DurableStore& durable_store(const std::string& machine);
+  [[nodiscard]] const DurableStore& durable_store(
+      const std::string& machine) const;
 
   void set_latency_model(LatencyModel model) noexcept { latency_ = model; }
   [[nodiscard]] const LatencyModel& latency_model() const noexcept {
@@ -104,6 +112,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   std::map<std::string, Machine> machines_;
+  std::map<std::string, DurableStore> stores_;
   LatencyModel latency_;
   support::SplitMix64 rng_;
 };

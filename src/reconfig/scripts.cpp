@@ -10,8 +10,6 @@ using bus::BindEdit;
 using bus::BindEditBatch;
 using bus::BindingEnd;
 
-namespace {
-
 /// mh_edit_bind commands that repoint every binding of `from` to `to` and
 /// move queued messages across (Figure 5's loop over the interfaces).
 BindEditBatch make_rebind_batch(bus::Bus& bus, const std::string& from,
@@ -47,12 +45,22 @@ std::size_t sweep_queues(bus::Bus& bus, const std::string& from,
   return moved;
 }
 
+namespace {
+
 std::size_t queued_total(bus::Bus& bus, const std::string& module) {
   std::size_t n = 0;
   for (const auto& iface : bus.interface_names(module)) {
     n += bus.queue_depth(module, iface);
   }
   return n;
+}
+
+/// ScriptError text naming the Figure 5 step and the instance at which the
+/// script failed: "replace_module[<step>] <role> '<instance>': <what>".
+ScriptError step_error(const char* step, const char* role,
+                       const std::string& instance, const std::string& what) {
+  return ScriptError(std::string("replace_module[") + step + "] " + role +
+                     " '" + instance + "': " + what);
 }
 
 /// Closes the flight recorder's current trace grouping when the script
@@ -109,14 +117,14 @@ void wait_for_restore(app::Runtime& rt, const std::string& instance,
     case RestoreOutcome::kOk:
       return;
     case RestoreOutcome::kFault:
-      throw ScriptError("clone '" + instance +
-                        "' faulted while installing state: " +
-                        rt.machine_of(instance)->fault_message());
+      throw step_error(kStepAdd, "clone", instance,
+                       "faulted while installing state: " +
+                           rt.machine_of(instance)->fault_message());
     case RestoreOutcome::kCrashed:
-      throw ScriptError("clone '" + instance + "' crashed while restoring");
+      throw step_error(kStepAdd, "clone", instance, "crashed while restoring");
     case RestoreOutcome::kTimeout:
-      throw ScriptError("clone '" + instance +
-                        "' did not finish restoring within the budget");
+      throw step_error(kStepAdd, "clone", instance,
+                       "did not finish restoring within the budget");
   }
 }
 
@@ -146,22 +154,38 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
     report.trace_id = rt.tracer().begin_trace("replace:" + instance);
   }
 
+  // The clone's name is assigned before step 1 so the journal's begin
+  // record can name both transaction parties up front; a recovering
+  // coordinator then knows exactly which instance to look for.
+  report.new_instance = rt.fresh_instance_name(instance);
+  if (options.journal != nullptr) {
+    options.journal->begin(instance, report.new_instance, options.machine);
+  }
+  // Write-ahead discipline: the intent record hits the log before the step
+  // runs, and the crash hook fires between the two -- a throw from it
+  // models the coordinator dying at exactly that boundary.
+  auto boundary = [&options](const char* step) {
+    if (options.journal != nullptr) options.journal->intent(step);
+    if (options.crash_hook) options.crash_hook(step);
+  };
+
   // 1. mh_obj_cap: the current specification (machine may have changed in a
   //    previous reconfiguration, so read it from the bus, not the config).
   bus::ModuleInfo old_info;
   {
+    boundary(kStepObjCap);
     obs::Span span(metrics, kStepObjCap, instance);
     old_info = bus.module_info(instance);
   }
 
   // 2. The new module: same specification, new MACHINE, STATUS = clone.
   {
+    boundary(kStepCloneRegister);
     obs::Span span(metrics, kStepCloneRegister, instance);
     app::ModuleImage new_image = *image;
     if (options.program != nullptr) new_image.program = options.program;
     const std::string target =
         options.machine.empty() ? old_info.machine : options.machine;
-    report.new_instance = rt.fresh_instance_name(instance);
     rt.install_module(report.new_instance, std::move(new_image), target,
                       "clone");
   }
@@ -178,6 +202,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   //    when the batch applies.
   BindEditBatch rebind_batch;
   {
+    boundary(kStepBindEditPrep);
     obs::Span span(metrics, kStepBindEditPrep, instance);
     rebind_batch = make_rebind_batch(bus, instance, report.new_instance);
   }
@@ -188,6 +213,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   //    clone leaves the application serving on the old instance.
   std::vector<std::uint8_t> saved_state;  // re-delivered on retries
   {
+    boundary(kStepObjstateMove);
     obs::Span span(metrics, kStepObjstateMove, instance);
     report.requested_at = rt.now();
     bus.signal_reconfig(instance);
@@ -208,15 +234,21 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
       bus.cancel_pending_control(instance);
       (void)bus.take_pending_signal(instance);
       cleanup_clone();
-      throw ScriptError(
-          "module '" + instance +
-          "' never divulged its state (does execution reach a "
-          "reconfiguration point?)");
+      if (options.journal != nullptr) {
+        options.journal->aborted("divulge timeout");
+      }
+      throw step_error(kStepObjstateMove, "module", instance,
+                       "never divulged its state (does execution reach a "
+                       "reconfiguration point?)");
     }
     report.divulged_at = rt.now();
     std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(instance);
     report.state_bytes = state_bytes.size();
     report.state_frames = ser::StateBuffer::decode(state_bytes).frame_count();
+    // The divulged record is the roll-forward watershed: it must be durable
+    // before the state buffer enters the delivery pipeline.
+    if (options.journal != nullptr) options.journal->divulged(state_bytes);
+    if (options.state_sink) options.state_sink(state_bytes);
     if (options.max_attempts > 1) saved_state = state_bytes;
     bus.deliver_state(old_info.machine, report.new_instance,
                       std::move(state_bytes));
@@ -224,6 +256,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
 
   // 5. mh_rebind: atomically repoint bindings and move queued messages.
   {
+    boundary(kStepRebind);
     obs::Span span(metrics, kStepRebind, instance);
     report.queued_messages_moved = queued_total(bus, instance);
     bus.rebind(rebind_batch);
@@ -232,6 +265,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
 
   // 6. mh_chg_obj "add": start the clone; it decodes and restores itself.
   {
+    boundary(kStepAdd);
     obs::Span span(metrics, kStepAdd, instance);
     rt.start_module(report.new_instance);
   }
@@ -240,6 +274,7 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
   //    in-flight messages land first and are swept across; the drain span
   //    nests inside the del span on the timeline.
   {
+    boundary(kStepDel);
     obs::Span span(metrics, kStepDel, instance);
     rt.stop_module(instance);
     if (options.drain_us > 0) {
@@ -263,17 +298,18 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
                         options.restore_timeout_us);
       if (outcome == RestoreOutcome::kOk) break;
       if (outcome == RestoreOutcome::kFault) {
-        throw ScriptError("clone '" + report.new_instance +
-                          "' faulted while installing state: " +
-                          rt.machine_of(report.new_instance)->fault_message());
+        throw step_error(
+            kStepAdd, "clone", report.new_instance,
+            "faulted while installing state: " +
+                rt.machine_of(report.new_instance)->fault_message());
       }
       if (report.attempts >= options.max_attempts) {
         if (outcome == RestoreOutcome::kCrashed) {
-          throw ScriptError("clone '" + report.new_instance +
-                            "' crashed while restoring");
+          throw step_error(kStepAdd, "clone", report.new_instance,
+                           "crashed while restoring");
         }
-        throw ScriptError("clone '" + report.new_instance +
-                          "' did not finish restoring within the budget");
+        throw step_error(kStepAdd, "clone", report.new_instance,
+                         "did not finish restoring within the budget");
       }
       const std::string holder = report.new_instance;
       bus.cancel_pending_control(holder);
@@ -288,6 +324,10 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
       rt.remove_module(holder);
     }
   }
+  // Commit boundary: all structural steps (and any retry chain) are done;
+  // the commit record closes the WAL transaction.
+  boundary(kStepCommit);
+  if (options.journal != nullptr) options.journal->committed();
   report.completed_at = rt.now();
   return report;
 }

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "app/runtime.hpp"
 
@@ -45,6 +47,9 @@ inline constexpr const char* kStepRebind = "rebind";
 inline constexpr const char* kStepAdd = "add";
 inline constexpr const char* kStepDel = "del";
 inline constexpr const char* kStepDrain = "drain";
+/// Not a Figure 5 step: the journal boundary just before the commit record
+/// is written, i.e. after kStepDel completed (surgeon::recover).
+inline constexpr const char* kStepCommit = "commit";
 
 /// The seven Figure 5 steps, in the order the script performs them.
 inline constexpr std::array<const char*, 7> kFigure5Steps = {
@@ -52,10 +57,38 @@ inline constexpr std::array<const char*, 7> kFigure5Steps = {
     kStepRebind,  kStepAdd,           kStepDel};
 
 /// Thrown when a script cannot complete (module missing, no divulged state
-/// within the budget, faulted clone).
+/// within the budget, faulted clone). The message names the Figure 5 step
+/// and module instance at which the script failed, e.g.
+///   replace_module[objstate_move] module 'server': never divulged ...
 class ScriptError : public support::Error {
  public:
   using Error::Error;
+};
+
+/// Observer for write-ahead journaling of a replacement (surgeon::recover
+/// implements it over the per-machine durable store). The script reports
+/// every transaction boundary *before* acting on it, so a coordinator that
+/// crashes mid-script leaves enough on disk for a successor to roll the
+/// replacement forward (post-divulge) or back (pre-divulge).
+class ScriptJournal {
+ public:
+  virtual ~ScriptJournal() = default;
+  /// A replacement transaction opened: old instance, the pre-assigned clone
+  /// name, and the requested target machine ("" = stay in place).
+  virtual void begin(const std::string& old_instance,
+                     const std::string& new_instance,
+                     const std::string& machine) = 0;
+  /// About to execute the named step (one of kFigure5Steps, or kStepCommit
+  /// just before the commit record is written).
+  virtual void intent(const char* step) = 0;
+  /// The old module divulged; `state` is the abstract state buffer. This is
+  /// the roll-forward watershed: once logged, the replacement can always be
+  /// completed from the log alone.
+  virtual void divulged(const std::vector<std::uint8_t>& state) = 0;
+  /// The script finished; the transaction is closed.
+  virtual void committed() = 0;
+  /// The script rolled back before the divulge point.
+  virtual void aborted(const std::string& reason) = 0;
 };
 
 struct ReplaceOptions {
@@ -81,15 +114,29 @@ struct ReplaceOptions {
   /// the bindings/queues across, and re-delivers the saved state buffer.
   /// 1 (the default) reproduces the original single-shot script.
   int max_attempts = 1;
-  /// Virtual-time budget for the old module to divulge after the signal;
-  /// 0 = scheduling-rounds budget only (the original behavior). On expiry
-  /// the script aborts and rolls back: the clone is removed, pending
-  /// control traffic is cancelled, and the application keeps serving on
-  /// the old instance.
-  net::SimTime divulge_timeout_us = 0;
+  /// Virtual-time budget for the old module to divulge after the signal.
+  /// 0 = wait forever in virtual time (only the scheduling-rounds budget
+  /// bounds the wait — a module that never reaches a reconfiguration point
+  /// burns all of max_rounds before the script aborts). On expiry the
+  /// script aborts and rolls back: the clone is removed, pending control
+  /// traffic is cancelled, and the application keeps serving on the old
+  /// instance. The default is deliberately generous: 5 virtual seconds
+  /// dwarfs any drain/retransmit window the chaos harness produces.
+  net::SimTime divulge_timeout_us = 5'000'000;
   /// Virtual-time budget per attempt for the clone to finish restoring;
-  /// 0 = scheduling-rounds budget only.
-  net::SimTime restore_timeout_us = 0;
+  /// 0 = wait forever in virtual time (rounds budget only), as above.
+  net::SimTime restore_timeout_us = 10'000'000;
+  // --- crash recovery (surgeon::recover) ----------------------------------
+  /// When set, the script reports each transaction boundary here before
+  /// acting on it (write-ahead journaling).
+  ScriptJournal* journal = nullptr;
+  /// Test/fault-injection hook invoked at every step boundary, after the
+  /// journal intent is written and before the step executes. Throwing from
+  /// it models a coordinator crash at exactly that boundary.
+  std::function<void(const char* step)> crash_hook;
+  /// Observes the divulged state buffer (the production capture path);
+  /// surgeon::recover persists it as the module's checkpoint.
+  std::function<void(const std::vector<std::uint8_t>&)> state_sink;
 };
 
 struct ReplaceReport {
@@ -144,5 +191,19 @@ struct ReplicateReport {
 ReplicateReport replicate_module(app::Runtime& rt, const std::string& instance,
                                  const std::string& replica_machine,
                                  bool bind_replica = true);
+
+// --- script building blocks, exposed for surgeon::recover -----------------
+
+/// mh_edit_bind command batch repointing every binding of `from` to `to`:
+/// del/add per bound peer plus queue capture and queue removal for each
+/// interface (Figure 5's loop). Recovery re-derives the same batch when it
+/// rolls a logged replacement forward.
+bus::BindEditBatch make_rebind_batch(bus::Bus& bus, const std::string& from,
+                                     const std::string& to);
+
+/// Late queue sweep: moves messages that landed in `from`'s unbound queues
+/// over to `to`; returns how many moved. No-op when `from` is gone.
+std::size_t sweep_queues(bus::Bus& bus, const std::string& from,
+                         const std::string& to);
 
 }  // namespace surgeon::reconfig

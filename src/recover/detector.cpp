@@ -1,0 +1,22 @@
+#include "recover/detector.hpp"
+
+namespace surgeon::recover {
+
+std::vector<std::string> FailureDetector::suspects(net::SimTime now) const {
+  std::vector<std::string> out;
+  for (const auto& [module, at] : last_) {
+    if (now > at && now - at > options_.suspicion_timeout_us) {
+      out.push_back(module);
+    }
+  }
+  return out;  // map iteration order is already sorted by name
+}
+
+std::optional<net::SimTime> FailureDetector::last_beat(
+    const std::string& module) const {
+  auto it = last_.find(module);
+  if (it == last_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace surgeon::recover

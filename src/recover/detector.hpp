@@ -1,0 +1,60 @@
+// Heartbeat failure detector.
+//
+// Every live module process beats once per heartbeat interval (the runtime
+// drives this on the virtual clock); the detector remembers the last beat
+// per module and reports as suspect any module whose silence exceeds the
+// suspicion timeout. On the discrete-event clock a healthy module's beats
+// are perfectly periodic, so suspicion is not probabilistic the way a
+// wall-clock phi-accrual detector is -- a suspect here really has stopped
+// beating (crashed, finished, or removed); the supervisor disambiguates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/sim.hpp"
+
+namespace surgeon::recover {
+
+struct DetectorOptions {
+  /// Silence after which a module is suspected. Should cover several
+  /// heartbeat intervals so one is never enough (default: five 10ms beats).
+  net::SimTime suspicion_timeout_us = 50'000;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(DetectorOptions options = {})
+      : options_(options) {}
+
+  /// A heartbeat from `module` at virtual time `at`.
+  void beat(const std::string& module, net::SimTime at) {
+    ++beats_;
+    last_[module] = at;
+  }
+  /// Stops tracking a module (removed, replaced, or finished normally).
+  void forget(const std::string& module) { last_.erase(module); }
+
+  /// Modules silent for longer than the suspicion timeout, sorted by name.
+  [[nodiscard]] std::vector<std::string> suspects(net::SimTime now) const;
+
+  [[nodiscard]] std::optional<net::SimTime> last_beat(
+      const std::string& module) const;
+  [[nodiscard]] std::uint64_t beats_observed() const noexcept {
+    return beats_;
+  }
+  [[nodiscard]] std::size_t tracked() const noexcept { return last_.size(); }
+  [[nodiscard]] const DetectorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  DetectorOptions options_;
+  std::map<std::string, net::SimTime> last_;
+  std::uint64_t beats_ = 0;
+};
+
+}  // namespace surgeon::recover

@@ -1,0 +1,184 @@
+#include "recover/recovery.hpp"
+
+#include "obs/metrics.hpp"
+#include "trace/recorder.hpp"
+
+namespace surgeon::recover {
+
+namespace {
+
+/// True once the clone has decoded its state buffer and finished restoring.
+bool clone_restored(app::Runtime& rt, const std::string& instance) {
+  vm::Machine* m = rt.machine_of(instance);
+  return m != nullptr && m->decode_count() > 0 &&
+         m->restore_frames_remaining() == 0;
+}
+
+}  // namespace
+
+RecoveryReport recover_coordinator(app::Runtime& rt, Wal& wal,
+                                   const RecoveryOptions& options) {
+  RecoveryReport report;
+  std::optional<WalTxn> open = wal.open_transaction();
+  if (!open.has_value()) return report;
+  report.found_open_txn = true;
+  report.txn = open->id;
+  report.old_instance = open->old_instance;
+  report.new_instance = open->new_instance;
+  report.crashed_after_step = open->last_step();
+
+  bus::Bus& bus = rt.bus();
+  const std::string& old_name = open->old_instance;
+  const std::string& new_name = open->new_instance;
+  obs::MetricsRegistry& metrics = rt.metrics();
+  obs::Span span(&metrics, "recover", old_name);
+
+  // Let control traffic the dead coordinator already launched (reliable
+  // signal/state retries) land before probing what actually happened.
+  if (options.settle_us > 0) {
+    rt.run_for(options.settle_us, options.max_rounds);
+  }
+
+  // Neither logged name is registered: the script got past removing both
+  // before dying. Its retry chain can supersede the logged clone name
+  // (server@2 crashed -> server@3 took over), so if a newer generation of
+  // the logical module is serving, the replacement effectively completed.
+  if (!bus.has_module(old_name) && !bus.has_module(new_name)) {
+    const std::string stem = old_name.substr(0, old_name.rfind('@'));
+    for (const std::string& name : bus.module_names()) {
+      if (name.substr(0, name.rfind('@')) == stem) {
+        report.new_instance = name;
+        report.restored = clone_restored(rt, name);
+        report.rolled_forward = true;
+        wal.mark_committed(open->id);
+        return report;
+      }
+    }
+    throw reconfig::ScriptError(
+        "recover: txn#" + std::to_string(open->id) + " names no live module ('" +
+        old_name + "' and '" + new_name + "' both gone)");
+  }
+
+  // The divulge watershed. The state is safe if its record hit the WAL, or
+  // if the old module posted it to the bus just before the crash (the bus
+  // daemon survives a coordinator death, so the mailbox is still there).
+  const bool post_divulge =
+      open->state.has_value() ||
+      (bus.has_module(old_name) && bus.has_divulged_state(old_name));
+
+  if (!post_divulge) {
+    // --- rollback: undo the registration, keep serving on the old module.
+    if (bus.has_module(old_name)) {
+      bus.cancel_pending_control(old_name);
+      (void)bus.take_pending_signal(old_name);
+    }
+    if (bus.has_module(new_name)) {
+      bus.cancel_pending_control(new_name);
+      rt.remove_module(new_name);
+    }
+    wal.mark_aborted(open->id, "coordinator crashed after '" +
+                                   report.crashed_after_step +
+                                   "': rolled back");
+    report.rolled_back = true;
+    if (metrics.enabled()) {
+      metrics.counter("surgeon_recover_rollback_total").inc();
+    }
+    if (rt.tracer().enabled() && bus.has_module(old_name)) {
+      rt.tracer().record(trace::EventKind::kRecover,
+                         bus.module_info(old_name).machine, old_name,
+                         "txn#" + std::to_string(open->id) + " rolled back");
+    }
+    return report;
+  }
+
+  // --- roll-forward: finish the script from wherever it stopped. Every
+  // action probes live state first, so the sequence is idempotent.
+  std::vector<std::uint8_t> state = open->state.has_value()
+                                        ? *open->state
+                                        : bus.take_divulged_state(old_name);
+
+  // 1. The clone registration (normally survives the crash; re-created
+  //    from the old module's image if the crash preceded it).
+  if (!bus.has_module(new_name)) {
+    const app::ModuleImage* image = rt.image_of(old_name);
+    if (image == nullptr) {
+      throw reconfig::ScriptError("recover: no image for '" + old_name +
+                                  "', cannot rebuild clone '" + new_name +
+                                  "'");
+    }
+    const std::string target = !open->machine.empty()
+                                   ? open->machine
+                                   : bus.module_info(old_name).machine;
+    rt.install_module(new_name, *image, target, "clone");
+  }
+
+  // 2. A clone that died in the meantime (e.g. killed by the same fault
+  //    burst that took the coordinator) is restarted from its image before
+  //    the state probes below, so they see a fresh VM and re-deliver.
+  if (rt.module_crashed(new_name)) {
+    rt.restart_module(new_name);
+  }
+
+  // 3. The state buffer, unless the clone already has it (decoded it, has
+  //    it mailboxed, or the dead coordinator's delivery is still in
+  //    flight -- the settle window above lets that land).
+  vm::Machine* clone_vm = rt.machine_of(new_name);
+  const bool clone_has_state =
+      (clone_vm != nullptr && clone_vm->decode_count() > 0) ||
+      bus.has_incoming_state(new_name);
+  if (!clone_has_state) {
+    bus.cancel_pending_control(new_name);
+    const std::string from_machine = bus.has_module(old_name)
+                                         ? bus.module_info(old_name).machine
+                                         : bus.module_info(new_name).machine;
+    bus.deliver_state(from_machine, new_name, state);
+  }
+
+  // 4. Rebind. When the crashed script already moved the bindings this
+  //    batch degenerates to queue capture/removal, which just sweeps any
+  //    straggler messages across.
+  if (bus.has_module(old_name)) {
+    bus.rebind(reconfig::make_rebind_batch(bus, old_name, new_name));
+  }
+
+  // 5. Start the clone if the crash preceded mh_chg_obj "add".
+  if (rt.machine_of(new_name) == nullptr) {
+    rt.start_module(new_name);
+  }
+
+  // 6. Retire the old instance (its process already left its main loop
+  //    when it divulged; only the registration and queues remain).
+  if (bus.has_module(old_name)) {
+    rt.stop_module(old_name);
+    if (options.drain_us > 0) {
+      rt.run_for(options.drain_us, options.max_rounds);
+      (void)reconfig::sweep_queues(bus, old_name, new_name);
+    }
+    rt.remove_module(old_name);
+  }
+
+  // 7. Wait for the clone to restore, then close the transaction.
+  if (options.restore_timeout_us > 0) {
+    net::SimTime deadline = rt.now() + options.restore_timeout_us;
+    (void)rt.run_until(
+        [&] { return clone_restored(rt, new_name) || rt.now() >= deadline; },
+        options.max_rounds);
+    report.restored = clone_restored(rt, new_name);
+  } else {
+    report.restored = rt.run_until(
+        [&] { return clone_restored(rt, new_name); }, options.max_rounds);
+  }
+  wal.mark_committed(open->id);
+  report.rolled_forward = true;
+  if (metrics.enabled()) {
+    metrics.counter("surgeon_recover_rollforward_total").inc();
+  }
+  if (rt.tracer().enabled()) {
+    rt.tracer().record(trace::EventKind::kRecover,
+                       bus.module_info(new_name).machine, new_name,
+                       "txn#" + std::to_string(open->id) + " rolled forward");
+  }
+  return report;
+}
+
+}  // namespace surgeon::recover

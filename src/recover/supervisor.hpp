@@ -1,0 +1,125 @@
+// The supervisor: heartbeat-driven failure recovery for module processes.
+//
+// One Supervisor runs alongside the coordinator. It wires the runtime's
+// virtual-clock heartbeats into a FailureDetector, sweeps the detector
+// periodically, and when a *watched* module stops beating because its
+// process crashed, restores it from its last checkpoint -- on a designated
+// spare machine if one was given (migration-on-failure), else in place.
+//
+// Checkpoints use the production capture path, not the §4 `baseline`
+// comparator: a checkpoint IS a replacement-in-place (Figure 5 end to end)
+// whose divulged state buffer is additionally persisted to the durable
+// store. The module genuinely divulges at a reconfiguration point and a
+// clone takes over, so a checkpoint proves restorability every time it is
+// taken; the instance name advances (server -> server@2) exactly as any
+// replacement does, and the supervisor tracks the current name per logical
+// module.
+//
+// Scheduling caveat: the heartbeat tick and the sweep/checkpoint events
+// reschedule themselves, so the simulator is never idle while a supervisor
+// is running -- use predicate- or time-bounded runs (run_until/run_for),
+// and stop() the supervisor before any run_until_idle().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "recover/detector.hpp"
+#include "recover/wal.hpp"
+
+namespace surgeon::recover {
+
+struct SupervisorOptions {
+  /// Runtime heartbeat period.
+  net::SimTime heartbeat_interval_us = 10'000;
+  /// Silence after which a module is suspected (several heartbeats).
+  net::SimTime suspicion_timeout_us = 50'000;
+  /// How often the supervisor polls the detector.
+  net::SimTime sweep_interval_us = 25'000;
+  /// Period of background checkpoints of every watched module; 0 (default)
+  /// takes checkpoints only on explicit checkpoint_now() calls.
+  net::SimTime checkpoint_interval_us = 0;
+  /// Scheduling budget for each wait inside checkpoint/restore.
+  std::uint64_t max_rounds = 1'000'000;
+  /// Drain window used by checkpoints and restores.
+  net::SimTime drain_us = 10'000;
+};
+
+class Supervisor {
+ public:
+  /// `store` is the durable store holding checkpoints (normally the
+  /// coordinator machine's).
+  Supervisor(app::Runtime& rt, net::DurableStore& store,
+             SupervisorOptions options = {});
+  ~Supervisor() { stop(); }
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Watches a module: on crash it is restored from its last checkpoint on
+  /// `spare_machine` ("" = restarted on its current machine). The name
+  /// given may be any instance generation; tracking follows renames.
+  void watch(const std::string& instance,
+             const std::string& spare_machine = "");
+  /// Starts heartbeats, the detector sweep, and (if configured) the
+  /// periodic checkpoint tick.
+  void start();
+  /// Stops all of it; pending tick events become no-ops.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Takes a checkpoint of a watched module now (accepts the logical name
+  /// or any instance generation). Runs a full replacement-in-place; the
+  /// watched instance name advances. Returns the replacement report.
+  reconfig::ReplaceReport checkpoint_now(const std::string& name);
+  /// Restores a crashed watched instance from its last checkpoint on its
+  /// spare machine; returns the heir's instance name. Throws ScriptError
+  /// when no checkpoint exists or the instance is not watched.
+  std::string restore_from_checkpoint(const std::string& instance);
+
+  /// Strips the @n generation suffix: "server@3" -> "server".
+  [[nodiscard]] static std::string logical_name(const std::string& instance);
+
+  /// Current instance generation of a watched logical module ("" unknown).
+  [[nodiscard]] std::string current_instance(const std::string& logical) const;
+  [[nodiscard]] bool has_checkpoint(const std::string& logical) const {
+    return store_->get(checkpoint_key(logical)) != nullptr;
+  }
+
+  [[nodiscard]] FailureDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t restores() const noexcept { return restores_; }
+  [[nodiscard]] std::uint64_t suspects_seen() const noexcept {
+    return suspects_seen_;
+  }
+
+ private:
+  struct Watched {
+    std::string logical;
+    std::string current;
+    std::string spare;
+  };
+
+  [[nodiscard]] static std::string checkpoint_key(const std::string& logical) {
+    return "ckpt/" + logical;
+  }
+  [[nodiscard]] Watched* find(const std::string& name);
+  void sweep(std::uint64_t epoch);
+  void checkpoint_tick(std::uint64_t epoch);
+
+  app::Runtime* rt_;
+  net::DurableStore* store_;
+  SupervisorOptions options_;
+  FailureDetector detector_;
+  std::map<std::string, Watched> watched_;  // keyed by logical name
+  std::uint64_t epoch_ = 0;  // stale self-rescheduled events bail
+  bool running_ = false;
+  bool in_control_ = false;  // re-entrancy: checkpoint/restore pump the sim
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t suspects_seen_ = 0;
+};
+
+}  // namespace surgeon::recover

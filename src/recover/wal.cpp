@@ -1,0 +1,195 @@
+#include "recover/wal.hpp"
+
+#include <algorithm>
+
+namespace surgeon::recover {
+
+namespace {
+
+enum : std::uint8_t {
+  kBegin = 1,
+  kIntent = 2,
+  kDivulged = 3,
+  kCommitted = 4,
+  kAborted = 5,
+};
+
+using Record = net::DurableStore::Record;
+
+void put_u8(Record& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(Record& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(Record& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void put_str(Record& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_bytes(Record& out, const std::vector<std::uint8_t>& bytes) {
+  put_u64(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Bounds-checked cursor over one record.
+struct Reader {
+  const Record& rec;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return rec[pos++];
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{rec[pos++]} << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{rec[pos++]} << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::string str() {
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(rec.begin() + static_cast<std::ptrdiff_t>(pos),
+                  rec.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return s;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> bytes() {
+    std::uint64_t n = u64();
+    need(n);
+    std::vector<std::uint8_t> b(
+        rec.begin() + static_cast<std::ptrdiff_t>(pos),
+        rec.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return b;
+  }
+  void need(std::uint64_t n) const {
+    if (pos + n > rec.size()) throw WalError("truncated WAL record");
+  }
+};
+
+}  // namespace
+
+void Wal::begin(const std::string& old_instance,
+                const std::string& new_instance, const std::string& machine) {
+  current_ = next_txn_id();
+  Record rec;
+  put_u8(rec, kBegin);
+  put_u64(rec, current_);
+  put_str(rec, old_instance);
+  put_str(rec, new_instance);
+  put_str(rec, machine);
+  store_->append(log_, std::move(rec));
+}
+
+void Wal::intent(const char* step) {
+  Record rec;
+  put_u8(rec, kIntent);
+  put_u64(rec, current_);
+  put_str(rec, step);
+  store_->append(log_, std::move(rec));
+}
+
+void Wal::divulged(const std::vector<std::uint8_t>& state) {
+  Record rec;
+  put_u8(rec, kDivulged);
+  put_u64(rec, current_);
+  put_bytes(rec, state);
+  store_->append(log_, std::move(rec));
+}
+
+void Wal::committed() { mark_committed(current_); }
+
+void Wal::aborted(const std::string& reason) {
+  mark_aborted(current_, reason);
+}
+
+void Wal::mark_committed(std::uint64_t txn) {
+  Record rec;
+  put_u8(rec, kCommitted);
+  put_u64(rec, txn);
+  store_->append(log_, std::move(rec));
+}
+
+void Wal::mark_aborted(std::uint64_t txn, const std::string& reason) {
+  Record rec;
+  put_u8(rec, kAborted);
+  put_u64(rec, txn);
+  put_str(rec, reason);
+  store_->append(log_, std::move(rec));
+}
+
+std::vector<WalTxn> Wal::scan() const {
+  std::vector<WalTxn> txns;
+  auto find = [&txns](std::uint64_t id) -> WalTxn& {
+    for (auto& t : txns) {
+      if (t.id == id) return t;
+    }
+    throw WalError("WAL record for unknown transaction #" +
+                   std::to_string(id));
+  };
+  for (const Record& raw : store_->log(log_)) {
+    Reader r{raw};
+    std::uint8_t type = r.u8();
+    std::uint64_t id = r.u64();
+    switch (type) {
+      case kBegin: {
+        WalTxn t;
+        t.id = id;
+        t.old_instance = r.str();
+        t.new_instance = r.str();
+        t.machine = r.str();
+        txns.push_back(std::move(t));
+        break;
+      }
+      case kIntent:
+        find(id).steps.push_back(r.str());
+        break;
+      case kDivulged:
+        find(id).state = r.bytes();
+        break;
+      case kCommitted:
+        find(id).committed = true;
+        break;
+      case kAborted: {
+        WalTxn& t = find(id);
+        t.aborted = true;
+        t.abort_reason = r.str();
+        break;
+      }
+      default:
+        throw WalError("unknown WAL record type " + std::to_string(type));
+    }
+  }
+  return txns;
+}
+
+std::optional<WalTxn> Wal::open_transaction() const {
+  for (WalTxn& t : scan()) {
+    if (t.open()) return std::move(t);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Wal::next_txn_id() const {
+  std::uint64_t max_id = 0;
+  for (const Record& raw : store_->log(log_)) {
+    Reader r{raw};
+    (void)r.u8();
+    max_id = std::max(max_id, r.u64());
+  }
+  return max_id + 1;
+}
+
+}  // namespace surgeon::recover

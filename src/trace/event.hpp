@@ -39,6 +39,10 @@ enum class EventKind : std::uint8_t {
   kModuleAdded,
   kModuleRemoved,
   kCrash,
+  kHeartbeat,   // module runtime heartbeat observed by the detector
+  kSuspect,     // failure detector declared a module suspect
+  kCheckpoint,  // background checkpoint persisted a module's state
+  kRecover,     // recovery restored a module / finished a WAL transaction
 };
 
 const char* kind_name(EventKind kind);

@@ -20,6 +20,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::kModuleAdded: return "module_added";
     case EventKind::kModuleRemoved: return "module_removed";
     case EventKind::kCrash: return "crash";
+    case EventKind::kHeartbeat: return "heartbeat";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRecover: return "recover";
   }
   return "?";
 }

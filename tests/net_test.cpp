@@ -125,5 +125,49 @@ TEST(Arch, ReferenceArchitecturesDiffer) {
   EXPECT_NE(arch_vax().slot_padding, arch_sparc().slot_padding);
 }
 
+TEST(DurableStore, LogsAppendInOrderAndTruncate) {
+  DurableStore store;
+  EXPECT_TRUE(store.log("wal").empty());
+  store.append("wal", {1, 2});
+  store.append("wal", {3});
+  ASSERT_EQ(store.log("wal").size(), 2u);
+  EXPECT_EQ(store.log("wal")[0], (DurableStore::Record{1, 2}));
+  EXPECT_EQ(store.log("wal")[1], (DurableStore::Record{3}));
+  EXPECT_EQ(store.appends(), 2u);
+  EXPECT_EQ(store.bytes_written(), 3u);
+  store.truncate("wal");
+  EXPECT_TRUE(store.log("wal").empty());
+}
+
+TEST(DurableStore, KeyValueAreaWithPrefixScan) {
+  DurableStore store;
+  EXPECT_EQ(store.get("ckpt/server"), nullptr);
+  store.put("ckpt/server", {9});
+  store.put("ckpt/filter", {8});
+  store.put("other", {7});
+  ASSERT_NE(store.get("ckpt/server"), nullptr);
+  EXPECT_EQ(*store.get("ckpt/server"), (DurableStore::Record{9}));
+  std::vector<std::string> keys = store.keys_with_prefix("ckpt/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "ckpt/filter");
+  EXPECT_EQ(keys[1], "ckpt/server");
+  EXPECT_TRUE(store.erase("ckpt/server"));
+  EXPECT_FALSE(store.erase("ckpt/server"));
+  EXPECT_EQ(store.get("ckpt/server"), nullptr);
+  EXPECT_EQ(store.puts(), 3u);
+}
+
+TEST(DurableStore, BelongsToTheMachineNotTheProcess) {
+  // Each machine has one store; it survives anything short of losing the
+  // host, and unknown machines have no disk to write to.
+  Simulator sim;
+  sim.add_machine("vax", arch_vax());
+  sim.add_machine("sparc", arch_sparc());
+  sim.durable_store("vax").put("k", {1});
+  EXPECT_EQ(sim.durable_store("sparc").get("k"), nullptr);
+  ASSERT_NE(sim.durable_store("vax").get("k"), nullptr);
+  EXPECT_THROW((void)sim.durable_store("atlantis"), BusError);
+}
+
 }  // namespace
 }  // namespace surgeon::net

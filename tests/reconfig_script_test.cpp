@@ -55,6 +55,58 @@ TEST(Script, NonParticipatingModuleTimesOut) {
   }
 }
 
+TEST(Script, TimeoutDefaultsAreFinite) {
+  // Regression: both script timeouts used to default to "wait forever",
+  // so a non-participating module on a never-idle application wedged the
+  // coordinator until the scheduling budget ran out. The defaults are now
+  // finite virtual durations; 0 explicitly requests the old behavior.
+  ReplaceOptions defaults;
+  EXPECT_GT(defaults.divulge_timeout_us, 0u);
+  EXPECT_GT(defaults.restore_timeout_us, 0u);
+}
+
+std::unique_ptr<Runtime> make_monitor() {
+  // The monitor never goes idle (the sensor free-runs), so divulge waits
+  // end only through the timeout -- the case the finite defaults exist for.
+  auto rt = std::make_unique<Runtime>(3);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::monitor_config_text());
+  rt->load_application(config, "monitor", app::samples::monitor_source_of);
+  return rt;
+}
+
+TEST(Script, DivulgeTimeoutBoundsNeverIdleApplications) {
+  auto rt = make_monitor();
+  ReplaceOptions options;
+  options.divulge_timeout_us = 50'000;  // display has no reconfig points
+  try {
+    (void)replace_module(*rt, "display", options);
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_NE(std::string(e.what()).find("never divulged"),
+              std::string::npos);
+    // The error names the Figure 5 step and the module instance.
+    EXPECT_NE(std::string(e.what()).find("replace_module[objstate_move]"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("'display'"), std::string::npos);
+  }
+  EXPECT_GE(rt->now(), 50'000u);  // the wait ended at the virtual deadline
+  // The rollback left the application serving on the old instance.
+  EXPECT_TRUE(rt->bus().has_module("display"));
+  EXPECT_FALSE(rt->bus().has_module("display@2"));
+}
+
+TEST(Script, ZeroDivulgeTimeoutWaitsUntilTheRoundBudget) {
+  auto rt = make_monitor();
+  ReplaceOptions options;
+  options.divulge_timeout_us = 0;  // documented: wait forever
+  options.max_rounds = 30'000;     // ...bounded only by the round budget
+  EXPECT_THROW((void)replace_module(*rt, "display", options), ScriptError);
+}
+
 TEST(Script, UnknownTargetMachineLeavesSystemIntact) {
   auto rt = make_counter();
   rt->run_until(

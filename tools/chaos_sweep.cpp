@@ -1,0 +1,170 @@
+// Deep randomized sweep over chaos scenarios, built for the nightly CI job.
+//
+// Enumerates seeds through chaos::random_scenario and, every
+// --coordinator-every seeds, swaps the derived fault mix for a directed
+// coordinator kill at one of the eight Figure 5 step boundaries (cycling
+// through them), so a long sweep always exercises WAL roll-forward and
+// roll-back alongside the message-level faults.
+//
+// On the first invariant violation the sweep stops and writes two files
+// into --artifacts:
+//
+//   failing_seed.txt      the spec (seed first), the violated invariant,
+//                         and the exact replay recipe,
+//   flight_recorder.txt   the per-machine causal journals of a fresh run
+//                         of the same seed, dumped via the flight recorder.
+//
+// Exit status: 0 = every seed passed, 1 = a seed failed (artifacts
+// written), 2 = bad usage.
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "app/runtime.hpp"
+#include "chaos/scenario.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using surgeon::chaos::ScenarioResult;
+using surgeon::chaos::ScenarioSpec;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seeds N] [--start S] [--coordinator-every K]"
+               " [--artifacts DIR]\n"
+               "  --seeds N              seeds to sweep (default 1000)\n"
+               "  --start S              first seed (default 1)\n"
+               "  --coordinator-every K  every Kth seed becomes a directed\n"
+               "                         coordinator kill; 0 disables"
+               " (default 4)\n"
+               "  --artifacts DIR        where failing-seed artifacts go\n"
+               "                         (default chaos-artifacts)\n"
+               "  --dump-seed S          replay one seed and print its\n"
+               "                         flight recorder to stdout\n";
+  return 2;
+}
+
+/// The directed variant of a seed: kill the coordinator at a boundary that
+/// cycles with the seed. Roll-forward is single-shot, so the clone-crash
+/// fault (which relies on the script's retry loop) is switched off, same
+/// as chaos::random_scenario does when it picks a coordinator crash.
+ScenarioSpec coordinator_kill_variant(std::uint64_t seed) {
+  ScenarioSpec spec = surgeon::chaos::random_scenario(seed);
+  spec.crash_clone = false;
+  spec.crash_coordinator_at_step = static_cast<int>(seed % 8);
+  return spec;
+}
+
+void dump_flight_recorder(const ScenarioSpec& failing, std::ostream& os) {
+  ScenarioSpec replay = failing;
+  replay.chaos_pass_observer = [&os](surgeon::app::Runtime& rt) {
+    surgeon::trace::Recorder& rec = rt.tracer();
+    for (const std::string& machine : rec.machines()) {
+      os << "=== machine " << machine << " (dropped "
+         << rec.dropped(machine) << ") ===\n";
+      for (const surgeon::trace::Event& ev : rec.journal(machine)) {
+        os << ev.id << " t=" << ev.at << "us lamport=" << ev.lamport << " "
+           << surgeon::trace::kind_name(ev.kind) << " " << ev.module;
+        if (ev.parent != 0) os << " parent=" << ev.parent;
+        if (ev.cause != 0) os << " cause=" << ev.cause;
+        if (!ev.detail.empty()) os << " :: " << ev.detail;
+        os << "\n";
+      }
+    }
+  };
+  (void)surgeon::chaos::run_scenario(replay);
+}
+
+int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
+                    const ScenarioResult& result, bool directed) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  {
+    std::ofstream out(dir + "/failing_seed.txt");
+    out << spec.describe() << "\n\n"
+        << "violated: " << result.failure << "\n";
+    if (!result.abort_reason.empty()) {
+      out << "abort_reason: " << result.abort_reason << "\n";
+    }
+    out << "\nreplay: tools/chaos_sweep --seeds 1 --start " << spec.seed
+        << " --coordinator-every " << (directed ? 1 : 0) << "\n";
+    out << "\n--- chaos output (" << result.output.size() << " lines) ---\n";
+    for (const std::string& line : result.output) out << line << "\n";
+    out << "--- golden output (" << result.golden.size() << " lines) ---\n";
+    for (const std::string& line : result.golden) out << line << "\n";
+  }
+  {
+    std::ofstream out(dir + "/flight_recorder.txt");
+    dump_flight_recorder(spec, out);
+  }
+  std::cerr << "FAIL " << spec.describe() << "\n     " << result.failure
+            << "\n     artifacts in " << dir << "/\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 1000;
+  std::uint64_t start = 1;
+  std::uint64_t coordinator_every = 4;
+  std::string artifacts = "chaos-artifacts";
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = std::strtoull(value("--seeds"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--start") == 0) {
+      start = std::strtoull(value("--start"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--coordinator-every") == 0) {
+      coordinator_every =
+          std::strtoull(value("--coordinator-every"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--artifacts") == 0) {
+      artifacts = value("--artifacts");
+    } else if (std::strcmp(argv[i], "--dump-seed") == 0) {
+      const std::uint64_t seed =
+          std::strtoull(value("--dump-seed"), nullptr, 10);
+      dump_flight_recorder(surgeon::chaos::random_scenario(seed), std::cout);
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::uint64_t coordinator_kills = 0;
+  std::uint64_t rolled_forward = 0;
+  std::uint64_t aborted_clean = 0;
+  for (std::uint64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = start + i;
+    const bool directed =
+        coordinator_every != 0 && (i % coordinator_every) == 0;
+    ScenarioSpec spec = directed ? coordinator_kill_variant(seed)
+                                 : surgeon::chaos::random_scenario(seed);
+    if (spec.crash_coordinator_at_step >= 0) ++coordinator_kills;
+    ScenarioResult result = surgeon::chaos::run_scenario(spec);
+    if (!result.ok()) return write_artifacts(artifacts, spec, result, directed);
+    if (result.recovered_forward) ++rolled_forward;
+    if (!result.replaced) ++aborted_clean;
+    if ((i + 1) % 100 == 0) {
+      std::cout << (i + 1) << "/" << seeds << " seeds ok ("
+                << coordinator_kills << " coordinator kills, "
+                << rolled_forward << " rolled forward, " << aborted_clean
+                << " clean aborts)" << std::endl;
+    }
+  }
+  std::cout << "PASS " << seeds << " seeds (" << coordinator_kills
+            << " coordinator kills, " << rolled_forward << " rolled forward, "
+            << aborted_clean << " clean aborts)\n";
+  return 0;
+}
