@@ -1,0 +1,169 @@
+// C15 -- reconfiguration disruption: what a Figure 5 replacement costs the
+// application while it runs, and what the sampling profiler costs when it
+// watches.
+//
+// BM_ReplaceUnderLoad -- the pipeline application with a bursty feeder;
+// each iteration replaces the filter a couple of items into a burst, so
+// the rest of the burst is queued at (or in flight toward) the old
+// instance when the bind edits land. Wall time measures the script; the
+// interesting output is the virtual-time disruption surfaced as counters:
+//   blackout_us       divulge -> clone restored (no filter serves inside)
+//   total_us          request -> script completion
+//   queued_moved      messages captured across the rebind
+//   queued_p50/95/99  virtual-us a captured message aged in the old queue
+//                     (from the surgeon_reconfig_queued_delay_us histogram)
+//   state_bytes       abstract state buffer moved
+//
+// BM_ProfilerSampling -- the counter application run to completion with
+// the sampling profiler in its operating states:
+//   mode 0: no profiler               (shipping default)
+//   mode 1: attached, disarmed        (one compare per instruction)
+//   mode 2: virtual-clock timer, 10Hz (the always-on operator view; the
+//                                      same 100ms cadence the telemetry
+//                                      Reporter flushes at)
+//   mode 3: instruction period 64     (dense opcode evidence -- dear by
+//                                      design, not an always-on mode)
+// The tentpole's bar: modes 1-2 within the 3%/10% envelopes of mode 0.
+//
+// Emit machine-readable results with
+//   bench_disruption --benchmark_out=BENCH_disruption.json
+//                    --benchmark_out_format=json
+// (the `bench_disruption_json` CMake target does exactly that).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "net/arch.hpp"
+#include "obs/metrics.hpp"
+#include "profile/profiler.hpp"
+#include "reconfig/scripts.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+// The bursty pipeline: 10-item bursts with a pause, so a replacement two
+// items into a burst finds the rest queued behind the filter.
+std::unique_ptr<app::Runtime> make_pipeline(int items) {
+  auto rt = std::make_unique<app::Runtime>(5);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  rt->enable_metrics();
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::pipeline_config_text());
+  rt->load_application(
+      config, "pipeline", [&](const cfg::ModuleSpec& spec) -> std::string {
+        if (spec.name == "feeder") {
+          return R"(
+void main() {
+  int i;
+  i = 1;
+  while (i <= )" + std::to_string(items) + R"() {
+    mh_write("out", "i", i);
+    if (i % 10 == 0) { sleep(2); }
+    i = i + 1;
+  }
+  print("feeder-done");
+}
+)";
+        }
+        if (spec.name == "filter") {
+          return app::samples::pipeline_filter_source();
+        }
+        return app::samples::pipeline_sink_source();
+      });
+  rt->set_slice(60);  // coarse slices keep the burst queued, not drained
+  return rt;
+}
+
+std::unique_ptr<app::Runtime> make_counter(int requests, bool metrics) {
+  auto rt = std::make_unique<app::Runtime>(3);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  if (metrics) rt->enable_metrics();
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter",
+                       [&](const cfg::ModuleSpec& spec) {
+                         if (spec.name == "client") {
+                           return app::samples::counter_client_source(
+                               requests);
+                         }
+                         return app::samples::counter_server_source();
+                       });
+  return rt;
+}
+
+void BM_ReplaceUnderLoad(benchmark::State& state) {
+  constexpr int kItems = 30;
+  double blackout_us = 0, total_us = 0, queued_moved = 0, state_bytes = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // exclude parse/compile and the warm-up traffic
+    auto rt = make_pipeline(kItems);
+    (void)rt->run_until(
+        [&] { return rt->machine_of("sink")->output().size() >= 2; },
+        10'000'000);
+    state.ResumeTiming();
+    reconfig::ReplaceReport report = reconfig::replace_module(*rt, "filter");
+    state.PauseTiming();
+    blackout_us += static_cast<double>(report.blackout_us());
+    total_us += static_cast<double>(report.total_delay());
+    queued_moved += static_cast<double>(report.queued_messages_moved);
+    state_bytes += static_cast<double>(report.state_bytes);
+    const obs::Histogram& delays = rt->metrics().histogram(
+        "surgeon_reconfig_queued_delay_us", {{"module", "filter"}});
+    p50 += delays.quantile(0.50);
+    p95 += delays.quantile(0.95);
+    p99 += delays.quantile(0.99);
+    ++iterations;
+    state.ResumeTiming();
+  }
+  const double n = iterations != 0 ? static_cast<double>(iterations) : 1.0;
+  state.counters["blackout_us"] = blackout_us / n;
+  state.counters["total_us"] = total_us / n;
+  state.counters["queued_moved"] = queued_moved / n;
+  state.counters["queued_p50_us"] = p50 / n;
+  state.counters["queued_p95_us"] = p95 / n;
+  state.counters["queued_p99_us"] = p99 / n;
+  state.counters["state_bytes"] = state_bytes / n;
+}
+BENCHMARK(BM_ReplaceUnderLoad)->Unit(benchmark::kMillisecond);
+
+void BM_ProfilerSampling(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr int kRequests = 120;
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto rt = make_counter(kRequests, /*metrics=*/false);
+    profile::Profiler profiler;
+    if (mode >= 1) {
+      profile::ProfileOptions options;
+      if (mode == 2) options.interval_us = 100'000;
+      if (mode == 3) options.every_insns = 64;
+      rt->enable_profiler(profiler, options);
+    }
+    state.ResumeTiming();
+    bool done = rt->run_until([&] {
+      return rt->machine_of("client")->output().size() >=
+             static_cast<std::size_t>(kRequests);
+    });
+    state.PauseTiming();
+    if (!done) state.SkipWithError("counter app did not finish");
+    samples += profiler.total_samples();
+    state.ResumeTiming();
+  }
+  state.counters["samples"] =
+      benchmark::Counter(static_cast<double>(samples),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ProfilerSampling)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

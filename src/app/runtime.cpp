@@ -96,6 +96,7 @@ void Runtime::start_module(const std::string& instance) {
       &metrics_.gauge("surgeon_vm_restore_frames", labels);
   rec.state_bytes_gauge =
       &metrics_.gauge("surgeon_vm_encoded_state_bytes", labels);
+  if (profiler_ != nullptr) attach_tap(instance, rec);
   processes_[instance] = std::move(rec);
 }
 
@@ -311,6 +312,53 @@ void Runtime::run_until_idle(std::uint64_t max_rounds) {
   for (std::uint64_t i = 0; i < max_rounds; ++i) {
     if (!step()) return;
   }
+}
+
+void Runtime::enable_profiler(profile::Profiler& profiler,
+                              profile::ProfileOptions options) {
+  profiler_ = &profiler;
+  profile_options_ = options;
+  for (auto& [name, rec] : processes_) {
+    attach_tap(name, rec);
+  }
+  if (options.interval_us != 0) {
+    std::uint64_t epoch = ++profile_epoch_;
+    sim_.schedule_after(options.interval_us,
+                        [this, epoch] { profile_tick(epoch); });
+  }
+}
+
+void Runtime::disable_profiler() noexcept {
+  ++profile_epoch_;  // an in-flight tick event becomes a no-op
+  profiler_ = nullptr;
+  for (auto& [name, rec] : processes_) {
+    rec.machine->set_sample_sink(nullptr);
+    rec.machine->set_sample_period(0);
+    rec.tap.reset();
+  }
+}
+
+void Runtime::attach_tap(const std::string& instance, ProcessRec& rec) {
+  rec.tap = std::make_unique<SampleTap>();
+  rec.tap->profiler = profiler_;
+  rec.tap->module = instance;
+  rec.machine->set_sample_sink(rec.tap.get());
+  if (profile_options_.every_insns != 0) {
+    rec.machine->set_sample_period(profile_options_.every_insns);
+  }
+}
+
+void Runtime::profile_tick(std::uint64_t epoch) {
+  if (epoch != profile_epoch_ || profiler_ == nullptr) return;
+  for (auto& [name, rec] : processes_) {
+    if (rec.finished) continue;
+    // One-shot: the next instruction the module executes is sampled. A
+    // blocked module contributes nothing this tick — virtual-time sampling
+    // measures where execution goes, not where modules idle.
+    rec.machine->arm_sample(1);
+  }
+  sim_.schedule_after(profile_options_.interval_us,
+                      [this, epoch] { profile_tick(epoch); });
 }
 
 void Runtime::enable_heartbeats(net::SimTime interval_us, HeartbeatSink sink) {

@@ -22,6 +22,7 @@
 #include "cfg/spec.hpp"
 #include "net/sim.hpp"
 #include "obs/metrics.hpp"
+#include "profile/profiler.hpp"
 #include "vm/compiler.hpp"
 #include "vm/machine.hpp"
 #include "xform/transform.hpp"
@@ -177,6 +178,25 @@ class Runtime {
   void enable_causal_tracing() noexcept { tracer_.set_enabled(true); }
   void disable_causal_tracing() noexcept { tracer_.set_enabled(false); }
 
+  // --- sampling profiler (surgeon::profile) ---------------------------------
+
+  /// Attaches the sampling profiler to every module VM (current and future)
+  /// and starts whichever sampling drivers the options enable:
+  /// `interval_us` arms one sample per live module per virtual-clock tick
+  /// (the cluster-operator view; like heartbeats, the tick chain keeps the
+  /// simulator non-idle, so use predicate- or time-bounded runs), and
+  /// `every_insns` samples each module every K executed instructions (the
+  /// dense, deterministic view opcode studies need). `profiler` must
+  /// outlive the runtime or a disable_profiler() call.
+  void enable_profiler(profile::Profiler& profiler,
+                       profile::ProfileOptions options);
+  /// Detaches every tap; armed countdowns fire into nothing (one compare
+  /// per instruction remains, the disarmed cost).
+  void disable_profiler() noexcept;
+  [[nodiscard]] bool profiler_enabled() const noexcept {
+    return profiler_ != nullptr;
+  }
+
   // --- heartbeats (surgeon::recover) ----------------------------------------
 
   /// Called once per heartbeat tick for every live (non-finished) process:
@@ -207,6 +227,17 @@ class Runtime {
   void check_faults() const;
 
  private:
+  /// Per-process adapter: forwards VM sample callbacks to the shared
+  /// profiler with the instance name attached. Heap-owned so the pointer
+  /// the Machine holds stays valid when the ProcessRec moves.
+  struct SampleTap final : vm::SampleSink {
+    profile::Profiler* profiler = nullptr;
+    std::string module;
+    void on_sample(const vm::Machine& machine) override {
+      profiler->sample(module, machine);
+    }
+  };
+
   struct ProcessRec {
     std::unique_ptr<bus::Client> client;
     std::unique_ptr<vm::Machine> machine;
@@ -222,10 +253,13 @@ class Runtime {
     obs::Gauge* capture_frames_gauge = nullptr;
     obs::Gauge* restore_frames_gauge = nullptr;
     obs::Gauge* state_bytes_gauge = nullptr;
+    std::unique_ptr<SampleTap> tap;
   };
 
   void wake(const std::string& instance);
   void heartbeat_tick(std::uint64_t epoch);
+  void profile_tick(std::uint64_t epoch);
+  void attach_tap(const std::string& instance, ProcessRec& rec);
   void record_trace(const bus::TraceEvent& ev);
   void publish_vm_metrics(ProcessRec& rec, std::uint64_t instructions);
   void crash_now(const std::string& instance, ProcessRec& rec,
@@ -244,6 +278,9 @@ class Runtime {
   HeartbeatSink hb_sink_;
   net::SimTime hb_interval_us_ = 0;
   std::uint64_t hb_epoch_ = 0;  // stale tick events compare and bail
+  profile::Profiler* profiler_ = nullptr;
+  profile::ProfileOptions profile_options_;
+  std::uint64_t profile_epoch_ = 0;  // same staleness guard as heartbeats
   std::deque<bus::TraceEvent> trace_;
   std::size_t trace_capacity_ = 1'048'576;
   std::uint64_t trace_dropped_ = 0;

@@ -404,9 +404,22 @@ void Bus::apply_edit(const BindEdit& edit) {
       Endpoint& to = endpoint(edit.b.module, edit.b.iface);
       const std::size_t captured = from.queue.size();
       bool moved = !from.queue.empty();
+      // Every captured message aged (now - sent_at) behind the replacement:
+      // the per-message disruption distribution. Capture is a cold path, so
+      // the per-batch registry lookup is fine.
+      obs::Histogram* delay_hist = nullptr;
+      if (moved && metrics_on()) {
+        delay_hist = &metrics_->histogram("surgeon_reconfig_queued_delay_us",
+                                          {{"module", edit.a.module}});
+      }
+      const std::uint64_t capture_now = sim_->now();
       while (!from.queue.empty()) {
         // Queued messages keep their trace headers: the clone inherits
         // the predecessor's causal history along with its traffic.
+        if (delay_hist != nullptr) {
+          const std::uint64_t sent = from.queue.front().sent_at;
+          delay_hist->observe(capture_now >= sent ? capture_now - sent : 0);
+        }
         to.queue.push_back(std::move(from.queue.front()));
         from.queue.pop_front();
       }
@@ -615,6 +628,7 @@ void Bus::send_from(EndpointRef ref, Endpoint& ep,
     Message msg;
     msg.values = std::move(values);
     msg.src = ref;
+    msg.sent_at = sim_->now();
     msg.trace_ctx = send_ctx;
     reliable_send(ref, ep, std::move(msg));
     return;
@@ -647,6 +661,7 @@ void Bus::send_from(EndpointRef ref, Endpoint& ep,
       Message dup;
       dup.values = values;
       dup.src = ref;
+      dup.sent_at = sim_->now();
       dup.trace_ctx = send_ctx;
       const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(dup));
       sim_->schedule_after(latency + fd.duplicate_delay_us,
@@ -660,6 +675,7 @@ void Bus::send_from(EndpointRef ref, Endpoint& ep,
       msg.values = values;
     }
     msg.src = ref;
+    msg.sent_at = sim_->now();
     msg.trace_ctx = send_ctx;
     const std::uint32_t fslot = inflight_acquire(pl.ref, std::move(msg));
     sim_->schedule_after(latency, [this, fslot] { arrive_inflight(fslot); });

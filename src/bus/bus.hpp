@@ -176,6 +176,13 @@ using StateObserver = std::function<void(
     const std::string& module, const char* phase,
     const std::vector<std::uint8_t>& bytes)>;
 
+/// Answers the mh_top cluster-telemetry query ("table" or "json"). The bus
+/// itself knows nothing about aggregation: whichever collector is currently
+/// active registers itself here (profile::Collector), and bus::Client::mh_top
+/// forwards to it — so the query keeps working while the collector is being
+/// replaced, served from the instance that currently owns the windows.
+using TopHandler = std::function<std::string(const std::string& format)>;
+
 class Bus {
  public:
   explicit Bus(net::Simulator& sim) : sim_(&sim) {}
@@ -372,6 +379,22 @@ class Bus {
   void set_metrics(obs::MetricsRegistry* metrics);
   [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
     return metrics_;
+  }
+
+  /// Installs the mh_top query handler. Returns a token identifying this
+  /// installation; a later set overwrites (collector replacement: the clone
+  /// takes over the query). clear_top_handler(token) detaches only if the
+  /// token still names the current handler, so a retiring instance never
+  /// tears down its successor.
+  std::uint64_t set_top_handler(TopHandler handler) {
+    top_handler_ = std::move(handler);
+    return ++top_token_;
+  }
+  void clear_top_handler(std::uint64_t token) {
+    if (token == top_token_) top_handler_ = nullptr;
+  }
+  [[nodiscard]] const TopHandler& top_handler() const noexcept {
+    return top_handler_;
   }
 
   /// Attaches the causal flight recorder (null detaches, the default).
@@ -608,6 +631,8 @@ class Bus {
   TraceSink trace_;
   BusStats stats_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  TopHandler top_handler_;
+  std::uint64_t top_token_ = 0;
   trc::Recorder* tracer_ = nullptr;
   /// Last divulge / rebind events: the causal anchors for state deliveries
   /// (divulge happens-before every objstate apply) and queue captures.

@@ -22,6 +22,16 @@ std::string Client::mh_stats(const std::string& format) const {
                           "' (expected \"prometheus\" or \"json\")");
 }
 
+std::string Client::mh_top(const std::string& format) const {
+  if (format != "table" && format != "json") {
+    throw support::BusError("mh_top: unknown format '" + format +
+                            "' (expected \"table\" or \"json\")");
+  }
+  const TopHandler& handler = bus_->top_handler();
+  if (!handler) return format == "json" ? "{}" : "";
+  return handler(format);
+}
+
 std::string Client::mh_trace(const std::string& format, bool drain) {
   if (format != "json" && format != "text") {
     throw support::BusError("mh_trace: unknown format '" + format +

@@ -72,6 +72,13 @@ class Client {
   [[nodiscard]] std::string mh_stats(
       const std::string& format = "prometheus") const;
 
+  /// mh_top: query the cluster telemetry aggregator (whichever collector
+  /// currently owns the windows — the handler survives the collector's own
+  /// replacement). `format` is "table" (fixed-width, rate-sorted) or
+  /// "json". Returns an empty export ("" / "{}") when no collector is
+  /// attached; throws BusError on an unknown format.
+  [[nodiscard]] std::string mh_top(const std::string& format = "table") const;
+
   /// mh_trace: export this machine's causal flight-recorder journal.
   /// `format` is "json" (array of events with ids, causal parents, Lamport
   /// clocks) or "text" (one timeline line per event). With `drain` the

@@ -83,6 +83,11 @@ struct Message {
   /// defaults) in fire-and-forget mode.
   StreamKey stream = 0;
   std::uint64_t seq = 0;
+  /// Virtual timestamp of the original send. Survives retransmission and
+  /// queue capture, so (now - sent_at) at capture time is the age a message
+  /// spent queued behind a replacement — the per-message component of the
+  /// disruption a reconfiguration imposes (surgeon_reconfig_queued_delay_us).
+  std::uint64_t sent_at = 0;
   /// Causal trace header (trace/event.hpp): names the send (or retransmit)
   /// event this copy belongs to so the receiving machine can merge Lamport
   /// clocks and parent its deliver event on the true transmission. Carried

@@ -88,6 +88,12 @@ std::string json_labels(const Labels& labels) {
   return os.str();
 }
 
+std::string fmt_quantile(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
 }  // namespace
 
 std::string to_prometheus(const MetricsRegistry& registry) {
@@ -120,6 +126,13 @@ std::string to_prometheus(const MetricsRegistry& registry) {
        << "\n";
     os << key.first << "_count" << prom_labels(key.second) << " "
        << hist.count() << "\n";
+    // Derived quantiles ride as comments: the exposition format has no
+    // native quantile series for TYPE histogram, and fake series would
+    // corrupt a real scraper's view of the family.
+    os << "# quantile " << key.first << prom_labels(key.second)
+       << " p50=" << fmt_quantile(hist.quantile(0.50))
+       << " p95=" << fmt_quantile(hist.quantile(0.95))
+       << " p99=" << fmt_quantile(hist.quantile(0.99)) << "\n";
   }
   return os.str();
 }
@@ -158,7 +171,10 @@ std::string to_json(const MetricsRegistry& registry) {
     }
     os << "],\"inf_count\":"
        << hist.bucket_counts()[hist.upper_bounds().size()]
-       << ",\"sum\":" << hist.sum() << ",\"count\":" << hist.count() << "}";
+       << ",\"sum\":" << hist.sum() << ",\"count\":" << hist.count()
+       << ",\"p50\":" << fmt_quantile(hist.quantile(0.50))
+       << ",\"p95\":" << fmt_quantile(hist.quantile(0.95))
+       << ",\"p99\":" << fmt_quantile(hist.quantile(0.99)) << "}";
   }
   os << "],\"spans\":[";
   first = true;

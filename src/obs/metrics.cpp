@@ -22,6 +22,29 @@ void Histogram::observe(std::uint64_t value) noexcept {
   sum_ += value;
 }
 
+double Histogram::quantile_from_buckets(
+    const std::vector<std::uint64_t>& bounds,
+    const std::vector<std::uint64_t>& counts, std::uint64_t total,
+    double q) noexcept {
+  if (total == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      return lower + (upper - lower) * ((rank - cumulative) / in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the +Inf bucket: the true value is unbounded above, so
+  // clamp to the largest finite bound, as histogram_quantile does.
+  return static_cast<double>(bounds.back());
+}
+
 std::vector<std::uint64_t> default_time_buckets() {
   return {1,       10,        100,       1'000,     10'000,
           100'000, 1'000'000, 10'000'000};

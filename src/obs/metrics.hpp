@@ -68,6 +68,23 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
 
+  /// Quantile estimate for q in [0, 1] by linear interpolation inside the
+  /// bucket holding the target rank (histogram_quantile semantics). The
+  /// bucket's lower edge is the previous upper bound (0 for the first);
+  /// observations landing in the +Inf bucket clamp to the highest finite
+  /// bound. Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return quantile_from_buckets(upper_bounds_, counts_, count_, q);
+  }
+
+  /// The interpolation shared with merged-bucket consumers (the telemetry
+  /// collector re-derives quantiles from summed window buckets). `counts`
+  /// must have bounds.size()+1 entries, the last being the +Inf bucket.
+  [[nodiscard]] static double quantile_from_buckets(
+      const std::vector<std::uint64_t>& bounds,
+      const std::vector<std::uint64_t>& counts, std::uint64_t total,
+      double q) noexcept;
+
  private:
   std::vector<std::uint64_t> upper_bounds_;  // sorted ascending
   std::vector<std::uint64_t> counts_;        // size upper_bounds_+1 (+Inf)

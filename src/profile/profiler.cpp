@@ -1,0 +1,127 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "vm/bytecode.hpp"
+
+namespace surgeon::profile {
+
+namespace {
+
+/// Identifier-grade JSON quoting (module/function/opcode names only hold
+/// printable characters, but a paranoid escape is cheap on export).
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Profiler::sample(const std::string& module, const vm::Machine& machine) {
+  if (machine.stack_depth() == 0) return;
+  ++total_samples_;
+
+  // Self + cumulative function attribution. The stack is a handful of
+  // frames; the linear dedup scan beats a per-sample set allocation.
+  machine.stack_functions(stack_buf_);
+  const std::uint32_t top_fn = stack_buf_.back();
+  ++functions_[{module, machine.effective_function(top_fn).name}].self;
+  for (std::size_t i = 0; i < stack_buf_.size(); ++i) {
+    bool first_occurrence = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (stack_buf_[j] == stack_buf_[i]) {
+        first_occurrence = false;
+        break;
+      }
+    }
+    if (first_occurrence) {
+      ++functions_[{module, machine.effective_function(stack_buf_[i]).name}]
+            .cum;
+    }
+  }
+
+  // Folded stack for the flamegraph: module;fn1;fn2;... bottom to top.
+  std::string stack = module;
+  for (std::uint32_t fn : stack_buf_) {
+    if (!stack.empty()) stack += ';';
+    stack += machine.effective_function(fn).name;
+  }
+  ++folded_[stack];
+
+  // Opcode and static-sequence evidence.
+  const std::vector<vm::Op> window = machine.peek_ops(opcode_window_);
+  if (window.empty()) return;
+  ++opcodes_[{module, vm::op_name(window.front())}];
+  if (window.size() == opcode_window_) {
+    std::string seq;
+    for (vm::Op op : window) {
+      if (!seq.empty()) seq += '+';
+      seq += vm::op_name(op);
+    }
+    ++sequences_[{module, std::move(seq)}];
+  }
+}
+
+void Profiler::clear() {
+  total_samples_ = 0;
+  functions_.clear();
+  opcodes_.clear();
+  sequences_.clear();
+  folded_.clear();
+}
+
+std::string Profiler::to_folded() const {
+  std::ostringstream os;
+  for (const auto& [stack, count] : folded_) {
+    os << stack << " " << count << "\n";
+  }
+  return os.str();
+}
+
+std::string Profiler::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_samples\":" << total_samples_ << ",\"functions\":[";
+  bool first = true;
+  for (const auto& [key, stat] : functions_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"module\":" << json_quote(key.first)
+       << ",\"function\":" << json_quote(key.second)
+       << ",\"self\":" << stat.self << ",\"cum\":" << stat.cum << "}";
+  }
+  os << "],\"opcodes\":[";
+  first = true;
+  for (const auto& [key, count] : opcodes_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"module\":" << json_quote(key.first)
+       << ",\"op\":" << json_quote(key.second) << ",\"count\":" << count
+       << "}";
+  }
+  os << "],\"sequences\":[";
+  first = true;
+  for (const auto& [key, count] : sequences_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"module\":" << json_quote(key.first)
+       << ",\"seq\":" << json_quote(key.second) << ",\"count\":" << count
+       << "}";
+  }
+  os << "],\"stacks\":[";
+  first = true;
+  for (const auto& [stack, count] : folded_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"stack\":" << json_quote(stack) << ",\"count\":" << count << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace surgeon::profile

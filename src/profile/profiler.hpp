@@ -1,0 +1,122 @@
+// The sampling profiler for MiniC modules (surgeon::profile).
+//
+// The VM exposes a countdown-based sample hook (vm::SampleSink): when a
+// sample fires, the machine is positioned at the instruction about to
+// execute, and the sink reads the current function, the static opcode
+// window at the pc, and the folded activation-record stack. app::Runtime
+// drives the countdowns two ways — a virtual-clock sampling timer (one
+// sample per live module per tick, the cluster-operator view) and an
+// instruction-period mode (one sample every K executed instructions, the
+// dense view opcode studies need) — and both feed this aggregator.
+//
+// The Profiler keeps per-module/per-function self+cumulative sample
+// counts, per-opcode and per-opcode-sequence counts (the superinstruction
+// evidence ROADMAP item 4 consumes), and folded stacks. Exporters:
+//   to_folded()  flamegraph-collapsed lines: "module;main;bump 42"
+//   to_json()    everything, deterministically ordered
+//
+// Cost model: a disarmed machine pays one integer compare per executed
+// instruction; an armed one additionally pays the countdown decrement.
+// Sample processing itself is off the dispatch loop's critical path only
+// in the sense that it runs at the sampling rate, not the instruction
+// rate — keep periods coarse (>= 64) in latency-sensitive runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/sim.hpp"
+#include "vm/machine.hpp"
+
+namespace surgeon::profile {
+
+/// How app::Runtime drives the sample countdowns.
+struct ProfileOptions {
+  /// Virtual-clock sampling period: every `interval_us` the runtime arms a
+  /// one-shot sample on every live module (0 disables the timer). NOTE:
+  /// like heartbeats, the self-rescheduling tick keeps the simulator
+  /// permanently non-idle — use predicate- or time-bounded runs.
+  net::SimTime interval_us = 0;
+  /// Instruction-period sampling: every `every_insns` executed
+  /// instructions of each module (0 disables). Deterministic and dense;
+  /// the mode used for opcode/superinstruction evidence.
+  std::uint64_t every_insns = 0;
+};
+
+/// Per-(module, function) sample attribution.
+struct FunctionStat {
+  /// Samples whose innermost activation record was this function.
+  std::uint64_t self = 0;
+  /// Samples with this function anywhere on the stack (counted once per
+  /// sample, so recursion does not inflate it).
+  std::uint64_t cum = 0;
+};
+
+class Profiler : public vm::SampleSink {
+ public:
+  /// `opcode_window` is the number of static opcodes recorded per sample
+  /// (the sampled instruction plus its followers); sequences of this
+  /// length are what the superinstruction picker ranks.
+  explicit Profiler(std::size_t opcode_window = 3)
+      : opcode_window_(opcode_window) {}
+
+  /// Aggregates one sample of `module`'s machine. app::Runtime calls this
+  /// through its per-process taps; standalone tests may call it directly.
+  void sample(const std::string& module, const vm::Machine& machine);
+
+  /// vm::SampleSink for machines profiled outside a Runtime (the module
+  /// name is then empty).
+  void on_sample(const vm::Machine& machine) override {
+    sample(std::string{}, machine);
+  }
+
+  void clear();
+
+  // --- aggregates (maps iterate in key order: exporters are deterministic)
+
+  [[nodiscard]] std::uint64_t total_samples() const noexcept {
+    return total_samples_;
+  }
+  using ModuleFnKey = std::pair<std::string, std::string>;
+  [[nodiscard]] const std::map<ModuleFnKey, FunctionStat>& functions()
+      const noexcept {
+    return functions_;
+  }
+  /// (module, opcode name) -> samples that hit the opcode.
+  [[nodiscard]] const std::map<ModuleFnKey, std::uint64_t>& opcodes()
+      const noexcept {
+    return opcodes_;
+  }
+  /// (module, "op1+op2+op3") -> samples that hit the static sequence.
+  [[nodiscard]] const std::map<ModuleFnKey, std::uint64_t>& sequences()
+      const noexcept {
+    return sequences_;
+  }
+  /// folded stack ("module;main;bump") -> samples.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& folded()
+      const noexcept {
+    return folded_;
+  }
+
+  // --- exporters ----------------------------------------------------------
+
+  /// Flamegraph-collapsed format, one "stack count" line per folded stack,
+  /// sorted by stack string — pipe into flamegraph.pl as-is.
+  [[nodiscard]] std::string to_folded() const;
+  /// {"total_samples":N,"functions":[...],"opcodes":[...],
+  ///  "sequences":[...],"stacks":[...]}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::size_t opcode_window_;
+  std::uint64_t total_samples_ = 0;
+  std::map<ModuleFnKey, FunctionStat> functions_;
+  std::map<ModuleFnKey, std::uint64_t> opcodes_;
+  std::map<ModuleFnKey, std::uint64_t> sequences_;
+  std::map<std::string, std::uint64_t> folded_;
+  std::vector<std::uint32_t> stack_buf_;  // reused per sample
+};
+
+}  // namespace surgeon::profile

@@ -1,0 +1,623 @@
+#include "profile/telemetry.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace surgeon::profile {
+
+namespace {
+
+const std::string* label_of(const obs::Labels& labels, const char* key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string fmt_fixed3(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+/// The +Inf bucket sentinel on the wire and in window slots.
+constexpr std::int64_t kInfBound = -1;
+
+}  // namespace
+
+// --- Reporter ----------------------------------------------------------------
+
+Reporter::Reporter(bus::Bus& bus, obs::MetricsRegistry& registry,
+                   std::string machine, std::string collector_module,
+                   net::SimTime interval_us)
+    : bus_(&bus),
+      registry_(&registry),
+      machine_(std::move(machine)),
+      module_("telemetry@" + machine_),
+      client_(bus, module_),
+      interval_us_(interval_us) {
+  bus::ModuleInfo info;
+  info.name = module_;
+  info.machine = machine_;
+  info.source = kTelemetrySource;
+  info.interfaces.push_back(
+      bus::InterfaceSpec{"deltas", bus::IfaceRole::kDefine, "", ""});
+  bus_->add_module(std::move(info));
+  bus_->add_binding(bus::BindingEnd{module_, "deltas"},
+                    bus::BindingEnd{std::move(collector_module), "ingest"});
+  schedule_tick();
+}
+
+Reporter::~Reporter() {
+  stop();
+  if (bus_->has_module(module_)) bus_->remove_module(module_);
+}
+
+void Reporter::schedule_tick() {
+  std::weak_ptr<int> alive = alive_;
+  bus_->simulator().schedule_after(interval_us_, [this, alive] {
+    if (alive.expired()) return;
+    flush();
+    schedule_tick();
+  });
+}
+
+void Reporter::flush() {
+  // Which registry series are ours to report? Those labelled with a module
+  // that is (a) still on the bus, (b) hosted on this machine, and (c) not
+  // part of the telemetry plane itself (kTelemetrySource — reporting our
+  // own stream's counters would be a feedback loop that never quiesces).
+  const auto owner_iface =
+      [&](const obs::Labels& labels) -> std::pair<const bus::ModuleInfo*,
+                                                  std::string> {
+    const std::string* module = label_of(labels, "module");
+    if (module == nullptr || !bus_->has_module(*module)) return {nullptr, ""};
+    const bus::ModuleInfo& info = bus_->module_info(*module);
+    if (info.machine != machine_ || info.source == kTelemetrySource) {
+      return {nullptr, ""};
+    }
+    const std::string* iface = label_of(labels, "iface");
+    return {&info, iface != nullptr ? *iface : std::string{}};
+  };
+
+  for (const auto& [key, counter] : registry_->counters()) {
+    const auto [info, iface] = owner_iface(key.second);
+    if (info == nullptr) continue;
+    std::uint64_t& last = last_counter_[key];
+    const std::uint64_t value = counter.value();
+    if (value < last) last = 0;  // registry was cleared: resynchronize
+    if (value == last) continue;
+    const std::uint64_t delta = value - last;
+    last = value;
+    client_.write("deltas",
+                  {ser::Value{machine_}, ser::Value{info->name},
+                   ser::Value{iface}, ser::Value{key.first},
+                   ser::Value{std::string{"c"}},
+                   ser::Value{static_cast<std::int64_t>(delta)}});
+    ++deltas_sent_;
+  }
+  for (const auto& [key, gauge] : registry_->gauges()) {
+    const auto [info, iface] = owner_iface(key.second);
+    if (info == nullptr) continue;
+    const std::int64_t value = gauge.value();
+    auto it = last_gauge_.find(key);
+    if (it != last_gauge_.end() && it->second == value) continue;
+    last_gauge_[key] = value;
+    client_.write("deltas", {ser::Value{machine_}, ser::Value{info->name},
+                             ser::Value{iface}, ser::Value{key.first},
+                             ser::Value{std::string{"g"}}, ser::Value{value}});
+    ++deltas_sent_;
+  }
+  for (const auto& [key, hist] : registry_->histograms()) {
+    const auto [info, iface] = owner_iface(key.second);
+    if (info == nullptr) continue;
+    const std::vector<std::uint64_t>& counts = hist.bucket_counts();
+    std::vector<std::uint64_t>& last = last_hist_[key];
+    if (last.size() != counts.size()) last.assign(counts.size(), 0);
+    std::vector<ser::Value> values = {
+        ser::Value{machine_}, ser::Value{info->name}, ser::Value{iface},
+        ser::Value{key.first}, ser::Value{std::string{"h"}}};
+    bool changed = false;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] < last[i]) last[i] = 0;  // registry cleared
+      if (counts[i] == last[i]) continue;
+      const std::int64_t bound =
+          i < hist.upper_bounds().size()
+              ? static_cast<std::int64_t>(hist.upper_bounds()[i])
+              : kInfBound;
+      values.emplace_back(bound);
+      values.emplace_back(static_cast<std::int64_t>(counts[i] - last[i]));
+      last[i] = counts[i];
+      changed = true;
+    }
+    if (!changed) continue;
+    client_.write("deltas", std::move(values));
+    ++deltas_sent_;
+  }
+}
+
+// --- Collector ---------------------------------------------------------------
+
+Collector::Collector(bus::Bus& bus, std::string module_name,
+                     std::string machine, CollectorOptions options,
+                     std::string status)
+    : bus_(&bus),
+      module_(std::move(module_name)),
+      machine_(std::move(machine)),
+      options_(options),
+      client_(bus, module_) {
+  bus::ModuleInfo info;
+  info.name = module_;
+  info.machine = machine_;
+  info.status = status;
+  info.source = kTelemetrySource;
+  info.interfaces.push_back(
+      bus::InterfaceSpec{"ingest", bus::IfaceRole::kUse, "", ""});
+  bus_->add_module(std::move(info));
+  if (status == "new") activate();
+  schedule_tick();
+}
+
+Collector::~Collector() {
+  bus_->clear_top_handler(top_token_);
+  retire();
+}
+
+void Collector::retire() {
+  alive_.reset();
+  if (bus_->has_module(module_)) bus_->remove_module(module_);
+}
+
+void Collector::activate() {
+  active_ = true;
+  top_token_ = bus_->set_top_handler(
+      [this](const std::string& format) { return top(format); });
+}
+
+void Collector::schedule_tick() {
+  std::weak_ptr<int> alive = alive_;
+  bus_->simulator().schedule_after(options_.tick_us, [this, alive] {
+    if (alive.expired()) return;
+    tick();
+  });
+}
+
+void Collector::tick() {
+  if (passivated_) return;  // divulged; awaiting retirement, no reschedule
+  if (!active_) {
+    // Clone discipline (Figure 4): the ingest queue is untouched until the
+    // state buffer arrives. Queued deltas wait, like application traffic.
+    if (bus_->has_incoming_state(module_)) {
+      auto bytes = bus_->take_incoming_state(module_);
+      install_state(ser::StateBuffer::decode(*bytes));
+      // The first drain happens on the NEXT tick: a query right after the
+      // install reads exactly the divulged windows, byte-identical to the
+      // old instance's last answer.
+    }
+    schedule_tick();
+    return;
+  }
+  if (client_.take_pending_signal()) {
+    // Passivate BEFORE draining: anything still queued (or in flight)
+    // belongs to the successor and reaches it via queue capture.
+    (void)client_.encode_state(encode_state());
+    passivated_ = true;
+    return;
+  }
+  while (auto msg = client_.try_read("ingest")) apply(*msg);
+  schedule_tick();
+}
+
+Collector::Slot& Collector::slot_for(net::SimTime at) {
+  const net::SimTime start = at - (at % options_.slot_us);
+  if (slots_.empty() || start > slots_.back().start_us) {
+    slots_.push_back(Slot{start, {}, {}});
+    while (slots_.size() > options_.slots) slots_.erase(slots_.begin());
+  }
+  return slots_.back();
+}
+
+void Collector::apply(const bus::Message& msg) {
+  const std::vector<ser::Value>& v = msg.values;
+  const bool framed = v.size() >= 6 && v[0].is_string() && v[1].is_string() &&
+                      v[2].is_string() && v[3].is_string() && v[4].is_string();
+  if (!framed) {
+    ++malformed_;
+    return;
+  }
+  SeriesId id{v[0].as_string(), v[1].as_string(), v[2].as_string(),
+              v[3].as_string()};
+  const std::string& kind = v[4].as_string();
+  const net::SimTime now = bus_->simulator().now();
+  if (kind == "c" && v[5].is_int()) {
+    slot_for(now).counters[std::move(id)] +=
+        static_cast<std::uint64_t>(v[5].as_int());
+  } else if (kind == "g" && v[5].is_int()) {
+    gauges_[std::move(id)] = v[5].as_int();
+  } else if (kind == "h" && (v.size() - 5) % 2 == 0) {
+    for (std::size_t i = 5; i + 1 < v.size(); i += 2) {
+      if (!v[i].is_int() || !v[i + 1].is_int()) {
+        ++malformed_;
+        return;
+      }
+    }
+    auto& buckets = slot_for(now).hists[std::move(id)];
+    for (std::size_t i = 5; i + 1 < v.size(); i += 2) {
+      buckets[v[i].as_int()] +=
+          static_cast<std::uint64_t>(v[i + 1].as_int());
+    }
+  } else {
+    ++malformed_;
+    return;
+  }
+  ++deltas_applied_;
+}
+
+// --- Collector: state divulge/install ---------------------------------------
+
+ser::StateBuffer Collector::encode_state() const {
+  using ser::StateFrame;
+  using ser::Value;
+  ser::StateBuffer state;
+  const auto str = [](const std::string& s) { return Value{s}; };
+  const auto num = [](auto n) {
+    return Value{static_cast<std::int64_t>(n)};
+  };
+  state.push_frame(StateFrame{{num(1),  // format version
+                               num(options_.tick_us), num(options_.slot_us),
+                               num(options_.slots), num(slots_.size())}});
+  for (const Slot& slot : slots_) {
+    state.push_frame(StateFrame{{num(0), num(slot.start_us)}});
+    for (const auto& [id, total] : slot.counters) {
+      state.push_frame(StateFrame{{num(1), str(id.machine), str(id.module),
+                                   str(id.iface), str(id.metric),
+                                   num(total)}});
+    }
+    for (const auto& [id, buckets] : slot.hists) {
+      StateFrame frame{{num(2), str(id.machine), str(id.module),
+                        str(id.iface), str(id.metric)}};
+      for (const auto& [bound, count] : buckets) {
+        frame.values.push_back(num(bound));
+        frame.values.push_back(num(count));
+      }
+      state.push_frame(std::move(frame));
+    }
+  }
+  for (const auto& [id, value] : gauges_) {
+    state.push_frame(StateFrame{{num(3), str(id.machine), str(id.module),
+                                 str(id.iface), str(id.metric), num(value)}});
+  }
+  return state;
+}
+
+void Collector::install_state(const ser::StateBuffer& state) {
+  const auto& frames = state.frames();
+  if (frames.empty() || frames[0].values.size() < 5 ||
+      frames[0].values[0].as_int() != 1) {
+    throw support::BusError("collector state: unknown format");
+  }
+  // The divulged window geometry wins: merging slots cut at a different
+  // grain would mis-attribute deltas.
+  options_.tick_us = frames[0].values[1].as_int();
+  options_.slot_us = frames[0].values[2].as_int();
+  options_.slots = static_cast<std::size_t>(frames[0].values[3].as_int());
+  slots_.clear();
+  gauges_.clear();
+  const auto id_of = [](const ser::StateFrame& f) {
+    return SeriesId{f.values[1].as_string(), f.values[2].as_string(),
+                    f.values[3].as_string(), f.values[4].as_string()};
+  };
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const ser::StateFrame& f = frames[i];
+    if (f.values.empty()) throw support::BusError("collector state: bad frame");
+    switch (f.values[0].as_int()) {
+      case 0:
+        slots_.push_back(Slot{f.values[1].as_int(), {}, {}});
+        break;
+      case 1:
+        if (slots_.empty()) {
+          throw support::BusError("collector state: counter before slot");
+        }
+        slots_.back().counters[id_of(f)] =
+            static_cast<std::uint64_t>(f.values[5].as_int());
+        break;
+      case 2: {
+        if (slots_.empty()) {
+          throw support::BusError("collector state: histogram before slot");
+        }
+        auto& buckets = slots_.back().hists[id_of(f)];
+        for (std::size_t j = 5; j + 1 < f.values.size(); j += 2) {
+          buckets[f.values[j].as_int()] =
+              static_cast<std::uint64_t>(f.values[j + 1].as_int());
+        }
+        break;
+      }
+      case 3:
+        gauges_[id_of(f)] = f.values[5].as_int();
+        break;
+      default:
+        throw support::BusError("collector state: unknown frame kind");
+    }
+  }
+  activate();
+}
+
+// --- Collector: the mh_top renderings ----------------------------------------
+
+namespace {
+
+/// One series aggregated across the window, ready to render.
+struct TopRow {
+  SeriesId id;
+  bool is_hist = false;
+  std::uint64_t total = 0;  // counter sum / histogram observation count
+  double rate = 0.0;        // per second of window span
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+}  // namespace
+
+std::string Collector::top(const std::string& format) const {
+  if (format == "json") return top_json();
+  if (format == "table") return top_table();
+  throw support::BusError("mh_top: unknown format '" + format +
+                          "' (expected \"table\" or \"json\")");
+}
+
+namespace {
+
+/// Window aggregation shared by both renderings. The span is data-derived
+/// (first slot start to last slot end), matching the data-driven window
+/// advance — so the output is a pure function of collector state, which is
+/// what makes the before/after-replacement byte-identity hold.
+template <typename SlotRange>
+std::vector<TopRow> aggregate_rows(const SlotRange& slots,
+                                   net::SimTime slot_us) {
+  std::map<SeriesId, std::uint64_t> totals;
+  std::map<SeriesId, std::map<std::int64_t, std::uint64_t>> hists;
+  for (const auto& slot : slots) {
+    for (const auto& [id, n] : slot.counters) totals[id] += n;
+    for (const auto& [id, buckets] : slot.hists) {
+      auto& merged = hists[id];
+      for (const auto& [bound, count] : buckets) merged[bound] += count;
+    }
+  }
+  net::SimTime span = 0;
+  if (!slots.empty()) {
+    span = (slots.back().start_us + slot_us) - slots.front().start_us;
+  }
+  std::vector<TopRow> rows;
+  for (const auto& [id, total] : totals) {
+    TopRow row;
+    row.id = id;
+    row.total = total;
+    if (span != 0) {
+      row.rate = static_cast<double>(total) * 1e6 / static_cast<double>(span);
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [id, buckets] : hists) {
+    TopRow row;
+    row.id = id;
+    row.is_hist = true;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;
+    for (const auto& [bound, count] : buckets) {
+      if (bound == kInfBound) continue;
+      bounds.push_back(static_cast<std::uint64_t>(bound));
+      counts.push_back(count);
+      row.total += count;
+    }
+    auto inf = buckets.find(kInfBound);
+    counts.push_back(inf != buckets.end() ? inf->second : 0);
+    row.total += counts.back();
+    if (span != 0) {
+      row.rate =
+          static_cast<double>(row.total) * 1e6 / static_cast<double>(span);
+    }
+    row.p50 = obs::Histogram::quantile_from_buckets(bounds, counts, row.total,
+                                                    0.50);
+    row.p95 = obs::Histogram::quantile_from_buckets(bounds, counts, row.total,
+                                                    0.95);
+    row.p99 = obs::Histogram::quantile_from_buckets(bounds, counts, row.total,
+                                                    0.99);
+    rows.push_back(std::move(row));
+  }
+  // Busiest first; the full SeriesId breaks rate ties deterministically.
+  std::sort(rows.begin(), rows.end(), [](const TopRow& a, const TopRow& b) {
+    if (a.rate != b.rate) return a.rate > b.rate;
+    return a.id < b.id;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::string Collector::top_json() const {
+  const std::vector<TopRow> rows = aggregate_rows(slots_, options_.slot_us);
+  net::SimTime span = 0;
+  if (!slots_.empty()) {
+    span = (slots_.back().start_us + options_.slot_us) -
+           slots_.front().start_us;
+  }
+  std::ostringstream os;
+  os << "{\"window_us\":" << span << ",\"slots\":" << slots_.size()
+     << ",\"series\":[";
+  bool first = true;
+  for (const TopRow& row : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"machine\":" << json_quote(row.id.machine)
+       << ",\"module\":" << json_quote(row.id.module)
+       << ",\"iface\":" << json_quote(row.id.iface)
+       << ",\"metric\":" << json_quote(row.id.metric) << ",\"kind\":\""
+       << (row.is_hist ? "histogram" : "counter")
+       << "\",\"total\":" << row.total
+       << ",\"rate_per_s\":" << fmt_fixed3(row.rate);
+    if (row.is_hist) {
+      os << ",\"p50\":" << fmt_fixed3(row.p50)
+         << ",\"p95\":" << fmt_fixed3(row.p95)
+         << ",\"p99\":" << fmt_fixed3(row.p99);
+    }
+    os << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [id, value] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"machine\":" << json_quote(id.machine)
+       << ",\"module\":" << json_quote(id.module)
+       << ",\"iface\":" << json_quote(id.iface)
+       << ",\"metric\":" << json_quote(id.metric) << ",\"value\":" << value
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Collector::top_table() const {
+  const std::vector<TopRow> rows = aggregate_rows(slots_, options_.slot_us);
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "MACHINE" << std::setw(22) << "MODULE"
+     << std::setw(12) << "IFACE" << std::setw(42) << "METRIC" << std::right
+     << std::setw(12) << "TOTAL" << std::setw(12) << "RATE/S" << std::setw(10)
+     << "P50" << std::setw(10) << "P95" << std::setw(10) << "P99" << "\n";
+  const auto quant = [&](double v, bool is_hist) {
+    return is_hist ? fmt_fixed3(v) : std::string{"-"};
+  };
+  for (const TopRow& row : rows) {
+    os << std::left << std::setw(10) << row.id.machine << std::setw(22)
+       << row.id.module << std::setw(12) << row.id.iface << std::setw(42)
+       << row.id.metric << std::right << std::setw(12) << row.total
+       << std::setw(12) << fmt_fixed3(row.rate) << std::setw(10)
+       << quant(row.p50, row.is_hist) << std::setw(10)
+       << quant(row.p95, row.is_hist) << std::setw(10)
+       << quant(row.p99, row.is_hist) << "\n";
+  }
+  for (const auto& [id, value] : gauges_) {
+    os << std::left << std::setw(10) << id.machine << std::setw(22)
+       << id.module << std::setw(12) << id.iface << std::setw(42) << id.metric
+       << std::right << std::setw(12) << value << std::setw(12) << "-"
+       << std::setw(10) << "-" << std::setw(10) << "-" << std::setw(10) << "-"
+       << "\n";
+  }
+  return os.str();
+}
+
+// --- replace_collector -------------------------------------------------------
+
+ReplaceCollectorReport replace_collector(bus::Bus& bus,
+                                         std::unique_ptr<Collector>& collector,
+                                         const std::string& machine,
+                                         const std::function<bool()>& pump,
+                                         std::uint64_t max_rounds) {
+  if (collector == nullptr) {
+    throw support::BusError("replace_collector: no collector attached");
+  }
+  obs::MetricsRegistry* reg = bus.metrics();
+  net::Simulator& sim = bus.simulator();
+  ReplaceCollectorReport report;
+  report.old_instance = collector->module_name();
+  report.requested_at = sim.now();
+
+  // obj_cap: the current specification of the running instance.
+  bus::ModuleInfo info;
+  {
+    obs::Span span(reg, "obj_cap", report.old_instance);
+    info = bus.module_info(report.old_instance);
+  }
+
+  // clone register: a passive twin under a fresh name, possibly elsewhere.
+  std::unique_ptr<Collector> clone;
+  {
+    obs::Span span(reg, "clone_register", report.old_instance);
+    std::string name;
+    for (int k = 2;; ++k) {
+      name = report.old_instance + "#" + std::to_string(k);
+      if (!bus.has_module(name)) break;
+    }
+    report.new_instance = name;
+    clone = std::make_unique<Collector>(bus, name, machine,
+                                        collector->options(), "clone");
+  }
+
+  // bind_edit_prep: repoint every peer binding and capture queued traffic.
+  bus::BindEditBatch batch;
+  {
+    obs::Span span(reg, "bind_edit_prep", report.old_instance);
+    for (const std::string& iface :
+         bus.interface_names(report.old_instance)) {
+      bus::BindingEnd old_end{report.old_instance, iface};
+      bus::BindingEnd new_end{report.new_instance, iface};
+      for (const bus::BindingEnd& peer : bus.bound_peers(old_end)) {
+        batch.add(bus::BindEdit{bus::BindEdit::Op::kDel, old_end, peer});
+        batch.add(bus::BindEdit{bus::BindEdit::Op::kAdd, new_end, peer});
+      }
+      batch.add(bus::BindEdit{bus::BindEdit::Op::kCaptureQueue, old_end,
+                              new_end});
+    }
+  }
+
+  // objstate_move: signal, await the divulged windows, ship them over.
+  {
+    obs::Span span(reg, "objstate_move", report.old_instance);
+    bus.signal_reconfig(report.old_instance);
+    std::uint64_t rounds = 0;
+    while (!bus.has_divulged_state(report.old_instance)) {
+      if (++rounds > max_rounds) {
+        throw support::BusError("replace_collector: " + report.old_instance +
+                                " never divulged its state");
+      }
+      (void)pump();
+    }
+    report.divulged_at = sim.now();
+    std::vector<std::uint8_t> bytes =
+        bus.take_divulged_state(report.old_instance);
+    report.state_bytes = bytes.size();
+    bus.deliver_state(info.machine, report.new_instance, std::move(bytes));
+  }
+
+  // rebind: the batch lands atomically; streams and queues migrate.
+  {
+    obs::Span span(reg, "rebind", report.old_instance);
+    bus.rebind(batch);
+  }
+
+  // add: the clone activates once the state buffer is installed.
+  {
+    obs::Span span(reg, "add", report.old_instance);
+    std::uint64_t rounds = 0;
+    while (!clone->active()) {
+      if (++rounds > max_rounds) {
+        throw support::BusError("replace_collector: " + report.new_instance +
+                                " never restored");
+      }
+      (void)pump();
+    }
+  }
+  report.restored_at = sim.now();
+
+  // del: retire the passivated instance; the clone is the collector now.
+  {
+    obs::Span span(reg, "del", report.old_instance);
+    collector->retire();
+  }
+  collector = std::move(clone);
+  return report;
+}
+
+}  // namespace surgeon::profile

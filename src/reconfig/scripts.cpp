@@ -323,12 +323,34 @@ ReplaceReport replace_module(app::Runtime& rt, const std::string& instance,
       rt.start_module(report.new_instance);
       rt.remove_module(holder);
     }
+    report.restored_at = rt.now();
   }
   // Commit boundary: all structural steps (and any retry chain) are done;
   // the commit record closes the WAL transaction.
   boundary(kStepCommit);
   if (options.journal != nullptr) options.journal->committed();
   report.completed_at = rt.now();
+  // Disruption metrics: how long the application was without this module,
+  // and how much state the replacement moved. The per-message queueing
+  // delay distribution (surgeon_reconfig_queued_delay_us) is recorded by
+  // the bus at queue-capture time.
+  if (metrics->enabled()) {
+    obs::Labels labels{{"module", instance}};
+    metrics->counter("surgeon_reconfig_replacements_total", labels).inc();
+    if (report.restored_at != 0) {
+      metrics->histogram("surgeon_reconfig_blackout_us", labels)
+          .observe(report.blackout_us());
+    }
+    metrics->histogram("surgeon_reconfig_total_us", labels)
+        .observe(report.total_delay());
+    metrics
+        ->histogram("surgeon_reconfig_state_bytes", labels,
+                    {64, 256, 1'024, 4'096, 16'384, 65'536, 262'144,
+                     1'048'576})
+        .observe(report.state_bytes);
+    metrics->counter("surgeon_reconfig_queued_moved_total", labels)
+        .inc(report.queued_messages_moved);
+  }
   return report;
 }
 

@@ -145,6 +145,8 @@ struct ReplaceReport {
   net::SimTime requested_at = 0;   // when the signal was sent
   net::SimTime divulged_at = 0;    // when the old module divulged its state
   net::SimTime rebound_at = 0;     // when bindings were switched
+  net::SimTime restored_at = 0;    // when the clone finished restoring
+                                   // (0 when wait_for_restore was off)
   net::SimTime completed_at = 0;   // when the script finished
   std::size_t state_bytes = 0;
   std::size_t state_frames = 0;
@@ -160,6 +162,13 @@ struct ReplaceReport {
   }
   [[nodiscard]] net::SimTime reaction_delay() const noexcept {
     return divulged_at - requested_at;
+  }
+  /// The disruption window: from the moment the old instance passivated
+  /// (divulged -- it serves no request after this) until the clone finished
+  /// restoring and can serve. Zero when the script did not wait for the
+  /// restore. Also observed into surgeon_reconfig_blackout_us.
+  [[nodiscard]] net::SimTime blackout_us() const noexcept {
+    return restored_at > divulged_at ? restored_at - divulged_at : 0;
   }
 };
 

@@ -248,6 +248,8 @@ StepResult Machine::step(std::uint64_t max_insns) {
     while (result.instructions < max_insns) {
       ++result.instructions;
       ++instructions_executed_;
+      // Profiler countdown: one compare per instruction while disarmed.
+      if (sample_countdown_ != 0 && --sample_countdown_ == 0) take_sample();
       if (!exec_one()) break;
     }
   } catch (const support::Error& e) {
@@ -264,6 +266,38 @@ StepResult Machine::step(std::uint64_t max_insns) {
 StepResult Machine::run(std::uint64_t max_total_insns) {
   StepResult last = step(max_total_insns);
   return last;
+}
+
+void Machine::take_sample() {
+  // Re-arm the periodic cadence first: a throwing sink must not wedge it.
+  sample_countdown_ = sample_period_;
+  if (sample_sink_ == nullptr || frames_.empty()) return;
+  sample_sink_->on_sample(*this);
+}
+
+std::optional<Op> Machine::current_op() const noexcept {
+  if (frames_.empty()) return std::nullopt;
+  const Frame& frame = frames_.back();
+  const CompiledFunction& fn = effective_function(frame.fn);
+  if (frame.pc >= fn.code.size()) return std::nullopt;
+  return fn.code[frame.pc].op;
+}
+
+std::vector<Op> Machine::peek_ops(std::size_t n) const {
+  std::vector<Op> ops;
+  if (frames_.empty()) return ops;
+  const Frame& frame = frames_.back();
+  const CompiledFunction& fn = effective_function(frame.fn);
+  for (std::size_t i = 0; i < n && frame.pc + i < fn.code.size(); ++i) {
+    ops.push_back(fn.code[frame.pc + i].op);
+  }
+  return ops;
+}
+
+void Machine::stack_functions(std::vector<std::uint32_t>& out) const {
+  out.clear();
+  out.reserve(frames_.size());
+  for (const Frame& frame : frames_) out.push_back(frame.fn);
 }
 
 bool Machine::exec_one() {

@@ -62,6 +62,19 @@ struct StepResult {
   std::string blocked_iface;        // when kBlockedRead
 };
 
+class Machine;
+
+/// Receiver of sampling-profiler hits (surgeon::profile). on_sample is
+/// invoked from inside the dispatch loop with the machine positioned at the
+/// instruction about to execute, so the sink may read current_function(),
+/// current_op(), peek_ops(), and stack_functions() to attribute the sample.
+/// The sink must not re-enter the machine (no step/run calls).
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  virtual void on_sample(const Machine& machine) = 0;
+};
+
 class Machine {
  public:
   /// `arch` is the architecture of the host this module instance runs on;
@@ -129,6 +142,46 @@ class Machine {
   [[nodiscard]] std::uint64_t encoded_state_bytes_total() const noexcept {
     return encoded_state_bytes_total_;
   }
+
+  // --- sampling profiler hook (surgeon::profile) --------------------------
+  // Cost model: one integer compare per executed instruction while no
+  // sample is armed; the bench_obs_overhead/bench_disruption suites pin the
+  // disabled path within the platform's 3% bar.
+
+  /// Installs (or, with null, removes) the sample sink. The machine never
+  /// samples without a sink, whatever the countdown says.
+  void set_sample_sink(SampleSink* sink) noexcept { sample_sink_ = sink; }
+  /// Periodic sampling: a sample fires every `period` executed
+  /// instructions (0 disables and clears any armed countdown).
+  void set_sample_period(std::uint64_t period) noexcept {
+    sample_period_ = period;
+    sample_countdown_ = period;
+  }
+  /// One-shot arm: the next `countdown`-th executed instruction is sampled
+  /// (the virtual-clock sampling timer in app::Runtime arms 1 at each
+  /// tick). Overrides any in-progress periodic countdown; after the hit the
+  /// periodic cadence (if any) resumes.
+  void arm_sample(std::uint64_t countdown) noexcept {
+    sample_countdown_ = countdown;
+  }
+
+  /// Function index of the innermost activation record. Only meaningful
+  /// while the stack is non-empty (stack_depth() > 0).
+  [[nodiscard]] std::uint32_t current_function() const noexcept {
+    return frames_.back().fn;
+  }
+  /// Opcode about to execute; nullopt when the pc ran off the function end
+  /// (the next exec faults) or the stack is empty.
+  [[nodiscard]] std::optional<Op> current_op() const noexcept;
+  /// Static opcode window at the current pc: the sampled instruction plus
+  /// up to `n - 1` followers from the same function body. This is the raw
+  /// evidence for superinstruction selection — the profiler counts these
+  /// windows to name the hot dispatch sequences worth fusing.
+  [[nodiscard]] std::vector<Op> peek_ops(std::size_t n) const;
+  /// Function index of every live activation record, bottom (main) to top;
+  /// appends into `out` (cleared first) so periodic samplers reuse one
+  /// buffer. This is the folded stack of one flamegraph sample.
+  void stack_functions(std::vector<std::uint32_t>& out) const;
 
   /// Test access to a global by name. Throws VmError if unknown.
   [[nodiscard]] RtValue global(const std::string& name) const;
@@ -261,8 +314,13 @@ class Machine {
   std::optional<ser::StateBuffer> last_encoded_;
   std::optional<ser::StateBuffer> injected_state_;
 
+  void take_sample();
+
   std::int32_t signal_handler_fn_ = -1;
   bool local_signal_ = false;
+  SampleSink* sample_sink_ = nullptr;
+  std::uint64_t sample_period_ = 0;     // 0 = no periodic cadence
+  std::uint64_t sample_countdown_ = 0;  // 0 = nothing armed
   std::uint64_t decode_count_ = 0;
   std::uint64_t capture_frames_total_ = 0;
   std::uint64_t restore_frames_total_ = 0;

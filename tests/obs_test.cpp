@@ -58,6 +58,48 @@ TEST(Metrics, HistogramBuckets) {
   EXPECT_EQ(&reg.histogram("h", {}, {1}), &h);
 }
 
+TEST(Metrics, QuantileInterpolatesInsideTheTargetBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q", {}, {10, 100, 1000});
+  // 10 observations in [0,10], 10 in (10,100]: the CDF is piecewise linear
+  // with a knee at rank 10 / value 10.
+  for (int i = 0; i < 10; ++i) h.observe(1);
+  for (int i = 0; i < 10; ++i) h.observe(50);
+  // Rank 10 is the upper edge of the first bucket...
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // ...and ranks above it interpolate linearly across (10, 100]:
+  // rank 15 is halfway through the second bucket's 10 observations.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 55.0);
+  // rank 5 is halfway through the first bucket, whose lower edge is 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // q clamps to [0, 1]; q=1 is the last populated bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 0.0);
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  MetricsRegistry reg;
+  // Empty histogram: no rank to find.
+  EXPECT_DOUBLE_EQ(reg.histogram("empty", {}, {10}).quantile(0.5), 0.0);
+  // Everything in the +Inf bucket clamps to the largest finite bound, the
+  // same convention Prometheus' histogram_quantile uses.
+  Histogram& inf = reg.histogram("inf", {}, {10, 100});
+  inf.observe(5000);
+  inf.observe(9000);
+  EXPECT_DOUBLE_EQ(inf.quantile(0.5), 100.0);
+  // Skips empty buckets: with only the third bucket populated, every
+  // quantile interpolates inside (100, 1000].
+  Histogram& sparse = reg.histogram("sparse", {}, {10, 100, 1000});
+  for (int i = 0; i < 4; ++i) sparse.observe(500);
+  EXPECT_DOUBLE_EQ(sparse.quantile(0.25), 325.0);   // rank 1 of 4
+  EXPECT_DOUBLE_EQ(sparse.quantile(1.0), 1000.0);   // rank 4 of 4
+  // The static form matches the member form given the same buckets.
+  EXPECT_DOUBLE_EQ(Histogram::quantile_from_buckets(
+                       sparse.upper_bounds(), sparse.bucket_counts(),
+                       sparse.count(), 0.25),
+                   sparse.quantile(0.25));
+}
+
 TEST(Metrics, HistogramDefaultsToTimeBuckets) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("t");

@@ -33,19 +33,28 @@ namespace {
 using surgeon::chaos::ScenarioResult;
 using surgeon::chaos::ScenarioSpec;
 
+void print_usage(const char* argv0, std::ostream& os) {
+  os << "usage: " << argv0
+     << " [--seeds N] [--start S] [--coordinator-every K]"
+        " [--artifacts DIR]\n"
+        "  --seeds N              seeds to sweep (default 1000)\n"
+        "  --start S              first seed (default 1)\n"
+        "  --coordinator-every K  every Kth seed becomes a directed\n"
+        "                         coordinator kill; 0 disables"
+        " (default 4)\n"
+        "  --artifacts DIR        where failing-seed artifacts go\n"
+        "                         (default chaos-artifacts)\n"
+        "  --dump-seed S          replay one seed and print its\n"
+        "                         flight recorder to stdout\n"
+        "  --help                 print this message and exit\n"
+        "\n"
+        "exit status: 0 = every seed passed its invariants,\n"
+        "             1 = an invariant failed (artifacts written),\n"
+        "             2 = usage error\n";
+}
+
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--seeds N] [--start S] [--coordinator-every K]"
-               " [--artifacts DIR]\n"
-               "  --seeds N              seeds to sweep (default 1000)\n"
-               "  --start S              first seed (default 1)\n"
-               "  --coordinator-every K  every Kth seed becomes a directed\n"
-               "                         coordinator kill; 0 disables"
-               " (default 4)\n"
-               "  --artifacts DIR        where failing-seed artifacts go\n"
-               "                         (default chaos-artifacts)\n"
-               "  --dump-seed S          replay one seed and print its\n"
-               "                         flight recorder to stdout\n";
+  print_usage(argv0, std::cerr);
   return 2;
 }
 
@@ -123,7 +132,11 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--seeds") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_usage(argv[0], std::cout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
       seeds = std::strtoull(value("--seeds"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--start") == 0) {
       start = std::strtoull(value("--start"), nullptr, 10);
