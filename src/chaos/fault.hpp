@@ -61,7 +61,20 @@ struct FaultStats {
   std::uint64_t delays = 0;
 };
 
-class FaultInjector {
+/// Anything that can sit behind the bus's fault hook for a chaos pass: the
+/// seeded random FaultInjector below, or the deterministic ScheduleInjector
+/// the systematic explorer drives (chaos/systematic.hpp). The scenario
+/// harness only needs attach + the post-run stats.
+class FaultSource {
+ public:
+  virtual ~FaultSource() = default;
+  /// Installs this source as the bus's fault hook. The source must outlive
+  /// the hook (keep it alongside the Runtime).
+  virtual void attach(bus::Bus& bus) = 0;
+  [[nodiscard]] virtual const FaultStats& stats() const noexcept = 0;
+};
+
+class FaultInjector : public FaultSource {
  public:
   explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
@@ -90,7 +103,7 @@ class FaultInjector {
   /// Installs this injector as the bus's fault hook and adopts the bus's
   /// virtual clock for partition windows. The injector must outlive the bus
   /// hook (keep it alongside the Runtime).
-  void attach(bus::Bus& bus) {
+  void attach(bus::Bus& bus) override {
     sim_ = &bus.simulator();
     bus.set_fault_hook([this](const std::string& src, const std::string& dst) {
       return decide(src, dst);
@@ -101,7 +114,9 @@ class FaultInjector {
   [[nodiscard]] bus::FaultDecision decide(const std::string& src,
                                           const std::string& dst);
 
-  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept override {
+    return stats_;
+  }
 
  private:
   [[nodiscard]] bool partitioned(const std::string& src,

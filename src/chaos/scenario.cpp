@@ -1,5 +1,6 @@
 #include "chaos/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -139,7 +140,7 @@ struct PassResult {
   std::uint64_t hb_events = 0;
 };
 
-PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
+PassResult run_pass(const ScenarioSpec& spec, FaultSource* injector) {
   PassResult pr;
   const AppRoles roles = roles_for(spec.app);
   auto rt_owner = build_app(spec);
@@ -307,8 +308,10 @@ PassResult run_pass(const ScenarioSpec& spec, FaultInjector* injector) {
   return pr;
 }
 
-/// Sets the failure (once) and returns false, for use in check chains.
+/// Records a violation (all are kept; `failure` mirrors the first) and
+/// returns false, for use in check chains.
 bool fail(ScenarioResult& result, const std::string& message) {
+  result.violations.push_back(message);
   if (result.failure.empty()) result.failure = message;
   return false;
 }
@@ -460,16 +463,14 @@ bool check_happens_before(const PassResult& pass, const char* which,
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+ScenarioResult run_scenario_with(const ScenarioSpec& spec, FaultSource& source,
+                                 const std::vector<std::string>* golden) {
   ScenarioResult result;
   result.old_instance = roles_for(spec.app).target;
 
   // Chaos pass first (it is the one under test); golden pass only for the
   // apps with deterministic output.
-  FaultInjector injector(spec.seed);
-  injector.set_default(spec.faults);
-  for (const auto& p : spec.partitions) injector.add_partition(p);
-  PassResult chaos = run_pass(spec, &injector);
+  PassResult chaos = run_pass(spec, &source);
   result.replaced = chaos.replaced;
   result.recovered_forward = chaos.recovered_forward;
   result.abort_reason = chaos.abort_reason;
@@ -477,9 +478,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.attempts = chaos.attempts;
   result.output = chaos.output;
   result.rstats = chaos.rstats;
-  result.fstats = injector.stats();
+  result.fstats = source.stats();
   result.hb_events = chaos.hb_events;
 
+  // Fatal harness failures: the pass never produced a checkable run, so
+  // the invariant checks below would only report noise about its wreckage.
   if (!chaos.vm_fault.empty()) {
     fail(result, "chaos pass: " + chaos.vm_fault);
     return result;
@@ -496,31 +499,73 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     return result;
   }
 
+  // Every invariant is checked even after one fails: a schedule is
+  // described by the full set of invariants it violates, so the sweep,
+  // the systematic explorer, and plan_check report comparable verdicts.
   check_no_loss_no_dup(spec, chaos.output, result);
   check_state_fidelity(chaos, result);
   check_rebind_after_quiescence(chaos, result);
   check_happens_before(chaos, "chaos", result);
   check_consistent_configuration(spec, chaos, result);
-  if (!result.failure.empty()) return result;
 
   if (spec.app != SampleApp::kMonitor) {
-    PassResult golden = run_pass(spec, nullptr);
-    result.golden = golden.output;
-    if (!golden.vm_fault.empty() || !golden.app_done || !golden.replaced) {
-      fail(result, "golden pass failed: " +
-                       (golden.vm_fault.empty() ? golden.abort_reason
-                                                : golden.vm_fault));
-      return result;
+    if (golden != nullptr) {
+      result.golden = *golden;
+    } else {
+      PassResult reference = run_pass(spec, nullptr);
+      result.golden = reference.output;
+      if (!reference.vm_fault.empty() || !reference.app_done ||
+          !reference.replaced) {
+        fail(result, "golden pass failed: " +
+                         (reference.vm_fault.empty() ? reference.abort_reason
+                                                     : reference.vm_fault));
+        return result;
+      }
+      check_happens_before(reference, "golden", result);
     }
-    if (chaos.output != golden.output) {
+    if (chaos.output != result.golden) {
       fail(result, "invariant 4: output (" +
                        std::to_string(chaos.output.size()) +
                        " lines) differs from fault-free golden run (" +
-                       std::to_string(golden.output.size()) + " lines)");
+                       std::to_string(result.golden.size()) + " lines)");
     }
-    check_happens_before(golden, "golden", result);
   }
   return result;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  FaultInjector injector(spec.seed);
+  injector.set_default(spec.faults);
+  for (const auto& p : spec.partitions) injector.add_partition(p);
+  return run_scenario_with(spec, injector);
+}
+
+std::vector<std::string> golden_output(const ScenarioSpec& spec) {
+  PassResult golden = run_pass(spec, nullptr);
+  if (!golden.vm_fault.empty() || !golden.app_done || !golden.replaced) {
+    throw support::Error(
+        "golden pass failed for '" + spec.describe() + "': " +
+        (golden.vm_fault.empty()
+             ? (golden.abort_reason.empty() ? "application did not finish"
+                                            : golden.abort_reason)
+             : golden.vm_fault));
+  }
+  return golden.output;
+}
+
+std::vector<int> violated_invariants(const ScenarioResult& r) {
+  std::vector<int> ids;
+  for (const std::string& v : r.violations) {
+    int id = 0;  // fatal harness failure
+    if (v.rfind("invariant ", 0) == 0 && v.size() > 10) {
+      id = v[10] - '0';
+      if (id < 1 || id > 6) id = 0;
+    }
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
 }
 
 ScenarioSpec random_scenario(std::uint64_t seed) {

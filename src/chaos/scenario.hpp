@@ -83,8 +83,16 @@ struct ScenarioResult {
   /// forward (true) or back (false, with `replaced` false as well).
   bool recovered_forward = false;
   std::string abort_reason;  // ScriptError text when !replaced
-  /// First violated invariant, or empty when the scenario passed.
+  /// First violated invariant, or empty when the scenario passed. Always
+  /// equal to violations.front() (or empty); kept so existing callers and
+  /// failure messages stay stable.
   std::string failure;
+  /// EVERY violated invariant, one message each, in check order -- a run
+  /// that loses a request usually also diverges from the golden output,
+  /// and the checker/explorer diagnostics are only comparable when both
+  /// are reported. Fatal harness failures (VM fault, wedged application,
+  /// bookkeeping leak) stop the pass and appear alone.
+  std::vector<std::string> violations;
   std::string old_instance;
   std::string new_instance;
   int attempts = 0;
@@ -101,6 +109,27 @@ struct ScenarioResult {
 
 /// Runs the golden pass and the chaos pass and checks every invariant.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Same, but with a caller-supplied fault source (the systematic explorer's
+/// deterministic schedules) instead of the spec-seeded random injector, and
+/// optionally a precomputed golden output: when `golden` is non-null the
+/// fault-free reference pass is skipped and invariant 4 compares against
+/// *golden -- the explorer runs thousands of schedules of one spec and
+/// needs the reference only once.
+[[nodiscard]] ScenarioResult run_scenario_with(
+    const ScenarioSpec& spec, FaultSource& source,
+    const std::vector<std::string>* golden = nullptr);
+
+/// The fault-free reference output for a spec (the golden pass, alone).
+/// Throws support::Error if the fault-free run itself cannot complete --
+/// the spec is broken, not the schedule under test.
+[[nodiscard]] std::vector<std::string> golden_output(const ScenarioSpec& spec);
+
+/// Invariant ids named by a result's violations, sorted and deduplicated:
+/// "invariant N: ..." messages yield N; fatal harness failures (VM fault,
+/// wedged application, bookkeeping leak) yield 0. The comparable currency
+/// between the random sweeps, the systematic explorer, and plan_check.
+[[nodiscard]] std::vector<int> violated_invariants(const ScenarioResult& r);
 
 /// Derives a full scenario (app, workload, fault mix, partition, crash)
 /// from a single seed; the sweeps enumerate seeds through this.

@@ -26,6 +26,50 @@ struct Machine {
   Arch arch;
 };
 
+/// Identity of a directed network link, the unit of event independence for
+/// systematic fault-schedule exploration (surgeon::chaos). Two wire events
+/// are *independent* -- injecting faults into them in either order yields
+/// the same execution -- when they ride different directed links, or the
+/// same link at different per-link copy indices: the simulator delivers
+/// each link's copies in a deterministic order, and a fault decision for
+/// copy k neither observes nor perturbs the decision for copy j != k.
+/// Dependent (non-commuting) choices are only ever *alternatives at the
+/// same point* (drop copy k vs. deliver copy k), which an explorer
+/// branches on rather than reorders. The canonical ordering below lets an
+/// explorer enumerate unordered fault *sets* instead of ordered sequences,
+/// pruning every schedule that differs only by a reordering of
+/// independent events.
+struct LinkKey {
+  std::string src;
+  std::string dst;
+
+  [[nodiscard]] bool loopback() const noexcept { return src == dst; }
+  [[nodiscard]] std::string describe() const { return src + "->" + dst; }
+  auto operator<=>(const LinkKey&) const = default;
+};
+
+/// A point in the space of wire events: the `index`-th copy put on `link`
+/// during a deterministic run (0-based, counted per link). The total order
+/// (link, index) is the canonical order used to enumerate commutative
+/// fault sets exactly once.
+struct WirePoint {
+  LinkKey link;
+  std::uint32_t index = 0;
+
+  [[nodiscard]] std::string describe() const {
+    return link.describe() + "#" + std::to_string(index);
+  }
+  auto operator<=>(const WirePoint&) const = default;
+};
+
+/// True when faulting `a` and `b` commutes (see LinkKey): distinct wire
+/// points are always independent; only the same point conflicts with
+/// itself.
+[[nodiscard]] inline bool independent(const WirePoint& a,
+                                      const WirePoint& b) noexcept {
+  return a != b;
+}
+
 /// Network cost model. Delivery latency between two machines; same-machine
 /// messages pay only the local cost.
 struct LatencyModel {

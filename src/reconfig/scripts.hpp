@@ -70,6 +70,11 @@ class ScriptError : public support::Error {
 /// every transaction boundary *before* acting on it, so a coordinator that
 /// crashes mid-script leaves enough on disk for a successor to roll the
 /// replacement forward (post-divulge) or back (pre-divulge).
+///
+/// The boundary sequence is a verified contract: verify's plans carry the
+/// same tags and verify_test pins them against a recording journal, so a
+/// new or reordered boundary must be reflected in verify::shipped_plans()
+/// (where the static checker will prove invariants 1-6 across it).
 class ScriptJournal {
  public:
   virtual ~ScriptJournal() = default;

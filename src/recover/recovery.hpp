@@ -36,6 +36,12 @@ class CoordinatorCrash : public support::Error {
 
 /// Every boundary a replacement script can crash at: the seven Figure 5
 /// steps (the hook fires just before each executes) plus the commit record.
+/// Indices 0..3 precede the divulge watershed (recovery rolls back), 4..7
+/// follow it (recovery rolls forward). The systematic explorer
+/// (chaos::explore) enumerates its crash dimension from this array, and
+/// verify's recovery plans model both directions -- extend the array and
+/// both pick the new boundary up; reordering it changes pinned schedule
+/// identities.
 inline constexpr std::array<const char*, 8> kCrashBoundaries = {
     reconfig::kStepObjCap,  reconfig::kStepCloneRegister,
     reconfig::kStepBindEditPrep, reconfig::kStepObjstateMove,

@@ -1,0 +1,80 @@
+// Static plan checker: symbolic execution of reconfiguration plans.
+//
+// check_plan() walks a verify::Plan over the abstract configuration state,
+// evaluating each primitive's precondition, applying its postcondition
+// (unconditionally, so damage propagates past a failed precondition), and
+// classifying every invariant 1-6 at every step boundary as established,
+// preserved, or violated. The result carries machine-readable diagnostics
+// -- step name, invariant id, counterexample state -- consumed by the
+// tools/plan_check CLI (text and JSON) and pinned by verify_test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/plan.hpp"
+
+namespace surgeon::verify {
+
+/// Names of the six chaos invariants, 1-indexed ([0] unused), as the
+/// checker reports them. Same numbering as chaos/scenario.cpp.
+[[nodiscard]] const char* invariant_name(int id) noexcept;
+
+/// Status of one invariant at one step boundary.
+enum class InvStatus : std::uint8_t {
+  kPreserved,    // held before the step, still holds after
+  kEstablished,  // did not hold before the step, holds after
+  kViolated,     // does not hold after the step
+};
+
+[[nodiscard]] char inv_status_letter(InvStatus s) noexcept;
+
+/// Does invariant `id` (1,2,3,4,6 -- the state predicates) hold in `s`?
+/// Invariant 5 is a transition property; see the checker.
+[[nodiscard]] bool invariant_holds(int id, const AbsState& s);
+
+/// One machine-readable diagnostic: which step broke which invariant, with
+/// the abstract counterexample state at that boundary.
+struct Violation {
+  int step_index = 0;      // 1-based position in the plan
+  std::string step;        // step label
+  int invariant = 0;       // 1-6, or 0 for plan well-formedness
+  std::string kind;        // "precondition" | "boundary" | "outcome"
+  std::string detail;      // human-readable clause
+  std::string state;       // AbsState::describe() counterexample
+};
+
+/// Per-step-boundary report: the state before/after and every invariant's
+/// status. invariants[i] is invariant i+1.
+struct StepReport {
+  int index = 0;  // 1-based
+  Prim prim = Prim::kObjCap;
+  std::string label;
+  bool pre_ok = true;
+  std::array<InvStatus, 6> invariants{};
+  AbsState before;
+  AbsState after;
+};
+
+struct PlanReport {
+  std::string plan;
+  std::string description;
+  bool ok = false;
+  std::vector<StepReport> steps;
+  std::vector<Violation> violations;
+  AbsState end_state;
+
+  /// Stable human-readable table (the plan_check default, golden-pinned).
+  [[nodiscard]] std::string to_text() const;
+  /// Machine-readable diagnostics (plan_check --json).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Symbolically executes `plan` from the initial configuration (old
+/// instance active and bound, no clone) and reports every invariant at
+/// every step boundary plus the declared-outcome check at the end.
+[[nodiscard]] PlanReport check_plan(const Plan& plan);
+
+}  // namespace surgeon::verify

@@ -1,0 +1,516 @@
+#include "verify/plan.hpp"
+
+#include <sstream>
+
+#include "reconfig/scripts.hpp"
+
+namespace surgeon::verify {
+
+const char* old_life_name(OldLife v) noexcept {
+  switch (v) {
+    case OldLife::kActive: return "active";
+    case OldLife::kPassive: return "passive";
+    case OldLife::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+const char* clone_life_name(CloneLife v) noexcept {
+  switch (v) {
+    case CloneLife::kAbsent: return "absent";
+    case CloneLife::kRegistered: return "registered";
+    case CloneLife::kStarted: return "started";
+    case CloneLife::kRestored: return "restored";
+    case CloneLife::kCrashed: return "crashed";
+  }
+  return "?";
+}
+
+std::string AbsState::describe() const {
+  std::ostringstream os;
+  os << "old=" << old_life_name(old_life)
+     << " clone=" << clone_life_name(clone) << " bound="
+     << (bound_to_old ? (bound_to_new ? "both" : "old")
+                      : (bound_to_new ? "new" : "none"))
+     << " streams=" << (streams == StreamOwner::kOld ? "old" : "new")
+     << " divulged=" << (divulged ? 1 : 0)
+     << " durable=" << (state_durable ? 1 : 0)
+     << " delivered=" << (state_delivered ? 1 : 0)
+     << " txn=" << (txn_open ? "open" : committed ? "committed"
+                                    : aborted     ? "aborted"
+                                                  : "none");
+  if (replica != CloneLife::kAbsent || replica_has_state) {
+    os << " replica=" << clone_life_name(replica)
+       << " replica_state=" << (replica_has_state ? 1 : 0);
+  }
+  return os.str();
+}
+
+const char* prim_name(Prim p) noexcept {
+  switch (p) {
+    case Prim::kBeginTxn: return "begin_txn";
+    case Prim::kObjCap: return "obj_cap";
+    case Prim::kRegisterClone: return "register_clone";
+    case Prim::kPrepBindings: return "prep_bindings";
+    case Prim::kSignal: return "signal";
+    case Prim::kPassivate: return "passivate";
+    case Prim::kDivulge: return "divulge";
+    case Prim::kDeliverState: return "deliver_state";
+    case Prim::kRebind: return "rebind";
+    case Prim::kStartClone: return "start_clone";
+    case Prim::kSweepQueues: return "sweep_queues";
+    case Prim::kRemoveOld: return "remove_old";
+    case Prim::kAwaitRestore: return "await_restore";
+    case Prim::kCommit: return "commit";
+    case Prim::kAbortRollback: return "abort_rollback";
+    case Prim::kCloneCrashed: return "clone_crashed";
+    case Prim::kRetrySwap: return "retry_swap";
+    case Prim::kCoordinatorCrash: return "coordinator_crash";
+    case Prim::kRestartFromWal: return "restart_from_wal";
+    case Prim::kRegisterReplica: return "register_replica";
+    case Prim::kDeliverStateReplica: return "deliver_state_replica";
+    case Prim::kBindReplica: return "bind_replica";
+    case Prim::kStartReplica: return "start_replica";
+    case Prim::kAwaitRestoreReplica: return "await_restore_replica";
+  }
+  return "?";
+}
+
+std::vector<PreViolation> precondition(Prim prim, const AbsState& s) {
+  std::vector<PreViolation> v;
+  auto need = [&v](bool ok, int invariant, const char* clause) {
+    if (!ok) v.push_back(PreViolation{invariant, clause});
+  };
+  switch (prim) {
+    case Prim::kBeginTxn:
+      need(!s.txn_open, 0, "a transaction is already open");
+      break;
+    case Prim::kObjCap:
+    case Prim::kPrepBindings:
+      need(s.old_life != OldLife::kRemoved, 0,
+           "the module is already removed");
+      break;
+    case Prim::kRegisterClone:
+      need(s.clone == CloneLife::kAbsent, 6,
+           "a clone is already registered (two replacement instances)");
+      need(s.old_life != OldLife::kRemoved, 0,
+           "the module is already removed");
+      break;
+    case Prim::kSignal:
+    case Prim::kPassivate:
+      need(s.old_life == OldLife::kActive, 0,
+           "the module is not running its main loop");
+      break;
+    case Prim::kDivulge:
+      need(s.old_life == OldLife::kPassive, 3,
+           "divulge requires the module at its reconfiguration point "
+           "(quiescence)");
+      need(!s.divulged, 2, "the state was already captured (double capture "
+                           "would fork the state)");
+      break;
+    case Prim::kDeliverState:
+      need(s.divulged, 2, "only the divulged capture may be delivered");
+      need(s.clone == CloneLife::kRegistered ||
+               s.clone == CloneLife::kStarted,
+           0, "no clone to deliver the state to");
+      break;
+    case Prim::kRebind:
+      need(s.divulged, 3,
+           "rebind before the module divulged (quiescence) routes live "
+           "traffic away from undivulged state");
+      need(s.clone != CloneLife::kAbsent, 1,
+           "bindings must route to a registered instance");
+      need(s.bound_to_old, 0, "bindings were already moved");
+      break;
+    case Prim::kStartClone:
+      need(s.clone == CloneLife::kRegistered, 0,
+           "the clone is not in the registered state");
+      need(s.old_life != OldLife::kActive, 6,
+           "starting the clone while the old instance serves gives two "
+           "live instances");
+      break;
+    case Prim::kSweepQueues:
+      need(s.bound_to_new, 0,
+           "queue sweep runs only after the bindings moved");
+      break;
+    case Prim::kRemoveOld:
+      need(s.old_life != OldLife::kActive, 4,
+           "removing a serving instance loses requests");
+      need(s.old_life != OldLife::kRemoved, 0,
+           "the module is already removed");
+      need(s.divulged, 2,
+           "the state must be captured before its holder is removed");
+      need(s.bound_to_new, 1,
+           "bindings must be off the instance being removed");
+      need(s.state_delivered, 4,
+           "the successor must hold the state before the old is removed");
+      break;
+    case Prim::kAwaitRestore:
+      need(s.clone == CloneLife::kStarted, 0, "the clone is not running");
+      need(s.state_delivered, 2,
+           "nothing to restore: the state was never delivered");
+      break;
+    case Prim::kCommit:
+      need(s.old_life == OldLife::kRemoved, 6,
+           "commit with the old instance still present leaves two "
+           "instances");
+      need(s.clone == CloneLife::kRestored, 4,
+           "commit before the clone restored breaks service continuity");
+      need(s.bound_to_new, 1, "commit with bindings off the clone");
+      break;
+    case Prim::kAbortRollback:
+      need(!s.divulged, 2,
+           "post-divulge rollback discards the captured state (the "
+           "watershed only rolls forward)");
+      need(s.clone == CloneLife::kAbsent ||
+               s.clone == CloneLife::kRegistered,
+           6, "a started clone cannot be silently discarded");
+      break;
+    case Prim::kCloneCrashed:
+      need(s.clone == CloneLife::kRegistered ||
+               s.clone == CloneLife::kStarted,
+           0, "no live clone process to crash");
+      break;
+    case Prim::kRetrySwap:
+      need(s.clone == CloneLife::kCrashed, 0,
+           "retry runs only after the clone crashed");
+      need(s.divulged, 2, "retry re-delivers the divulged capture");
+      need(s.bound_to_new, 1,
+           "the fresh clone adopts the holder's bindings");
+      break;
+    case Prim::kCoordinatorCrash:
+      need(s.txn_open, 0,
+           "only a journaled script survives its coordinator");
+      break;
+    case Prim::kRestartFromWal:
+      need(s.txn_open, 0, "no open transaction to recover");
+      need(!s.divulged || s.state_durable, 2,
+           "roll-forward needs the watershed record durable");
+      break;
+    case Prim::kRegisterReplica:
+      need(s.replica == CloneLife::kAbsent, 0,
+           "a replica is already registered");
+      break;
+    case Prim::kDeliverStateReplica:
+      need(s.divulged, 2, "only the divulged capture may be delivered");
+      need(s.replica == CloneLife::kRegistered ||
+               s.replica == CloneLife::kStarted,
+           0, "no replica to deliver the state to");
+      break;
+    case Prim::kBindReplica:
+      need(s.replica != CloneLife::kAbsent, 1,
+           "bindings must route to a registered replica");
+      break;
+    case Prim::kStartReplica:
+      need(s.replica == CloneLife::kRegistered, 0,
+           "the replica is not in the registered state");
+      need(s.old_life != OldLife::kActive, 6,
+           "starting the replica while the old instance serves gives two "
+           "live instances");
+      break;
+    case Prim::kAwaitRestoreReplica:
+      need(s.replica == CloneLife::kStarted, 0,
+           "the replica is not running");
+      need(s.replica_has_state, 2,
+           "nothing to restore: the state was never delivered");
+      break;
+  }
+  return v;
+}
+
+void apply(Prim prim, AbsState& s, bool journaled) {
+  switch (prim) {
+    case Prim::kBeginTxn:
+      if (journaled) s.txn_open = true;
+      break;
+    case Prim::kObjCap:
+    case Prim::kPrepBindings:
+    case Prim::kSignal:
+    case Prim::kCoordinatorCrash:
+    case Prim::kRestartFromWal:
+    case Prim::kBindReplica:
+      break;  // read-only / marker
+    case Prim::kRegisterClone:
+      s.clone = CloneLife::kRegistered;
+      break;
+    case Prim::kPassivate:
+      s.old_life = OldLife::kPassive;
+      break;
+    case Prim::kDivulge:
+      s.divulged = true;
+      if (journaled) s.state_durable = true;
+      break;
+    case Prim::kDeliverState:
+      s.state_delivered = true;
+      break;
+    case Prim::kRebind:
+      s.bound_to_old = false;
+      s.bound_to_new = true;
+      s.streams = StreamOwner::kNew;
+      break;
+    case Prim::kStartClone:
+      s.clone = CloneLife::kStarted;
+      break;
+    case Prim::kSweepQueues:
+      s.streams = StreamOwner::kNew;
+      break;
+    case Prim::kRemoveOld:
+      s.old_life = OldLife::kRemoved;
+      break;
+    case Prim::kAwaitRestore:
+      s.clone = CloneLife::kRestored;
+      break;
+    case Prim::kCommit:
+      s.committed = true;
+      s.txn_open = false;
+      break;
+    case Prim::kAbortRollback:
+      s.clone = CloneLife::kAbsent;
+      s.aborted = true;
+      s.txn_open = false;
+      break;
+    case Prim::kCloneCrashed:
+      s.clone = CloneLife::kCrashed;
+      s.state_delivered = false;  // the mailbox copy dies with the process
+      break;
+    case Prim::kRetrySwap:
+      s.clone = CloneLife::kStarted;
+      s.state_delivered = true;
+      s.streams = StreamOwner::kNew;
+      break;
+    case Prim::kRegisterReplica:
+      s.replica = CloneLife::kRegistered;
+      break;
+    case Prim::kDeliverStateReplica:
+      s.replica_has_state = true;
+      break;
+    case Prim::kStartReplica:
+      s.replica = CloneLife::kStarted;
+      break;
+    case Prim::kAwaitRestoreReplica:
+      s.replica = CloneLife::kRestored;
+      break;
+  }
+}
+
+std::vector<std::string> Plan::journal_boundaries() const {
+  std::vector<std::string> out;
+  for (const Step& step : steps) {
+    if (!step.journal.empty()) out.push_back(step.journal);
+  }
+  return out;
+}
+
+namespace {
+
+/// The Figure 5 happy path, shared by replace/move/update (they are the
+/// same script parameterized over target machine and program).
+std::vector<Step> figure5_steps() {
+  using reconfig::kStepAdd;
+  using reconfig::kStepBindEditPrep;
+  using reconfig::kStepCloneRegister;
+  using reconfig::kStepCommit;
+  using reconfig::kStepDel;
+  using reconfig::kStepObjCap;
+  using reconfig::kStepObjstateMove;
+  using reconfig::kStepRebind;
+  return {
+      {Prim::kBeginTxn, "begin", "begin"},
+      {Prim::kObjCap, "obj_cap", kStepObjCap},
+      {Prim::kRegisterClone, "clone_register", kStepCloneRegister},
+      {Prim::kPrepBindings, "bind_edit_prep", kStepBindEditPrep},
+      {Prim::kSignal, "objstate_move.signal", kStepObjstateMove},
+      {Prim::kPassivate, "objstate_move.passivate", ""},
+      {Prim::kDivulge, "objstate_move.divulge", ""},
+      {Prim::kDeliverState, "objstate_move.deliver", ""},
+      {Prim::kRebind, "rebind", kStepRebind},
+      {Prim::kStartClone, "add", kStepAdd},
+      {Prim::kSweepQueues, "del.drain", kStepDel},
+      {Prim::kRemoveOld, "del.remove", ""},
+      {Prim::kAwaitRestore, "restore", ""},
+      {Prim::kCommit, "commit", kStepCommit},
+  };
+}
+
+}  // namespace
+
+Plan plan_replace() {
+  return Plan{"replace",
+              "Figure 5 replacement: divulge, move state, rebind, swap "
+              "instances (reconfig::replace_module)",
+              /*journaled=*/true, Outcome::kCommitted, figure5_steps()};
+}
+
+Plan plan_move() {
+  Plan p = plan_replace();
+  p.name = "move";
+  p.description =
+      "process migration: the Figure 5 script with the same program on "
+      "another machine (reconfig::move_module)";
+  return p;
+}
+
+Plan plan_update() {
+  Plan p = plan_replace();
+  p.name = "update";
+  p.description =
+      "software maintenance: the Figure 5 script with a new program "
+      "version in place (reconfig::update_module)";
+  return p;
+}
+
+Plan plan_abort_divulge_timeout() {
+  Plan p;
+  p.name = "abort_divulge_timeout";
+  p.description =
+      "divulge timeout: the module never complied, everything rolls back "
+      "and the old instance keeps serving (reconfig::replace_module abort "
+      "path)";
+  p.journaled = true;
+  p.outcome = Outcome::kAborted;
+  p.steps = {
+      {Prim::kBeginTxn, "begin", "begin"},
+      {Prim::kObjCap, "obj_cap", reconfig::kStepObjCap},
+      {Prim::kRegisterClone, "clone_register", reconfig::kStepCloneRegister},
+      {Prim::kPrepBindings, "bind_edit_prep", reconfig::kStepBindEditPrep},
+      {Prim::kSignal, "objstate_move.signal", reconfig::kStepObjstateMove},
+      {Prim::kAbortRollback, "abort", "abort"},
+  };
+  return p;
+}
+
+Plan plan_retry_reinstall() {
+  Plan p = plan_replace();
+  p.name = "retry_reinstall";
+  p.description =
+      "post-divulge retry chain: the clone crashes while restoring; a "
+      "fresh clone adopts bindings, queues, and the saved state "
+      "(reconfig::replace_module, max_attempts > 1)";
+  // The crash lands during the first await; the retry replaces it.
+  p.steps.pop_back();  // commit
+  p.steps.pop_back();  // the successful await_restore
+  p.steps.push_back({Prim::kCloneCrashed, "clone_crash", ""});
+  p.steps.push_back({Prim::kRetrySwap, "retry_swap", ""});
+  p.steps.push_back({Prim::kAwaitRestore, "restore", ""});
+  p.steps.push_back({Prim::kCommit, "commit", reconfig::kStepCommit});
+  return p;
+}
+
+Plan plan_recover_rollback() {
+  Plan p;
+  p.name = "recover_rollback";
+  p.description =
+      "coordinator dies before the watershed; the successor scans the WAL, "
+      "removes the clone, and the old instance keeps serving "
+      "(recover::recover_coordinator)";
+  p.journaled = true;
+  p.outcome = Outcome::kAborted;
+  p.steps = {
+      {Prim::kBeginTxn, "begin", "begin"},
+      {Prim::kObjCap, "obj_cap", reconfig::kStepObjCap},
+      {Prim::kRegisterClone, "clone_register", reconfig::kStepCloneRegister},
+      {Prim::kPrepBindings, "bind_edit_prep", reconfig::kStepBindEditPrep},
+      {Prim::kCoordinatorCrash, "crash", ""},
+      {Prim::kRestartFromWal, "recover.scan", ""},
+      {Prim::kAbortRollback, "recover.rollback", "abort"},
+  };
+  return p;
+}
+
+Plan plan_recover_rollforward() {
+  Plan p;
+  p.name = "recover_rollforward";
+  p.description =
+      "coordinator dies after the watershed; the successor finishes the "
+      "script from the WAL: re-deliver, rebind remnants, start, retire "
+      "(recover::recover_coordinator)";
+  p.journaled = true;
+  p.outcome = Outcome::kCommitted;
+  p.steps = {
+      {Prim::kBeginTxn, "begin", "begin"},
+      {Prim::kObjCap, "obj_cap", reconfig::kStepObjCap},
+      {Prim::kRegisterClone, "clone_register", reconfig::kStepCloneRegister},
+      {Prim::kPrepBindings, "bind_edit_prep", reconfig::kStepBindEditPrep},
+      {Prim::kSignal, "objstate_move.signal", reconfig::kStepObjstateMove},
+      {Prim::kPassivate, "objstate_move.passivate", ""},
+      {Prim::kDivulge, "objstate_move.divulge", ""},
+      {Prim::kDeliverState, "objstate_move.deliver", ""},
+      {Prim::kRebind, "rebind", reconfig::kStepRebind},
+      {Prim::kCoordinatorCrash, "crash", ""},
+      {Prim::kRestartFromWal, "recover.scan", ""},
+      {Prim::kDeliverState, "recover.redeliver", ""},
+      {Prim::kSweepQueues, "recover.sweep", ""},
+      {Prim::kStartClone, "recover.add", ""},
+      {Prim::kRemoveOld, "recover.del", ""},
+      {Prim::kAwaitRestore, "recover.restore", ""},
+      {Prim::kCommit, "recover.commit", reconfig::kStepCommit},
+  };
+  return p;
+}
+
+Plan plan_replicate() {
+  Plan p;
+  p.name = "replicate";
+  p.description =
+      "replication: divulge once, install the state in a replacing clone "
+      "AND a fresh replica (reconfig::replicate_module, unjournaled)";
+  p.journaled = false;
+  p.outcome = Outcome::kCommitted;
+  p.steps = {
+      {Prim::kObjCap, "obj_cap", ""},
+      {Prim::kRegisterClone, "clone_register", ""},
+      {Prim::kRegisterReplica, "replica_register", ""},
+      {Prim::kSignal, "objstate_move.signal", ""},
+      {Prim::kPassivate, "objstate_move.passivate", ""},
+      {Prim::kDivulge, "objstate_move.divulge", ""},
+      {Prim::kDeliverState, "deliver_primary", ""},
+      {Prim::kDeliverStateReplica, "deliver_replica", ""},
+      {Prim::kRebind, "rebind", ""},
+      {Prim::kBindReplica, "bind_replica", ""},
+      {Prim::kStartClone, "add_primary", ""},
+      {Prim::kStartReplica, "add_replica", ""},
+      {Prim::kSweepQueues, "sweep", ""},
+      {Prim::kRemoveOld, "del", ""},
+      {Prim::kAwaitRestore, "restore_primary", ""},
+      {Prim::kAwaitRestoreReplica, "restore_replica", ""},
+      {Prim::kCommit, "done", ""},
+  };
+  return p;
+}
+
+std::vector<Plan> shipped_plans() {
+  return {plan_replace(),
+          plan_move(),
+          plan_update(),
+          plan_abort_divulge_timeout(),
+          plan_retry_reinstall(),
+          plan_recover_rollback(),
+          plan_recover_rollforward(),
+          plan_replicate()};
+}
+
+Plan plan_broken_rebind_before_divulge() {
+  Plan p = plan_replace();
+  p.name = "broken_rebind_before_divulge";
+  p.description =
+      "SEEDED BROKEN PLAN: the rebind runs before the module divulged -- "
+      "invariant 3 must flag it (checker self-test, not shipped)";
+  // Move the rebind step from after the objstate_move block to before it.
+  Step rebind;
+  for (auto it = p.steps.begin(); it != p.steps.end(); ++it) {
+    if (it->prim == Prim::kRebind) {
+      rebind = *it;
+      p.steps.erase(it);
+      break;
+    }
+  }
+  for (auto it = p.steps.begin(); it != p.steps.end(); ++it) {
+    if (it->prim == Prim::kSignal) {
+      p.steps.insert(it, rebind);
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace surgeon::verify

@@ -332,34 +332,11 @@ TEST(Recovery, StateRedeliveredFromWalWhenMailboxLost) {
   cr.rt->check_faults();
 }
 
-// --- every Figure 5 boundary, through the chaos harness ---------------------
-
-// Index into recover::kCrashBoundaries; 0..3 precede the divulge watershed
-// (roll back), 4..7 follow it (roll forward).
-class BoundarySweep : public ::testing::TestWithParam<int> {};
-
-TEST_P(BoundarySweep, FaultFreeCounterConverges) {
-  const int boundary = GetParam();
-  chaos::ScenarioSpec spec;
-  spec.seed = 9;
-  spec.app = chaos::SampleApp::kCounter;
-  spec.work_items = 8;
-  spec.crash_coordinator_at_step = boundary;
-  spec.replace_after_outputs = 2;
-  chaos::ScenarioResult r = chaos::run_scenario(spec);
-  ASSERT_TRUE(r.ok()) << r.failure << "\n  replay: " << spec.describe();
-  if (boundary >= 4) {
-    EXPECT_TRUE(r.replaced) << r.abort_reason;
-    EXPECT_TRUE(r.recovered_forward);
-  } else {
-    EXPECT_FALSE(r.replaced);
-    EXPECT_FALSE(r.recovered_forward);
-    EXPECT_NE(r.abort_reason.find("coordinator crashed"), std::string::npos);
-  }
-  EXPECT_EQ(r.output, r.golden);
-}
-
-INSTANTIATE_TEST_SUITE_P(Boundaries, BoundarySweep, ::testing::Range(0, 8));
+// The per-boundary fault-free crash sweep that used to live here (the
+// hand-rolled BoundarySweep over Range(0, 8)) was promoted into the
+// systematic explorer: systematic_test's BoundariesPromoted enumerates the
+// same eight coordinator-crash boundaries through chaos::explore, which
+// derives them from recover::kCrashBoundaries instead of a hand-kept list.
 
 // ISSUE acceptance: the coordinator is killed at every step boundary across
 // 25 randomized scenarios (faults, partitions, all three apps) -- 200 runs.

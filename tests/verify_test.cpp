@@ -1,0 +1,337 @@
+// Unit tests for surgeon::verify: the primitives' pre/postconditions, the
+// static plan checker over every shipped script, the seeded broken plan
+// (rebind before divulge -> invariant 3), the golden-pinned plan_check
+// diagnostics, and the journal-boundary conformance that ties each plan to
+// the real script it models.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
+#include "reconfig/scripts.hpp"
+#include "verify/checker.hpp"
+#include "verify/plan.hpp"
+
+namespace surgeon::verify {
+namespace {
+
+AbsState at_divulged() {
+  AbsState s;
+  s.old_life = OldLife::kPassive;
+  s.clone = CloneLife::kRegistered;
+  s.divulged = true;
+  s.state_durable = true;
+  s.txn_open = true;
+  return s;
+}
+
+bool violates(const std::vector<PreViolation>& v, int invariant) {
+  for (const PreViolation& pv : v) {
+    if (pv.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// --- primitive preconditions ------------------------------------------------
+
+TEST(Primitives, InitialStateSatisfiesEveryInvariant) {
+  const AbsState s;
+  for (int inv : {1, 2, 3, 4, 6}) {
+    EXPECT_TRUE(invariant_holds(inv, s)) << "invariant " << inv;
+  }
+}
+
+TEST(Primitives, EveryPrimHasAName) {
+  for (Prim p : kAllPrims) {
+    EXPECT_STRNE(prim_name(p), "?");
+  }
+}
+
+TEST(Primitives, RegisterCloneRejectsASecondClone) {
+  AbsState s;
+  EXPECT_TRUE(precondition(Prim::kRegisterClone, s).empty());
+  s.clone = CloneLife::kRegistered;
+  EXPECT_TRUE(violates(precondition(Prim::kRegisterClone, s), 6));
+}
+
+TEST(Primitives, DivulgeRequiresQuiescenceAndSingleCapture) {
+  AbsState s;  // still active
+  EXPECT_TRUE(violates(precondition(Prim::kDivulge, s), 3));
+  s.old_life = OldLife::kPassive;
+  EXPECT_TRUE(precondition(Prim::kDivulge, s).empty());
+  s.divulged = true;
+  EXPECT_TRUE(violates(precondition(Prim::kDivulge, s), 2));
+}
+
+TEST(Primitives, RebindRequiresTheWatershed) {
+  AbsState s;
+  s.clone = CloneLife::kRegistered;
+  EXPECT_TRUE(violates(precondition(Prim::kRebind, s), 3));
+  AbsState d = at_divulged();
+  EXPECT_TRUE(precondition(Prim::kRebind, d).empty());
+  d.clone = CloneLife::kAbsent;
+  EXPECT_TRUE(violates(precondition(Prim::kRebind, d), 1));
+}
+
+TEST(Primitives, StartCloneRejectsTwoLiveInstances) {
+  AbsState s;
+  s.clone = CloneLife::kRegistered;
+  EXPECT_TRUE(violates(precondition(Prim::kStartClone, s), 6));
+  s.old_life = OldLife::kPassive;
+  EXPECT_TRUE(precondition(Prim::kStartClone, s).empty());
+}
+
+TEST(Primitives, RemoveOldGuardsContinuity) {
+  AbsState s;  // active, bound to old, nothing captured
+  auto v = precondition(Prim::kRemoveOld, s);
+  EXPECT_TRUE(violates(v, 4));  // removing a serving instance
+  EXPECT_TRUE(violates(v, 1));  // bindings still on it
+  EXPECT_TRUE(violates(v, 2));  // state never captured
+  AbsState d = at_divulged();
+  d.bound_to_old = false;
+  d.bound_to_new = true;
+  d.streams = StreamOwner::kNew;
+  d.clone = CloneLife::kStarted;
+  d.state_delivered = true;
+  EXPECT_TRUE(precondition(Prim::kRemoveOld, d).empty());
+}
+
+TEST(Primitives, AbortRollbackOnlyBeforeTheWatershed) {
+  AbsState s;
+  s.clone = CloneLife::kRegistered;
+  s.txn_open = true;
+  EXPECT_TRUE(precondition(Prim::kAbortRollback, s).empty());
+  EXPECT_TRUE(violates(precondition(Prim::kAbortRollback, at_divulged()), 2));
+}
+
+TEST(Primitives, CommitRequiresTheFinishedConfiguration) {
+  AbsState s = at_divulged();
+  auto v = precondition(Prim::kCommit, s);
+  EXPECT_TRUE(violates(v, 6));  // old still present
+  EXPECT_TRUE(violates(v, 4));  // clone not restored
+  EXPECT_TRUE(violates(v, 1));  // bindings not moved
+  s.old_life = OldLife::kRemoved;
+  s.clone = CloneLife::kRestored;
+  s.bound_to_old = false;
+  s.bound_to_new = true;
+  s.state_delivered = true;
+  EXPECT_TRUE(precondition(Prim::kCommit, s).empty());
+}
+
+TEST(Primitives, RestartFromWalNeedsTheDurableWatershed) {
+  AbsState s = at_divulged();
+  EXPECT_TRUE(precondition(Prim::kRestartFromWal, s).empty());
+  s.state_durable = false;  // unjournaled divulge cannot roll forward
+  EXPECT_TRUE(violates(precondition(Prim::kRestartFromWal, s), 2));
+}
+
+// --- primitive postconditions -----------------------------------------------
+
+TEST(Primitives, ApplyTransformsTheAbstractState) {
+  AbsState s;
+  apply(Prim::kBeginTxn, s, /*journaled=*/true);
+  EXPECT_TRUE(s.txn_open);
+  apply(Prim::kRegisterClone, s, true);
+  EXPECT_EQ(s.clone, CloneLife::kRegistered);
+  apply(Prim::kPassivate, s, true);
+  EXPECT_EQ(s.old_life, OldLife::kPassive);
+  apply(Prim::kDivulge, s, true);
+  EXPECT_TRUE(s.divulged);
+  EXPECT_TRUE(s.state_durable);  // journaled: the watershed is durable
+  apply(Prim::kRebind, s, true);
+  EXPECT_FALSE(s.bound_to_old);
+  EXPECT_TRUE(s.bound_to_new);
+  EXPECT_EQ(s.streams, StreamOwner::kNew);
+}
+
+TEST(Primitives, UnjournaledDivulgeIsNotDurable) {
+  AbsState s;
+  s.old_life = OldLife::kPassive;
+  apply(Prim::kDivulge, s, /*journaled=*/false);
+  EXPECT_TRUE(s.divulged);
+  EXPECT_FALSE(s.state_durable);
+}
+
+TEST(Primitives, CloneCrashLosesTheMailboxCopyAndRetryRestoresIt) {
+  AbsState s = at_divulged();
+  s.clone = CloneLife::kStarted;
+  s.state_delivered = true;
+  s.bound_to_old = false;
+  s.bound_to_new = true;
+  apply(Prim::kCloneCrashed, s, true);
+  EXPECT_EQ(s.clone, CloneLife::kCrashed);
+  EXPECT_FALSE(s.state_delivered);
+  EXPECT_TRUE(precondition(Prim::kRetrySwap, s).empty());
+  apply(Prim::kRetrySwap, s, true);
+  EXPECT_EQ(s.clone, CloneLife::kStarted);
+  EXPECT_TRUE(s.state_delivered);
+}
+
+TEST(Primitives, AbortRestoresThePreScriptConfiguration) {
+  AbsState s;
+  s.txn_open = true;
+  s.clone = CloneLife::kRegistered;
+  apply(Prim::kAbortRollback, s, true);
+  EXPECT_TRUE(s.aborted);
+  EXPECT_FALSE(s.txn_open);
+  EXPECT_EQ(s.clone, CloneLife::kAbsent);
+  EXPECT_EQ(s.old_life, OldLife::kActive);
+  EXPECT_TRUE(s.bound_to_old);
+  EXPECT_TRUE(invariant_holds(4, s));
+}
+
+// --- the checker over shipped plans -----------------------------------------
+
+TEST(Checker, EveryShippedPlanPasses) {
+  for (const Plan& plan : shipped_plans()) {
+    const PlanReport report = check_plan(plan);
+    EXPECT_TRUE(report.ok) << plan.name << ":\n" << report.to_text();
+    EXPECT_EQ(report.steps.size(), plan.steps.size());
+    EXPECT_TRUE(report.violations.empty());
+    if (plan.outcome == Outcome::kCommitted) {
+      EXPECT_TRUE(report.end_state.committed) << plan.name;
+    } else {
+      EXPECT_TRUE(report.end_state.aborted) << plan.name;
+    }
+  }
+}
+
+TEST(Checker, ShippedPlanCountAndNamesAreStable) {
+  const std::vector<Plan> plans = shipped_plans();
+  ASSERT_EQ(plans.size(), 8u);
+  EXPECT_EQ(plans[0].name, "replace");
+  EXPECT_EQ(plans[5].name, "recover_rollback");
+  EXPECT_EQ(plans[6].name, "recover_rollforward");
+}
+
+TEST(Checker, EstablishedStatusAppearsWhereAnInvariantFlipsOn) {
+  // In the broken plan invariant 3 is violated at the early rebind and
+  // then ESTABLISHED by the later divulge -- all three statuses occur.
+  const PlanReport report = check_plan(plan_broken_rebind_before_divulge());
+  bool saw_violated = false;
+  bool saw_established = false;
+  for (const StepReport& sr : report.steps) {
+    if (sr.invariants[2] == InvStatus::kViolated) saw_violated = true;
+    if (sr.invariants[2] == InvStatus::kEstablished) saw_established = true;
+  }
+  EXPECT_TRUE(saw_violated);
+  EXPECT_TRUE(saw_established);
+}
+
+TEST(Checker, BrokenPlanFailsWithInvariant3) {
+  const PlanReport report = check_plan(plan_broken_rebind_before_divulge());
+  EXPECT_FALSE(report.ok);
+  // The machine-readable diagnostic names the step, the invariant id, and
+  // carries the counterexample state.
+  bool pre_hit = false;
+  bool boundary_hit = false;
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.invariant, 3) << v.kind << ": " << v.detail;
+    if (v.kind == "precondition" && v.step == "rebind") pre_hit = true;
+    if (v.kind == "boundary" && v.step == "rebind") boundary_hit = true;
+    EXPECT_FALSE(v.state.empty());
+  }
+  EXPECT_TRUE(pre_hit) << report.to_text();
+  EXPECT_TRUE(boundary_hit) << report.to_text();
+  EXPECT_NE(report.to_json().find("\"invariant\":3"), std::string::npos);
+}
+
+TEST(Checker, JsonIsWellFormedEnoughForTheCiGate) {
+  const PlanReport report = check_plan(plan_replace());
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"plan\":\"replace\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":[]"), std::string::npos);
+}
+
+// --- golden-pinned diagnostics ----------------------------------------------
+
+TEST(Checker, PlanCheckOutputMatchesGolden) {
+  std::ostringstream got;
+  const std::vector<Plan> plans = shipped_plans();
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (i != 0) got << "\n";
+    got << check_plan(plans[i]).to_text();
+  }
+  std::ifstream in(std::string(SURGEON_GOLDEN_DIR) + "/plan_check.txt");
+  ASSERT_TRUE(in.good()) << "tests/golden/plan_check.txt missing";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got.str(), want.str())
+      << "plan_check diagnostics drifted; regenerate tests/golden/"
+         "plan_check.txt from `tools/plan_check` if the change is intended";
+}
+
+// --- journal-boundary conformance: plans pinned to the real scripts ---------
+
+/// Records the transaction-boundary sequence a script reports, in the same
+/// currency as Plan::journal_boundaries().
+class RecordingJournal : public reconfig::ScriptJournal {
+ public:
+  void begin(const std::string&, const std::string&,
+             const std::string&) override {
+    boundaries.push_back("begin");
+  }
+  void intent(const char* step) override { boundaries.push_back(step); }
+  void divulged(const std::vector<std::uint8_t>&) override {
+    divulge_records += 1;
+  }
+  void committed() override { committed_records += 1; }
+  void aborted(const std::string&) override {
+    boundaries.push_back("abort");
+  }
+
+  std::vector<std::string> boundaries;
+  int divulge_records = 0;
+  int committed_records = 0;
+};
+
+std::unique_ptr<app::Runtime> make_counter(int requests = 8) {
+  auto rt = std::make_unique<app::Runtime>(2);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter", [&](const cfg::ModuleSpec& spec) {
+    if (spec.name == "client") {
+      return app::samples::counter_client_source(requests);
+    }
+    return app::samples::counter_server_source();
+  });
+  return rt;
+}
+
+TEST(Conformance, ReplacePlanMatchesTheScriptsJournalBoundaries) {
+  auto rt = make_counter();
+  RecordingJournal journal;
+  reconfig::ReplaceOptions options;
+  options.journal = &journal;
+  (void)reconfig::replace_module(*rt, "server", options);
+  EXPECT_EQ(journal.boundaries, plan_replace().journal_boundaries());
+  EXPECT_EQ(journal.divulge_records, 1);
+  EXPECT_EQ(journal.committed_records, 1);
+}
+
+TEST(Conformance, AbortPlanMatchesTheDivulgeTimeoutPath) {
+  // The client has no reconfiguration points: the script signals, waits,
+  // times out, and rolls back -- the abort_divulge_timeout plan.
+  auto rt = make_counter();
+  RecordingJournal journal;
+  reconfig::ReplaceOptions options;
+  options.journal = &journal;
+  options.divulge_timeout_us = 50'000;
+  EXPECT_THROW((void)reconfig::replace_module(*rt, "client", options),
+               reconfig::ScriptError);
+  EXPECT_EQ(journal.boundaries,
+            plan_abort_divulge_timeout().journal_boundaries());
+  EXPECT_EQ(journal.divulge_records, 0);
+  EXPECT_EQ(journal.committed_records, 0);
+}
+
+}  // namespace
+}  // namespace surgeon::verify

@@ -14,6 +14,14 @@
 //   flight_recorder.txt   the per-machine causal journals of a fresh run
 //                         of the same seed, dumped via the flight recorder.
 //
+// With --systematic the random seed sweep is replaced by the bounded
+// DPOR-style exploration of chaos::explore: every schedule of coordinator
+// crash point x dropped wire copies x partition window (up to --max-drops)
+// runs exactly once, schedules differing only by reorderings of
+// independent wire events are pruned, and every explored schedule is
+// checked against all six invariants. Failing schedules are written to
+// --artifacts/failing_schedules.txt.
+//
 // Exit status: 0 = every seed passed, 1 = a seed failed (artifacts
 // written), 2 = bad usage.
 #include <cstdint>
@@ -23,9 +31,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "app/runtime.hpp"
 #include "chaos/scenario.hpp"
+#include "chaos/systematic.hpp"
 #include "trace/recorder.hpp"
 
 namespace {
@@ -46,6 +56,15 @@ void print_usage(const char* argv0, std::ostream& os) {
         "                         (default chaos-artifacts)\n"
         "  --dump-seed S          replay one seed and print its\n"
         "                         flight recorder to stdout\n"
+        "  --systematic           bounded exhaustive schedule exploration\n"
+        "                         instead of random seeds\n"
+        "  --max-drops N          (systematic) dropped-wire-copy bound per\n"
+        "                         schedule (default 1)\n"
+        "  --work-items N         (systematic) workload size (default 4)\n"
+        "  --partition-windows N  (systematic) enumerate N vax<->sparc\n"
+        "                         partition windows (default 0)\n"
+        "  --max-schedules N      (systematic) safety valve"
+        " (default 250000)\n"
         "  --help                 print this message and exit\n"
         "\n"
         "exit status: 0 = every seed passed its invariants,\n"
@@ -95,8 +114,10 @@ int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
   std::filesystem::create_directories(dir, ec);
   {
     std::ofstream out(dir + "/failing_seed.txt");
-    out << spec.describe() << "\n\n"
-        << "violated: " << result.failure << "\n";
+    out << spec.describe() << "\n\n";
+    for (const std::string& violation : result.violations) {
+      out << "violated: " << violation << "\n";
+    }
     if (!result.abort_reason.empty()) {
       out << "abort_reason: " << result.abort_reason << "\n";
     }
@@ -111,8 +132,65 @@ int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
     std::ofstream out(dir + "/flight_recorder.txt");
     dump_flight_recorder(spec, out);
   }
-  std::cerr << "FAIL " << spec.describe() << "\n     " << result.failure
-            << "\n     artifacts in " << dir << "/\n";
+  std::cerr << "FAIL " << spec.describe() << "\n";
+  for (const std::string& violation : result.violations) {
+    std::cerr << "     " << violation << "\n";
+  }
+  std::cerr << "     artifacts in " << dir << "/\n";
+  return 1;
+}
+
+int run_systematic(int max_drops, int work_items, int partition_windows,
+                   std::uint64_t max_schedules,
+                   const std::string& artifacts) {
+  surgeon::chaos::SystematicOptions options;
+  options.max_drops = max_drops;
+  options.work_items = work_items;
+  options.max_schedules = max_schedules;
+  options.target_machine = "sparc";  // replacement traffic crosses the wire
+  for (int w = 0; w < partition_windows; ++w) {
+    // Staggered vax<->sparc cuts, each healing well inside the script's
+    // divulge/restore timeouts so the exploration keeps reaching commits.
+    const surgeon::net::SimTime from =
+        100'000 + 400'000 * static_cast<surgeon::net::SimTime>(w);
+    options.partition_windows.push_back(
+        surgeon::chaos::Partition{"vax", "sparc", from, from + 600'000});
+  }
+
+  const surgeon::chaos::SystematicResult result =
+      surgeon::chaos::explore(options);
+  std::cout << "systematic: " << result.schedules_explored
+            << " schedules explored, " << result.schedules_pruned
+            << " reorderings pruned, " << result.points_disabled
+            << " disabled extensions skipped, "
+            << result.wire_points_discovered << " wire points, "
+            << result.crash_boundaries_covered.size()
+            << " crash boundaries" << (result.truncated ? " [TRUNCATED]" : "")
+            << "\n";
+  if (result.ok() && !result.truncated) {
+    std::cout << "PASS systematic exploration (0 violating schedules)\n";
+    return 0;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(artifacts, ec);
+  std::ofstream out(artifacts + "/failing_schedules.txt");
+  if (result.truncated) {
+    out << "TRUNCATED at " << result.schedules_explored
+        << " schedules (--max-schedules)\n\n";
+  }
+  for (const surgeon::chaos::ScheduleOutcome& failure : result.failures) {
+    out << failure.schedule.describe() << "\n";
+    for (const std::string& violation : failure.violations) {
+      out << "  violated: " << violation << "\n";
+    }
+  }
+  std::cerr << "FAIL systematic exploration: " << result.failures.size()
+            << " violating schedules"
+            << (result.truncated ? " (and truncated)" : "")
+            << "; artifacts in " << artifacts << "/\n";
+  for (std::size_t i = 0; i < result.failures.size() && i < 5; ++i) {
+    std::cerr << "     " << result.failures[i].schedule.describe() << "\n";
+  }
   return 1;
 }
 
@@ -123,6 +201,11 @@ int main(int argc, char** argv) {
   std::uint64_t start = 1;
   std::uint64_t coordinator_every = 4;
   std::string artifacts = "chaos-artifacts";
+  bool systematic = false;
+  int max_drops = 1;
+  int work_items = 4;
+  int partition_windows = 0;
+  std::uint64_t max_schedules = 250'000;
 
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
@@ -145,6 +228,20 @@ int main(int argc, char** argv) {
           std::strtoull(value("--coordinator-every"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--artifacts") == 0) {
       artifacts = value("--artifacts");
+    } else if (std::strcmp(argv[i], "--systematic") == 0) {
+      systematic = true;
+    } else if (std::strcmp(argv[i], "--max-drops") == 0) {
+      max_drops = static_cast<int>(std::strtol(value("--max-drops"),
+                                               nullptr, 10));
+    } else if (std::strcmp(argv[i], "--work-items") == 0) {
+      work_items = static_cast<int>(std::strtol(value("--work-items"),
+                                                nullptr, 10));
+    } else if (std::strcmp(argv[i], "--partition-windows") == 0) {
+      partition_windows = static_cast<int>(
+          std::strtol(value("--partition-windows"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-schedules") == 0) {
+      max_schedules =
+          std::strtoull(value("--max-schedules"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--dump-seed") == 0) {
       const std::uint64_t seed =
           std::strtoull(value("--dump-seed"), nullptr, 10);
@@ -153,6 +250,11 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (systematic) {
+    return run_systematic(max_drops, work_items, partition_windows,
+                          max_schedules, artifacts);
   }
 
   std::uint64_t coordinator_kills = 0;
