@@ -4,9 +4,13 @@
 #include <memory>
 #include <string>
 
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "cfg/parser.hpp"
 #include "cfg/spec.hpp"
 #include "minic/parser.hpp"
 #include "minic/sema.hpp"
+#include "net/arch.hpp"
 #include "vm/compiler.hpp"
 #include "vm/machine.hpp"
 #include "xform/transform.hpp"
@@ -37,6 +41,96 @@ inline void run_to_done(vm::Machine& m) {
                            vm::run_state_name(r.state) + " " +
                            m.fault_message());
   }
+}
+
+// --- shared application topologies -----------------------------------------
+//
+// Every bench that exercises reconfiguration needs the same two deployments:
+// the pipeline (feeder -> filter -> sink across vax/sparc) and the counter
+// (client <-> server RPC). The runtime/topology boilerplate used to be
+// copied per bench; these builders are the single source.
+
+/// The pipeline application with a bursty feeder: `items` items in 10-item
+/// bursts separated by a sleep, so a replacement fired a couple of items
+/// into a burst finds the rest queued at (or in flight toward) the filter.
+inline std::unique_ptr<app::Runtime> make_bursty_pipeline(
+    int items, std::uint64_t seed = 5) {
+  auto rt = std::make_unique<app::Runtime>(seed);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  rt->enable_metrics();
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::pipeline_config_text());
+  rt->load_application(
+      config, "pipeline", [&](const cfg::ModuleSpec& spec) -> std::string {
+        if (spec.name == "feeder") {
+          return R"(
+void main() {
+  int i;
+  i = 1;
+  while (i <= )" + std::to_string(items) + R"() {
+    mh_write("out", "i", i);
+    if (i % 10 == 0) { sleep(2); }
+    i = i + 1;
+  }
+  print("feeder-done");
+}
+)";
+        }
+        if (spec.name == "filter") {
+          return app::samples::pipeline_filter_source();
+        }
+        return app::samples::pipeline_sink_source();
+      });
+  rt->set_slice(60);  // coarse slices keep the burst queued, not drained
+  return rt;
+}
+
+/// The stock counter client paces itself with one-second sleeps -- fine for
+/// the functional tests, but a steady-state number wants a loaded server,
+/// not an idle one. This client keeps a request in flight back to back.
+inline std::string busy_client_source(int requests) {
+  return R"mc(
+void main()
+{
+  int i;
+  int reply;
+  i = 1;
+  while (i <= )mc" +
+         std::to_string(requests) + R"mc() {
+    mh_write("svc", "i", 2);
+    mh_read("svc", "i", &reply);
+    i = i + 1;
+  }
+  print("client-done");
+}
+)mc";
+}
+
+struct CounterOptions {
+  std::uint64_t seed = 3;
+  bool metrics = false;
+  bool busy_client = false;  // back-to-back client instead of the paced one
+};
+
+/// The counter application (client on vax, server on sparc).
+inline std::unique_ptr<app::Runtime> make_counter(
+    int requests, const CounterOptions& options = {}) {
+  auto rt = std::make_unique<app::Runtime>(options.seed);
+  rt->add_machine("vax", net::arch_vax());
+  rt->add_machine("sparc", net::arch_sparc());
+  if (options.metrics) rt->enable_metrics();
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::counter_config_text());
+  rt->load_application(config, "counter", [&](const cfg::ModuleSpec& spec) {
+    if (spec.name == "client") {
+      return options.busy_client
+                 ? busy_client_source(requests)
+                 : app::samples::counter_client_source(requests);
+    }
+    return app::samples::counter_server_source();
+  });
+  return rt;
 }
 
 }  // namespace surgeon::benchsupport

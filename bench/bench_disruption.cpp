@@ -35,9 +35,7 @@
 #include <string>
 
 #include "app/runtime.hpp"
-#include "app/samples.hpp"
-#include "cfg/parser.hpp"
-#include "net/arch.hpp"
+#include "bench_common.hpp"
 #include "obs/metrics.hpp"
 #include "profile/profiler.hpp"
 #include "reconfig/scripts.hpp"
@@ -46,58 +44,6 @@ namespace {
 
 using namespace surgeon;
 
-// The bursty pipeline: 10-item bursts with a pause, so a replacement two
-// items into a burst finds the rest queued behind the filter.
-std::unique_ptr<app::Runtime> make_pipeline(int items) {
-  auto rt = std::make_unique<app::Runtime>(5);
-  rt->add_machine("vax", net::arch_vax());
-  rt->add_machine("sparc", net::arch_sparc());
-  rt->enable_metrics();
-  cfg::ConfigFile config =
-      cfg::parse_config(app::samples::pipeline_config_text());
-  rt->load_application(
-      config, "pipeline", [&](const cfg::ModuleSpec& spec) -> std::string {
-        if (spec.name == "feeder") {
-          return R"(
-void main() {
-  int i;
-  i = 1;
-  while (i <= )" + std::to_string(items) + R"() {
-    mh_write("out", "i", i);
-    if (i % 10 == 0) { sleep(2); }
-    i = i + 1;
-  }
-  print("feeder-done");
-}
-)";
-        }
-        if (spec.name == "filter") {
-          return app::samples::pipeline_filter_source();
-        }
-        return app::samples::pipeline_sink_source();
-      });
-  rt->set_slice(60);  // coarse slices keep the burst queued, not drained
-  return rt;
-}
-
-std::unique_ptr<app::Runtime> make_counter(int requests, bool metrics) {
-  auto rt = std::make_unique<app::Runtime>(3);
-  rt->add_machine("vax", net::arch_vax());
-  rt->add_machine("sparc", net::arch_sparc());
-  if (metrics) rt->enable_metrics();
-  cfg::ConfigFile config =
-      cfg::parse_config(app::samples::counter_config_text());
-  rt->load_application(config, "counter",
-                       [&](const cfg::ModuleSpec& spec) {
-                         if (spec.name == "client") {
-                           return app::samples::counter_client_source(
-                               requests);
-                         }
-                         return app::samples::counter_server_source();
-                       });
-  return rt;
-}
-
 void BM_ReplaceUnderLoad(benchmark::State& state) {
   constexpr int kItems = 30;
   double blackout_us = 0, total_us = 0, queued_moved = 0, state_bytes = 0;
@@ -105,7 +51,7 @@ void BM_ReplaceUnderLoad(benchmark::State& state) {
   std::uint64_t iterations = 0;
   for (auto _ : state) {
     state.PauseTiming();  // exclude parse/compile and the warm-up traffic
-    auto rt = make_pipeline(kItems);
+    auto rt = benchsupport::make_bursty_pipeline(kItems);
     (void)rt->run_until(
         [&] { return rt->machine_of("sink")->output().size() >= 2; },
         10'000'000);
@@ -141,7 +87,7 @@ void BM_ProfilerSampling(benchmark::State& state) {
   std::uint64_t samples = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    auto rt = make_counter(kRequests, /*metrics=*/false);
+    auto rt = benchsupport::make_counter(kRequests, {.seed = 3});
     profile::Profiler profiler;
     if (mode >= 1) {
       profile::ProfileOptions options;

@@ -28,9 +28,7 @@
 #include <memory>
 
 #include "app/runtime.hpp"
-#include "app/samples.hpp"
-#include "cfg/parser.hpp"
-#include "net/arch.hpp"
+#include "bench_common.hpp"
 #include "recover/detector.hpp"
 #include "recover/supervisor.hpp"
 
@@ -44,38 +42,9 @@ using namespace surgeon;
 constexpr int kRequests = 6000;
 constexpr std::uint64_t kRounds = 100'000'000;
 
-/// The stock counter client paces itself with one-second sleeps -- fine for
-/// the functional tests, but a steady-*state* number wants a loaded server,
-/// not an idle one. This client keeps a request in flight back to back.
-std::string busy_client_source(int requests) {
-  return R"mc(
-void main()
-{
-  int i;
-  int reply;
-  i = 1;
-  while (i <= )mc" +
-         std::to_string(requests) + R"mc() {
-    mh_write("svc", "i", 2);
-    mh_read("svc", "i", &reply);
-    i = i + 1;
-  }
-  print("client-done");
-}
-)mc";
-}
-
 std::unique_ptr<app::Runtime> make_counter(int requests) {
-  auto rt = std::make_unique<app::Runtime>(1);
-  rt->add_machine("vax", net::arch_vax());
-  rt->add_machine("sparc", net::arch_sparc());
-  cfg::ConfigFile config =
-      cfg::parse_config(app::samples::counter_config_text());
-  rt->load_application(config, "counter", [&](const cfg::ModuleSpec& spec) {
-    return spec.name == "client" ? busy_client_source(requests)
-                                 : app::samples::counter_server_source();
-  });
-  return rt;
+  return benchsupport::make_counter(requests,
+                                    {.seed = 1, .busy_client = true});
 }
 
 void BM_CounterSteadyState(benchmark::State& state) {

@@ -1,0 +1,231 @@
+// Open-loop diurnal workload generation (bench/workload.hpp).
+//
+// The SLO plane is only honest if it is measured under load that looks like
+// a production day: a rate that climbs through the morning, peaks at
+// midday, and falls off toward midnight -- with replacements fired at the
+// worst possible time (the peak). This header provides that load:
+//
+//   DiurnalSpec     the day: total request budget, day length, peak/trough
+//                   ratio, emission cadence, seed.
+//
+//   DiurnalSource   a *native* bus module ("loadgen@<machine>") that emits
+//                   requests on its "out" interface following the diurnal
+//                   rate curve. Open loop: the emission schedule is fixed
+//                   by the spec and the seed, never by downstream latency,
+//                   so an overloaded or blacked-out pipeline accumulates
+//                   queue -- exactly the signal the SLO engine must see.
+//                   No VM on the producing side: one virtual-clock tick per
+//                   `tick_us` computes the expected arrivals for the tick
+//                   (stochastic rounding keeps the long-run total unbiased)
+//                   and schedules each send at a jittered offset inside the
+//                   tick, so millions of requests cost millions of simulator
+//                   events and sends, not VM instructions.
+//
+//   make_diurnal_pipeline  the standard scenario used by tools/loadgen,
+//                   tools/mh_slo, and bench_slo: the open pipeline app
+//                   (filter -> sink, quiet sink) with the source bound to
+//                   "filter in", request tagging armed (entry at the
+//                   source's "out", terminal at the sink's "in").
+//
+// Determinism: everything derives from DiurnalSpec::seed via mt19937_64;
+// two runs with the same spec emit byte-identical schedules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+
+#include "app/runtime.hpp"
+#include "app/samples.hpp"
+#include "bus/bus.hpp"
+#include "bus/client.hpp"
+#include "cfg/parser.hpp"
+#include "net/arch.hpp"
+
+namespace surgeon::bench {
+
+struct DiurnalSpec {
+  /// Expected total requests over the day (the realized count differs by
+  /// at most the stochastic-rounding noise, O(sqrt(ticks))).
+  std::uint64_t requests = 200'000;
+  /// Synthetic day length in virtual microseconds. The default hour-long
+  /// "day" keeps tool runs snappy; pass 86'400'000'000 for a real day.
+  net::SimTime day_us = 3'600'000'000;
+  /// Midday rate divided by midnight rate (>= 1).
+  double peak_to_trough = 4.0;
+  /// Emission cadence: one rate evaluation per tick.
+  net::SimTime tick_us = 100'000;
+  std::uint64_t seed = 1;
+  /// Stamp each emission as a request entry (trace-tagged end-to-end).
+  bool tag_requests = true;
+};
+
+class DiurnalSource {
+ public:
+  /// Registers "loadgen@<machine>" with a "records"-style define interface
+  /// "out" bound to `target_module`.`target_iface`, and (per the spec)
+  /// marks "out" as a request entry point. Call start() to begin the day.
+  DiurnalSource(bus::Bus& bus, std::string machine, std::string target_module,
+                std::string target_iface, DiurnalSpec spec)
+      : bus_(&bus),
+        machine_(std::move(machine)),
+        module_("loadgen@" + machine_),
+        client_(bus, module_),
+        spec_(spec),
+        rng_(spec.seed) {
+    bus::ModuleInfo info;
+    info.name = module_;
+    info.machine = machine_;
+    info.source = "builtin:loadgen";
+    info.interfaces.push_back(
+        bus::InterfaceSpec{"out", bus::IfaceRole::kDefine, "", ""});
+    bus_->add_module(std::move(info));
+    bus_->add_binding(bus::BindingEnd{module_, "out"},
+                      bus::BindingEnd{std::move(target_module),
+                                      std::move(target_iface)});
+    if (spec_.tag_requests) bus_->set_request_entry(module_, "out");
+  }
+
+  ~DiurnalSource() {
+    stop();
+    if (bus_->has_module(module_)) bus_->remove_module(module_);
+  }
+
+  DiurnalSource(const DiurnalSource&) = delete;
+  DiurnalSource& operator=(const DiurnalSource&) = delete;
+
+  /// Begins the day at the current virtual time.
+  void start() {
+    started_at_ = bus_->simulator().now();
+    running_ = true;
+    schedule_tick();
+  }
+
+  /// Cancels any pending emissions (in-flight events become no-ops).
+  void stop() noexcept {
+    alive_.reset();
+    running_ = false;
+  }
+
+  [[nodiscard]] const std::string& module_name() const noexcept {
+    return module_;
+  }
+  [[nodiscard]] const DiurnalSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  /// True once the whole day has been emitted.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] net::SimTime started_at() const noexcept {
+    return started_at_;
+  }
+  /// Virtual time of the configured midday peak.
+  [[nodiscard]] net::SimTime midday_at() const noexcept {
+    return started_at_ + spec_.day_us / 2;
+  }
+
+  /// Instantaneous arrival rate (requests per virtual us) at day offset
+  /// `t_us`: a raised-cosine curve, trough at t=0/T, peak at T/2,
+  /// normalized so the day integrates to spec.requests.
+  [[nodiscard]] double rate_at(net::SimTime t_us) const {
+    const double r = spec_.peak_to_trough >= 1.0 ? spec_.peak_to_trough : 1.0;
+    const double phase = 2.0 * 3.141592653589793 *
+                         (static_cast<double>(t_us) /
+                          static_cast<double>(spec_.day_us));
+    const double weight = 1.0 + (r - 1.0) * 0.5 * (1.0 - std::cos(phase));
+    const double mean_weight = 1.0 + (r - 1.0) * 0.5;
+    const double base = static_cast<double>(spec_.requests) /
+                        static_cast<double>(spec_.day_us);
+    return base * weight / mean_weight;
+  }
+
+ private:
+  double uniform() {
+    // 53 random bits -> [0, 1); deterministic for a given seed.
+    return static_cast<double>(rng_() >> 11) * 0x1p-53;
+  }
+
+  void schedule_tick() {
+    std::weak_ptr<int> alive = alive_;
+    bus_->simulator().schedule_after(spec_.tick_us, [this, alive] {
+      if (alive.expired()) return;
+      tick();
+    });
+  }
+
+  void tick() {
+    const net::SimTime now = bus_->simulator().now();
+    const net::SimTime elapsed = now - started_at_;
+    if (elapsed >= spec_.day_us) {
+      done_ = true;
+      running_ = false;
+      return;  // day over: no reschedule, the simulator may go idle
+    }
+    const double expected =
+        rate_at(elapsed) * static_cast<double>(spec_.tick_us);
+    auto n = static_cast<std::uint64_t>(expected);
+    if (expected - static_cast<double>(n) > uniform()) ++n;  // unbiased
+    for (std::uint64_t j = 0; j < n; ++j) {
+      // Jittered but order-preserving offsets spread the tick's arrivals.
+      const double frac =
+          (static_cast<double>(j) + uniform()) / static_cast<double>(n);
+      const auto offset = static_cast<net::SimTime>(
+          frac * static_cast<double>(spec_.tick_us));
+      std::weak_ptr<int> alive = alive_;
+      bus_->simulator().schedule_after(offset, [this, alive] {
+        if (alive.expired()) return;
+        ++sent_;
+        client_.write("out", {ser::Value{static_cast<std::int64_t>(sent_)}});
+      });
+    }
+    schedule_tick();
+  }
+
+  bus::Bus* bus_;
+  std::string machine_;
+  std::string module_;
+  bus::Client client_;
+  DiurnalSpec spec_;
+  std::mt19937_64 rng_;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+  net::SimTime started_at_ = 0;
+  std::uint64_t sent_ = 0;
+  bool running_ = false;
+  bool done_ = false;
+};
+
+/// The standard diurnal scenario: open pipeline (filter on vax, quiet sink
+/// on sparc) plus a DiurnalSource on vax bound into "filter in", with
+/// request tagging armed end to end (entry at the source, terminal at the
+/// sink). Causal tracing is enabled -- the request plane depends on it.
+/// The source is constructed but not started.
+struct DiurnalScenario {
+  std::unique_ptr<app::Runtime> runtime;
+  std::unique_ptr<DiurnalSource> source;
+};
+
+inline DiurnalScenario make_diurnal_pipeline(const DiurnalSpec& spec,
+                                             std::uint64_t runtime_seed = 11) {
+  DiurnalScenario s;
+  s.runtime = std::make_unique<app::Runtime>(runtime_seed);
+  s.runtime->add_machine("vax", net::arch_vax());
+  s.runtime->add_machine("sparc", net::arch_sparc());
+  cfg::ConfigFile config =
+      cfg::parse_config(app::samples::pipeline_open_config_text());
+  s.runtime->load_application(
+      config, "pipeline", [](const cfg::ModuleSpec& mspec) {
+        return mspec.name == "filter"
+                   ? app::samples::pipeline_filter_source()
+                   : app::samples::pipeline_quiet_sink_source();
+      });
+  s.runtime->enable_causal_tracing();
+  s.source = std::make_unique<DiurnalSource>(s.runtime->bus(), "vax",
+                                             "filter", "in", spec);
+  if (spec.tag_requests) {
+    s.runtime->bus().set_request_terminal("sink", "in");
+  }
+  return s;
+}
+
+}  // namespace surgeon::bench

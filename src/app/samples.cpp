@@ -264,4 +264,42 @@ void main()
 )mc";
 }
 
+std::string pipeline_open_config_text() {
+  return R"cfg(
+module filter {
+  source = "./filter.mc" ::
+  use interface in pattern = {integer} ::
+  define interface out pattern = {integer, integer} ::
+  reconfiguration point = {RP} ::
+}
+
+module sink {
+  source = "./sink.mc" ::
+  use interface in pattern = {integer, integer} ::
+}
+
+application pipeline {
+  instance filter on "vax" ::
+  instance sink on "sparc" ::
+  bind "filter out" "sink in" ::
+}
+)cfg";
+}
+
+std::string pipeline_quiet_sink_source() {
+  return R"mc(
+int got = 0;
+
+void main()
+{
+  int y;
+  int s;
+  while (1) {
+    mh_read("in", "ii", &y, &s);
+    got = got + 1;
+  }
+}
+)mc";
+}
+
 }  // namespace surgeon::app::samples

@@ -46,4 +46,13 @@ namespace surgeon::app::samples {
 [[nodiscard]] std::string pipeline_filter_source();
 [[nodiscard]] std::string pipeline_sink_source();
 
+/// Open pipeline: the same filter -> sink stages without the MiniC feeder,
+/// so a native workload generator (bench/workload.hpp) can bind straight
+/// into "filter in" and drive millions of requests without a VM on the
+/// producing side. The filter keeps its reconfiguration point.
+[[nodiscard]] std::string pipeline_open_config_text();
+/// A sink that consumes without printing: per-item print() lines are fine
+/// for queue-preservation tests, ruinous for million-request load runs.
+[[nodiscard]] std::string pipeline_quiet_sink_source();
+
 }  // namespace surgeon::app::samples

@@ -212,6 +212,16 @@ void Bus::set_tracer(trc::Recorder* tracer) {
   }
 }
 
+void Bus::set_request_entry(const std::string& module,
+                            const std::string& iface, bool on) {
+  slab_[resolve_slot(module, iface)].request_entry = on;
+}
+
+void Bus::set_request_terminal(const std::string& module,
+                               const std::string& iface, bool on) {
+  slab_[resolve_slot(module, iface)].request_terminal = on;
+}
+
 // --- module / binding configuration ------------------------------------------
 
 void Bus::add_module(ModuleInfo info) {
@@ -432,6 +442,15 @@ void Bus::apply_edit(const BindEdit& edit) {
       // predecessor's outgoing stream and inherits its resequencing
       // windows, so dedup/ordering survive the replacement.
       migrate_streams(edit.a, edit.b);
+      // So does the request conversation: the clone inherits the captured
+      // endpoint's entry/terminal tagging and -- when it has none of its
+      // own -- the module's in-flight request context, so a request caught
+      // mid-hop by a replacement keeps its end-to-end identity.
+      to.request_entry = to.request_entry || from.request_entry;
+      to.request_terminal = to.request_terminal || from.request_terminal;
+      if (to.owner->request_ctx.request == 0) {
+        to.owner->request_ctx = from.owner->request_ctx;
+      }
       note_depth(from);
       note_depth(to);
       if (moved) wake(edit.b.module);
@@ -609,9 +628,19 @@ void Bus::send_from(EndpointRef ref, Endpoint& ep,
   if (metrics_on()) ep.sent_ctr->inc();
   trc::TraceContext send_ctx;
   if (tracer_on()) {  // guard: skips the record lookup when tracing is off
-    send_ctx =
-        tracer_->record_at(ep.owner->trace_site, trc::EventKind::kSend,
-                           ep.owner->info.machine, ep.module, ep.spec.name);
+    // Request tagging: an entry iface opens a fresh request id via a
+    // synthetic cause (event == 0 — no false edge, just inheritance);
+    // otherwise the send inherits the module's last dequeued request
+    // context (invalid for untagged traffic, leaving the event unchanged).
+    trc::TraceContext cause;
+    if (ep.request_entry) {
+      cause.request = tracer_->new_request();
+    } else {
+      cause = ep.owner->request_ctx;
+    }
+    send_ctx = tracer_->record_at(ep.owner->trace_site, trc::EventKind::kSend,
+                                  ep.owner->info.machine, ep.module,
+                                  ep.spec.name, cause);
   }
   if (trace_) trace(TraceEvent::Kind::kSend, ep.module, ep.spec.name);
   if (ep.peers.empty()) {
@@ -705,6 +734,16 @@ std::optional<Message> Bus::receive(EndpointRef ref) {
   Message msg = std::move(ep->queue.front());
   ep->queue.pop_front();
   note_depth(*ep);
+  if (msg.trace_ctx.request != 0 && tracer_on()) {
+    // Queue exit of a tagged request: cause is the deliver event stamped in
+    // deliver_into, so the receive closes the queue-wait interval. The
+    // module's next sends inherit this context (request attribution).
+    ep->owner->request_ctx = tracer_->record_at(
+        ep->owner->trace_site, trc::EventKind::kReceive,
+        ep->owner->info.machine, ep->module,
+        ep->request_terminal ? ep->spec.name + " (terminal)" : ep->spec.name,
+        msg.trace_ctx);
+  }
   return msg;
 }
 
@@ -947,9 +986,14 @@ void Bus::note_module_crashed(const std::string& module, std::string detail) {
 
 void Bus::deliver_into(Endpoint& ep, Message msg) {
   if (tracer_on()) {
-    tracer_->record_at(ep.owner->trace_site, trc::EventKind::kDeliver,
-                       ep.owner->info.machine, ep.module, ep.spec.name,
-                       msg.trace_ctx);
+    trc::TraceContext deliver_ctx = tracer_->record_at(
+        ep.owner->trace_site, trc::EventKind::kDeliver, ep.owner->info.machine,
+        ep.module, ep.spec.name, msg.trace_ctx);
+    // Request-tagged messages carry the deliver context while queued, so
+    // the eventual dequeue can record kReceive with the deliver as cause
+    // (queue wait = receive.at - deliver.at). Untagged messages keep their
+    // original header: byte-identical behavior to pre-slo traces.
+    if (msg.trace_ctx.request != 0) msg.trace_ctx = deliver_ctx;
   }
   ep.queue.push_back(std::move(msg));
   ++stats_.messages_delivered;

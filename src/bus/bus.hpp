@@ -183,6 +183,11 @@ using StateObserver = std::function<void(
 /// replaced, served from the instance that currently owns the windows.
 using TopHandler = std::function<std::string(const std::string& format)>;
 
+/// Answers the mh_slo query ("text" or "json"), same ownership discipline as
+/// TopHandler: whichever slo::Monitor currently owns the objective windows
+/// registers itself, so the query survives monitor replacement.
+using SloHandler = std::function<std::string(const std::string& format)>;
+
 class Bus {
  public:
   explicit Bus(net::Simulator& sim) : sim_(&sim) {}
@@ -397,6 +402,34 @@ class Bus {
     return top_handler_;
   }
 
+  /// Installs the mh_slo query handler (same token discipline as
+  /// set_top_handler: latest installation wins, a stale token never clears
+  /// its successor).
+  std::uint64_t set_slo_handler(SloHandler handler) {
+    slo_handler_ = std::move(handler);
+    return ++slo_token_;
+  }
+  void clear_slo_handler(std::uint64_t token) {
+    if (token == slo_token_) slo_handler_ = nullptr;
+  }
+  [[nodiscard]] const SloHandler& slo_handler() const noexcept {
+    return slo_handler_;
+  }
+
+  /// Marks (module, iface) as a request entry point: every message the
+  /// module sends on that interface opens a fresh request id, carried in
+  /// the trace headers and inherited by every downstream send/deliver/
+  /// receive event — the raw material for request-scoped latency assembly.
+  /// Requires the flight recorder (set_tracer) to take effect. Untagged
+  /// traffic records exactly the events it did before this feature.
+  void set_request_entry(const std::string& module, const std::string& iface,
+                         bool on = true);
+  /// Marks (module, iface) as a request terminal: dequeuing a tagged
+  /// message here completes the request (the assembler treats the receive
+  /// at a terminal as end-of-request).
+  void set_request_terminal(const std::string& module,
+                            const std::string& iface, bool on = true);
+
   /// Attaches the causal flight recorder (null detaches, the default).
   /// While attached and enabled, every send/deliver/drop/retransmit/
   /// signal/state/rebind/lifecycle action records an event with its causal
@@ -454,6 +487,11 @@ class Bus {
     /// arrivals here are dropped UNACKED so the sender retransmits toward
     /// the heir instead of parking messages at the retired instance.
     bool rx_retired = false;
+    /// Request tagging (surgeon::slo): sends here open a fresh request id;
+    /// dequeues here complete one. Both off by default — the untagged data
+    /// path records exactly the same events as before the feature.
+    bool request_entry = false;
+    bool request_terminal = false;
     /// Compiled adjacency: peers of this endpoint, rebuilt on bind-table
     /// changes only.
     std::vector<PeerLink> peers;
@@ -508,6 +546,11 @@ class Bus {
     /// Pre-resolved recorder slot for this module's hot-path events (send,
     /// deliver); saves two hash lookups per journaled hop.
     trc::Recorder::Site trace_site;
+    /// Receive context of the last request-tagged message this module
+    /// dequeued: subsequent sends inherit its request id (heuristic: a
+    /// module's output is attributed to the request it most recently took
+    /// off a queue — exact for run-to-completion handlers).
+    trc::TraceContext request_ctx;
     /// Sliding window of recently applied control ids (redelivery dedup).
     std::deque<std::uint64_t> applied_control;
   };
@@ -633,6 +676,8 @@ class Bus {
   obs::MetricsRegistry* metrics_ = nullptr;
   TopHandler top_handler_;
   std::uint64_t top_token_ = 0;
+  SloHandler slo_handler_;
+  std::uint64_t slo_token_ = 0;
   trc::Recorder* tracer_ = nullptr;
   /// Last divulge / rebind events: the causal anchors for state deliveries
   /// (divulge happens-before every objstate apply) and queue captures.

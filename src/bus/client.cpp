@@ -32,6 +32,16 @@ std::string Client::mh_top(const std::string& format) const {
   return handler(format);
 }
 
+std::string Client::mh_slo(const std::string& format) const {
+  if (format != "text" && format != "json") {
+    throw support::BusError("mh_slo: unknown format '" + format +
+                            "' (expected \"text\" or \"json\")");
+  }
+  const SloHandler& handler = bus_->slo_handler();
+  if (!handler) return format == "json" ? "{}" : "";
+  return handler(format);
+}
+
 std::string Client::mh_trace(const std::string& format, bool drain) {
   if (format != "json" && format != "text") {
     throw support::BusError("mh_trace: unknown format '" + format +

@@ -79,6 +79,13 @@ class Client {
   /// attached; throws BusError on an unknown format.
   [[nodiscard]] std::string mh_top(const std::string& format = "table") const;
 
+  /// mh_slo: query the streaming SLO engine (whichever slo::Monitor
+  /// currently owns the objective windows — like mh_top, the handler
+  /// survives the monitor's own replacement). `format` is "text" or
+  /// "json". Returns an empty export ("" / "{}") when no monitor is
+  /// attached; throws BusError on an unknown format.
+  [[nodiscard]] std::string mh_slo(const std::string& format = "text") const;
+
   /// mh_trace: export this machine's causal flight-recorder journal.
   /// `format` is "json" (array of events with ids, causal parents, Lamport
   /// clocks) or "text" (one timeline line per event). With `drain` the

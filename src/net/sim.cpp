@@ -49,7 +49,10 @@ bool Simulator::step() {
   // priority_queue::top is const; copy the function out before popping.
   Event ev{events_.top().time, events_.top().seq, events_.top().fn};
   events_.pop();
-  now_us_ = ev.time;
+  // Monotone clock: advance_time (instruction cost) may have pushed `now`
+  // past already-scheduled events; those fire late -- the compute consumed
+  // their interval -- rather than rewinding virtual time.
+  if (ev.time > now_us_) now_us_ = ev.time;
   ev.fn();
   return true;
 }

@@ -1,0 +1,70 @@
+// Streaming request assembler (surgeon::slo).
+//
+// trace::assemble_requests folds journaled events into per-request hop
+// breakdowns after the fact — which is the right tool for debugging, but
+// the rings evict under sustained load. The RequestTracker instead hangs
+// off the Recorder's observer hook, which fires for EVERY event before any
+// eviction, and folds the same send/deliver/receive chain incrementally:
+// the SLO plane therefore never loses a completion to ring pressure, no
+// matter how small the flight-recorder capacity is.
+//
+// The open-request table is bounded: a workload that opens requests faster
+// than they complete (or whose tail never reaches a terminal) evicts its
+// oldest open entry and ticks `evicted_open`, so memory stays proportional
+// to in-flight traffic across a million-request day.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "slo/slo.hpp"
+#include "trace/event.hpp"
+
+namespace surgeon::slo {
+
+class RequestTracker {
+ public:
+  explicit RequestTracker(std::size_t max_open = 65'536)
+      : max_open_(max_open) {}
+
+  /// Feed from trace::Recorder::add_observer. Events without a request id
+  /// return immediately (one branch on the untagged path).
+  void observe(const trace::Event& ev);
+
+  /// Completed requests since the last drain, completion order.
+  [[nodiscard]] std::vector<Completion> drain();
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return completed_.size();
+  }
+  [[nodiscard]] std::size_t open() const noexcept { return open_.size(); }
+  /// Open entries evicted by the max_open bound (requests that will never
+  /// report a completion).
+  [[nodiscard]] std::uint64_t evicted_open() const noexcept {
+    return evicted_open_;
+  }
+  [[nodiscard]] std::uint64_t completions_total() const noexcept {
+    return completions_total_;
+  }
+
+ private:
+  struct Open {
+    net::SimTime started_at = 0;
+    bool partial = false;  // an expected record was missing
+    Completion::Hop pending_hop;  // hop being assembled (deliver seen)
+    bool hop_open = false;
+    net::SimTime received_at = 0;  // last receive (handler interval start)
+    net::SimTime upstream_sent_at = 0;  // last send (queue interval start)
+    std::vector<Completion::Hop> hops;
+  };
+
+  void complete(std::uint64_t request, Open&& open, net::SimTime at);
+
+  std::size_t max_open_;
+  // Ordered map: eviction removes the lowest (oldest) request id.
+  std::map<std::uint64_t, Open> open_;
+  std::vector<Completion> completed_;
+  std::uint64_t evicted_open_ = 0;
+  std::uint64_t completions_total_ = 0;
+};
+
+}  // namespace surgeon::slo

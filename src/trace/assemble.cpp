@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,7 +38,8 @@ std::string json_escape(const std::string& s) {
 void append_event_json(std::ostringstream& os, const Event& ev) {
   os << "{\"id\":" << ev.id << ",\"parent\":" << ev.parent
      << ",\"cause\":" << ev.cause << ",\"trace\":" << ev.trace_id
-     << ",\"lamport\":" << ev.lamport << ",\"at\":" << ev.at
+     << ",\"request\":" << ev.request << ",\"lamport\":" << ev.lamport
+     << ",\"at\":" << ev.at
      << ",\"kind\":" << json_escape(kind_name(ev.kind))
      << ",\"machine\":" << json_escape(ev.machine)
      << ",\"module\":" << json_escape(ev.module)
@@ -172,6 +174,172 @@ std::string events_to_json(const std::vector<Event>& events) {
 std::string events_to_text(const std::vector<Event>& events) {
   std::ostringstream os;
   for (const Event& ev : events) append_timeline_line(os, ev);
+  return os.str();
+}
+
+// --- request-scoped assembly --------------------------------------------------
+
+namespace {
+
+constexpr const char* kTerminalSuffix = " (terminal)";
+
+bool is_terminal_detail(const std::string& detail) {
+  const std::size_t n = std::char_traits<char>::length(kTerminalSuffix);
+  return detail.size() >= n &&
+         detail.compare(detail.size() - n, n, kTerminalSuffix) == 0;
+}
+
+std::string iface_of_detail(const std::string& detail) {
+  const std::size_t n = std::char_traits<char>::length(kTerminalSuffix);
+  if (is_terminal_detail(detail)) return detail.substr(0, detail.size() - n);
+  return detail;
+}
+
+RequestTrace assemble_from(std::uint64_t request,
+                           const std::vector<const Event*>& events) {
+  RequestTrace rt;
+  rt.request = request;
+  if (events.empty()) {
+    rt.completeness = 0.0;
+    return rt;
+  }
+  std::unordered_set<EventId> ids;
+  ids.reserve(events.size());
+  for (const Event* ev : events) ids.insert(ev->id);
+  std::size_t dangling = 0;
+  // Latest hop per module still waiting for its receive / next send.
+  std::unordered_map<std::string, std::size_t> hop_of_module;
+  for (const Event* ev : events) {
+    if (ev->cause != 0 && ids.find(ev->cause) == ids.end()) ++dangling;
+    switch (ev->kind) {
+      case EventKind::kSend: {
+        if (ev->cause == 0) {
+          // Entry send: the synthetic request context has no event id.
+          if (rt.started_at == 0) rt.started_at = ev->at;
+          break;
+        }
+        auto it = hop_of_module.find(ev->module);
+        if (it != hop_of_module.end()) {
+          RequestHop& hop = rt.hops[it->second];
+          if (hop.received_at != 0 && hop.handler_us == 0) {
+            hop.handler_us = ev->at - hop.received_at;
+          }
+        }
+        break;
+      }
+      case EventKind::kDeliver: {
+        RequestHop hop;
+        hop.machine = ev->machine;
+        hop.module = ev->module;
+        hop.iface = ev->detail;
+        hop.delivered_at = ev->at;
+        const Event* send = nullptr;
+        if (ev->cause != 0) {
+          auto sit = std::find_if(
+              events.begin(), events.end(),
+              [&](const Event* e) { return e->id == ev->cause; });
+          if (sit != events.end()) send = *sit;
+        }
+        if (send != nullptr) {
+          hop.sent_at = send->at;
+          hop.wire_us = hop.delivered_at - hop.sent_at;
+        } else {
+          hop.partial = true;  // the upstream send was evicted
+        }
+        hop_of_module[ev->module] = rt.hops.size();
+        rt.hops.push_back(std::move(hop));
+        break;
+      }
+      case EventKind::kReceive: {
+        auto it = hop_of_module.find(ev->module);
+        if (it == hop_of_module.end() ||
+            rt.hops[it->second].received_at != 0) {
+          // The deliver record was evicted: open a partial hop so the
+          // receive still contributes its timestamp.
+          RequestHop hop;
+          hop.machine = ev->machine;
+          hop.module = ev->module;
+          hop.iface = iface_of_detail(ev->detail);
+          hop.partial = true;
+          hop_of_module[ev->module] = rt.hops.size();
+          rt.hops.push_back(std::move(hop));
+          it = hop_of_module.find(ev->module);
+        }
+        RequestHop& hop = rt.hops[it->second];
+        hop.received_at = ev->at;
+        if (hop.delivered_at != 0) {
+          hop.queue_us = hop.received_at - hop.delivered_at;
+        }
+        if (is_terminal_detail(ev->detail)) {
+          rt.completed = true;
+          rt.completed_at = ev->at;
+        }
+        break;
+      }
+      default:
+        break;  // drops/retransmits etc. keep their dangling accounting
+    }
+  }
+  for (RequestHop& hop : rt.hops) {
+    if (hop.sent_at == 0 || hop.received_at == 0) hop.partial = true;
+  }
+  const double found = static_cast<double>(events.size());
+  rt.completeness = found / (found + static_cast<double>(dangling));
+  rt.complete = dangling == 0 && rt.started_at != 0 && rt.completed;
+  if (rt.started_at != 0 && rt.completed) {
+    rt.latency_us = rt.completed_at - rt.started_at;
+  }
+  return rt;
+}
+
+}  // namespace
+
+std::vector<RequestTrace> assemble_requests(const Dag& dag) {
+  std::map<std::uint64_t, std::vector<const Event*>> by_request;
+  for (const Event& ev : dag.events) {
+    if (ev.request != 0) by_request[ev.request].push_back(&ev);
+  }
+  std::vector<RequestTrace> out;
+  out.reserve(by_request.size());
+  for (const auto& [request, events] : by_request) {
+    out.push_back(assemble_from(request, events));
+  }
+  return out;
+}
+
+RequestTrace assemble_request(const Dag& dag, std::uint64_t request) {
+  std::vector<const Event*> events;
+  for (const Event& ev : dag.events) {
+    if (ev.request == request) events.push_back(&ev);
+  }
+  return assemble_from(request, events);
+}
+
+std::string requests_to_json(const std::vector<RequestTrace>& requests) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RequestTrace& rt = requests[i];
+    if (i != 0) os << ",\n ";
+    os << "{\"request\":" << rt.request << ",\"started_at\":" << rt.started_at
+       << ",\"completed_at\":" << rt.completed_at
+       << ",\"latency_us\":" << rt.latency_us
+       << ",\"completed\":" << (rt.completed ? "true" : "false")
+       << ",\"complete\":" << (rt.complete ? "true" : "false")
+       << ",\"completeness\":" << rt.completeness << ",\"hops\":[";
+    for (std::size_t h = 0; h < rt.hops.size(); ++h) {
+      const RequestHop& hop = rt.hops[h];
+      if (h != 0) os << ",";
+      os << "{\"machine\":" << json_escape(hop.machine)
+         << ",\"module\":" << json_escape(hop.module)
+         << ",\"iface\":" << json_escape(hop.iface)
+         << ",\"wire_us\":" << hop.wire_us << ",\"queue_us\":" << hop.queue_us
+         << ",\"handler_us\":" << hop.handler_us
+         << ",\"partial\":" << (hop.partial ? "true" : "false") << "}";
+    }
+    os << "]}";
+  }
+  os << "]\n";
   return os.str();
 }
 

@@ -31,6 +31,47 @@ struct Dag {
 Dag assemble(const Recorder& recorder);
 Dag assemble(std::vector<Event> events);
 
+// --- request-scoped assembly (surgeon::slo) --------------------------------
+//
+// A request tagged at a workload entry leaves a chain of events sharing
+// Event::request: send -> deliver -> receive per hop, closed by a receive
+// at a terminal iface (detail suffixed " (terminal)").  Assembly folds the
+// chain into per-hop wire/queue/handler intervals.  Ring eviction never
+// fails the assembly: missing records surface as zeroed timestamps, a
+// `partial` hop flag, and a completeness fraction < 1.
+
+struct RequestHop {
+  std::string machine;
+  std::string module;
+  std::string iface;
+  net::SimTime sent_at = 0;       // upstream send put the copy on the wire
+  net::SimTime delivered_at = 0;  // queued at the module
+  net::SimTime received_at = 0;   // dequeued by the module
+  net::SimTime wire_us = 0;       // delivered - sent
+  net::SimTime queue_us = 0;      // received - delivered
+  net::SimTime handler_us = 0;    // module's next tagged send - received
+  bool partial = false;           // a surrounding record was evicted
+};
+
+struct RequestTrace {
+  std::uint64_t request = 0;
+  net::SimTime started_at = 0;    // entry send (0 if evicted)
+  net::SimTime completed_at = 0;  // terminal receive (0 if not seen)
+  net::SimTime latency_us = 0;    // end-to-end, when both ends survived
+  bool completed = false;         // a terminal receive was observed
+  bool complete = false;          // completeness == 1 and both ends present
+  // found / (found + dangling cause references): 1.0 when every record of
+  // the chain survived its ring, smaller the more eviction ate.
+  double completeness = 1.0;
+  std::vector<RequestHop> hops;
+};
+
+// All tagged requests present in the DAG, ascending request id.
+std::vector<RequestTrace> assemble_requests(const Dag& dag);
+// One request (empty trace with completeness 0 if no record survived).
+RequestTrace assemble_request(const Dag& dag, std::uint64_t request);
+std::string requests_to_json(const std::vector<RequestTrace>& requests);
+
 // trace_id filters the export to one trace grouping; 0 exports all.
 std::string to_chrome_trace(const Dag& dag, std::uint64_t trace_id = 0);
 std::string to_timeline(const Dag& dag, std::uint64_t trace_id = 0);

@@ -27,6 +27,7 @@ using EventId = std::uint64_t;
 enum class EventKind : std::uint8_t {
   kSend,          // message handed to the wire (first transmission)
   kDeliver,       // message placed on a module's input queue
+  kReceive,       // module dequeued a request-tagged message (queue exit)
   kDrop,          // message lost (chaos, unbound iface, retired endpoint)
   kRetransmit,    // reliable layer re-sent an unacked entry
   kDupDiscard,    // reliable layer discarded an already-seen seq
@@ -52,6 +53,7 @@ struct Event {
   EventId parent = 0;      // program-order predecessor (same module)
   EventId cause = 0;       // cross-module trigger
   std::uint64_t trace_id = 0;  // replacement/operation grouping
+  std::uint64_t request = 0;   // request-scoped grouping (0 = untagged)
   std::uint64_t lamport = 0;   // merged on deliver: max(local,cause)+1
   net::SimTime at = 0;         // virtual clock
   EventKind kind = EventKind::kSend;
@@ -67,6 +69,10 @@ struct TraceContext {
   std::uint64_t trace_id = 0;
   EventId event = 0;
   std::uint64_t lamport = 0;
+  // Request id assigned at a tagged workload-entry iface; inherited over
+  // the cause edge by every downstream event, so a request's hops can be
+  // reassembled without parsing details.  0 = not part of a tagged request.
+  std::uint64_t request = 0;
 
   bool valid() const { return event != 0; }
 };

@@ -8,6 +8,7 @@ const char* kind_name(EventKind kind) {
   switch (kind) {
     case EventKind::kSend: return "send";
     case EventKind::kDeliver: return "deliver";
+    case EventKind::kReceive: return "receive";
     case EventKind::kDrop: return "drop";
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kDupDiscard: return "dup_discard";
@@ -36,6 +37,29 @@ void Recorder::set_capacity(std::size_t per_machine) {
       ++journal.dropped;
     }
   }
+}
+
+Recorder::ObserverId Recorder::add_observer(
+    std::function<void(const Event&)> observer) {
+  const ObserverId id = ++next_observer_;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void Recorder::remove_observer(ObserverId id) {
+  if (id == 0) return;
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == id) {
+      observers_.erase(it);
+      break;
+    }
+  }
+  if (legacy_observer_ == id) legacy_observer_ = 0;
+}
+
+void Recorder::set_observer(std::function<void(const Event&)> observer) {
+  remove_observer(legacy_observer_);
+  legacy_observer_ = observer ? add_observer(std::move(observer)) : 0;
 }
 
 std::uint64_t Recorder::begin_trace(const std::string& name) {
@@ -106,14 +130,17 @@ TraceContext Recorder::record_impl(Journal& journal, LastEvent& last,
       std::max({journal.lamport, last.lamport, cause.lamport}) + 1;
   journal.lamport = ev.lamport;
   ev.trace_id = cause.valid() ? cause.trace_id : current_trace_;
+  // The request rides the cause edge only: a synthetic entry context
+  // (event == 0, request != 0) seeds it without creating a false edge.
+  ev.request = cause.request;
   ev.at = sim_clock_ != nullptr ? sim_clock_->now() : (clock_ ? clock_() : 0);
   ev.kind = kind;
   ev.machine = machine;
   ev.module = module;
   ev.detail = std::move(detail);
   last = {ev.id, ev.lamport};
-  TraceContext ctx{ev.trace_id, ev.id, ev.lamport};
-  if (observer_) observer_(ev);
+  TraceContext ctx{ev.trace_id, ev.id, ev.lamport, ev.request};
+  for (const auto& [id, fn] : observers_) fn(ev);
   if (journal.events.size() >= capacity_) {
     journal.events.pop_front();
     ++journal.dropped;
@@ -159,6 +186,7 @@ void Recorder::clear() {
   next_id_ = 1;
   next_trace_ = 0;
   current_trace_ = 0;
+  next_request_ = 0;
 }
 
 }  // namespace surgeon::trace

@@ -61,11 +61,21 @@ class Recorder {
   /// the simulator instead of through a std::function per event.
   void set_clock(const net::Simulator* sim) { sim_clock_ = sim; }
 
-  // Called for every recorded event, including ones a full ring will
-  // evict later.  The checker subscribes here.
-  void set_observer(std::function<void(const Event&)> observer) {
-    observer_ = std::move(observer);
-  }
+  // Observers see every event at record time, including ones a full ring
+  // will evict later — which is why streaming consumers (the HB checker,
+  // the SLO request tracker) are eviction-immune.  Multiple observers can
+  // coexist; each add returns an id for removal.
+  using ObserverId = std::uint64_t;
+  ObserverId add_observer(std::function<void(const Event&)> observer);
+  void remove_observer(ObserverId id);
+  // Legacy single-slot form: replaces the previous set_observer callback
+  // (and only it), leaving add_observer subscribers untouched.
+  void set_observer(std::function<void(const Event&)> observer);
+
+  // Mints a fresh request id for a tagged workload-entry message.  Pass it
+  // back inside a synthetic cause context (event == 0) so record_impl
+  // inherits the request without fabricating a causal edge.
+  std::uint64_t new_request() { return ++next_request_; }
 
   // Opens a new trace grouping (e.g. one module replacement).  Events
   // recorded without a causal context inherit the current trace id;
@@ -105,7 +115,10 @@ class Recorder {
   std::size_t capacity_ = 65536;
   const net::Simulator* sim_clock_ = nullptr;
   std::function<net::SimTime()> clock_;
-  std::function<void(const Event&)> observer_;
+  std::vector<std::pair<ObserverId, std::function<void(const Event&)>>>
+      observers_;
+  ObserverId legacy_observer_ = 0;  // id of the set_observer slot, 0 if none
+  ObserverId next_observer_ = 0;
 
   Journal& journal_of(const std::string& machine);
   TraceContext record_impl(Journal& journal, LastEvent& last, EventKind kind,
@@ -126,6 +139,7 @@ class Recorder {
   EventId next_id_ = 1;
   std::uint64_t next_trace_ = 0;
   std::uint64_t current_trace_ = 0;
+  std::uint64_t next_request_ = 0;
 };
 
 }  // namespace surgeon::trace

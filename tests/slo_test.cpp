@@ -1,0 +1,558 @@
+// Tests of the SLO plane (surgeon::slo): objective-spec parsing, the
+// sliding-window engine and its multi-window burn-rate detectors, the
+// streaming RequestTracker's hop assembly and eviction bounds, the
+// Probe -> Monitor record stream over the diurnal workload, the monitor's
+// own Figure 5 replacement (report byte-identical, alert id sequence
+// gap-free across 215 chaos seeds), and the surgeon_slo_* exporter lines
+// under replacement churn.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/runtime.hpp"
+#include "bus/client.hpp"
+#include "chaos/fault.hpp"
+#include "obs/export.hpp"
+#include "reconfig/scripts.hpp"
+#include "slo/monitor.hpp"
+#include "slo/request.hpp"
+#include "slo/slo.hpp"
+#include "support/diag.hpp"
+#include "workload.hpp"
+
+namespace surgeon::slo {
+namespace {
+
+// --- objective specs ---------------------------------------------------------
+
+TEST(ObjectiveSpec, ParsesFullSpec) {
+  Objective obj = parse_objective(
+      "pipeline-p99 service=pipeline p99<2000us window=60s fast=5s@14 "
+      "slow=30s@6");
+  EXPECT_EQ(obj.name, "pipeline-p99");
+  EXPECT_EQ(obj.service, "pipeline");
+  EXPECT_DOUBLE_EQ(obj.quantile, 0.99);
+  EXPECT_EQ(obj.threshold_us, 2000u);
+  EXPECT_EQ(obj.window_us, 60'000'000u);
+  EXPECT_EQ(obj.fast_window_us, 5'000'000u);
+  EXPECT_DOUBLE_EQ(obj.fast_burn, 14.0);
+  EXPECT_EQ(obj.slow_window_us, 30'000'000u);
+  EXPECT_DOUBLE_EQ(obj.slow_burn, 6.0);
+}
+
+TEST(ObjectiveSpec, DefaultsAndUnits) {
+  Objective obj = parse_objective("o service=s p99.9<2ms");
+  EXPECT_DOUBLE_EQ(obj.quantile, 0.999);
+  EXPECT_EQ(obj.threshold_us, 2000u);
+  // The slow detector window follows the attainment window by default.
+  Objective windowed = parse_objective("o service=s p50<1s window=30s");
+  EXPECT_EQ(windowed.threshold_us, 1'000'000u);
+  EXPECT_EQ(windowed.window_us, 30'000'000u);
+  EXPECT_EQ(windowed.slow_window_us, 30'000'000u);
+}
+
+TEST(ObjectiveSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_objective(""), support::BusError);
+  EXPECT_THROW(parse_objective("name-only"), support::BusError);
+  EXPECT_THROW(parse_objective("o service=s"), support::BusError);
+  EXPECT_THROW(parse_objective("o service=s p99<2furlongs"),
+               support::BusError);
+  EXPECT_THROW(parse_objective("o service=s p200<2us"), support::BusError);
+  EXPECT_THROW(parse_objective("o service=s p99<2us bogus=1"),
+               support::BusError);
+}
+
+// --- engine ------------------------------------------------------------------
+
+Completion make_completion(net::SimTime completed_at, net::SimTime latency) {
+  Completion c;
+  c.request = completed_at;  // unique enough for tests
+  c.completed_at = completed_at;
+  c.started_at = completed_at - latency;
+  c.latency_us = latency;
+  return c;
+}
+
+TEST(Engine, AttainmentOverSlidingWindow) {
+  Engine engine;
+  engine.add_objective(parse_objective("o service=s p99<1000us window=10s"));
+  // 8 good + 2 bad inside the window.
+  for (int i = 0; i < 8; ++i) {
+    engine.observe("s", make_completion(1'000'000 + i * 1000, 500));
+  }
+  engine.observe("s", make_completion(2'000'000, 5'000));
+  engine.observe("s", make_completion(2'001'000, 5'000));
+  auto status = engine.objective_status(3'000'000);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].window_total, 10u);
+  EXPECT_EQ(status[0].window_bad, 2u);
+  EXPECT_DOUBLE_EQ(status[0].attainment, 0.8);
+  EXPECT_EQ(status[0].violations_total, 2u);
+  // 15s later the window has slid past everything.
+  auto later = engine.objective_status(18'000'000);
+  EXPECT_EQ(later[0].window_total, 0u);
+  EXPECT_DOUBLE_EQ(later[0].attainment, 1.0);
+  EXPECT_EQ(later[0].violations_total, 2u);  // lifetime counter stays
+}
+
+TEST(Engine, DuplicateObjectiveNameThrows) {
+  Engine engine;
+  engine.add_objective(parse_objective("o service=s p99<1000us"));
+  EXPECT_THROW(engine.add_objective(parse_objective("o service=s p50<1us")),
+               support::BusError);
+}
+
+TEST(Engine, BurnRateAlertsFireAndClearWithAscendingIds) {
+  Engine engine;
+  engine.add_objective(
+      parse_objective("o service=s p99<1000us window=60s fast=5s@2 slow=10s@2"));
+  // Saturate both windows with 100% bad traffic: burn = 100x the budget.
+  for (int i = 0; i < 50; ++i) {
+    engine.observe("s", make_completion(1'000'000 + i * 1000, 5'000));
+  }
+  std::vector<AlertEvent> fired = engine.evaluate(1'100'000);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, AlertEvent::Kind::kFire);
+  EXPECT_EQ(fired[0].id, 1u);
+  EXPECT_EQ(fired[0].objective, "o");
+  EXPECT_GT(fired[0].burn_fast, 2.0);
+  // Still firing: edge-triggered, no repeat.
+  EXPECT_TRUE(engine.evaluate(1'200'000).empty());
+  // Far later both windows are clean: a clear event with the next id.
+  std::vector<AlertEvent> cleared = engine.evaluate(100'000'000);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0].kind, AlertEvent::Kind::kClear);
+  EXPECT_EQ(cleared[0].id, 2u);
+  EXPECT_EQ(engine.next_alert_id(), 3u);
+}
+
+TEST(Engine, BlackoutCorrelation) {
+  Engine engine;
+  engine.add_objective(parse_objective("o service=s p99<1000us"));
+  engine.note_blackout(2'000'000, 2'010'000);
+  engine.observe("s", make_completion(1'500'000, 5'000));  // outside
+  engine.observe("s", make_completion(2'005'000, 5'000));  // inside
+  auto status = engine.objective_status(3'000'000);
+  EXPECT_EQ(status[0].violations_total, 2u);
+  EXPECT_EQ(status[0].blackout_violations_total, 1u);
+}
+
+TEST(Engine, WorstHopAttribution) {
+  Engine engine;
+  engine.add_objective(parse_objective("o service=s p99<1000us"));
+  Completion c = make_completion(1'000'000, 500);
+  c.hops.push_back(Completion::Hop{"filter", 10, 5});
+  c.hops.push_back(Completion::Hop{"sink", 400, 0});
+  engine.observe("s", c);
+  auto services = engine.service_status(1'500'000);
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].worst_hop, "sink");
+  ASSERT_EQ(services[0].hops.size(), 2u);
+  EXPECT_EQ(services[0].hops[0].module, "filter");
+  EXPECT_EQ(services[0].hops[0].queue_us, 10u);
+  EXPECT_EQ(services[0].hops[0].handler_us, 5u);
+}
+
+TEST(Engine, StateRoundTripPreservesWindowsCountersAndAlertIds) {
+  Engine engine;
+  engine.add_objective(
+      parse_objective("o service=s p99<1000us window=10s fast=5s@2 slow=5s@2"));
+  engine.note_blackout(900'000, 910'000);
+  for (int i = 0; i < 20; ++i) {
+    engine.observe("s", make_completion(1'000'000 + i * 1000,
+                                        i % 2 == 0 ? 500 : 5'000));
+  }
+  (void)engine.evaluate(1'100'000);  // consume an alert id
+
+  Engine clone;
+  clone.install_state(engine.encode_state());
+  EXPECT_EQ(clone.next_alert_id(), engine.next_alert_id());
+  EXPECT_EQ(clone.completions_total(), engine.completions_total());
+  ASSERT_EQ(clone.objectives().size(), 1u);
+  EXPECT_EQ(clone.objectives()[0], engine.objectives()[0]);
+  auto a = engine.objective_status(1'200'000);
+  auto b = clone.objective_status(1'200'000);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].window_total, b[0].window_total);
+  EXPECT_EQ(a[0].window_bad, b[0].window_bad);
+  EXPECT_EQ(a[0].firing, b[0].firing);
+  EXPECT_EQ(a[0].violations_total, b[0].violations_total);
+  EXPECT_EQ(a[0].blackout_violations_total, b[0].blackout_violations_total);
+  EXPECT_EQ(clone.blackouts(), engine.blackouts());
+  // The clone continues the alert sequence, it does not re-fire.
+  EXPECT_TRUE(clone.evaluate(1'300'000).empty());
+}
+
+// --- request tracker ---------------------------------------------------------
+
+trace::Event make_event(trace::EventKind kind, const std::string& module,
+                        net::SimTime at, std::uint64_t request,
+                        std::uint64_t cause = 0,
+                        const std::string& detail = "") {
+  trace::Event ev;
+  ev.kind = kind;
+  ev.module = module;
+  ev.at = at;
+  ev.request = request;
+  ev.cause = cause;
+  ev.detail = detail;
+  return ev;
+}
+
+TEST(RequestTrackerTest, AssemblesLatencyAndHopsFromEventStream) {
+  using trace::EventKind;
+  RequestTracker tracker;
+  // Entry send at t=100, filter hop, sink terminal at t=400.
+  tracker.observe(make_event(EventKind::kSend, "loadgen", 100, 7));
+  tracker.observe(make_event(EventKind::kDeliver, "filter", 110, 7, 1));
+  tracker.observe(make_event(EventKind::kReceive, "filter", 130, 7, 1));
+  tracker.observe(make_event(EventKind::kSend, "filter", 150, 7, 2));
+  tracker.observe(make_event(EventKind::kDeliver, "sink", 160, 7, 3));
+  tracker.observe(
+      make_event(EventKind::kReceive, "sink", 400, 7, 3, "in (terminal)"));
+  EXPECT_EQ(tracker.open(), 0u);
+  std::vector<Completion> done = tracker.drain();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].request, 7u);
+  EXPECT_EQ(done[0].latency_us, 300u);
+  EXPECT_TRUE(done[0].complete);
+  ASSERT_EQ(done[0].hops.size(), 2u);
+  EXPECT_EQ(done[0].hops[0].module, "filter");
+  EXPECT_EQ(done[0].hops[0].queue_us, 30u);    // entry send 100 -> receive 130
+  EXPECT_EQ(done[0].hops[0].handler_us, 20u);  // receive 130 -> send 150
+  EXPECT_EQ(done[0].hops[1].module, "sink");
+  EXPECT_EQ(done[0].hops[1].queue_us, 250u);   // send 150 -> receive 400
+  EXPECT_EQ(done[0].hops[1].handler_us, 0u);   // terminal: no forwarding send
+  EXPECT_EQ(tracker.completions_total(), 1u);
+}
+
+TEST(RequestTrackerTest, UntaggedEventsIgnoredAndMidStreamAttachIsPartial) {
+  using trace::EventKind;
+  RequestTracker tracker;
+  tracker.observe(make_event(EventKind::kSend, "a", 50, 0));  // untagged
+  EXPECT_EQ(tracker.open(), 0u);
+  // Attach mid-request: the entry send for 9 was never seen, so a receive
+  // alone must not fabricate a completion start.
+  tracker.observe(make_event(EventKind::kSend, "loadgen", 100, 9));
+  tracker.observe(
+      make_event(EventKind::kReceive, "sink", 300, 9, 4, "in (terminal)"));
+  std::vector<Completion> done = tracker.drain();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_FALSE(done[0].complete);  // the deliver record was missing
+}
+
+TEST(RequestTrackerTest, OpenTableBoundEvictsOldest) {
+  using trace::EventKind;
+  RequestTracker tracker(/*max_open=*/2);
+  tracker.observe(make_event(EventKind::kSend, "loadgen", 100, 1));
+  tracker.observe(make_event(EventKind::kSend, "loadgen", 110, 2));
+  tracker.observe(make_event(EventKind::kSend, "loadgen", 120, 3));
+  EXPECT_EQ(tracker.open(), 2u);
+  EXPECT_EQ(tracker.evicted_open(), 1u);
+  // Request 1 was shed: its terminal no longer completes anything.
+  tracker.observe(
+      make_event(EventKind::kReceive, "sink", 400, 1, 5, "in (terminal)"));
+  EXPECT_TRUE(tracker.drain().empty());
+}
+
+// --- probe -> monitor over the diurnal workload ------------------------------
+
+struct Plane {
+  bench::DiurnalScenario scenario;
+  std::unique_ptr<Monitor> monitor;
+  std::unique_ptr<Probe> probe;
+};
+
+Plane make_plane(std::uint64_t requests, net::SimTime day_us,
+                 const std::string& objective =
+                     "pipeline-p99 service=pipeline p99<2500us window=60s") {
+  Plane p;
+  bench::DiurnalSpec spec;
+  spec.requests = requests;
+  spec.day_us = day_us;
+  p.scenario = bench::make_diurnal_pipeline(spec);
+  p.scenario.runtime->enable_metrics();
+  p.monitor = std::make_unique<Monitor>(p.scenario.runtime->bus(), "slomon",
+                                        "sparc");
+  p.monitor->add_objective(parse_objective(objective));
+  p.probe = std::make_unique<Probe>(p.scenario.runtime->bus(),
+                                    p.scenario.runtime->tracer(), "vax",
+                                    "pipeline", "slomon");
+  return p;
+}
+
+void run_day(Plane& p) {
+  constexpr std::uint64_t kRounds = 100'000'000'000ULL;
+  p.scenario.source->start();
+  ASSERT_TRUE(p.scenario.runtime->run_until(
+      [&] { return p.scenario.source->done(); }, kRounds));
+  p.scenario.runtime->run_for(500'000, kRounds);
+}
+
+TEST(ProbeMonitor, StreamsEveryCompletionIntoTheEngine) {
+  Plane p = make_plane(800, 20'000'000);
+  run_day(p);
+  EXPECT_EQ(p.monitor->engine().completions_total(),
+            p.scenario.source->sent());
+  EXPECT_EQ(p.monitor->malformed_dropped(), 0u);
+  EXPECT_GT(p.probe->batches_sent(), 0u);
+  // Batching amortizes: far fewer record messages than completions.
+  EXPECT_LT(p.probe->batches_sent(), p.scenario.source->sent() / 2);
+  auto services = p.monitor->engine().service_status(
+      p.scenario.runtime->now());
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].service, "pipeline");
+  EXPECT_FALSE(services[0].hops.empty());
+  EXPECT_FALSE(services[0].worst_hop.empty());
+  // surgeon_slo_* metrics flowed through obs.
+  EXPECT_EQ(p.scenario.runtime->metrics().counter_value(
+                "surgeon_slo_completions_total", {{"service", "pipeline"}}),
+            p.scenario.source->sent());
+}
+
+TEST(ProbeMonitor, ReportIsByteStableAndJsonRendersBothFormats) {
+  Plane a = make_plane(500, 10'000'000);
+  run_day(a);
+  Plane b = make_plane(500, 10'000'000);
+  run_day(b);
+  EXPECT_EQ(a.monitor->report("json"), b.monitor->report("json"));
+  EXPECT_EQ(a.monitor->report("text"), b.monitor->report("text"));
+  const std::string json = a.monitor->report("json");
+  EXPECT_NE(json.find("\"objectives\":["), std::string::npos);
+  EXPECT_NE(json.find("\"worst_hop\":"), std::string::npos);
+  // The client query answers through the bus with the same bytes.
+  bus::Client query(a.scenario.runtime->bus(), a.monitor->module_name());
+  EXPECT_EQ(query.mh_slo("json"), json);
+}
+
+// --- monitor replacement -----------------------------------------------------
+
+// An alert subscriber: ordinary bus module whose queue the test drains.
+class AlertSink {
+ public:
+  explicit AlertSink(bus::Bus& bus, const std::string& monitor_module)
+      : bus_(&bus), client_(bus, "alertsink") {
+    bus::ModuleInfo info;
+    info.name = "alertsink";
+    info.machine = "vax";
+    info.source = kSloSource;
+    info.interfaces.push_back(
+        bus::InterfaceSpec{"in", bus::IfaceRole::kUse, "", ""});
+    bus_->add_module(std::move(info));
+    bus_->add_binding(bus::BindingEnd{monitor_module, "alerts"},
+                      bus::BindingEnd{"alertsink", "in"});
+  }
+  /// Drains delivered alert messages into ids(); returns new-alert count.
+  std::size_t drain() {
+    std::size_t n = 0;
+    while (auto msg = client_.try_read("in")) {
+      if (!msg->values.empty() && msg->values[0].is_int()) {
+        ids_.push_back(static_cast<std::uint64_t>(msg->values[0].as_int()));
+      } else {
+        ++malformed_;
+      }
+      ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& ids() const noexcept {
+    return ids_;
+  }
+  [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  bus::Bus* bus_;
+  bus::Client client_;
+  std::vector<std::uint64_t> ids_;
+  std::uint64_t malformed_ = 0;
+};
+
+// Everything state-derived must survive the swap byte for byte; the query
+// timestamp ("at") is the one legitimately time-varying field, since the
+// replacement itself advances the virtual clock.
+std::string strip_query_time(const std::string& report) {
+  const std::size_t comma = report.find(',');
+  EXPECT_EQ(report.rfind("{\"at\":", 0), 0u);
+  return comma == std::string::npos ? report : report.substr(comma);
+}
+
+TEST(MonitorReplacement, ReportByteIdenticalAcrossReplacement) {
+  Plane p = make_plane(600, 20'000'000);
+  run_day(p);
+  p.probe->stop();  // freeze the record stream before the snapshot
+  p.scenario.runtime->run_for(500'000);
+  const std::string before = strip_query_time(p.monitor->report("json"));
+  ReplaceMonitorReport report =
+      replace_monitor(p.scenario.runtime->bus(), p.monitor, "sparc",
+                      [&] { return p.scenario.runtime->step(); });
+  EXPECT_EQ(report.new_instance, "slomon#2");
+  EXPECT_GT(report.state_bytes, 0u);
+  EXPECT_EQ(p.monitor->module_name(), "slomon#2");
+  EXPECT_EQ(strip_query_time(p.monitor->report("json")), before);
+  // The query path follows the successor.
+  bus::Client follow(p.scenario.runtime->bus(), p.monitor->module_name());
+  EXPECT_EQ(strip_query_time(follow.mh_slo("json")), before);
+}
+
+// The acceptance bar: replacing the monitor mid-day must neither lose nor
+// duplicate an alert. 215 seeds vary the network schedule and a chaos
+// fault mix (duplicates, delays, jitter -- the reliable layer dedups and
+// resequences; alert ids must stay gap-free and strictly ascending).
+TEST(MonitorReplacement, AlertSequenceGapFreeAcross215ChaosSeeds) {
+  std::uint64_t total_events = 0;  // fire + clear events across all seeds
+  std::uint64_t seeds_with_alerts = 0;
+  for (std::uint64_t seed = 1; seed <= 215; ++seed) {
+    chaos::FaultInjector faults(seed);  // outlives the bus hook
+    bench::DiurnalSpec spec;
+    spec.requests = 300;
+    spec.day_us = 6'000'000;
+    spec.seed = seed;
+    bench::DiurnalScenario s = bench::make_diurnal_pipeline(spec, seed);
+    app::Runtime& rt = *s.runtime;
+    rt.enable_metrics();
+    rt.set_instruction_cost_ns(((seed % 3) + 1) * 40'000);
+
+    chaos::LinkFaults mix;
+    mix.duplicate = 0.03 * static_cast<double>(seed % 4);
+    mix.delay = 0.04 * static_cast<double>(seed % 5);
+    mix.jitter_us = 200 + (seed % 7) * 300;
+    faults.set_default(mix);
+    faults.attach(rt.bus());
+    // The duplicate/reorder mix needs the reliable layer (fire-and-forget
+    // delivers chaos duplicates twice by design) — same setting the chaos
+    // scenarios run under.
+    rt.bus().set_delivery({.reliable = true});
+
+    auto monitor = std::make_unique<Monitor>(rt.bus(), "slomon", "sparc");
+    // A twitchy objective so alerts actually fire under the midday tail.
+    monitor->add_objective(parse_objective(
+        "o service=pipeline p99<2100us window=5s fast=1s@1 slow=2s@1"));
+    AlertSink sink(rt.bus(), "slomon");
+    Probe probe(rt.bus(), rt.tracer(), "vax", "pipeline", "slomon");
+
+    constexpr std::uint64_t kRounds = 100'000'000'000ULL;
+    s.source->start();
+    const net::SimTime midday = s.source->midday_at();
+    bool replaced = false;
+    ASSERT_TRUE(rt.run_until(
+        [&] {
+          sink.drain();
+          if (!replaced && rt.now() >= midday) {
+            ReplaceMonitorReport rep = replace_monitor(
+                rt.bus(), monitor, "sparc", [&] { return rt.step(); });
+            EXPECT_EQ(rep.new_instance, "slomon#2") << "seed " << seed;
+            replaced = true;
+          }
+          return s.source->done();
+        },
+        kRounds)) << "seed " << seed;
+    // Run well past quiescence: a firing objective clears once the slow
+    // window (2s) slides clean, the monitor's idle tick backs off up to 1s,
+    // and the clear still needs bus delivery to the sink. 5s covers all of
+    // it, so afterwards the engine's issued count and the sink's received
+    // count must agree exactly.
+    rt.run_for(5'000'000, kRounds);
+    probe.stop();
+    sink.drain();
+
+    ASSERT_TRUE(replaced) << "seed " << seed;
+    const std::vector<std::uint64_t>& ids = sink.ids();
+    // Gap-free and duplicate-free: exactly 1..N in order, and N is exactly
+    // what the engine issued — nothing lost, nothing repeated, across the
+    // midday monitor replacement.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(ids[i], i + 1) << "seed " << seed << " position " << i;
+    }
+    EXPECT_EQ(monitor->engine().next_alert_id(), ids.size() + 1)
+        << "seed " << seed;
+    total_events += ids.size();
+    if (!ids.empty()) ++seeds_with_alerts;
+  }
+  // The chaos mixes are tuned so the twitchy objective trips for most
+  // seeds; if these floors regress the test has stopped exercising the
+  // fire/clear path and the invariant above is vacuous.
+  EXPECT_GT(seeds_with_alerts, 150u);
+  EXPECT_GT(total_events, 300u);
+}
+
+// --- surgeon_slo_* exporter lines under replacement churn (satellite) --------
+
+// Both the watched filter AND the monitor are replaced mid-day; the
+// surgeon_slo_* families must stay consistent through the churn. The
+// filtered export is golden-diffed byte for byte. Regenerate with
+//   SURGEON_REGEN_GOLDEN=1 ./slo_test
+//       --gtest_filter=SloMetrics.ExporterSurvivesReplacementChurnGolden
+TEST(SloMetrics, ExporterSurvivesReplacementChurnGolden) {
+  Plane p = make_plane(2'000, 60'000'000,
+                       "pipeline-p99 service=pipeline p99<2500us window=60s "
+                       "fast=10s@4 slow=60s@2");
+  app::Runtime& rt = *p.scenario.runtime;
+  rt.set_instruction_cost_ns(50'000);
+  constexpr std::uint64_t kRounds = 100'000'000'000ULL;
+  p.scenario.source->start();
+  const net::SimTime midday = p.scenario.source->midday_at();
+  const net::SimTime evening =
+      p.scenario.source->started_at() + 45'000'000;
+  bool replaced = false, monitor_replaced = false;
+  ASSERT_TRUE(rt.run_until(
+      [&] {
+        if (!replaced && rt.now() >= midday) {
+          reconfig::ReplaceReport rep = reconfig::replace_module(rt, "filter");
+          p.monitor->note_blackout(rep.divulged_at, rep.restored_at);
+          replaced = true;
+        }
+        if (!monitor_replaced && rt.now() >= evening) {
+          (void)replace_monitor(rt.bus(), p.monitor, "sparc",
+                                [&] { return rt.step(); });
+          monitor_replaced = true;
+        }
+        return p.scenario.source->done();
+      },
+      kRounds));
+  rt.run_for(500'000, kRounds);
+  ASSERT_TRUE(replaced);
+  ASSERT_TRUE(monitor_replaced);
+
+  // Filter the export to the SLO families: the golden pins names, labels,
+  // and (deterministic) values without dragging every vm/bus series along.
+  std::istringstream all(obs::to_prometheus(rt.metrics()));
+  std::ostringstream slo_lines;
+  std::string line;
+  while (std::getline(all, line)) {
+    if (line.find("surgeon_slo_") != std::string::npos) {
+      slo_lines << line << "\n";
+    }
+  }
+  const std::string actual = slo_lines.str();
+  const std::string path =
+      std::string(SURGEON_GOLDEN_DIR) + "/slo_churn_prometheus.txt";
+  if (std::getenv("SURGEON_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "golden file missing: " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str());
+  // The churn evidence, independent of exact counts: completions,
+  // latency quantiles, attainment, burn, and blackout correlation all
+  // exported after both replacements.
+  EXPECT_NE(actual.find("surgeon_slo_completions_total"), std::string::npos);
+  EXPECT_NE(actual.find("surgeon_slo_request_latency_us"),
+            std::string::npos);
+  EXPECT_NE(actual.find("surgeon_slo_attainment_ppm"), std::string::npos);
+  EXPECT_NE(actual.find("surgeon_slo_burn_milli"), std::string::npos);
+  EXPECT_NE(actual.find("surgeon_slo_violations_total"), std::string::npos);
+  EXPECT_NE(actual.find("surgeon_slo_blackout_violations_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace surgeon::slo

@@ -258,6 +258,58 @@ TEST_F(TracedBusTest, OutOfOrderBufferingIsCounted) {
   EXPECT_NE(stats.find("surgeon_bus_transmissions_total"), std::string::npos);
 }
 
+// Ring eviction must never fail request assembly: a request whose early
+// records were evicted assembles into a partial trace with a completeness
+// fraction < 1, while requests whose full chain survived stay complete.
+TEST_F(TracedBusTest, RequestAssemblySurvivesRingEviction) {
+  rec_.set_capacity(4);  // tiny ring: sparc holds 4 of its 6 records
+  add_pair();
+  bus_.set_request_entry("a", "out");
+  bus_.set_request_terminal("b", "in");
+  // Move off t=0: a started_at of 0 is the assembler's "entry send was
+  // evicted" sentinel, and these sends must be distinguishable from that.
+  sim_.schedule_after(500, [] {});
+  sim_.run();
+  for (int i = 0; i < 3; ++i) {
+    bus_.send("a", "out", {ser::Value(std::int64_t{i})});
+  }
+  sim_.run();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(bus_.receive("b", "in").has_value());
+  }
+  // vax keeps its 3 sends; sparc journaled deliver 1-3 then receive 1-3,
+  // so the 4-slot ring evicted request 1's and 2's delivers: their
+  // surviving receives now carry dangling cause references.
+  Dag dag = assemble(rec_);
+  std::vector<RequestTrace> requests = assemble_requests(dag);
+  ASSERT_EQ(requests.size(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    const RequestTrace& rt = requests[r];
+    EXPECT_EQ(rt.request, r + 1) << "request " << r + 1;
+    EXPECT_TRUE(rt.completed) << "request " << r + 1;   // terminal receive
+    EXPECT_FALSE(rt.complete) << "request " << r + 1;   // ...but holes
+    EXPECT_LT(rt.completeness, 1.0) << "request " << r + 1;
+    ASSERT_FALSE(rt.hops.empty()) << "request " << r + 1;
+    EXPECT_TRUE(rt.hops.back().partial) << "request " << r + 1;
+  }
+  // The survivor assembles end to end: every causal reference resolved,
+  // latency derived from both ends.
+  const RequestTrace& intact = requests[2];
+  EXPECT_EQ(intact.request, 3u);
+  EXPECT_TRUE(intact.completed);
+  EXPECT_TRUE(intact.complete);
+  EXPECT_DOUBLE_EQ(intact.completeness, 1.0);
+  EXPECT_EQ(intact.latency_us, intact.completed_at - intact.started_at);
+  ASSERT_FALSE(intact.hops.empty());
+  for (const RequestHop& hop : intact.hops) {
+    EXPECT_FALSE(hop.partial);
+  }
+  // The export stays well-formed in the presence of partial traces.
+  const std::string json = requests_to_json(requests);
+  EXPECT_NE(json.find("\"complete\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+}
+
 // ------------------------------------------------- replacement integration
 
 std::unique_ptr<app::Runtime> make_counter(int requests = 20) {

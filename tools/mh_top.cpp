@@ -17,7 +17,10 @@
 //                        rendering, windows intact, because the clone
 //                        inherits them through the state buffer.
 //
-// Exit status: 0 = ran to completion, 2 = usage error.
+// Exit status: 0 = ran to completion with telemetry flowing,
+//              1 = no telemetry arrived (the collector applied zero
+//                  deltas -- frames too short, reporters misbound, ...),
+//              2 = usage error.
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -39,6 +42,7 @@ void print_usage(const char* argv0, std::ostream& os) {
         "  --interval-us U     virtual microseconds per frame"
         " (default 250000)\n"
         "  --format F          \"table\" (default) or \"json\"\n"
+        "  --json              shorthand for --format json\n"
         "  --replace-server    replace the server mid-run (Figure 5)\n"
         "  --replace-collector replace the collector itself mid-run\n"
         "  --help              print this message and exit\n";
@@ -74,6 +78,8 @@ int main(int argc, char** argv) {
       interval_us = std::strtoull(value("--interval-us"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--format") == 0) {
       format = value("--format");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      format = "json";
     } else if (std::strcmp(argv[i], "--replace-server") == 0) {
       replace_server = true;
     } else if (std::strcmp(argv[i], "--replace-collector") == 0) {
@@ -131,5 +137,5 @@ int main(int argc, char** argv) {
               << query.mh_top(format);
     if (format == "json") std::cout << "\n";
   }
-  return 0;
+  return collector->deltas_applied() == 0 ? 1 : 0;
 }

@@ -1,0 +1,41 @@
+# Runs a CLI tool and checks its exit status and (optionally) its stdout
+# against a golden file, byte for byte. Invoked by the ctest entries the
+# tools/CMakeLists.txt registers:
+#
+#   cmake -D TOOL=<binary> -D ARGS="--json --frames 2" -D EXPECT_EXIT=0
+#         [-D GOLDEN=<file>] [-D ACTUAL=<file>] -P run_cli_check.cmake
+#
+# Regenerate a golden by running the same invocation and redirecting
+# stdout, e.g.  build/tools/mh_top --json --frames 2 > tools/golden/....
+if(NOT DEFINED TOOL)
+  message(FATAL_ERROR "run_cli_check: TOOL not set")
+endif()
+if(NOT DEFINED EXPECT_EXIT)
+  set(EXPECT_EXIT 0)
+endif()
+
+separate_arguments(tool_args NATIVE_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${TOOL} ${tool_args}
+  OUTPUT_VARIABLE tool_out
+  ERROR_VARIABLE tool_err
+  RESULT_VARIABLE tool_code)
+
+if(NOT tool_code STREQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+    "${TOOL} ${ARGS}: exit ${tool_code}, expected ${EXPECT_EXIT}\n"
+    "stderr:\n${tool_err}")
+endif()
+
+if(DEFINED GOLDEN)
+  file(READ "${GOLDEN}" golden_out)
+  if(NOT tool_out STREQUAL golden_out)
+    if(DEFINED ACTUAL)
+      file(WRITE "${ACTUAL}" "${tool_out}")
+      set(actual_hint " (actual output written to ${ACTUAL})")
+    endif()
+    message(FATAL_ERROR
+      "${TOOL} ${ARGS}: stdout differs from golden ${GOLDEN}${actual_hint}\n"
+      "regenerate with: <tool> ${ARGS} > ${GOLDEN}")
+  endif()
+endif()
