@@ -1,0 +1,219 @@
+// C11 -- interpreter dispatch cost: how fast the MiniC VM runs the shapes
+// that dominate every workload in this repo, across the 2x2 of dispatch
+// mode (portable switch vs direct-threaded computed goto) and code form
+// (plain vs superinstruction-fused).
+//
+// Kernels, all dispatch-bound:
+//   tight_loop    -- compare+branch loop edges, slot/const arithmetic
+//                    (the fused kCmpJf / kLoadSlotAdd / kPushConstAdd shapes)
+//   call_heavy    -- recursion: AR push/pop, register-cache reload cost
+//   flag_cascade  -- xform-transformed module with the reconfiguration
+//                    point inside the hot loop: wall-to-wall kStmtFlagJf
+//   counter_app   -- the whole counter application (busy client, RPC via
+//                    the bus), the end-to-end items/s headline
+//
+// The acceptance ratio is counter_app items/s at threaded:1/fused:1 over
+// threaded:0/fused:0 (the release switch baseline). tight_loop also pins
+// the profiler-disarmed tax: a machine with a sample sink installed but no
+// countdown armed must stay within 3% of a bare one (`disarmed_pct`).
+//
+// Emit machine-readable results with the `bench_vm_json` CMake target
+// (writes BENCH_vm.json).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+/// Applies one (dispatch, fusion) cell process-wide for the duration of a
+/// benchmark run, so code compiled inside app::Runtime and machines built
+/// by it land in the same cell; restores the defaults on scope exit.
+struct CellGuard {
+  vm::DispatchMode saved_mode = vm::default_dispatch_mode();
+  vm::CompileOptions saved_opts = vm::default_compile_options();
+
+  CellGuard(bool threaded, bool fused) {
+    vm::set_default_dispatch_mode(threaded ? vm::DispatchMode::kThreaded
+                                           : vm::DispatchMode::kSwitch);
+    vm::set_default_compile_options(vm::CompileOptions{.fuse = fused});
+  }
+  ~CellGuard() {
+    vm::set_default_dispatch_mode(saved_mode);
+    vm::set_default_compile_options(saved_opts);
+  }
+};
+
+/// True when the cell is runnable; threaded cells need computed goto.
+bool cell_supported(benchmark::State& state) {
+  if (state.range(0) != 0 && !vm::threaded_dispatch_supported()) {
+    state.SkipWithError("computed goto unavailable on this toolchain");
+    return false;
+  }
+  return true;
+}
+
+// --- standalone kernels -----------------------------------------------------
+
+const char* kTightLoop = R"(
+void main() {
+  int i; int sum; int prod;
+  i = 0; sum = 0; prod = 1;
+  while (i < 20000) {
+    sum = sum + i - 3;
+    prod = (prod * 5 + sum) % 1000003;
+    if (sum > 1000000) { sum = sum - 1000000; }
+    i = i + 1;
+  }
+  print(sum, prod);
+}
+)";
+
+const char* kCallHeavy = R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+void main() {
+  print(fib(21));
+}
+)";
+
+/// The C1 inner-placement worker: a reconfiguration point inside the hot
+/// loop, so after transformation every statement tests the flag.
+const char* kFlagCascade = R"(
+int acc = 0;
+
+void round(int n) {
+  while (n > 0) {
+RP:
+    acc = acc + n;
+    n = n - 1;
+  }
+}
+
+void main() {
+  int r;
+  r = 0;
+  while (r < 200) {
+    round(100);
+    r = r + 1;
+  }
+}
+)";
+
+void run_kernel(benchmark::State& state,
+                const std::shared_ptr<vm::CompiledProgram>& prog) {
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    m.set_dispatch_mode(state.range(0) != 0 ? vm::DispatchMode::kThreaded
+                                            : vm::DispatchMode::kSwitch);
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  // items == component VM instructions: items/s is directly comparable
+  // across cells because fusion never changes the instruction count.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(insns));
+  state.counters["insns_per_run"] = static_cast<double>(insns);
+}
+
+std::shared_ptr<vm::CompiledProgram> compile_cell(const std::string& src,
+                                                  bool fused) {
+  minic::Program prog = minic::parse_program(src);
+  minic::analyze(prog);
+  return std::make_shared<vm::CompiledProgram>(
+      vm::compile(prog, vm::CompileOptions{.fuse = fused}));
+}
+
+void BM_TightLoop(benchmark::State& state) {
+  if (!cell_supported(state)) return;
+  run_kernel(state, compile_cell(kTightLoop, state.range(1) != 0));
+}
+BENCHMARK(BM_TightLoop)
+    ->ArgNames({"threaded", "fused"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+void BM_CallHeavy(benchmark::State& state) {
+  if (!cell_supported(state)) return;
+  run_kernel(state, compile_cell(kCallHeavy, state.range(1) != 0));
+}
+BENCHMARK(BM_CallHeavy)
+    ->ArgNames({"threaded", "fused"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+void BM_FlagCascade(benchmark::State& state) {
+  if (!cell_supported(state)) return;
+  minic::Program prog = minic::parse_program(kFlagCascade);
+  minic::analyze(prog);
+  xform::prepare_module(prog, {cfg::ReconfigPointSpec{"RP", {}, {}}}, {});
+  auto compiled = std::make_shared<vm::CompiledProgram>(
+      vm::compile(prog, vm::CompileOptions{.fuse = state.range(1) != 0}));
+  run_kernel(state, compiled);
+}
+BENCHMARK(BM_FlagCascade)
+    ->ArgNames({"threaded", "fused"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+// --- profiler disarmed tax --------------------------------------------------
+
+/// A sink that must never fire: the machine has no countdown armed.
+struct NullSink : vm::SampleSink {
+  void on_sample(const vm::Machine&) override { ++hits; }
+  std::uint64_t hits = 0;
+};
+
+// The dispatch loop pays for the profiler only at VM_NEXT (one countdown
+// test per component instruction). With no sample armed that test must be
+// the whole cost: sink installed + countdown 0 within 3% of no sink.
+void BM_TightLoopProfilerDisarmed(benchmark::State& state) {
+  if (!cell_supported(state)) return;
+  auto prog = compile_cell(kTightLoop, state.range(1) != 0);
+  NullSink sink;
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    vm::Machine m(*prog, net::arch_vax());
+    m.set_dispatch_mode(state.range(0) != 0 ? vm::DispatchMode::kThreaded
+                                            : vm::DispatchMode::kSwitch);
+    m.set_sample_sink(&sink);  // installed, never armed
+    benchsupport::run_to_done(m);
+    insns = m.instructions_executed();
+  }
+  if (sink.hits != 0) state.SkipWithError("disarmed profiler fired");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_TightLoopProfilerDisarmed)
+    ->ArgNames({"threaded", "fused"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+// --- the end-to-end headline ------------------------------------------------
+
+// The whole counter application: busy client on vax, server on sparc, every
+// request an RPC through the bus. items == client requests completed; the
+// threaded:1/fused:1 over threaded:0/fused:0 ratio is the acceptance
+// number.
+void BM_CounterApp(benchmark::State& state) {
+  if (!cell_supported(state)) return;
+  constexpr int kRequests = 500;
+  CellGuard cell(state.range(0) != 0, state.range(1) != 0);
+  for (auto _ : state) {
+    auto rt = benchsupport::make_counter(
+        kRequests, {.seed = 3, .metrics = false, .busy_client = true});
+    rt->run_until_idle(50'000'000);
+    if (!rt->module_finished("client")) {
+      state.SkipWithError("client did not finish");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRequests);
+}
+BENCHMARK(BM_CounterApp)
+    ->ArgNames({"threaded", "fused"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
+
+}  // namespace

@@ -27,6 +27,12 @@ bool same_code(const CompiledProgram& pa, const CompiledFunction& fa,
     if (ia.op != ib.op || ia.b != ib.b) return false;
     switch (ia.op) {
       case Op::kPushConst:
+      case Op::kPushConstAdd:
+      case Op::kPushConstSub:
+      case Op::kPushConstMul:
+      case Op::kStmtPushConst:
+      case Op::kPushConstAddStore:
+      case Op::kPushConstSubStore:
         if (!(pa.constants[static_cast<std::size_t>(ia.a)] ==
               pb.constants[static_cast<std::size_t>(ib.a)])) {
           return false;

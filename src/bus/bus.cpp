@@ -241,6 +241,7 @@ void Bus::add_module(ModuleInfo info) {
     }
   }
   const std::string name = info.name;
+  ++module_topology_gen_;
   auto [it, inserted] = modules_.emplace(name, ModuleRec{});
   ModuleRec& r = it->second;
   r.info = std::move(info);
@@ -293,6 +294,7 @@ void Bus::remove_module(const std::string& name) {
   });
   const std::string machine = r.info.machine;
   for (EndpointId slot : r.slots) release_slot(slot);
+  ++module_topology_gen_;
   modules_.erase(name);
   last_state_ctx_.erase(name);
   rebuild_adjacency();
@@ -810,6 +812,10 @@ bool Bus::take_pending_signal(const std::string& module) {
   bool was = r.reconfig_signaled;
   r.reconfig_signaled = false;
   return was;
+}
+
+Bus::SignalSlotRef Bus::resolve_signal_slot(const std::string& module) {
+  return {&rec(module).reconfig_signaled, module_topology_gen_};
 }
 
 void Bus::post_divulged_state(const std::string& module,

@@ -295,6 +295,21 @@ class Bus {
   /// Consumed by the module's runtime at a statement boundary.
   [[nodiscard]] bool take_pending_signal(const std::string& module);
 
+  /// Pre-resolved pending-signal slot: the per-statement poll is the single
+  /// hottest bus query (every kStmt the VM retires asks it), so a caching
+  /// caller resolves the module's flag once and then polls through the
+  /// pointer. The pointer stays valid while module_topology_generation()
+  /// matches the handle's: module records live in node-stable map storage,
+  /// so only an add/remove can retire one, and both bump the generation.
+  struct SignalSlotRef {
+    bool* flag = nullptr;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] SignalSlotRef resolve_signal_slot(const std::string& module);
+  [[nodiscard]] std::uint64_t module_topology_generation() const noexcept {
+    return module_topology_gen_;
+  }
+
   /// mh_encode side: the module posts its encoded abstract state.
   void post_divulged_state(const std::string& module,
                            std::vector<std::uint8_t> bytes);
@@ -664,6 +679,9 @@ class Bus {
 
   net::Simulator* sim_;
   std::map<std::string, ModuleRec> modules_;
+  /// Bumped whenever modules_ gains or loses a record; SignalSlotRef
+  /// handles from older generations must re-resolve.
+  std::uint64_t module_topology_gen_ = 0;
   std::uint64_t next_uid_ = 1;
   std::vector<Binding> bindings_;
   std::vector<Endpoint> slab_;

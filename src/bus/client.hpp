@@ -50,8 +50,17 @@ class Client {
   }
 
   /// Pending reconfiguration signal, consumed at a statement boundary.
+  /// The VM polls this on every kStmt it retires, so the flag's address is
+  /// cached like the endpoint handles: steady-state polls are one
+  /// generation compare plus a pointer read, no string lookup.
   [[nodiscard]] bool take_pending_signal() {
-    return bus_->take_pending_signal(module_);
+    if (signal_slot_.flag == nullptr ||
+        signal_slot_.generation != bus_->module_topology_generation()) {
+      signal_slot_ = bus_->resolve_signal_slot(module_);
+    }
+    const bool was = *signal_slot_.flag;
+    *signal_slot_.flag = false;
+    return was;
   }
 
   /// mh_encode: serialize the captured state and hand it to the bus.
@@ -125,6 +134,7 @@ class Client {
   Bus* bus_;
   std::string module_;
   std::vector<Port> ports_;
+  Bus::SignalSlotRef signal_slot_;
 };
 
 }  // namespace surgeon::bus

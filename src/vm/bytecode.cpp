@@ -40,6 +40,25 @@ const char* op_name(Op op) noexcept {
     case Op::kBuiltin: return "builtin";
     case Op::kPop: return "pop";
     case Op::kStmt: return "stmt";
+    case Op::kStmtFlagJf: return "stmt+flag+jf";
+    case Op::kEqJf: return "eq+jf";
+    case Op::kNeJf: return "ne+jf";
+    case Op::kLtJf: return "lt+jf";
+    case Op::kLeJf: return "le+jf";
+    case Op::kGtJf: return "gt+jf";
+    case Op::kGeJf: return "ge+jf";
+    case Op::kLoadSlotAdd: return "load_slot+add";
+    case Op::kLoadSlotSub: return "load_slot+sub";
+    case Op::kLoadSlotMul: return "load_slot+mul";
+    case Op::kPushConstAdd: return "push_const+add";
+    case Op::kPushConstSub: return "push_const+sub";
+    case Op::kPushConstMul: return "push_const+mul";
+    case Op::kStmtLoadSlot: return "stmt+load_slot";
+    case Op::kStmtPushConst: return "stmt+push_const";
+    case Op::kStmtSlotCmpConstJf: return "stmt+slot_cmp_const+jf";
+    case Op::kPushConstAddStore: return "push_const+add+store";
+    case Op::kPushConstSubStore: return "push_const+sub+store";
+    case Op::kStmtLoadGlobal: return "stmt+load_global";
   }
   return "?";
 }
@@ -67,11 +86,22 @@ std::string CompiledProgram::disassemble() const {
       os << "  " << i << ": " << op_name(insn.op);
       switch (insn.op) {
         case Op::kPushConst:
+        case Op::kPushConstAdd:
+        case Op::kPushConstSub:
+        case Op::kPushConstMul:
+        case Op::kStmtPushConst:
+        case Op::kPushConstAddStore:
+        case Op::kPushConstSubStore:
           os << " " << constants[static_cast<std::size_t>(insn.a)].to_string();
           break;
         case Op::kLoadSlot:
         case Op::kStoreSlot:
-        case Op::kAddrSlot: {
+        case Op::kAddrSlot:
+        case Op::kLoadSlotAdd:
+        case Op::kLoadSlotSub:
+        case Op::kLoadSlotMul:
+        case Op::kStmtLoadSlot:
+        case Op::kStmtSlotCmpConstJf: {
           auto slot = static_cast<std::size_t>(insn.a);
           os << " " << insn.a;
           if (slot < f.slot_names.size()) os << " (" << f.slot_names[slot]
@@ -80,7 +110,8 @@ std::string CompiledProgram::disassemble() const {
         }
         case Op::kLoadGlobal:
         case Op::kStoreGlobal:
-        case Op::kAddrGlobal: {
+        case Op::kAddrGlobal:
+        case Op::kStmtLoadGlobal: {
           auto g = static_cast<std::size_t>(insn.a);
           os << " " << insn.a;
           if (g < globals.size()) os << " (" << globals[g].name << ")";
@@ -89,8 +120,21 @@ std::string CompiledProgram::disassemble() const {
         case Op::kJump:
         case Op::kJumpIfFalse:
         case Op::kJumpIfTrue:
+        case Op::kEqJf:
+        case Op::kNeJf:
+        case Op::kLtJf:
+        case Op::kLeJf:
+        case Op::kGtJf:
+        case Op::kGeJf:
           os << " -> " << insn.a;
           break;
+        case Op::kStmtFlagJf: {
+          auto g = static_cast<std::size_t>(insn.b);
+          os << " " << insn.b;
+          if (g < globals.size()) os << " (" << globals[g].name << ")";
+          os << " -> " << insn.a;
+          break;
+        }
         case Op::kCall:
           os << " " << functions[static_cast<std::size_t>(insn.a)].name << "/"
              << insn.b;

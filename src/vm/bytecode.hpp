@@ -7,6 +7,7 @@
 // ordinary compiled source.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,9 +40,112 @@ enum class Op : std::uint8_t {
   kBuiltin,      // a: BuiltinId, b: arg count
   kPop,          // discard top of stack
   kStmt,         // statement boundary: pending-signal delivery point
+
+  // --- superinstructions -----------------------------------------------
+  //
+  // Fused forms of the sequences the xform pass puts on every hot path
+  // (flag test + branch, compare + loop edge, operand load + arithmetic).
+  // The peephole pass in compiler.cpp rewrites only the *head* instruction
+  // of a matched sequence; the interior instructions stay in place, so
+  // every code offset -- including jump targets that land mid-sequence and
+  // the pc values in captured frame images -- remains valid. A fused
+  // instruction executes its full sequence and is accounted as
+  // op_width(op) instructions (virtual time, slice budgets, and profiler
+  // countdowns are all denominated in component instructions).
+  kStmtFlagJf,   // a: jump target, b: global index
+                 //    = kStmt; kLoadGlobal b; kJumpIfFalse a   (width 3)
+  kEqJf, kNeJf, kLtJf, kLeJf, kGtJf, kGeJf,
+                 // a: jump target
+                 //    = kCmp; kJumpIfFalse a                   (width 2)
+  kLoadSlotAdd, kLoadSlotSub, kLoadSlotMul,
+                 // a: frame slot
+                 //    = kLoadSlot a; kAdd/kSub/kMul            (width 2)
+  kPushConstAdd, kPushConstSub, kPushConstMul,
+                 // a: constant pool index
+                 //    = kPushConst a; kAdd/kSub/kMul           (width 2)
+
+  // Wider fusions. The head instruction has only two operand fields, so
+  // heads that stand for longer sequences read their remaining operands
+  // from the preserved interior instructions (cur[1], cur[2], ...), which
+  // the peephole pass leaves untouched.
+  kStmtLoadSlot,   // a: frame slot (from the interior kLoadSlot)
+                   //    = kStmt; kLoadSlot a                   (width 2)
+  kStmtPushConst,  // a: constant pool index (from the interior kPushConst)
+                   //    = kStmt; kPushConst a                  (width 2)
+  kStmtSlotCmpConstJf,
+                   // a: frame slot, b: the comparison opcode
+                   //    = kStmt; kLoadSlot a; kPushConst; kCmp;
+                   //      kJumpIfFalse                         (width 5)
+                   //    constant index and branch target are read from the
+                   //    interior instructions -- the full while-loop header
+                   //    in one dispatch
+  kPushConstAddStore, kPushConstSubStore,
+                   // a: constant pool index
+                   //    = kPushConst a; kAdd/kSub; kStoreSlot  (width 3)
+                   //    store slot read from the interior kStoreSlot
+  kStmtLoadGlobal, // a: global index (from the interior kLoadGlobal)
+                   //    = kStmt; kLoadGlobal a                 (width 2)
 };
 
+/// Number of opcodes; the threaded dispatch table is indexed by opcode with
+/// one extra slot for the decode sentinel.
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kStmtLoadGlobal) + 1;
+
 [[nodiscard]] const char* op_name(Op op) noexcept;
+
+/// Number of component instructions a fused op stands for (1 for plain ops).
+[[nodiscard]] constexpr std::uint32_t op_width(Op op) noexcept {
+  switch (op) {
+    case Op::kStmtSlotCmpConstJf:
+      return 5;
+    case Op::kStmtFlagJf:
+    case Op::kPushConstAddStore: case Op::kPushConstSubStore:
+      return 3;
+    case Op::kEqJf: case Op::kNeJf: case Op::kLtJf:
+    case Op::kLeJf: case Op::kGtJf: case Op::kGeJf:
+    case Op::kLoadSlotAdd: case Op::kLoadSlotSub: case Op::kLoadSlotMul:
+    case Op::kPushConstAdd: case Op::kPushConstSub: case Op::kPushConstMul:
+    case Op::kStmtLoadSlot: case Op::kStmtPushConst:
+    case Op::kStmtLoadGlobal:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+[[nodiscard]] constexpr bool is_superinstruction(Op op) noexcept {
+  return op_width(op) > 1;
+}
+
+/// The first component of a fused sequence. When the VM cannot afford to
+/// run a whole fused op (slice budget or profiler sample boundary inside
+/// it), it executes just this head op -- kStmt-headed fusions carry an
+/// interior operand in `a`, which the plain kStmt handler ignores; every
+/// other fusion's `a` is the head's own operand.
+[[nodiscard]] constexpr Op op_first_component(Op op) noexcept {
+  switch (op) {
+    case Op::kStmtFlagJf:
+    case Op::kStmtLoadSlot:
+    case Op::kStmtPushConst:
+    case Op::kStmtSlotCmpConstJf:
+    case Op::kStmtLoadGlobal:
+      return Op::kStmt;
+    case Op::kEqJf: return Op::kEq;
+    case Op::kNeJf: return Op::kNe;
+    case Op::kLtJf: return Op::kLt;
+    case Op::kLeJf: return Op::kLe;
+    case Op::kGtJf: return Op::kGt;
+    case Op::kGeJf: return Op::kGe;
+    case Op::kLoadSlotAdd: case Op::kLoadSlotSub: case Op::kLoadSlotMul:
+      return Op::kLoadSlot;
+    case Op::kPushConstAdd: case Op::kPushConstSub: case Op::kPushConstMul:
+    case Op::kPushConstAddStore: case Op::kPushConstSubStore:
+      return Op::kPushConst;
+    default:
+      return op;
+  }
+}
 
 struct Insn {
   Op op;

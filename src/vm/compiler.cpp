@@ -457,9 +457,105 @@ class FnCompiler {
   throw SemaError(e.loc, "global initializers must be literals");
 }
 
+[[nodiscard]] bool is_cmp(Op op) noexcept {
+  return op == Op::kEq || op == Op::kNe || op == Op::kLt || op == Op::kLe ||
+         op == Op::kGt || op == Op::kGe;
+}
+
+[[nodiscard]] Op cmp_jf(Op op) noexcept {
+  switch (op) {
+    case Op::kEq: return Op::kEqJf;
+    case Op::kNe: return Op::kNeJf;
+    case Op::kLt: return Op::kLtJf;
+    case Op::kLe: return Op::kLeJf;
+    case Op::kGt: return Op::kGtJf;
+    default: return Op::kGeJf;
+  }
+}
+
+void fuse_function(CompiledFunction& fn) {
+  auto& code = fn.code;
+  // Left-to-right, head replacement only, longest match first at each
+  // position. Interiors we inspect when matching at i are always to the
+  // right of i, so they are still the original plain ops. A later pass
+  // position can rewrite the *interior* of an earlier fusion (e.g. the
+  // kLtJf inside a kStmtSlotCmpConstJf): that is safe because every
+  // rewrite is head-only and semantics-preserving, so both the fast path
+  // (which skips the interior) and the head's slow path (which falls
+  // through and dispatches it) observe the same behavior -- but wide
+  // heads that read interior *operands* at runtime rely on the peephole
+  // never changing an insn's a/b fields, only its op.
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Op op = code[i].op;
+    if (op == Op::kStmt) {
+      if (i + 2 < code.size() && code[i + 1].op == Op::kLoadGlobal &&
+          code[i + 2].op == Op::kJumpIfFalse) {
+        // The xform flag test: `if (mh_reconfig) {...}` and friends.
+        code[i] = Insn{Op::kStmtFlagJf, code[i + 2].a, code[i + 1].a};
+      } else if (i + 4 < code.size() && code[i + 1].op == Op::kLoadSlot &&
+                 code[i + 2].op == Op::kPushConst && is_cmp(code[i + 3].op) &&
+                 code[i + 4].op == Op::kJumpIfFalse) {
+        // The while-loop header: `while (local <op> literal)`. Constant
+        // index and branch target stay in the interiors.
+        code[i] = Insn{Op::kStmtSlotCmpConstJf, code[i + 1].a,
+                       static_cast<std::int32_t>(code[i + 3].op)};
+      } else if (i + 1 < code.size() && code[i + 1].op == Op::kLoadSlot) {
+        code[i] = Insn{Op::kStmtLoadSlot, code[i + 1].a, 0};
+      } else if (i + 1 < code.size() && code[i + 1].op == Op::kLoadGlobal) {
+        code[i] = Insn{Op::kStmtLoadGlobal, code[i + 1].a, 0};
+      } else if (i + 1 < code.size() && code[i + 1].op == Op::kPushConst &&
+                 (i + 2 >= code.size() ||
+                  (code[i + 2].op != Op::kAdd && code[i + 2].op != Op::kSub &&
+                   code[i + 2].op != Op::kMul))) {
+        // When arithmetic follows, the push is more valuable as the head
+        // of a kPushConst* fusion; leave the kStmt plain.
+        code[i] = Insn{Op::kStmtPushConst, code[i + 1].a, 0};
+      }
+    } else if (is_cmp(op) && i + 1 < code.size() &&
+               code[i + 1].op == Op::kJumpIfFalse) {
+      code[i] = Insn{cmp_jf(op), code[i + 1].a, 0};
+    } else if (op == Op::kLoadSlot && i + 1 < code.size()) {
+      const Op next = code[i + 1].op;
+      if (next == Op::kAdd) code[i].op = Op::kLoadSlotAdd;
+      else if (next == Op::kSub) code[i].op = Op::kLoadSlotSub;
+      else if (next == Op::kMul) code[i].op = Op::kLoadSlotMul;
+    } else if (op == Op::kPushConst && i + 1 < code.size()) {
+      const Op next = code[i + 1].op;
+      const Op after = i + 2 < code.size() ? code[i + 2].op : Op::kStmt;
+      if (next == Op::kAdd && after == Op::kStoreSlot) {
+        code[i].op = Op::kPushConstAddStore;
+      } else if (next == Op::kSub && after == Op::kStoreSlot) {
+        code[i].op = Op::kPushConstSubStore;
+      } else if (next == Op::kAdd) {
+        code[i].op = Op::kPushConstAdd;
+      } else if (next == Op::kSub) {
+        code[i].op = Op::kPushConstSub;
+      } else if (next == Op::kMul) {
+        code[i].op = Op::kPushConstMul;
+      }
+    }
+  }
+}
+
+CompileOptions g_default_options{};
+
 }  // namespace
 
+void set_default_compile_options(const CompileOptions& options) noexcept {
+  g_default_options = options;
+}
+
+CompileOptions default_compile_options() noexcept { return g_default_options; }
+
+void fuse_superinstructions(CompiledProgram& program) {
+  for (auto& fn : program.functions) fuse_function(fn);
+}
+
 CompiledProgram compile(const Program& program) {
+  return compile(program, g_default_options);
+}
+
+CompiledProgram compile(const Program& program, const CompileOptions& options) {
   CompiledProgram out;
   for (const auto& g : program.globals) {
     GlobalSlot slot;
@@ -495,6 +591,7 @@ CompiledProgram compile(const Program& program) {
   if (out.main_index == UINT32_MAX) {
     throw SemaError({}, "compiled program has no main()");
   }
+  if (options.fuse) fuse_superinstructions(out);
   return out;
 }
 

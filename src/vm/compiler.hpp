@@ -11,11 +11,33 @@
 
 namespace surgeon::vm {
 
+struct CompileOptions {
+  /// Run the superinstruction peephole pass after codegen. On by default;
+  /// benches flip it off (via set_default_compile_options, so the toggle
+  /// reaches compiles buried inside app::Runtime::load_application) to
+  /// measure the unfused baseline.
+  bool fuse = true;
+};
+
+/// Process-wide default used by the option-less compile()/compile_source()
+/// entry points. Not thread-safe; meant for bench/test setup, not for
+/// flipping mid-run.
+void set_default_compile_options(const CompileOptions& options) noexcept;
+[[nodiscard]] CompileOptions default_compile_options() noexcept;
+
 /// Compiles an analyzed program. Throws SemaError on constructs the
 /// backend cannot express (e.g. non-literal global initializers).
+[[nodiscard]] CompiledProgram compile(const minic::Program& program,
+                                      const CompileOptions& options);
 [[nodiscard]] CompiledProgram compile(const minic::Program& program);
 
 /// Convenience: parse + analyze + compile a source text.
 [[nodiscard]] CompiledProgram compile_source(std::string_view source);
+
+/// The superinstruction peephole pass (exposed for tests). Rewrites only
+/// the head instruction of each matched sequence; interior instructions
+/// stay in place, so code offsets, jump targets into the interior, and
+/// captured pc values all remain valid.
+void fuse_superinstructions(CompiledProgram& program);
 
 }  // namespace surgeon::vm

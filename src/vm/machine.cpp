@@ -5,11 +5,40 @@
 
 #include "minic/builtins.hpp"
 
+// Computed goto (&&label) drives the direct-threaded dispatch loop; it is a
+// GCC/Clang extension. SURGEON_VM_FORCE_SWITCH_DISPATCH (a configure-time
+// option) forces the portable switch loop even where the extension exists.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SURGEON_VM_FORCE_SWITCH_DISPATCH)
+#define SURGEON_VM_HAVE_COMPUTED_GOTO 1
+#else
+#define SURGEON_VM_HAVE_COMPUTED_GOTO 0
+#endif
+
 namespace surgeon::vm {
 
 using minic::BuiltinId;
 using support::ValueKind;
 using support::VmError;
+
+namespace {
+DispatchMode g_default_dispatch_mode = SURGEON_VM_HAVE_COMPUTED_GOTO
+                                           ? DispatchMode::kThreaded
+                                           : DispatchMode::kSwitch;
+}  // namespace
+
+bool threaded_dispatch_supported() noexcept {
+  return SURGEON_VM_HAVE_COMPUTED_GOTO != 0;
+}
+
+void set_default_dispatch_mode(DispatchMode mode) noexcept {
+  g_default_dispatch_mode =
+      threaded_dispatch_supported() ? mode : DispatchMode::kSwitch;
+}
+
+DispatchMode default_dispatch_mode() noexcept {
+  return g_default_dispatch_mode;
+}
 
 const char* run_state_name(RunState state) noexcept {
   switch (state) {
@@ -104,6 +133,127 @@ namespace {
                 rt_to_string(v));
 }
 
+// --- dispatch-loop helpers (machine_loop.inc) ------------------------------
+
+/// Sentinel opcode of the decode sentinel at index == code size; dispatches
+/// to the pc-ran-off-the-end handler in both loop variants.
+constexpr Op kOpOffEnd = static_cast<Op>(0xFF);
+
+enum class CmpKind : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One comparison predicate per opcode (instantiated per kind), replacing
+/// the old dispatch-then-switch-again comparison path.
+template <CmpKind K>
+[[nodiscard]] bool compare_values(const RtValue& lhs, const RtValue& rhs) {
+  if (std::holds_alternative<Ref>(lhs) || std::holds_alternative<Ref>(rhs)) {
+    if constexpr (K != CmpKind::kEq && K != CmpKind::kNe) {
+      throw VmError("pointers support only == and !=");
+    } else {
+      Ref a = need_ref(lhs, "compare");
+      Ref b = need_ref(rhs, "compare");
+      bool eq = (a == b) || (a.kind == Ref::Kind::kNull &&
+                             b.kind == Ref::Kind::kNull);
+      return (K == CmpKind::kEq) == eq;
+    }
+  }
+  int cmp;  // -1 / 0 / +1
+  if (std::holds_alternative<std::string>(lhs) ||
+      std::holds_alternative<std::string>(rhs)) {
+    const std::string& a = need_str(lhs, "compare");
+    const std::string& b = need_str(rhs, "compare");
+    cmp = a < b ? -1 : (a == b ? 0 : 1);
+  } else {
+    double a = need_num(lhs, "compare");
+    double b = need_num(rhs, "compare");
+    cmp = a < b ? -1 : (a == b ? 0 : 1);
+  }
+  switch (K) {
+    case CmpKind::kEq: return cmp == 0;
+    case CmpKind::kNe: return cmp != 0;
+    case CmpKind::kLt: return cmp < 0;
+    case CmpKind::kLe: return cmp <= 0;
+    case CmpKind::kGt: return cmp > 0;
+    case CmpKind::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+/// Runtime-kind comparison for kStmtSlotCmpConstJf, whose head `b` operand
+/// carries the original comparison opcode.
+[[nodiscard]] bool compare_values_dyn(Op cmp, const RtValue& lhs,
+                                      const RtValue& rhs) {
+  switch (cmp) {
+    case Op::kEq: return compare_values<CmpKind::kEq>(lhs, rhs);
+    case Op::kNe: return compare_values<CmpKind::kNe>(lhs, rhs);
+    case Op::kLt: return compare_values<CmpKind::kLt>(lhs, rhs);
+    case Op::kLe: return compare_values<CmpKind::kLe>(lhs, rhs);
+    case Op::kGt: return compare_values<CmpKind::kGt>(lhs, rhs);
+    default: return compare_values<CmpKind::kGe>(lhs, rhs);
+  }
+}
+
+[[nodiscard]] RtValue arith_add(const RtValue& lhs, const RtValue& rhs) {
+  if (std::holds_alternative<std::string>(lhs) &&
+      std::holds_alternative<std::string>(rhs)) {
+    return std::get<std::string>(lhs) + std::get<std::string>(rhs);
+  }
+  if (std::holds_alternative<std::int64_t>(lhs) &&
+      std::holds_alternative<std::int64_t>(rhs)) {
+    return std::get<std::int64_t>(lhs) + std::get<std::int64_t>(rhs);
+  }
+  return need_num(lhs, "+") + need_num(rhs, "+");
+}
+
+[[nodiscard]] RtValue arith_sub(const RtValue& lhs, const RtValue& rhs) {
+  if (std::holds_alternative<std::int64_t>(lhs) &&
+      std::holds_alternative<std::int64_t>(rhs)) {
+    return std::get<std::int64_t>(lhs) - std::get<std::int64_t>(rhs);
+  }
+  return need_num(lhs, "arith") - need_num(rhs, "arith");
+}
+
+[[nodiscard]] RtValue arith_mul(const RtValue& lhs, const RtValue& rhs) {
+  if (std::holds_alternative<std::int64_t>(lhs) &&
+      std::holds_alternative<std::int64_t>(rhs)) {
+    return std::get<std::int64_t>(lhs) * std::get<std::int64_t>(rhs);
+  }
+  return need_num(lhs, "arith") * need_num(rhs, "arith");
+}
+
+[[nodiscard]] RtValue arith_div(const RtValue& lhs, const RtValue& rhs) {
+  if (std::holds_alternative<std::int64_t>(lhs) &&
+      std::holds_alternative<std::int64_t>(rhs)) {
+    std::int64_t b = std::get<std::int64_t>(rhs);
+    if (b == 0) throw VmError("integer division by zero");
+    return std::get<std::int64_t>(lhs) / b;
+  }
+  return need_num(lhs, "arith") / need_num(rhs, "arith");
+}
+
+/// Spills the cached pc and counters and reports the executed count when a
+/// fault unwinds out of the dispatch loop (fr is nulled around
+/// frame-structure mutations, so the spill can never write through a
+/// dangling pointer).
+template <typename FrameT>
+struct UnwindSpill {
+  std::uint64_t& n;
+  std::uint64_t& insns_base;
+  std::uint64_t& cd;
+  std::uint64_t& instructions_executed;
+  std::uint64_t& sample_countdown;
+  FrameT*& fr;
+  std::uint32_t& pc;
+  StepResult* resultp;
+  bool armed = true;
+  ~UnwindSpill() {
+    if (!armed) return;
+    resultp->instructions = n;
+    instructions_executed = insns_base + n;
+    sample_countdown = cd;
+    if (fr != nullptr) fr->pc = pc;
+  }
+};
+
 }  // namespace
 
 Machine::Machine(const CompiledProgram& program, net::Arch arch,
@@ -115,7 +265,59 @@ Machine::Machine(const CompiledProgram& program, net::Arch arch,
     globals_.push_back(g.init.is_pointer() ? RtValue{Ref{}}
                                            : from_abstract(g.init));
   }
+  decoded_.resize(program.functions.size());
+  sync_rt_consts();
   push_frame(program.main_index, 0);
+}
+
+void Machine::sync_rt_consts() {
+  rt_consts_.clear();
+  rt_consts_.reserve(prog_->constants.size() + extra_constants_.size());
+  for (const auto& v : prog_->constants) rt_consts_.push_back(from_abstract(v));
+  for (const auto& v : extra_constants_) rt_consts_.push_back(from_abstract(v));
+}
+
+void Machine::set_dispatch_mode(DispatchMode mode) noexcept {
+  if (!threaded_dispatch_supported()) mode = DispatchMode::kSwitch;
+  if (mode == dispatch_mode_) return;
+  dispatch_mode_ = mode;
+  // Decoded handler addresses are per-mode.
+  for (auto& d : decoded_) d.reset();
+}
+
+const DecodedInsn* Machine::decoded_code(std::uint32_t fn_index,
+                                         std::uint32_t& size) {
+  auto& slot = decoded_[fn_index];
+  if (!slot) {
+    const CompiledFunction& fn = effective_function(fn_index);
+    const void* const* targets = nullptr;
+#if SURGEON_VM_HAVE_COMPUTED_GOTO
+    if (dispatch_mode_ == DispatchMode::kThreaded) {
+      targets = run_threaded(nullptr, 0);
+    }
+#endif
+    auto vec = std::make_unique<std::vector<DecodedInsn>>();
+    vec->reserve(fn.code.size() + 1);
+    for (const Insn& insn : fn.code) {
+      DecodedInsn d;
+      d.op = insn.op;
+      d.a = insn.a;
+      d.b = insn.b;
+      if (targets != nullptr) {
+        d.target = targets[static_cast<std::size_t>(insn.op)];
+      }
+      vec->push_back(d);
+    }
+    // Sentinel: executing at index == size raises the off-the-end fault
+    // without a per-instruction bounds check in the hot loop.
+    DecodedInsn sentinel;
+    sentinel.op = kOpOffEnd;
+    if (targets != nullptr) sentinel.target = targets[kOpCount];
+    vec->push_back(sentinel);
+    slot = std::move(vec);
+  }
+  size = static_cast<std::uint32_t>(slot->size() - 1);
+  return slot->data();
 }
 
 const CompiledFunction& Machine::effective_function(
@@ -245,13 +447,15 @@ StepResult Machine::step(std::uint64_t max_insns) {
   }
   state_ = RunState::kRunnable;
   try {
-    while (result.instructions < max_insns) {
-      ++result.instructions;
-      ++instructions_executed_;
-      // Profiler countdown: one compare per instruction while disarmed.
-      if (sample_countdown_ != 0 && --sample_countdown_ == 0) take_sample();
-      if (!exec_one()) break;
+#if SURGEON_VM_HAVE_COMPUTED_GOTO
+    if (dispatch_mode_ == DispatchMode::kThreaded) {
+      (void)run_threaded(&result, max_insns);
+    } else {
+      (void)run_switch(&result, max_insns);
     }
+#else
+    (void)run_switch(&result, max_insns);
+#endif
   } catch (const support::Error& e) {
     state_ = RunState::kFault;
     fault_message_ = e.what();
@@ -300,245 +504,26 @@ void Machine::stack_functions(std::vector<std::uint32_t>& out) const {
   for (const Frame& frame : frames_) out.push_back(frame.fn);
 }
 
-bool Machine::exec_one() {
-  Frame& frame = top();
-  const CompiledFunction& fn = fn_of(frame);
-  if (frame.pc >= fn.code.size()) {
-    throw VmError("program counter ran off the end of " + fn.name);
-  }
-  const Insn insn = fn.code[frame.pc];
-  switch (insn.op) {
-    case Op::kStmt: {
-      ++frame.pc;
-      if (signal_handler_fn_ >= 0 && take_signal()) {
-        // Deliver the signal: run the handler on top of the current stack,
-        // exactly as a UNIX signal handler borrows the interrupted thread.
-        push_frame(static_cast<std::uint32_t>(signal_handler_fn_), 0);
-      }
-      return true;
-    }
-    case Op::kPushConst: {
-      auto idx = static_cast<std::size_t>(insn.a);
-      const ser::Value& v =
-          idx < prog_->constants.size()
-              ? prog_->constants[idx]
-              : extra_constants_[idx - prog_->constants.size()];
-      push(from_abstract(v));
-      ++frame.pc;
-      return true;
-    }
-    case Op::kLoadSlot:
-      push(frame.slots[static_cast<std::size_t>(insn.a)]);
-      ++frame.pc;
-      return true;
-    case Op::kStoreSlot:
-      frame.slots[static_cast<std::size_t>(insn.a)] = pop();
-      ++frame.pc;
-      return true;
-    case Op::kLoadGlobal:
-      push(globals_[static_cast<std::size_t>(insn.a)]);
-      ++frame.pc;
-      return true;
-    case Op::kStoreGlobal:
-      globals_[static_cast<std::size_t>(insn.a)] = pop();
-      ++frame.pc;
-      return true;
-    case Op::kAddrSlot:
-      push(Ref{Ref::Kind::kFrame, frame.id, static_cast<std::uint64_t>(insn.a)});
-      ++frame.pc;
-      return true;
-    case Op::kAddrGlobal:
-      push(Ref{Ref::Kind::kGlobal, static_cast<std::uint64_t>(insn.a), 0});
-      ++frame.pc;
-      return true;
-    case Op::kLoadInd: {
-      Ref r = need_ref(pop(), "dereference");
-      push(load_ref(r));
-      ++frame.pc;
-      return true;
-    }
-    case Op::kStoreInd: {
-      Ref r = need_ref(pop(), "indirect store");
-      RtValue v = pop();
-      store_ref(r, std::move(v));
-      ++frame.pc;
-      return true;
-    }
-    case Op::kIndexPtr: {
-      std::int64_t idx = need_int(pop(), "index");
-      Ref r = need_ref(pop(), "index base");
-      if (r.kind != Ref::Kind::kHeap) {
-        throw VmError("indexing requires a heap pointer");
-      }
-      if (idx < 0) throw VmError("negative pointer index");
-      push(Ref{Ref::Kind::kHeap, r.a, r.b + static_cast<std::uint64_t>(idx)});
-      ++frame.pc;
-      return true;
-    }
-    case Op::kAdd: {
-      RtValue rhs = pop();
-      RtValue lhs = pop();
-      if (std::holds_alternative<std::string>(lhs) &&
-          std::holds_alternative<std::string>(rhs)) {
-        push(std::get<std::string>(lhs) + std::get<std::string>(rhs));
-      } else if (std::holds_alternative<std::int64_t>(lhs) &&
-                 std::holds_alternative<std::int64_t>(rhs)) {
-        push(std::get<std::int64_t>(lhs) + std::get<std::int64_t>(rhs));
-      } else {
-        push(need_num(lhs, "+") + need_num(rhs, "+"));
-      }
-      ++frame.pc;
-      return true;
-    }
-    case Op::kSub:
-    case Op::kMul:
-    case Op::kDiv: {
-      RtValue rhs = pop();
-      RtValue lhs = pop();
-      if (std::holds_alternative<std::int64_t>(lhs) &&
-          std::holds_alternative<std::int64_t>(rhs)) {
-        std::int64_t a = std::get<std::int64_t>(lhs);
-        std::int64_t b = std::get<std::int64_t>(rhs);
-        if (insn.op == Op::kSub) {
-          push(a - b);
-        } else if (insn.op == Op::kMul) {
-          push(a * b);
-        } else {
-          if (b == 0) throw VmError("integer division by zero");
-          push(a / b);
-        }
-      } else {
-        double a = need_num(lhs, "arith");
-        double b = need_num(rhs, "arith");
-        push(insn.op == Op::kSub   ? a - b
-             : insn.op == Op::kMul ? a * b
-                                   : a / b);
-      }
-      ++frame.pc;
-      return true;
-    }
-    case Op::kMod: {
-      std::int64_t b = need_int(pop(), "%");
-      std::int64_t a = need_int(pop(), "%");
-      if (b == 0) throw VmError("integer modulo by zero");
-      push(a % b);
-      ++frame.pc;
-      return true;
-    }
-    case Op::kEq:
-    case Op::kNe:
-    case Op::kLt:
-    case Op::kLe:
-    case Op::kGt:
-    case Op::kGe: {
-      RtValue rhs = pop();
-      RtValue lhs = pop();
-      int cmp;  // -1 / 0 / +1, or equality only for refs
-      if (std::holds_alternative<Ref>(lhs) || std::holds_alternative<Ref>(rhs)) {
-        if (insn.op != Op::kEq && insn.op != Op::kNe) {
-          throw VmError("pointers support only == and !=");
-        }
-        Ref a = need_ref(lhs, "compare");
-        Ref b = need_ref(rhs, "compare");
-        bool eq = (a == b) || (a.kind == Ref::Kind::kNull &&
-                               b.kind == Ref::Kind::kNull);
-        push(std::int64_t{(insn.op == Op::kEq) == eq});
-        ++frame.pc;
-        return true;
-      }
-      if (std::holds_alternative<std::string>(lhs) ||
-          std::holds_alternative<std::string>(rhs)) {
-        const std::string& a = need_str(lhs, "compare");
-        const std::string& b = need_str(rhs, "compare");
-        cmp = a < b ? -1 : (a == b ? 0 : 1);
-      } else {
-        double a = need_num(lhs, "compare");
-        double b = need_num(rhs, "compare");
-        cmp = a < b ? -1 : (a == b ? 0 : 1);
-      }
-      bool out = false;
-      switch (insn.op) {
-        case Op::kEq: out = cmp == 0; break;
-        case Op::kNe: out = cmp != 0; break;
-        case Op::kLt: out = cmp < 0; break;
-        case Op::kLe: out = cmp <= 0; break;
-        case Op::kGt: out = cmp > 0; break;
-        default: out = cmp >= 0; break;
-      }
-      push(std::int64_t{out});
-      ++frame.pc;
-      return true;
-    }
-    case Op::kNeg: {
-      RtValue v = pop();
-      if (std::holds_alternative<std::int64_t>(v)) {
-        push(-std::get<std::int64_t>(v));
-      } else {
-        push(-need_num(v, "-"));
-      }
-      ++frame.pc;
-      return true;
-    }
-    case Op::kNot:
-      push(std::int64_t{need_int(pop(), "!") == 0});
-      ++frame.pc;
-      return true;
-    case Op::kCastInt: {
-      RtValue v = pop();
-      if (std::holds_alternative<std::int64_t>(v)) {
-        push(std::move(v));
-      } else {
-        push(static_cast<std::int64_t>(need_num(v, "(int)")));
-      }
-      ++frame.pc;
-      return true;
-    }
-    case Op::kCastReal:
-      push(need_num(pop(), "(float)"));
-      ++frame.pc;
-      return true;
-    case Op::kJump:
-      frame.pc = static_cast<std::uint32_t>(insn.a);
-      return true;
-    case Op::kJumpIfFalse:
-    case Op::kJumpIfTrue: {
-      std::int64_t c = need_int(pop(), "condition");
-      bool taken = (insn.op == Op::kJumpIfTrue) == (c != 0);
-      if (taken) {
-        frame.pc = static_cast<std::uint32_t>(insn.a);
-      } else {
-        ++frame.pc;
-      }
-      return true;
-    }
-    case Op::kCall:
-      ++frame.pc;  // resume after the call upon return
-      push_frame(static_cast<std::uint32_t>(insn.a),
-                 static_cast<std::size_t>(insn.b));
-      return true;
-    case Op::kRet:
-    case Op::kRetVal: {
-      RtValue result;
-      if (insn.op == Op::kRetVal) result = pop();
-      if (frames_.size() == 1) {
-        state_ = RunState::kDone;
-        return false;
-      }
-      frame_by_id_.erase(frame.id);
-      frames_.pop_back();
-      if (insn.op == Op::kRetVal) top().stack.push_back(std::move(result));
-      return true;
-    }
-    case Op::kBuiltin:
-      return exec_builtin(static_cast<std::uint8_t>(insn.a),
-                          static_cast<std::uint32_t>(insn.b));
-    case Op::kPop:
-      (void)pop();
-      ++frame.pc;
-      return true;
-  }
-  throw VmError("bad opcode");
+// --- dispatch loops ---------------------------------------------------------
+//
+// The handler bodies live in machine_loop.inc, included twice: once with
+// computed-goto dispatch (run_threaded), once with the portable switch
+// (run_switch). See the contract at the top of that file.
+
+#if SURGEON_VM_HAVE_COMPUTED_GOTO
+#define VM_THREADED 1
+#include "vm/machine_loop.inc"
+#undef VM_THREADED
+#else
+const void* const* Machine::run_threaded(StepResult* resultp,
+                                         std::uint64_t max_insns) {
+  // No computed goto on this toolchain: threaded mode degrades to the
+  // portable loop (threaded_dispatch_supported() reports false).
+  return run_switch(resultp, max_insns);
 }
+#endif
+
+#include "vm/machine_loop.inc"
 
 // --- builtins ---------------------------------------------------------------
 
@@ -976,6 +961,12 @@ void Machine::replace_function(const CompiledProgram& donor,
   for (auto& insn : replacement.code) {
     switch (insn.op) {
       case Op::kPushConst:
+      case Op::kPushConstAdd:
+      case Op::kPushConstSub:
+      case Op::kPushConstMul:
+      case Op::kStmtPushConst:
+      case Op::kPushConstAddStore:
+      case Op::kPushConstSubStore:
         insn.a = map_constant(insn.a);
         break;
       case Op::kCall: {
@@ -1002,6 +993,8 @@ void Machine::replace_function(const CompiledProgram& donor,
     }
   }
   fn_overrides_[here] = std::move(replacement);
+  decoded_[here].reset();  // the override is what decodes from now on
+  sync_rt_consts();        // map_constant may have grown extra_constants_
 }
 
 std::string Machine::dump_stack() const {

@@ -62,6 +62,35 @@ struct StepResult {
   std::string blocked_iface;        // when kBlockedRead
 };
 
+/// How the dispatch loop gets from one instruction to the next.
+/// kThreaded (direct-threaded via computed goto) is the default wherever the
+/// compiler supports `&&label`; kSwitch is the portable fallback and the
+/// baseline the bench suite measures speedups against. Both modes execute
+/// the same decoded code and are required to be observably identical --
+/// the dispatch-parity test suite holds them to byte-identical output,
+/// captured state, and instruction counts.
+enum class DispatchMode : std::uint8_t { kSwitch, kThreaded };
+
+/// False when the compiler has no computed goto (or the build forced the
+/// portable loop with SURGEON_VM_FORCE_SWITCH_DISPATCH); requests for
+/// kThreaded silently coerce to kSwitch then.
+[[nodiscard]] bool threaded_dispatch_supported() noexcept;
+
+/// Process-wide default mode for new machines (bench/test setup; not
+/// thread-safe, not for flipping mid-run).
+void set_default_dispatch_mode(DispatchMode mode) noexcept;
+[[nodiscard]] DispatchMode default_dispatch_mode() noexcept;
+
+/// One instruction decoded into dispatch-ready form: the operands, and (in
+/// threaded mode) the handler address, so the hot loop never re-derives
+/// either. Decoding is per-machine and lazy, cached per function.
+struct DecodedInsn {
+  const void* target = nullptr;  // threaded mode: handler label address
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  Op op = Op::kStmt;
+};
+
 class Machine;
 
 /// Receiver of sampling-profiler hits (surgeon::profile). on_sample is
@@ -91,8 +120,18 @@ class Machine {
   void attach_client(bus::Client* client) noexcept { client_ = client; }
 
   /// Executes up to max_insns instructions. Never throws for program-level
-  /// errors; they surface as RunState::kFault.
+  /// errors; they surface as RunState::kFault. A superinstruction counts as
+  /// its op_width() component instructions against the budget; when fewer
+  /// remain, only the head component executes, so a slice of k runs exactly
+  /// k instructions regardless of fusion.
   StepResult step(std::uint64_t max_insns = UINT64_MAX);
+
+  /// Selects the dispatch loop for this machine (coerced to kSwitch when
+  /// threading is unsupported). Discards the decoded-code cache.
+  void set_dispatch_mode(DispatchMode mode) noexcept;
+  [[nodiscard]] DispatchMode dispatch_mode() const noexcept {
+    return dispatch_mode_;
+  }
 
   /// Test helper: steps until done/fault/blocked, up to a total budget.
   StepResult run(std::uint64_t max_total_insns = 10'000'000);
@@ -276,9 +315,21 @@ class Machine {
   [[nodiscard]] RtValue pop();
   void push(RtValue v) { top().stack.push_back(std::move(v)); }
 
-  /// One instruction. Returns false when the slice must end (blocked,
-  /// sleeping, done). Throws VmError on faults.
-  bool exec_one();
+  // The dispatch loops (bodies in machine_loop.inc, included twice from
+  // machine.cpp). Passing resultp == nullptr asks the threaded variant for
+  // its handler-label table (used by decode) instead of executing.
+  const void* const* run_threaded(StepResult* resultp,
+                                  std::uint64_t max_insns);
+  const void* const* run_switch(StepResult* resultp, std::uint64_t max_insns);
+
+  /// Lazily decoded code of effective_function(fn_index), with a sentinel
+  /// entry at index `size` whose handler raises the pc-ran-off-the-end
+  /// fault. Invalidated by replace_function and set_dispatch_mode.
+  const DecodedInsn* decoded_code(std::uint32_t fn_index,
+                                  std::uint32_t& size);
+  /// Rebuilds rt_consts_ from the program + extra constant pools.
+  void sync_rt_consts();
+
   bool exec_builtin(std::uint8_t id, std::uint32_t nargs);
 
   // Pointer plumbing.
@@ -340,6 +391,14 @@ class Machine {
   /// (indices >= prog_->constants.size() address extra_constants_).
   std::map<std::uint32_t, CompiledFunction> fn_overrides_;
   std::vector<ser::Value> extra_constants_;
+
+  DispatchMode dispatch_mode_ = default_dispatch_mode();
+  /// Per-function decoded code, indexed by function index; entries are
+  /// stable once created (unique_ptr to a vector that never grows).
+  std::vector<std::unique_ptr<std::vector<DecodedInsn>>> decoded_;
+  /// Constants pre-materialized as runtime values, so kPushConst is a copy
+  /// instead of a per-execution abstract-value conversion.
+  std::vector<RtValue> rt_consts_;
 };
 
 /// Printable name of a run state (diagnostics and test failure messages).
