@@ -1,0 +1,135 @@
+// What machine loss costs a replica-group deployment (surgeon::replicate).
+//
+// BM_RebuildUnderLoad -- the sharded KV workload with a GroupManager
+// watching, one ring machine crashed mid-run, per group size:
+//   virtual_restore_us  -- virtual time from the crash to full redundancy
+//                          (detection: heartbeat silence -> suspect ->
+//                          confirmed, then the pull rebuild onto the spare),
+//   p99_before_us / p99_during_us / p99_after_us -- served operation p99
+//                          latency in the windows before the crash, between
+//                          crash and restored redundancy, and after --
+//                          the "keeps serving while healing" evidence.
+// Wall time per iteration is the full simulated run; items processed are
+// acknowledged KV operations.
+//
+// BM_RingPlace -- the raw consistent-hash placement probe, the per-group
+// price every rebuild and rebalance decision pays.
+//
+// Emit machine-readable results with
+//   bench_rebuild --benchmark_out=BENCH_rebuild.json
+//                 --benchmark_out_format=json
+// (the `bench_rebuild_json` CMake target does exactly that).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "app/runtime.hpp"
+#include "net/arch.hpp"
+#include "replicate/kv.hpp"
+#include "replicate/manager.hpp"
+#include "replicate/placement.hpp"
+
+namespace {
+
+using namespace surgeon;
+
+constexpr std::uint64_t kRounds = 400'000'000;
+constexpr net::SimTime kBudgetUs = 60'000'000;
+constexpr net::SimTime kCrashAtUs = 30'000;
+constexpr int kWorkItems = 300;
+
+net::SimTime p99(std::vector<net::SimTime> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[(99 * (samples.size() - 1)) / 100];
+}
+
+void BM_RebuildUnderLoad(benchmark::State& state) {
+  const auto group_size = static_cast<std::size_t>(state.range(0));
+  net::SimTime restore_us = 0;
+  net::SimTime before_p99 = 0, during_p99 = 0, after_p99 = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t acked = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // exclude topology construction + MiniC compile
+    replicate::KvOptions options;
+    options.seed = 1;
+    options.shards = 4;
+    options.group_size = group_size;
+    options.machines.clear();
+    for (std::size_t m = 0; m < group_size + 2; ++m) {
+      options.machines.push_back("m" + std::to_string(m));
+    }
+    app::Runtime rt(1);
+    for (const auto& m : options.machines) rt.add_machine(m, net::arch_vax());
+    rt.add_machine("sp0", net::arch_vax());
+    rt.add_machine(options.control_machine, net::arch_vax());
+    replicate::KvService service(rt, options);
+    service.launch(kWorkItems);
+    replicate::ManagerOptions mopts;
+    mopts.heartbeat_interval_us = 5'000;
+    mopts.sweep_interval_us = 20'000;
+    mopts.detector.suspicion_timeout_us = 30'000;
+    mopts.detector.confirm_timeout_us = 60'000;
+    mopts.spares = {"sp0"};
+    replicate::GroupManager manager(service, mopts);
+    manager.start();
+    state.ResumeTiming();
+
+    (void)rt.run_for(kCrashAtUs, kRounds);
+    const net::SimTime crashed_at = rt.now();
+    (void)rt.crash_machine("m0");
+    const bool restored = rt.run_until(
+        [&] { return manager.stats().machines_rebuilt >= 1; }, kRounds);
+    if (!restored) state.SkipWithError("redundancy never restored");
+    const net::SimTime restored_at = rt.now();
+    const bool done = service.run_to_completion(kBudgetUs, kRounds);
+    if (!done) state.SkipWithError("client never finished");
+
+    state.PauseTiming();
+    manager.stop();
+    restore_us += restored_at - crashed_at;
+    ++samples;
+    acked += service.client().stats().acked;
+    std::vector<net::SimTime> before, during, after;
+    for (const replicate::KvLatencySample& s : service.router().latencies()) {
+      if (s.completed_at < crashed_at) {
+        before.push_back(s.latency_us);
+      } else if (s.completed_at < restored_at) {
+        during.push_back(s.latency_us);
+      } else {
+        after.push_back(s.latency_us);
+      }
+    }
+    before_p99 = p99(std::move(before));
+    during_p99 = p99(std::move(during));
+    after_p99 = p99(std::move(after));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(acked));
+  if (samples != 0) {
+    state.counters["virtual_restore_us"] =
+        static_cast<double>(restore_us) / static_cast<double>(samples);
+  }
+  state.counters["p99_before_us"] = static_cast<double>(before_p99);
+  state.counters["p99_during_us"] = static_cast<double>(during_p99);
+  state.counters["p99_after_us"] = static_cast<double>(after_p99);
+}
+BENCHMARK(BM_RebuildUnderLoad)->Arg(2)->Arg(3)->ArgNames({"group_size"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RingPlace(benchmark::State& state) {
+  replicate::HashRing ring(replicate::RingOptions{64, 11});
+  for (int m = 0; m < 8; ++m) ring.add_machine("m" + std::to_string(m));
+  int g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.place(replicate::kv_group_key(g), 3));
+    g = (g + 1) & 63;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingPlace);
+
+}  // namespace

@@ -140,6 +140,25 @@ void Runtime::crash_module(const std::string& instance,
   crash_now(instance, it->second, detail);
 }
 
+std::vector<std::string> Runtime::crash_machine(const std::string& machine,
+                                                const std::string& detail) {
+  // Kill every live process hosted on the machine, in name order (the
+  // iteration is over the process map, which is ordered). Bus registrations
+  // -- endpoints, queues, bindings -- survive, exactly as when a POLYLITH
+  // host dies but the nameserver still lists its modules; the rebuild
+  // script retires the corpses.
+  std::vector<std::string> killed;
+  for (auto& [name, rec] : processes_) {
+    if (rec.finished) continue;
+    if (!bus_.has_module(name)) continue;
+    if (bus_.module_info(name).machine != machine) continue;
+    crash_now(name, rec, detail);
+    killed.push_back(name);
+  }
+  dead_machines_.insert(machine);
+  return killed;
+}
+
 void Runtime::crash_after(const std::string& instance, std::uint64_t insns,
                           net::SimTime restart_after_us) {
   auto it = processes_.find(instance);

@@ -82,6 +82,21 @@ class Runtime {
   /// scripts observe the death through module_crashed().
   void crash_module(const std::string& instance,
                     const std::string& detail = "injected");
+  /// Machine failure: kills EVERY live process hosted on `machine` at once
+  /// (heartbeats from all of them stop on the same tick -- what a machine-
+  /// level failure detector aggregates). Bus registrations stay, like
+  /// crash_module; the machine is remembered as dead (machine_dead()) so
+  /// placement layers exclude it. Returns the killed instances, name order.
+  std::vector<std::string> crash_machine(
+      const std::string& machine, const std::string& detail = "machine lost");
+  /// Has crash_machine been called for this machine?
+  [[nodiscard]] bool machine_dead(const std::string& machine) const {
+    return dead_machines_.contains(machine);
+  }
+  /// Clears the dead mark (a repaired host rejoining under the same name).
+  void revive_machine(const std::string& machine) {
+    dead_machines_.erase(machine);
+  }
   /// Arms a deterministic crash: the process dies after executing `insns`
   /// more VM instructions (0 = at its next scheduling point). When
   /// `restart_after_us` is nonzero the module is restarted with a fresh VM
@@ -270,6 +285,7 @@ class Runtime {
   std::map<std::string, ModuleImage> images_;
   std::map<std::string, ProcessRec> processes_;
   std::set<std::string> crashed_;
+  std::set<std::string> dead_machines_;
   std::map<std::string, int> name_counters_;
   std::uint64_t slice_insns_ = 10'000;
   std::uint64_t insn_cost_ns_ = 0;

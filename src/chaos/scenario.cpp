@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -12,6 +13,8 @@
 #include "net/arch.hpp"
 #include "reconfig/scripts.hpp"
 #include "recover/recovery.hpp"
+#include "replicate/kv.hpp"
+#include "replicate/manager.hpp"
 #include "trace/checker.hpp"
 
 namespace surgeon::chaos {
@@ -21,6 +24,7 @@ const char* sample_app_name(SampleApp app) noexcept {
     case SampleApp::kCounter: return "counter";
     case SampleApp::kPipeline: return "pipeline";
     case SampleApp::kMonitor: return "monitor";
+    case SampleApp::kKv: return "kv";
   }
   return "?";
 }
@@ -35,6 +39,21 @@ std::string ScenarioSpec::describe() const {
      << " crash_coordinator_at_step=" << crash_coordinator_at_step
      << " replace_after=" << replace_after_outputs << " machine="
      << (target_machine.empty() ? "<same>" : target_machine);
+  if (app == SampleApp::kKv) {
+    // The artifact line must name the killed machine(s): a failing-seed
+    // report is only actionable when it says which host died and when.
+    os << " kv_shards=" << kv_shards << " kv_group=" << kv_group_size
+       << " kv_machines=" << kv_machines << " kv_spares=" << kv_spares;
+    if (kv_kill_machine >= 0) {
+      os << " kill=m" << kv_kill_machine << "@" << kv_kill_at_us << "us";
+    } else {
+      os << " kill=none";
+    }
+    if (kv_second_kill_machine >= 0) {
+      os << " second_kill=m" << kv_second_kill_machine << "@"
+         << kv_second_kill_at_us << "us";
+    }
+  }
   return os.str();
 }
 
@@ -51,6 +70,7 @@ AppRoles roles_for(SampleApp app) {
     case SampleApp::kCounter: return {"counter", "server", "client"};
     case SampleApp::kPipeline: return {"pipeline", "filter", "sink"};
     case SampleApp::kMonitor: return {"monitor", "compute", "display"};
+    case SampleApp::kKv: return {"kv", "shard", "client"};
   }
   return {"counter", "server", "client"};
 }
@@ -114,6 +134,10 @@ std::unique_ptr<app::Runtime> build_app(const ScenarioSpec& spec) {
         return app::samples::monitor_source_of(s);
       };
       break;
+    case SampleApp::kKv:
+      // kv scenarios take the run_kv_pass path; they never build the
+      // two-machine replacement topology.
+      throw support::Error("kv scenarios do not run through run_pass");
   }
   rt->load_application(config, roles_for(spec.app).application, provider);
   return rt;
@@ -260,6 +284,8 @@ PassResult run_pass(const ScenarioSpec& spec, FaultSource* injector) {
       pr.app_done = out_size() > before;
       break;
     }
+    case SampleApp::kKv:
+      break;  // unreachable: build_app rejected the spec already
   }
   if (rt.first_fault().has_value()) {
     pr.vm_fault = "module '" + rt.first_fault()->first +
@@ -442,18 +468,19 @@ bool check_consistent_configuration(const ScenarioSpec& spec,
 
 /// Invariant 5: the online happens-before checker saw a nonempty causal
 /// event stream and flagged nothing.
-bool check_happens_before(const PassResult& pass, const char* which,
-                          ScenarioResult& result) {
-  if (pass.hb_events == 0) {
+bool check_happens_before_stream(std::uint64_t events,
+                                 const std::vector<std::string>& violations,
+                                 const char* which, ScenarioResult& result) {
+  if (events == 0) {
     return fail(result, std::string("invariant 5: ") + which +
                             " pass recorded no causal events (tracing "
                             "was not running)");
   }
-  if (!pass.hb_violations.empty()) {
+  if (!violations.empty()) {
     std::string msg = std::string("invariant 5: ") + which + " pass: " +
-                      pass.hb_violations.front();
-    if (pass.hb_violations.size() > 1) {
-      msg += " (+" + std::to_string(pass.hb_violations.size() - 1) +
+                      violations.front();
+    if (violations.size() > 1) {
+      msg += " (+" + std::to_string(violations.size() - 1) +
              " more violations)";
     }
     return fail(result, msg);
@@ -461,10 +488,253 @@ bool check_happens_before(const PassResult& pass, const char* which,
   return true;
 }
 
+bool check_happens_before(const PassResult& pass, const char* which,
+                          ScenarioResult& result) {
+  return check_happens_before_stream(pass.hb_events, pass.hb_violations,
+                                     which, result);
+}
+
+/// Joins the first violation with a "+N more" suffix, so one invariant
+/// contributes one comparable message however many witnesses it has.
+std::string first_plus_more(const std::vector<std::string>& all) {
+  std::string msg = all.front();
+  if (all.size() > 1) {
+    msg += " (+" + std::to_string(all.size() - 1) + " more)";
+  }
+  return msg;
+}
+
+// --- kv (replica-group machine-loss) scenarios ------------------------------
+
+/// Everything one kv pass produces. The chaos pass runs the kills and the
+/// injected link faults; the golden pass is the same service fault-free
+/// and kill-free (the client's report is emitted post-run in key/seq
+/// order, so the two are comparable line-for-line).
+struct KvPassResult {
+  std::vector<std::string> output;  // client report
+  bool app_done = false;
+  std::string vm_fault;
+  std::vector<std::string> ledger_violations;
+  std::uint64_t stale_gets = 0;
+  std::uint64_t data_loss_groups = 0;
+  std::uint64_t machines_rebuilt = 0;
+  std::uint64_t groups_rebuilt = 0;
+  std::vector<std::string> redundancy_violations;  // invariant 6 evidence
+  std::vector<std::string> hb_violations;
+  std::uint64_t hb_events = 0;
+  bus::ReliableStats rstats;
+};
+
+KvPassResult run_kv_pass(const ScenarioSpec& spec, FaultSource* injector) {
+  KvPassResult pr;
+  auto rt_owner = std::make_unique<app::Runtime>(spec.seed);
+  app::Runtime& rt = *rt_owner;
+
+  replicate::KvOptions kv;
+  kv.seed = spec.seed;
+  kv.shards = static_cast<std::size_t>(spec.kv_shards);
+  kv.group_size = static_cast<std::size_t>(spec.kv_group_size);
+  kv.machines.clear();
+  for (int i = 0; i < spec.kv_machines; ++i) {
+    kv.machines.push_back("m" + std::to_string(i));
+    rt.add_machine(kv.machines.back(), net::arch_vax());
+  }
+  std::vector<std::string> spares;
+  for (int i = 0; i < spec.kv_spares; ++i) {
+    spares.push_back("sp" + std::to_string(i));
+    rt.add_machine(spares.back(), net::arch_sparc());
+  }
+  rt.add_machine(kv.control_machine, net::arch_vax());
+  rt.bus().set_delivery(spec.delivery);
+  rt.bus().set_control_machine(kv.control_machine);
+  if (injector != nullptr) injector->attach(rt.bus());
+  rt.enable_metrics();
+  rt.enable_causal_tracing();
+  trace::HbChecker hb_checker;
+  rt.tracer().set_observer(
+      [&hb_checker](const trace::Event& ev) { hb_checker.observe(ev); });
+
+  replicate::KvService service(rt, kv);
+  service.launch(spec.work_items);
+
+  // Production cadence, scaled down so a confirm-then-rebuild cycle fits
+  // inside the workload: heartbeats every 5ms, confirmed dead after 60ms
+  // of host-wide silence. Heartbeats are direct runtime callbacks, not
+  // wire messages, so the injected link faults can delay the service's
+  // traffic but never forge a machine death.
+  replicate::ManagerOptions mopts;
+  mopts.heartbeat_interval_us = 5'000;
+  mopts.sweep_interval_us = 20'000;
+  mopts.detector.suspicion_timeout_us = 30'000;
+  mopts.detector.confirm_timeout_us = 60'000;
+  mopts.spares = spares;
+  mopts.divulge_timeout_us = spec.divulge_timeout_us;
+  mopts.restore_timeout_us = spec.restore_timeout_us;
+  replicate::GroupManager manager(service, mopts);
+  manager.start();
+
+  // Kills run on the virtual clock, chaos pass only: the golden pass is
+  // the same spec with neither faults nor machine loss.
+  auto advance_to = [&rt](net::SimTime t) {
+    if (rt.now() < t) (void)rt.run_for(t - rt.now(), kRounds);
+  };
+  if (injector != nullptr && spec.kv_kill_machine >= 0) {
+    advance_to(spec.kv_kill_at_us);
+    (void)rt.crash_machine("m" + std::to_string(spec.kv_kill_machine));
+    if (spec.kv_second_kill_machine >= 0) {
+      advance_to(spec.kv_second_kill_at_us);
+      const std::string second =
+          "m" + std::to_string(spec.kv_second_kill_machine);
+      if (!rt.machine_dead(second)) (void)rt.crash_machine(second);
+    }
+  }
+
+  pr.app_done = service.run_to_completion(60'000'000, 400'000'000);
+  // A kill near the end of the workload can leave the rebuild in flight
+  // when the client finishes; give the manager time to restore redundancy
+  // before the final configuration check.
+  (void)rt.run_for(500'000, kRounds);
+  manager.stop();
+
+  if (rt.first_fault().has_value()) {
+    pr.vm_fault = "module '" + rt.first_fault()->first +
+                  "' faulted: " + rt.first_fault()->second;
+  }
+  pr.output = service.client().report();
+  pr.ledger_violations = service.client().ledger_violations();
+  pr.stale_gets = service.router().stats().stale_gets;
+  pr.data_loss_groups = manager.stats().data_loss_groups;
+  pr.machines_rebuilt = manager.stats().machines_rebuilt;
+  pr.groups_rebuilt = manager.stats().groups_rebuilt;
+  pr.rstats = rt.bus().reliable_stats();
+
+  // Final-configuration evidence for invariant 6: every group at full
+  // strength, members running, on distinct live machines.
+  for (std::size_t g = 0; g < kv.shards; ++g) {
+    const auto members = service.router().members(g);
+    const std::string tag = "group " + std::to_string(g);
+    if (members.size() != kv.group_size) {
+      pr.redundancy_violations.push_back(
+          tag + " has " + std::to_string(members.size()) + " members, want " +
+          std::to_string(kv.group_size));
+      continue;
+    }
+    std::set<std::string> hosts;
+    for (const auto& m : members) {
+      if (!rt.module_running(m)) {
+        pr.redundancy_violations.push_back(tag + " member " + m +
+                                           " is not running");
+      }
+      const std::string host = rt.bus().module_info(m).machine;
+      if (rt.machine_dead(host)) {
+        pr.redundancy_violations.push_back(tag + " member " + m +
+                                           " sits on dead machine " + host);
+      }
+      hosts.insert(host);
+    }
+    if (hosts.size() != members.size()) {
+      pr.redundancy_violations.push_back(tag +
+                                         " has co-located members");
+    }
+  }
+
+  pr.hb_violations = hb_checker.violations();
+  pr.hb_events = hb_checker.observed();
+  if (injector != nullptr && spec.chaos_pass_observer) {
+    spec.chaos_pass_observer(rt);
+  }
+  return pr;
+}
+
+ScenarioResult run_kv_scenario_with(const ScenarioSpec& spec,
+                                    FaultSource& source,
+                                    const std::vector<std::string>* golden) {
+  ScenarioResult result;
+  result.old_instance = roles_for(spec.app).target;
+
+  KvPassResult chaos = run_kv_pass(spec, &source);
+  result.replaced = chaos.machines_rebuilt > 0;
+  result.attempts = static_cast<int>(chaos.groups_rebuilt);
+  result.output = chaos.output;
+  result.rstats = chaos.rstats;
+  result.fstats = source.stats();
+  result.hb_events = chaos.hb_events;
+
+  // Fatal harness failures first, alone, exactly like the replacement
+  // scenarios: a wedged pass makes the invariant verdicts below noise.
+  if (!chaos.vm_fault.empty()) {
+    fail(result, "chaos pass: " + chaos.vm_fault);
+    return result;
+  }
+  if (!chaos.app_done) {
+    fail(result, "kv client did not finish its script (kill=" +
+                     (spec.kv_kill_machine >= 0
+                          ? "m" + std::to_string(spec.kv_kill_machine)
+                          : std::string("none")) +
+                     ")");
+    return result;
+  }
+
+  // Invariant 7, the scenario's reason to exist: acked-write durability
+  // across the machine loss. Three independent witnesses.
+  if (!chaos.ledger_violations.empty()) {
+    fail(result, "invariant 7: " + first_plus_more(chaos.ledger_violations));
+  }
+  if (chaos.stale_gets != 0) {
+    fail(result, "invariant 7: " + std::to_string(chaos.stale_gets) +
+                     " stale GETs (replica members disagreed on a "
+                     "committed value)");
+  }
+  if (chaos.data_loss_groups != 0) {
+    fail(result, "invariant 7: " + std::to_string(chaos.data_loss_groups) +
+                     " group(s) lost every member (no survivor to pull "
+                     "state from)");
+  }
+  check_happens_before_stream(chaos.hb_events, chaos.hb_violations, "chaos",
+                              result);
+  if (!chaos.redundancy_violations.empty()) {
+    fail(result,
+         "invariant 6: " + first_plus_more(chaos.redundancy_violations));
+  }
+
+  // Invariant 4: the client's deterministic post-run report matches the
+  // fault-free, kill-free reference. Sound because the client is globally
+  // FIFO and the router acks a write only once EVERY member applied it --
+  // the values a GET observes are a function of the op script alone, not
+  // of fault or rebuild timing.
+  ScenarioSpec reference = spec;
+  reference.kv_kill_machine = -1;
+  reference.kv_second_kill_machine = -1;
+  if (golden != nullptr) {
+    result.golden = *golden;
+  } else {
+    KvPassResult ref = run_kv_pass(reference, nullptr);
+    result.golden = ref.output;
+    if (!ref.vm_fault.empty() || !ref.app_done) {
+      fail(result, "golden pass failed: " +
+                       (ref.vm_fault.empty() ? "kv client did not finish"
+                                             : ref.vm_fault));
+      return result;
+    }
+    check_happens_before_stream(ref.hb_events, ref.hb_violations, "golden",
+                                result);
+  }
+  if (chaos.output != result.golden) {
+    fail(result, "invariant 4: output (" +
+                     std::to_string(chaos.output.size()) +
+                     " lines) differs from fault-free golden run (" +
+                     std::to_string(result.golden.size()) + " lines)");
+  }
+  return result;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario_with(const ScenarioSpec& spec, FaultSource& source,
                                  const std::vector<std::string>* golden) {
+  if (spec.app == SampleApp::kKv) {
+    return run_kv_scenario_with(spec, source, golden);
+  }
   ScenarioResult result;
   result.old_instance = roles_for(spec.app).target;
 
@@ -541,6 +811,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 }
 
 std::vector<std::string> golden_output(const ScenarioSpec& spec) {
+  if (spec.app == SampleApp::kKv) {
+    ScenarioSpec reference = spec;
+    reference.kv_kill_machine = -1;
+    reference.kv_second_kill_machine = -1;
+    KvPassResult golden = run_kv_pass(reference, nullptr);
+    if (!golden.vm_fault.empty() || !golden.app_done) {
+      throw support::Error(
+          "golden pass failed for '" + spec.describe() + "': " +
+          (golden.vm_fault.empty() ? "kv client did not finish"
+                                   : golden.vm_fault));
+    }
+    return golden.output;
+  }
   PassResult golden = run_pass(spec, nullptr);
   if (!golden.vm_fault.empty() || !golden.app_done || !golden.replaced) {
     throw support::Error(
@@ -559,7 +842,7 @@ std::vector<int> violated_invariants(const ScenarioResult& r) {
     int id = 0;  // fatal harness failure
     if (v.rfind("invariant ", 0) == 0 && v.size() > 10) {
       id = v[10] - '0';
-      if (id < 1 || id > 6) id = 0;
+      if (id < 1 || id > 7) id = 0;
     }
     ids.push_back(id);
   }
@@ -602,6 +885,44 @@ ScenarioSpec random_scenario(std::uint64_t seed) {
   spec.replace_after_outputs = 1 + static_cast<int>(rng.next_below(4));
   spec.target_machine = rng.next_below(2) == 0 ? "" : "sparc";
   spec.max_attempts = 4 + static_cast<int>(rng.next_below(3));
+  return spec;
+}
+
+ScenarioSpec random_kv_scenario(std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.app = SampleApp::kKv;
+  spec.work_items = 20 + static_cast<int>(rng.next_below(20));
+  // Milder link faults than the replacement scenarios: the kv pass runs a
+  // whole self-healing cycle (detect, rebuild, rebalance traffic), so the
+  // interesting adversary is the machine kill, with the faults keeping
+  // the wire honest rather than dominating the schedule.
+  spec.faults.drop = rng.next_double() * 0.06;
+  spec.faults.duplicate = rng.next_double() * 0.05;
+  spec.faults.delay = rng.next_double() * 0.10;
+  spec.faults.jitter_us = 200 + rng.next_below(2'800);
+  spec.kv_shards = 2 + static_cast<int>(rng.next_below(3));
+  spec.kv_group_size = 2 + static_cast<int>(rng.next_below(2));
+  spec.kv_machines =
+      spec.kv_group_size + 1 + static_cast<int>(rng.next_below(2));
+  spec.kv_spares = 2;
+  spec.kv_kill_machine = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(spec.kv_machines)));
+  spec.kv_kill_at_us = 8'000 + static_cast<net::SimTime>(rng.next_below(40'000));
+  if (spec.kv_group_size >= 3 && rng.next_below(3) == 0) {
+    // Overlapping loss: the second machine dies while the first rebuild
+    // is likely mid-flight. 3-groups tolerate it; 2-groups would not.
+    spec.kv_second_kill_machine = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(spec.kv_machines)));
+    if (spec.kv_second_kill_machine == spec.kv_kill_machine) {
+      spec.kv_second_kill_machine =
+          (spec.kv_second_kill_machine + 1) % spec.kv_machines;
+    }
+    spec.kv_second_kill_at_us =
+        spec.kv_kill_at_us + 40'000 +
+        static_cast<net::SimTime>(rng.next_below(100'000));
+  }
   return spec;
 }
 

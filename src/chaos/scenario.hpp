@@ -19,6 +19,18 @@
 //      replaced logical module remains -- never the half-rebound old+clone
 //      pair a mid-script coordinator crash would otherwise leave behind.
 //
+// SampleApp::kKv scenarios swap the module replacement for a machine loss:
+// the sharded KV service (replica groups + GroupManager self-healing) runs
+// under link faults while one -- sometimes two -- ring machines are killed
+// mid-workload. Invariants 4, 5, and 6 keep their meaning (output equals
+// the kill-free golden run, happens-before holds, every group ends at full
+// strength on distinct live machines) and invariant 7 is checked instead
+// of 1-3:
+//
+//   7. no acknowledged write is lost and no committed write resurfaces
+//      stale across the kill + rebuild (client ledger, router stale-read
+//      counter, and zero groups left without a survivor to pull from).
+//
 // Every scenario is a pure function of its ScenarioSpec -- in particular
 // of `seed` -- so a failing run is replayed by constructing the same spec.
 #pragma once
@@ -37,7 +49,7 @@ class Runtime;
 
 namespace surgeon::chaos {
 
-enum class SampleApp : std::uint8_t { kCounter, kPipeline, kMonitor };
+enum class SampleApp : std::uint8_t { kCounter, kPipeline, kMonitor, kKv };
 
 [[nodiscard]] const char* sample_app_name(SampleApp app) noexcept;
 
@@ -66,6 +78,23 @@ struct ScenarioSpec {
   net::SimTime divulge_timeout_us = 5'000'000;
   net::SimTime restore_timeout_us = 5'000'000;
   bus::DeliveryOptions delivery = {.reliable = true};
+  /// --- SampleApp::kKv only (ignored by the other apps) ----------------
+  /// Shard replica groups, members per group, ring machines m0..m{n-1},
+  /// and spare machines sp0..sp{n-1} the GroupManager may rebuild onto.
+  int kv_shards = 3;
+  int kv_group_size = 2;
+  int kv_machines = 3;
+  int kv_spares = 2;
+  /// Kill ring machine m<kv_kill_machine> at kv_kill_at_us virtual time;
+  /// -1 = no kill (the chaos pass degenerates to faults-only).
+  int kv_kill_machine = -1;
+  net::SimTime kv_kill_at_us = 0;
+  /// Optional second kill while the first rebuild is likely in flight.
+  /// Only sensible when kv_group_size >= 3: a 2-group that loses two
+  /// machines can lose both members of one group, which is real data loss,
+  /// not a harness bug.
+  int kv_second_kill_machine = -1;
+  net::SimTime kv_second_kill_at_us = 0;
   /// Called at the end of the chaos pass with the runtime still alive, so
   /// a sweep driver can dump the flight recorder for a failing seed. Not
   /// part of the scenario identity: it observes, never steers.
@@ -78,6 +107,7 @@ struct ScenarioSpec {
 struct ScenarioResult {
   /// Replacement completed; false = the script aborted cleanly (the
   /// application kept serving on the old instance, which is verified).
+  /// For kv scenarios: at least one machine's groups were fully rebuilt.
   bool replaced = false;
   /// A coordinator crash was injected and recovery rolled the transaction
   /// forward (true) or back (false, with `replaced` false as well).
@@ -134,5 +164,11 @@ struct ScenarioResult {
 /// Derives a full scenario (app, workload, fault mix, partition, crash)
 /// from a single seed; the sweeps enumerate seeds through this.
 [[nodiscard]] ScenarioSpec random_scenario(std::uint64_t seed);
+
+/// Derives a kv (replica-group) scenario from a seed: mild link faults, a
+/// machine kill mid-workload, and -- at some 3-group seeds -- a second
+/// kill while the first rebuild is in flight. The KvSweep and the
+/// chaos_sweep --kv mode enumerate seeds through this.
+[[nodiscard]] ScenarioSpec random_kv_scenario(std::uint64_t seed);
 
 }  // namespace surgeon::chaos

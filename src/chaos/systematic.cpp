@@ -24,6 +24,12 @@ std::string FaultSchedule::describe() const {
   } else {
     os << "w" << partition_window;
   }
+  os << " kill=";
+  if (kill_machine < 0) {
+    os << "none";
+  } else {
+    os << "m" << kill_machine << "@" << kill_at_us << "us";
+  }
   os << " drops=[";
   for (std::size_t i = 0; i < drops.size(); ++i) {
     if (i != 0) os << ",";
@@ -91,6 +97,12 @@ ScenarioSpec SystematicOptions::scenario_spec(const FaultSchedule& s) const {
   spec.divulge_timeout_us = divulge_timeout_us;
   spec.restore_timeout_us = restore_timeout_us;
   spec.max_attempts = max_attempts;
+  spec.kv_shards = kv_shards;
+  spec.kv_group_size = kv_group_size;
+  spec.kv_machines = kv_machines;
+  spec.kv_spares = kv_spares;
+  spec.kv_kill_machine = s.kill_machine;
+  spec.kv_kill_at_us = s.kill_at_us;
   return spec;
 }
 
@@ -125,90 +137,114 @@ SystematicResult explore(const SystematicOptions& options) {
        ++w) {
     partition_options.push_back(w);
   }
+  std::vector<int> kill_options{-1};
+  for (int k = 0; k < static_cast<int>(options.machine_kill_points.size());
+       ++k) {
+    kill_options.push_back(k);
+  }
 
   std::set<net::WirePoint> discovered;  // across every run, for accounting
+  std::set<int> kills_covered;
   bool done = false;
+
+  // Breadth-first over drop sets, smallest first, for one fixed
+  // (crash, partition, machine-kill) combination: a set is only ever
+  // generated from its largest proper prefix in canonical order, so each
+  // unordered set runs exactly once (all d! orderings pruned).
+  auto explore_combo = [&](int crash, int window, int kill) {
+    std::deque<FaultSchedule> worklist;
+    std::set<std::vector<net::WirePoint>> seen;
+    FaultSchedule root;
+    root.crash_boundary = crash;
+    root.partition_window = window;
+    if (kill >= 0) {
+      const MachineKillPoint& point =
+          options.machine_kill_points[static_cast<std::size_t>(kill)];
+      root.kill_machine = point.machine;
+      root.kill_at_us = point.at_us;
+    }
+    worklist.push_back(root);
+    seen.insert(root.drops);
+    while (!worklist.empty()) {
+      if (result.schedules_explored >= options.max_schedules) {
+        result.truncated = true;
+        done = true;
+        break;
+      }
+      FaultSchedule schedule = std::move(worklist.front());
+      worklist.pop_front();
+
+      ScheduleInjector injector(schedule, options.partition_windows);
+      ScenarioResult run = run_scenario_with(
+          options.scenario_spec(schedule), injector, &golden);
+      ++result.schedules_explored;
+      result.schedules_pruned += factorial(schedule.drops.size()) - 1;
+      if (injector.drops_fired() < schedule.drops.size()) {
+        ++result.schedules_degenerate;
+      }
+
+      const bool violating = !run.violations.empty();
+      if (violating || options.record_outcomes) {
+        ScheduleOutcome outcome;
+        outcome.schedule = schedule;
+        outcome.replaced = run.replaced;
+        outcome.recovered_forward = run.recovered_forward;
+        outcome.abort_reason = run.abort_reason;
+        outcome.violations = run.violations;
+        if (violating) result.failures.push_back(outcome);
+        if (options.record_outcomes) {
+          result.outcomes.push_back(std::move(outcome));
+        }
+      }
+
+      // Extend with the wire points this run actually enabled, in
+      // canonical order past the set's last element (combinations, not
+      // permutations -- the independence relation makes them equal).
+      if (static_cast<int>(schedule.drops.size()) >= options.max_drops) {
+        continue;
+      }
+      for (const auto& [link, count] : injector.copies()) {
+        for (std::uint32_t idx = 0; idx < count; ++idx) {
+          discovered.insert(net::WirePoint{link, idx});
+        }
+      }
+      const net::WirePoint* last =
+          schedule.drops.empty() ? nullptr : &schedule.drops.back();
+      for (const net::WirePoint& p : discovered) {
+        if (last != nullptr && !(*last < p)) continue;
+        const auto it = injector.copies().find(p.link);
+        const std::uint32_t enabled =
+            it == injector.copies().end() ? 0 : it->second;
+        if (p.index >= enabled) {
+          // Known from another run but never on the wire in this one:
+          // dropping it here could not change anything.
+          ++result.points_disabled;
+          continue;
+        }
+        FaultSchedule child = schedule;
+        child.drops.push_back(p);
+        if (seen.insert(child.drops).second) {
+          worklist.push_back(std::move(child));
+        }
+      }
+    }
+  };
+
   for (int crash : crash_options) {
     if (done) break;
     if (crash >= 0) result.crash_boundaries_covered.push_back(crash);
     for (int window : partition_options) {
       if (done) break;
-      // Breadth-first over drop sets, smallest first: a set is only ever
-      // generated from its largest proper prefix in canonical order, so
-      // each unordered set runs exactly once (all d! orderings pruned).
-      std::deque<FaultSchedule> worklist;
-      std::set<std::vector<net::WirePoint>> seen;
-      FaultSchedule root;
-      root.crash_boundary = crash;
-      root.partition_window = window;
-      worklist.push_back(root);
-      seen.insert(root.drops);
-      while (!worklist.empty()) {
-        if (result.schedules_explored >= options.max_schedules) {
-          result.truncated = true;
-          done = true;
-          break;
-        }
-        FaultSchedule schedule = std::move(worklist.front());
-        worklist.pop_front();
-
-        ScheduleInjector injector(schedule, options.partition_windows);
-        ScenarioResult run = run_scenario_with(
-            options.scenario_spec(schedule), injector, &golden);
-        ++result.schedules_explored;
-        result.schedules_pruned += factorial(schedule.drops.size()) - 1;
-        if (injector.drops_fired() < schedule.drops.size()) {
-          ++result.schedules_degenerate;
-        }
-
-        const bool violating = !run.violations.empty();
-        if (violating || options.record_outcomes) {
-          ScheduleOutcome outcome;
-          outcome.schedule = schedule;
-          outcome.replaced = run.replaced;
-          outcome.recovered_forward = run.recovered_forward;
-          outcome.abort_reason = run.abort_reason;
-          outcome.violations = run.violations;
-          if (violating) result.failures.push_back(outcome);
-          if (options.record_outcomes) {
-            result.outcomes.push_back(std::move(outcome));
-          }
-        }
-
-        // Extend with the wire points this run actually enabled, in
-        // canonical order past the set's last element (combinations, not
-        // permutations -- the independence relation makes them equal).
-        if (static_cast<int>(schedule.drops.size()) >= options.max_drops) {
-          continue;
-        }
-        for (const auto& [link, count] : injector.copies()) {
-          for (std::uint32_t idx = 0; idx < count; ++idx) {
-            discovered.insert(net::WirePoint{link, idx});
-          }
-        }
-        const net::WirePoint* last =
-            schedule.drops.empty() ? nullptr : &schedule.drops.back();
-        for (const net::WirePoint& p : discovered) {
-          if (last != nullptr && !(*last < p)) continue;
-          const auto it = injector.copies().find(p.link);
-          const std::uint32_t enabled =
-              it == injector.copies().end() ? 0 : it->second;
-          if (p.index >= enabled) {
-            // Known from another run but never on the wire in this one:
-            // dropping it here could not change anything.
-            ++result.points_disabled;
-            continue;
-          }
-          FaultSchedule child = schedule;
-          child.drops.push_back(p);
-          if (seen.insert(child.drops).second) {
-            worklist.push_back(std::move(child));
-          }
-        }
+      for (int kill : kill_options) {
+        if (done) break;
+        if (kill >= 0) kills_covered.insert(kill);
+        explore_combo(crash, window, kill);
       }
     }
   }
   result.wire_points_discovered = discovered.size();
+  result.machine_kills_covered.assign(kills_covered.begin(),
+                                      kills_covered.end());
   return result;
 }
 

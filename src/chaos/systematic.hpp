@@ -9,7 +9,12 @@
 //   message drops     -- a SET of wire points (net::WirePoint: the k-th
 //                        copy on a directed link) eaten by the network,
 //   partition window  -- one of a caller-given list of machine partitions
-//                        (or none).
+//                        (or none),
+//   machine kill      -- for SampleApp::kKv, one of a caller-given list of
+//                        (ring machine, virtual time) kill points (or
+//                        none): the whole host dies and the GroupManager
+//                        must rebuild its replica groups, so the drop sets
+//                        compose with every rebuild schedule.
 //
 // Exploration is DPOR-flavored: wire events on distinct links -- and
 // distinct copies on one link -- are independent (they commute; see
@@ -37,6 +42,13 @@
 
 namespace surgeon::chaos {
 
+/// A machine-level kill point for kv explorations: ring machine
+/// m<machine> dies at `at_us` virtual time.
+struct MachineKillPoint {
+  int machine = 0;
+  net::SimTime at_us = 0;
+};
+
 /// One point in the systematic space. Value-identity is the schedule: two
 /// equal FaultSchedules replay the same execution bit-for-bit.
 struct FaultSchedule {
@@ -44,6 +56,11 @@ struct FaultSchedule {
   int crash_boundary = -1;
   /// Index into SystematicOptions::partition_windows; -1 = no partition.
   int partition_window = -1;
+  /// Machine kill (kv scenarios): ring machine index and virtual time;
+  /// kill_machine -1 = every machine survives. Held by value, not as an
+  /// index, so a failing schedule's describe() names the dead machine.
+  int kill_machine = -1;
+  net::SimTime kill_at_us = 0;
   /// Dropped wire copies, kept in canonical (link, index) order.
   std::vector<net::WirePoint> drops;
 
@@ -110,6 +127,17 @@ struct SystematicOptions {
   /// windows must heal inside the script's divulge/restore timeouts or the
   /// abort path dominates the exploration.
   std::vector<Partition> partition_windows;
+  /// Machine kills to enumerate (SampleApp::kKv only, each its own
+  /// schedule dimension alongside the no-kill schedules). Set
+  /// explore_crash_boundaries = false with these: kv scenarios have no
+  /// replacement coordinator, so the crash dimension only multiplies
+  /// identical executions.
+  std::vector<MachineKillPoint> machine_kill_points;
+  /// kv topology (SampleApp::kKv only), forwarded to the ScenarioSpec.
+  int kv_shards = 2;
+  int kv_group_size = 2;
+  int kv_machines = 3;
+  int kv_spares = 1;
   /// Keep per-schedule outcomes in SystematicResult::outcomes (coverage
   /// assertions in tests); off for big sweeps.
   bool record_outcomes = false;
@@ -158,6 +186,9 @@ struct SystematicResult {
   /// Crash boundaries (indices into recover::kCrashBoundaries) that were
   /// enumerated -- coverage proof for the promoted recover_test scenarios.
   std::vector<int> crash_boundaries_covered;
+  /// Machine-kill points (indices into machine_kill_points) that were
+  /// enumerated -- coverage proof for the kv rebuild schedules.
+  std::vector<int> machine_kills_covered;
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
 };

@@ -491,29 +491,47 @@ std::string Collector::top_json() const {
 
 std::string Collector::top_table() const {
   const std::vector<TopRow> rows = aggregate_rows(slots_, options_.slot_us);
+  // Replica roles, published by replicate::GroupManager as the
+  // surgeon_replica_role gauge (1 = primary, 2 = follower). Rendered as a
+  // column so an operator can see primaries/followers per machine at a
+  // glance; modules outside any replica group show "-".
+  std::map<std::pair<std::string, std::string>, std::int64_t> roles;
+  for (const auto& [id, value] : gauges_) {
+    if (id.metric == "surgeon_replica_role") {
+      roles[{id.machine, id.module}] = value;
+    }
+  }
+  const auto role_of = [&](const SeriesId& id) -> std::string {
+    const auto it = roles.find({id.machine, id.module});
+    if (it == roles.end()) return "-";
+    if (it->second == 1) return "primary";
+    if (it->second == 2) return "follower";
+    return "?";
+  };
   std::ostringstream os;
   os << std::left << std::setw(10) << "MACHINE" << std::setw(22) << "MODULE"
-     << std::setw(12) << "IFACE" << std::setw(42) << "METRIC" << std::right
-     << std::setw(12) << "TOTAL" << std::setw(12) << "RATE/S" << std::setw(10)
-     << "P50" << std::setw(10) << "P95" << std::setw(10) << "P99" << "\n";
+     << std::setw(10) << "ROLE" << std::setw(12) << "IFACE" << std::setw(42)
+     << "METRIC" << std::right << std::setw(12) << "TOTAL" << std::setw(12)
+     << "RATE/S" << std::setw(10) << "P50" << std::setw(10) << "P95"
+     << std::setw(10) << "P99" << "\n";
   const auto quant = [&](double v, bool is_hist) {
     return is_hist ? fmt_fixed3(v) : std::string{"-"};
   };
   for (const TopRow& row : rows) {
     os << std::left << std::setw(10) << row.id.machine << std::setw(22)
-       << row.id.module << std::setw(12) << row.id.iface << std::setw(42)
-       << row.id.metric << std::right << std::setw(12) << row.total
-       << std::setw(12) << fmt_fixed3(row.rate) << std::setw(10)
-       << quant(row.p50, row.is_hist) << std::setw(10)
+       << row.id.module << std::setw(10) << role_of(row.id) << std::setw(12)
+       << row.id.iface << std::setw(42) << row.id.metric << std::right
+       << std::setw(12) << row.total << std::setw(12) << fmt_fixed3(row.rate)
+       << std::setw(10) << quant(row.p50, row.is_hist) << std::setw(10)
        << quant(row.p95, row.is_hist) << std::setw(10)
        << quant(row.p99, row.is_hist) << "\n";
   }
   for (const auto& [id, value] : gauges_) {
     os << std::left << std::setw(10) << id.machine << std::setw(22)
-       << id.module << std::setw(12) << id.iface << std::setw(42) << id.metric
-       << std::right << std::setw(12) << value << std::setw(12) << "-"
-       << std::setw(10) << "-" << std::setw(10) << "-" << std::setw(10) << "-"
-       << "\n";
+       << id.module << std::setw(10) << role_of(id) << std::setw(12)
+       << id.iface << std::setw(42) << id.metric << std::right << std::setw(12)
+       << value << std::setw(12) << "-" << std::setw(10) << "-"
+       << std::setw(10) << "-" << std::setw(10) << "-" << "\n";
   }
   return os.str();
 }

@@ -45,6 +45,20 @@ std::size_t sweep_queues(bus::Bus& bus, const std::string& from,
   return moved;
 }
 
+std::size_t copy_bindings(bus::Bus& bus, const std::string& from,
+                          const std::string& to) {
+  BindEditBatch batch;
+  std::size_t added = 0;
+  for (const auto& iface : bus.interface_names(from)) {
+    for (const auto& peer : bus.bound_peers(BindingEnd{from, iface})) {
+      batch.add(BindEdit{BindEdit::Op::kAdd, BindingEnd{to, iface}, peer});
+      ++added;
+    }
+  }
+  if (added != 0) bus.rebind(batch);
+  return added;
+}
+
 namespace {
 
 std::size_t queued_total(bus::Bus& bus, const std::string& module) {
@@ -394,14 +408,6 @@ ReplicateReport replicate_module(app::Runtime& rt,
   rt.install_module(report.replica_instance, *image, replica_machine,
                     "clone");
 
-  // Gather the original's bindings up front so the replica can copy them.
-  std::vector<std::pair<std::string, BindingEnd>> old_bindings;
-  for (const auto& iface : bus.interface_names(instance)) {
-    for (const auto& peer : bus.bound_peers(BindingEnd{instance, iface})) {
-      old_bindings.emplace_back(iface, peer);
-    }
-  }
-
   // Divulge once; install the same abstract state twice. This is the
   // portability property of the abstract format at work: the state buffer
   // is plain data that can be copied to any number of clones.
@@ -424,13 +430,9 @@ ReplicateReport replicate_module(app::Runtime& rt,
   report.primary.queued_messages_moved = queued_total(bus, instance);
   bus.rebind(make_rebind_batch(bus, instance, report.primary.new_instance));
   if (bind_replica) {
-    BindEditBatch replica_batch;
-    for (const auto& [iface, peer] : old_bindings) {
-      replica_batch.add(BindEdit{BindEdit::Op::kAdd,
-                                 BindingEnd{report.replica_instance, iface},
-                                 peer});
-    }
-    bus.rebind(replica_batch);
+    // The primary clone holds exactly the original's bindings now; give the
+    // replica copies of the same ends.
+    copy_bindings(bus, report.primary.new_instance, report.replica_instance);
   }
   report.primary.rebound_at = rt.now();
 

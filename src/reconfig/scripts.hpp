@@ -220,4 +220,11 @@ bus::BindEditBatch make_rebind_batch(bus::Bus& bus, const std::string& from,
 std::size_t sweep_queues(bus::Bus& bus, const std::string& from,
                          const std::string& to);
 
+/// Copies every binding of `from` onto `to` without disturbing `from`
+/// (add-only, no queue capture): the replica half of replicate_module, and
+/// the way surgeon::replicate attaches a fresh group member to the router.
+/// Returns the number of bindings added.
+std::size_t copy_bindings(bus::Bus& bus, const std::string& from,
+                          const std::string& to);
+
 }  // namespace surgeon::reconfig

@@ -19,4 +19,99 @@ std::optional<net::SimTime> FailureDetector::last_beat(
   return it->second;
 }
 
+// --- MachineDetector --------------------------------------------------------
+
+const char* machine_health_name(MachineHealth h) noexcept {
+  switch (h) {
+    case MachineHealth::kAlive: return "alive";
+    case MachineHealth::kSuspect: return "suspect";
+    case MachineHealth::kConfirmed: return "confirmed";
+  }
+  return "?";
+}
+
+void MachineDetector::beat(const std::string& module,
+                           const std::string& machine, net::SimTime at) {
+  ++beats_;
+  // A module migrating between machines (move_module) must not leave a
+  // stale beat behind on its old host keeping a dead machine "alive".
+  auto attributed = module_machine_.find(module);
+  if (attributed != module_machine_.end() && attributed->second != machine) {
+    auto old_rec = machines_.find(attributed->second);
+    if (old_rec != machines_.end()) {
+      old_rec->second.modules.erase(module);
+      if (old_rec->second.modules.empty()) machines_.erase(old_rec);
+    }
+  }
+  module_machine_[module] = machine;
+  MachineRec& rec = machines_[machine];
+  if (at > rec.last) rec.last = at;
+  rec.modules[module] = at;
+}
+
+void MachineDetector::forget_module(const std::string& module) {
+  auto attributed = module_machine_.find(module);
+  if (attributed == module_machine_.end()) return;
+  auto rec = machines_.find(attributed->second);
+  if (rec != machines_.end()) {
+    rec->second.modules.erase(module);
+    if (rec->second.modules.empty()) machines_.erase(rec);
+  }
+  module_machine_.erase(attributed);
+}
+
+void MachineDetector::forget_machine(const std::string& machine) {
+  auto rec = machines_.find(machine);
+  if (rec == machines_.end()) return;
+  for (const auto& [module, at] : rec->second.modules) {
+    module_machine_.erase(module);
+  }
+  machines_.erase(rec);
+}
+
+MachineHealth MachineDetector::health(const std::string& machine,
+                                      net::SimTime now) const {
+  auto rec = machines_.find(machine);
+  if (rec == machines_.end()) return MachineHealth::kAlive;  // not tracked
+  if (now <= rec->second.last) return MachineHealth::kAlive;
+  const net::SimTime silence = now - rec->second.last;
+  if (silence > options_.confirm_timeout_us) return MachineHealth::kConfirmed;
+  if (silence > options_.suspicion_timeout_us) return MachineHealth::kSuspect;
+  return MachineHealth::kAlive;
+}
+
+std::vector<std::string> MachineDetector::suspects(net::SimTime now) const {
+  std::vector<std::string> out;
+  for (const auto& [machine, rec] : machines_) {
+    if (health(machine, now) == MachineHealth::kSuspect) out.push_back(machine);
+  }
+  return out;
+}
+
+std::vector<std::string> MachineDetector::confirmed(net::SimTime now) const {
+  std::vector<std::string> out;
+  for (const auto& [machine, rec] : machines_) {
+    if (health(machine, now) == MachineHealth::kConfirmed) {
+      out.push_back(machine);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MachineDetector::modules_on(
+    const std::string& machine) const {
+  std::vector<std::string> out;
+  auto rec = machines_.find(machine);
+  if (rec == machines_.end()) return out;
+  for (const auto& [module, at] : rec->second.modules) out.push_back(module);
+  return out;
+}
+
+std::optional<net::SimTime> MachineDetector::last_beat(
+    const std::string& machine) const {
+  auto rec = machines_.find(machine);
+  if (rec == machines_.end()) return std::nullopt;
+  return rec->second.last;
+}
+
 }  // namespace surgeon::recover

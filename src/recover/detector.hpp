@@ -57,4 +57,83 @@ class FailureDetector {
   std::uint64_t beats_ = 0;
 };
 
+// --- machine-level detection (surgeon::replicate) ---------------------------
+
+/// A machine's health as the detector sees it. The suspect/confirm split
+/// follows the usual two-threshold discipline: a *suspect* machine stops
+/// receiving new placements, a *confirmed* machine triggers rebuild. On the
+/// virtual clock the second threshold is not about false positives (silence
+/// is deterministic here) but about batching: a machine that loses its
+/// processes one heartbeat apart is rebuilt once, not once per module.
+enum class MachineHealth : std::uint8_t { kAlive, kSuspect, kConfirmed };
+
+[[nodiscard]] const char* machine_health_name(MachineHealth h) noexcept;
+
+struct MachineDetectorOptions {
+  /// Per-module silence that makes the module's machine suspect.
+  net::SimTime suspicion_timeout_us = 50'000;
+  /// Silence after which a suspect machine is confirmed dead.
+  net::SimTime confirm_timeout_us = 120'000;
+};
+
+/// Aggregates per-module heartbeats (the FailureDetector's currency) into
+/// machine-level verdicts: a machine is as alive as its most recently heard
+/// module. Module-to-machine attribution comes from the caller (the bus
+/// knows each module's host); the detector itself never touches the bus,
+/// so it is testable on bare timestamps like FailureDetector.
+class MachineDetector {
+ public:
+  explicit MachineDetector(MachineDetectorOptions options = {})
+      : options_(options) {}
+
+  /// A heartbeat from `module` hosted on `machine` at virtual time `at`.
+  void beat(const std::string& module, const std::string& machine,
+            net::SimTime at);
+  /// Stops tracking one module (replaced, finished, or rebuilt away). The
+  /// machine entry stays while other modules beat on it.
+  void forget_module(const std::string& module);
+  /// Stops tracking a machine entirely (rebuild finished; the corpse's
+  /// silence is no longer news).
+  void forget_machine(const std::string& machine);
+
+  [[nodiscard]] MachineHealth health(const std::string& machine,
+                                     net::SimTime now) const;
+  /// Machines in the given state, sorted by name.
+  [[nodiscard]] std::vector<std::string> suspects(net::SimTime now) const;
+  [[nodiscard]] std::vector<std::string> confirmed(net::SimTime now) const;
+
+  /// Modules attributed to `machine`, sorted (what a rebuild must cover).
+  [[nodiscard]] std::vector<std::string> modules_on(
+      const std::string& machine) const;
+  [[nodiscard]] std::optional<net::SimTime> last_beat(
+      const std::string& machine) const;
+  [[nodiscard]] std::size_t tracked_machines() const noexcept {
+    return machines_.size();
+  }
+  /// Every machine with at least one attributed module, sorted.
+  [[nodiscard]] std::vector<std::string> machine_names() const {
+    std::vector<std::string> out;
+    out.reserve(machines_.size());
+    for (const auto& [machine, rec] : machines_) out.push_back(machine);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t beats_observed() const noexcept {
+    return beats_;
+  }
+  [[nodiscard]] const MachineDetectorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct MachineRec {
+    net::SimTime last = 0;
+    std::map<std::string, net::SimTime> modules;  // last beat per module
+  };
+
+  MachineDetectorOptions options_;
+  std::map<std::string, MachineRec> machines_;
+  std::map<std::string, std::string> module_machine_;
+  std::uint64_t beats_ = 0;
+};
+
 }  // namespace surgeon::recover

@@ -1,0 +1,111 @@
+// GroupManager: the control loop that keeps replica groups redundant.
+//
+// Wiring mirrors recover::Supervisor -- per-module heartbeats feed the
+// detector, an epoch-guarded sweep tick acts on verdicts, and a control
+// re-entrancy flag keeps nested ticks (every script wait pumps the
+// scheduler) from starting overlapping repairs. The difference is the unit
+// of failure: the MachineDetector aggregates beats per HOST, and a
+// confirmed-dead machine triggers a pull rebuild of every group that lost
+// a member on it, placed by the consistent-hash ring (dead machine out,
+// spare in). A machine that joins can likewise trigger a rebalance, which
+// moves members whose hosts fell out of their group's placement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "recover/detector.hpp"
+#include "replicate/kv.hpp"
+#include "replicate/rebuild.hpp"
+
+namespace surgeon::replicate {
+
+struct ManagerOptions {
+  net::SimTime heartbeat_interval_us = 10'000;
+  net::SimTime sweep_interval_us = 25'000;
+  recover::MachineDetectorOptions detector;
+  /// Machines eligible to replace a dead one, tried in order.
+  std::vector<std::string> spares;
+  /// Forwarded to every rebuild_group invocation.
+  reconfig::ScriptJournal* journal = nullptr;
+  std::function<void(const char*)> crash_hook;
+  net::SimTime drain_us = 10'000;
+  net::SimTime divulge_timeout_us = 5'000'000;
+  net::SimTime restore_timeout_us = 10'000'000;
+  /// Extra observer on every heartbeat (the chaos harness's liveness
+  /// checker rides along here, since the runtime has one sink slot).
+  std::function<void(const std::string&, net::SimTime)> extra_beat;
+};
+
+struct ManagerStats {
+  std::uint64_t machines_rebuilt = 0;   // fully restored redundancy
+  std::uint64_t groups_rebuilt = 0;     // successful rebuild_group runs
+  std::uint64_t rebuild_failures = 0;   // thrown scripts (retried next sweep)
+  std::uint64_t data_loss_groups = 0;   // no survivor left to pull from
+  std::uint64_t rebalance_moves = 0;
+};
+
+class GroupManager {
+ public:
+  GroupManager(KvService& service, ManagerOptions options);
+  GroupManager(const GroupManager&) = delete;
+  GroupManager& operator=(const GroupManager&) = delete;
+  ~GroupManager() { stop(); }
+
+  /// Starts heartbeats into the machine detector and the sweep tick.
+  void start();
+  /// Stops ticking; heartbeats are disabled.
+  void stop();
+
+  /// Rebuilds every group that lost a member on `machine` (dead machine
+  /// leaves the ring, first eligible spare joins). Returns true when every
+  /// affected group is redundant again; on partial failure the machine
+  /// stays tracked and the next sweep retries. Tests drive this directly;
+  /// in production the sweep calls it on a confirmed-dead verdict.
+  bool rebuild_machine(const std::string& machine);
+
+  /// Adds a machine to the ring and moves members whose hosts fell out of
+  /// their group's placement. Returns how many members moved.
+  std::size_t rebalance(const std::string& new_machine);
+
+  /// Publishes the surgeon_replica_role gauge (1 = primary, 2 = follower)
+  /// for every current member; mh_top renders it as the ROLE column.
+  void publish_roles();
+
+  [[nodiscard]] recover::MachineDetector& detector() noexcept {
+    return detector_;
+  }
+  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<RebuildGroupReport>& rebuilds()
+      const noexcept {
+    return rebuilds_;
+  }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Role of a member by name: 1 primary (slot 0 of its group), 2 follower.
+  [[nodiscard]] static int member_role(const std::string& instance);
+
+ private:
+  void sweep(std::uint64_t epoch);
+  void prune_departed();
+  [[nodiscard]] std::string pick_spare() const;
+  [[nodiscard]] std::string pick_target(std::size_t group,
+                                        const std::set<std::string>& occupied)
+      const;
+  [[nodiscard]] bool member_dead(const std::string& member) const;
+
+  KvService* service_;
+  app::Runtime* rt_;
+  ManagerOptions options_;
+  recover::MachineDetector detector_;
+  ManagerStats stats_;
+  std::vector<RebuildGroupReport> rebuilds_;
+  std::set<std::string> lost_groups_;  // counted once, skipped thereafter
+  bool running_ = false;
+  bool in_control_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace surgeon::replicate

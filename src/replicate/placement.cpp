@@ -1,0 +1,77 @@
+#include "replicate/placement.hpp"
+
+namespace surgeon::replicate {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stable_hash(const std::string& s, std::uint64_t seed) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the bytes...
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h ^ seed);  // ...then scrambled with the ring seed
+}
+
+void HashRing::add_machine(const std::string& machine) {
+  if (machine_points_.contains(machine)) return;
+  std::vector<std::uint64_t>& points = machine_points_[machine];
+  points.reserve(options_.vnodes);
+  for (std::uint32_t v = 0; v < options_.vnodes; ++v) {
+    std::uint64_t point =
+        stable_hash(machine + "#" + std::to_string(v), options_.seed);
+    // Collisions across machines are astronomically unlikely but would make
+    // placement depend on insertion order; perturb until the slot is free.
+    while (ring_.contains(point)) point = splitmix64(point);
+    ring_.emplace(point, machine);
+    points.push_back(point);
+  }
+}
+
+void HashRing::remove_machine(const std::string& machine) {
+  auto it = machine_points_.find(machine);
+  if (it == machine_points_.end()) return;
+  for (std::uint64_t point : it->second) ring_.erase(point);
+  machine_points_.erase(it);
+}
+
+std::vector<std::string> HashRing::machines() const {
+  std::vector<std::string> out;
+  out.reserve(machine_points_.size());
+  for (const auto& [machine, points] : machine_points_) {
+    out.push_back(machine);
+  }
+  return out;
+}
+
+std::vector<std::string> HashRing::place(const std::string& key,
+                                         std::size_t n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n == 0) return out;
+  const std::uint64_t h = stable_hash(key, options_.seed);
+  auto it = ring_.lower_bound(h);
+  for (std::size_t hops = 0; hops < ring_.size() && out.size() < n; ++hops) {
+    if (it == ring_.end()) it = ring_.begin();
+    bool seen = false;
+    for (const auto& m : out) {
+      if (m == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace surgeon::replicate

@@ -1,0 +1,223 @@
+#include "replicate/rebuild.hpp"
+
+#include <algorithm>
+
+#include "serialize/state.hpp"
+
+namespace surgeon::replicate {
+
+using bus::BindEditBatch;
+using reconfig::ScriptError;
+
+namespace {
+
+ScriptError step_error(const char* step, const char* role,
+                       const std::string& instance, const std::string& what) {
+  return ScriptError(std::string("rebuild_group[") + step + "] " + role +
+                     " '" + instance + "': " + what);
+}
+
+std::size_t queued_total(bus::Bus& bus, const std::string& module) {
+  std::size_t n = 0;
+  for (const auto& iface : bus.interface_names(module)) {
+    n += bus.queue_depth(module, iface);
+  }
+  return n;
+}
+
+/// Same settle condition as replace_module's restore wait: the clone has
+/// decoded its state buffer and unwound every restore frame.
+bool restore_done(app::Runtime& rt, const std::string& instance) {
+  vm::Machine* m = rt.machine_of(instance);
+  return m != nullptr && m->decode_count() > 0 &&
+         m->restore_frames_remaining() == 0;
+}
+
+void await_restore_or_throw(app::Runtime& rt, const std::string& instance,
+                            const RebuildGroupOptions& options) {
+  const net::SimTime deadline = rt.now() + options.restore_timeout_us;
+  (void)rt.run_until(
+      [&] {
+        if (rt.module_crashed(instance)) return true;
+        vm::Machine* m = rt.machine_of(instance);
+        if (m != nullptr && m->state() == vm::RunState::kFault) return true;
+        return restore_done(rt, instance) || rt.now() >= deadline;
+      },
+      options.max_rounds);
+  if (rt.module_crashed(instance)) {
+    throw step_error(reconfig::kStepAdd, "clone", instance,
+                     "crashed while restoring");
+  }
+  vm::Machine* m = rt.machine_of(instance);
+  if (m != nullptr && m->state() == vm::RunState::kFault) {
+    throw step_error(reconfig::kStepAdd, "clone", instance,
+                     "faulted while installing state: " + m->fault_message());
+  }
+  if (!restore_done(rt, instance)) {
+    throw step_error(reconfig::kStepAdd, "clone", instance,
+                     "did not finish restoring within the budget");
+  }
+}
+
+}  // namespace
+
+RebuildGroupReport rebuild_group(app::Runtime& rt, const std::string& survivor,
+                                 const std::string& dead_member,
+                                 const RebuildGroupOptions& options) {
+  bus::Bus& bus = rt.bus();
+  if (!bus.has_module(survivor)) {
+    throw ScriptError("rebuild_group: unknown survivor '" + survivor + "'");
+  }
+  if (!bus.has_module(dead_member)) {
+    throw ScriptError("rebuild_group: unknown dead member '" + dead_member +
+                      "'");
+  }
+  const app::ModuleImage* image = rt.image_of(survivor);
+  if (image == nullptr) {
+    throw ScriptError("rebuild_group: no image for '" + survivor + "'");
+  }
+
+  RebuildGroupReport report;
+  report.survivor = survivor;
+  report.dead_member = dead_member;
+  // Both clone names are assigned before step 1 so the journal's begin
+  // record names the heir of interest (the new member) up front.
+  report.survivor_continuation = rt.fresh_instance_name(survivor);
+  report.new_member = rt.fresh_instance_name(survivor);
+  if (options.journal != nullptr) {
+    options.journal->begin(survivor, report.new_member,
+                           options.target_machine);
+  }
+  auto boundary = [&options](const char* step) {
+    if (options.journal != nullptr) options.journal->intent(step);
+    if (options.crash_hook) options.crash_hook(step);
+  };
+
+  // 1. mh_obj_cap on the pull source.
+  bus::ModuleInfo old_info;
+  {
+    boundary(reconfig::kStepObjCap);
+    old_info = bus.module_info(survivor);
+  }
+
+  // 2. Two clones: the survivor's continuation stays in place; the new
+  //    member goes to the target machine.
+  {
+    boundary(reconfig::kStepCloneRegister);
+    rt.install_module(report.survivor_continuation, *image, old_info.machine,
+                      "clone");
+    rt.install_module(report.new_member, *image, options.target_machine,
+                      "clone");
+  }
+  auto cleanup_clones = [&]() noexcept {
+    try {
+      rt.remove_module(report.survivor_continuation);
+    } catch (...) {
+    }
+    try {
+      rt.remove_module(report.new_member);
+    } catch (...) {
+    }
+  };
+
+  // 3. Rebind preparation: the continuation inherits the survivor's ends;
+  //    the new member adopts the DEAD member's ends and queued traffic
+  //    (the supervisor's heir-adoption recipe).
+  BindEditBatch survivor_batch;
+  BindEditBatch adopt_batch;
+  {
+    boundary(reconfig::kStepBindEditPrep);
+    survivor_batch =
+        reconfig::make_rebind_batch(bus, survivor, report.survivor_continuation);
+    adopt_batch =
+        reconfig::make_rebind_batch(bus, dead_member, report.new_member);
+  }
+
+  // 4. mh_objstate_move: signal the survivor, keep nudging it awake until
+  //    it reaches its reconfiguration point, then fan the one divulged
+  //    buffer out to both clones (replicate_module's portability property).
+  {
+    boundary(reconfig::kStepObjstateMove);
+    report.requested_at = rt.now();
+    bus.signal_reconfig(survivor);
+    const net::SimTime deadline = rt.now() + options.divulge_timeout_us;
+    auto settled = [&] {
+      return bus.has_divulged_state(survivor) || rt.module_crashed(survivor);
+    };
+    while (!settled() && rt.now() < deadline) {
+      if (options.nudge) options.nudge();
+      const net::SimTime chunk =
+          std::min(deadline, rt.now() + options.nudge_every_us);
+      (void)rt.run_until([&] { return settled() || rt.now() >= chunk; },
+                         options.max_rounds);
+    }
+    if (!bus.has_divulged_state(survivor)) {
+      // Nothing structural changed: roll back to a still-serving group
+      // (minus its dead member) and let the manager retry elsewhere.
+      bus.cancel_pending_control(survivor);
+      (void)bus.take_pending_signal(survivor);
+      cleanup_clones();
+      if (options.journal != nullptr) {
+        options.journal->aborted(rt.module_crashed(survivor)
+                                     ? "survivor crashed before divulge"
+                                     : "divulge timeout");
+      }
+      throw step_error(reconfig::kStepObjstateMove, "survivor", survivor,
+                       rt.module_crashed(survivor)
+                           ? "crashed before divulging"
+                           : "never divulged its state");
+    }
+    report.divulged_at = rt.now();
+    std::vector<std::uint8_t> state_bytes = bus.take_divulged_state(survivor);
+    report.state_bytes = state_bytes.size();
+    if (options.journal != nullptr) options.journal->divulged(state_bytes);
+    bus.deliver_state(old_info.machine, report.survivor_continuation,
+                      state_bytes);
+    bus.deliver_state(old_info.machine, report.new_member,
+                      std::move(state_bytes));
+  }
+
+  // 5. mh_rebind: both batches land; the dead member's queues (fanned-out
+  //    operations it never processed) move to the new member, which will
+  //    re-apply them -- harmless for idempotent operations, and the router
+  //    dedups acknowledgements per member anyway.
+  {
+    boundary(reconfig::kStepRebind);
+    report.queued_messages_moved =
+        queued_total(bus, survivor) + queued_total(bus, dead_member);
+    bus.rebind(survivor_batch);
+    bus.rebind(adopt_batch);
+  }
+
+  // 6. mh_chg_obj "add": both clones start and restore themselves.
+  {
+    boundary(reconfig::kStepAdd);
+    rt.start_module(report.survivor_continuation);
+    rt.start_module(report.new_member);
+  }
+
+  // 7. mh_chg_obj "del": retire the survivor, sweep its late arrivals to
+  //    the continuation, and remove the corpse.
+  {
+    boundary(reconfig::kStepDel);
+    rt.stop_module(survivor);
+    if (options.drain_us > 0) {
+      rt.run_for(options.drain_us, options.max_rounds);
+      report.queued_messages_moved += reconfig::sweep_queues(
+          bus, survivor, report.survivor_continuation);
+    }
+    rt.remove_module(survivor);
+    bus.cancel_pending_control(dead_member);
+    rt.remove_module(dead_member);
+  }
+
+  await_restore_or_throw(rt, report.survivor_continuation, options);
+  await_restore_or_throw(rt, report.new_member, options);
+  report.restored_at = rt.now();
+
+  boundary(reconfig::kStepCommit);
+  if (options.journal != nullptr) options.journal->committed();
+  return report;
+}
+
+}  // namespace surgeon::replicate

@@ -12,6 +12,7 @@ const char* invariant_name(int id) noexcept {
     case 4: return "service continuity across the replacement";
     case 5: return "transition monotonicity (no watershed reversal)";
     case 6: return "exactly one live instance of the replaced module";
+    case 7: return "acked-write durability across machine loss";
   }
   return "plan well-formedness";
 }
@@ -62,6 +63,13 @@ bool invariant_holds(int id, const AbsState& s) {
              !(s.old_life == OldLife::kActive &&
                (s.replica == CloneLife::kStarted ||
                 s.replica == CloneLife::kRestored));
+    case 7:
+      // No acked write lost, none resurfacing stale: the dead member's
+      // traffic only ever routes to an heir holding the divulged capture
+      // (every acked write lives in any survivor's state), and the corpse
+      // is only retired once that heir took over.
+      return (!s.dead_adopted || (s.divulged && s.replica_has_state)) &&
+             (!s.dead_retired || s.dead_adopted);
     default:
       return true;
   }
@@ -90,6 +98,15 @@ const char* transition_violation(const AbsState& before,
       after.clone != CloneLife::kRestored) {
     return "a restored clone regressed";
   }
+  if (before.machine_lost && !after.machine_lost) {
+    return "a dead machine came back mid-plan";
+  }
+  if (before.dead_adopted && !after.dead_adopted) {
+    return "the heir un-adopted the dead member's bindings";
+  }
+  if (before.dead_retired && !after.dead_retired) {
+    return "a retired member was resurrected";
+  }
   if (after.committed && after.aborted) {
     return "the transaction both committed and aborted";
   }
@@ -114,6 +131,9 @@ const char* outcome_violation(Outcome outcome, const AbsState& s) {
     if (s.replica != CloneLife::kAbsent &&
         s.replica != CloneLife::kRestored) {
       return "committed with a half-installed replica";
+    }
+    if (s.machine_lost && !s.dead_retired) {
+      return "committed with the dead member still registered";
     }
   } else {
     if (!s.aborted) return "the plan never aborted";
@@ -169,7 +189,7 @@ PlanReport check_plan(const Plan& plan) {
     apply(step.prim, state, plan.journaled);
     sr.after = state;
 
-    for (int inv = 1; inv <= 6; ++inv) {
+    for (int inv = 1; inv <= 7; ++inv) {
       InvStatus status;
       if (inv == 5) {
         const char* bad = transition_violation(sr.before, sr.after);
@@ -211,7 +231,7 @@ std::string PlanReport::to_text() const {
   std::ostringstream os;
   os << "plan " << plan << " -- " << description << "\n";
   os << "   # step                       prim                   pre  "
-        "i1 i2 i3 i4 i5 i6\n";
+        "i1 i2 i3 i4 i5 i6 i7\n";
   for (const StepReport& sr : steps) {
     os << "  ";
     std::string idx = std::to_string(sr.index);

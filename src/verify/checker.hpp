@@ -3,7 +3,7 @@
 // check_plan() walks a verify::Plan over the abstract configuration state,
 // evaluating each primitive's precondition, applying its postcondition
 // (unconditionally, so damage propagates past a failed precondition), and
-// classifying every invariant 1-6 at every step boundary as established,
+// classifying every invariant 1-7 at every step boundary as established,
 // preserved, or violated. The result carries machine-readable diagnostics
 // -- step name, invariant id, counterexample state -- consumed by the
 // tools/plan_check CLI (text and JSON) and pinned by verify_test.
@@ -18,7 +18,7 @@
 
 namespace surgeon::verify {
 
-/// Names of the six chaos invariants, 1-indexed ([0] unused), as the
+/// Names of the seven chaos invariants, 1-indexed ([0] unused), as the
 /// checker reports them. Same numbering as chaos/scenario.cpp.
 [[nodiscard]] const char* invariant_name(int id) noexcept;
 
@@ -31,7 +31,7 @@ enum class InvStatus : std::uint8_t {
 
 [[nodiscard]] char inv_status_letter(InvStatus s) noexcept;
 
-/// Does invariant `id` (1,2,3,4,6 -- the state predicates) hold in `s`?
+/// Does invariant `id` (1,2,3,4,6,7 -- the state predicates) hold in `s`?
 /// Invariant 5 is a transition property; see the checker.
 [[nodiscard]] bool invariant_holds(int id, const AbsState& s);
 
@@ -40,7 +40,7 @@ enum class InvStatus : std::uint8_t {
 struct Violation {
   int step_index = 0;      // 1-based position in the plan
   std::string step;        // step label
-  int invariant = 0;       // 1-6, or 0 for plan well-formedness
+  int invariant = 0;       // 1-7, or 0 for plan well-formedness
   std::string kind;        // "precondition" | "boundary" | "outcome"
   std::string detail;      // human-readable clause
   std::string state;       // AbsState::describe() counterexample
@@ -53,7 +53,7 @@ struct StepReport {
   Prim prim = Prim::kObjCap;
   std::string label;
   bool pre_ok = true;
-  std::array<InvStatus, 6> invariants{};
+  std::array<InvStatus, 7> invariants{};
   AbsState before;
   AbsState after;
 };

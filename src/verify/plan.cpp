@@ -43,6 +43,11 @@ std::string AbsState::describe() const {
     os << " replica=" << clone_life_name(replica)
        << " replica_state=" << (replica_has_state ? 1 : 0);
   }
+  if (machine_lost || dead_adopted || dead_retired) {
+    os << " machine_lost=" << (machine_lost ? 1 : 0)
+       << " dead_adopted=" << (dead_adopted ? 1 : 0)
+       << " dead_retired=" << (dead_retired ? 1 : 0);
+  }
   return os.str();
 }
 
@@ -72,6 +77,9 @@ const char* prim_name(Prim p) noexcept {
     case Prim::kBindReplica: return "bind_replica";
     case Prim::kStartReplica: return "start_replica";
     case Prim::kAwaitRestoreReplica: return "await_restore_replica";
+    case Prim::kMachineKill: return "machine_kill";
+    case Prim::kAdoptDeadBindings: return "adopt_dead_bindings";
+    case Prim::kRetireDead: return "retire_dead";
   }
   return "?";
 }
@@ -214,6 +222,27 @@ std::vector<PreViolation> precondition(Prim prim, const AbsState& s) {
       need(s.replica_has_state, 2,
            "nothing to restore: the state was never delivered");
       break;
+    case Prim::kMachineKill:
+      need(!s.machine_lost, 0, "the machine is already dead");
+      break;
+    case Prim::kAdoptDeadBindings:
+      need(s.machine_lost, 0,
+           "no dead member whose bindings need an heir");
+      need(s.replica != CloneLife::kAbsent, 1,
+           "the dead member's bindings must route to a registered heir");
+      need(s.divulged, 7,
+           "adopting the dead member's traffic before the survivor "
+           "divulged serves requests from a state missing acked writes");
+      need(s.replica_has_state, 7,
+           "the heir must hold the divulged capture before it takes the "
+           "dead member's traffic (else acked writes resurface stale)");
+      break;
+    case Prim::kRetireDead:
+      need(s.machine_lost, 0, "no dead member to retire");
+      need(s.dead_adopted, 7,
+           "retiring the dead member before an heir adopted its bindings "
+           "drops its queued acked traffic");
+      break;
   }
   return v;
 }
@@ -289,6 +318,15 @@ void apply(Prim prim, AbsState& s, bool journaled) {
       break;
     case Prim::kAwaitRestoreReplica:
       s.replica = CloneLife::kRestored;
+      break;
+    case Prim::kMachineKill:
+      s.machine_lost = true;
+      break;
+    case Prim::kAdoptDeadBindings:
+      s.dead_adopted = true;
+      break;
+    case Prim::kRetireDead:
+      s.dead_retired = true;
       break;
   }
 }
@@ -478,6 +516,60 @@ Plan plan_replicate() {
   return p;
 }
 
+Plan plan_group_rebuild() {
+  using reconfig::kStepAdd;
+  using reconfig::kStepBindEditPrep;
+  using reconfig::kStepCloneRegister;
+  using reconfig::kStepCommit;
+  using reconfig::kStepDel;
+  using reconfig::kStepObjCap;
+  using reconfig::kStepObjstateMove;
+  using reconfig::kStepRebind;
+  Plan p;
+  p.name = "group_rebuild";
+  p.description =
+      "machine loss: a group member died with its machine; the survivor "
+      "divulges once, its continuation stays in place, and a fresh heir on "
+      "a spare adopts the dead member's bindings "
+      "(replicate::rebuild_group)";
+  p.journaled = true;
+  p.outcome = Outcome::kCommitted;
+  p.steps = {
+      {Prim::kMachineKill, "machine_kill", ""},
+      {Prim::kBeginTxn, "begin", "begin"},
+      {Prim::kObjCap, "obj_cap", kStepObjCap},
+      {Prim::kRegisterClone, "clone_register", kStepCloneRegister},
+      {Prim::kRegisterReplica, "heir_register", ""},
+      {Prim::kPrepBindings, "bind_edit_prep", kStepBindEditPrep},
+      {Prim::kSignal, "objstate_move.signal", kStepObjstateMove},
+      {Prim::kPassivate, "objstate_move.passivate", ""},
+      {Prim::kDivulge, "objstate_move.divulge", ""},
+      {Prim::kDeliverState, "deliver_survivor", ""},
+      {Prim::kDeliverStateReplica, "deliver_heir", ""},
+      {Prim::kRebind, "rebind", kStepRebind},
+      {Prim::kAdoptDeadBindings, "adopt_dead_bindings", ""},
+      {Prim::kStartClone, "add_survivor", kStepAdd},
+      {Prim::kStartReplica, "add_heir", ""},
+      {Prim::kSweepQueues, "del.drain", kStepDel},
+      {Prim::kRemoveOld, "del.remove_survivor", ""},
+      {Prim::kRetireDead, "del.retire_dead", ""},
+      {Prim::kAwaitRestore, "restore_survivor", ""},
+      {Prim::kAwaitRestoreReplica, "restore_heir", ""},
+      {Prim::kCommit, "commit", kStepCommit},
+  };
+  return p;
+}
+
+Plan plan_rebalance() {
+  Plan p = plan_replace();
+  p.name = "rebalance";
+  p.description =
+      "placement repair: a machine joined the ring and a member off its "
+      "placement migrates via the Figure 5 move script "
+      "(replicate::GroupManager::rebalance)";
+  return p;
+}
+
 std::vector<Plan> shipped_plans() {
   return {plan_replace(),
           plan_move(),
@@ -486,7 +578,9 @@ std::vector<Plan> shipped_plans() {
           plan_retry_reinstall(),
           plan_recover_rollback(),
           plan_recover_rollforward(),
-          plan_replicate()};
+          plan_replicate(),
+          plan_group_rebuild(),
+          plan_rebalance()};
 }
 
 Plan plan_broken_rebind_before_divulge() {
@@ -507,6 +601,31 @@ Plan plan_broken_rebind_before_divulge() {
   for (auto it = p.steps.begin(); it != p.steps.end(); ++it) {
     if (it->prim == Prim::kSignal) {
       p.steps.insert(it, rebind);
+      break;
+    }
+  }
+  return p;
+}
+
+Plan plan_broken_adopt_before_divulge() {
+  Plan p = plan_group_rebuild();
+  p.name = "broken_adopt_before_divulge";
+  p.description =
+      "SEEDED BROKEN PLAN: the heir adopts the dead member's bindings "
+      "before the survivor divulged -- invariant 7 must flag it (checker "
+      "self-test, not shipped)";
+  // Move the adoption from after the objstate_move block to before it.
+  Step adopt;
+  for (auto it = p.steps.begin(); it != p.steps.end(); ++it) {
+    if (it->prim == Prim::kAdoptDeadBindings) {
+      adopt = *it;
+      p.steps.erase(it);
+      break;
+    }
+  }
+  for (auto it = p.steps.begin(); it != p.steps.end(); ++it) {
+    if (it->prim == Prim::kSignal) {
+      p.steps.insert(it, adopt);
       break;
     }
   }

@@ -12,7 +12,7 @@
 //
 // The checker (verify/checker.hpp) symbolically executes a plan over this
 // state and reports, per step boundary, which of the chaos harness's
-// invariants 1-6 are established, preserved, or violated -- BEFORE the
+// invariants 1-7 are established, preserved, or violated -- BEFORE the
 // script ever runs against a simulator. Every shipped script in
 // src/reconfig/scripts.cpp and src/recover/recovery.cpp has its plan here,
 // and verify_test pins the plans to the scripts' journal boundaries so the
@@ -67,6 +67,12 @@ struct AbsState {
   // Replication only: the additional replica instance.
   CloneLife replica = CloneLife::kAbsent;
   bool replica_has_state = false;
+  // Machine loss (group rebuild) only: a replica-group member's machine
+  // died; the plan must hand its bindings to an heir that can restore the
+  // divulged capture, then retire the corpse (invariant 7).
+  bool machine_lost = false;   // a member's machine is dead
+  bool dead_adopted = false;   // the dead member's bindings found an heir
+  bool dead_retired = false;   // the dead member left the bus
 
   [[nodiscard]] std::string describe() const;
   bool operator==(const AbsState&) const = default;
@@ -102,12 +108,15 @@ enum class Prim : std::uint8_t {
   kBindReplica,      // replica receives copies of the original's bindings
   kStartReplica,
   kAwaitRestoreReplica,
+  kMachineKill,       // environment: a group member's machine dies
+  kAdoptDeadBindings, // heir adopts the dead member's bindings + queues
+  kRetireDead,        // the dead member is deregistered from the bus
 };
 
 const char* prim_name(Prim p) noexcept;
 
 /// Every primitive, for table-driven tests and the DESIGN.md table.
-inline constexpr std::array<Prim, 24> kAllPrims = {
+inline constexpr std::array<Prim, 27> kAllPrims = {
     Prim::kBeginTxn,        Prim::kObjCap,
     Prim::kRegisterClone,   Prim::kPrepBindings,
     Prim::kSignal,          Prim::kPassivate,
@@ -120,10 +129,12 @@ inline constexpr std::array<Prim, 24> kAllPrims = {
     Prim::kRestartFromWal,  Prim::kRegisterReplica,
     Prim::kDeliverStateReplica, Prim::kBindReplica,
     Prim::kStartReplica,    Prim::kAwaitRestoreReplica,
+    Prim::kMachineKill,     Prim::kAdoptDeadBindings,
+    Prim::kRetireDead,
 };
 
 /// One violated precondition clause: which invariant the clause guards
-/// (1-6, or 0 for plan well-formedness) and the clause's text.
+/// (1-7, or 0 for plan well-formedness) and the clause's text.
 struct PreViolation {
   int invariant = 0;
   std::string clause;
@@ -188,6 +199,13 @@ struct Plan {
 /// replicate_module: divulge once, install the state in a replacing clone
 /// AND a fresh replica (unjournaled, as the script is today).
 [[nodiscard]] Plan plan_replicate();
+/// replicate::rebuild_group: a member's machine died; the survivor
+/// divulges once, its continuation stays in place, and a fresh heir on a
+/// spare adopts the dead member's bindings (journaled).
+[[nodiscard]] Plan plan_group_rebuild();
+/// replicate::GroupManager::rebalance: a machine joined the ring; members
+/// off their placement migrate via the Figure 5 move script.
+[[nodiscard]] Plan plan_rebalance();
 
 /// Every plan shipped above, in a stable order (the plan_check default).
 [[nodiscard]] std::vector<Plan> shipped_plans();
@@ -196,5 +214,10 @@ struct Plan {
 /// invariant 3 (rebind-after-quiescence); plan_check must reject it, and
 /// verify_test pins the invariant id. Not part of shipped_plans().
 [[nodiscard]] Plan plan_broken_rebind_before_divulge();
+
+/// Deliberately broken: the heir adopts the dead member's bindings BEFORE
+/// the survivor divulged. Violates invariant 7 (acked-write durability);
+/// not part of shipped_plans().
+[[nodiscard]] Plan plan_broken_adopt_before_divulge();
 
 }  // namespace surgeon::verify

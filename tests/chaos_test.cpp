@@ -1,11 +1,14 @@
 // surgeon::chaos -- fault injection, reliable-delivery semantics, and the
 // randomized reconfiguration-under-faults sweeps.
 //
-// The sweeps at the bottom run 215 seeded scenarios (counter, pipeline,
-// monitor, and crash-the-clone mixes). Every failure message starts with
+// The sweeps at the bottom run 215 seeded replacement scenarios (counter,
+// pipeline, monitor, and crash-the-clone mixes) plus the same 215 seeds
+// again as kv machine-loss scenarios (kill a replica-group machine under
+// link faults, require the acked-write ledger to hold while the
+// GroupManager rebuilds -- invariant 7). Every failure message starts with
 // the scenario's describe() line, seed first: reconstructing the spec with
-// random_scenario(seed) plus the sweep's forced fields replays the run
-// exactly.
+// random_scenario(seed) / random_kv_scenario(seed) plus the sweep's forced
+// fields replays the run exactly.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -316,12 +319,56 @@ TEST(ChaosScenario, AbortOnDeadControlPlaneLeavesApplicationServing) {
   EXPECT_EQ(r.output, r.golden);  // the abort was invisible to clients
 }
 
+// --- kv machine-loss scenarios ----------------------------------------------
+
+// Acceptance: a replica-group machine dies mid-workload, the GroupManager
+// rebuilds onto a spare, and the client never notices -- no acked write
+// lost, no stale read, output equal to the kill-free golden run.
+TEST(ChaosScenario, KvMachineKillHealsWithLedgerIntact) {
+  chaos::ScenarioSpec spec;
+  spec.seed = 31;
+  spec.app = chaos::SampleApp::kKv;
+  spec.work_items = 40;
+  spec.kv_shards = 3;
+  spec.kv_group_size = 2;
+  spec.kv_machines = 3;
+  spec.kv_spares = 1;
+  spec.kv_kill_machine = 0;
+  spec.kv_kill_at_us = 20'000;
+  chaos::ScenarioResult r = chaos::run_scenario(spec);
+  EXPECT_TRUE(r.ok()) << r.failure << "\n  replay: " << spec.describe();
+  EXPECT_TRUE(r.replaced);  // redundancy was actually rebuilt
+  EXPECT_EQ(r.output, r.golden);
+  EXPECT_GT(r.hb_events, 0u);  // invariant 5 ran, not skipped
+}
+
+// The failing-seed artifact line must say which machine died and when.
+TEST(ChaosScenario, KvDescribeNamesTheKilledMachine) {
+  chaos::ScenarioSpec spec = chaos::random_kv_scenario(9);
+  const std::string line = spec.describe();
+  EXPECT_NE(line.find("app=kv"), std::string::npos) << line;
+  EXPECT_NE(line.find("kill=m" + std::to_string(spec.kv_kill_machine) + "@"),
+            std::string::npos)
+      << line;
+}
+
+TEST(ChaosScenario, KvScenariosAreReproducibleFromTheirSeed) {
+  chaos::ScenarioSpec spec = chaos::random_kv_scenario(4242);
+  chaos::ScenarioResult first = chaos::run_scenario(spec);
+  chaos::ScenarioResult second = chaos::run_scenario(spec);
+  ASSERT_TRUE(first.ok()) << first.failure << "\n  replay: " << spec.describe();
+  EXPECT_EQ(first.output, second.output);
+  EXPECT_EQ(first.replaced, second.replaced);
+  EXPECT_EQ(first.fstats.drops, second.fstats.drops);
+}
+
 // --- randomized sweeps (215 seeded scenarios) -------------------------------
 
 class CounterSweep : public ::testing::TestWithParam<std::uint64_t> {};
 class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
 class MonitorSweep : public ::testing::TestWithParam<std::uint64_t> {};
 class CrashSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class KvSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 void run_sweep_case(chaos::ScenarioSpec spec) {
   chaos::ScenarioResult r = chaos::run_scenario(spec);
@@ -355,6 +402,15 @@ TEST_P(CrashSweep, Invariants) {
   run_sweep_case(spec);
 }
 
+// The machine-loss analogue of run_sweep_case: a kv scenario has no abort
+// path -- the service must finish and every invariant (7 included) must
+// hold whether or not the kill landed mid-workload.
+TEST_P(KvSweep, Invariant7AcrossMachineLoss) {
+  chaos::ScenarioSpec spec = chaos::random_kv_scenario(GetParam());
+  chaos::ScenarioResult r = chaos::run_scenario(spec);
+  ASSERT_TRUE(r.ok()) << r.failure << "\n  replay: " << spec.describe();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CounterSweep,
                          ::testing::Range<std::uint64_t>(1, 101));
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep,
@@ -363,6 +419,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MonitorSweep,
                          ::testing::Range<std::uint64_t>(151, 191));
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweep,
                          ::testing::Range<std::uint64_t>(191, 216));
+INSTANTIATE_TEST_SUITE_P(Seeds, KvSweep,
+                         ::testing::Range<std::uint64_t>(1, 216));
 
 }  // namespace
 }  // namespace surgeon

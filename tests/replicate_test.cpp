@@ -1,0 +1,410 @@
+// surgeon::replicate -- consistent-hash placement, machine-level failure
+// detection, the sharded KV workload, and self-healing group rebuild.
+//
+// The KillDuringRebuildSweep at the bottom is the 200-seed robustness
+// gate: kill a machine mid-workload (and, at some seeds, a second machine
+// while the first rebuild is in flight), then require the client ledger to
+// hold -- no acknowledged write lost, no stale value resurfacing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "app/runtime.hpp"
+#include "net/arch.hpp"
+#include "profile/telemetry.hpp"
+#include "recover/detector.hpp"
+#include "replicate/kv.hpp"
+#include "replicate/manager.hpp"
+#include "replicate/placement.hpp"
+#include "replicate/rebuild.hpp"
+
+namespace surgeon {
+namespace {
+
+using recover::MachineDetector;
+using recover::MachineDetectorOptions;
+using recover::MachineHealth;
+using replicate::GroupManager;
+using replicate::HashRing;
+using replicate::KvOptions;
+using replicate::KvService;
+using replicate::ManagerOptions;
+using replicate::RingOptions;
+
+// --- placement ---------------------------------------------------------------
+
+TEST(Placement, SameSeedSameRing) {
+  RingOptions opts;
+  opts.seed = 42;
+  HashRing a(opts);
+  HashRing b(opts);
+  for (const char* m : {"m0", "m1", "m2", "m3"}) {
+    a.add_machine(m);
+    b.add_machine(m);
+  }
+  for (int g = 0; g < 64; ++g) {
+    const std::string key = replicate::kv_group_key(g);
+    EXPECT_EQ(a.place(key, 3), b.place(key, 3)) << key;
+  }
+}
+
+TEST(Placement, DifferentSeedsDiffer) {
+  HashRing a(RingOptions{64, 1});
+  HashRing b(RingOptions{64, 2});
+  for (const char* m : {"m0", "m1", "m2", "m3"}) {
+    a.add_machine(m);
+    b.add_machine(m);
+  }
+  int differing = 0;
+  for (int g = 0; g < 64; ++g) {
+    const std::string key = replicate::kv_group_key(g);
+    if (a.place(key, 2) != b.place(key, 2)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Placement, DistinctMachinesAndInsertionOrderIrrelevant) {
+  HashRing fwd(RingOptions{64, 7});
+  HashRing rev(RingOptions{64, 7});
+  const std::vector<std::string> machines = {"m0", "m1", "m2", "m3", "m4"};
+  for (const auto& m : machines) fwd.add_machine(m);
+  for (auto it = machines.rbegin(); it != machines.rend(); ++it) {
+    rev.add_machine(*it);
+  }
+  for (int g = 0; g < 32; ++g) {
+    const std::string key = replicate::kv_group_key(g);
+    const auto placed = fwd.place(key, 3);
+    ASSERT_EQ(placed.size(), 3u);
+    EXPECT_EQ(std::set<std::string>(placed.begin(), placed.end()).size(), 3u);
+    EXPECT_EQ(placed, rev.place(key, 3));
+  }
+}
+
+TEST(Placement, RemovalOnlyMovesAffectedGroups) {
+  HashRing ring(RingOptions{64, 9});
+  for (const char* m : {"m0", "m1", "m2", "m3"}) ring.add_machine(m);
+  std::vector<std::vector<std::string>> before;
+  for (int g = 0; g < 48; ++g) {
+    before.push_back(ring.place(replicate::kv_group_key(g), 2));
+  }
+  ring.remove_machine("m2");
+  for (int g = 0; g < 48; ++g) {
+    const auto after = ring.place(replicate::kv_group_key(g), 2);
+    const bool touched = std::find(before[g].begin(), before[g].end(),
+                                   "m2") != before[g].end();
+    if (!touched) {
+      // Consistent hashing's whole point: unaffected groups do not move.
+      EXPECT_EQ(after, before[g]) << replicate::kv_group_key(g);
+    } else {
+      EXPECT_EQ(std::find(after.begin(), after.end(), "m2"), after.end());
+    }
+  }
+}
+
+TEST(Placement, ShortRingReturnsWhatExists) {
+  HashRing ring;
+  EXPECT_TRUE(ring.place("k", 3).empty());
+  ring.add_machine("only");
+  EXPECT_EQ(ring.place("k", 3), std::vector<std::string>{"only"});
+}
+
+// --- machine detector --------------------------------------------------------
+
+TEST(MachineDetectorTest, SuspectThenConfirmTransitions) {
+  MachineDetectorOptions opts;
+  opts.suspicion_timeout_us = 50'000;
+  opts.confirm_timeout_us = 120'000;
+  MachineDetector det(opts);
+  det.beat("a", "m0", 1'000);
+  det.beat("b", "m0", 2'000);
+  EXPECT_EQ(det.health("m0", 10'000), MachineHealth::kAlive);
+  // Silence is measured from the machine's most recent beat across ALL its
+  // modules: module a going quiet alone never suspects the machine.
+  det.beat("b", "m0", 60'000);
+  EXPECT_EQ(det.health("m0", 100'000), MachineHealth::kAlive);
+  EXPECT_EQ(det.health("m0", 60'000 + 50'001), MachineHealth::kSuspect);
+  EXPECT_EQ(det.suspects(60'000 + 50'001), std::vector<std::string>{"m0"});
+  EXPECT_TRUE(det.confirmed(60'000 + 50'001).empty());
+  EXPECT_EQ(det.health("m0", 60'000 + 120'001), MachineHealth::kConfirmed);
+  EXPECT_EQ(det.confirmed(60'000 + 120'001), std::vector<std::string>{"m0"});
+}
+
+TEST(MachineDetectorTest, UntrackedMachinesReadAlive) {
+  MachineDetector det;
+  EXPECT_EQ(det.health("ghost", 1'000'000), MachineHealth::kAlive);
+  EXPECT_TRUE(det.suspects(1'000'000).empty());
+}
+
+TEST(MachineDetectorTest, MigrationReattributesTheModule) {
+  MachineDetector det;
+  det.beat("mod", "m0", 1'000);
+  det.beat("mod", "m1", 2'000);
+  // The old host lost its only voucher and is no longer tracked at all --
+  // a stale beat must not keep a dead machine looking alive, and an empty
+  // record must not make a healthy machine look silent.
+  EXPECT_EQ(det.tracked_machines(), 1u);
+  EXPECT_EQ(det.modules_on("m1"), std::vector<std::string>{"mod"});
+  EXPECT_TRUE(det.modules_on("m0").empty());
+}
+
+TEST(MachineDetectorTest, ForgettingTheMachineDropsItsModules) {
+  MachineDetector det;
+  det.beat("a", "m0", 1'000);
+  det.beat("b", "m0", 1'000);
+  det.beat("c", "m1", 1'000);
+  det.forget_machine("m0");
+  EXPECT_EQ(det.tracked_machines(), 1u);
+  EXPECT_EQ(det.machine_names(), std::vector<std::string>{"m1"});
+  // a's beats start from scratch after the forget.
+  det.beat("a", "m0", 500'000);
+  EXPECT_EQ(det.health("m0", 500'000), MachineHealth::kAlive);
+}
+
+// --- KV workload -------------------------------------------------------------
+
+struct KvFixture {
+  app::Runtime rt;
+  KvOptions options;
+
+  explicit KvFixture(std::uint64_t seed, std::size_t shards,
+                     std::size_t group_size,
+                     std::vector<std::string> machines,
+                     std::vector<std::string> spares = {}) {
+    options.seed = seed;
+    options.shards = shards;
+    options.group_size = group_size;
+    options.machines = std::move(machines);
+    for (const auto& m : options.machines) {
+      rt.add_machine(m, net::arch_vax());
+    }
+    for (const auto& m : spares) rt.add_machine(m, net::arch_vax());
+    rt.add_machine(options.control_machine, net::arch_vax());
+  }
+};
+
+ManagerOptions fast_manager_options() {
+  ManagerOptions m;
+  m.heartbeat_interval_us = 5'000;
+  m.sweep_interval_us = 20'000;
+  m.detector.suspicion_timeout_us = 30'000;
+  m.detector.confirm_timeout_us = 60'000;
+  return m;
+}
+
+/// Every group currently has `group_size` members, all running, on
+/// distinct live machines, none on `forbidden`.
+void expect_redundant(KvService& service, const std::string& forbidden) {
+  app::Runtime& rt = service.runtime();
+  for (std::size_t g = 0; g < service.options().shards; ++g) {
+    const auto members = service.router().members(g);
+    ASSERT_EQ(members.size(), service.options().group_size)
+        << "group " << g;
+    std::set<std::string> hosts;
+    for (const auto& m : members) {
+      EXPECT_TRUE(rt.module_running(m)) << m;
+      const std::string host = rt.bus().module_info(m).machine;
+      EXPECT_NE(host, forbidden) << m;
+      hosts.insert(host);
+    }
+    EXPECT_EQ(hosts.size(), members.size()) << "group " << g;
+  }
+}
+
+TEST(Kv, FaultFreeRunAcksEverythingConsistently) {
+  KvFixture f(11, 3, 2, {"m0", "m1", "m2"});
+  KvService service(f.rt, f.options);
+  service.launch(30);
+  ASSERT_TRUE(service.run_to_completion(10'000'000, 50'000'000));
+  const auto& client = service.client();
+  EXPECT_TRUE(client.ledger_violations().empty());
+  EXPECT_EQ(service.router().stats().stale_gets, 0u);
+  // Read-back equals the ledger for every written key; unwritten keys are 0.
+  for (const auto& [key, value] : client.readback()) {
+    const auto it = client.acked_writes().find(key);
+    EXPECT_EQ(value, it == client.acked_writes().end() ? 0 : it->second)
+        << "key " << key;
+  }
+  EXPECT_EQ(client.readback().size(),
+            f.options.shards * replicate::kSlotsPerShard);
+}
+
+TEST(Kv, ReportIsDeterministicAcrossRuns) {
+  std::vector<std::string> first;
+  for (int run = 0; run < 2; ++run) {
+    KvFixture f(7, 2, 2, {"m0", "m1"});
+    KvService service(f.rt, f.options);
+    service.launch(20);
+    ASSERT_TRUE(service.run_to_completion(10'000'000, 50'000'000));
+    const auto report = service.client().report();
+    if (run == 0) {
+      first = report;
+    } else {
+      EXPECT_EQ(report, first);
+    }
+  }
+}
+
+TEST(Kv, PlacementUsesRingAndDistinctMachines) {
+  KvFixture f(3, 6, 3, {"m0", "m1", "m2", "m3"});
+  KvService service(f.rt, f.options);
+  HashRing expected(RingOptions{f.options.vnodes, f.options.seed});
+  for (const auto& m : f.options.machines) expected.add_machine(m);
+  for (std::size_t g = 0; g < 6; ++g) {
+    EXPECT_EQ(service.placements()[g],
+              expected.place(replicate::kv_group_key(g), 3));
+  }
+}
+
+// --- rebuild -----------------------------------------------------------------
+
+TEST(Rebuild, MachineLossHealsOntoSpareWhileServing) {
+  KvFixture f(21, 4, 2, {"m0", "m1", "m2"}, {"sp0"});
+  KvService service(f.rt, f.options);
+  service.launch(60);
+  ManagerOptions mopts = fast_manager_options();
+  mopts.spares = {"sp0"};
+  GroupManager manager(service, mopts);
+  manager.start();
+
+  // Let some traffic through, then lose a machine under load.
+  (void)f.rt.run_for(30'000, 50'000'000);
+  const auto killed = f.rt.crash_machine("m0");
+  EXPECT_FALSE(killed.empty());
+
+  ASSERT_TRUE(service.run_to_completion(30'000'000, 200'000'000));
+  manager.stop();
+  EXPECT_TRUE(service.client().ledger_violations().empty())
+      << service.client().ledger_violations().front();
+  EXPECT_EQ(service.router().stats().stale_gets, 0u);
+  EXPECT_GE(manager.stats().machines_rebuilt, 1u);
+  EXPECT_EQ(manager.stats().data_loss_groups, 0u);
+  expect_redundant(service, "m0");
+}
+
+TEST(Rebuild, DirectDriveWithoutHeartbeats) {
+  KvFixture f(5, 3, 2, {"m0", "m1", "m2"}, {"sp0"});
+  KvService service(f.rt, f.options);
+  service.launch(200);  // long script: still mid-run at the kill
+  ManagerOptions mopts;
+  mopts.spares = {"sp0"};
+  GroupManager manager(service, mopts);
+
+  (void)f.rt.run_for(20'000, 50'000'000);
+  (void)f.rt.crash_machine("m1");
+  EXPECT_TRUE(manager.rebuild_machine("m1"));
+  expect_redundant(service, "m1");
+  // Rebuilt groups keep serving: run a bit more and require progress.
+  const auto acked_before = service.client().stats().acked;
+  (void)f.rt.run_for(50'000, 50'000'000);
+  EXPECT_GT(service.client().stats().acked, acked_before);
+  EXPECT_TRUE(service.client().ledger_violations().empty());
+}
+
+TEST(Rebuild, RebalanceAfterJoinRespectsPlacement) {
+  KvFixture f(13, 6, 2, {"m0", "m1"}, {"m2"});
+  KvService service(f.rt, f.options);
+  service.launch(10);
+  ASSERT_TRUE(service.run_to_completion(10'000'000, 50'000'000));
+
+  ManagerOptions mopts;
+  GroupManager manager(service, mopts);
+  const std::size_t moves = manager.rebalance("m2");
+  // With two machines hosting all six 2-groups, a third machine must take
+  // over some placements.
+  EXPECT_GT(moves, 0u);
+  for (std::size_t g = 0; g < 6; ++g) {
+    const auto placement = service.ring().place(replicate::kv_group_key(g), 2);
+    std::set<std::string> hosts;
+    for (const auto& m : service.router().members(g)) {
+      const std::string host = f.rt.bus().module_info(m).machine;
+      EXPECT_NE(std::find(placement.begin(), placement.end(), host),
+                placement.end())
+          << "group " << g << " member " << m << " on " << host;
+      hosts.insert(host);
+    }
+    EXPECT_EQ(hosts.size(), 2u) << "group " << g;
+  }
+}
+
+// The operator-facing view: GroupManager publishes surgeon_replica_role
+// gauges, the telemetry plane streams them to the collector, and mh_top's
+// table renders a ROLE column naming each member primary or follower.
+TEST(Rebuild, MhTopTableShowsReplicaRoles) {
+  KvFixture f(17, 2, 2, {"m0", "m1", "m2"});
+  f.rt.enable_metrics();
+  KvService service(f.rt, f.options);
+  service.launch(30);
+  GroupManager manager(service, fast_manager_options());
+  manager.start();
+
+  auto collector = std::make_unique<profile::Collector>(
+      f.rt.bus(), "collector", f.options.control_machine);
+  std::vector<std::unique_ptr<profile::Reporter>> reporters;
+  for (const auto& m : f.options.machines) {
+    reporters.push_back(std::make_unique<profile::Reporter>(
+        f.rt.bus(), f.rt.metrics(), m, "collector"));
+  }
+
+  ASSERT_TRUE(service.run_to_completion(10'000'000, 50'000'000));
+  (void)f.rt.run_for(500'000, 50'000'000);  // reporter flush intervals
+  manager.stop();
+
+  EXPECT_GT(collector->deltas_applied(), 0u);
+  const std::string table = collector->top("table");
+  EXPECT_NE(table.find("ROLE"), std::string::npos);
+  EXPECT_NE(table.find("primary"), std::string::npos);
+  EXPECT_NE(table.find("follower"), std::string::npos);
+  // Non-replicated series render "-", never a bogus role.
+  EXPECT_NE(table.find("-"), std::string::npos);
+}
+
+// --- the 200-seed kill-during-rebuild sweep ---------------------------------
+
+TEST(KillDuringRebuildSweep, LedgerHoldsAcrossTwoHundredSeeds) {
+  int double_kills = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    KvFixture f(seed, 3, 3, {"m0", "m1", "m2", "m3"}, {"sp0", "sp1"});
+    KvService service(f.rt, f.options);
+    service.launch(24);
+    ManagerOptions mopts = fast_manager_options();
+    mopts.spares = {"sp0", "sp1"};
+    GroupManager manager(service, mopts);
+    manager.start();
+
+    // First kill lands mid-workload at a seed-dependent time; at every
+    // third seed a second machine dies while the first rebuild is likely
+    // in flight (group_size 3 tolerates two overlapping losses).
+    const net::SimTime first_kill = 10'000 + (seed % 7) * 5'000;
+    (void)f.rt.run_for(first_kill, 50'000'000);
+    const std::string victim = "m" + std::to_string(seed % 4);
+    (void)f.rt.crash_machine(victim);
+    std::string second;
+    if (seed % 3 == 0) {
+      const net::SimTime gap = 40'000 + (seed % 5) * 20'000;
+      (void)f.rt.run_for(gap, 50'000'000);
+      second = "m" + std::to_string((seed + 1 + seed / 4) % 4);
+      if (second != victim && !f.rt.machine_dead(second)) {
+        (void)f.rt.crash_machine(second);
+        ++double_kills;
+      }
+    }
+    const bool done = service.run_to_completion(60'000'000, 400'000'000);
+    manager.stop();
+    const std::string tag = "seed=" + std::to_string(seed) + " victim=" +
+                            victim +
+                            (second.empty() ? "" : " second=" + second);
+    ASSERT_TRUE(done) << tag << ": client never finished";
+    ASSERT_TRUE(service.client().ledger_violations().empty())
+        << tag << ": " << service.client().ledger_violations().front();
+    ASSERT_EQ(service.router().stats().stale_gets, 0u) << tag;
+    ASSERT_EQ(manager.stats().data_loss_groups, 0u) << tag;
+  }
+  EXPECT_GT(double_kills, 30);
+}
+
+}  // namespace
+}  // namespace surgeon

@@ -129,6 +129,80 @@ TEST(Systematic, ScheduleDescribeNamesTheCrashBoundary) {
   const std::string text = s.describe();
   EXPECT_NE(text.find("crash=rebind"), std::string::npos) << text;
   EXPECT_NE(text.find("vax->sparc#2"), std::string::npos) << text;
+  EXPECT_NE(text.find("kill=none"), std::string::npos) << text;
+  s.kill_machine = 1;
+  s.kill_at_us = 30'000;
+  EXPECT_NE(s.describe().find("kill=m1@30000us"), std::string::npos)
+      << s.describe();
+}
+
+// --- kv machine-kill schedules ----------------------------------------------
+
+SystematicOptions kv_scenario() {
+  SystematicOptions options;
+  options.app = SampleApp::kKv;
+  options.work_items = 10;
+  options.kv_shards = 2;
+  options.kv_group_size = 2;
+  options.kv_machines = 3;
+  options.kv_spares = 1;
+  options.explore_crash_boundaries = false;  // a kv run has no coordinator
+  return options;
+}
+
+std::string first_failure(const SystematicResult& result) {
+  if (result.failures.empty()) return "";
+  return result.failures[0].schedule.describe() + ": " +
+         result.failures[0].violations.front();
+}
+
+// Machine kills are their own schedule dimension: every (machine, time)
+// rebuild schedule runs exactly once alongside the no-kill baseline, and
+// each must hold invariant 7 -- no acked write lost, none stale.
+TEST(Systematic, MachineKillDimensionCoversEveryRebuildSchedule) {
+  SystematicOptions options = kv_scenario();
+  options.max_drops = 0;  // the kill dimension alone
+  options.record_outcomes = true;
+  for (int m = 0; m < options.kv_machines; ++m) {
+    for (net::SimTime at : {net::SimTime{10'000}, net::SimTime{40'000}}) {
+      options.machine_kill_points.push_back(MachineKillPoint{m, at});
+    }
+  }
+  const SystematicResult result = explore(options);
+  EXPECT_TRUE(result.ok()) << first_failure(result);
+  EXPECT_FALSE(result.truncated);
+  // One kill-free schedule plus one per kill point.
+  EXPECT_EQ(result.schedules_explored,
+            1u + options.machine_kill_points.size());
+  EXPECT_EQ(result.machine_kills_covered.size(),
+            options.machine_kill_points.size());
+  // The kills were real: rebuilds actually ran under at least one of them.
+  bool any_rebuilt = false;
+  for (const ScheduleOutcome& outcome : result.outcomes) {
+    if (outcome.schedule.kill_machine >= 0 && outcome.replaced) {
+      any_rebuilt = true;
+    }
+  }
+  EXPECT_TRUE(any_rebuilt);
+}
+
+// Drops compose with the kill dimension: every enabled 1-drop schedule
+// runs under the no-kill baseline AND under the machine kill, so wire loss
+// during a rebuild is part of the explored space, not a gap between two
+// harnesses.
+TEST(Systematic, MachineKillComposesWithDropSchedules) {
+  SystematicOptions options = kv_scenario();
+  options.work_items = 6;
+  options.max_drops = 1;
+  options.machine_kill_points.push_back(MachineKillPoint{0, 15'000});
+  const SystematicResult result = explore(options);
+  EXPECT_TRUE(result.ok()) << first_failure(result);
+  EXPECT_FALSE(result.truncated);
+  // At minimum: the two drop-free roots plus a 1-drop schedule per wire
+  // point of each root's run.
+  EXPECT_GT(result.schedules_explored, 2u);
+  EXPECT_GT(result.wire_points_discovered, 0u);
+  EXPECT_EQ(result.machine_kills_covered.size(), 1u);
 }
 
 // --- cross-validation against the random sweeps -----------------------------

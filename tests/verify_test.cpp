@@ -12,6 +12,8 @@
 #include "app/samples.hpp"
 #include "cfg/parser.hpp"
 #include "reconfig/scripts.hpp"
+#include "replicate/kv.hpp"
+#include "replicate/rebuild.hpp"
 #include "verify/checker.hpp"
 #include "verify/plan.hpp"
 
@@ -39,7 +41,7 @@ bool violates(const std::vector<PreViolation>& v, int invariant) {
 
 TEST(Primitives, InitialStateSatisfiesEveryInvariant) {
   const AbsState s;
-  for (int inv : {1, 2, 3, 4, 6}) {
+  for (int inv : {1, 2, 3, 4, 6, 7}) {
     EXPECT_TRUE(invariant_holds(inv, s)) << "invariant " << inv;
   }
 }
@@ -128,6 +130,39 @@ TEST(Primitives, RestartFromWalNeedsTheDurableWatershed) {
   EXPECT_TRUE(violates(precondition(Prim::kRestartFromWal, s), 2));
 }
 
+TEST(Primitives, AdoptDeadBindingsNeedsTheDivulgedCaptureInTheHeir) {
+  AbsState s = at_divulged();
+  s.machine_lost = true;
+  s.replica = CloneLife::kRegistered;
+  EXPECT_TRUE(violates(precondition(Prim::kAdoptDeadBindings, s), 7));
+  s.replica_has_state = true;
+  EXPECT_TRUE(precondition(Prim::kAdoptDeadBindings, s).empty());
+  s.divulged = false;  // adoption before the watershed loses acked writes
+  EXPECT_TRUE(violates(precondition(Prim::kAdoptDeadBindings, s), 7));
+}
+
+TEST(Primitives, RetireDeadOnlyAfterAdoption) {
+  AbsState s;
+  s.machine_lost = true;
+  EXPECT_TRUE(violates(precondition(Prim::kRetireDead, s), 7));
+  s.dead_adopted = true;
+  EXPECT_TRUE(precondition(Prim::kRetireDead, s).empty());
+}
+
+TEST(Primitives, Invariant7TracksTheAdoptionWatershed) {
+  AbsState s;
+  s.machine_lost = true;
+  EXPECT_TRUE(invariant_holds(7, s));  // loss alone violates nothing
+  s.dead_adopted = true;               // ...but adopting without the state does
+  EXPECT_FALSE(invariant_holds(7, s));
+  s.divulged = true;
+  s.replica_has_state = true;
+  EXPECT_TRUE(invariant_holds(7, s));
+  s.dead_adopted = false;
+  s.dead_retired = true;  // retired without an heir: queued acks dropped
+  EXPECT_FALSE(invariant_holds(7, s));
+}
+
 // --- primitive postconditions -----------------------------------------------
 
 TEST(Primitives, ApplyTransformsTheAbstractState) {
@@ -201,10 +236,12 @@ TEST(Checker, EveryShippedPlanPasses) {
 
 TEST(Checker, ShippedPlanCountAndNamesAreStable) {
   const std::vector<Plan> plans = shipped_plans();
-  ASSERT_EQ(plans.size(), 8u);
+  ASSERT_EQ(plans.size(), 10u);
   EXPECT_EQ(plans[0].name, "replace");
   EXPECT_EQ(plans[5].name, "recover_rollback");
   EXPECT_EQ(plans[6].name, "recover_rollforward");
+  EXPECT_EQ(plans[8].name, "group_rebuild");
+  EXPECT_EQ(plans[9].name, "rebalance");
 }
 
 TEST(Checker, EstablishedStatusAppearsWhereAnInvariantFlipsOn) {
@@ -237,6 +274,25 @@ TEST(Checker, BrokenPlanFailsWithInvariant3) {
   EXPECT_TRUE(pre_hit) << report.to_text();
   EXPECT_TRUE(boundary_hit) << report.to_text();
   EXPECT_NE(report.to_json().find("\"invariant\":3"), std::string::npos);
+}
+
+TEST(Checker, BrokenAdoptPlanFailsWithInvariant7) {
+  const PlanReport report = check_plan(plan_broken_adopt_before_divulge());
+  EXPECT_FALSE(report.ok);
+  bool pre_hit = false;
+  bool boundary_hit = false;
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.invariant, 7) << v.kind << ": " << v.detail;
+    if (v.kind == "precondition" && v.step == "adopt_dead_bindings") {
+      pre_hit = true;
+    }
+    if (v.kind == "boundary" && v.step == "adopt_dead_bindings") {
+      boundary_hit = true;
+    }
+  }
+  EXPECT_TRUE(pre_hit) << report.to_text();
+  EXPECT_TRUE(boundary_hit) << report.to_text();
+  EXPECT_NE(report.to_json().find("\"invariant\":7"), std::string::npos);
 }
 
 TEST(Checker, JsonIsWellFormedEnoughForTheCiGate) {
@@ -313,6 +369,36 @@ TEST(Conformance, ReplacePlanMatchesTheScriptsJournalBoundaries) {
   options.journal = &journal;
   (void)reconfig::replace_module(*rt, "server", options);
   EXPECT_EQ(journal.boundaries, plan_replace().journal_boundaries());
+  EXPECT_EQ(journal.divulge_records, 1);
+  EXPECT_EQ(journal.committed_records, 1);
+}
+
+TEST(Conformance, GroupRebuildPlanMatchesTheScriptsJournalBoundaries) {
+  app::Runtime rt;
+  replicate::KvOptions options;
+  options.shards = 1;
+  options.group_size = 2;
+  options.machines = {"m0", "m1"};
+  for (const auto& m : options.machines) rt.add_machine(m, net::arch_vax());
+  rt.add_machine("sp0", net::arch_vax());
+  rt.add_machine(options.control_machine, net::arch_vax());
+  replicate::KvService service(rt, options);
+  service.launch(60);  // long script: still mid-run at the kill
+  (void)rt.run_for(20'000, 50'000'000);
+
+  const auto members = service.router().members(0);
+  ASSERT_EQ(members.size(), 2u);
+  const std::string& dead = members[0];
+  const std::string& survivor = members[1];
+  (void)rt.crash_machine(rt.bus().module_info(dead).machine);
+
+  RecordingJournal journal;
+  replicate::RebuildGroupOptions opts;
+  opts.target_machine = "sp0";
+  opts.journal = &journal;
+  opts.nudge = [&service] { service.router().nudge(0); };
+  (void)replicate::rebuild_group(rt, survivor, dead, opts);
+  EXPECT_EQ(journal.boundaries, plan_group_rebuild().journal_boundaries());
   EXPECT_EQ(journal.divulge_records, 1);
   EXPECT_EQ(journal.committed_records, 1);
 }

@@ -14,13 +14,21 @@
 //   flight_recorder.txt   the per-machine causal journals of a fresh run
 //                         of the same seed, dumped via the flight recorder.
 //
+// With --kv the seeds run machine-loss scenarios instead: the sharded KV
+// service loses a ring machine (sometimes two) under link faults and the
+// GroupManager must rebuild with the acked-write ledger intact (invariant
+// 7). Failing-seed artifacts name the killed machine via the spec line
+// (kill=mN@Tus).
+//
 // With --systematic the random seed sweep is replaced by the bounded
 // DPOR-style exploration of chaos::explore: every schedule of coordinator
 // crash point x dropped wire copies x partition window (up to --max-drops)
 // runs exactly once, schedules differing only by reorderings of
 // independent wire events are pruned, and every explored schedule is
-// checked against all six invariants. Failing schedules are written to
-// --artifacts/failing_schedules.txt.
+// checked against all seven invariants. Failing schedules are written to
+// --artifacts/failing_schedules.txt. Combined --systematic --kv swaps the
+// crash-boundary dimension for the machine-kill dimension: every (machine,
+// kill time) rebuild schedule x drop set runs exactly once.
 //
 // Exit status: 0 = every seed passed, 1 = a seed failed (artifacts
 // written), 2 = bad usage.
@@ -56,6 +64,9 @@ void print_usage(const char* argv0, std::ostream& os) {
         "                         (default chaos-artifacts)\n"
         "  --dump-seed S          replay one seed and print its\n"
         "                         flight recorder to stdout\n"
+        "  --kv                   machine-loss scenarios (replica-group\n"
+        "                         rebuild, invariant 7) instead of module\n"
+        "                         replacements\n"
         "  --systematic           bounded exhaustive schedule exploration\n"
         "                         instead of random seeds\n"
         "  --max-drops N          (systematic) dropped-wire-copy bound per\n"
@@ -88,6 +99,8 @@ ScenarioSpec coordinator_kill_variant(std::uint64_t seed) {
   return spec;
 }
 
+/// Replays `failing` with the flight recorder dumped at the end of the
+/// chaos pass.
 void dump_flight_recorder(const ScenarioSpec& failing, std::ostream& os) {
   ScenarioSpec replay = failing;
   replay.chaos_pass_observer = [&os](surgeon::app::Runtime& rt) {
@@ -109,11 +122,13 @@ void dump_flight_recorder(const ScenarioSpec& failing, std::ostream& os) {
 }
 
 int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
-                    const ScenarioResult& result, bool directed) {
+                    const ScenarioResult& result, bool directed, bool kv) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   {
     std::ofstream out(dir + "/failing_seed.txt");
+    // For kv scenarios the spec line names the killed machine(s):
+    // "... kill=m1@30000us second_kill=m2@90000us".
     out << spec.describe() << "\n\n";
     for (const std::string& violation : result.violations) {
       out << "violated: " << violation << "\n";
@@ -121,8 +136,10 @@ int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
     if (!result.abort_reason.empty()) {
       out << "abort_reason: " << result.abort_reason << "\n";
     }
-    out << "\nreplay: tools/chaos_sweep --seeds 1 --start " << spec.seed
-        << " --coordinator-every " << (directed ? 1 : 0) << "\n";
+    out << "\nreplay: tools/chaos_sweep " << (kv ? "--kv " : "")
+        << "--seeds 1 --start " << spec.seed;
+    if (!kv) out << " --coordinator-every " << (directed ? 1 : 0);
+    out << "\n";
     out << "\n--- chaos output (" << result.output.size() << " lines) ---\n";
     for (const std::string& line : result.output) out << line << "\n";
     out << "--- golden output (" << result.golden.size() << " lines) ---\n";
@@ -141,20 +158,46 @@ int write_artifacts(const std::string& dir, const ScenarioSpec& spec,
 }
 
 int run_systematic(int max_drops, int work_items, int partition_windows,
-                   std::uint64_t max_schedules,
+                   std::uint64_t max_schedules, bool kv,
                    const std::string& artifacts) {
   surgeon::chaos::SystematicOptions options;
   options.max_drops = max_drops;
   options.work_items = work_items;
   options.max_schedules = max_schedules;
-  options.target_machine = "sparc";  // replacement traffic crosses the wire
-  for (int w = 0; w < partition_windows; ++w) {
-    // Staggered vax<->sparc cuts, each healing well inside the script's
-    // divulge/restore timeouts so the exploration keeps reaching commits.
-    const surgeon::net::SimTime from =
-        100'000 + 400'000 * static_cast<surgeon::net::SimTime>(w);
-    options.partition_windows.push_back(
-        surgeon::chaos::Partition{"vax", "sparc", from, from + 600'000});
+  if (kv) {
+    // Machine-kill exploration: every (ring machine, kill time) rebuild
+    // schedule is its own dimension; the crash-boundary dimension is off
+    // because a kv run has no replacement coordinator to kill.
+    options.app = surgeon::chaos::SampleApp::kKv;
+    options.explore_crash_boundaries = false;
+    options.kv_shards = 2;
+    options.kv_group_size = 2;
+    options.kv_machines = 3;
+    options.kv_spares = 1;
+    for (int m = 0; m < options.kv_machines; ++m) {
+      for (surgeon::net::SimTime at : {10'000, 30'000, 50'000}) {
+        options.machine_kill_points.push_back(
+            surgeon::chaos::MachineKillPoint{m, at});
+      }
+    }
+    for (int w = 0; w < partition_windows; ++w) {
+      // Control-to-ring cuts; heartbeats are runtime callbacks, so a cut
+      // delays rebuild control traffic without forging a machine death.
+      const surgeon::net::SimTime from =
+          100'000 + 400'000 * static_cast<surgeon::net::SimTime>(w);
+      options.partition_windows.push_back(
+          surgeon::chaos::Partition{"ctl", "m0", from, from + 600'000});
+    }
+  } else {
+    options.target_machine = "sparc";  // replacement traffic crosses the wire
+    for (int w = 0; w < partition_windows; ++w) {
+      // Staggered vax<->sparc cuts, each healing well inside the script's
+      // divulge/restore timeouts so the exploration keeps reaching commits.
+      const surgeon::net::SimTime from =
+          100'000 + 400'000 * static_cast<surgeon::net::SimTime>(w);
+      options.partition_windows.push_back(
+          surgeon::chaos::Partition{"vax", "sparc", from, from + 600'000});
+    }
   }
 
   const surgeon::chaos::SystematicResult result =
@@ -165,7 +208,8 @@ int run_systematic(int max_drops, int work_items, int partition_windows,
             << " disabled extensions skipped, "
             << result.wire_points_discovered << " wire points, "
             << result.crash_boundaries_covered.size()
-            << " crash boundaries" << (result.truncated ? " [TRUNCATED]" : "")
+            << " crash boundaries, " << result.machine_kills_covered.size()
+            << " machine kills" << (result.truncated ? " [TRUNCATED]" : "")
             << "\n";
   if (result.ok() && !result.truncated) {
     std::cout << "PASS systematic exploration (0 violating schedules)\n";
@@ -201,6 +245,7 @@ int main(int argc, char** argv) {
   std::uint64_t start = 1;
   std::uint64_t coordinator_every = 4;
   std::string artifacts = "chaos-artifacts";
+  bool kv = false;
   bool systematic = false;
   int max_drops = 1;
   int work_items = 4;
@@ -228,6 +273,8 @@ int main(int argc, char** argv) {
           std::strtoull(value("--coordinator-every"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--artifacts") == 0) {
       artifacts = value("--artifacts");
+    } else if (std::strcmp(argv[i], "--kv") == 0) {
+      kv = true;
     } else if (std::strcmp(argv[i], "--systematic") == 0) {
       systematic = true;
     } else if (std::strcmp(argv[i], "--max-drops") == 0) {
@@ -245,7 +292,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--dump-seed") == 0) {
       const std::uint64_t seed =
           std::strtoull(value("--dump-seed"), nullptr, 10);
-      dump_flight_recorder(surgeon::chaos::random_scenario(seed), std::cout);
+      dump_flight_recorder(kv ? surgeon::chaos::random_kv_scenario(seed)
+                              : surgeon::chaos::random_scenario(seed),
+                          std::cout);
       return 0;
     } else {
       return usage(argv[0]);
@@ -254,7 +303,32 @@ int main(int argc, char** argv) {
 
   if (systematic) {
     return run_systematic(max_drops, work_items, partition_windows,
-                          max_schedules, artifacts);
+                          max_schedules, kv, artifacts);
+  }
+
+  if (kv) {
+    // Machine-loss sweep: every seed kills a ring machine (some kill two)
+    // and requires the GroupManager to rebuild with the ledger intact.
+    std::uint64_t double_kills = 0;
+    std::uint64_t rebuilt = 0;
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+      const std::uint64_t seed = start + i;
+      ScenarioSpec spec = surgeon::chaos::random_kv_scenario(seed);
+      if (spec.kv_second_kill_machine >= 0) ++double_kills;
+      ScenarioResult result = surgeon::chaos::run_scenario(spec);
+      if (!result.ok()) {
+        return write_artifacts(artifacts, spec, result, false, true);
+      }
+      if (result.replaced) ++rebuilt;
+      if ((i + 1) % 100 == 0) {
+        std::cout << (i + 1) << "/" << seeds << " kv seeds ok ("
+                  << double_kills << " double kills, " << rebuilt
+                  << " rebuilt redundancy)" << std::endl;
+      }
+    }
+    std::cout << "PASS " << seeds << " kv seeds (" << double_kills
+              << " double kills, " << rebuilt << " rebuilt redundancy)\n";
+    return 0;
   }
 
   std::uint64_t coordinator_kills = 0;
@@ -268,7 +342,9 @@ int main(int argc, char** argv) {
                                  : surgeon::chaos::random_scenario(seed);
     if (spec.crash_coordinator_at_step >= 0) ++coordinator_kills;
     ScenarioResult result = surgeon::chaos::run_scenario(spec);
-    if (!result.ok()) return write_artifacts(artifacts, spec, result, directed);
+    if (!result.ok()) {
+      return write_artifacts(artifacts, spec, result, directed, false);
+    }
     if (result.recovered_forward) ++rolled_forward;
     if (!result.replaced) ++aborted_clean;
     if ((i + 1) % 100 == 0) {

@@ -1,16 +1,17 @@
 // Static reconfiguration-plan checker CLI.
 //
 // Symbolically executes the declared plan of every shipped reconfiguration
-// script (src/reconfig/scripts.cpp, src/recover/recovery.cpp) over the
-// abstract configuration state and reports, per step boundary, which of
-// invariants 1-6 are established (E), preserved (P), or violated (V). Runs
+// script (src/reconfig/scripts.cpp, src/recover/recovery.cpp,
+// src/replicate/rebuild.cpp) over the abstract configuration state and
+// reports, per step boundary, which of
+// invariants 1-7 are established (E), preserved (P), or violated (V). Runs
 // in milliseconds with no simulator -- made for a fast per-PR CI gate.
 //
 //   tools/plan_check                 check every shipped plan (text)
 //   tools/plan_check --json          same, machine-readable
 //   tools/plan_check --plan NAME     check one plan (broken one included)
 //   tools/plan_check --list          list plan names
-//   tools/plan_check --include-broken  also run the seeded broken plan
+//   tools/plan_check --include-broken  also run the seeded broken plans
 //                                      (expected FAIL; exit 1)
 //
 // Exit status: 0 = every checked plan passed, 1 = a plan violated an
@@ -34,8 +35,8 @@ void print_usage(const char* argv0, std::ostream& os) {
         "  --list            list plan names and exit\n"
         "  --plan NAME       check a single plan by name\n"
         "  --json            machine-readable diagnostics\n"
-        "  --include-broken  also check the seeded broken plan\n"
-        "                    (it must FAIL; exit becomes 1)\n"
+        "  --include-broken  also check the seeded broken plans\n"
+        "                    (they must FAIL; exit becomes 1)\n"
         "  --help            print this message and exit\n"
         "\n"
         "exit status: 0 = every checked plan passed,\n"
@@ -47,6 +48,7 @@ std::vector<Plan> all_plans(bool include_broken) {
   std::vector<Plan> plans = surgeon::verify::shipped_plans();
   if (include_broken) {
     plans.push_back(surgeon::verify::plan_broken_rebind_before_divulge());
+    plans.push_back(surgeon::verify::plan_broken_adopt_before_divulge());
   }
   return plans;
 }
